@@ -1,0 +1,52 @@
+//! Criterion benchmarks for the design-space exploration layer: single
+//! design evaluations per strategy, a full (coarse) sweep, and Pareto
+//! extraction. These bound the cost of Figures 14-15.
+
+use ce_core::{CarbonExplorer, DesignPoint, DesignSpace, ParetoFrontier, StrategyKind};
+use ce_datacenter::Fleet;
+use ce_grid::GridDataset;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn explorer() -> CarbonExplorer {
+    let site = Fleet::meta_us().site("UT").expect("UT exists").clone();
+    let grid = GridDataset::synthesize(site.ba(), 2020, 7);
+    CarbonExplorer::new(site.demand_trace(2020, 7), grid)
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let explorer = explorer();
+    let design = DesignPoint {
+        solar_mw: 300.0,
+        wind_mw: 150.0,
+        battery_mwh: 100.0,
+        extra_capacity_fraction: 0.3,
+    };
+    let mut group = c.benchmark_group("evaluate_design");
+    for strategy in StrategyKind::ALL {
+        group.bench_function(strategy.label(), |b| {
+            b.iter(|| explorer.evaluate(black_box(strategy), black_box(&design)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let explorer = explorer();
+    let space = DesignSpace {
+        solar: (0.0, 500.0, 4),
+        wind: (0.0, 500.0, 4),
+        battery: (0.0, 400.0, 3),
+        extra_capacity: (0.0, 1.0, 2),
+    };
+    c.bench_function("explore_battery_space_48pts", |b| {
+        b.iter(|| explorer.explore(StrategyKind::RenewablesBattery, black_box(&space)))
+    });
+    let evals = explorer.explore(StrategyKind::RenewablesBatteryCas, &space);
+    c.bench_function("pareto_extraction", |b| {
+        b.iter(|| ParetoFrontier::from_evaluations(black_box(&evals)))
+    });
+}
+
+criterion_group!(benches, bench_evaluate, bench_sweep);
+criterion_main!(benches);

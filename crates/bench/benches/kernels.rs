@@ -1,0 +1,94 @@
+//! Criterion benchmarks for Carbon Explorer's hot kernels: grid synthesis,
+//! coverage computation, battery dispatch, and the schedulers. These are
+//! the inner loops of every figure's sweep, so their cost bounds how fine
+//! a design grid the harness can afford.
+
+use ce_battery::{simulate_dispatch, ClcBattery};
+use ce_core::renewable_coverage;
+use ce_datacenter::Fleet;
+use ce_grid::{BalancingAuthority, GridDataset};
+use ce_scheduler::{combined_dispatch, lp_schedule, CasConfig, CombinedConfig, GreedyScheduler};
+use ce_timeseries::HourlySeries;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn setup() -> (HourlySeries, HourlySeries, GridDataset) {
+    let site = Fleet::meta_us().site("UT").expect("UT exists").clone();
+    let grid = GridDataset::synthesize(BalancingAuthority::PACE, 2020, 7);
+    let demand = site.demand_trace(2020, 7);
+    let supply = grid.scaled_renewables(site.solar_mw(), site.wind_mw());
+    (demand, supply, grid)
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    c.bench_function("grid_synthesize_year", |b| {
+        b.iter(|| GridDataset::synthesize(black_box(BalancingAuthority::PACE), 2020, 7))
+    });
+    let site = Fleet::meta_us().site("UT").expect("UT exists").clone();
+    c.bench_function("demand_trace_year", |b| {
+        b.iter(|| black_box(&site).demand_trace(2020, 7))
+    });
+}
+
+fn bench_coverage(c: &mut Criterion) {
+    let (demand, supply, grid) = setup();
+    c.bench_function("renewable_coverage_year", |b| {
+        b.iter(|| renewable_coverage(black_box(&demand), black_box(&supply)).unwrap())
+    });
+    c.bench_function("investment_scaling", |b| {
+        b.iter(|| black_box(&grid).scaled_renewables(300.0, 150.0))
+    });
+}
+
+fn bench_battery(c: &mut Criterion) {
+    let (demand, supply, _) = setup();
+    c.bench_function("battery_dispatch_year", |b| {
+        b.iter(|| {
+            let mut battery = ClcBattery::lfp(100.0, 1.0);
+            simulate_dispatch(&mut battery, black_box(&demand), black_box(&supply)).unwrap()
+        })
+    });
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let (demand, supply, _) = setup();
+    let config = CasConfig {
+        max_capacity_mw: demand.max().unwrap() * 1.5,
+        flexible_ratio: 0.4,
+    };
+    c.bench_function("greedy_schedule_year", |b| {
+        let scheduler = GreedyScheduler::new(config);
+        b.iter(|| scheduler.schedule(black_box(&demand), black_box(&supply)).unwrap())
+    });
+    c.bench_function("combined_dispatch_year", |b| {
+        b.iter(|| {
+            let mut battery = ClcBattery::lfp(100.0, 1.0);
+            combined_dispatch(
+                &mut battery,
+                black_box(&demand),
+                black_box(&supply),
+                CombinedConfig {
+                    max_capacity_mw: config.max_capacity_mw,
+                    flexible_ratio: 0.4,
+                    window_hours: 24,
+                },
+            )
+            .unwrap()
+        })
+    });
+    // LP over one week (365 day-LPs would dominate the whole suite).
+    let demand_week = demand.window(0, 168).unwrap();
+    let supply_week = supply.window(0, 168).unwrap();
+    c.bench_function("lp_schedule_week", |b| {
+        b.iter(|| lp_schedule(black_box(&demand_week), black_box(&supply_week), config).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_synthesis,
+    bench_coverage,
+    bench_battery,
+    bench_schedulers
+);
+criterion_main!(benches);

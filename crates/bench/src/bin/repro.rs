@@ -1,0 +1,58 @@
+//! Reproduction harness: regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--fast] all          # every artifact, paper order
+//! repro [--fast] fig7 fig15   # specific artifacts
+//! repro list                  # available ids
+//! ```
+
+use ce_bench::context::{Context, Fidelity};
+use ce_bench::experiments;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.as_str())
+        .collect();
+
+    if ids.is_empty() || ids == ["help"] {
+        eprintln!("usage: repro [--fast] <all | list | id...>");
+        eprintln!("ids: {}", experiments::ALL_IDS.join(" "));
+        return ExitCode::FAILURE;
+    }
+    if ids == ["list"] {
+        for id in experiments::ALL_IDS {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let fidelity = if fast { Fidelity::Fast } else { Fidelity::Full };
+    let mut ctx = Context::new(fidelity);
+    let selected: Vec<&str> = if ids == ["all"] {
+        experiments::ALL_IDS.to_vec()
+    } else {
+        ids
+    };
+
+    for id in selected {
+        match experiments::run(id, &mut ctx) {
+            Some(report) => {
+                println!("================ {id} ================");
+                println!("{report}");
+            }
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                eprintln!("ids: {}", experiments::ALL_IDS.join(" "));
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,368 @@
+//! Extension and ablation experiments beyond the paper's figures:
+//! credit-matching granularity, battery-model and scheduler ablations,
+//! geographic load migration, and multi-year battery aging.
+
+use crate::context::{Context, SEED, YEAR};
+use ce_battery::{simulate_dispatch, simulate_fleet_aging, ClcBattery, IdealBattery};
+use ce_core::accounting::{match_credits, MatchingGranularity};
+use ce_core::report::render_table;
+use ce_core::Coverage;
+use ce_scheduler::{
+    lp_schedule, migrate_load, online_schedule, CasConfig, GreedyScheduler, MigrationConfig,
+    SpatialSite, TieredScheduler,
+};
+use ce_core::{sensitivity, StrategyKind};
+use ce_timeseries::HourlySeries;
+use std::fmt::Write as _;
+
+/// Credit-matching granularity: how much of the "Net Zero" claim survives
+/// tightening the accounting period (the paper's §3.2 argument,
+/// quantified).
+pub fn accounting(ctx: &mut Context) -> String {
+    let site = ctx.site("UT");
+    let demand = site.demand_trace(YEAR, SEED);
+    let grid = ctx.grid(site.ba()).clone();
+    let supply = grid.scaled_renewables(site.solar_mw(), site.wind_mw());
+    let intensity = grid.carbon_intensity();
+
+    let mut out = String::from(
+        "Credit-matching granularity (UT, Meta's investment):\n\n",
+    );
+    let headers = ["granularity", "matched", "residual tCO2/year"];
+    let rows: Vec<Vec<String>> = MatchingGranularity::ALL
+        .iter()
+        .map(|&g| {
+            let report = match_credits(&demand, &supply, &intensity, g).expect("aligned");
+            vec![
+                g.label().to_string(),
+                format!("{:.2}%", report.matched_fraction() * 100.0),
+                format!("{:.0}", report.residual_emissions_tons),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(&headers, &rows));
+    out.push_str(
+        "\nAnnual matching reads (near) 100% while hourly matching exposes the real residual —\nthe gap between Net Zero and 24/7 (paper §3.2).\n",
+    );
+    out
+}
+
+/// Battery-model ablation: ideal vs LFP at two DoD settings vs sodium-ion,
+/// all at the same nameplate capacity.
+pub fn ablation_battery(ctx: &mut Context) -> String {
+    let site = ctx.site("UT");
+    let demand = site.demand_trace(YEAR, SEED);
+    let grid = ctx.grid(site.ba()).clone();
+    let supply = grid.scaled_renewables(site.solar_mw(), site.wind_mw());
+    let capacity = 5.0 * site.avg_power_mw();
+
+    let mut rows = Vec::new();
+    let mut run = |label: &str, battery: &mut dyn ce_battery::BatteryModel| {
+        let result = simulate_dispatch(battery, &demand, &supply).expect("aligned");
+        let coverage = Coverage::from_unmet(&demand, &result.unmet).expect("aligned");
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.3}%", coverage.percent()),
+            format!("{:.0}", result.unmet.sum()),
+            format!("{:.0}", result.equivalent_cycles),
+        ]);
+    };
+    run("ideal (lossless)", &mut IdealBattery::new(capacity));
+    run("LFP, 100% DoD", &mut ClcBattery::lfp(capacity, 1.0));
+    run("LFP, 80% DoD", &mut ClcBattery::lfp(capacity, 0.8));
+    run("sodium-ion, 100% DoD", &mut ClcBattery::sodium_ion(capacity, 1.0));
+
+    let mut out = format!(
+        "Battery-model ablation (UT, {capacity:.0} MWh = 5 hours of compute):\n\n"
+    );
+    out.push_str(&render_table(
+        &["model", "coverage", "unmet MWh", "cycles"],
+        &rows,
+    ));
+    out.push_str("\nThe C/L/C losses cost a few tenths of a point of coverage vs the ideal battery;\nDoD and chemistry matter less than capacity (paper §4.2's modular-model rationale).\n");
+    out
+}
+
+/// Scheduler ablation on one quarter: greedy vs SLO-tiered vs LP-optimal
+/// vs forecast-driven online scheduling.
+pub fn ablation_scheduler(ctx: &mut Context) -> String {
+    let site = ctx.site("UT");
+    let demand_full = site.demand_trace(YEAR, SEED);
+    let grid = ctx.grid(site.ba()).clone();
+    let supply_full = grid.scaled_renewables(site.solar_mw(), site.wind_mw());
+    // One quarter keeps the LP run snappy.
+    let demand = demand_full.window(0, 90 * 24).expect("window fits");
+    let supply = supply_full.window(0, 90 * 24).expect("window fits");
+
+    let deficit = |d: &HourlySeries| {
+        d.zip_with(&supply, |p, s| (p - s).max(0.0))
+            .expect("aligned")
+            .sum()
+    };
+    let config = CasConfig {
+        max_capacity_mw: demand.max().expect("non-empty") * 1.5,
+        flexible_ratio: 0.4,
+    };
+
+    let mut rows = Vec::new();
+    rows.push(vec!["no scheduling".into(), format!("{:.1}", deficit(&demand))]);
+
+    let greedy = GreedyScheduler::new(config)
+        .schedule(&demand, &supply)
+        .expect("aligned");
+    rows.push(vec![
+        "greedy (paper, daily window)".into(),
+        format!("{:.1}", deficit(&greedy.shifted_demand)),
+    ]);
+
+    let tiered = TieredScheduler::meta_tiers(config.max_capacity_mw, 0.4)
+        .schedule(&demand, &supply)
+        .expect("aligned");
+    rows.push(vec![
+        "SLO-tiered (Fig. 10 windows)".into(),
+        format!("{:.1}", deficit(&tiered)),
+    ]);
+
+    let lp = lp_schedule(&demand, &supply, config).expect("day LPs solvable");
+    rows.push(vec!["LP-optimal (oracle)".into(), format!("{:.1}", deficit(&lp))]);
+
+    let online = online_schedule(&demand, &supply, config).expect("aligned");
+    rows.push(vec![
+        "online (seasonal-naive forecast)".into(),
+        format!("{:.1}", online.deficit_mwh),
+    ]);
+
+    let mut out = String::from("Scheduler ablation (UT, first quarter, 40% flexible):\n\n");
+    out.push_str(&render_table(&["scheduler", "renewable deficit MWh"], &rows));
+    let _ = writeln!(
+        out,
+        "\nonline-vs-oracle regret: {:.1}% — the cost of scheduling on forecasts instead of actuals",
+        online.regret() * 100.0
+    );
+    out.push_str("the SLO-tiered scheduler is constrained by the ±1/±2/±4-hour tiers and lands between\nno scheduling and the daily-window greedy, which itself tracks the LP optimum closely.\n");
+    out
+}
+
+/// Geographic load migration across three complementary regions.
+pub fn migration(ctx: &mut Context) -> String {
+    let mut sites = Vec::new();
+    for state in ["OR", "TX", "NC"] {
+        let site = ctx.site(state);
+        let demand = site.demand_trace(YEAR, SEED);
+        let grid = ctx.grid(site.ba()).clone();
+        let supply = grid.scaled_renewables(site.solar_mw(), site.wind_mw());
+        let cap = demand.max().expect("non-empty") * 1.5;
+        sites.push(SpatialSite {
+            name: site.name().to_string(),
+            demand,
+            supply,
+            max_capacity_mw: cap,
+        });
+    }
+    let result = migrate_load(&sites, MigrationConfig::default()).expect("aligned fleets");
+    let mut out = String::from(
+        "Geographic load migration (OR + TX + NC, 40% migratable, 2% overhead):\n\n",
+    );
+    let _ = writeln!(
+        out,
+        "fleet renewable deficit: {:.0} MWh → {:.0} MWh ({:.1}% reduction)",
+        result.deficit_before_mwh,
+        result.deficit_after_mwh,
+        (1.0 - result.deficit_after_mwh / result.deficit_before_mwh) * 100.0
+    );
+    let _ = writeln!(out, "energy migrated: {:.0} MWh/year", result.migrated_mwh);
+    out.push_str(
+        "\nSpatial shifting complements temporal shifting: Oregon's calm nights borrow Texas wind\n(the load-migration direction the paper cites as related work).\n",
+    );
+    out
+}
+
+/// Multi-year battery aging: coverage erosion as the cell fades.
+pub fn aging(ctx: &mut Context) -> String {
+    let site = ctx.site("UT");
+    let demand = site.demand_trace(YEAR, SEED);
+    let grid = ctx.grid(site.ba()).clone();
+    let supply = grid.scaled_renewables(site.solar_mw(), site.wind_mw());
+    let capacity = 5.0 * site.avg_power_mw();
+
+    let years = simulate_fleet_aging(capacity, 1.0, &demand, &supply, 10).expect("aligned");
+    let mut out = format!(
+        "Battery aging over 10 years (UT, {capacity:.0} MWh nameplate, 100% DoD):\n\n"
+    );
+    let headers = ["year", "capacity", "unmet MWh", "cycles"];
+    let rows: Vec<Vec<String>> = years
+        .iter()
+        .enumerate()
+        .map(|(i, (fraction, unmet, cycles))| {
+            vec![
+                format!("{}", i + 1),
+                format!("{:.1}%", fraction * 100.0),
+                format!("{unmet:.0}"),
+                format!("{cycles:.0}"),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(&headers, &rows));
+    out.push_str("\nCapacity fade is slow at utility cycling rates; coverage planned on a fresh battery\nholds up well over the deployment's life (supports the paper's single-year sizing).\n");
+    out
+}
+
+/// Tornado sensitivity of the optimal design to embodied-carbon
+/// coefficients (paper §6: parameters "can be tuned as better data
+/// becomes available").
+pub fn sensitivity_study(ctx: &mut Context) -> String {
+    let site = ctx.site("UT");
+    let explorer = ctx.explorer("UT");
+    let avg = site.avg_power_mw();
+    let space = ce_core::DesignSpace {
+        solar: (0.0, 30.0 * avg, ctx.fidelity.renewable_steps()),
+        wind: (0.0, 30.0 * avg, ctx.fidelity.renewable_steps()),
+        battery: (0.0, 24.0 * avg, ctx.fidelity.battery_steps()),
+        extra_capacity: (0.0, 0.0, 1),
+    };
+    let rows = sensitivity::tornado(&explorer, StrategyKind::RenewablesBattery, &space);
+    let mut out = String::from(
+        "Embodied-parameter sensitivity (UT, Renewables + Battery, published ranges):\n\n",
+    );
+    let headers = ["parameter", "low", "high", "total @low", "total @high", "swing t/y"];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let (lo, hi) = r.parameter.range();
+            vec![
+                r.parameter.label().to_string(),
+                format!("{lo:.0}"),
+                format!("{hi:.0}"),
+                format!("{:.0}", r.total_at_low),
+                format!("{:.0}", r.total_at_high),
+                format!("{:.0}", r.swing()),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(&headers, &table));
+    out.push_str("\nRows are sorted by swing: the largest uncertainty in the literature dominates the\ndesign's total carbon, which is why Carbon Explorer keeps these as parameters.\n");
+    out
+}
+
+/// Seasonal breakdown: which month binds each region's coverage.
+pub fn seasonal_study(ctx: &mut Context) -> String {
+    let mut out = String::from(
+        "Seasonal coverage breakdown at Meta's investments (binding month per region):\n\n",
+    );
+    let headers = ["site", "annual", "best month", "worst month", "worst coverage"];
+    let mut rows = Vec::new();
+    for state in ["UT", "OR", "NC", "TX", "IA"] {
+        let site = ctx.site(state);
+        let demand = site.demand_trace(YEAR, SEED);
+        let grid = ctx.grid(site.ba()).clone();
+        let supply = grid.scaled_renewables(site.solar_mw(), site.wind_mw());
+        let months = ce_core::monthly_coverage(&demand, &supply).expect("aligned");
+        let annual = ce_core::renewable_coverage(&demand, &supply).expect("aligned");
+        let best = months
+            .iter()
+            .max_by(|a, b| a.coverage.partial_cmp(&b.coverage).expect("finite"))
+            .expect("non-empty year");
+        let worst = months
+            .iter()
+            .min_by(|a, b| a.coverage.partial_cmp(&b.coverage).expect("finite"))
+            .expect("non-empty year");
+        rows.push(vec![
+            state.to_string(),
+            format!("{:.1}%", annual.percent()),
+            format!("month {} ({:.1}%)", best.month, best.coverage * 100.0),
+            format!("month {}", worst.month),
+            format!("{:.1}%", worst.coverage * 100.0),
+        ]);
+    }
+    out.push_str(&render_table(&headers, &rows));
+    out.push_str("\nThe worst month is what batteries and scheduling must be provisioned for —\nannual averages understate the problem (cf. Figure 5's seasonality).\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Fidelity;
+
+    fn ctx() -> Context {
+        Context::new(Fidelity::Fast)
+    }
+
+    #[test]
+    fn accounting_shows_granularity_gap() {
+        let out = accounting(&mut ctx());
+        assert!(out.contains("hourly (24/7)"));
+        assert!(out.contains("annual (Net Zero)"));
+    }
+
+    #[test]
+    fn battery_ablation_orders_models() {
+        let out = ablation_battery(&mut ctx());
+        assert!(out.contains("ideal"));
+        assert!(out.contains("sodium-ion"));
+        // Parse unmet column: ideal must be the lowest.
+        let unmet: Vec<f64> = out
+            .lines()
+            .filter(|l| l.contains('%'))
+            .filter_map(|l| {
+                let cells: Vec<&str> = l.split_whitespace().collect();
+                cells.get(cells.len() - 2)?.parse().ok()
+            })
+            .collect();
+        assert_eq!(unmet.len(), 4);
+        for &u in &unmet[1..] {
+            assert!(unmet[0] <= u + 1e-9, "ideal should have least unmet");
+        }
+    }
+
+    #[test]
+    fn scheduler_ablation_ranks_schedulers() {
+        let out = ablation_scheduler(&mut ctx());
+        let deficits: Vec<f64> = out
+            .lines()
+            .filter_map(|l| {
+                if l.contains("scheduling") || l.contains("greedy") || l.contains("LP")
+                    || l.contains("tiered") || l.contains("online")
+                {
+                    l.split_whitespace().last()?.parse().ok()
+                } else {
+                    None
+                }
+            })
+            .collect();
+        assert!(deficits.len() >= 5);
+        let (none, greedy, _tiered, lp, online) =
+            (deficits[0], deficits[1], deficits[2], deficits[3], deficits[4]);
+        assert!(lp <= greedy + 1e-6, "LP should be at least as good as greedy");
+        assert!(greedy <= none, "greedy should improve on no scheduling");
+        assert!(online >= lp - 1e-6, "online cannot beat the oracle LP");
+    }
+
+    #[test]
+    fn migration_reduces_fleet_deficit() {
+        let out = migration(&mut ctx());
+        assert!(out.contains("reduction"));
+        assert!(out.contains("migrated"));
+    }
+
+    #[test]
+    fn sensitivity_sorted_by_swing() {
+        let out = sensitivity_study(&mut ctx());
+        assert!(out.contains("battery kg/kWh"));
+        assert!(out.contains("swing"));
+    }
+
+    #[test]
+    fn seasonal_identifies_worst_month() {
+        let out = seasonal_study(&mut ctx());
+        assert!(out.contains("worst month"));
+        assert!(out.contains("UT"));
+    }
+
+    #[test]
+    fn aging_reports_ten_years() {
+        let out = aging(&mut ctx());
+        assert_eq!(out.lines().filter(|l| l.trim().starts_with(|c: char| c.is_ascii_digit())).count(), 10);
+        assert!(out.contains("100.0%"));
+    }
+}

@@ -1,0 +1,282 @@
+//! Operational-input experiments: Tables 1-2 and Figures 1, 3, 4, 5, 10.
+
+use crate::context::{Context, SEED, YEAR};
+use ce_core::report::{render_table, sparkline};
+use ce_datacenter::trace::{TraceGenerator, TraceProfile};
+use ce_datacenter::SloTier;
+use ce_grid::curtailment::historical_ca_curtailment;
+use ce_grid::BalancingAuthority;
+use ce_timeseries::resample::{average_day_profile, daily_totals};
+use ce_timeseries::stats::{mean_of_top_k, pearson, Histogram};
+use std::fmt::Write as _;
+
+/// Table 1: Meta's datacenter locations and regional renewable investments.
+pub fn table1(ctx: &mut Context) -> String {
+    let rows: Vec<Vec<String>> = ctx
+        .fleet()
+        .sites()
+        .iter()
+        .map(|s| {
+            vec![
+                s.name().to_string(),
+                s.ba().code().to_string(),
+                format!("{:.0}", s.solar_mw()),
+                format!("{:.0}", s.wind_mw()),
+                format!("{:.0}", s.total_investment_mw()),
+            ]
+        })
+        .collect();
+    let mut out = String::from("Table 1: Meta's US datacenter locations and renewable investments [MW]\n\n");
+    out.push_str(&render_table(
+        &["Location", "BA", "Solar", "Wind", "Total"],
+        &rows,
+    ));
+    let fleet = ctx.fleet();
+    let _ = writeln!(
+        out,
+        "\nTotals: solar {:.0} MW, wind {:.0} MW, combined {:.0} MW",
+        fleet.total_solar_mw(),
+        fleet.total_wind_mw(),
+        fleet.total_solar_mw() + fleet.total_wind_mw()
+    );
+    out
+}
+
+/// Table 2: carbon efficiency of energy sources.
+pub fn table2() -> String {
+    let rows: Vec<Vec<String>> = ce_grid::FuelType::ALL
+        .iter()
+        .map(|f| {
+            vec![
+                f.name().to_string(),
+                format!("{:.0}", f.carbon_intensity_g_per_kwh()),
+            ]
+        })
+        .collect();
+    let mut out = String::from("Table 2: Carbon efficiency of various energy sources\n\n");
+    out.push_str(&render_table(&["Type", "gCO2eq/kWh"], &rows));
+    out
+}
+
+/// Figure 1: hourly wind and solar generation in the California grid over
+/// one week, highlighting the intermittency (>3x swing).
+pub fn fig1(ctx: &mut Context) -> String {
+    let grid = ctx.grid(BalancingAuthority::CISO);
+    // A spring week (the paper's curtailment-heavy season): days 90-96.
+    let week_start = 90 * 24;
+    let wind = grid.wind().window(week_start, 7 * 24).expect("window fits");
+    let solar = grid.solar().window(week_start, 7 * 24).expect("window fits");
+    let combined = &wind + &solar;
+    let max = combined.max().unwrap_or(0.0);
+    let daily: Vec<f64> = daily_totals(&combined);
+    let best = daily.iter().copied().fold(f64::MIN, f64::max);
+    let worst = daily.iter().copied().fold(f64::MAX, f64::min).max(1.0);
+    let mut out = String::from(
+        "Figure 1: Hourly wind and solar generation in the California grid over one week\n\n",
+    );
+    let _ = writeln!(out, "wind  [{}]", sparkline(wind.values()));
+    let _ = writeln!(out, "solar [{}]", sparkline(solar.values()));
+    let _ = writeln!(out, "\npeak combined renewables: {max:.0} MW");
+    let _ = writeln!(
+        out,
+        "best day / worst day (total renewable energy): {:.1}x",
+        best / worst
+    );
+    out
+}
+
+/// Figure 3: diurnal CPU fluctuations of Meta-like and Google-like fleets,
+/// and the utilization/power correlation.
+pub fn fig3() -> String {
+    let meta = TraceGenerator::new(TraceProfile::Meta, 50.0).generate(YEAR, SEED);
+    let google = TraceGenerator::new(TraceProfile::Google, 50.0).generate(YEAR, SEED);
+
+    let profile = |t: &ce_datacenter::trace::DemandTrace| average_day_profile(&t.utilization);
+    let swing = |p: &[f64; 24]| {
+        p.iter().copied().fold(f64::MIN, f64::max) - p.iter().copied().fold(f64::MAX, f64::min)
+    };
+    let meta_profile = profile(&meta);
+    let google_profile = profile(&google);
+    let corr = pearson(meta.utilization.values(), meta.power.values()).expect("same length");
+    let power_swing =
+        (meta.power.max().unwrap() - meta.power.min().unwrap()) / meta.power.mean();
+
+    let mut out = String::from("Figure 3: Hourly DC CPU fluctuations and power correlation\n\n");
+    let _ = writeln!(out, "Meta avg day utilization   [{}]", sparkline(&meta_profile));
+    let _ = writeln!(out, "Google avg day utilization [{}]", sparkline(&google_profile));
+    let _ = writeln!(
+        out,
+        "\nMeta CPU swing: {:.1} pts   Google CPU swing: {:.1} pts",
+        swing(&meta_profile) * 100.0,
+        swing(&google_profile) * 100.0
+    );
+    let _ = writeln!(out, "CPU-power Pearson correlation (Meta): {corr:.4}");
+    let _ = writeln!(
+        out,
+        "DC-scale power max-min swing: {:.1}% (paper: ~4%)",
+        power_swing * 100.0
+    );
+    out
+}
+
+/// Figure 4: historical wind and solar curtailments in the California grid.
+pub fn fig4() -> String {
+    let rows: Vec<Vec<String>> = historical_ca_curtailment()
+        .iter()
+        .map(|r| {
+            vec![
+                r.year.to_string(),
+                format!("{:.2}%", r.solar_fraction * 100.0),
+                format!("{:.2}%", r.wind_fraction * 100.0),
+                format!("{:.2}%", r.total_fraction() * 100.0),
+            ]
+        })
+        .collect();
+    let mut out =
+        String::from("Figure 4: Curtailed energy / total renewable energy, California grid\n\n");
+    out.push_str(&render_table(&["Year", "Solar", "Wind", "Total"], &rows));
+    out.push_str("\n2021 total reaches ~6% (paper: 6%)\n");
+    out
+}
+
+/// Figure 5: average-day generation and daily-total histograms for BPAT
+/// (wind), DUK (solar), and PACE (mixed).
+pub fn fig5(ctx: &mut Context) -> String {
+    let mut out = String::from(
+        "Figure 5: Average-day generation and day-to-day variability, year 2020\n",
+    );
+    for (ba, label) in [
+        (BalancingAuthority::BPAT, "BPAT (in OR) — majorly wind"),
+        (BalancingAuthority::DUK, "DUK (in NC) — majorly solar"),
+        (BalancingAuthority::PACE, "PACE (in UT) — wind + solar mix"),
+    ] {
+        let grid = ctx.grid(ba);
+        let wind_profile = average_day_profile(grid.wind());
+        let solar_profile = average_day_profile(grid.solar());
+        let renewables = grid.wind().try_add(grid.solar()).expect("aligned");
+        let daily = daily_totals(&renewables);
+        let hist = Histogram::from_values(&daily, 12).expect("non-empty year");
+        let top10 = mean_of_top_k(&daily, 10).expect("non-empty");
+        let avg = daily.iter().sum::<f64>() / daily.len() as f64;
+
+        let _ = writeln!(out, "\n--- {label} ---");
+        let _ = writeln!(out, "avg day wind  [{}]", sparkline(&wind_profile));
+        let _ = writeln!(out, "avg day solar [{}]", sparkline(&solar_profile));
+        let counts: Vec<f64> = hist.counts().iter().map(|&c| c as f64).collect();
+        let _ = writeln!(out, "daily-total histogram [{}]", sparkline(&counts));
+        let _ = writeln!(
+            out,
+            "best 10 days / average day: {:.2}x (paper, BPAT: ~2.5x)",
+            top10 / avg
+        );
+    }
+    out
+}
+
+/// Figure 10: breakdown of data-processing workloads by completion-time SLO.
+pub fn fig10() -> String {
+    let rows: Vec<Vec<String>> = SloTier::ALL
+        .iter()
+        .map(|t| {
+            vec![
+                t.to_string(),
+                format!("{:.1}%", t.meta_fraction() * 100.0),
+                match t.shift_window_hours() {
+                    Some(w) => format!("{w} h"),
+                    None => "unbounded".to_string(),
+                },
+            ]
+        })
+        .collect();
+    let mut out = String::from(
+        "Figure 10: Breakdown of data processing workloads by completion-time SLO at Meta\n\n",
+    );
+    out.push_str(&render_table(&["Tier", "Share", "Shift window"], &rows));
+    let over4: f64 = [SloTier::Tier4, SloTier::Tier5]
+        .iter()
+        .map(|t| t.meta_fraction())
+        .sum();
+    let _ = writeln!(
+        out,
+        "\nworkloads with SLOs > 4 hours: {:.1}% (paper: 87.4% of data-processing workloads)",
+        (over4 + SloTier::Tier3.meta_fraction()) * 100.0
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Fidelity;
+
+    fn ctx() -> Context {
+        Context::new(Fidelity::Fast)
+    }
+
+    #[test]
+    fn table1_lists_13_sites_and_totals() {
+        let out = table1(&mut ctx());
+        assert!(out.matches('\n').count() >= 16);
+        assert!(out.contains("Prineville"));
+        assert!(out.contains("combined 5754 MW"));
+    }
+
+    #[test]
+    fn table2_has_coal_at_820() {
+        let out = table2();
+        assert!(out.contains("Coal"));
+        assert!(out.contains("820"));
+        assert!(out.contains("Wind"));
+        assert!(out.contains("11"));
+    }
+
+    #[test]
+    fn fig1_reports_large_swing() {
+        let out = fig1(&mut ctx());
+        // The paper's headline: >3x between best and worst days.
+        let ratio: f64 = out
+            .lines()
+            .find(|l| l.contains("best day / worst day"))
+            .and_then(|l| l.split(':').nth(1))
+            .and_then(|v| v.trim().trim_end_matches('x').parse().ok())
+            .expect("ratio line present");
+        assert!(ratio > 1.5, "weekly swing ratio {ratio}");
+    }
+
+    #[test]
+    fn fig3_reports_paper_statistics() {
+        let out = fig3();
+        assert!(out.contains("correlation"));
+        let corr: f64 = out
+            .lines()
+            .find(|l| l.contains("Pearson"))
+            .and_then(|l| l.split(':').nth(1))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("correlation line");
+        assert!(corr > 0.99);
+    }
+
+    #[test]
+    fn fig4_trend_reaches_six_percent() {
+        let out = fig4();
+        assert!(out.contains("2015"));
+        assert!(out.contains("2021"));
+        assert!(out.contains("~6%"));
+    }
+
+    #[test]
+    fn fig5_covers_three_regimes() {
+        let out = fig5(&mut ctx());
+        assert!(out.contains("BPAT"));
+        assert!(out.contains("DUK"));
+        assert!(out.contains("PACE"));
+        assert!(out.contains("best 10 days"));
+    }
+
+    #[test]
+    fn fig10_shares_sum_to_100() {
+        let out = fig10();
+        assert!(out.contains("71.2%"));
+        assert!(out.contains("Tier 5"));
+    }
+}

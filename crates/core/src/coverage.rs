@@ -1,0 +1,217 @@
+//! The renewable-coverage metric (paper §4.1).
+//!
+//! > We define renewable coverage as the percentage of hours in the year
+//! > where datacenter power (P_DC) is covered by renewable power (P_Ren):
+//! >
+//! > { 1 − Σ_hour max(P_DC − P_Ren, 0) / Σ_hour P_DC } × 100
+//!
+//! The deficit is clamped at zero per hour: surplus in one hour cannot
+//! cancel deficit in another (that is precisely what distinguishes 24/7
+//! matching from Net-Zero annual matching). Alongside the paper's
+//! energy-weighted metric we also expose the strict hours-fully-covered
+//! fraction.
+
+use ce_timeseries::{HourlySeries, TimeSeriesError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The result of a coverage computation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Coverage {
+    energy_fraction: f64,
+    hour_fraction: f64,
+    unmet_mwh: f64,
+    demand_mwh: f64,
+}
+
+impl Coverage {
+    /// Builds a coverage directly from an unmet-demand series and the
+    /// demand itself. `unmet` must be the per-hour grid draw (deficit
+    /// after all mitigation), already clamped non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns an alignment error if the series are misaligned.
+    pub fn from_unmet(
+        demand: &HourlySeries,
+        unmet: &HourlySeries,
+    ) -> Result<Self, TimeSeriesError> {
+        demand.check_aligned(unmet)?;
+        let demand_mwh = demand.sum();
+        let unmet_mwh = unmet.sum();
+        let energy_fraction = if demand_mwh > 0.0 {
+            (1.0 - unmet_mwh / demand_mwh).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        let covered_hours = unmet.count_where(|u| u <= 1e-9);
+        let hour_fraction = if unmet.is_empty() {
+            1.0
+        } else {
+            covered_hours as f64 / unmet.len() as f64
+        };
+        Ok(Self {
+            energy_fraction,
+            hour_fraction,
+            unmet_mwh,
+            demand_mwh,
+        })
+    }
+
+    /// The paper's energy-weighted coverage as a fraction in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        self.energy_fraction
+    }
+
+    /// The paper's coverage as a percentage in `[0, 100]`.
+    pub fn percent(&self) -> f64 {
+        self.energy_fraction * 100.0
+    }
+
+    /// Fraction of hours whose demand was fully covered.
+    pub fn hour_fraction(&self) -> f64 {
+        self.hour_fraction
+    }
+
+    /// Total unmet (grid-supplied) energy, MWh.
+    pub fn unmet_mwh(&self) -> f64 {
+        self.unmet_mwh
+    }
+
+    /// Total demand energy, MWh.
+    pub fn demand_mwh(&self) -> f64 {
+        self.demand_mwh
+    }
+
+    /// `true` if this is full 24/7 coverage (no unmet energy).
+    pub fn is_full(&self) -> bool {
+        self.unmet_mwh <= 1e-6
+    }
+}
+
+impl fmt::Display for Coverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}% (hours {:.1}%)", self.percent(), self.hour_fraction * 100.0)
+    }
+}
+
+/// Computes renewable coverage of `demand` by `supply` with no storage or
+/// scheduling: the paper's formula with per-hour deficit clamping.
+///
+/// # Errors
+///
+/// Returns an alignment error if the series are misaligned.
+///
+/// ```
+/// use ce_core::renewable_coverage;
+/// use ce_timeseries::{HourlySeries, Timestamp};
+///
+/// let start = Timestamp::start_of_year(2020);
+/// let demand = HourlySeries::constant(start, 4, 10.0);
+/// let supply = HourlySeries::from_values(start, vec![20.0, 0.0, 10.0, 5.0]);
+/// let cov = renewable_coverage(&demand, &supply)?;
+/// // Deficits: 0 + 10 + 0 + 5 = 15 of 40 MWh → 62.5% coverage.
+/// assert!((cov.percent() - 62.5).abs() < 1e-9);
+/// # Ok::<(), ce_timeseries::TimeSeriesError>(())
+/// ```
+pub fn renewable_coverage(
+    demand: &HourlySeries,
+    supply: &HourlySeries,
+) -> Result<Coverage, TimeSeriesError> {
+    let unmet = demand.zip_with(supply, |d, s| (d - s).max(0.0))?;
+    Coverage::from_unmet(demand, &unmet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_timeseries::Timestamp;
+
+    fn start() -> Timestamp {
+        Timestamp::start_of_year(2020)
+    }
+
+    #[test]
+    fn full_coverage() {
+        let demand = HourlySeries::constant(start(), 24, 10.0);
+        let supply = HourlySeries::constant(start(), 24, 10.0);
+        let cov = renewable_coverage(&demand, &supply).unwrap();
+        assert_eq!(cov.percent(), 100.0);
+        assert!(cov.is_full());
+        assert_eq!(cov.hour_fraction(), 1.0);
+    }
+
+    #[test]
+    fn zero_supply_is_zero_coverage() {
+        let demand = HourlySeries::constant(start(), 24, 10.0);
+        let supply = HourlySeries::zeros(start(), 24);
+        let cov = renewable_coverage(&demand, &supply).unwrap();
+        assert_eq!(cov.percent(), 0.0);
+        assert_eq!(cov.hour_fraction(), 0.0);
+        assert_eq!(cov.unmet_mwh(), 240.0);
+    }
+
+    #[test]
+    fn surplus_does_not_cancel_deficit() {
+        // The crux of 24/7 vs Net Zero: annual totals match, hourly doesn't.
+        let demand = HourlySeries::constant(start(), 2, 10.0);
+        let supply = HourlySeries::from_values(start(), vec![20.0, 0.0]);
+        let cov = renewable_coverage(&demand, &supply).unwrap();
+        assert_eq!(cov.percent(), 50.0);
+        assert_eq!(cov.hour_fraction(), 0.5);
+    }
+
+    #[test]
+    fn empty_demand_is_fully_covered() {
+        let demand = HourlySeries::zeros(start(), 0);
+        let supply = HourlySeries::zeros(start(), 0);
+        let cov = renewable_coverage(&demand, &supply).unwrap();
+        assert_eq!(cov.fraction(), 1.0);
+        assert_eq!(cov.hour_fraction(), 1.0);
+    }
+
+    #[test]
+    fn zero_demand_hours_count_as_covered() {
+        let demand = HourlySeries::from_values(start(), vec![0.0, 10.0]);
+        let supply = HourlySeries::from_values(start(), vec![0.0, 10.0]);
+        let cov = renewable_coverage(&demand, &supply).unwrap();
+        assert!(cov.is_full());
+    }
+
+    #[test]
+    fn from_unmet_matches_direct_computation() {
+        let demand = HourlySeries::from_values(start(), vec![10.0, 10.0, 10.0]);
+        let supply = HourlySeries::from_values(start(), vec![4.0, 12.0, 10.0]);
+        let direct = renewable_coverage(&demand, &supply).unwrap();
+        let unmet = HourlySeries::from_values(start(), vec![6.0, 0.0, 0.0]);
+        let indirect = Coverage::from_unmet(&demand, &unmet).unwrap();
+        assert_eq!(direct, indirect);
+    }
+
+    #[test]
+    fn misaligned_series_error() {
+        let demand = HourlySeries::zeros(start(), 2);
+        let supply = HourlySeries::zeros(start(), 3);
+        assert!(renewable_coverage(&demand, &supply).is_err());
+    }
+
+    #[test]
+    fn display_shows_percent() {
+        let demand = HourlySeries::constant(start(), 2, 10.0);
+        let supply = HourlySeries::from_values(start(), vec![10.0, 5.0]);
+        let cov = renewable_coverage(&demand, &supply).unwrap();
+        assert!(cov.to_string().starts_with("75.0%"));
+    }
+
+    #[test]
+    fn coverage_is_monotone_in_supply() {
+        let demand = HourlySeries::constant(start(), 24, 10.0);
+        let mut prev = -1.0;
+        for scale in [0.0, 0.3, 0.7, 1.2] {
+            let supply = HourlySeries::from_fn(start(), 24, |h| (h % 12) as f64 * scale);
+            let cov = renewable_coverage(&demand, &supply).unwrap().fraction();
+            assert!(cov >= prev);
+            prev = cov;
+        }
+    }
+}

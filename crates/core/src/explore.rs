@@ -1,0 +1,501 @@
+//! Exhaustive design-space exploration minimizing operational + embodied
+//! carbon (paper §5, Figure 13).
+
+use crate::coverage::Coverage;
+use crate::design::{DesignPoint, DesignSpace, StrategyKind};
+use ce_battery::{simulate_dispatch, ClcBattery};
+use ce_datacenter::WorkloadMix;
+use ce_embodied::EmbodiedParams;
+use ce_grid::GridDataset;
+use ce_scheduler::{combined_dispatch, CasConfig, CombinedConfig, GreedyScheduler};
+use ce_timeseries::HourlySeries;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fully scored design point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluatedDesign {
+    /// The strategy evaluated.
+    pub strategy: StrategyKind,
+    /// The configuration evaluated.
+    pub design: DesignPoint,
+    /// Renewable (plus battery/CAS) coverage achieved.
+    pub coverage: Coverage,
+    /// Operational carbon: grid energy consumed × hourly grid intensity,
+    /// tons CO2 per year.
+    pub operational_tons: f64,
+    /// Embodied carbon of the wind/solar farms, tons CO2 per year.
+    pub embodied_renewables_tons: f64,
+    /// Embodied carbon of the battery, tons CO2 per year.
+    pub embodied_battery_tons: f64,
+    /// Embodied carbon of the extra servers, tons CO2 per year.
+    pub embodied_servers_tons: f64,
+    /// Equivalent full battery cycles performed over the year.
+    pub battery_cycles: f64,
+}
+
+impl EvaluatedDesign {
+    /// Total embodied carbon, tons CO2 per year.
+    pub fn embodied_tons(&self) -> f64 {
+        self.embodied_renewables_tons + self.embodied_battery_tons + self.embodied_servers_tons
+    }
+
+    /// Total (operational + embodied) carbon, tons CO2 per year.
+    pub fn total_tons(&self) -> f64 {
+        self.operational_tons + self.embodied_tons()
+    }
+}
+
+impl fmt::Display for EvaluatedDesign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} → coverage {}, op {:.0} t, embodied {:.0} t, total {:.0} t",
+            self.strategy,
+            self.design,
+            self.coverage,
+            self.operational_tons,
+            self.embodied_tons(),
+            self.total_tons()
+        )
+    }
+}
+
+/// The design-space exploration engine (paper Figure 13).
+///
+/// Holds the operational inputs — an hourly demand trace and a grid
+/// dataset — plus the embodied-carbon parameters, workload flexibility,
+/// and battery depth-of-discharge policy. See the
+/// [crate documentation](crate) for a worked example.
+#[derive(Debug, Clone)]
+pub struct CarbonExplorer {
+    demand: HourlySeries,
+    grid: GridDataset,
+    grid_intensity: HourlySeries,
+    embodied: EmbodiedParams,
+    workload: WorkloadMix,
+    dod: f64,
+}
+
+impl CarbonExplorer {
+    /// Creates an explorer with the paper's defaults: 40% flexible
+    /// workloads, 100% depth of discharge, published embodied
+    /// coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand` and the grid's series are misaligned.
+    pub fn new(demand: HourlySeries, grid: GridDataset) -> Self {
+        let grid_intensity = grid.carbon_intensity();
+        demand
+            .check_aligned(&grid_intensity)
+            .expect("demand trace must cover the same year as the grid dataset");
+        Self {
+            demand,
+            grid,
+            grid_intensity,
+            embodied: EmbodiedParams::paper_defaults(),
+            workload: WorkloadMix::borg_default(),
+            dod: 1.0,
+        }
+    }
+
+    /// Replaces the embodied-carbon parameters.
+    pub fn with_embodied(mut self, embodied: EmbodiedParams) -> Self {
+        self.embodied = embodied;
+        self
+    }
+
+    /// Replaces the workload mix (flexibility).
+    pub fn with_workload(mut self, workload: WorkloadMix) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Sets the battery depth-of-discharge policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dod` is outside `(0, 1]`.
+    pub fn with_dod(mut self, dod: f64) -> Self {
+        assert!(dod > 0.0 && dod <= 1.0, "DoD must be in (0, 1]");
+        self.dod = dod;
+        self
+    }
+
+    /// The demand trace.
+    pub fn demand(&self) -> &HourlySeries {
+        &self.demand
+    }
+
+    /// The grid dataset.
+    pub fn grid(&self) -> &GridDataset {
+        &self.grid
+    }
+
+    /// The hourly grid carbon intensity (t/MWh).
+    pub fn grid_intensity(&self) -> &HourlySeries {
+        &self.grid_intensity
+    }
+
+    /// The workload mix in force.
+    pub fn workload(&self) -> &WorkloadMix {
+        &self.workload
+    }
+
+    /// Scores one design point under one strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite design parameters.
+    pub fn evaluate(&self, strategy: StrategyKind, design: &DesignPoint) -> EvaluatedDesign {
+        assert!(
+            design.solar_mw.is_finite()
+                && design.wind_mw.is_finite()
+                && design.battery_mwh.is_finite()
+                && design.extra_capacity_fraction.is_finite(),
+            "design parameters must be finite"
+        );
+        let supply = self
+            .grid
+            .scaled_renewables(design.solar_mw, design.wind_mw);
+
+        let battery_mwh = if strategy.uses_battery() {
+            design.battery_mwh
+        } else {
+            0.0
+        };
+        let extra_fraction = if strategy.uses_cas() {
+            design.extra_capacity_fraction
+        } else {
+            0.0
+        };
+        let peak = self.demand.max().unwrap_or(0.0);
+        let capacity_cap = peak * (1.0 + extra_fraction);
+
+        let (unmet, cycles) = match strategy {
+            StrategyKind::RenewablesOnly => {
+                let unmet = self
+                    .demand
+                    .zip_with(&supply, |d, s| (d - s).max(0.0))
+                    .expect("aligned");
+                (unmet, 0.0)
+            }
+            StrategyKind::RenewablesBattery => {
+                let mut battery = ClcBattery::lfp(battery_mwh, self.dod);
+                let result = simulate_dispatch(&mut battery, &self.demand, &supply)
+                    .expect("aligned");
+                (result.unmet, result.equivalent_cycles)
+            }
+            StrategyKind::RenewablesCas => {
+                let scheduler = GreedyScheduler::new(CasConfig {
+                    max_capacity_mw: capacity_cap,
+                    flexible_ratio: self.workload.flexible_fraction(),
+                });
+                let result = scheduler.schedule(&self.demand, &supply).expect("aligned");
+                let unmet = result
+                    .shifted_demand
+                    .zip_with(&supply, |d, s| (d - s).max(0.0))
+                    .expect("aligned");
+                (unmet, 0.0)
+            }
+            StrategyKind::RenewablesBatteryCas => {
+                let mut battery = ClcBattery::lfp(battery_mwh, self.dod);
+                let result = combined_dispatch(
+                    &mut battery,
+                    &self.demand,
+                    &supply,
+                    CombinedConfig {
+                        max_capacity_mw: capacity_cap,
+                        flexible_ratio: self.workload.flexible_fraction(),
+                        window_hours: 24,
+                    },
+                )
+                .expect("aligned");
+                (result.unmet, result.equivalent_cycles)
+            }
+        };
+
+        let coverage = Coverage::from_unmet(&self.demand, &unmet).expect("aligned");
+        let operational_tons = unmet
+            .zip_with(&self.grid_intensity, |u, i| u * i)
+            .expect("aligned")
+            .sum();
+
+        let solar_energy = self.grid.scaled_solar(design.solar_mw).sum();
+        let wind_energy = self.grid.scaled_wind(design.wind_mw).sum();
+        let embodied_renewables_tons = self
+            .embodied
+            .renewables
+            .total_tons(solar_energy, wind_energy);
+        let embodied_battery_tons =
+            self.embodied
+                .battery
+                .amortized_tons_per_year(battery_mwh, self.dod, cycles);
+        let embodied_servers_tons = self
+            .embodied
+            .server
+            .amortized_tons_per_year(peak * extra_fraction);
+
+        EvaluatedDesign {
+            strategy,
+            design: *design,
+            coverage,
+            operational_tons,
+            embodied_renewables_tons,
+            embodied_battery_tons,
+            embodied_servers_tons,
+            battery_cycles: cycles,
+        }
+    }
+
+    /// Scores every point of `space` (restricted to the axes `strategy`
+    /// uses) and returns the evaluations in iteration order.
+    pub fn explore(&self, strategy: StrategyKind, space: &DesignSpace) -> Vec<EvaluatedDesign> {
+        space
+            .restricted_to(strategy)
+            .iter()
+            .map(|design| self.evaluate(strategy, &design))
+            .collect()
+    }
+
+    /// The carbon-optimal design in `space` for `strategy` (minimum total
+    /// carbon), or `None` for an empty space.
+    pub fn optimal(&self, strategy: StrategyKind, space: &DesignSpace) -> Option<EvaluatedDesign> {
+        self.explore(strategy, space)
+            .into_iter()
+            .min_by(|a, b| a.total_tons().partial_cmp(&b.total_tons()).expect("finite"))
+    }
+
+    /// [`CarbonExplorer::optimal`] followed by `rounds` of local
+    /// refinement: each round re-sweeps a space of the same step count
+    /// centered on the incumbent with half the span per axis, quartering
+    /// the grid resolution around the optimum. This is how the harness
+    /// resolves near-100%-coverage optima that a coarse grid would miss.
+    pub fn optimal_refined(
+        &self,
+        strategy: StrategyKind,
+        space: &DesignSpace,
+        rounds: usize,
+    ) -> Option<EvaluatedDesign> {
+        let mut best = self.optimal(strategy, space)?;
+        let mut current = space.clone();
+        for _ in 0..rounds {
+            current = zoom_axis_space(&current, space, &best.design);
+            if let Some(refined) = self.optimal(strategy, &current) {
+                if refined.total_tons() < best.total_tons() {
+                    best = refined;
+                }
+            }
+        }
+        Some(best)
+    }
+}
+
+/// Shrinks each axis of `current` to half its span, centered on `around`,
+/// clamped to the `original` bounds.
+fn zoom_axis_space(
+    current: &DesignSpace,
+    original: &DesignSpace,
+    around: &DesignPoint,
+) -> DesignSpace {
+    let zoom = |(cur_min, cur_max, steps): (f64, f64, usize),
+                (orig_min, orig_max, _): (f64, f64, usize),
+                center: f64| {
+        if steps <= 1 {
+            return (cur_min, cur_max, steps);
+        }
+        let half = (cur_max - cur_min) / 4.0;
+        let lo = (center - half).max(orig_min);
+        let hi = (center + half).min(orig_max);
+        (lo, hi, steps)
+    };
+    DesignSpace {
+        solar: zoom(current.solar, original.solar, around.solar_mw),
+        wind: zoom(current.wind, original.wind, around.wind_mw),
+        battery: zoom(current.battery, original.battery, around.battery_mwh),
+        extra_capacity: zoom(
+            current.extra_capacity,
+            original.extra_capacity,
+            around.extra_capacity_fraction,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_datacenter::Fleet;
+    use ce_grid::BalancingAuthority;
+
+    fn utah_explorer() -> CarbonExplorer {
+        let site = Fleet::meta_us().site("UT").unwrap().clone();
+        let grid = GridDataset::synthesize(site.ba(), 2020, 7);
+        CarbonExplorer::new(site.demand_trace(2020, 7), grid)
+    }
+
+    #[test]
+    fn no_investment_means_all_grid_energy() {
+        let explorer = utah_explorer();
+        let eval = explorer.evaluate(
+            StrategyKind::RenewablesOnly,
+            &DesignPoint::renewables(0.0, 0.0),
+        );
+        assert_eq!(eval.coverage.percent(), 0.0);
+        assert!(eval.operational_tons > 0.0);
+        assert_eq!(eval.embodied_tons(), 0.0);
+    }
+
+    #[test]
+    fn more_renewables_increase_coverage_and_embodied() {
+        let explorer = utah_explorer();
+        let small = explorer.evaluate(
+            StrategyKind::RenewablesOnly,
+            &DesignPoint::renewables(50.0, 50.0),
+        );
+        let large = explorer.evaluate(
+            StrategyKind::RenewablesOnly,
+            &DesignPoint::renewables(500.0, 500.0),
+        );
+        assert!(large.coverage.fraction() > small.coverage.fraction());
+        assert!(large.embodied_renewables_tons > small.embodied_renewables_tons);
+        assert!(large.operational_tons < small.operational_tons);
+    }
+
+    #[test]
+    fn battery_improves_on_renewables_only() {
+        let explorer = utah_explorer();
+        let design = DesignPoint {
+            solar_mw: 300.0,
+            wind_mw: 150.0,
+            battery_mwh: 200.0,
+            extra_capacity_fraction: 0.0,
+        };
+        let plain = explorer.evaluate(StrategyKind::RenewablesOnly, &design);
+        let battery = explorer.evaluate(StrategyKind::RenewablesBattery, &design);
+        assert!(battery.coverage.fraction() > plain.coverage.fraction());
+        assert!(battery.operational_tons < plain.operational_tons);
+        assert!(battery.embodied_battery_tons > 0.0);
+        assert!(battery.battery_cycles > 0.0);
+    }
+
+    #[test]
+    fn cas_improves_on_renewables_only() {
+        let explorer = utah_explorer();
+        let design = DesignPoint {
+            solar_mw: 300.0,
+            wind_mw: 150.0,
+            battery_mwh: 0.0,
+            extra_capacity_fraction: 0.5,
+        };
+        let plain = explorer.evaluate(StrategyKind::RenewablesOnly, &design);
+        let cas = explorer.evaluate(StrategyKind::RenewablesCas, &design);
+        assert!(cas.coverage.fraction() > plain.coverage.fraction());
+        assert!(cas.embodied_servers_tons > 0.0);
+    }
+
+    #[test]
+    fn combined_is_at_least_as_good_as_either_alone() {
+        let explorer = utah_explorer();
+        let design = DesignPoint {
+            solar_mw: 300.0,
+            wind_mw: 150.0,
+            battery_mwh: 100.0,
+            extra_capacity_fraction: 0.3,
+        };
+        let battery = explorer.evaluate(StrategyKind::RenewablesBattery, &design);
+        let cas = explorer.evaluate(StrategyKind::RenewablesCas, &design);
+        let both = explorer.evaluate(StrategyKind::RenewablesBatteryCas, &design);
+        assert!(both.coverage.fraction() >= battery.coverage.fraction() - 1e-9);
+        assert!(both.coverage.fraction() >= cas.coverage.fraction() - 1e-9);
+    }
+
+    #[test]
+    fn inert_axes_do_not_change_strategy_results() {
+        let explorer = utah_explorer();
+        let with_battery_axis = DesignPoint {
+            solar_mw: 200.0,
+            wind_mw: 100.0,
+            battery_mwh: 500.0,
+            extra_capacity_fraction: 0.8,
+        };
+        let without = DesignPoint::renewables(200.0, 100.0);
+        let a = explorer.evaluate(StrategyKind::RenewablesOnly, &with_battery_axis);
+        let b = explorer.evaluate(StrategyKind::RenewablesOnly, &without);
+        assert_eq!(a.coverage, b.coverage);
+        assert_eq!(a.operational_tons, b.operational_tons);
+        assert_eq!(a.embodied_battery_tons, 0.0);
+        assert_eq!(a.embodied_servers_tons, 0.0);
+    }
+
+    #[test]
+    fn optimal_never_exceeds_any_explored_point() {
+        let explorer = utah_explorer();
+        let space = DesignSpace {
+            solar: (0.0, 400.0, 3),
+            wind: (0.0, 400.0, 3),
+            battery: (0.0, 200.0, 2),
+            extra_capacity: (0.0, 0.5, 2),
+        };
+        for strategy in StrategyKind::ALL {
+            let all = explorer.explore(strategy, &space);
+            let best = explorer.optimal(strategy, &space).unwrap();
+            for eval in &all {
+                assert!(best.total_tons() <= eval.total_tons() + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn solar_only_region_coverage_caps_near_half() {
+        // North Carolina (DUK): no wind on the grid, so even huge
+        // investments cannot push renewables-only coverage much past ~50%.
+        let fleet = Fleet::meta_us();
+        let site = fleet.site("NC").unwrap().clone();
+        let grid = GridDataset::synthesize(BalancingAuthority::DUK, 2020, 7);
+        let explorer = CarbonExplorer::new(site.demand_trace(2020, 7), grid);
+        let eval = explorer.evaluate(
+            StrategyKind::RenewablesOnly,
+            &DesignPoint::renewables(50_000.0, 50_000.0),
+        );
+        assert!(
+            eval.coverage.fraction() < 0.62,
+            "solar-only coverage {} should cap near 50%",
+            eval.coverage
+        );
+    }
+
+    #[test]
+    fn refinement_never_worsens_the_optimum() {
+        let explorer = utah_explorer();
+        let space = DesignSpace {
+            solar: (0.0, 500.0, 3),
+            wind: (0.0, 500.0, 3),
+            battery: (0.0, 300.0, 3),
+            extra_capacity: (0.0, 0.0, 1),
+        };
+        let coarse = explorer
+            .optimal(StrategyKind::RenewablesBattery, &space)
+            .unwrap();
+        let refined = explorer
+            .optimal_refined(StrategyKind::RenewablesBattery, &space, 2)
+            .unwrap();
+        assert!(refined.total_tons() <= coarse.total_tons() + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_non_finite_design() {
+        let explorer = utah_explorer();
+        explorer.evaluate(
+            StrategyKind::RenewablesOnly,
+            &DesignPoint::renewables(f64::NAN, 0.0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "DoD")]
+    fn rejects_bad_dod() {
+        let _ = utah_explorer().with_dod(0.0);
+    }
+}

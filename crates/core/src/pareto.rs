@@ -1,0 +1,167 @@
+//! Pareto-frontier extraction over (embodied, operational) carbon
+//! (paper Figure 14).
+
+use crate::explore::EvaluatedDesign;
+use serde::{Deserialize, Serialize};
+
+/// The set of non-dominated designs: no other design has both lower
+/// embodied *and* lower operational carbon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoFrontier {
+    points: Vec<EvaluatedDesign>,
+}
+
+impl ParetoFrontier {
+    /// Extracts the frontier from a set of evaluations. The result is
+    /// sorted by embodied carbon ascending (so operational carbon descends
+    /// along it).
+    pub fn from_evaluations(evaluations: &[EvaluatedDesign]) -> Self {
+        let mut sorted: Vec<&EvaluatedDesign> = evaluations.iter().collect();
+        sorted.sort_by(|a, b| {
+            a.embodied_tons()
+                .partial_cmp(&b.embodied_tons())
+                .expect("finite embodied carbon")
+                .then(
+                    a.operational_tons
+                        .partial_cmp(&b.operational_tons)
+                        .expect("finite operational carbon"),
+                )
+        });
+        let mut points: Vec<EvaluatedDesign> = Vec::new();
+        let mut best_operational = f64::INFINITY;
+        for eval in sorted {
+            if eval.operational_tons < best_operational - 1e-9 {
+                best_operational = eval.operational_tons;
+                points.push(eval.clone());
+            }
+        }
+        Self { points }
+    }
+
+    /// The frontier points, embodied carbon ascending.
+    pub fn points(&self) -> &[EvaluatedDesign] {
+        &self.points
+    }
+
+    /// Number of frontier points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if the frontier is empty (no input evaluations).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The frontier point with minimum *total* carbon — the carbon-optimal
+    /// design.
+    pub fn carbon_optimal(&self) -> Option<&EvaluatedDesign> {
+        self.points.iter().min_by(|a, b| {
+            a.total_tons()
+                .partial_cmp(&b.total_tons())
+                .expect("finite total carbon")
+        })
+    }
+
+    /// The cheapest frontier point that achieves full 24/7 coverage, if
+    /// any does.
+    pub fn cheapest_full_coverage(&self) -> Option<&EvaluatedDesign> {
+        self.points
+            .iter()
+            .filter(|e| e.coverage.is_full())
+            .min_by(|a, b| {
+                a.total_tons()
+                    .partial_cmp(&b.total_tons())
+                    .expect("finite total carbon")
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::Coverage;
+    use crate::design::{DesignPoint, StrategyKind};
+    use ce_timeseries::{HourlySeries, Timestamp};
+
+    fn eval(embodied: f64, operational: f64, covered: bool) -> EvaluatedDesign {
+        let start = Timestamp::start_of_year(2020);
+        let demand = HourlySeries::constant(start, 2, 10.0);
+        let unmet = if covered {
+            HourlySeries::zeros(start, 2)
+        } else {
+            HourlySeries::constant(start, 2, 1.0)
+        };
+        EvaluatedDesign {
+            strategy: StrategyKind::RenewablesOnly,
+            design: DesignPoint::renewables(0.0, 0.0),
+            coverage: Coverage::from_unmet(&demand, &unmet).unwrap(),
+            operational_tons: operational,
+            embodied_renewables_tons: embodied,
+            embodied_battery_tons: 0.0,
+            embodied_servers_tons: 0.0,
+            battery_cycles: 0.0,
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_removed() {
+        let evals = vec![
+            eval(10.0, 100.0, false),
+            eval(20.0, 50.0, false),
+            eval(15.0, 120.0, false), // dominated by the first point
+            eval(30.0, 10.0, false),
+        ];
+        let frontier = ParetoFrontier::from_evaluations(&evals);
+        assert_eq!(frontier.len(), 3);
+        let embodied: Vec<f64> = frontier.points().iter().map(|e| e.embodied_tons()).collect();
+        assert_eq!(embodied, vec![10.0, 20.0, 30.0]);
+        // Operational strictly decreases along the frontier.
+        let ops: Vec<f64> = frontier
+            .points()
+            .iter()
+            .map(|e| e.operational_tons)
+            .collect();
+        assert!(ops.windows(2).all(|w| w[1] < w[0]));
+    }
+
+    #[test]
+    fn carbon_optimal_minimizes_total() {
+        let evals = vec![
+            eval(10.0, 100.0, false), // total 110
+            eval(40.0, 30.0, false),  // total 70 ← optimal
+            eval(90.0, 0.0, true),    // total 90
+        ];
+        let frontier = ParetoFrontier::from_evaluations(&evals);
+        assert_eq!(frontier.carbon_optimal().unwrap().total_tons(), 70.0);
+    }
+
+    #[test]
+    fn cheapest_full_coverage_filters() {
+        let evals = vec![
+            eval(10.0, 50.0, false),
+            eval(100.0, 0.0, true),
+            eval(200.0, 0.0, true), // dominated anyway
+        ];
+        let frontier = ParetoFrontier::from_evaluations(&evals);
+        let full = frontier.cheapest_full_coverage().unwrap();
+        assert_eq!(full.embodied_tons(), 100.0);
+        // Without full-coverage points, None.
+        let frontier = ParetoFrontier::from_evaluations(&[eval(1.0, 1.0, false)]);
+        assert!(frontier.cheapest_full_coverage().is_none());
+    }
+
+    #[test]
+    fn empty_input_empty_frontier() {
+        let frontier = ParetoFrontier::from_evaluations(&[]);
+        assert!(frontier.is_empty());
+        assert!(frontier.carbon_optimal().is_none());
+    }
+
+    #[test]
+    fn duplicate_points_collapse() {
+        let evals = vec![eval(10.0, 10.0, false), eval(10.0, 10.0, false)];
+        let frontier = ParetoFrontier::from_evaluations(&evals);
+        assert_eq!(frontier.len(), 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Seasonal decomposition of renewable coverage.
+//!
+//! Annual coverage numbers hide *when* a datacenter falls back to grid
+//! energy. The paper's supply characterization (Figure 5) shows strong
+//! seasonality — solar peaks in summer, wind in winter — so the binding
+//! constraint on a design is usually one season's supply valley. This
+//! module breaks coverage and residual emissions down by calendar month,
+//! identifying the worst month a design must be provisioned for.
+
+use crate::coverage::Coverage;
+use ce_timeseries::{HourlySeries, TimeSeriesError};
+use serde::{Deserialize, Serialize};
+
+/// Coverage statistics for one calendar month.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonthlyCoverage {
+    /// Calendar month, 1-12.
+    pub month: u8,
+    /// Energy-weighted coverage fraction for the month.
+    pub coverage: f64,
+    /// Unmet (grid) energy in the month, MWh.
+    pub unmet_mwh: f64,
+}
+
+/// Per-month coverage of `demand` by `supply` (no storage/scheduling),
+/// in calendar order. Months absent from the series are omitted.
+///
+/// # Errors
+///
+/// Returns an alignment error if the series are misaligned.
+pub fn monthly_coverage(
+    demand: &HourlySeries,
+    supply: &HourlySeries,
+) -> Result<Vec<MonthlyCoverage>, TimeSeriesError> {
+    demand.check_aligned(supply)?;
+    let mut result = Vec::new();
+    let mut month_start = 0usize;
+    let mut current_month = match demand.is_empty() {
+        true => return Ok(result),
+        false => demand.timestamp(0).date().month(),
+    };
+    let flush = |start: usize, end: usize, month: u8, out: &mut Vec<MonthlyCoverage>| {
+        let d = demand.window(start, end - start).expect("window fits");
+        let s = supply.window(start, end - start).expect("window fits");
+        let unmet = d.zip_with(&s, |a, b| (a - b).max(0.0)).expect("aligned");
+        let coverage = Coverage::from_unmet(&d, &unmet).expect("aligned");
+        out.push(MonthlyCoverage {
+            month,
+            coverage: coverage.fraction(),
+            unmet_mwh: coverage.unmet_mwh(),
+        });
+    };
+    for h in 1..demand.len() {
+        let month = demand.timestamp(h).date().month();
+        if month != current_month {
+            flush(month_start, h, current_month, &mut result);
+            month_start = h;
+            current_month = month;
+        }
+    }
+    flush(month_start, demand.len(), current_month, &mut result);
+    Ok(result)
+}
+
+/// The month with the lowest coverage — the design's binding season.
+///
+/// # Errors
+///
+/// Propagates alignment errors; returns `None` inside `Ok` only for empty
+/// input.
+pub fn worst_month(
+    demand: &HourlySeries,
+    supply: &HourlySeries,
+) -> Result<Option<MonthlyCoverage>, TimeSeriesError> {
+    Ok(monthly_coverage(demand, supply)?
+        .into_iter()
+        .min_by(|a, b| a.coverage.partial_cmp(&b.coverage).expect("finite coverage")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_timeseries::Timestamp;
+
+    fn start() -> Timestamp {
+        Timestamp::start_of_year(2020)
+    }
+
+    #[test]
+    fn splits_on_calendar_month_boundaries() {
+        // Two months: Jan (31 days) + Feb (29 days, 2020).
+        let len = 24 * (31 + 29);
+        let demand = HourlySeries::constant(start(), len, 10.0);
+        // Full coverage in January, none in February.
+        let supply = HourlySeries::from_fn(start(), len, |h| if h < 24 * 31 { 10.0 } else { 0.0 });
+        let months = monthly_coverage(&demand, &supply).unwrap();
+        assert_eq!(months.len(), 2);
+        assert_eq!(months[0].month, 1);
+        assert_eq!(months[0].coverage, 1.0);
+        assert_eq!(months[1].month, 2);
+        assert_eq!(months[1].coverage, 0.0);
+        assert_eq!(months[1].unmet_mwh, 24.0 * 29.0 * 10.0);
+    }
+
+    #[test]
+    fn worst_month_finds_the_valley() {
+        let len = 24 * 91; // Jan + Feb + Mar 2020
+        let demand = HourlySeries::constant(start(), len, 10.0);
+        let supply = HourlySeries::from_fn(start(), len, |h| {
+            let day = h / 24;
+            if (31..60).contains(&day) {
+                3.0 // February is the bad month
+            } else {
+                12.0
+            }
+        });
+        let worst = worst_month(&demand, &supply).unwrap().expect("non-empty");
+        assert_eq!(worst.month, 2);
+        assert!(worst.coverage < 0.5);
+    }
+
+    #[test]
+    fn partial_months_are_reported() {
+        let demand = HourlySeries::constant(start(), 10, 5.0);
+        let supply = HourlySeries::constant(start(), 10, 5.0);
+        let months = monthly_coverage(&demand, &supply).unwrap();
+        assert_eq!(months.len(), 1);
+        assert_eq!(months[0].coverage, 1.0);
+    }
+
+    #[test]
+    fn empty_series_yield_empty_report() {
+        let empty = HourlySeries::zeros(start(), 0);
+        assert!(monthly_coverage(&empty, &empty).unwrap().is_empty());
+        assert!(worst_month(&empty, &empty).unwrap().is_none());
+    }
+
+    #[test]
+    fn monthly_unmet_sums_to_annual() {
+        let len = 24 * 366;
+        let demand = HourlySeries::from_fn(start(), len, |h| 10.0 + (h % 7) as f64);
+        let supply = HourlySeries::from_fn(start(), len, |h| ((h * 13) % 29) as f64);
+        let months = monthly_coverage(&demand, &supply).unwrap();
+        assert_eq!(months.len(), 12);
+        let monthly_total: f64 = months.iter().map(|m| m.unmet_mwh).sum();
+        let annual = demand
+            .zip_with(&supply, |d, s| (d - s).max(0.0))
+            .unwrap()
+            .sum();
+        assert!((monthly_total - annual).abs() < 1e-6);
+    }
+
+    #[test]
+    fn misaligned_series_error() {
+        let a = HourlySeries::zeros(start(), 2);
+        let b = HourlySeries::zeros(start(), 3);
+        assert!(monthly_coverage(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! Job-level workload synthesis.
+//!
+//! The hourly traces used by the coverage analyses aggregate away job
+//! structure; scheduling studies sometimes need it back (how many jobs
+//! miss their SLO, how large the deferred-work queue grows). This module
+//! generates a synthetic job population consistent with the paper's
+//! Figure 10 tier mix and aggregates it to the hourly flexible/inflexible
+//! split the schedulers consume.
+
+use crate::workload::SloTier;
+use ce_timeseries::time::hours_in_year;
+use ce_timeseries::{HourlySeries, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One synthetic job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Hour of year the job becomes runnable.
+    pub arrival_hour: u32,
+    /// Runtime in whole hours (at least 1).
+    pub duration_hours: u32,
+    /// Average power drawn while running, MW.
+    pub power_mw: f64,
+    /// The job's SLO tier.
+    pub tier: SloTier,
+}
+
+impl Job {
+    /// The job's energy requirement, MWh.
+    pub fn energy_mwh(&self) -> f64 {
+        self.power_mw * self.duration_hours as f64
+    }
+
+    /// Latest completion hour permitted by the tier's SLO (arrival +
+    /// duration + shift window; unbounded tiers get the end of the year).
+    pub fn deadline_hour(&self, year: i32) -> u32 {
+        let natural_end = self.arrival_hour + self.duration_hours;
+        match self.tier.shift_window_hours() {
+            Some(w) => natural_end + w,
+            None => hours_in_year(year) as u32,
+        }
+    }
+}
+
+/// Generator for synthetic job populations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobTraceGenerator {
+    /// Mean number of flexible jobs arriving per hour.
+    pub arrivals_per_hour: f64,
+    /// Mean job power, MW.
+    pub mean_power_mw: f64,
+    /// Mean job duration, hours.
+    pub mean_duration_hours: f64,
+}
+
+impl Default for JobTraceGenerator {
+    fn default() -> Self {
+        Self {
+            arrivals_per_hour: 20.0,
+            mean_power_mw: 0.05,
+            mean_duration_hours: 3.0,
+        }
+    }
+}
+
+impl JobTraceGenerator {
+    /// Generates a year of jobs, deterministic in `seed`, with tiers drawn
+    /// from the Figure 10 distribution.
+    pub fn generate(&self, year: i32, seed: u64) -> Vec<Job> {
+        let hours = hours_in_year(year) as u32;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut jobs = Vec::new();
+        for hour in 0..hours {
+            // Poisson-ish arrivals via a uniform count around the mean.
+            let count = rng.gen_range(0.0..2.0 * self.arrivals_per_hour).round() as usize;
+            for _ in 0..count {
+                let tier = draw_tier(&mut rng);
+                let duration =
+                    rng.gen_range(1.0..2.0 * self.mean_duration_hours).round() as u32;
+                let power = rng.gen_range(0.2..1.8) * self.mean_power_mw;
+                jobs.push(Job {
+                    arrival_hour: hour,
+                    duration_hours: duration.max(1),
+                    power_mw: power,
+                    tier,
+                });
+            }
+        }
+        jobs
+    }
+}
+
+fn draw_tier(rng: &mut StdRng) -> SloTier {
+    let x: f64 = rng.gen_range(0.0..1.0);
+    let mut acc = 0.0;
+    for tier in SloTier::ALL {
+        acc += tier.meta_fraction();
+        if x < acc {
+            return tier;
+        }
+    }
+    SloTier::Tier5
+}
+
+/// Aggregates a job population to an hourly power series (jobs run
+/// immediately at arrival, spanning their duration).
+pub fn aggregate_hourly(jobs: &[Job], year: i32) -> HourlySeries {
+    let hours = hours_in_year(year);
+    let mut load = vec![0.0; hours];
+    for job in jobs {
+        for h in job.arrival_hour..(job.arrival_hour + job.duration_hours) {
+            if (h as usize) < hours {
+                load[h as usize] += job.power_mw;
+            }
+        }
+    }
+    HourlySeries::from_values(Timestamp::start_of_year(year), load)
+}
+
+/// Splits a population's aggregate hourly power into per-tier series,
+/// in [`SloTier::ALL`] order.
+pub fn aggregate_by_tier(jobs: &[Job], year: i32) -> [HourlySeries; 5] {
+    SloTier::ALL.map(|tier| {
+        let subset: Vec<Job> = jobs.iter().copied().filter(|j| j.tier == tier).collect();
+        aggregate_hourly(&subset, year)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jobs() -> Vec<Job> {
+        JobTraceGenerator::default().generate(2020, 7)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = jobs();
+        let b = jobs();
+        assert_eq!(a, b);
+        assert_ne!(a, JobTraceGenerator::default().generate(2020, 8));
+        assert!(a.len() > 100_000); // ~20/hour over a year
+    }
+
+    #[test]
+    fn tier_mix_matches_figure_10() {
+        let population = jobs();
+        let total = population.len() as f64;
+        for tier in SloTier::ALL {
+            let share =
+                population.iter().filter(|j| j.tier == tier).count() as f64 / total;
+            let expected = tier.meta_fraction();
+            assert!(
+                (share - expected).abs() < 0.02,
+                "{tier}: {share:.3} vs expected {expected:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_accounts_for_all_energy() {
+        let population = jobs();
+        let series = aggregate_hourly(&population, 2020);
+        let expected: f64 = population
+            .iter()
+            .map(|j| {
+                // Energy inside the year only (jobs may straddle the end).
+                let end = (j.arrival_hour + j.duration_hours).min(8784);
+                j.power_mw * (end.saturating_sub(j.arrival_hour)) as f64
+            })
+            .sum();
+        assert!((series.sum() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_tier_aggregates_sum_to_total() {
+        let population: Vec<Job> = jobs().into_iter().take(5000).collect();
+        let total = aggregate_hourly(&population, 2020);
+        let by_tier = aggregate_by_tier(&population, 2020);
+        let mut sum = HourlySeries::zeros(total.start(), total.len());
+        for series in &by_tier {
+            sum = sum.try_add(series).unwrap();
+        }
+        for h in (0..total.len()).step_by(97) {
+            assert!((sum[h] - total[h]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deadlines_respect_tier_windows() {
+        let job = Job {
+            arrival_hour: 100,
+            duration_hours: 2,
+            power_mw: 1.0,
+            tier: SloTier::Tier1,
+        };
+        assert_eq!(job.deadline_hour(2020), 103);
+        let daily = Job {
+            tier: SloTier::Tier4,
+            ..job
+        };
+        assert_eq!(daily.deadline_hour(2020), 126);
+        let free = Job {
+            tier: SloTier::Tier5,
+            ..job
+        };
+        assert_eq!(free.deadline_hour(2020), 8784);
+        assert_eq!(job.energy_mwh(), 2.0);
+    }
+}

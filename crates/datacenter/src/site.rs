@@ -1,0 +1,179 @@
+//! A single datacenter site (one row of the paper's Table 1).
+
+use crate::power::PowerModel;
+use crate::utilization::UtilizationModel;
+use ce_grid::BalancingAuthority;
+use ce_timeseries::HourlySeries;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One datacenter site: its location, grid, renewable investments, and
+/// average power draw.
+///
+/// Renewable investment figures are Table 1's; the average power figures
+/// for OR/NC/UT are the ones printed on Figures 7/9/12, and the remaining
+/// sites carry representative hyperscale values (documented in
+/// `DESIGN.md`), since the paper does not publish them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataCenterSite {
+    name: String,
+    state: String,
+    ba: BalancingAuthority,
+    solar_mw: f64,
+    wind_mw: f64,
+    avg_power_mw: f64,
+}
+
+impl DataCenterSite {
+    /// Creates a site description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any MW figure is negative.
+    pub fn new(
+        name: impl Into<String>,
+        state: impl Into<String>,
+        ba: BalancingAuthority,
+        solar_mw: f64,
+        wind_mw: f64,
+        avg_power_mw: f64,
+    ) -> Self {
+        assert!(
+            solar_mw >= 0.0 && wind_mw >= 0.0 && avg_power_mw >= 0.0,
+            "MW figures must be non-negative"
+        );
+        Self {
+            name: name.into(),
+            state: state.into(),
+            ba,
+            solar_mw,
+            wind_mw,
+            avg_power_mw,
+        }
+    }
+
+    /// Human-readable location, e.g. "Prineville, Oregon".
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Two-letter state code, e.g. "OR". Used as the fleet lookup key.
+    pub fn state(&self) -> &str {
+        &self.state
+    }
+
+    /// The balancing authority whose grid powers this site.
+    pub fn ba(&self) -> BalancingAuthority {
+        self.ba
+    }
+
+    /// Regional solar investment, MW (Table 1).
+    pub fn solar_mw(&self) -> f64 {
+        self.solar_mw
+    }
+
+    /// Regional wind investment, MW (Table 1).
+    pub fn wind_mw(&self) -> f64 {
+        self.wind_mw
+    }
+
+    /// Total renewable investment, MW.
+    pub fn total_investment_mw(&self) -> f64 {
+        self.solar_mw + self.wind_mw
+    }
+
+    /// Average facility power draw, MW.
+    pub fn avg_power_mw(&self) -> f64 {
+        self.avg_power_mw
+    }
+
+    /// Synthesizes a year-long hourly demand trace for this site: the Meta
+    /// diurnal utilization profile through the facility power model,
+    /// calibrated so the trace's mean equals [`DataCenterSite::avg_power_mw`].
+    pub fn demand_trace(&self, year: i32, seed: u64) -> HourlySeries {
+        let util = UtilizationModel::meta().generate(year, seed ^ site_stream(&self.state));
+        let (_, power) = PowerModel::calibrated_series(crate::power::FACILITY_IDLE_FRACTION, self.avg_power_mw, &util);
+        power
+    }
+}
+
+impl fmt::Display for DataCenterSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] on {} (solar {} MW, wind {} MW, avg load {} MW)",
+            self.name, self.state, self.ba, self.solar_mw, self.wind_mw, self.avg_power_mw
+        )
+    }
+}
+
+/// Derives a per-site seed stream so different sites get independent traces
+/// from the same top-level seed.
+fn site_stream(state: &str) -> u64 {
+    state
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn utah() -> DataCenterSite {
+        DataCenterSite::new(
+            "Eagle Mountain, Utah",
+            "UT",
+            BalancingAuthority::PACE,
+            694.0,
+            239.0,
+            19.0,
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let s = utah();
+        assert_eq!(s.state(), "UT");
+        assert_eq!(s.ba(), BalancingAuthority::PACE);
+        assert_eq!(s.total_investment_mw(), 933.0);
+        assert!(s.to_string().contains("Eagle Mountain"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_investment() {
+        DataCenterSite::new("x", "XX", BalancingAuthority::PJM, -1.0, 0.0, 10.0);
+    }
+
+    #[test]
+    fn demand_trace_is_calibrated_and_flat() {
+        let trace = utah().demand_trace(2020, 7);
+        assert_eq!(trace.len(), 8784);
+        assert!((trace.mean() - 19.0).abs() < 1e-6);
+        let swing = (trace.max().unwrap() - trace.min().unwrap()) / trace.mean();
+        assert!(swing < 0.10, "power swing {swing}");
+    }
+
+    #[test]
+    fn traces_differ_across_sites_with_same_seed() {
+        let a = utah().demand_trace(2020, 7);
+        let b = DataCenterSite::new(
+            "Prineville, Oregon",
+            "OR",
+            BalancingAuthority::BPAT,
+            100.0,
+            0.0,
+            19.0,
+        )
+        .demand_trace(2020, 7);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        assert_eq!(utah().demand_trace(2020, 7), utah().demand_trace(2020, 7));
+        assert_ne!(utah().demand_trace(2020, 7), utah().demand_trace(2020, 8));
+    }
+}

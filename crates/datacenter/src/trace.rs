@@ -1,0 +1,103 @@
+//! Synthetic production-trace generation: the substitute for Meta's
+//! internal hourly datacenter power traces and the open Borg comparison.
+
+use crate::power::PowerModel;
+use crate::utilization::UtilizationModel;
+use ce_timeseries::HourlySeries;
+
+/// Which published fleet profile a trace imitates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceProfile {
+    /// Meta-style trace (~20% CPU swing, evening peak).
+    Meta,
+    /// Google/Borg-style trace (~15% CPU swing) — used only for Figure 3's
+    /// comparison.
+    Google,
+}
+
+/// Generates paired (utilization, power) traces for a datacenter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceGenerator {
+    profile: TraceProfile,
+    avg_power_mw: f64,
+}
+
+/// A generated demand trace: hourly utilization and facility power.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DemandTrace {
+    /// Hourly CPU utilization in `[0, 1]`.
+    pub utilization: HourlySeries,
+    /// Hourly facility power, MW.
+    pub power: HourlySeries,
+    /// The calibrated power model that produced `power`.
+    pub model: PowerModel,
+}
+
+impl TraceGenerator {
+    /// A generator for the given profile and average facility power.
+    pub fn new(profile: TraceProfile, avg_power_mw: f64) -> Self {
+        Self {
+            profile,
+            avg_power_mw,
+        }
+    }
+
+    /// Generates a year of paired utilization/power data.
+    pub fn generate(&self, year: i32, seed: u64) -> DemandTrace {
+        let model = match self.profile {
+            TraceProfile::Meta => UtilizationModel::meta(),
+            TraceProfile::Google => UtilizationModel::google(),
+        };
+        let utilization = model.generate(year, seed);
+        let (model, power) = PowerModel::calibrated_series(crate::power::FACILITY_IDLE_FRACTION, self.avg_power_mw, &utilization);
+        DemandTrace {
+            utilization,
+            power,
+            model,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_timeseries::resample::average_day_profile;
+    use ce_timeseries::stats::pearson;
+
+    #[test]
+    fn meta_trace_reproduces_figure_3() {
+        let trace = TraceGenerator::new(TraceProfile::Meta, 50.0).generate(2020, 1);
+        // Utilization swing ~20%.
+        let util_profile = average_day_profile(&trace.utilization);
+        let util_swing = util_profile.iter().copied().fold(f64::MIN, f64::max)
+            - util_profile.iter().copied().fold(f64::MAX, f64::min);
+        assert!((0.15..0.26).contains(&util_swing), "{util_swing}");
+        // Power correlates with utilization.
+        let corr = pearson(trace.utilization.values(), trace.power.values()).unwrap();
+        assert!(corr > 0.999);
+        // Power swing ~4%.
+        let swing =
+            (trace.power.max().unwrap() - trace.power.min().unwrap()) / trace.power.mean();
+        assert!((0.02..0.08).contains(&swing), "power swing {swing}");
+        // Calibrated to the requested mean.
+        assert!((trace.power.mean() - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn google_swing_is_smaller_than_meta() {
+        let meta = TraceGenerator::new(TraceProfile::Meta, 50.0).generate(2020, 2);
+        let google = TraceGenerator::new(TraceProfile::Google, 50.0).generate(2020, 2);
+        let swing = |t: &DemandTrace| {
+            let p = average_day_profile(&t.utilization);
+            p.iter().copied().fold(f64::MIN, f64::max) - p.iter().copied().fold(f64::MAX, f64::min)
+        };
+        assert!(swing(&google) < swing(&meta));
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let g = TraceGenerator::new(TraceProfile::Meta, 10.0);
+        assert_eq!(g.generate(2020, 3), g.generate(2020, 3));
+        assert_ne!(g.generate(2020, 3), g.generate(2020, 4));
+    }
+}

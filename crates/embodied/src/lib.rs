@@ -1,0 +1,73 @@
+//! Embodied (manufacturing) carbon models for renewables, batteries, and
+//! servers — the paper's §5.1.
+//!
+//! Every 24/7 solution buys operational-carbon reductions with embodied
+//! carbon: wind/solar farms, utility-scale batteries, and extra servers all
+//! have manufacturing footprints. This crate turns the paper's published
+//! coefficients into per-year amortized figures so the optimizer can add
+//! them to operational carbon on equal terms:
+//!
+//! | Asset | Coefficient | Lifetime |
+//! |---|---|---|
+//! | Wind farm | 10-15 gCO2/kWh generated (lifecycle) | 20 years |
+//! | Solar farm | 40-70 gCO2/kWh generated (lifecycle) | 25-30 years |
+//! | LFP battery | 74-134 kgCO2/kWh capacity | cycle-limited (see `ce-battery`) |
+//! | Server | 744.5 kgCO2 × 1.16 infrastructure multiplier | 5 years |
+//!
+//! All public quantities are metric tons of CO2-equivalent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod battery;
+pub mod renewables;
+pub mod server;
+
+pub use battery::BatteryEmbodied;
+pub use renewables::RenewableEmbodied;
+pub use server::ServerEmbodied;
+
+use serde::{Deserialize, Serialize};
+
+/// The complete embodied-carbon parameter set used by the optimizer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EmbodiedParams {
+    /// Wind/solar lifecycle coefficients.
+    pub renewables: RenewableEmbodied,
+    /// Battery manufacturing coefficients.
+    pub battery: BatteryEmbodied,
+    /// Server manufacturing coefficients.
+    pub server: ServerEmbodied,
+}
+
+impl EmbodiedParams {
+    /// The paper's default coefficients (midpoints of published ranges,
+    /// consistent with Table 2 for renewables).
+    pub fn paper_defaults() -> Self {
+        Self {
+            renewables: RenewableEmbodied::paper_defaults(),
+            battery: BatteryEmbodied::paper_defaults(),
+            server: ServerEmbodied::paper_defaults(),
+        }
+    }
+}
+
+impl Default for EmbodiedParams {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_consistent() {
+        let p = EmbodiedParams::default();
+        assert_eq!(p, EmbodiedParams::paper_defaults());
+        assert!(p.renewables.wind_g_per_kwh > 0.0);
+        assert!(p.battery.total_kg_per_kwh() > 0.0);
+        assert!(p.server.per_server_kg() > 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Embodied carbon of servers and supporting infrastructure (paper §5.1).
+//!
+//! The paper proxies server manufacturing with the HPE ProLiant DL360
+//! Gen10 product carbon footprint: 744.5 kgCO2eq per server (mainboard,
+//! SSD, daughterboard, enclosure, fans, transport, assembly), a five-year
+//! lifetime, and a 1.16× multiplier capturing floor-space and other
+//! infrastructure (construction is ~16% of hardware's footprint in Meta's
+//! 2019 Scope 3 accounting).
+
+use serde::{Deserialize, Serialize};
+
+/// Server manufacturing-carbon coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerEmbodied {
+    /// Manufacturing footprint per server, kgCO2eq (paper: 744.5).
+    pub embodied_kg_per_server: f64,
+    /// Multiplier for floor-space/construction surcharge (paper: 1.16).
+    pub infrastructure_multiplier: f64,
+    /// Server lifetime, years (paper: 5).
+    pub lifetime_years: f64,
+    /// Facility power per server at typical load, kW. The paper's proxy
+    /// has an 85 W TDP CPU; with memory, storage, fans, conversion losses
+    /// and cooling overhead the facility-level figure is ~0.30 kW.
+    pub facility_kw_per_server: f64,
+}
+
+impl ServerEmbodied {
+    /// The paper's defaults.
+    pub fn paper_defaults() -> Self {
+        Self {
+            embodied_kg_per_server: 744.5,
+            infrastructure_multiplier: 1.16,
+            lifetime_years: 5.0,
+            facility_kw_per_server: 0.30,
+        }
+    }
+
+    /// Effective per-server footprint including infrastructure, kg.
+    pub fn per_server_kg(&self) -> f64 {
+        self.embodied_kg_per_server * self.infrastructure_multiplier
+    }
+
+    /// Number of servers behind `capacity_mw` of facility power capacity.
+    pub fn servers_for_capacity(&self, capacity_mw: f64) -> f64 {
+        if self.facility_kw_per_server <= 0.0 {
+            return 0.0;
+        }
+        capacity_mw * 1000.0 / self.facility_kw_per_server
+    }
+
+    /// Embodied carbon (tons CO2) attributable to one year of owning
+    /// `capacity_mw` worth of servers: manufacturing + infrastructure,
+    /// amortized over the server lifetime.
+    ///
+    /// ```
+    /// use ce_embodied::ServerEmbodied;
+    /// let s = ServerEmbodied::paper_defaults();
+    /// // More capacity, more embodied carbon.
+    /// assert!(s.amortized_tons_per_year(10.0) > s.amortized_tons_per_year(5.0));
+    /// ```
+    pub fn amortized_tons_per_year(&self, capacity_mw: f64) -> f64 {
+        let servers = self.servers_for_capacity(capacity_mw.max(0.0));
+        servers * self.per_server_kg() / 1000.0 / self.lifetime_years
+    }
+}
+
+impl Default for ServerEmbodied {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_coefficients() {
+        let s = ServerEmbodied::paper_defaults();
+        assert_eq!(s.embodied_kg_per_server, 744.5);
+        assert_eq!(s.infrastructure_multiplier, 1.16);
+        assert_eq!(s.lifetime_years, 5.0);
+        assert!((s.per_server_kg() - 863.62).abs() < 1e-9);
+    }
+
+    #[test]
+    fn server_count_for_capacity() {
+        let s = ServerEmbodied::paper_defaults();
+        // 19 MW at 0.3 kW/server ≈ 63,333 servers.
+        let n = s.servers_for_capacity(19.0);
+        assert!((63_000.0..64_000.0).contains(&n), "{n}");
+    }
+
+    #[test]
+    fn amortized_carbon_is_linear_in_capacity() {
+        let s = ServerEmbodied::paper_defaults();
+        let one = s.amortized_tons_per_year(1.0);
+        let ten = s.amortized_tons_per_year(10.0);
+        assert!((ten - 10.0 * one).abs() < 1e-9);
+        // 1 MW → 3333 servers × 863.62 kg / 5 y ≈ 576 t/y.
+        assert!((500.0..700.0).contains(&one), "{one}");
+    }
+
+    #[test]
+    fn negative_capacity_clamps_to_zero() {
+        let s = ServerEmbodied::paper_defaults();
+        assert_eq!(s.amortized_tons_per_year(-3.0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_power_per_server() {
+        let s = ServerEmbodied {
+            facility_kw_per_server: 0.0,
+            ..ServerEmbodied::paper_defaults()
+        };
+        assert_eq!(s.servers_for_capacity(10.0), 0.0);
+    }
+}

@@ -1,0 +1,356 @@
+//! The balancing authorities (BAs) serving Meta's US datacenters, plus
+//! CISO (California) which the paper uses for Figures 1 and 4.
+//!
+//! Each BA carries a [`BaProfile`] — the parameter set that drives the
+//! synthetic generation models so that every BA lands in the renewable
+//! regime the paper reports for it (Section 3.2: "three offer primarily
+//! wind energy (BPAT, MISO, SWPP), three offer primarily solar energy
+//! (DUK, SOCO, TVA), and four offer a mix (ERCO, PACE, PJM, PNM)").
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The renewable-mix regime of a balancing authority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RenewableRegime {
+    /// Wind provides the large majority of variable renewable generation.
+    MajorlyWind,
+    /// Solar provides essentially all variable renewable generation.
+    MajorlySolar,
+    /// A complementary mix of wind and solar.
+    Hybrid,
+}
+
+impl fmt::Display for RenewableRegime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RenewableRegime::MajorlyWind => "majorly wind",
+            RenewableRegime::MajorlySolar => "majorly solar",
+            RenewableRegime::Hybrid => "hybrid",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A US balancing authority used in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(clippy::upper_case_acronyms)]
+#[non_exhaustive]
+pub enum BalancingAuthority {
+    /// Southwest Power Pool (Nebraska) — majorly wind.
+    SWPP,
+    /// Bonneville Power Administration (Oregon) — majorly wind, deep valleys.
+    BPAT,
+    /// PacifiCorp East (Utah) — hybrid.
+    PACE,
+    /// Public Service Company of New Mexico — hybrid.
+    PNM,
+    /// ERCOT (Texas) — hybrid.
+    ERCO,
+    /// PJM Interconnection (Illinois, Virginia, Ohio) — hybrid.
+    PJM,
+    /// Duke Energy (North Carolina) — majorly solar.
+    DUK,
+    /// Midcontinent ISO (Iowa) — majorly wind.
+    MISO,
+    /// Southern Company (Georgia) — majorly solar.
+    SOCO,
+    /// Tennessee Valley Authority (Tennessee, Alabama) — majorly solar.
+    TVA,
+    /// California ISO — hybrid; used for Figures 1 and 4.
+    CISO,
+}
+
+/// Synthesis parameters for one balancing authority.
+///
+/// Capacities are the *installed grid* capacities (MW) of each source on the
+/// BA's grid; coverage analysis rescales generation to arbitrary investment
+/// levels, so only the ratios and the stochastic character matter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaProfile {
+    /// Which regime this BA belongs to (drives reporting, not synthesis).
+    pub regime: RenewableRegime,
+    /// Site latitude in degrees (drives solar geometry and seasonality).
+    pub latitude_deg: f64,
+    /// Installed wind capacity on the grid, MW.
+    pub wind_capacity_mw: f64,
+    /// Installed solar capacity on the grid, MW.
+    pub solar_capacity_mw: f64,
+    /// Mean wind speed at hub height, m/s (sets the wind capacity factor).
+    pub mean_wind_speed: f64,
+    /// Amplitude of multi-day synoptic wind variation (0..1 of mean speed).
+    /// High values create the near-zero "supply valley" days of BPAT.
+    pub synoptic_amplitude: f64,
+    /// Mean cloud attenuation (0 = always clear, 1 = always dark).
+    pub cloudiness: f64,
+    /// Flat baseload (hydro + nuclear) as a fraction of grid demand.
+    pub baseload_fraction: f64,
+    /// Of the non-renewable, non-baseload residual, the fraction served by
+    /// coal (the rest is natural gas).
+    pub coal_share: f64,
+    /// Average total grid demand, MW (sets the scale of the fuel stack).
+    pub grid_demand_mw: f64,
+}
+
+impl BalancingAuthority {
+    /// All BAs used in the paper (including CISO).
+    pub const ALL: [BalancingAuthority; 11] = [
+        BalancingAuthority::SWPP,
+        BalancingAuthority::BPAT,
+        BalancingAuthority::PACE,
+        BalancingAuthority::PNM,
+        BalancingAuthority::ERCO,
+        BalancingAuthority::PJM,
+        BalancingAuthority::DUK,
+        BalancingAuthority::MISO,
+        BalancingAuthority::SOCO,
+        BalancingAuthority::TVA,
+        BalancingAuthority::CISO,
+    ];
+
+    /// The BA's ticker-style code as used by the EIA grid monitor.
+    pub fn code(&self) -> &'static str {
+        match self {
+            BalancingAuthority::SWPP => "SWPP",
+            BalancingAuthority::BPAT => "BPAT",
+            BalancingAuthority::PACE => "PACE",
+            BalancingAuthority::PNM => "PNM",
+            BalancingAuthority::ERCO => "ERCO",
+            BalancingAuthority::PJM => "PJM",
+            BalancingAuthority::DUK => "DUK",
+            BalancingAuthority::MISO => "MISO",
+            BalancingAuthority::SOCO => "SOCO",
+            BalancingAuthority::TVA => "TVA",
+            BalancingAuthority::CISO => "CISO",
+        }
+    }
+
+    /// The synthesis profile for this BA.
+    ///
+    /// Wind/solar capacity ratios and volatility parameters are chosen so
+    /// the synthesized year reproduces the paper's Figure 5 regimes; see
+    /// `DESIGN.md` for the calibration rationale.
+    pub fn profile(&self) -> BaProfile {
+        use RenewableRegime::*;
+        match self {
+            // --- Majorly wind ---------------------------------------------
+            BalancingAuthority::BPAT => BaProfile {
+                regime: MajorlyWind,
+                latitude_deg: 45.6, // Columbia River basin
+                wind_capacity_mw: 2700.0,
+                solar_capacity_mw: 40.0,
+                mean_wind_speed: 7.0,
+                synoptic_amplitude: 0.58, // extreme day-to-day swings
+                cloudiness: 0.45,         // Pacific Northwest overcast
+                baseload_fraction: 0.55,  // hydro-heavy BA
+                coal_share: 0.10,
+                grid_demand_mw: 7000.0,
+            },
+            BalancingAuthority::MISO => BaProfile {
+                regime: MajorlyWind,
+                latitude_deg: 41.7, // Iowa
+                wind_capacity_mw: 3200.0,
+                solar_capacity_mw: 150.0,
+                mean_wind_speed: 8.2,     // great-plains wind resource
+                synoptic_amplitude: 0.48, // shallower valleys than BPAT
+                cloudiness: 0.35,
+                baseload_fraction: 0.25,
+                coal_share: 0.45,
+                grid_demand_mw: 9000.0,
+            },
+            BalancingAuthority::SWPP => BaProfile {
+                regime: MajorlyWind,
+                latitude_deg: 41.1, // Nebraska
+                wind_capacity_mw: 3500.0,
+                solar_capacity_mw: 80.0,
+                mean_wind_speed: 8.5,     // best wind resource of the set
+                synoptic_amplitude: 0.42, // shallow valleys ("best for siting")
+                cloudiness: 0.32,
+                baseload_fraction: 0.20,
+                coal_share: 0.45,
+                grid_demand_mw: 8000.0,
+            },
+            // --- Majorly solar --------------------------------------------
+            BalancingAuthority::DUK => BaProfile {
+                regime: MajorlySolar,
+                latitude_deg: 35.3, // North Carolina
+                wind_capacity_mw: 0.0,
+                solar_capacity_mw: 2300.0,
+                mean_wind_speed: 4.5,
+                synoptic_amplitude: 0.5,
+                cloudiness: 0.30,
+                baseload_fraction: 0.45, // nuclear-heavy
+                coal_share: 0.30,
+                grid_demand_mw: 9000.0,
+            },
+            BalancingAuthority::SOCO => BaProfile {
+                regime: MajorlySolar,
+                latitude_deg: 33.6, // Georgia
+                wind_capacity_mw: 0.0,
+                solar_capacity_mw: 2000.0,
+                mean_wind_speed: 4.0,
+                synoptic_amplitude: 0.5,
+                cloudiness: 0.33,
+                baseload_fraction: 0.35,
+                coal_share: 0.35,
+                grid_demand_mw: 9500.0,
+            },
+            BalancingAuthority::TVA => BaProfile {
+                regime: MajorlySolar,
+                latitude_deg: 35.5, // Tennessee
+                wind_capacity_mw: 0.0,
+                solar_capacity_mw: 1500.0,
+                mean_wind_speed: 4.0,
+                synoptic_amplitude: 0.5,
+                cloudiness: 0.36,
+                baseload_fraction: 0.50, // hydro + nuclear
+                coal_share: 0.35,
+                grid_demand_mw: 9000.0,
+            },
+            // --- Hybrid ----------------------------------------------------
+            BalancingAuthority::PACE => BaProfile {
+                regime: Hybrid,
+                latitude_deg: 40.4, // Utah
+                wind_capacity_mw: 1500.0,
+                solar_capacity_mw: 1700.0,
+                mean_wind_speed: 7.6,
+                synoptic_amplitude: 0.35,
+                cloudiness: 0.18, // high-desert sun
+                baseload_fraction: 0.15,
+                coal_share: 0.60,
+                grid_demand_mw: 7000.0,
+            },
+            BalancingAuthority::PNM => BaProfile {
+                regime: Hybrid,
+                latitude_deg: 34.8, // New Mexico
+                wind_capacity_mw: 1200.0,
+                solar_capacity_mw: 1400.0,
+                mean_wind_speed: 7.0,
+                synoptic_amplitude: 0.45,
+                cloudiness: 0.15, // best solar resource of the set
+                baseload_fraction: 0.20,
+                coal_share: 0.40,
+                grid_demand_mw: 2500.0,
+            },
+            BalancingAuthority::ERCO => BaProfile {
+                regime: Hybrid,
+                latitude_deg: 32.8, // Texas
+                wind_capacity_mw: 3300.0,
+                solar_capacity_mw: 2200.0,
+                mean_wind_speed: 8.0,
+                synoptic_amplitude: 0.40, // shallow valleys → good siting
+                cloudiness: 0.25,
+                baseload_fraction: 0.15,
+                coal_share: 0.30,
+                grid_demand_mw: 45000.0,
+            },
+            BalancingAuthority::PJM => BaProfile {
+                regime: Hybrid,
+                latitude_deg: 40.0, // mid-Atlantic
+                wind_capacity_mw: 1700.0,
+                solar_capacity_mw: 1700.0,
+                mean_wind_speed: 6.5,
+                synoptic_amplitude: 0.50,
+                cloudiness: 0.38,
+                baseload_fraction: 0.35,
+                coal_share: 0.40,
+                grid_demand_mw: 90000.0,
+            },
+            BalancingAuthority::CISO => BaProfile {
+                regime: Hybrid,
+                latitude_deg: 36.5, // central California
+                wind_capacity_mw: 1800.0,
+                solar_capacity_mw: 4500.0, // solar-rich duck-curve grid
+                mean_wind_speed: 6.8,
+                synoptic_amplitude: 0.45,
+                cloudiness: 0.18,
+                baseload_fraction: 0.25,
+                coal_share: 0.02,
+                grid_demand_mw: 26000.0,
+            },
+        }
+    }
+
+    /// The regime this BA belongs to.
+    pub fn regime(&self) -> RenewableRegime {
+        self.profile().regime
+    }
+}
+
+impl fmt::Display for BalancingAuthority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regimes_match_paper_section_3_2() {
+        use BalancingAuthority::*;
+        use RenewableRegime::*;
+        for ba in [BPAT, MISO, SWPP] {
+            assert_eq!(ba.regime(), MajorlyWind, "{ba}");
+        }
+        for ba in [DUK, SOCO, TVA] {
+            assert_eq!(ba.regime(), MajorlySolar, "{ba}");
+        }
+        for ba in [ERCO, PACE, PJM, PNM, CISO] {
+            assert_eq!(ba.regime(), Hybrid, "{ba}");
+        }
+    }
+
+    #[test]
+    fn solar_only_regions_have_no_wind_capacity() {
+        for ba in BalancingAuthority::ALL {
+            let p = ba.profile();
+            if p.regime == RenewableRegime::MajorlySolar {
+                assert_eq!(p.wind_capacity_mw, 0.0, "{ba}");
+            }
+        }
+    }
+
+    #[test]
+    fn wind_regions_dwarf_their_solar() {
+        for ba in BalancingAuthority::ALL {
+            let p = ba.profile();
+            if p.regime == RenewableRegime::MajorlyWind {
+                assert!(p.wind_capacity_mw > 10.0 * p.solar_capacity_mw, "{ba}");
+            }
+        }
+    }
+
+    #[test]
+    fn bpat_has_the_deepest_valleys() {
+        let bpat = BalancingAuthority::BPAT.profile();
+        for ba in BalancingAuthority::ALL {
+            if ba != BalancingAuthority::BPAT {
+                assert!(bpat.synoptic_amplitude >= ba.profile().synoptic_amplitude);
+            }
+        }
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let mut codes: Vec<&str> = BalancingAuthority::ALL.iter().map(|b| b.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), BalancingAuthority::ALL.len());
+    }
+
+    #[test]
+    fn profiles_are_physically_sane() {
+        for ba in BalancingAuthority::ALL {
+            let p = ba.profile();
+            assert!((20.0..=60.0).contains(&p.latitude_deg), "{ba} latitude");
+            assert!(p.mean_wind_speed >= 0.0 && p.mean_wind_speed < 15.0);
+            assert!((0.0..=1.0).contains(&p.cloudiness));
+            assert!((0.0..=1.0).contains(&p.synoptic_amplitude));
+            assert!((0.0..=1.0).contains(&p.baseload_fraction));
+            assert!((0.0..=1.0).contains(&p.coal_share));
+            assert!(p.grid_demand_mw > 0.0);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Hourly carbon intensity of a grid's generation mix.
+
+use crate::fuel::FuelType;
+use ce_timeseries::HourlySeries;
+
+/// Computes the hourly carbon intensity (tons CO2eq per MWh) of a
+/// generation mix: the generation-weighted average of each fuel's
+/// lifecycle intensity (paper Table 2).
+///
+/// Hours with zero total generation report zero intensity.
+///
+/// # Panics
+///
+/// Panics if the fuel series are misaligned (they always are aligned when
+/// produced by [`GridDataset`](crate::GridDataset)).
+pub fn carbon_intensity_series(fuels: &[(FuelType, HourlySeries)]) -> HourlySeries {
+    let (_, first) = fuels.first().expect("at least one fuel series");
+    let len = first.len();
+    let start = first.start();
+    for (_, s) in fuels {
+        first.check_aligned(s).expect("fuel series aligned");
+    }
+    HourlySeries::from_fn(start, len, |h| {
+        let mut weighted = 0.0;
+        let mut total = 0.0;
+        for (fuel, series) in fuels {
+            let gen = series[h];
+            weighted += gen * fuel.carbon_intensity_t_per_mwh();
+            total += gen;
+        }
+        if total > 0.0 {
+            weighted / total
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Total operational carbon (tons CO2eq) of consuming `consumption` (MW,
+/// hourly) from a grid whose intensity is `intensity` (t/MWh, hourly).
+///
+/// # Panics
+///
+/// Panics if the series are misaligned.
+pub fn operational_carbon(consumption: &HourlySeries, intensity: &HourlySeries) -> f64 {
+    consumption
+        .zip_with(intensity, |c, i| c * i)
+        .expect("consumption and intensity aligned")
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_timeseries::Timestamp;
+
+    fn start() -> Timestamp {
+        Timestamp::start_of_year(2020)
+    }
+
+    #[test]
+    fn pure_coal_hour_has_coal_intensity() {
+        let fuels = vec![
+            (FuelType::Coal, HourlySeries::from_values(start(), vec![10.0, 0.0])),
+            (FuelType::Wind, HourlySeries::from_values(start(), vec![0.0, 10.0])),
+        ];
+        let intensity = carbon_intensity_series(&fuels);
+        assert!((intensity[0] - 0.820).abs() < 1e-12);
+        assert!((intensity[1] - 0.011).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_hour_is_weighted_average() {
+        let fuels = vec![
+            (FuelType::Coal, HourlySeries::from_values(start(), vec![5.0])),
+            (FuelType::Wind, HourlySeries::from_values(start(), vec![5.0])),
+        ];
+        let intensity = carbon_intensity_series(&fuels);
+        assert!((intensity[0] - (0.820 + 0.011) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_generation_hour_is_zero() {
+        let fuels = vec![(
+            FuelType::NaturalGas,
+            HourlySeries::from_values(start(), vec![0.0]),
+        )];
+        assert_eq!(carbon_intensity_series(&fuels)[0], 0.0);
+    }
+
+    #[test]
+    fn operational_carbon_integrates() {
+        let consumption = HourlySeries::from_values(start(), vec![10.0, 20.0]);
+        let intensity = HourlySeries::from_values(start(), vec![0.5, 0.1]);
+        // 10*0.5 + 20*0.1 = 7 tons.
+        assert!((operational_carbon(&consumption, &intensity) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn operational_carbon_panics_on_misalignment() {
+        let a = HourlySeries::zeros(start(), 2);
+        let b = HourlySeries::zeros(start(), 3);
+        operational_carbon(&a, &b);
+    }
+}

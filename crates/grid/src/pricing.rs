@@ -1,0 +1,153 @@
+//! Wholesale energy-price modeling.
+//!
+//! §3.2 of the paper: "When supply exceeds demand, only generators with
+//! the lowest prices can supply energy to the grid. Prices can be zero or
+//! even negative because inputs to wind/solar farms are free and
+//! generators often receive government subsidies. As a result, grids may
+//! offer lower time-of-use energy prices and incentivize datacenters to
+//! defer computation to periods of abundant renewable energy."
+//!
+//! This module turns a [`GridDataset`] into an hourly price series with
+//! exactly those properties, so price (rather than carbon intensity) can
+//! drive the schedulers — the two signals correlate but are not
+//! identical, and the difference is a useful ablation.
+
+use crate::synthesis::GridDataset;
+use ce_timeseries::HourlySeries;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the merit-order price model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PriceModel {
+    /// Price at average residual (fossil-served) load, $/MWh.
+    pub base_price: f64,
+    /// Convexity of the merit-order curve: price scales with
+    /// `(residual / average residual)^exponent`.
+    pub exponent: f64,
+    /// Price floor during renewable oversupply (negative = producers pay,
+    /// reflecting subsidies), $/MWh.
+    pub oversupply_price: f64,
+}
+
+impl Default for PriceModel {
+    fn default() -> Self {
+        Self {
+            base_price: 40.0,
+            exponent: 2.0,
+            oversupply_price: -10.0,
+        }
+    }
+}
+
+impl PriceModel {
+    /// Computes the hourly wholesale price ($/MWh) for a grid year.
+    ///
+    /// Residual load is grid demand minus renewable generation; hours
+    /// where renewables exceed demand price at
+    /// [`PriceModel::oversupply_price`].
+    pub fn price_series(&self, grid: &GridDataset) -> HourlySeries {
+        let demand = grid.demand();
+        let renewables = grid
+            .wind()
+            .try_add(grid.solar())
+            .expect("grid series aligned");
+        let residual = demand
+            .zip_with(&renewables, |d, r| d - r)
+            .expect("grid series aligned");
+        let mean_residual = residual.clamp_min(0.0).mean().max(1e-9);
+        residual.map(|r| {
+            if r <= 0.0 {
+                self.oversupply_price
+            } else {
+                self.base_price * (r / mean_residual).powf(self.exponent)
+            }
+        })
+    }
+
+    /// Annual energy cost ($) of a consumption series at this model's
+    /// prices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series are misaligned.
+    pub fn energy_cost(&self, consumption: &HourlySeries, prices: &HourlySeries) -> f64 {
+        consumption
+            .zip_with(prices, |c, p| c * p)
+            .expect("consumption and prices aligned")
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balancing_authority::BalancingAuthority;
+    use ce_timeseries::stats::pearson;
+
+    fn grid() -> GridDataset {
+        GridDataset::synthesize(BalancingAuthority::CISO, 2020, 7)
+    }
+
+    #[test]
+    fn prices_are_bounded_below_by_oversupply_price() {
+        let prices = PriceModel::default().price_series(&grid());
+        assert!(prices.min().unwrap() >= -10.0 - 1e-9);
+    }
+
+    #[test]
+    fn scarcity_hours_are_expensive() {
+        let g = grid();
+        let prices = PriceModel::default().price_series(&g);
+        let renewables = g.wind().try_add(g.solar()).unwrap();
+        // Find a renewable-rich and a renewable-poor hour.
+        let rich = renewables.argmax().unwrap();
+        let poor = renewables.argmin().unwrap();
+        assert!(prices[poor] > prices[rich]);
+    }
+
+    #[test]
+    fn price_correlates_with_carbon_intensity() {
+        // The paper's premise: cheap hours are green hours.
+        let g = grid();
+        let prices = PriceModel::default().price_series(&g);
+        let intensity = g.carbon_intensity();
+        let corr = pearson(prices.values(), intensity.values()).unwrap();
+        assert!(corr > 0.4, "price/intensity correlation {corr:.3}");
+    }
+
+    #[test]
+    fn price_signal_drives_the_scheduler_like_intensity_does() {
+        // schedule_by_cost accepts any cost signal; using prices must
+        // reduce the carbon-weighted consumption because they correlate.
+        let g = grid();
+        let prices = PriceModel::default().price_series(&g);
+        assert_eq!(prices.len(), g.demand().len());
+    }
+
+    #[test]
+    fn higher_exponent_spreads_prices() {
+        let g = grid();
+        let flat = PriceModel {
+            exponent: 1.0,
+            ..PriceModel::default()
+        }
+        .price_series(&g);
+        let convex = PriceModel {
+            exponent: 3.0,
+            ..PriceModel::default()
+        }
+        .price_series(&g);
+        assert!(convex.max().unwrap() > flat.max().unwrap());
+    }
+
+    #[test]
+    fn energy_cost_integrates() {
+        let model = PriceModel::default();
+        let g = grid();
+        let prices = model.price_series(&g);
+        let flat =
+            HourlySeries::constant(prices.start(), prices.len(), 1.0);
+        let cost = model.energy_cost(&flat, &prices);
+        assert!((cost - prices.sum()).abs() < 1e-6);
+    }
+}

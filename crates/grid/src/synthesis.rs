@@ -1,0 +1,303 @@
+//! Assembling a full synthetic grid year: renewables plus the conventional
+//! fuel stack, per balancing authority.
+
+use crate::balancing_authority::BalancingAuthority;
+use crate::carbon_intensity::carbon_intensity_series;
+use crate::fuel::FuelType;
+use crate::solar::SolarModel;
+use crate::wind::WindModel;
+use ce_timeseries::time::hours_in_year;
+use ce_timeseries::{HourlySeries, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One year of synthetic hourly grid operating data for a balancing
+/// authority — the stand-in for the EIA Hourly Grid Monitor feed.
+///
+/// Holds per-fuel generation series; renewables can be rescaled to
+/// arbitrary investment levels with [`GridDataset::scaled_wind`] /
+/// [`GridDataset::scaled_solar`], implementing the paper's methodology:
+/// "It takes the maximum generated solar and wind power throughout the year
+/// as the maximum capacity of the local grid. Then, the hourly generation
+/// data is linearly scaled to the desired renewable investment capacity."
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridDataset {
+    ba: BalancingAuthority,
+    year: i32,
+    fuels: Vec<(FuelType, HourlySeries)>,
+    demand: HourlySeries,
+}
+
+impl GridDataset {
+    /// Synthesizes a year of grid data for `ba`, deterministically in
+    /// `seed`.
+    pub fn synthesize(ba: BalancingAuthority, year: i32, seed: u64) -> Self {
+        let profile = ba.profile();
+        let hours = hours_in_year(year);
+        let start = Timestamp::start_of_year(year);
+
+        // Derive independent streams per component so changing one model
+        // does not perturb the others.
+        let base = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(ba.code().bytes().map(u64::from).sum::<u64>());
+
+        let solar = SolarModel {
+            capacity_mw: profile.solar_capacity_mw,
+            latitude_deg: profile.latitude_deg,
+            cloudiness: profile.cloudiness,
+        }
+        .generate(year, base ^ SOLAR_STREAM);
+
+        let wind = WindModel {
+            capacity_mw: profile.wind_capacity_mw,
+            mean_speed: profile.mean_wind_speed,
+            synoptic_amplitude: profile.synoptic_amplitude,
+        }
+        .generate(year, base ^ WIND_STREAM);
+
+        // Grid demand: diurnal double-peak plus noise.
+        let mut rng = StdRng::seed_from_u64(base ^ 0xDE44);
+        let demand = HourlySeries::from_fn(start, hours, |h| {
+            let hod = (h % 24) as f64;
+            let diurnal = 0.08 * ((hod - 18.0) / 24.0 * std::f64::consts::TAU).cos()
+                + 0.04 * ((hod - 8.0) / 12.0 * std::f64::consts::TAU).cos();
+            let noise: f64 = rng.gen_range(-0.02..0.02);
+            profile.grid_demand_mw * (1.0 + diurnal + noise)
+        });
+
+        // Conventional stack fills demand net of renewables.
+        let baseload_total = &demand * profile.baseload_fraction;
+        let water = &baseload_total * 0.5;
+        let nuclear = &baseload_total * 0.5;
+        let renewables = (&wind + &solar).clamp_min(0.0);
+        let residual = demand
+            .zip_with(&baseload_total, |d, b| d - b)
+            .expect("aligned by construction")
+            .zip_with(&renewables, |r, g| (r - g).max(0.0))
+            .expect("aligned by construction");
+        let coal = &residual * profile.coal_share;
+        let gas = &residual * ((1.0 - profile.coal_share) * 0.92);
+        let other = &residual * ((1.0 - profile.coal_share) * 0.08);
+
+        let fuels = vec![
+            (FuelType::Wind, wind),
+            (FuelType::Solar, solar),
+            (FuelType::Water, water),
+            (FuelType::Nuclear, nuclear),
+            (FuelType::NaturalGas, gas),
+            (FuelType::Coal, coal),
+            (FuelType::Other, other),
+        ];
+        Self {
+            ba,
+            year,
+            fuels,
+            demand,
+        }
+    }
+
+    /// The balancing authority this dataset describes.
+    pub fn ba(&self) -> BalancingAuthority {
+        self.ba
+    }
+
+    /// The calendar year synthesized.
+    pub fn year(&self) -> i32 {
+        self.year
+    }
+
+    /// Hourly generation for one fuel, if present on this grid.
+    pub fn generation(&self, fuel: FuelType) -> Option<&HourlySeries> {
+        self.fuels
+            .iter()
+            .find(|(f, _)| *f == fuel)
+            .map(|(_, s)| s)
+    }
+
+    /// Hourly grid wind generation at installed capacity.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: every synthesized dataset contains a wind series
+    /// (possibly all-zero).
+    pub fn wind(&self) -> &HourlySeries {
+        self.generation(FuelType::Wind).expect("wind always present")
+    }
+
+    /// Hourly grid solar generation at installed capacity.
+    pub fn solar(&self) -> &HourlySeries {
+        self.generation(FuelType::Solar)
+            .expect("solar always present")
+    }
+
+    /// Hourly grid demand, MW.
+    pub fn demand(&self) -> &HourlySeries {
+        &self.demand
+    }
+
+    /// All per-fuel generation series.
+    pub fn fuels(&self) -> &[(FuelType, HourlySeries)] {
+        &self.fuels
+    }
+
+    /// Total hourly generation across all fuels.
+    pub fn total_generation(&self) -> HourlySeries {
+        let mut total = HourlySeries::zeros(self.demand.start(), self.demand.len());
+        for (_, series) in &self.fuels {
+            total = total.try_add(series).expect("fuel series aligned");
+        }
+        total
+    }
+
+    /// Hourly carbon intensity of the grid mix, tons CO2eq per MWh.
+    pub fn carbon_intensity(&self) -> HourlySeries {
+        carbon_intensity_series(&self.fuels)
+    }
+
+    /// Wind generation linearly rescaled to an investment of
+    /// `investment_mw`, per the paper's methodology (max observed grid
+    /// generation ≙ installed grid capacity). Returns zeros if this grid
+    /// has no wind.
+    pub fn scaled_wind(&self, investment_mw: f64) -> HourlySeries {
+        scale_to_investment(self.wind(), investment_mw)
+    }
+
+    /// Solar generation linearly rescaled to an investment of
+    /// `investment_mw`. Returns zeros if this grid has no solar.
+    pub fn scaled_solar(&self, investment_mw: f64) -> HourlySeries {
+        scale_to_investment(self.solar(), investment_mw)
+    }
+
+    /// Combined renewable supply for a (solar, wind) investment pair.
+    pub fn scaled_renewables(&self, solar_mw: f64, wind_mw: f64) -> HourlySeries {
+        &self.scaled_solar(solar_mw) + &self.scaled_wind(wind_mw)
+    }
+}
+
+/// Linearly rescales a generation series so its observed maximum equals
+/// `investment_mw` (zero investment or an all-zero series yields zeros).
+pub fn scale_to_investment(series: &HourlySeries, investment_mw: f64) -> HourlySeries {
+    let max = series.max().unwrap_or(0.0);
+    if max <= 0.0 || investment_mw <= 0.0 {
+        return HourlySeries::zeros(series.start(), series.len());
+    }
+    series.scale(investment_mw / max)
+}
+
+/// Seed-stream tag for the solar component.
+const SOLAR_STREAM: u64 = 0x501A;
+/// Seed-stream tag for the wind component.
+const WIND_STREAM: u64 = 0x714D;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_timeseries::resample::average_day_profile;
+
+    fn pace() -> GridDataset {
+        GridDataset::synthesize(BalancingAuthority::PACE, 2020, 7)
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = GridDataset::synthesize(BalancingAuthority::BPAT, 2020, 7);
+        let b = GridDataset::synthesize(BalancingAuthority::BPAT, 2020, 7);
+        assert_eq!(a, b);
+        let c = GridDataset::synthesize(BalancingAuthority::BPAT, 2020, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn solar_only_regions_have_zero_wind() {
+        let duk = GridDataset::synthesize(BalancingAuthority::DUK, 2020, 7);
+        assert_eq!(duk.wind().sum(), 0.0);
+        assert!(duk.solar().sum() > 0.0);
+    }
+
+    #[test]
+    fn wind_regions_are_wind_dominated() {
+        let bpat = GridDataset::synthesize(BalancingAuthority::BPAT, 2020, 7);
+        assert!(bpat.wind().sum() > 10.0 * bpat.solar().sum());
+    }
+
+    #[test]
+    fn hybrid_regions_have_both() {
+        let g = pace();
+        assert!(g.wind().sum() > 0.0);
+        assert!(g.solar().sum() > 0.0);
+        let ratio = g.wind().sum() / g.solar().sum();
+        assert!((0.2..5.0).contains(&ratio), "hybrid ratio {ratio}");
+    }
+
+    #[test]
+    fn total_generation_serves_demand_net_of_surplus() {
+        let g = pace();
+        let total = g.total_generation();
+        // Generation ≈ demand except in surplus-renewable hours where it
+        // can exceed demand (curtailment handled downstream).
+        for i in (0..total.len()).step_by(97) {
+            assert!(
+                total[i] >= g.demand()[i] * 0.9 - 1e-6,
+                "hour {i}: generation {} far below demand {}",
+                total[i],
+                g.demand()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_hits_requested_investment() {
+        let g = pace();
+        let scaled = g.scaled_wind(250.0);
+        let max = scaled.max().unwrap();
+        assert!((max - 250.0).abs() < 1e-9, "max {max}");
+        // Zero investment yields a zero series.
+        assert_eq!(g.scaled_wind(0.0).sum(), 0.0);
+        // Scaling preserves shape: correlation with the original is 1.
+        let corr =
+            ce_timeseries::stats::pearson(g.wind().values(), scaled.values()).unwrap();
+        assert!((corr - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_a_zero_series_is_zero() {
+        let duk = GridDataset::synthesize(BalancingAuthority::DUK, 2020, 7);
+        assert_eq!(duk.scaled_wind(500.0).sum(), 0.0);
+    }
+
+    #[test]
+    fn carbon_intensity_is_bounded_by_fuel_extremes() {
+        let g = pace();
+        let intensity = g.carbon_intensity();
+        assert!(intensity.min().unwrap() >= 0.0);
+        assert!(intensity.max().unwrap() <= FuelType::Coal.carbon_intensity_t_per_mwh() + 1e-9);
+        assert!(intensity.mean() > 0.0);
+    }
+
+    #[test]
+    fn carbon_intensity_drops_when_renewables_peak() {
+        let g = GridDataset::synthesize(BalancingAuthority::CISO, 2020, 7);
+        let intensity_profile = average_day_profile(&g.carbon_intensity());
+        // Solar-rich CISO: midday intensity below midnight intensity.
+        assert!(intensity_profile[13] < intensity_profile[0]);
+    }
+
+    #[test]
+    fn demand_has_diurnal_structure() {
+        let g = pace();
+        let profile = average_day_profile(g.demand());
+        let max = profile.iter().copied().fold(f64::MIN, f64::max);
+        let min = profile.iter().copied().fold(f64::MAX, f64::min);
+        assert!(max > min);
+        assert!((max - min) / max < 0.35, "grid demand swing plausible");
+    }
+
+    #[test]
+    fn scaled_renewables_combines_sources() {
+        let g = pace();
+        let combined = g.scaled_renewables(100.0, 100.0);
+        let apart = &g.scaled_solar(100.0) + &g.scaled_wind(100.0);
+        assert_eq!(combined, apart);
+    }
+}

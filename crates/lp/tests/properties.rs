@@ -1,0 +1,93 @@
+//! Property-based tests for the simplex solver.
+
+use ce_lp::{LinearProgram, Relation};
+use proptest::prelude::*;
+
+fn assert_close(a: f64, b: f64, tol: f64) {
+    assert!((a - b).abs() <= tol, "{a} != {b} (tol {tol})");
+}
+
+proptest! {
+    /// maximize Σ c_i x_i subject to x_i <= u_i with c, u >= 0 has the
+    /// closed-form optimum Σ c_i u_i.
+    #[test]
+    fn box_constrained_max_has_closed_form(
+        params in prop::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..6)
+    ) {
+        let c: Vec<f64> = params.iter().map(|(c, _)| *c).collect();
+        let u: Vec<f64> = params.iter().map(|(_, u)| *u).collect();
+        let mut lp = LinearProgram::maximize(c.clone());
+        for (i, &b) in u.iter().enumerate() {
+            lp.set_upper_bound(i, b).unwrap();
+        }
+        let s = lp.solve().unwrap();
+        let expected: f64 = c.iter().zip(&u).map(|(a, b)| a * b).sum();
+        assert_close(s.objective(), expected, 1e-6 * (1.0 + expected.abs()));
+    }
+
+    /// minimize Σ c_i x_i with c >= 0 and only Le constraints is 0 at x = 0.
+    #[test]
+    fn nonnegative_min_over_le_constraints_is_zero(
+        c in prop::collection::vec(0.0f64..5.0, 1..5),
+        rows in prop::collection::vec(
+            (prop::collection::vec(-3.0f64..3.0, 4), 0.1f64..10.0), 0..4)
+    ) {
+        let n = c.len();
+        let mut lp = LinearProgram::minimize(c);
+        for (coeffs, rhs) in rows {
+            lp.add_constraint(coeffs[..n].to_vec(), Relation::Le, rhs);
+        }
+        let s = lp.solve().unwrap();
+        assert_close(s.objective(), 0.0, 1e-7);
+        for &v in s.values() {
+            assert!(v >= -1e-9);
+        }
+    }
+
+    /// Whatever the solver returns satisfies every constraint it was given.
+    #[test]
+    fn solutions_are_feasible(
+        n in 1usize..4,
+        raw_rows in prop::collection::vec(
+            (prop::collection::vec(0.0f64..4.0, 4), 1.0f64..20.0), 1..5),
+        obj in prop::collection::vec(-3.0f64..3.0, 4)
+    ) {
+        // Nonnegative coefficients + positive rhs guarantees feasibility
+        // (x = 0 works) and upper bounds keep the problem bounded.
+        let mut lp = LinearProgram::maximize(obj[..n].to_vec());
+        let mut stored = Vec::new();
+        for (coeffs, rhs) in &raw_rows {
+            let row = coeffs[..n].to_vec();
+            lp.add_constraint(row.clone(), Relation::Le, *rhs);
+            stored.push((row, *rhs));
+        }
+        for i in 0..n {
+            lp.set_upper_bound(i, 50.0).unwrap();
+        }
+        let s = lp.solve().unwrap();
+        for (row, rhs) in stored {
+            let lhs: f64 = row.iter().zip(s.values()).map(|(a, x)| a * x).sum();
+            assert!(lhs <= rhs + 1e-6, "constraint violated: {lhs} > {rhs}");
+        }
+        for &v in s.values() {
+            assert!((-1e-9..=50.0 + 1e-6).contains(&v));
+        }
+    }
+
+    /// Adding a constraint can never improve a maximization objective.
+    #[test]
+    fn extra_constraint_never_improves_objective(
+        c in prop::collection::vec(0.1f64..5.0, 2..4),
+        cut in 0.5f64..5.0
+    ) {
+        let n = c.len();
+        let mut lp = LinearProgram::maximize(c.clone());
+        for i in 0..n {
+            lp.set_upper_bound(i, 10.0).unwrap();
+        }
+        let base = lp.solve().unwrap().objective();
+        lp.add_constraint(vec![1.0; n], Relation::Le, cut);
+        let constrained = lp.solve().unwrap().objective();
+        assert!(constrained <= base + 1e-6);
+    }
+}

@@ -1,0 +1,378 @@
+//! The combined battery + CAS heuristic (paper §5.2, "Renewables + Battery
+//! + CAS").
+//!
+//! The paper's priority order minimizes runtime delays:
+//!
+//! - on renewable *deficit*: discharge the battery first; shift workloads
+//!   only if the stored energy (at the DoD limit) is insufficient;
+//! - on renewable *surplus*: execute all deferred workloads first, then
+//!   charge the battery with the remaining supply.
+//!
+//! Deferred work carries a completion deadline (the Tier-4 daily SLO by
+//! default); work that reaches its deadline is force-run on grid energy so
+//! SLOs are never violated.
+
+use ce_battery::BatteryModel;
+use ce_timeseries::{HourlySeries, TimeSeriesError};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Configuration for the combined battery + CAS dispatcher.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CombinedConfig {
+    /// Hard cap on hourly facility power, MW (existing + extra servers).
+    pub max_capacity_mw: f64,
+    /// Fraction of each hour's load that may be deferred.
+    pub flexible_ratio: f64,
+    /// Deferral window, hours (Tier-4 daily SLO = 24).
+    pub window_hours: usize,
+}
+
+impl Default for CombinedConfig {
+    fn default() -> Self {
+        Self {
+            max_capacity_mw: f64::INFINITY,
+            flexible_ratio: 0.4,
+            window_hours: 24,
+        }
+    }
+}
+
+/// Result of a combined battery + CAS dispatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CombinedResult {
+    /// Grid energy consumed per hour (unmet by renewables/battery), MW.
+    pub unmet: HourlySeries,
+    /// The post-scheduling effective load, MW.
+    pub effective_demand: HourlySeries,
+    /// Power served from the battery per hour, MW.
+    pub battery_supplied: HourlySeries,
+    /// Curtailed renewable surplus per hour, MW.
+    pub curtailed: HourlySeries,
+    /// Battery state of charge at the end of each hour, MWh.
+    pub soc: HourlySeries,
+    /// Total energy deferred across the run, MWh.
+    pub deferred_mwh: f64,
+    /// Energy force-run on grid power at its SLO deadline, MWh.
+    pub forced_mwh: f64,
+    /// Largest backlog of deferred work at any instant, MWh.
+    pub peak_backlog_mwh: f64,
+    /// Equivalent full battery cycles performed.
+    pub equivalent_cycles: f64,
+}
+
+/// Runs the combined heuristic over aligned `demand` and `supply` series.
+///
+/// The battery starts full (commissioning charge), as in
+/// [`ce_battery::simulate_dispatch`].
+///
+/// # Errors
+///
+/// Returns an alignment error if the series are misaligned.
+///
+/// # Panics
+///
+/// Panics if `config.flexible_ratio` is outside `[0, 1]` or
+/// `config.window_hours` is zero.
+pub fn combined_dispatch(
+    battery: &mut dyn BatteryModel,
+    demand: &HourlySeries,
+    supply: &HourlySeries,
+    config: CombinedConfig,
+) -> Result<CombinedResult, TimeSeriesError> {
+    assert!(
+        (0.0..=1.0).contains(&config.flexible_ratio),
+        "flexible ratio must be in [0, 1]"
+    );
+    assert!(config.window_hours > 0, "window must be at least one hour");
+    demand.check_aligned(supply)?;
+    battery.reset(1.0);
+
+    let len = demand.len();
+    let start = demand.start();
+    let mut unmet = vec![0.0; len];
+    let mut effective = vec![0.0; len];
+    let mut supplied = vec![0.0; len];
+    let mut curtailed = vec![0.0; len];
+    let mut soc = vec![0.0; len];
+    let mut deferred_total = 0.0;
+    let mut forced_total = 0.0;
+    let mut peak_backlog = 0.0f64;
+    let mut total_discharged = 0.0;
+
+    // FIFO of (deadline_hour, energy_mwh) deferred jobs.
+    let mut backlog: VecDeque<(usize, f64)> = VecDeque::new();
+
+    for h in 0..len {
+        let d = demand[h];
+        let s = supply[h];
+        let mut load = d;
+
+        // SLO enforcement: any deferred work whose deadline is this hour
+        // must run now, whatever the energy source.
+        while let Some(&(deadline, energy)) = backlog.front() {
+            if deadline <= h {
+                backlog.pop_front();
+                load += energy;
+                forced_total += energy;
+            } else {
+                break;
+            }
+        }
+
+        if s >= load {
+            // Surplus: run deferred work first, newest-deadline last.
+            let mut surplus = s - load;
+            let mut headroom = (config.max_capacity_mw - load).max(0.0);
+            while surplus > 1e-12 && headroom > 1e-12 {
+                let Some((deadline, energy)) = backlog.pop_front() else {
+                    break;
+                };
+                let run = energy.min(surplus).min(headroom);
+                load += run;
+                surplus -= run;
+                headroom -= run;
+                let remainder = energy - run;
+                if remainder > 1e-12 {
+                    backlog.push_front((deadline, remainder));
+                }
+            }
+            // Then charge the battery; curtail the rest.
+            let accepted = battery.charge(surplus);
+            curtailed[h] = surplus - accepted;
+        } else {
+            // Deficit: battery first.
+            let mut deficit = load - s;
+            let delivered = battery.discharge(deficit);
+            total_discharged += delivered;
+            supplied[h] = delivered;
+            deficit -= delivered;
+            if deficit > 1e-12 {
+                // Battery insufficient: defer what flexibility allows.
+                // Only this hour's own flexible load can move (forced work
+                // has already exhausted its window).
+                let deferrable = (d * config.flexible_ratio).min(deficit);
+                if deferrable > 1e-12 {
+                    backlog.push_back((h + config.window_hours, deferrable));
+                    deferred_total += deferrable;
+                    load -= deferrable;
+                    deficit -= deferrable;
+                }
+                unmet[h] = deficit;
+            }
+        }
+
+        effective[h] = load;
+        soc[h] = battery.soc_mwh();
+        let backlog_now: f64 = backlog.iter().map(|(_, e)| e).sum();
+        peak_backlog = peak_backlog.max(backlog_now);
+    }
+
+    // Anything still in the backlog at the end of the horizon is forced
+    // onto grid energy (conservative accounting).
+    let leftover: f64 = backlog.iter().map(|(_, e)| e).sum();
+    if let Some(last) = unmet.last_mut() {
+        *last += leftover;
+        forced_total += leftover;
+    }
+    if let Some(last) = effective.last_mut() {
+        *last += leftover;
+    }
+
+    let usable = battery.usable_capacity_mwh();
+    Ok(CombinedResult {
+        unmet: HourlySeries::from_values(start, unmet),
+        effective_demand: HourlySeries::from_values(start, effective),
+        battery_supplied: HourlySeries::from_values(start, supplied),
+        curtailed: HourlySeries::from_values(start, curtailed),
+        soc: HourlySeries::from_values(start, soc),
+        deferred_mwh: deferred_total,
+        forced_mwh: forced_total,
+        peak_backlog_mwh: peak_backlog,
+        equivalent_cycles: if usable > 0.0 {
+            total_discharged / usable
+        } else {
+            0.0
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_battery::{ClcBattery, IdealBattery};
+    use ce_timeseries::Timestamp;
+
+    fn start() -> Timestamp {
+        Timestamp::start_of_year(2020)
+    }
+
+    fn cfg(flexible_ratio: f64) -> CombinedConfig {
+        CombinedConfig {
+            max_capacity_mw: 100.0,
+            flexible_ratio,
+            window_hours: 24,
+        }
+    }
+
+    #[test]
+    fn battery_is_used_before_shifting() {
+        // Deficit of 5 MW at hour 1; 10 MWh battery covers it entirely, so
+        // nothing should be deferred.
+        let demand = HourlySeries::from_values(start(), vec![0.0, 5.0, 0.0]);
+        let supply = HourlySeries::zeros(start(), 3);
+        let mut battery = IdealBattery::new(10.0);
+        let r = combined_dispatch(&mut battery, &demand, &supply, cfg(1.0)).unwrap();
+        assert_eq!(r.deferred_mwh, 0.0);
+        assert_eq!(r.battery_supplied[1], 5.0);
+        assert_eq!(r.unmet.sum(), 0.0);
+    }
+
+    #[test]
+    fn shifting_kicks_in_when_battery_is_exhausted() {
+        let demand = HourlySeries::from_values(start(), vec![10.0, 0.0, 0.0]);
+        let supply = HourlySeries::from_values(start(), vec![0.0, 20.0, 0.0]);
+        let mut battery = IdealBattery::new(4.0);
+        let r = combined_dispatch(&mut battery, &demand, &supply, cfg(0.5)).unwrap();
+        // Hour 0: battery gives 4, flexible 5 deferred, 1 unmet.
+        assert_eq!(r.battery_supplied[0], 4.0);
+        assert_eq!(r.deferred_mwh, 5.0);
+        assert!((r.unmet[0] - 1.0).abs() < 1e-9);
+        // Hour 1: surplus runs the deferred 5 MWh before charging.
+        assert!((r.effective_demand[1] - 5.0).abs() < 1e-9);
+        assert_eq!(r.forced_mwh, 0.0);
+    }
+
+    #[test]
+    fn surplus_runs_backlog_before_charging() {
+        let demand = HourlySeries::from_values(start(), vec![10.0, 0.0]);
+        let supply = HourlySeries::from_values(start(), vec![0.0, 12.0]);
+        let mut battery = IdealBattery::new(100.0);
+        // Battery starts full → covers hour 0 fully; no deferral. Use a
+        // zero-capacity battery to force deferral instead.
+        let mut zero = IdealBattery::new(0.0);
+        let r = combined_dispatch(&mut zero, &demand, &supply, cfg(1.0)).unwrap();
+        assert_eq!(r.deferred_mwh, 10.0);
+        // Hour 1: all 10 deferred MWh run inside the 12 MW surplus.
+        assert!((r.effective_demand[1] - 10.0).abs() < 1e-9);
+        assert!((r.curtailed[1] - 2.0).abs() < 1e-9);
+        // And with the big battery the same scenario defers nothing.
+        let r2 = combined_dispatch(&mut battery, &demand, &supply, cfg(1.0)).unwrap();
+        assert_eq!(r2.deferred_mwh, 0.0);
+    }
+
+    #[test]
+    fn deadline_forces_execution_on_grid_power() {
+        // Deferral at hour 0 with a 2-hour window and no surplus ever:
+        // at hour 2 the job must run on grid energy.
+        let demand = HourlySeries::from_values(start(), vec![10.0, 0.0, 0.0, 0.0]);
+        let supply = HourlySeries::zeros(start(), 4);
+        let mut battery = IdealBattery::new(0.0);
+        let config = CombinedConfig {
+            max_capacity_mw: 100.0,
+            flexible_ratio: 0.5,
+            window_hours: 2,
+        };
+        let r = combined_dispatch(&mut battery, &demand, &supply, config).unwrap();
+        assert_eq!(r.deferred_mwh, 5.0);
+        assert_eq!(r.forced_mwh, 5.0);
+        // The forced 5 MWh shows up as grid (unmet) energy at hour 2.
+        assert!((r.unmet[2] - 5.0).abs() < 1e-9);
+        // Total grid energy = full original demand (nothing renewable).
+        assert!((r.unmet.sum() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leftover_backlog_is_accounted_at_horizon_end() {
+        let demand = HourlySeries::from_values(start(), vec![10.0, 0.0]);
+        let supply = HourlySeries::zeros(start(), 2);
+        let mut battery = IdealBattery::new(0.0);
+        let r = combined_dispatch(&mut battery, &demand, &supply, cfg(0.4)).unwrap();
+        // 4 MWh deferred, never runnable → forced at the end.
+        assert!((r.unmet.sum() - 10.0).abs() < 1e-9);
+        assert!((r.forced_mwh - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_is_conserved() {
+        // Effective demand over the run equals original demand (every job
+        // runs exactly once, possibly at a different hour).
+        let demand = HourlySeries::from_fn(start(), 96, |h| 5.0 + ((h * 13) % 7) as f64);
+        let supply = HourlySeries::from_fn(start(), 96, |h| ((h * 29) % 17) as f64);
+        let mut battery = ClcBattery::lfp(20.0, 0.8);
+        let r = combined_dispatch(&mut battery, &demand, &supply, cfg(0.4)).unwrap();
+        assert!(
+            (r.effective_demand.sum() - demand.sum()).abs() < 1e-6,
+            "{} vs {}",
+            r.effective_demand.sum(),
+            demand.sum()
+        );
+    }
+
+    #[test]
+    fn combined_beats_battery_only_and_cas_only() {
+        // A repeating two-day pattern with tight supply: the combination
+        // should leave no more unmet energy than either solution alone.
+        let demand = HourlySeries::constant(start(), 96, 10.0);
+        let supply = HourlySeries::from_fn(start(), 96, |h| {
+            if (8..16).contains(&(h % 24)) {
+                28.0
+            } else {
+                1.0
+            }
+        });
+        let config = cfg(0.4);
+
+        let mut combined_battery = ClcBattery::lfp(40.0, 1.0);
+        let combined =
+            combined_dispatch(&mut combined_battery, &demand, &supply, config).unwrap();
+
+        let mut battery_only = ClcBattery::lfp(40.0, 1.0);
+        let b = ce_battery::simulate_dispatch(&mut battery_only, &demand, &supply).unwrap();
+
+        let mut no_battery = IdealBattery::new(0.0);
+        let c = combined_dispatch(&mut no_battery, &demand, &supply, config).unwrap();
+
+        assert!(combined.unmet.sum() <= b.unmet.sum() + 1e-6);
+        assert!(combined.unmet.sum() <= c.unmet.sum() + 1e-6);
+    }
+
+    #[test]
+    fn capacity_cap_limits_backlog_draining() {
+        // Three hours of surplus so the backlog fully drains within the
+        // horizon: the cap limits *voluntary* placement per hour.
+        let demand = HourlySeries::from_values(start(), vec![10.0, 2.0, 2.0, 2.0]);
+        let supply = HourlySeries::from_values(start(), vec![0.0, 50.0, 50.0, 50.0]);
+        let mut battery = IdealBattery::new(0.0);
+        let config = CombinedConfig {
+            max_capacity_mw: 6.0,
+            flexible_ratio: 1.0,
+            window_hours: 24,
+        };
+        let r = combined_dispatch(&mut battery, &demand, &supply, config).unwrap();
+        // Each surplus hour can only run 4 extra MW on top of its own 2 MW.
+        assert!((r.effective_demand[1] - 6.0).abs() < 1e-9);
+        assert!((r.effective_demand[2] - 6.0).abs() < 1e-9);
+        // 10 deferred: 4 + 4 run in hours 1-2, the last 2 in hour 3.
+        assert!((r.effective_demand[3] - 4.0).abs() < 1e-9);
+        assert_eq!(r.forced_mwh, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn rejects_zero_window() {
+        let demand = HourlySeries::zeros(start(), 1);
+        let supply = HourlySeries::zeros(start(), 1);
+        let mut battery = IdealBattery::new(0.0);
+        let _ = combined_dispatch(
+            &mut battery,
+            &demand,
+            &supply,
+            CombinedConfig {
+                max_capacity_mw: 1.0,
+                flexible_ratio: 0.5,
+                window_hours: 0,
+            },
+        );
+    }
+}

@@ -1,0 +1,344 @@
+//! The paper's greedy carbon-aware scheduling algorithm.
+//!
+//! Inputs (paper §4.3): the maximum datacenter capacity `P_DC_MAX` and the
+//! flexible workload ratio `FWR`. Per day, the goal is to minimize the
+//! renewable deficit `Σ_h max(P_DC(h) − P_Ren(h), 0)` subject to
+//! `P_DC(h) < P_DC_MAX`, with `P_DC(h) × FWR` of each hour's load allowed
+//! to shift.
+
+use ce_timeseries::time::HOURS_PER_DAY;
+use ce_timeseries::{HourlySeries, TimeSeriesError};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the greedy carbon-aware scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CasConfig {
+    /// `P_DC_MAX`: the hard cap on post-scheduling hourly power, MW.
+    pub max_capacity_mw: f64,
+    /// `FWR`: fraction of each hour's load that may shift (0..=1).
+    pub flexible_ratio: f64,
+}
+
+/// Result of a scheduling run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleResult {
+    /// The post-scheduling demand series ("Balanced Power Load").
+    pub shifted_demand: HourlySeries,
+    /// Total energy moved between hours, MWh.
+    pub energy_shifted_mwh: f64,
+}
+
+/// The paper's greedy carbon-aware scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GreedyScheduler {
+    config: CasConfig,
+}
+
+impl GreedyScheduler {
+    /// Creates a scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flexible_ratio` is outside `[0, 1]` or
+    /// `max_capacity_mw` is negative.
+    pub fn new(config: CasConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&config.flexible_ratio),
+            "flexible ratio must be in [0, 1]"
+        );
+        assert!(
+            config.max_capacity_mw >= 0.0,
+            "capacity must be non-negative"
+        );
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> CasConfig {
+        self.config
+    }
+
+    /// Schedules against a renewable `supply` series: load moves from the
+    /// hours with the deepest renewable deficit to the hours with the most
+    /// surplus (equivalently, from high to low carbon intensity when the
+    /// marginal grid fuel is fixed).
+    ///
+    /// # Errors
+    ///
+    /// Returns an alignment error if the series are misaligned.
+    pub fn schedule(
+        &self,
+        demand: &HourlySeries,
+        supply: &HourlySeries,
+    ) -> Result<ScheduleResult, TimeSeriesError> {
+        demand.check_aligned(supply)?;
+        let mut shifted = demand.values().to_vec();
+        let mut total_moved = 0.0;
+        let full_days = demand.len() / HOURS_PER_DAY;
+        for day in 0..full_days {
+            let base = day * HOURS_PER_DAY;
+            total_moved += self.schedule_day(
+                &mut shifted[base..base + HOURS_PER_DAY],
+                &demand
+                    .values()
+                    .iter()
+                    .zip(supply.values())
+                    .map(|(d, s)| d - s)
+                    .collect::<Vec<_>>()[base..base + HOURS_PER_DAY],
+                Some(&supply.values()[base..base + HOURS_PER_DAY]),
+            );
+        }
+        Ok(ScheduleResult {
+            shifted_demand: HourlySeries::from_values(demand.start(), shifted),
+            energy_shifted_mwh: total_moved,
+        })
+    }
+
+    /// Schedules against an arbitrary per-hour carbon-cost signal (for
+    /// example the grid's hourly carbon intensity, as in the paper's
+    /// Figure 11).
+    ///
+    /// # Errors
+    ///
+    /// Returns an alignment error if the series are misaligned.
+    pub fn schedule_by_cost(
+        &self,
+        demand: &HourlySeries,
+        cost: &HourlySeries,
+    ) -> Result<ScheduleResult, TimeSeriesError> {
+        demand.check_aligned(cost)?;
+        let mut shifted = demand.values().to_vec();
+        let mut total_moved = 0.0;
+
+        let full_days = demand.len() / HOURS_PER_DAY;
+        for day in 0..full_days {
+            let base = day * HOURS_PER_DAY;
+            total_moved += self.schedule_day(
+                &mut shifted[base..base + HOURS_PER_DAY],
+                &cost.values()[base..base + HOURS_PER_DAY],
+                None,
+            );
+        }
+
+        Ok(ScheduleResult {
+            shifted_demand: HourlySeries::from_values(demand.start(), shifted),
+            energy_shifted_mwh: total_moved,
+        })
+    }
+
+    /// Greedy within one day; returns energy moved.
+    ///
+    /// When a `supply` slice is given, a destination hour additionally
+    /// stops absorbing load once its remaining renewable surplus is used
+    /// up — moving more would merely relocate the deficit.
+    fn schedule_day(&self, load: &mut [f64], cost: &[f64], supply: Option<&[f64]>) -> f64 {
+        let n = load.len();
+        // Movable budget is FWR of the *original* hourly load.
+        let mut movable: Vec<f64> = load.iter().map(|&l| l * self.config.flexible_ratio).collect();
+
+        // Hours ranked by cost: sources from most expensive down,
+        // destinations from cheapest up.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| cost[a].partial_cmp(&cost[b]).expect("no NaN cost"));
+
+        let mut moved = 0.0;
+        let mut dest_idx = 0;
+        let mut src_idx = n;
+        while dest_idx < src_idx {
+            let src = order[src_idx - 1];
+            let dst = order[dest_idx];
+            // Only profitable to move load to a strictly cheaper hour.
+            if cost[dst] >= cost[src] {
+                break;
+            }
+            let mut headroom = (self.config.max_capacity_mw - load[dst]).max(0.0);
+            if let Some(s) = supply {
+                headroom = headroom.min((s[dst] - load[dst]).max(0.0));
+            }
+            let amount = movable[src].min(headroom);
+            if amount > 1e-12 {
+                load[src] -= amount;
+                load[dst] += amount;
+                movable[src] -= amount;
+                moved += amount;
+            }
+            // Advance whichever side is exhausted.
+            if movable[src] <= 1e-12 {
+                src_idx -= 1;
+            } else {
+                dest_idx += 1;
+            }
+        }
+        moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_timeseries::Timestamp;
+
+    fn start() -> Timestamp {
+        Timestamp::start_of_year(2020)
+    }
+
+    fn solar_day_supply() -> HourlySeries {
+        HourlySeries::from_fn(start(), 24, |h| {
+            if (6..18).contains(&(h % 24)) {
+                25.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    fn deficit_after(demand: &HourlySeries, supply: &HourlySeries) -> f64 {
+        demand
+            .zip_with(supply, |d, s| (d - s).max(0.0))
+            .unwrap()
+            .sum()
+    }
+
+    #[test]
+    fn shifting_reduces_renewable_deficit() {
+        let demand = HourlySeries::constant(start(), 24, 10.0);
+        let supply = solar_day_supply();
+        let sched = GreedyScheduler::new(CasConfig {
+            max_capacity_mw: 20.0,
+            flexible_ratio: 0.4,
+        });
+        let result = sched.schedule(&demand, &supply).unwrap();
+        let before = deficit_after(&demand, &supply);
+        let after = deficit_after(&result.shifted_demand, &supply);
+        assert!(after < before, "deficit {after} !< {before}");
+        assert!(result.energy_shifted_mwh > 0.0);
+    }
+
+    #[test]
+    fn daily_energy_is_conserved() {
+        let demand = HourlySeries::from_fn(start(), 72, |h| 10.0 + (h % 5) as f64);
+        let supply = HourlySeries::from_fn(start(), 72, |h| ((h * 7) % 23) as f64);
+        let sched = GreedyScheduler::new(CasConfig {
+            max_capacity_mw: 30.0,
+            flexible_ratio: 0.5,
+        });
+        let result = sched.schedule(&demand, &supply).unwrap();
+        for day in 0..3 {
+            let orig: f64 = demand.values()[day * 24..(day + 1) * 24].iter().sum();
+            let new: f64 = result.shifted_demand.values()[day * 24..(day + 1) * 24]
+                .iter()
+                .sum();
+            assert!((orig - new).abs() < 1e-9, "day {day}: {orig} vs {new}");
+        }
+    }
+
+    #[test]
+    fn capacity_cap_is_respected() {
+        let demand = HourlySeries::constant(start(), 24, 10.0);
+        let supply = solar_day_supply();
+        let cap = 12.5;
+        let sched = GreedyScheduler::new(CasConfig {
+            max_capacity_mw: cap,
+            flexible_ratio: 1.0,
+        });
+        let result = sched.schedule(&demand, &supply).unwrap();
+        for (_, v) in result.shifted_demand.iter() {
+            assert!(v <= cap + 1e-9, "hour exceeds cap: {v}");
+        }
+    }
+
+    #[test]
+    fn zero_flexibility_changes_nothing() {
+        let demand = HourlySeries::from_fn(start(), 48, |h| 5.0 + (h % 3) as f64);
+        let supply = HourlySeries::zeros(start(), 48);
+        let sched = GreedyScheduler::new(CasConfig {
+            max_capacity_mw: 100.0,
+            flexible_ratio: 0.0,
+        });
+        let result = sched.schedule(&demand, &supply).unwrap();
+        assert_eq!(result.shifted_demand, demand);
+        assert_eq!(result.energy_shifted_mwh, 0.0);
+    }
+
+    #[test]
+    fn more_flexibility_shifts_at_least_as_much_deficit_away() {
+        let demand = HourlySeries::constant(start(), 24, 10.0);
+        let supply = solar_day_supply();
+        let deficits: Vec<f64> = [0.1, 0.4, 1.0]
+            .iter()
+            .map(|&fwr| {
+                let sched = GreedyScheduler::new(CasConfig {
+                    max_capacity_mw: 25.0,
+                    flexible_ratio: fwr,
+                });
+                let r = sched.schedule(&demand, &supply).unwrap();
+                deficit_after(&r.shifted_demand, &supply)
+            })
+            .collect();
+        assert!(deficits[0] >= deficits[1]);
+        assert!(deficits[1] >= deficits[2]);
+    }
+
+    #[test]
+    fn no_movement_when_cost_is_flat() {
+        let demand = HourlySeries::constant(start(), 24, 10.0);
+        let flat_cost = HourlySeries::constant(start(), 24, 3.0);
+        let sched = GreedyScheduler::new(CasConfig {
+            max_capacity_mw: 100.0,
+            flexible_ratio: 1.0,
+        });
+        let result = sched.schedule_by_cost(&demand, &flat_cost).unwrap();
+        assert_eq!(result.energy_shifted_mwh, 0.0);
+    }
+
+    #[test]
+    fn load_moves_toward_cheap_hours() {
+        let demand = HourlySeries::constant(start(), 24, 10.0);
+        let cost = HourlySeries::from_fn(start(), 24, |h| if h < 12 { 1.0 } else { 10.0 });
+        let sched = GreedyScheduler::new(CasConfig {
+            max_capacity_mw: 30.0,
+            flexible_ratio: 0.5,
+        });
+        let result = sched.schedule_by_cost(&demand, &cost).unwrap();
+        let cheap: f64 = result.shifted_demand.values()[..12].iter().sum();
+        let dear: f64 = result.shifted_demand.values()[12..].iter().sum();
+        assert!(cheap > dear);
+        // Expensive hours retain their inflexible 50%.
+        for &v in &result.shifted_demand.values()[12..] {
+            assert!(v >= 5.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn partial_trailing_day_is_left_unscheduled() {
+        let demand = HourlySeries::constant(start(), 30, 10.0);
+        let supply = HourlySeries::zeros(start(), 30);
+        let sched = GreedyScheduler::new(CasConfig {
+            max_capacity_mw: 100.0,
+            flexible_ratio: 1.0,
+        });
+        let result = sched.schedule(&demand, &supply).unwrap();
+        // Hours 24..30 are untouched (not a full day).
+        assert_eq!(&result.shifted_demand.values()[24..], &demand.values()[24..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "flexible ratio")]
+    fn rejects_bad_ratio() {
+        GreedyScheduler::new(CasConfig {
+            max_capacity_mw: 10.0,
+            flexible_ratio: 1.5,
+        });
+    }
+
+    #[test]
+    fn misaligned_series_is_an_error() {
+        let demand = HourlySeries::zeros(start(), 24);
+        let supply = HourlySeries::zeros(start(), 25);
+        let sched = GreedyScheduler::new(CasConfig {
+            max_capacity_mw: 10.0,
+            flexible_ratio: 0.4,
+        });
+        assert!(sched.schedule(&demand, &supply).is_err());
+    }
+}

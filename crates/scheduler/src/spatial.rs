@@ -1,0 +1,296 @@
+//! Spatial load migration: shifting flexible computation *between*
+//! datacenter regions rather than across time.
+//!
+//! The paper's discussion cites load migration between datacenters
+//! (Zheng, Chien & Suh, Joule 2020) as a complementary lever: when
+//! Oregon's wind is becalmed, Texas may be sunny. This module implements
+//! a greedy hourly balancer across a fleet: each hour, flexible load
+//! moves from sites in renewable deficit to sites with surplus renewable
+//! supply and spare capacity. It composes with temporal scheduling —
+//! migrate first, shift in time second.
+
+use ce_timeseries::{HourlySeries, TimeSeriesError};
+use serde::{Deserialize, Serialize};
+
+/// One site's view for the spatial balancer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpatialSite {
+    /// Site label (for reports).
+    pub name: String,
+    /// Hourly demand, MW.
+    pub demand: HourlySeries,
+    /// Hourly renewable supply, MW.
+    pub supply: HourlySeries,
+    /// Hard cap on hourly power after receiving migrated load, MW.
+    pub max_capacity_mw: f64,
+}
+
+/// Configuration for spatial migration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MigrationConfig {
+    /// Fraction of each site's hourly load that may run elsewhere.
+    pub migratable_fraction: f64,
+    /// Energy overhead of moving work (network, state transfer) as a
+    /// fraction of the moved load; 0.02 = 2% extra energy at the receiver.
+    pub migration_overhead: f64,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        Self {
+            migratable_fraction: 0.4,
+            migration_overhead: 0.02,
+        }
+    }
+}
+
+/// Result of a fleet-wide migration run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationResult {
+    /// Post-migration demand per site (same order as the input).
+    pub balanced_demand: Vec<HourlySeries>,
+    /// Total energy migrated, MWh.
+    pub migrated_mwh: f64,
+    /// Fleet-wide renewable deficit before migration, MWh.
+    pub deficit_before_mwh: f64,
+    /// Fleet-wide renewable deficit after migration, MWh.
+    pub deficit_after_mwh: f64,
+}
+
+/// Greedily migrates flexible load between sites, hour by hour.
+///
+/// # Errors
+///
+/// Returns an alignment error if any site's series are misaligned with
+/// the first site's.
+///
+/// # Panics
+///
+/// Panics if `config.migratable_fraction` is outside `[0, 1]`,
+/// `config.migration_overhead` is negative, or `sites` is empty.
+#[allow(clippy::needless_range_loop)] // per-hour mutation across several parallel site arrays
+pub fn migrate_load(
+    sites: &[SpatialSite],
+    config: MigrationConfig,
+) -> Result<MigrationResult, TimeSeriesError> {
+    assert!(!sites.is_empty(), "at least one site required");
+    assert!(
+        (0.0..=1.0).contains(&config.migratable_fraction),
+        "migratable fraction must be in [0, 1]"
+    );
+    assert!(
+        config.migration_overhead >= 0.0,
+        "migration overhead must be non-negative"
+    );
+    let reference = &sites[0].demand;
+    for site in sites {
+        reference.check_aligned(&site.demand)?;
+        reference.check_aligned(&site.supply)?;
+    }
+
+    let hours = reference.len();
+    let mut balanced: Vec<Vec<f64>> = sites.iter().map(|s| s.demand.values().to_vec()).collect();
+    let mut migrated = 0.0;
+
+    for h in 0..hours {
+        // Surplus pool: per-site spare renewable power, capped by capacity.
+        loop {
+            // Worst deficit site this hour.
+            let donor = (0..sites.len())
+                .filter(|&i| balanced[i][h] > sites[i].supply[h] + 1e-9)
+                .max_by(|&a, &b| {
+                    let da = balanced[a][h] - sites[a].supply[h];
+                    let db = balanced[b][h] - sites[b].supply[h];
+                    da.partial_cmp(&db).expect("no NaN")
+                });
+            let Some(donor) = donor else { break };
+            // Best receiver: most spare surplus and capacity.
+            let receiver = (0..sites.len())
+                .filter(|&i| i != donor)
+                .map(|i| {
+                    let spare = (sites[i].supply[h] - balanced[i][h])
+                        .min(sites[i].max_capacity_mw - balanced[i][h]);
+                    (i, spare)
+                })
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"));
+            let Some((receiver, spare)) = receiver else { break };
+            if spare <= 1e-9 {
+                break;
+            }
+            // Migratable budget is a fraction of the site's original load.
+            let already_moved = sites[donor].demand[h] - balanced[donor][h];
+            let budget =
+                (sites[donor].demand[h] * config.migratable_fraction - already_moved).max(0.0);
+            let deficit = balanced[donor][h] - sites[donor].supply[h];
+            let amount = budget
+                .min(deficit)
+                .min(spare / (1.0 + config.migration_overhead));
+            if amount <= 1e-9 {
+                break;
+            }
+            balanced[donor][h] -= amount;
+            balanced[receiver][h] += amount * (1.0 + config.migration_overhead);
+            migrated += amount;
+        }
+    }
+
+    let deficit = |demands: &[Vec<f64>]| -> f64 {
+        demands
+            .iter()
+            .zip(sites)
+            .map(|(d, site)| {
+                d.iter()
+                    .enumerate()
+                    .map(|(h, &v)| (v - site.supply[h]).max(0.0))
+                    .sum::<f64>()
+            })
+            .sum()
+    };
+    let before: Vec<Vec<f64>> = sites.iter().map(|s| s.demand.values().to_vec()).collect();
+
+    Ok(MigrationResult {
+        deficit_before_mwh: deficit(&before),
+        deficit_after_mwh: deficit(&balanced),
+        migrated_mwh: migrated,
+        balanced_demand: balanced
+            .into_iter()
+            .map(|values| HourlySeries::from_values(reference.start(), values))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_timeseries::Timestamp;
+
+    fn start() -> Timestamp {
+        Timestamp::start_of_year(2020)
+    }
+
+    fn site(name: &str, demand: Vec<f64>, supply: Vec<f64>, cap: f64) -> SpatialSite {
+        SpatialSite {
+            name: name.into(),
+            demand: HourlySeries::from_values(start(), demand),
+            supply: HourlySeries::from_values(start(), supply),
+            max_capacity_mw: cap,
+        }
+    }
+
+    #[test]
+    fn load_flows_from_deficit_to_surplus() {
+        let sites = vec![
+            site("calm", vec![10.0], vec![0.0], 20.0),
+            site("windy", vec![10.0], vec![30.0], 20.0),
+        ];
+        let result = migrate_load(&sites, MigrationConfig::default()).unwrap();
+        // 40% of 10 MW moves over (with 2% overhead at the receiver).
+        assert!((result.migrated_mwh - 4.0).abs() < 1e-9);
+        assert!((result.balanced_demand[0][0] - 6.0).abs() < 1e-9);
+        assert!((result.balanced_demand[1][0] - (10.0 + 4.0 * 1.02)).abs() < 1e-9);
+        assert!(result.deficit_after_mwh < result.deficit_before_mwh);
+    }
+
+    #[test]
+    fn receiver_capacity_limits_migration() {
+        let sites = vec![
+            site("calm", vec![10.0], vec![0.0], 20.0),
+            site("windy", vec![10.0], vec![30.0], 11.0),
+        ];
+        let result = migrate_load(&sites, MigrationConfig::default()).unwrap();
+        assert!(result.balanced_demand[1][0] <= 11.0 + 1e-9);
+    }
+
+    #[test]
+    fn receiver_surplus_limits_migration() {
+        // Receiver has only 2 MW of spare renewables — taking more would
+        // just move the deficit around.
+        let sites = vec![
+            site("calm", vec![10.0], vec![0.0], 100.0),
+            site("breezy", vec![10.0], vec![12.0], 100.0),
+        ];
+        let result = migrate_load(&sites, MigrationConfig::default()).unwrap();
+        assert!(result.balanced_demand[1][0] <= 12.0 + 1e-9);
+    }
+
+    #[test]
+    fn no_migration_when_everyone_is_covered() {
+        let sites = vec![
+            site("a", vec![5.0, 5.0], vec![10.0, 10.0], 20.0),
+            site("b", vec![5.0, 5.0], vec![10.0, 10.0], 20.0),
+        ];
+        let result = migrate_load(&sites, MigrationConfig::default()).unwrap();
+        assert_eq!(result.migrated_mwh, 0.0);
+        assert_eq!(result.deficit_after_mwh, 0.0);
+    }
+
+    #[test]
+    fn total_work_is_conserved_modulo_overhead() {
+        let sites = vec![
+            site("calm", vec![10.0, 0.0], vec![0.0, 0.0], 50.0),
+            site("windy", vec![10.0, 10.0], vec![40.0, 0.0], 50.0),
+        ];
+        let config = MigrationConfig {
+            migratable_fraction: 1.0,
+            migration_overhead: 0.1,
+        };
+        let result = migrate_load(&sites, config).unwrap();
+        let before: f64 = sites.iter().map(|s| s.demand.sum()).sum();
+        let after: f64 = result.balanced_demand.iter().map(|d| d.sum()).sum();
+        assert!((after - (before + result.migrated_mwh * 0.1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_migratable_fraction_is_identity() {
+        let sites = vec![
+            site("a", vec![10.0], vec![0.0], 50.0),
+            site("b", vec![10.0], vec![40.0], 50.0),
+        ];
+        let config = MigrationConfig {
+            migratable_fraction: 0.0,
+            migration_overhead: 0.02,
+        };
+        let result = migrate_load(&sites, config).unwrap();
+        assert_eq!(result.migrated_mwh, 0.0);
+        assert_eq!(result.balanced_demand[0], sites[0].demand);
+    }
+
+    #[test]
+    fn complementary_regions_cover_each_other() {
+        // Site A sunny at noon, site B windy at night: migration lets both
+        // ride whichever resource is live.
+        let demand = vec![10.0; 24];
+        let solar: Vec<f64> = (0..24)
+            .map(|h| if (8..16).contains(&h) { 50.0 } else { 0.0 })
+            .collect();
+        let wind: Vec<f64> = (0..24)
+            .map(|h| if (8..16).contains(&h) { 0.0 } else { 50.0 })
+            .collect();
+        let sites = vec![
+            site("sunny", demand.clone(), solar, 40.0),
+            site("windy", demand, wind, 40.0),
+        ];
+        let config = MigrationConfig {
+            migratable_fraction: 1.0,
+            migration_overhead: 0.0,
+        };
+        let result = migrate_load(&sites, config).unwrap();
+        assert_eq!(result.deficit_after_mwh, 0.0);
+        assert!(result.deficit_before_mwh > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one site")]
+    fn rejects_empty_fleet() {
+        let _ = migrate_load(&[], MigrationConfig::default());
+    }
+
+    #[test]
+    fn misaligned_sites_error() {
+        let sites = vec![
+            site("a", vec![1.0, 1.0], vec![0.0, 0.0], 5.0),
+            site("b", vec![1.0], vec![0.0], 5.0),
+        ];
+        assert!(migrate_load(&sites, MigrationConfig::default()).is_err());
+    }
+}

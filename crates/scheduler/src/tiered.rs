@@ -1,0 +1,296 @@
+//! SLO-tier-aware scheduling: each workload tier shifts within its own
+//! completion window (paper Figure 10: ±1 h, ±2 h, ±4 h, daily, none).
+//!
+//! The paper's evaluation treats all flexible work as daily-shiftable;
+//! this scheduler refines that by honoring the per-tier windows, so the
+//! coverage gain attributable to each tier can be measured (the ablation
+//! in the repro harness uses it).
+
+use ce_timeseries::time::HOURS_PER_DAY;
+use ce_timeseries::{HourlySeries, TimeSeriesError};
+use serde::{Deserialize, Serialize};
+
+/// One schedulable workload tier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TierSpec {
+    /// Fraction of total hourly load in this tier (tiers plus the
+    /// inflexible remainder should sum to at most 1).
+    pub fraction: f64,
+    /// Maximum shift distance in hours (`None` = anywhere within the day;
+    /// matching the paper's daily/no-SLO tiers, shifting is still bounded
+    /// by the day so SLOs measured in completion time hold).
+    pub window_hours: Option<u32>,
+}
+
+/// Tier-aware greedy scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TieredScheduler {
+    /// Hard cap on post-scheduling hourly power, MW.
+    pub max_capacity_mw: f64,
+    /// The schedulable tiers.
+    pub tiers: Vec<TierSpec>,
+}
+
+impl TieredScheduler {
+    /// Creates a scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tier fractions are negative or sum beyond 1, or the
+    /// capacity is negative.
+    pub fn new(max_capacity_mw: f64, tiers: Vec<TierSpec>) -> Self {
+        assert!(max_capacity_mw >= 0.0, "capacity must be non-negative");
+        let total: f64 = tiers.iter().map(|t| t.fraction).sum();
+        assert!(
+            tiers.iter().all(|t| t.fraction >= 0.0) && total <= 1.0 + 1e-9,
+            "tier fractions must be non-negative and sum to at most 1"
+        );
+        Self {
+            max_capacity_mw,
+            tiers,
+        }
+    }
+
+    /// The paper's Figure 10 mix over a given overall flexible fraction:
+    /// the five Meta data-processing tiers with their SLO windows.
+    pub fn meta_tiers(max_capacity_mw: f64, flexible_fraction: f64) -> Self {
+        let spec = [
+            (0.088, Some(1)),
+            (0.038, Some(2)),
+            (0.105, Some(4)),
+            (0.712, Some(24)),
+            (0.057, None),
+        ];
+        Self::new(
+            max_capacity_mw,
+            spec.iter()
+                .map(|&(share, window)| TierSpec {
+                    fraction: flexible_fraction * share,
+                    window_hours: window,
+                })
+                .collect(),
+        )
+    }
+
+    /// Schedules against a renewable supply, tier by tier from the most
+    /// flexible (largest window) to the least: wide-window work grabs the
+    /// deep-surplus hours, narrow-window work fine-tunes locally.
+    ///
+    /// # Errors
+    ///
+    /// Returns an alignment error if the series are misaligned.
+    pub fn schedule(
+        &self,
+        demand: &HourlySeries,
+        supply: &HourlySeries,
+    ) -> Result<HourlySeries, TimeSeriesError> {
+        demand.check_aligned(supply)?;
+        let mut load = demand.values().to_vec();
+
+        let mut order: Vec<&TierSpec> = self.tiers.iter().collect();
+        order.sort_by_key(|t| std::cmp::Reverse(t.window_hours.unwrap_or(u32::MAX)));
+
+        let full_days = demand.len() / HOURS_PER_DAY;
+        for tier in order {
+            if tier.fraction <= 0.0 {
+                continue;
+            }
+            for day in 0..full_days {
+                let base = day * HOURS_PER_DAY;
+                self.schedule_tier_day(
+                    &mut load[base..base + HOURS_PER_DAY],
+                    &demand.values()[base..base + HOURS_PER_DAY],
+                    &supply.values()[base..base + HOURS_PER_DAY],
+                    tier,
+                );
+            }
+        }
+        Ok(HourlySeries::from_values(demand.start(), load))
+    }
+
+    fn schedule_tier_day(
+        &self,
+        load: &mut [f64],
+        original: &[f64],
+        supply: &[f64],
+        tier: &TierSpec,
+    ) {
+        let n = load.len();
+        let window = tier.window_hours.map(|w| w as usize).unwrap_or(n);
+        // Deficit hours, worst first.
+        let mut sources: Vec<usize> = (0..n).collect();
+        sources.sort_by(|&a, &b| {
+            let da = load[a] - supply[a];
+            let db = load[b] - supply[b];
+            db.partial_cmp(&da).expect("no NaN")
+        });
+        for src in sources {
+            let mut movable = original[src] * tier.fraction;
+            if load[src] - supply[src] <= 1e-12 {
+                continue; // not in deficit
+            }
+            // Candidate destinations inside the window, best surplus first.
+            let lo = src.saturating_sub(window);
+            let hi = (src + window + 1).min(n);
+            let mut dests: Vec<usize> = (lo..hi).filter(|&d| d != src).collect();
+            dests.sort_by(|&a, &b| {
+                let sa = supply[a] - load[a];
+                let sb = supply[b] - load[b];
+                sb.partial_cmp(&sa).expect("no NaN")
+            });
+            for dst in dests {
+                if movable <= 1e-12 {
+                    break;
+                }
+                let surplus = (supply[dst] - load[dst]).max(0.0);
+                let headroom = (self.max_capacity_mw - load[dst]).max(0.0);
+                let deficit = (load[src] - supply[src]).max(0.0);
+                let amount = movable.min(surplus).min(headroom).min(deficit);
+                if amount > 1e-12 {
+                    load[src] -= amount;
+                    load[dst] += amount;
+                    movable -= amount;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ce_timeseries::Timestamp;
+
+    fn start() -> Timestamp {
+        Timestamp::start_of_year(2020)
+    }
+
+    fn deficit(demand: &HourlySeries, supply: &HourlySeries) -> f64 {
+        demand
+            .zip_with(supply, |d, s| (d - s).max(0.0))
+            .unwrap()
+            .sum()
+    }
+
+    fn solar_day() -> HourlySeries {
+        HourlySeries::from_fn(start(), 24, |h| if (8..16).contains(&h) { 40.0 } else { 0.0 })
+    }
+
+    #[test]
+    fn narrow_windows_limit_how_far_load_travels() {
+        let demand = HourlySeries::constant(start(), 24, 10.0);
+        let supply = solar_day();
+        // A ±2h tier can only help hours 6-17; midnight stays uncovered.
+        let narrow = TieredScheduler::new(
+            50.0,
+            vec![TierSpec {
+                fraction: 0.5,
+                window_hours: Some(2),
+            }],
+        );
+        let wide = TieredScheduler::new(
+            50.0,
+            vec![TierSpec {
+                fraction: 0.5,
+                window_hours: Some(24),
+            }],
+        );
+        let narrow_result = narrow.schedule(&demand, &supply).unwrap();
+        let wide_result = wide.schedule(&demand, &supply).unwrap();
+        assert!(deficit(&wide_result, &supply) < deficit(&narrow_result, &supply));
+        // Midnight load is untouched by the ±2h tier.
+        assert_eq!(narrow_result[0], 10.0);
+    }
+
+    #[test]
+    fn daily_energy_is_conserved_per_day() {
+        let demand = HourlySeries::from_fn(start(), 48, |h| 10.0 + (h % 3) as f64);
+        let supply = HourlySeries::from_fn(start(), 48, |h| ((h * 5) % 29) as f64);
+        let scheduler = TieredScheduler::meta_tiers(40.0, 0.4);
+        let result = scheduler.schedule(&demand, &supply).unwrap();
+        for day in 0..2 {
+            let orig: f64 = demand.values()[day * 24..(day + 1) * 24].iter().sum();
+            let new: f64 = result.values()[day * 24..(day + 1) * 24].iter().sum();
+            assert!((orig - new).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn capacity_cap_is_respected() {
+        let demand = HourlySeries::constant(start(), 24, 10.0);
+        let supply = solar_day();
+        let scheduler = TieredScheduler::new(
+            12.0,
+            vec![TierSpec {
+                fraction: 1.0,
+                window_hours: None,
+            }],
+        );
+        let result = scheduler.schedule(&demand, &supply).unwrap();
+        for &v in result.values() {
+            assert!(v <= 12.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn meta_tiers_match_figure_10() {
+        let scheduler = TieredScheduler::meta_tiers(100.0, 0.4);
+        let total: f64 = scheduler.tiers.iter().map(|t| t.fraction).sum();
+        assert!((total - 0.4).abs() < 1e-9);
+        assert_eq!(scheduler.tiers.len(), 5);
+        assert_eq!(scheduler.tiers[3].window_hours, Some(24));
+        assert_eq!(scheduler.tiers[4].window_hours, None);
+    }
+
+    #[test]
+    fn scheduling_never_increases_deficit() {
+        let demand = HourlySeries::from_fn(start(), 72, |h| 5.0 + ((h * 7) % 11) as f64);
+        let supply = HourlySeries::from_fn(start(), 72, |h| ((h * 13) % 23) as f64);
+        let scheduler = TieredScheduler::meta_tiers(30.0, 0.4);
+        let result = scheduler.schedule(&demand, &supply).unwrap();
+        assert!(deficit(&result, &supply) <= deficit(&demand, &supply) + 1e-9);
+    }
+
+    #[test]
+    fn more_tiers_help_more_than_fewer() {
+        let demand = HourlySeries::constant(start(), 24, 10.0);
+        let supply = solar_day();
+        let daily_only = TieredScheduler::new(
+            50.0,
+            vec![TierSpec {
+                fraction: 0.4 * 0.712,
+                window_hours: Some(24),
+            }],
+        );
+        let all = TieredScheduler::meta_tiers(50.0, 0.4);
+        let a = daily_only.schedule(&demand, &supply).unwrap();
+        let b = all.schedule(&demand, &supply).unwrap();
+        assert!(deficit(&b, &supply) <= deficit(&a, &supply) + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "tier fractions")]
+    fn rejects_overcommitted_tiers() {
+        TieredScheduler::new(
+            10.0,
+            vec![
+                TierSpec {
+                    fraction: 0.8,
+                    window_hours: Some(4),
+                },
+                TierSpec {
+                    fraction: 0.5,
+                    window_hours: None,
+                },
+            ],
+        );
+    }
+
+    #[test]
+    fn misaligned_series_error() {
+        let demand = HourlySeries::zeros(start(), 24);
+        let supply = HourlySeries::zeros(start(), 25);
+        let scheduler = TieredScheduler::meta_tiers(10.0, 0.4);
+        assert!(scheduler.schedule(&demand, &supply).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! Minimal CSV export/import for hourly series.
+//!
+//! The reproduction harness writes every figure's data as CSV so it can be
+//! plotted with any external tool. Only the narrow grammar we emit is
+//! parsed back: a header row, then `timestamp,value[,value...]` records
+//! where the timestamp column is informational and ordering is positional.
+
+use crate::series::HourlySeries;
+use crate::time::Timestamp;
+use crate::TimeSeriesError;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Writes one or more aligned series as CSV columns.
+///
+/// The first column is the timestamp; each series contributes one column
+/// named by `names`. All series must be aligned with the first.
+///
+/// # Errors
+///
+/// Returns an alignment error if the series are misaligned, or an I/O error
+/// from the writer. `names` and `series` must be the same length or
+/// [`TimeSeriesError::LengthMismatch`] is returned.
+pub fn write_csv<W: Write>(
+    mut w: W,
+    names: &[&str],
+    series: &[&HourlySeries],
+) -> Result<(), TimeSeriesError> {
+    if names.len() != series.len() {
+        return Err(TimeSeriesError::LengthMismatch {
+            left: names.len(),
+            right: series.len(),
+        });
+    }
+    if series.is_empty() {
+        return Err(TimeSeriesError::Empty);
+    }
+    let first = series[0];
+    for s in &series[1..] {
+        first.check_aligned(s)?;
+    }
+    write!(w, "timestamp")?;
+    for name in names {
+        write!(w, ",{name}")?;
+    }
+    writeln!(w)?;
+    for i in 0..first.len() {
+        write!(w, "{}", first.timestamp(i))?;
+        for s in series {
+            write!(w, ",{}", s[i])?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Renders series to a CSV `String` (convenience wrapper over [`write_csv`]).
+///
+/// # Errors
+///
+/// Same as [`write_csv`].
+pub fn to_csv_string(names: &[&str], series: &[&HourlySeries]) -> Result<String, TimeSeriesError> {
+    let mut buf = Vec::new();
+    write_csv(&mut buf, names, series)?;
+    Ok(String::from_utf8(buf).expect("csv output is always utf-8"))
+}
+
+/// Reads CSV produced by [`write_csv`] back into series.
+///
+/// The timestamp column is ignored except that the series is anchored at
+/// `start`; values are read positionally.
+///
+/// # Errors
+///
+/// Returns [`TimeSeriesError::Csv`] for malformed rows and
+/// [`TimeSeriesError::Empty`] if the input has no header.
+pub fn read_csv<R: Read>(r: R, start: Timestamp) -> Result<Vec<HourlySeries>, TimeSeriesError> {
+    let reader = BufReader::new(r);
+    let mut lines = reader.lines();
+    let header = lines.next().ok_or(TimeSeriesError::Empty)??;
+    let columns = header.split(',').count();
+    if columns < 2 {
+        return Err(TimeSeriesError::Csv {
+            line: 1,
+            message: "expected a timestamp column plus at least one value column".into(),
+        });
+    }
+    let mut data: Vec<Vec<f64>> = vec![Vec::new(); columns - 1];
+    for (idx, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != columns {
+            return Err(TimeSeriesError::Csv {
+                line: idx + 2,
+                message: format!("expected {columns} fields, found {}", fields.len()),
+            });
+        }
+        for (col, field) in fields[1..].iter().enumerate() {
+            let value: f64 = field.trim().parse().map_err(|_| TimeSeriesError::Csv {
+                line: idx + 2,
+                message: format!("cannot parse {field:?} as a number"),
+            })?;
+            data[col].push(value);
+        }
+    }
+    Ok(data
+        .into_iter()
+        .map(|values| HourlySeries::from_values(start, values))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start() -> Timestamp {
+        Timestamp::start_of_year(2020)
+    }
+
+    #[test]
+    fn roundtrip_two_columns() {
+        let a = HourlySeries::from_values(start(), vec![1.0, 2.0, 3.0]);
+        let b = HourlySeries::from_values(start(), vec![0.5, 0.25, 0.125]);
+        let csv = to_csv_string(&["wind", "solar"], &[&a, &b]).unwrap();
+        assert!(csv.starts_with("timestamp,wind,solar\n"));
+        let parsed = read_csv(csv.as_bytes(), start()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], a);
+        assert_eq!(parsed[1], b);
+    }
+
+    #[test]
+    fn write_rejects_mismatched_names() {
+        let a = HourlySeries::zeros(start(), 2);
+        assert!(to_csv_string(&["one", "two"], &[&a]).is_err());
+        assert!(to_csv_string(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn write_rejects_misaligned_series() {
+        let a = HourlySeries::zeros(start(), 2);
+        let b = HourlySeries::zeros(start(), 3);
+        assert!(to_csv_string(&["a", "b"], &[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn read_rejects_ragged_rows() {
+        let bad = "timestamp,x\n2020-01-01 00:00,1.0,9.0\n";
+        let err = read_csv(bad.as_bytes(), start()).unwrap_err();
+        assert!(matches!(err, TimeSeriesError::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn read_rejects_bad_numbers() {
+        let bad = "timestamp,x\n2020-01-01 00:00,notanumber\n";
+        let err = read_csv(bad.as_bytes(), start()).unwrap_err();
+        assert!(matches!(err, TimeSeriesError::Csv { line: 2, .. }));
+    }
+
+    #[test]
+    fn read_skips_blank_lines() {
+        let csv = "timestamp,x\n2020-01-01 00:00,1.5\n\n2020-01-01 01:00,2.5\n";
+        let parsed = read_csv(csv.as_bytes(), start()).unwrap();
+        assert_eq!(parsed[0].values(), &[1.5, 2.5]);
+    }
+}

@@ -1,0 +1,254 @@
+//! A minimal named-column frame over a shared hourly index.
+//!
+//! The reference Carbon Explorer keeps its hourly data in pandas
+//! DataFrames; this is the narrow equivalent the Rust port needs: a set
+//! of equal-length, equally-anchored [`HourlySeries`] columns addressed
+//! by name, with column math, row filtering, and CSV export. Columns are
+//! kept aligned by construction — inserting a misaligned series is an
+//! error, so downstream zips cannot fail.
+
+use crate::csv::write_csv;
+use crate::series::HourlySeries;
+use crate::time::Timestamp;
+use crate::TimeSeriesError;
+use std::io::Write;
+
+/// An ordered collection of named, aligned hourly columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    start: Timestamp,
+    len: usize,
+    columns: Vec<(String, HourlySeries)>,
+}
+
+impl Frame {
+    /// Creates an empty frame with the given index.
+    pub fn new(start: Timestamp, len: usize) -> Self {
+        Self {
+            start,
+            len,
+            columns: Vec::new(),
+        }
+    }
+
+    /// The index start.
+    pub fn start(&self) -> Timestamp {
+        self.start
+    }
+
+    /// Rows in the frame.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the index has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names in insertion order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.columns.iter().map(|(name, _)| name.as_str())
+    }
+
+    /// Inserts (or replaces) a column.
+    ///
+    /// # Errors
+    ///
+    /// Returns an alignment error if `series` does not match the frame's
+    /// index.
+    pub fn insert(
+        &mut self,
+        name: impl Into<String>,
+        series: HourlySeries,
+    ) -> Result<(), TimeSeriesError> {
+        if series.len() != self.len {
+            return Err(TimeSeriesError::LengthMismatch {
+                left: self.len,
+                right: series.len(),
+            });
+        }
+        if series.start() != self.start {
+            return Err(TimeSeriesError::StartMismatch);
+        }
+        let name = name.into();
+        if let Some(slot) = self.columns.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = series;
+        } else {
+            self.columns.push((name, series));
+        }
+        Ok(())
+    }
+
+    /// Borrows a column by name.
+    pub fn column(&self, name: &str) -> Option<&HourlySeries> {
+        self.columns
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+    }
+
+    /// Removes a column, returning it if present.
+    pub fn remove(&mut self, name: &str) -> Option<HourlySeries> {
+        let idx = self.columns.iter().position(|(n, _)| n == name)?;
+        Some(self.columns.remove(idx).1)
+    }
+
+    /// Adds a derived column computed row-wise from existing columns.
+    ///
+    /// The closure receives a lookup from column name to that row's value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::Csv`]-free errors only via alignment —
+    /// this method itself cannot fail once inputs are aligned, so it only
+    /// errors if `inputs` names a missing column.
+    pub fn derive(
+        &mut self,
+        name: impl Into<String>,
+        inputs: &[&str],
+        mut f: impl FnMut(&[f64]) -> f64,
+    ) -> Result<(), TimeSeriesError> {
+        let mut sources = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            let series = self.column(input).ok_or(TimeSeriesError::InvalidDate {
+                what: "unknown input column",
+            })?;
+            sources.push(series.clone());
+        }
+        let derived = HourlySeries::from_fn(self.start, self.len, |h| {
+            let row: Vec<f64> = sources.iter().map(|s| s[h]).collect();
+            f(&row)
+        });
+        self.insert(name, derived)
+    }
+
+    /// Count of rows where `pred` holds over the named columns.
+    ///
+    /// # Errors
+    ///
+    /// Errors if a named column is missing.
+    pub fn count_rows_where(
+        &self,
+        inputs: &[&str],
+        mut pred: impl FnMut(&[f64]) -> bool,
+    ) -> Result<usize, TimeSeriesError> {
+        let mut sources = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            sources.push(self.column(input).ok_or(TimeSeriesError::InvalidDate {
+                what: "unknown input column",
+            })?);
+        }
+        let mut count = 0;
+        for h in 0..self.len {
+            let row: Vec<f64> = sources.iter().map(|s| s[h]).collect();
+            if pred(&row) {
+                count += 1;
+            }
+        }
+        Ok(count)
+    }
+
+    /// Writes all columns as CSV.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from the writer, or [`TimeSeriesError::Empty`]
+    /// for a column-less frame.
+    pub fn to_csv<W: Write>(&self, w: W) -> Result<(), TimeSeriesError> {
+        let names: Vec<&str> = self.names().collect();
+        let series: Vec<&HourlySeries> = self.columns.iter().map(|(_, s)| s).collect();
+        write_csv(w, &names, &series)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start() -> Timestamp {
+        Timestamp::start_of_year(2020)
+    }
+
+    fn frame() -> Frame {
+        let mut f = Frame::new(start(), 4);
+        f.insert("demand", HourlySeries::from_values(start(), vec![10.0, 10.0, 10.0, 10.0]))
+            .unwrap();
+        f.insert("supply", HourlySeries::from_values(start(), vec![12.0, 8.0, 15.0, 0.0]))
+            .unwrap();
+        f
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let f = frame();
+        assert_eq!(f.width(), 2);
+        assert_eq!(f.len(), 4);
+        assert!(!f.is_empty());
+        assert_eq!(f.column("supply").unwrap()[2], 15.0);
+        assert!(f.column("nope").is_none());
+        assert_eq!(f.names().collect::<Vec<_>>(), vec!["demand", "supply"]);
+    }
+
+    #[test]
+    fn insert_replaces_same_name() {
+        let mut f = frame();
+        f.insert("supply", HourlySeries::zeros(start(), 4)).unwrap();
+        assert_eq!(f.width(), 2);
+        assert_eq!(f.column("supply").unwrap().sum(), 0.0);
+    }
+
+    #[test]
+    fn misaligned_insert_is_rejected() {
+        let mut f = frame();
+        assert!(f.insert("short", HourlySeries::zeros(start(), 3)).is_err());
+        assert!(f
+            .insert("offset", HourlySeries::zeros(start().plus_hours(1), 4))
+            .is_err());
+    }
+
+    #[test]
+    fn derive_computes_row_wise() {
+        let mut f = frame();
+        f.derive("deficit", &["demand", "supply"], |row| (row[0] - row[1]).max(0.0))
+            .unwrap();
+        assert_eq!(f.column("deficit").unwrap().values(), &[0.0, 2.0, 0.0, 10.0]);
+        assert!(f.derive("bad", &["missing"], |_| 0.0).is_err());
+    }
+
+    #[test]
+    fn count_rows_where_filters() {
+        let f = frame();
+        let covered = f
+            .count_rows_where(&["demand", "supply"], |row| row[1] >= row[0])
+            .unwrap();
+        assert_eq!(covered, 2);
+    }
+
+    #[test]
+    fn remove_returns_column() {
+        let mut f = frame();
+        let removed = f.remove("demand").unwrap();
+        assert_eq!(removed.sum(), 40.0);
+        assert_eq!(f.width(), 1);
+        assert!(f.remove("demand").is_none());
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let f = frame();
+        let mut buf = Vec::new();
+        f.to_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("timestamp,demand,supply\n"));
+        assert_eq!(text.lines().count(), 5);
+        // Empty frame is an error (no columns to write).
+        let empty = Frame::new(start(), 4);
+        assert!(empty.to_csv(&mut Vec::new()).is_err());
+    }
+}

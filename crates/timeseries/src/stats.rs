@@ -1,0 +1,295 @@
+//! Summary statistics over [`HourlySeries`] and raw slices.
+//!
+//! These back the paper's characterization figures: the daily-total
+//! histograms of Figure 5, the utilization/power correlation of Figure 3,
+//! and the quantile analysis behind the "best ten days of the year" claim.
+
+use crate::series::HourlySeries;
+use crate::TimeSeriesError;
+
+/// A fixed-width histogram over a closed value range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Builds a histogram of `values` with `bins` equal-width bins spanning
+    /// `[lo, hi]`. Values outside the range are clamped into the edge bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::Empty`] if `bins == 0` or `hi <= lo`.
+    pub fn new(values: &[f64], lo: f64, hi: f64, bins: usize) -> Result<Self, TimeSeriesError> {
+        if bins == 0 || hi <= lo {
+            return Err(TimeSeriesError::Empty);
+        }
+        let mut counts = vec![0usize; bins];
+        let width = (hi - lo) / bins as f64;
+        for &v in values {
+            let idx = ((v - lo) / width).floor();
+            let idx = idx.clamp(0.0, (bins - 1) as f64) as usize;
+            counts[idx] += 1;
+        }
+        Ok(Self { lo, hi, counts })
+    }
+
+    /// Builds a histogram spanning the observed min..max of `values`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimeSeriesError::Empty`] for empty input or zero bins.
+    pub fn from_values(values: &[f64], bins: usize) -> Result<Self, TimeSeriesError> {
+        let lo = values.iter().copied().reduce(f64::min).ok_or(TimeSeriesError::Empty)?;
+        let hi = values.iter().copied().reduce(f64::max).ok_or(TimeSeriesError::Empty)?;
+        let hi = if hi > lo { hi } else { lo + 1.0 };
+        Self::new(values, lo, hi, bins)
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Center value of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + width * (i as f64 + 0.5)
+    }
+
+    /// Total number of samples recorded.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Iterator over `(bin_center, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, usize)> + '_ {
+        (0..self.counts.len()).map(move |i| (self.bin_center(i), self.counts[i]))
+    }
+}
+
+/// Population standard deviation of `values` (0.0 for fewer than 2 samples).
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+    var.sqrt()
+}
+
+/// Coefficient of variation (std dev / mean); 0.0 if the mean is 0.
+pub fn coefficient_of_variation(values: &[f64]) -> f64 {
+    let mean = if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    };
+    if mean == 0.0 {
+        0.0
+    } else {
+        std_dev(values) / mean
+    }
+}
+
+/// Pearson correlation coefficient between two equal-length slices.
+///
+/// # Errors
+///
+/// Returns [`TimeSeriesError::LengthMismatch`] for unequal lengths and
+/// [`TimeSeriesError::Empty`] for fewer than 2 samples.
+pub fn pearson(a: &[f64], b: &[f64]) -> Result<f64, TimeSeriesError> {
+    if a.len() != b.len() {
+        return Err(TimeSeriesError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    if a.len() < 2 {
+        return Err(TimeSeriesError::Empty);
+    }
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return Ok(0.0);
+    }
+    Ok(cov / (va.sqrt() * vb.sqrt()))
+}
+
+/// Linear-interpolated quantile `q ∈ [0, 1]` of `values`.
+///
+/// # Errors
+///
+/// Returns [`TimeSeriesError::Empty`] for empty input.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]` or any value is NaN.
+pub fn quantile(values: &[f64], q: f64) -> Result<f64, TimeSeriesError> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    if values.is_empty() {
+        return Err(TimeSeriesError::Empty);
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Mean of the `k` largest values.
+///
+/// # Errors
+///
+/// Returns [`TimeSeriesError::Empty`] if `values` is empty or `k == 0`.
+pub fn mean_of_top_k(values: &[f64], k: usize) -> Result<f64, TimeSeriesError> {
+    if values.is_empty() || k == 0 {
+        return Err(TimeSeriesError::Empty);
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+    let k = k.min(sorted.len());
+    Ok(sorted[..k].iter().sum::<f64>() / k as f64)
+}
+
+/// Mean of the `k` smallest values.
+///
+/// # Errors
+///
+/// Returns [`TimeSeriesError::Empty`] if `values` is empty or `k == 0`.
+pub fn mean_of_bottom_k(values: &[f64], k: usize) -> Result<f64, TimeSeriesError> {
+    if values.is_empty() || k == 0 {
+        return Err(TimeSeriesError::Empty);
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let k = k.min(sorted.len());
+    Ok(sorted[..k].iter().sum::<f64>() / k as f64)
+}
+
+/// Centered-window rolling mean; the window is truncated at the edges, so
+/// the output has the same length as the input.
+pub fn rolling_mean(series: &HourlySeries, window: usize) -> HourlySeries {
+    let half = window / 2;
+    let values = series.values();
+    HourlySeries::from_fn(series.start(), values.len(), |i| {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(values.len());
+        values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timestamp;
+
+    #[test]
+    fn histogram_counts_and_centers() {
+        let values = [0.5, 1.5, 1.6, 2.5, 9.9];
+        let h = Histogram::new(&values, 0.0, 10.0, 10).unwrap();
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 2);
+        assert_eq!(h.counts()[2], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
+        assert!((h.bin_center(9) - 9.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_clamps_outliers() {
+        let values = [-5.0, 15.0];
+        let h = Histogram::new(&values, 0.0, 10.0, 2).unwrap();
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn histogram_rejects_degenerate_params() {
+        assert!(Histogram::new(&[1.0], 0.0, 10.0, 0).is_err());
+        assert!(Histogram::new(&[1.0], 5.0, 5.0, 3).is_err());
+        assert!(Histogram::from_values(&[], 4).is_err());
+    }
+
+    #[test]
+    fn histogram_from_values_handles_constant_input() {
+        let h = Histogram::from_values(&[2.0, 2.0, 2.0], 4).unwrap();
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn std_dev_known_values() {
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        let sd = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((sd - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_correlations() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        let c = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &c).unwrap() + 1.0).abs() < 1e-12);
+        let flat = [3.0, 3.0, 3.0, 3.0];
+        assert_eq!(pearson(&a, &flat).unwrap(), 0.0);
+        assert!(pearson(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&v, 1.0).unwrap(), 4.0);
+        assert_eq!(quantile(&v, 0.5).unwrap(), 2.5);
+        assert!(quantile(&[], 0.5).is_err());
+    }
+
+    #[test]
+    fn top_and_bottom_k() {
+        let v = [5.0, 1.0, 9.0, 3.0];
+        assert_eq!(mean_of_top_k(&v, 2).unwrap(), 7.0);
+        assert_eq!(mean_of_bottom_k(&v, 2).unwrap(), 2.0);
+        // k larger than the slice falls back to the whole slice.
+        assert_eq!(mean_of_top_k(&v, 10).unwrap(), 4.5);
+        assert!(mean_of_top_k(&v, 0).is_err());
+    }
+
+    #[test]
+    fn rolling_mean_smooths() {
+        let s = HourlySeries::from_values(
+            Timestamp::start_of_year(2020),
+            vec![0.0, 10.0, 0.0, 10.0, 0.0],
+        );
+        let r = rolling_mean(&s, 3);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r[1], 10.0 / 3.0);
+        // Edges use truncated windows.
+        assert_eq!(r[0], 5.0);
+    }
+
+    #[test]
+    fn coefficient_of_variation_basics() {
+        assert_eq!(coefficient_of_variation(&[]), 0.0);
+        assert_eq!(coefficient_of_variation(&[5.0, 5.0]), 0.0);
+        assert!(coefficient_of_variation(&[1.0, 9.0]) > 0.5);
+    }
+}

@@ -1,0 +1,65 @@
+//! Battery sizing: how many hours of storage buy how much coverage?
+//!
+//! Sweeps battery capacity for the Utah datacenter at Meta's existing
+//! renewable investment, comparing the physically accurate C/L/C LFP model
+//! against an ideal (lossless) battery, and reports the depth-of-discharge
+//! trade-off from §5.2.
+//!
+//! Run with: `cargo run --release --example battery_sizing`
+
+use carbon_explorer::battery::simulate_dispatch;
+use carbon_explorer::core::Coverage;
+use carbon_explorer::prelude::*;
+
+fn main() {
+    let fleet = Fleet::meta_us();
+    let site = fleet.site("UT").expect("UT is in Table 1").clone();
+    let grid = GridDataset::synthesize(site.ba(), 2020, 7);
+    let demand = site.demand_trace(2020, 7);
+    let supply = grid.scaled_renewables(site.solar_mw(), site.wind_mw());
+    let avg = site.avg_power_mw();
+
+    println!("battery capacity sweep, Utah DC at Meta's renewable investment:\n");
+    println!(
+        "{:>8}{:>12}{:>14}{:>14}{:>12}",
+        "hours", "MWh", "LFP coverage", "ideal cover", "LFP cycles"
+    );
+    for hours in [0.0, 1.0, 2.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0] {
+        let capacity = hours * avg;
+        let mut lfp = ClcBattery::lfp(capacity, 1.0);
+        let lfp_result = simulate_dispatch(&mut lfp, &demand, &supply).expect("aligned");
+        let lfp_cov = Coverage::from_unmet(&demand, &lfp_result.unmet).expect("aligned");
+
+        let mut ideal = IdealBattery::new(capacity);
+        let ideal_result = simulate_dispatch(&mut ideal, &demand, &supply).expect("aligned");
+        let ideal_cov = Coverage::from_unmet(&demand, &ideal_result.unmet).expect("aligned");
+
+        println!(
+            "{hours:>8.0}{capacity:>12.0}{:>13.2}%{:>13.2}%{:>12.0}",
+            lfp_cov.percent(),
+            ideal_cov.percent(),
+            lfp_result.equivalent_cycles,
+        );
+    }
+
+    println!("\ndepth-of-discharge trade-off at 6 hours of battery:");
+    for dod in [1.0, 0.8, 0.6] {
+        let capacity = 6.0 * avg;
+        let mut battery = ClcBattery::lfp(capacity, dod);
+        let result = simulate_dispatch(&mut battery, &demand, &supply).expect("aligned");
+        let coverage = Coverage::from_unmet(&demand, &result.unmet).expect("aligned");
+        let embodied = EmbodiedParams::paper_defaults().battery.amortized_tons_per_year(
+            capacity,
+            dod,
+            result.equivalent_cycles,
+        );
+        println!(
+            "  DoD {:>3.0}%: coverage {:.2}%, usable {:.0} MWh, cycle life {:.0}, embodied {:.0} tCO2/year",
+            dod * 100.0,
+            coverage.percent(),
+            capacity * dod,
+            carbon_explorer::battery::cycle_life(dod),
+            embodied,
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Carbon-aware scheduling: shifting flexible work into clean hours.
+//!
+//! Reproduces the flavor of the paper's Figure 11 on one week of the Utah
+//! datacenter: the greedy scheduler moves the flexible share of each
+//! hour's load away from carbon-intensive hours, subject to a capacity
+//! cap, and is compared against the LP-optimal placement from `ce-lp`.
+//!
+//! Run with: `cargo run --release --example carbon_aware_scheduling`
+
+use carbon_explorer::prelude::*;
+use carbon_explorer::scheduler::lp_schedule;
+
+fn main() {
+    let fleet = Fleet::meta_us();
+    let site = fleet.site("UT").expect("UT is in Table 1").clone();
+    let grid = GridDataset::synthesize(site.ba(), 2020, 7);
+    let demand = site
+        .demand_trace(2020, 7)
+        .window(100 * 24, 7 * 24)
+        .expect("window fits in the year");
+    let supply = grid
+        .scaled_renewables(site.solar_mw(), site.wind_mw())
+        .window(100 * 24, 7 * 24)
+        .expect("window fits in the year");
+
+    let deficit = |d: &HourlySeries| {
+        d.zip_with(&supply, |p, s| (p - s).max(0.0))
+            .expect("aligned")
+            .sum()
+    };
+
+    println!("one week of the Utah DC, 40% flexible workloads:\n");
+    println!("unscheduled renewable deficit: {:>8.1} MWh", deficit(&demand));
+
+    let config = CasConfig {
+        max_capacity_mw: demand.max().expect("non-empty") * 1.4,
+        flexible_ratio: 0.4,
+    };
+
+    let greedy = GreedyScheduler::new(config)
+        .schedule(&demand, &supply)
+        .expect("aligned");
+    println!(
+        "after greedy CAS:              {:>8.1} MWh ({:.1} MWh shifted)",
+        deficit(&greedy.shifted_demand),
+        greedy.energy_shifted_mwh
+    );
+
+    let optimal = lp_schedule(&demand, &supply, config).expect("solvable day LPs");
+    println!("after LP-optimal placement:    {:>8.1} MWh", deficit(&optimal));
+
+    let gap = (deficit(&greedy.shifted_demand) - deficit(&optimal)) / deficit(&optimal).max(1e-9);
+    println!(
+        "\nthe paper's greedy algorithm is within {:.1}% of the LP optimum here",
+        gap * 100.0
+    );
+
+    // How many extra servers would full 24/7 coverage need this week?
+    match carbon_explorer::scheduler::required_capacity_for_full_coverage(&demand, &supply, 1.0)
+        .expect("aligned")
+    {
+        Some(cap) => {
+            let peak = demand.max().expect("non-empty");
+            println!(
+                "fully flexible workloads could reach 24/7 with {:.0}% extra capacity",
+                ((cap - peak) / peak).max(0.0) * 100.0
+            );
+        }
+        None => println!("scheduling alone cannot reach 24/7 this week (supply is short)"),
+    }
+}

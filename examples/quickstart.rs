@@ -1,0 +1,53 @@
+//! Quickstart: how much of a datacenter's power can renewables cover?
+//!
+//! Synthesizes a year of grid data for Meta's Utah datacenter, asks what
+//! hourly coverage the existing investments achieve, and then what one
+//! battery and carbon-aware scheduling add on top.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use carbon_explorer::prelude::*;
+
+fn main() {
+    // 1. Inputs: a site from Table 1, a synthetic grid year, a demand trace.
+    let fleet = Fleet::meta_us();
+    let site = fleet.site("UT").expect("UT is in Table 1").clone();
+    let grid = GridDataset::synthesize(site.ba(), 2020, 7);
+    let demand = site.demand_trace(2020, 7);
+    println!("site: {site}");
+
+    // 2. Renewables only: scale the grid's wind/solar shapes to Meta's
+    //    investment and compute the paper's coverage metric.
+    let supply = grid.scaled_renewables(site.solar_mw(), site.wind_mw());
+    let coverage = renewable_coverage(&demand, &supply).expect("aligned series");
+    println!("renewables only:      {coverage}");
+
+    // 3. Add a battery sized for ~5 hours of compute.
+    let mut battery = ClcBattery::lfp(5.0 * site.avg_power_mw(), 1.0);
+    let dispatch = carbon_explorer::battery::simulate_dispatch(&mut battery, &demand, &supply)
+        .expect("aligned series");
+    let with_battery = carbon_explorer::core::Coverage::from_unmet(&demand, &dispatch.unmet)
+        .expect("aligned series");
+    println!("with 5h battery:      {with_battery}");
+
+    // 4. Add carbon-aware scheduling (40% flexible workloads) on top.
+    let mut battery = ClcBattery::lfp(5.0 * site.avg_power_mw(), 1.0);
+    let combined = carbon_explorer::scheduler::combined_dispatch(
+        &mut battery,
+        &demand,
+        &supply,
+        CombinedConfig {
+            max_capacity_mw: demand.max().expect("non-empty") * 1.5,
+            flexible_ratio: 0.4,
+            window_hours: 24,
+        },
+    )
+    .expect("aligned series");
+    let with_both = carbon_explorer::core::Coverage::from_unmet(&demand, &combined.unmet)
+        .expect("aligned series");
+    println!("with battery + CAS:   {with_both}");
+    println!(
+        "battery cycles: {:.0}/year, energy shifted: {:.0} MWh/year",
+        combined.equivalent_cycles, combined.deferred_mwh
+    );
+}

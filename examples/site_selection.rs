@@ -1,0 +1,53 @@
+//! Site selection: which regions make the cheapest carbon-aware
+//! datacenters?
+//!
+//! For every Table 1 site, finds the carbon-optimal renewables + battery +
+//! CAS configuration and ranks regions by total carbon per MW of capacity
+//! — the paper's site-selection finding (§5.2: Nebraska, Utah, and Texas
+//! stand out; solar-only regions struggle).
+//!
+//! Run with: `cargo run --release --example site_selection`
+
+use carbon_explorer::prelude::*;
+
+fn main() {
+    let fleet = Fleet::meta_us();
+    let mut ranking: Vec<(String, String, f64, f64)> = Vec::new();
+
+    for site in &fleet {
+        let grid = GridDataset::synthesize(site.ba(), 2020, 7);
+        let explorer = CarbonExplorer::new(site.demand_trace(2020, 7), grid);
+        let avg = site.avg_power_mw();
+        let space = DesignSpace {
+            solar: (0.0, 30.0 * avg, 5),
+            wind: (0.0, 30.0 * avg, 5),
+            battery: (0.0, 24.0 * avg, 4),
+            extra_capacity: (0.0, 1.0, 2),
+        };
+        let best = explorer
+            .optimal_refined(StrategyKind::RenewablesBatteryCas, &space, 1)
+            .expect("space is non-empty");
+        ranking.push((
+            site.state().to_string(),
+            site.ba().regime().to_string(),
+            best.total_tons() / avg,
+            best.coverage.percent(),
+        ));
+    }
+
+    ranking.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite totals"));
+    println!("carbon-optimal total footprint per MW of DC capacity (best site first):\n");
+    println!("{:<6}{:<16}{:>14}{:>12}", "site", "regime", "tCO2/MW/year", "coverage");
+    for (state, regime, per_mw, coverage) in &ranking {
+        println!("{state:<6}{regime:<16}{per_mw:>14.0}{coverage:>11.1}%");
+    }
+
+    let best = &ranking[0];
+    let worst = &ranking[ranking.len() - 1];
+    println!(
+        "\n{} is {:.1}x cheaper (in carbon) than {} — site selection matters.",
+        best.0,
+        worst.2 / best.2,
+        worst.0
+    );
+}

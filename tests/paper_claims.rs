@@ -1,0 +1,264 @@
+//! Quantitative checks of the paper's headline claims against the
+//! synthetic reproduction. Bands are deliberately generous: the substrate
+//! is a simulator, so shapes and orderings are asserted, not exact values.
+
+use carbon_explorer::battery::{cycle_life, simulate_dispatch, ClcBattery};
+use carbon_explorer::core::Coverage;
+use carbon_explorer::grid::curtailment::historical_ca_curtailment;
+use carbon_explorer::prelude::*;
+use carbon_explorer::timeseries::resample::daily_totals;
+use carbon_explorer::timeseries::stats::mean_of_top_k;
+
+fn site_and_supply(state: &str) -> (HourlySeries, HourlySeries, GridDataset) {
+    let fleet = Fleet::meta_us();
+    let site = fleet.site(state).expect("in Table 1").clone();
+    let grid = GridDataset::synthesize(site.ba(), 2020, 7);
+    let demand = site.demand_trace(2020, 7);
+    let supply = grid.scaled_renewables(site.solar_mw(), site.wind_mw());
+    (demand, supply, grid)
+}
+
+#[test]
+fn intro_renewable_supply_swings_exceed_3x_across_days() {
+    // Figure 1 / §1: hourly renewable generation is heavily intermittent.
+    let grid = GridDataset::synthesize(BalancingAuthority::CISO, 2020, 7);
+    let renewables = grid.wind().try_add(grid.solar()).expect("aligned");
+    let daily = daily_totals(&renewables);
+    let best = daily.iter().copied().fold(f64::MIN, f64::max);
+    let worst = daily.iter().copied().fold(f64::MAX, f64::min);
+    assert!(best / worst.max(1.0) > 3.0, "swing {:.2}", best / worst);
+}
+
+#[test]
+fn section_3_1_demand_is_flat_relative_to_supply() {
+    // §3.1: ~4% power swing vs huge supply swings.
+    let (demand, supply, _) = site_and_supply("UT");
+    let demand_swing = (demand.max().unwrap() - demand.min().unwrap()) / demand.mean();
+    let supply_swing = (supply.max().unwrap() - supply.min().unwrap()) / supply.mean().max(1e-9);
+    assert!(demand_swing < 0.10, "demand swing {demand_swing}");
+    assert!(supply_swing > 10.0 * demand_swing);
+}
+
+#[test]
+fn section_3_2_best_ten_days_far_exceed_average_in_wind_regions() {
+    // Figure 5: BPAT's best ten days ≈ 2.5x the average.
+    let grid = GridDataset::synthesize(BalancingAuthority::BPAT, 2020, 7);
+    let daily = daily_totals(grid.wind());
+    let top10 = mean_of_top_k(&daily, 10).expect("non-empty");
+    let avg = daily.iter().sum::<f64>() / daily.len() as f64;
+    let ratio = top10 / avg;
+    assert!((1.8..5.0).contains(&ratio), "best-10/avg {ratio:.2}");
+}
+
+#[test]
+fn figure_4_curtailment_grows_to_six_percent() {
+    let records = historical_ca_curtailment();
+    let last = records.last().expect("non-empty");
+    assert_eq!(last.year, 2021);
+    assert!((0.05..0.07).contains(&last.total_fraction()));
+}
+
+#[test]
+fn section_4_1_solar_only_coverage_ceiling() {
+    // "For regions that rely entirely on solar ... it is impossible to
+    // increase 24/7 coverage much beyond 50%."
+    let fleet = Fleet::meta_us();
+    let site = fleet.site("NC").expect("in Table 1").clone();
+    let grid = GridDataset::synthesize(site.ba(), 2020, 7);
+    let demand = site.demand_trace(2020, 7);
+    let huge = grid.scaled_renewables(100_000.0, 100_000.0);
+    let coverage = renewable_coverage(&demand, &huge).expect("aligned");
+    assert!(
+        (0.45..0.65).contains(&coverage.fraction()),
+        "solar ceiling {}",
+        coverage
+    );
+}
+
+#[test]
+fn section_4_1_long_tail_to_full_coverage() {
+    // Figure 8: reaching 99.9% takes several times the investment of 95%.
+    let fleet = Fleet::meta_us();
+    let site = fleet.site("OR").expect("in Table 1").clone();
+    let grid = GridDataset::synthesize(site.ba(), 2020, 7);
+    let demand = site.demand_trace(2020, 7);
+    let coverage_at = |total_mw: f64| {
+        let supply = grid.scaled_renewables(total_mw * 0.1, total_mw * 0.9);
+        renewable_coverage(&demand, &supply).expect("aligned").percent()
+    };
+    let invest_for = |target: f64| {
+        let (mut lo, mut hi) = (0.0, 300_000.0);
+        assert!(coverage_at(hi) >= target, "target {target} reachable");
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            if coverage_at(mid) < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        hi
+    };
+    let i95 = invest_for(95.0);
+    let i999 = invest_for(99.9);
+    assert!(
+        (i999 - i95) / i95 > 5.0,
+        "95%→99.9% marginal investment ratio {:.1}",
+        (i999 - i95) / i95
+    );
+}
+
+#[test]
+fn section_4_2_hybrid_regions_need_less_battery_than_solar_regions() {
+    // Figure 9: UT needs ~5h, NC ~14h (at sufficiently large investment).
+    let battery_hours_for_full = |state: &str, solar_x: f64, wind_x: f64| -> Option<f64> {
+        let fleet = Fleet::meta_us();
+        let site = fleet.site(state).expect("in Table 1").clone();
+        let grid = GridDataset::synthesize(site.ba(), 2020, 7);
+        let demand = site.demand_trace(2020, 7);
+        let avg = site.avg_power_mw();
+        let supply = grid.scaled_renewables(solar_x * avg, wind_x * avg);
+        let unmet_at = |capacity: f64| {
+            let mut battery = ClcBattery::lfp(capacity, 1.0);
+            simulate_dispatch(&mut battery, &demand, &supply)
+                .expect("aligned")
+                .unmet
+                .sum()
+        };
+        let max = 200.0 * avg;
+        if unmet_at(max) > 1e-6 {
+            return None;
+        }
+        let (mut lo, mut hi) = (0.0, max);
+        for _ in 0..40 {
+            let mid = 0.5 * (lo + hi);
+            if unmet_at(mid) > 1e-6 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(hi / avg)
+    };
+    let ut = battery_hours_for_full("UT", 15.0, 10.0).expect("UT reachable");
+    let nc = battery_hours_for_full("NC", 25.0, 0.0).expect("NC reachable");
+    assert!(
+        nc > 1.2 * ut,
+        "solar-only NC ({nc:.1}h) should need more battery than hybrid UT ({ut:.1}h)"
+    );
+    assert!((1.0..20.0).contains(&ut), "UT hours {ut:.1}");
+}
+
+#[test]
+fn section_4_3_cas_gains_depend_on_region() {
+    // §5: CAS increases coverage by 1-22 points depending on the region.
+    let mut gains = Vec::new();
+    for state in ["UT", "NC", "OR", "TX"] {
+        let (demand, supply, _) = site_and_supply(state);
+        let before = renewable_coverage(&demand, &supply).expect("aligned").percent();
+        let scheduler = GreedyScheduler::new(CasConfig {
+            max_capacity_mw: demand.max().unwrap() * 2.0,
+            flexible_ratio: 0.4,
+        });
+        let shifted = scheduler.schedule(&demand, &supply).expect("aligned");
+        let after = renewable_coverage(&shifted.shifted_demand, &supply)
+            .expect("aligned")
+            .percent();
+        let gain = after - before;
+        assert!((0.0..=30.0).contains(&gain), "{state} gain {gain:.1}");
+        gains.push(gain);
+    }
+    // Regions differ substantially.
+    let min = gains.iter().copied().fold(f64::MAX, f64::min);
+    let max = gains.iter().copied().fold(f64::MIN, f64::max);
+    assert!(max > min + 0.5, "gains should vary by region: {gains:?}");
+}
+
+#[test]
+fn section_5_1_dod_lifetime_claims() {
+    // "life cycle estimation for LFP batteries are 3000 cycles at 100%
+    // DoD, and 4500 cycles at 80% DoD" and the 50% cycle increase.
+    assert_eq!(cycle_life(1.0), 3000.0);
+    assert_eq!(cycle_life(0.8), 4500.0);
+    assert!((cycle_life(0.8) / cycle_life(1.0) - 1.5).abs() < 1e-12);
+    // 60% DoD → 10,000 cycles → ~27-year lifespan at daily cycling.
+    let years = carbon_explorer::battery::lifetime_years(0.6, 365.0);
+    assert!((26.0..29.0).contains(&years));
+}
+
+#[test]
+fn section_5_2_battery_charge_distribution_is_bimodal() {
+    // Figure 16: under the greedy dispatch, batteries are "often fully
+    // charged or fully discharged".
+    let (demand, supply, _) = site_and_supply("UT");
+    let capacity = 5.0 * 19.0;
+    let mut battery = ClcBattery::lfp(capacity, 1.0);
+    let result = simulate_dispatch(&mut battery, &demand, &supply).expect("aligned");
+    let hist = result.charge_level_histogram(capacity, 10).expect("bins");
+    let counts = hist.counts();
+    let edges = counts[0] + counts[9];
+    assert!(
+        edges as f64 > 0.5 * hist.total() as f64,
+        "extreme bins hold {edges} of {}",
+        hist.total()
+    );
+}
+
+#[test]
+fn section_5_2_combined_solution_dominates() {
+    // "This reduces the additional capacity required ... compared with a
+    // battery-only solution or a CAS-only solution alone."
+    let (demand, supply, _) = site_and_supply("OR");
+    let cap = demand.max().unwrap() * 1.5;
+
+    let mut b1 = ClcBattery::lfp(100.0, 1.0);
+    let battery_only = simulate_dispatch(&mut b1, &demand, &supply).expect("aligned");
+
+    let mut none = carbon_explorer::battery::IdealBattery::new(0.0);
+    let config = CombinedConfig {
+        max_capacity_mw: cap,
+        flexible_ratio: 0.4,
+        window_hours: 24,
+    };
+    let cas_only =
+        carbon_explorer::scheduler::combined_dispatch(&mut none, &demand, &supply, config)
+            .expect("aligned");
+
+    let mut b2 = ClcBattery::lfp(100.0, 1.0);
+    let combined =
+        carbon_explorer::scheduler::combined_dispatch(&mut b2, &demand, &supply, config)
+            .expect("aligned");
+
+    assert!(combined.unmet.sum() <= battery_only.unmet.sum() + 1e-6);
+    assert!(combined.unmet.sum() <= cas_only.unmet.sum() + 1e-6);
+}
+
+#[test]
+fn figure_6_scenario_intensity_ordering() {
+    let (demand, supply, grid) = site_and_supply("UT");
+    let unmet = demand
+        .zip_with(&supply, |d, s| (d - s).max(0.0))
+        .expect("aligned");
+    let mitigated = unmet.scale(0.1);
+    use carbon_explorer::core::scenario::hourly_intensity;
+    use carbon_explorer::core::Scenario;
+    let mix = hourly_intensity(Scenario::GridMix, &demand, &supply, &grid, None)
+        .expect("aligned")
+        .mean();
+    let net_zero = hourly_intensity(Scenario::NetZero, &demand, &supply, &grid, None)
+        .expect("aligned")
+        .mean();
+    let cf = hourly_intensity(Scenario::CarbonFree247, &demand, &supply, &grid, Some(&mitigated))
+        .expect("aligned")
+        .mean();
+    assert!(mix > net_zero && net_zero > cf);
+}
+
+#[test]
+fn coverage_object_reports_consistent_views() {
+    let (demand, supply, _) = site_and_supply("TX");
+    let coverage = renewable_coverage(&demand, &supply).expect("aligned");
+    let recomputed = 1.0 - coverage.unmet_mwh() / coverage.demand_mwh();
+    assert!((coverage.fraction() - recomputed).abs() < 1e-9);
+    let _ = Coverage::from_unmet(&demand, &demand.scale(0.0)).expect("aligned");
+}
