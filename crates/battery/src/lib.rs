@@ -41,5 +41,7 @@ pub use api::{BatteryModel, IdealBattery};
 pub use clc::{ClcBattery, ClcParams};
 pub use degradation::{simulate_fleet_aging, DegradationState};
 pub use lifetime::{cycle_life, lifetime_years, lifetime_years_capped};
-pub use policy::{dispatch_with_policy, DispatchPolicy, GreedyPolicy, PeakShavingPolicy, ThresholdPolicy};
+pub use policy::{
+    dispatch_with_policy, DispatchPolicy, GreedyPolicy, PeakShavingPolicy, ThresholdPolicy,
+};
 pub use simulate::{simulate_dispatch, DispatchResult};

@@ -47,7 +47,10 @@ pub fn cycle_life(dod: f64) -> f64 {
 /// the cycle math produces at 60% DoD — callers that care should clamp
 /// with [`lifetime_years_capped`].
 pub fn lifetime_years(dod: f64, cycles_per_year: f64) -> f64 {
-    assert!(cycles_per_year >= 0.0, "cycles per year must be non-negative");
+    assert!(
+        cycles_per_year >= 0.0,
+        "cycles per year must be non-negative"
+    );
     if cycles_per_year == 0.0 {
         return f64::INFINITY;
     }

@@ -132,7 +132,11 @@ pub fn dispatch_with_policy(
     Ok(PolicyDispatchResult {
         peak_grid_draw_mw: grid_draw.max().unwrap_or(0.0),
         operational_tons: operational,
-        equivalent_cycles: if usable > 0.0 { discharged / usable } else { 0.0 },
+        equivalent_cycles: if usable > 0.0 {
+            discharged / usable
+        } else {
+            0.0
+        },
         grid_draw,
     })
 }
@@ -179,9 +183,14 @@ mod tests {
         let supply = HourlySeries::from_values(start(), vec![20.0, 0.0, 0.0]);
         let intensity = HourlySeries::from_values(start(), vec![0.2, 0.1, 0.9]);
         let mut greedy_batt = IdealBattery::new(10.0);
-        let greedy =
-            dispatch_with_policy(&mut greedy_batt, &GreedyPolicy, &demand, &supply, &intensity)
-                .unwrap();
+        let greedy = dispatch_with_policy(
+            &mut greedy_batt,
+            &GreedyPolicy,
+            &demand,
+            &supply,
+            &intensity,
+        )
+        .unwrap();
         let mut thresh_batt = IdealBattery::new(10.0);
         let thresh = dispatch_with_policy(
             &mut thresh_batt,
@@ -255,13 +264,8 @@ mod tests {
         let demand = HourlySeries::zeros(start(), 2);
         let supply = HourlySeries::zeros(start(), 3);
         let mut battery = IdealBattery::new(1.0);
-        assert!(dispatch_with_policy(
-            &mut battery,
-            &GreedyPolicy,
-            &demand,
-            &supply,
-            &demand
-        )
-        .is_err());
+        assert!(
+            dispatch_with_policy(&mut battery, &GreedyPolicy, &demand, &supply, &demand).is_err()
+        );
     }
 }

@@ -37,7 +37,11 @@ impl DispatchResult {
         bins: usize,
     ) -> Result<Histogram, TimeSeriesError> {
         let fractions: Vec<f64> = if capacity_mwh > 0.0 {
-            self.soc.values().iter().map(|&s| s / capacity_mwh).collect()
+            self.soc
+                .values()
+                .iter()
+                .map(|&s| s / capacity_mwh)
+                .collect()
         } else {
             vec![0.0; self.soc.len()]
         };
@@ -158,8 +162,7 @@ mod tests {
     #[test]
     fn energy_conservation_with_ideal_battery() {
         let demand = HourlySeries::constant(start(), 24, 10.0);
-        let supply =
-            HourlySeries::from_fn(start(), 24, |h| if h % 2 == 0 { 22.0 } else { 0.0 });
+        let supply = HourlySeries::from_fn(start(), 24, |h| if h % 2 == 0 { 22.0 } else { 0.0 });
         let mut battery = IdealBattery::new(6.0);
         battery.reset(0.0);
         let r = simulate_dispatch(&mut battery, &demand, &supply).unwrap();
@@ -202,7 +205,10 @@ mod tests {
         let counts = hist.counts();
         let edges = counts[0] + counts[9];
         let middle: usize = counts[1..9].iter().sum();
-        assert!(edges > middle, "SoC distribution should be bimodal: {counts:?}");
+        assert!(
+            edges > middle,
+            "SoC distribution should be bimodal: {counts:?}"
+        );
     }
 
     #[test]

@@ -2,7 +2,10 @@
 //! design evaluations per strategy, a full (coarse) sweep, and Pareto
 //! extraction. These bound the cost of Figures 14-15.
 
-use ce_core::{CarbonExplorer, DesignPoint, DesignSpace, ParetoFrontier, StrategyKind};
+use ce_core::{
+    renewable_coverage, CarbonExplorer, DesignPoint, DesignSpace, EvalScratch, ParetoFrontier,
+    StrategyKind,
+};
 use ce_datacenter::Fleet;
 use ce_grid::GridDataset;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -48,5 +51,83 @@ fn bench_sweep(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_evaluate, bench_sweep);
+/// Single-thread cost of one renewables-only scoring, three ways: the
+/// pre-optimization formulation (materialize the scaled supply, the unmet
+/// series, and the weighted series, then fold each away), the current
+/// `evaluate` (fused kernels, fresh scratch per call), and `evaluate_with`
+/// on a reused scratch (the sweep engine's steady state — zero heap
+/// allocation per point).
+fn bench_fused_vs_naive(c: &mut Criterion) {
+    let explorer = explorer();
+    let design = DesignPoint::renewables(300.0, 150.0);
+    let demand = explorer.demand().clone();
+    let intensity = explorer.grid_intensity().clone();
+    let grid = explorer.grid().clone();
+
+    let mut group = c.benchmark_group("renewables_only_point");
+    group.bench_function("naive_materializing", |b| {
+        b.iter(|| {
+            let supply = grid.scaled_renewables(design.solar_mw, design.wind_mw);
+            let unmet = demand
+                .zip_with(&supply, |d, s| (d - s).max(0.0))
+                .expect("aligned");
+            let coverage = renewable_coverage(&demand, &supply).expect("aligned");
+            let operational = unmet
+                .zip_with(&intensity, |u, i| u * i)
+                .expect("aligned")
+                .sum();
+            let solar_energy = grid.scaled_solar(design.solar_mw).sum();
+            let wind_energy = grid.scaled_wind(design.wind_mw).sum();
+            black_box((coverage, operational, solar_energy, wind_energy))
+        })
+    });
+    group.bench_function("fused_fresh_scratch", |b| {
+        b.iter(|| explorer.evaluate(StrategyKind::RenewablesOnly, black_box(&design)))
+    });
+    group.bench_function("fused_reused_scratch", |b| {
+        let mut scratch = EvalScratch::default();
+        b.iter(|| {
+            explorer.evaluate_with(
+                StrategyKind::RenewablesOnly,
+                black_box(&design),
+                &mut scratch,
+            )
+        })
+    });
+    group.finish();
+}
+
+/// The headline serial-vs-parallel comparison: a 6×6×5×3 = 540-point
+/// RenewablesBatteryCas grid (every axis live, so each point pays the full
+/// combined battery + CAS dispatch). `explore` and `explore_serial` return
+/// bitwise-identical vectors, so the ratio of these two numbers is pure
+/// speedup.
+fn bench_parallel_sweep(c: &mut Criterion) {
+    let explorer = explorer();
+    let space = DesignSpace {
+        solar: (0.0, 600.0, 6),
+        wind: (0.0, 600.0, 6),
+        battery: (0.0, 400.0, 5),
+        extra_capacity: (0.0, 1.0, 3),
+    };
+    let strategy = StrategyKind::RenewablesBatteryCas;
+    assert_eq!(space.restricted_to(strategy).len(), 540);
+
+    let mut group = c.benchmark_group("explore_cas_space_540pts");
+    group.bench_function("serial", |b| {
+        b.iter(|| explorer.explore_serial(strategy, black_box(&space)))
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| explorer.explore(strategy, black_box(&space)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_evaluate,
+    bench_sweep,
+    bench_fused_vs_naive,
+    bench_parallel_sweep
+);
 criterion_main!(benches);

@@ -58,7 +58,11 @@ fn bench_schedulers(c: &mut Criterion) {
     };
     c.bench_function("greedy_schedule_year", |b| {
         let scheduler = GreedyScheduler::new(config);
-        b.iter(|| scheduler.schedule(black_box(&demand), black_box(&supply)).unwrap())
+        b.iter(|| {
+            scheduler
+                .schedule(black_box(&demand), black_box(&supply))
+                .unwrap()
+        })
     });
     c.bench_function("combined_dispatch_year", |b| {
         b.iter(|| {

@@ -100,16 +100,17 @@ pub fn fig7(ctx: &mut Context) -> String {
             .chain(levels.iter().map(|s| format!("{s:.0}")))
             .collect();
         let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-        let rows: Vec<Vec<String>> = levels
-            .iter()
-            .map(|&w| {
-                std::iter::once(format!("{w:.0}"))
-                    .chain(levels.iter().map(|&s| {
-                        format!("{:.0}", coverage_percent(&demand, &grid, s, w))
-                    }))
-                    .collect()
-            })
-            .collect();
+        // steps² coverage evaluations per site: fan out one wind level
+        // (one table row) per task, rows collected in axis order.
+        let rows: Vec<Vec<String>> = ce_parallel::par_map(&levels, |&w| {
+            std::iter::once(format!("{w:.0}"))
+                .chain(
+                    levels
+                        .iter()
+                        .map(|&s| format!("{:.0}", coverage_percent(&demand, &grid, s, w))),
+                )
+                .collect()
+        });
         out.push_str(&render_table(&header_refs, &rows));
         let meta_cov = coverage_percent(&demand, &grid, site.solar_mw(), site.wind_mw());
         let _ = writeln!(
@@ -173,7 +174,10 @@ pub fn fig8(ctx: &mut Context) -> String {
         let invest = investment_for_coverage(&demand, &grid, solar_share, target, max_total);
         match invest {
             Some(mw) => {
-                let _ = writeln!(out, "coverage {target:>5.1}% needs {mw:>12.0} MW of renewables");
+                let _ = writeln!(
+                    out,
+                    "coverage {target:>5.1}% needs {mw:>12.0} MW of renewables"
+                );
                 if target == 95.0 {
                     invest95 = Some(mw);
                 }
@@ -182,7 +186,10 @@ pub fn fig8(ctx: &mut Context) -> String {
                 }
             }
             None => {
-                let _ = writeln!(out, "coverage {target:>5.1}% unreachable below {max_total:.0} MW");
+                let _ = writeln!(
+                    out,
+                    "coverage {target:>5.1}% unreachable below {max_total:.0} MW"
+                );
             }
         }
     }
@@ -196,9 +203,8 @@ pub fn fig8(ctx: &mut Context) -> String {
 
     // The average-day counterfactual: replace supply with its average-day
     // profile and the tail almost disappears.
-    let supply_at = |total: f64| {
-        grid.scaled_renewables(total * solar_share, total * (1.0 - solar_share))
-    };
+    let supply_at =
+        |total: f64| grid.scaled_renewables(total * solar_share, total * (1.0 - solar_share));
     let avg_day_coverage = |total: f64| {
         let supply = supply_at(total);
         let profile = average_day_profile(&supply);
@@ -335,14 +341,26 @@ pub fn fig11(ctx: &mut Context) -> String {
     let mut out = String::from(
         "Figure 11: Carbon-aware scheduling illustration, Utah DC, 3 days\n(P_DC_MAX = 17.6 MW, 10% flexible, daily SLO)\n\n",
     );
-    let _ = writeln!(out, "grid carbon intensity [{}]", sparkline(intensity3.values()));
-    let _ = writeln!(out, "DC power without CAS  [{}]", sparkline(demand3.values()));
+    let _ = writeln!(
+        out,
+        "grid carbon intensity [{}]",
+        sparkline(intensity3.values())
+    );
+    let _ = writeln!(
+        out,
+        "DC power without CAS  [{}]",
+        sparkline(demand3.values())
+    );
     let _ = writeln!(
         out,
         "DC power with CAS     [{}]",
         sparkline(result.shifted_demand.values())
     );
-    let _ = writeln!(out, "\nenergy shifted: {:.1} MWh over 3 days", result.energy_shifted_mwh);
+    let _ = writeln!(
+        out,
+        "\nenergy shifted: {:.1} MWh over 3 days",
+        result.energy_shifted_mwh
+    );
     let _ = writeln!(
         out,
         "peak power: {:.1} MW → {:.1} MW (cap 17.6 MW)",
@@ -350,7 +368,9 @@ pub fn fig11(ctx: &mut Context) -> String {
         result.shifted_demand.max().unwrap()
     );
     let weighted = |d: &HourlySeries| {
-        d.zip_with(&intensity3, |p, i| p * i).expect("aligned").sum()
+        d.zip_with(&intensity3, |p, i| p * i)
+            .expect("aligned")
+            .sum()
     };
     let _ = writeln!(
         out,
@@ -411,7 +431,9 @@ pub fn cas_gain_at_meta_investment(
     flexible_ratio: f64,
 ) -> (f64, f64, f64) {
     let supply = grid.scaled_renewables(site.solar_mw(), site.wind_mw());
-    let before = renewable_coverage(demand, &supply).expect("aligned").percent();
+    let before = renewable_coverage(demand, &supply)
+        .expect("aligned")
+        .percent();
     let scheduler = GreedyScheduler::new(CasConfig {
         max_capacity_mw: demand.max().unwrap_or(0.0) * 2.0,
         flexible_ratio,
@@ -440,7 +462,15 @@ mod tests {
         let means: Vec<f64> = out
             .lines()
             .filter(|l| l.contains("avg "))
-            .filter_map(|l| l.split("avg").nth(1)?.trim().split(' ').next()?.parse().ok())
+            .filter_map(|l| {
+                l.split("avg")
+                    .nth(1)?
+                    .trim()
+                    .split(' ')
+                    .next()?
+                    .parse()
+                    .ok()
+            })
             .collect();
         assert_eq!(means.len(), 3);
         assert!(means[0] > means[1], "grid mix > net zero: {means:?}");

@@ -7,11 +7,11 @@ use ce_battery::{simulate_dispatch, simulate_fleet_aging, ClcBattery, IdealBatte
 use ce_core::accounting::{match_credits, MatchingGranularity};
 use ce_core::report::render_table;
 use ce_core::Coverage;
+use ce_core::{sensitivity, StrategyKind};
 use ce_scheduler::{
     lp_schedule, migrate_load, online_schedule, CasConfig, GreedyScheduler, MigrationConfig,
     SpatialSite, TieredScheduler,
 };
-use ce_core::{sensitivity, StrategyKind};
 use ce_timeseries::HourlySeries;
 use std::fmt::Write as _;
 
@@ -25,9 +25,7 @@ pub fn accounting(ctx: &mut Context) -> String {
     let supply = grid.scaled_renewables(site.solar_mw(), site.wind_mw());
     let intensity = grid.carbon_intensity();
 
-    let mut out = String::from(
-        "Credit-matching granularity (UT, Meta's investment):\n\n",
-    );
+    let mut out = String::from("Credit-matching granularity (UT, Meta's investment):\n\n");
     let headers = ["granularity", "matched", "residual tCO2/year"];
     let rows: Vec<Vec<String>> = MatchingGranularity::ALL
         .iter()
@@ -70,11 +68,13 @@ pub fn ablation_battery(ctx: &mut Context) -> String {
     run("ideal (lossless)", &mut IdealBattery::new(capacity));
     run("LFP, 100% DoD", &mut ClcBattery::lfp(capacity, 1.0));
     run("LFP, 80% DoD", &mut ClcBattery::lfp(capacity, 0.8));
-    run("sodium-ion, 100% DoD", &mut ClcBattery::sodium_ion(capacity, 1.0));
-
-    let mut out = format!(
-        "Battery-model ablation (UT, {capacity:.0} MWh = 5 hours of compute):\n\n"
+    run(
+        "sodium-ion, 100% DoD",
+        &mut ClcBattery::sodium_ion(capacity, 1.0),
     );
+
+    let mut out =
+        format!("Battery-model ablation (UT, {capacity:.0} MWh = 5 hours of compute):\n\n");
     out.push_str(&render_table(
         &["model", "coverage", "unmet MWh", "cycles"],
         &rows,
@@ -105,7 +105,10 @@ pub fn ablation_scheduler(ctx: &mut Context) -> String {
     };
 
     let mut rows = Vec::new();
-    rows.push(vec!["no scheduling".into(), format!("{:.1}", deficit(&demand))]);
+    rows.push(vec![
+        "no scheduling".into(),
+        format!("{:.1}", deficit(&demand)),
+    ]);
 
     let greedy = GreedyScheduler::new(config)
         .schedule(&demand, &supply)
@@ -124,7 +127,10 @@ pub fn ablation_scheduler(ctx: &mut Context) -> String {
     ]);
 
     let lp = lp_schedule(&demand, &supply, config).expect("day LPs solvable");
-    rows.push(vec!["LP-optimal (oracle)".into(), format!("{:.1}", deficit(&lp))]);
+    rows.push(vec![
+        "LP-optimal (oracle)".into(),
+        format!("{:.1}", deficit(&lp)),
+    ]);
 
     let online = online_schedule(&demand, &supply, config).expect("aligned");
     rows.push(vec![
@@ -133,7 +139,10 @@ pub fn ablation_scheduler(ctx: &mut Context) -> String {
     ]);
 
     let mut out = String::from("Scheduler ablation (UT, first quarter, 40% flexible):\n\n");
-    out.push_str(&render_table(&["scheduler", "renewable deficit MWh"], &rows));
+    out.push_str(&render_table(
+        &["scheduler", "renewable deficit MWh"],
+        &rows,
+    ));
     let _ = writeln!(
         out,
         "\nonline-vs-oracle regret: {:.1}% — the cost of scheduling on forecasts instead of actuals",
@@ -160,9 +169,8 @@ pub fn migration(ctx: &mut Context) -> String {
         });
     }
     let result = migrate_load(&sites, MigrationConfig::default()).expect("aligned fleets");
-    let mut out = String::from(
-        "Geographic load migration (OR + TX + NC, 40% migratable, 2% overhead):\n\n",
-    );
+    let mut out =
+        String::from("Geographic load migration (OR + TX + NC, 40% migratable, 2% overhead):\n\n");
     let _ = writeln!(
         out,
         "fleet renewable deficit: {:.0} MWh → {:.0} MWh ({:.1}% reduction)",
@@ -186,9 +194,8 @@ pub fn aging(ctx: &mut Context) -> String {
     let capacity = 5.0 * site.avg_power_mw();
 
     let years = simulate_fleet_aging(capacity, 1.0, &demand, &supply, 10).expect("aligned");
-    let mut out = format!(
-        "Battery aging over 10 years (UT, {capacity:.0} MWh nameplate, 100% DoD):\n\n"
-    );
+    let mut out =
+        format!("Battery aging over 10 years (UT, {capacity:.0} MWh nameplate, 100% DoD):\n\n");
     let headers = ["year", "capacity", "unmet MWh", "cycles"];
     let rows: Vec<Vec<String>> = years
         .iter()
@@ -224,7 +231,14 @@ pub fn sensitivity_study(ctx: &mut Context) -> String {
     let mut out = String::from(
         "Embodied-parameter sensitivity (UT, Renewables + Battery, published ranges):\n\n",
     );
-    let headers = ["parameter", "low", "high", "total @low", "total @high", "swing t/y"];
+    let headers = [
+        "parameter",
+        "low",
+        "high",
+        "total @low",
+        "total @high",
+        "swing t/y",
+    ];
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -249,7 +263,13 @@ pub fn seasonal_study(ctx: &mut Context) -> String {
     let mut out = String::from(
         "Seasonal coverage breakdown at Meta's investments (binding month per region):\n\n",
     );
-    let headers = ["site", "annual", "best month", "worst month", "worst coverage"];
+    let headers = [
+        "site",
+        "annual",
+        "best month",
+        "worst month",
+        "worst coverage",
+    ];
     let mut rows = Vec::new();
     for state in ["UT", "OR", "NC", "TX", "IA"] {
         let site = ctx.site(state);
@@ -321,8 +341,11 @@ mod tests {
         let deficits: Vec<f64> = out
             .lines()
             .filter_map(|l| {
-                if l.contains("scheduling") || l.contains("greedy") || l.contains("LP")
-                    || l.contains("tiered") || l.contains("online")
+                if l.contains("scheduling")
+                    || l.contains("greedy")
+                    || l.contains("LP")
+                    || l.contains("tiered")
+                    || l.contains("online")
                 {
                     l.split_whitespace().last()?.parse().ok()
                 } else {
@@ -331,9 +354,17 @@ mod tests {
             })
             .collect();
         assert!(deficits.len() >= 5);
-        let (none, greedy, _tiered, lp, online) =
-            (deficits[0], deficits[1], deficits[2], deficits[3], deficits[4]);
-        assert!(lp <= greedy + 1e-6, "LP should be at least as good as greedy");
+        let (none, greedy, _tiered, lp, online) = (
+            deficits[0],
+            deficits[1],
+            deficits[2],
+            deficits[3],
+            deficits[4],
+        );
+        assert!(
+            lp <= greedy + 1e-6,
+            "LP should be at least as good as greedy"
+        );
         assert!(greedy <= none, "greedy should improve on no scheduling");
         assert!(online >= lp - 1e-6, "online cannot beat the oracle LP");
     }
@@ -362,7 +393,12 @@ mod tests {
     #[test]
     fn aging_reports_ten_years() {
         let out = aging(&mut ctx());
-        assert_eq!(out.lines().filter(|l| l.trim().starts_with(|c: char| c.is_ascii_digit())).count(), 10);
+        assert_eq!(
+            out.lines()
+                .filter(|l| l.trim().starts_with(|c: char| c.is_ascii_digit()))
+                .count(),
+            10
+        );
         assert!(out.contains("100.0%"));
     }
 }

@@ -25,24 +25,39 @@ pub fn fig14_for_sites(ctx: &mut Context, states: &[&str]) -> String {
     let mut out = String::from(
         "Figure 14: Operational vs embodied footprint and Pareto frontiers (40% flexible workloads)\n",
     );
-    for state in states {
-        let site = ctx.site(state);
-        let explorer = ctx.explorer(state);
-        let space = space_for(&site, ctx.fidelity);
+    // Grid synthesis needs `&mut ctx` (the dataset cache), so inputs are
+    // prefetched serially; the sweeps themselves fan out per site and the
+    // blocks are stitched back in input order.
+    let inputs: Vec<_> = states
+        .iter()
+        .map(|state| {
+            let site = ctx.site(state);
+            let explorer = ctx.explorer(state);
+            let space = space_for(&site, ctx.fidelity);
+            (site, explorer, space)
+        })
+        .collect();
+    let blocks = ce_parallel::par_map(&inputs, |(site, explorer, space)| {
+        let mut block = String::new();
         let _ = writeln!(
-            out,
+            block,
             "\n--- {} ({}), AVG DC Power: {:.0} MW ---",
             site.name(),
             site.ba().regime(),
             site.avg_power_mw()
         );
         for strategy in StrategyKind::ALL {
-            let evals = explorer.explore(strategy, &space);
+            let evals = explorer.explore(strategy, space);
             let frontier = ParetoFrontier::from_evaluations(&evals);
-            let _ = writeln!(out, "{} — frontier ({} points):", strategy, frontier.len());
+            let _ = writeln!(
+                block,
+                "{} — frontier ({} points):",
+                strategy,
+                frontier.len()
+            );
             for point in frontier.points().iter().take(8) {
                 let _ = writeln!(
-                    out,
+                    block,
                     "  embodied {:>9.0} t/y  operational {:>9.0} t/y  coverage {:>5.1}%",
                     point.embodied_tons(),
                     point.operational_tons,
@@ -51,13 +66,17 @@ pub fn fig14_for_sites(ctx: &mut Context, states: &[&str]) -> String {
             }
             if let Some(best) = frontier.carbon_optimal() {
                 let _ = writeln!(
-                    out,
+                    block,
                     "  carbon-optimal: total {:.0} t/y at coverage {:.1}%",
                     best.total_tons(),
                     best.coverage.percent()
                 );
             }
         }
+        block
+    });
+    for block in blocks {
+        out.push_str(&block);
     }
     out
 }
@@ -73,36 +92,54 @@ pub fn fig15_for_sites(ctx: &mut Context, states: &[&str]) -> String {
         "Figure 15: Total footprint of the carbon-optimal setting of each solution, per MW of DC capacity\n\n",
     );
     let headers = [
-        "site", "regime", "strategy", "coverage", "op t/MW", "emb t/MW", "total t/MW",
+        "site",
+        "regime",
+        "strategy",
+        "coverage",
+        "op t/MW",
+        "emb t/MW",
+        "total t/MW",
     ];
-    let mut rows = Vec::new();
-    for state in states {
-        let site = ctx.site(state);
-        let explorer = ctx.explorer(state);
-        let space = space_for(&site, ctx.fidelity);
+    let refine_rounds = ctx.fidelity.refine_rounds();
+    let inputs: Vec<_> = states
+        .iter()
+        .map(|state| {
+            let site = ctx.site(state);
+            let explorer = ctx.explorer(state);
+            let space = space_for(&site, ctx.fidelity);
+            (state.to_string(), site, explorer, space)
+        })
+        .collect();
+    let site_rows = ce_parallel::par_map(&inputs, |(state, site, explorer, space)| {
         let avg = site.avg_power_mw();
-        for strategy in StrategyKind::ALL {
-            let best = explorer
-                .optimal_refined(strategy, &space, ctx.fidelity.refine_rounds())
-                .expect("non-empty space");
-            let annotation = if best.coverage.is_full() {
-                "★100%".to_string()
-            } else {
-                format!("{:.0}%", best.coverage.percent())
-            };
-            rows.push(vec![
-                state.to_string(),
-                site.ba().regime().to_string(),
-                strategy.label().to_string(),
-                annotation,
-                format!("{:.0}", best.operational_tons / avg),
-                format!("{:.0}", best.embodied_tons() / avg),
-                format!("{:.0}", best.total_tons() / avg),
-            ]);
-        }
-    }
+        StrategyKind::ALL
+            .iter()
+            .map(|&strategy| {
+                let best = explorer
+                    .optimal_refined(strategy, space, refine_rounds)
+                    .expect("non-empty space");
+                let annotation = if best.coverage.is_full() {
+                    "★100%".to_string()
+                } else {
+                    format!("{:.0}%", best.coverage.percent())
+                };
+                vec![
+                    state.clone(),
+                    site.ba().regime().to_string(),
+                    strategy.label().to_string(),
+                    annotation,
+                    format!("{:.0}", best.operational_tons / avg),
+                    format!("{:.0}", best.embodied_tons() / avg),
+                    format!("{:.0}", best.total_tons() / avg),
+                ]
+            })
+            .collect::<Vec<_>>()
+    });
+    let rows: Vec<Vec<String>> = site_rows.into_iter().flatten().collect();
     out.push_str(&render_table(&headers, &rows));
-    out.push_str("\n★ marks solutions whose carbon-optimal configuration reaches full 24/7 coverage.\n");
+    out.push_str(
+        "\n★ marks solutions whose carbon-optimal configuration reaches full 24/7 coverage.\n",
+    );
     out
 }
 
@@ -125,9 +162,8 @@ pub fn fig16(ctx: &mut Context) -> String {
     let supply = grid.scaled_renewables(0.35 * site.solar_mw(), 0.35 * site.wind_mw());
     let capacity = 5.0 * site.avg_power_mw();
 
-    let mut out = String::from(
-        "Figure 16: Battery charge-level distribution (UT, ~5 hours of battery)\n\n",
-    );
+    let mut out =
+        String::from("Figure 16: Battery charge-level distribution (UT, ~5 hours of battery)\n\n");
     for dod in [1.0, 0.8] {
         let mut battery = ClcBattery::lfp(capacity, dod);
         let result = simulate_dispatch(&mut battery, &demand, &supply).expect("aligned");
@@ -162,12 +198,21 @@ pub fn dod_study(ctx: &mut Context) -> String {
     for dod in [1.0, 0.8, 0.6] {
         let explorer = base_explorer.clone().with_dod(dod);
         let best = explorer
-            .optimal_refined(StrategyKind::RenewablesBattery, &space, ctx.fidelity.refine_rounds())
+            .optimal_refined(
+                StrategyKind::RenewablesBattery,
+                &space,
+                ctx.fidelity.refine_rounds(),
+            )
             .expect("non-empty space");
         results.push((dod, best));
     }
     let headers = [
-        "DoD", "batt MWh", "cycles/y", "emb batt t/y", "total t/y", "coverage",
+        "DoD",
+        "batt MWh",
+        "cycles/y",
+        "emb batt t/y",
+        "total t/y",
+        "coverage",
     ];
     let rows: Vec<Vec<String>> = results
         .iter()
@@ -205,15 +250,26 @@ pub fn cas_study(ctx: &mut Context) -> String {
         "CAS study (§5): carbon-aware scheduling at Meta's investments (40% flexible)\n\n",
     );
     let states = ["NE", "OR", "UT", "NM", "TX", "VA", "NC", "IA", "GA", "TN"];
-    let headers = ["site", "coverage before", "after CAS", "gain", "extra servers"];
-    let mut rows = Vec::new();
-    let mut gains = Vec::new();
-    for state in states {
-        let site = ctx.site(state);
-        let demand = site.demand_trace(YEAR, SEED);
-        let grid = ctx.grid(site.ba()).clone();
-        let (before, after, _) = cas_gain_at_meta_investment(&site, &demand, &grid, 0.4);
-        gains.push(after - before);
+    let headers = [
+        "site",
+        "coverage before",
+        "after CAS",
+        "gain",
+        "extra servers",
+    ];
+    let inputs: Vec<_> = states
+        .iter()
+        .map(|state| {
+            let site = ctx.site(state);
+            let demand = site.demand_trace(YEAR, SEED);
+            let grid = ctx.grid(site.ba()).clone();
+            (state.to_string(), site, demand, grid)
+        })
+        .collect();
+    // Each site's before/after coverage and capacity bisection (dozens of
+    // scheduler runs) is independent — fan out per site.
+    let per_site = ce_parallel::par_map(&inputs, |(state, site, demand, grid)| {
+        let (before, after, _) = cas_gain_at_meta_investment(site, demand, grid, 0.4);
 
         // Minimum extra capacity that still realizes (nearly) the full
         // gain: bisect the capacity cap between the existing peak and 2x.
@@ -224,7 +280,7 @@ pub fn cas_study(ctx: &mut Context) -> String {
                 max_capacity_mw: cap,
                 flexible_ratio: 0.4,
             });
-            let shifted = scheduler.schedule(&demand, &supply).expect("aligned");
+            let shifted = scheduler.schedule(demand, &supply).expect("aligned");
             ce_core::renewable_coverage(&shifted.shifted_demand, &supply)
                 .expect("aligned")
                 .percent()
@@ -241,14 +297,16 @@ pub fn cas_study(ctx: &mut Context) -> String {
         }
         let extra = hi / peak - 1.0;
 
-        rows.push(vec![
-            state.to_string(),
+        let row = vec![
+            state.clone(),
             format!("{before:.1}%"),
             format!("{after:.1}%"),
             format!("+{:.1} pts", after - before),
             format!("+{:.0}%", extra * 100.0),
-        ]);
-    }
+        ];
+        (row, after - before)
+    });
+    let (rows, gains): (Vec<_>, Vec<_>) = per_site.into_iter().unzip();
     out.push_str(&render_table(&headers, &rows));
     let min = gains.iter().copied().fold(f64::MAX, f64::min);
     let max = gains.iter().copied().fold(f64::MIN, f64::max);

@@ -26,7 +26,8 @@ pub fn table1(ctx: &mut Context) -> String {
             ]
         })
         .collect();
-    let mut out = String::from("Table 1: Meta's US datacenter locations and renewable investments [MW]\n\n");
+    let mut out =
+        String::from("Table 1: Meta's US datacenter locations and renewable investments [MW]\n\n");
     out.push_str(&render_table(
         &["Location", "BA", "Solar", "Wind", "Total"],
         &rows,
@@ -65,7 +66,10 @@ pub fn fig1(ctx: &mut Context) -> String {
     // A spring week (the paper's curtailment-heavy season): days 90-96.
     let week_start = 90 * 24;
     let wind = grid.wind().window(week_start, 7 * 24).expect("window fits");
-    let solar = grid.solar().window(week_start, 7 * 24).expect("window fits");
+    let solar = grid
+        .solar()
+        .window(week_start, 7 * 24)
+        .expect("window fits");
     let combined = &wind + &solar;
     let max = combined.max().unwrap_or(0.0);
     let daily: Vec<f64> = daily_totals(&combined);
@@ -98,12 +102,19 @@ pub fn fig3() -> String {
     let meta_profile = profile(&meta);
     let google_profile = profile(&google);
     let corr = pearson(meta.utilization.values(), meta.power.values()).expect("same length");
-    let power_swing =
-        (meta.power.max().unwrap() - meta.power.min().unwrap()) / meta.power.mean();
+    let power_swing = (meta.power.max().unwrap() - meta.power.min().unwrap()) / meta.power.mean();
 
     let mut out = String::from("Figure 3: Hourly DC CPU fluctuations and power correlation\n\n");
-    let _ = writeln!(out, "Meta avg day utilization   [{}]", sparkline(&meta_profile));
-    let _ = writeln!(out, "Google avg day utilization [{}]", sparkline(&google_profile));
+    let _ = writeln!(
+        out,
+        "Meta avg day utilization   [{}]",
+        sparkline(&meta_profile)
+    );
+    let _ = writeln!(
+        out,
+        "Google avg day utilization [{}]",
+        sparkline(&google_profile)
+    );
     let _ = writeln!(
         out,
         "\nMeta CPU swing: {:.1} pts   Google CPU swing: {:.1} pts",
@@ -142,9 +153,8 @@ pub fn fig4() -> String {
 /// Figure 5: average-day generation and daily-total histograms for BPAT
 /// (wind), DUK (solar), and PACE (mixed).
 pub fn fig5(ctx: &mut Context) -> String {
-    let mut out = String::from(
-        "Figure 5: Average-day generation and day-to-day variability, year 2020\n",
-    );
+    let mut out =
+        String::from("Figure 5: Average-day generation and day-to-day variability, year 2020\n");
     for (ba, label) in [
         (BalancingAuthority::BPAT, "BPAT (in OR) — majorly wind"),
         (BalancingAuthority::DUK, "DUK (in NC) — majorly solar"),

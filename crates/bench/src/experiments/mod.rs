@@ -11,9 +11,30 @@ use crate::context::Context;
 /// Every experiment id: the paper's artifacts in paper order, followed by
 /// this reproduction's extension/ablation studies.
 pub const ALL_IDS: [&str; 25] = [
-    "table1", "table2", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "fig10", "fig11", "fig12", "fig14", "fig15", "fig16", "dod", "cas", "accounting",
-    "ablation-battery", "ablation-scheduler", "migration", "aging", "sensitivity",
+    "table1",
+    "table2",
+    "fig1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig14",
+    "fig15",
+    "fig16",
+    "dod",
+    "cas",
+    "accounting",
+    "ablation-battery",
+    "ablation-scheduler",
+    "migration",
+    "aging",
+    "sensitivity",
     "seasonal",
 ];
 

@@ -140,10 +140,7 @@ pub fn match_credits(
 }
 
 /// Half-open index ranges of the matching periods covering the series.
-fn period_ranges(
-    series: &HourlySeries,
-    granularity: MatchingGranularity,
-) -> Vec<(usize, usize)> {
+fn period_ranges(series: &HourlySeries, granularity: MatchingGranularity) -> Vec<(usize, usize)> {
     let len = series.len();
     match granularity {
         MatchingGranularity::Hourly => (0..len).map(|h| (h, h + 1)).collect(),
@@ -199,8 +196,13 @@ mod tests {
     fn hourly_matching_equals_coverage_semantics() {
         let demand = HourlySeries::constant(start(), 2, 10.0);
         let gen = HourlySeries::from_values(start(), vec![20.0, 0.0]);
-        let report = match_credits(&demand, &gen, &flat_intensity(2), MatchingGranularity::Hourly)
-            .unwrap();
+        let report = match_credits(
+            &demand,
+            &gen,
+            &flat_intensity(2),
+            MatchingGranularity::Hourly,
+        )
+        .unwrap();
         assert_eq!(report.matched_mwh, 10.0);
         assert_eq!(report.matched_fraction(), 0.5);
         assert!((report.residual_emissions_tons - 5.0).abs() < 1e-12);
@@ -211,8 +213,13 @@ mod tests {
     fn annual_matching_declares_net_zero_despite_hourly_deficits() {
         let demand = HourlySeries::constant(start(), 2, 10.0);
         let gen = HourlySeries::from_values(start(), vec![20.0, 0.0]);
-        let report = match_credits(&demand, &gen, &flat_intensity(2), MatchingGranularity::Annual)
-            .unwrap();
+        let report = match_credits(
+            &demand,
+            &gen,
+            &flat_intensity(2),
+            MatchingGranularity::Annual,
+        )
+        .unwrap();
         assert!(report.is_fully_matched());
         assert_eq!(report.matched_fraction(), 1.0);
         assert_eq!(report.residual_emissions_tons, 0.0);
@@ -253,9 +260,13 @@ mod tests {
         // Generate only in January, exactly January's demand.
         let jan_hours = 24 * 31;
         let gen = HourlySeries::from_fn(start(), len, |h| if h < jan_hours { 1.0 } else { 0.0 });
-        let report =
-            match_credits(&demand, &gen, &flat_intensity(len), MatchingGranularity::Monthly)
-                .unwrap();
+        let report = match_credits(
+            &demand,
+            &gen,
+            &flat_intensity(len),
+            MatchingGranularity::Monthly,
+        )
+        .unwrap();
         // January fully matched, February fully unmatched.
         assert!((report.matched_mwh - jan_hours as f64).abs() < 1e-9);
     }
@@ -263,12 +274,25 @@ mod tests {
     #[test]
     fn daily_matching_moves_solar_within_the_day() {
         let demand = HourlySeries::constant(start(), 24, 10.0);
-        let gen = HourlySeries::from_fn(start(), 24, |h| if (8..16).contains(&h) { 30.0 } else { 0.0 });
-        let hourly =
-            match_credits(&demand, &gen, &flat_intensity(24), MatchingGranularity::Hourly)
-                .unwrap();
-        let daily =
-            match_credits(&demand, &gen, &flat_intensity(24), MatchingGranularity::Daily).unwrap();
+        let gen = HourlySeries::from_fn(
+            start(),
+            24,
+            |h| if (8..16).contains(&h) { 30.0 } else { 0.0 },
+        );
+        let hourly = match_credits(
+            &demand,
+            &gen,
+            &flat_intensity(24),
+            MatchingGranularity::Hourly,
+        )
+        .unwrap();
+        let daily = match_credits(
+            &demand,
+            &gen,
+            &flat_intensity(24),
+            MatchingGranularity::Daily,
+        )
+        .unwrap();
         assert!(daily.matched_fraction() > hourly.matched_fraction());
         assert!(daily.is_fully_matched()); // 240 generated = 240 consumed
     }
@@ -278,8 +302,7 @@ mod tests {
         let demand = HourlySeries::constant(start(), 2, 10.0);
         let gen = HourlySeries::from_values(start(), vec![10.0, 0.0]);
         let intensity = HourlySeries::from_values(start(), vec![0.1, 0.9]);
-        let report =
-            match_credits(&demand, &gen, &intensity, MatchingGranularity::Hourly).unwrap();
+        let report = match_credits(&demand, &gen, &intensity, MatchingGranularity::Hourly).unwrap();
         // The deficit hour carries 0.9 t/MWh.
         assert!((report.residual_emissions_tons - 9.0).abs() < 1e-12);
     }
@@ -287,8 +310,7 @@ mod tests {
     #[test]
     fn empty_series_is_fully_matched() {
         let empty = HourlySeries::zeros(start(), 0);
-        let report =
-            match_credits(&empty, &empty, &empty, MatchingGranularity::Annual).unwrap();
+        let report = match_credits(&empty, &empty, &empty, MatchingGranularity::Annual).unwrap();
         assert!(report.is_fully_matched());
         assert_eq!(report.matched_fraction(), 1.0);
     }
@@ -297,8 +319,6 @@ mod tests {
     fn misaligned_inputs_error() {
         let demand = HourlySeries::zeros(start(), 2);
         let gen = HourlySeries::zeros(start(), 3);
-        assert!(
-            match_credits(&demand, &gen, &demand, MatchingGranularity::Hourly).is_err()
-        );
+        assert!(match_credits(&demand, &gen, &demand, MatchingGranularity::Hourly).is_err());
     }
 }

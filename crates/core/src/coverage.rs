@@ -11,7 +11,7 @@
 //! energy-weighted metric we also expose the strict hours-fully-covered
 //! fraction.
 
-use ce_timeseries::{HourlySeries, TimeSeriesError};
+use ce_timeseries::{kernels, HourlySeries, TimeSeriesError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -37,25 +37,46 @@ impl Coverage {
         unmet: &HourlySeries,
     ) -> Result<Self, TimeSeriesError> {
         demand.check_aligned(unmet)?;
-        let demand_mwh = demand.sum();
-        let unmet_mwh = unmet.sum();
+        let covered_hours = unmet.count_where(|u| u <= kernels::COVERED_EPSILON_MWH);
+        Ok(Self::from_sums(
+            demand.sum(),
+            unmet.sum(),
+            covered_hours,
+            unmet.len(),
+        ))
+    }
+
+    /// Builds a coverage from pre-reduced aggregates: total demand and
+    /// unmet energy, plus the count of fully covered hours (clamped
+    /// deficit ≤ [`kernels::COVERED_EPSILON_MWH`]) out of `total_hours`.
+    ///
+    /// This is the allocation-free entry point used by the sweep engine —
+    /// the aggregates come straight from the fused deficit kernels, and
+    /// the explorer's (invariant) annual demand energy is computed once
+    /// instead of per design point. An empty series (`total_hours == 0`)
+    /// counts as fully covered, matching [`Coverage::from_unmet`].
+    pub fn from_sums(
+        demand_mwh: f64,
+        unmet_mwh: f64,
+        covered_hours: usize,
+        total_hours: usize,
+    ) -> Self {
         let energy_fraction = if demand_mwh > 0.0 {
             (1.0 - unmet_mwh / demand_mwh).clamp(0.0, 1.0)
         } else {
             1.0
         };
-        let covered_hours = unmet.count_where(|u| u <= 1e-9);
-        let hour_fraction = if unmet.is_empty() {
+        let hour_fraction = if total_hours == 0 {
             1.0
         } else {
-            covered_hours as f64 / unmet.len() as f64
+            covered_hours as f64 / total_hours as f64
         };
-        Ok(Self {
+        Self {
             energy_fraction,
             hour_fraction,
             unmet_mwh,
             demand_mwh,
-        })
+        }
     }
 
     /// The paper's energy-weighted coverage as a fraction in `[0, 1]`.
@@ -91,7 +112,12 @@ impl Coverage {
 
 impl fmt::Display for Coverage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.1}% (hours {:.1}%)", self.percent(), self.hour_fraction * 100.0)
+        write!(
+            f,
+            "{:.1}% (hours {:.1}%)",
+            self.percent(),
+            self.hour_fraction * 100.0
+        )
     }
 }
 
@@ -118,8 +144,13 @@ pub fn renewable_coverage(
     demand: &HourlySeries,
     supply: &HourlySeries,
 ) -> Result<Coverage, TimeSeriesError> {
-    let unmet = demand.zip_with(supply, |d, s| (d - s).max(0.0))?;
-    Coverage::from_unmet(demand, &unmet)
+    let stats = demand.deficit_stats(supply)?;
+    Ok(Coverage::from_sums(
+        demand.sum(),
+        stats.unmet_mwh,
+        stats.covered_hours,
+        demand.len(),
+    ))
 }
 
 #[cfg(test)]

@@ -147,7 +147,9 @@ impl DesignSpace {
 
     /// Total number of design points in the grid.
     pub fn len(&self) -> usize {
-        axis_len(self.solar) * axis_len(self.wind) * axis_len(self.battery)
+        axis_len(self.solar)
+            * axis_len(self.wind)
+            * axis_len(self.battery)
             * axis_len(self.extra_capacity)
     }
 

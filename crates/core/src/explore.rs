@@ -8,7 +8,7 @@ use ce_datacenter::WorkloadMix;
 use ce_embodied::EmbodiedParams;
 use ce_grid::GridDataset;
 use ce_scheduler::{combined_dispatch, CasConfig, CombinedConfig, GreedyScheduler};
-use ce_timeseries::HourlySeries;
+use ce_timeseries::{kernels, DeficitStats, HourlySeries};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -61,11 +61,25 @@ impl fmt::Display for EvaluatedDesign {
     }
 }
 
+/// Reusable per-thread evaluation buffers.
+///
+/// [`CarbonExplorer::evaluate_with`] fills the supply buffer in place
+/// instead of allocating a fresh 8760-sample series per design point;
+/// sweep loops hand each worker thread one scratch for its whole chunk.
+/// A default-constructed scratch is sized lazily on first use.
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
+    supply: Option<HourlySeries>,
+}
+
 /// The design-space exploration engine (paper Figure 13).
 ///
 /// Holds the operational inputs — an hourly demand trace and a grid
 /// dataset — plus the embodied-carbon parameters, workload flexibility,
-/// and battery depth-of-discharge policy. See the
+/// and battery depth-of-discharge policy, and a set of invariants
+/// precomputed at construction (peak demand, annual demand energy,
+/// per-MW renewable energy yields, the hourly carbon-intensity series) so
+/// the per-design-point hot path never recomputes them. See the
 /// [crate documentation](crate) for a worked example.
 #[derive(Debug, Clone)]
 pub struct CarbonExplorer {
@@ -75,6 +89,16 @@ pub struct CarbonExplorer {
     embodied: EmbodiedParams,
     workload: WorkloadMix,
     dod: f64,
+    /// Largest demand sample, MW (0.0 for an empty trace).
+    peak_demand_mw: f64,
+    /// Annual demand energy, MWh.
+    demand_mwh: f64,
+    /// Annual energy of a 1 MW solar investment on this grid, MWh — so a
+    /// design's solar energy is `unit_solar_mwh × solar_mw` with no
+    /// scaled-series materialization.
+    unit_solar_mwh: f64,
+    /// Annual energy of a 1 MW wind investment on this grid, MWh.
+    unit_wind_mwh: f64,
 }
 
 impl CarbonExplorer {
@@ -90,6 +114,10 @@ impl CarbonExplorer {
         demand
             .check_aligned(&grid_intensity)
             .expect("demand trace must cover the same year as the grid dataset");
+        let peak_demand_mw = demand.max().unwrap_or(0.0);
+        let demand_mwh = demand.sum();
+        let unit_solar_mwh = grid.scaled_solar(1.0).sum();
+        let unit_wind_mwh = grid.scaled_wind(1.0).sum();
         Self {
             demand,
             grid,
@@ -97,6 +125,10 @@ impl CarbonExplorer {
             embodied: EmbodiedParams::paper_defaults(),
             workload: WorkloadMix::borg_default(),
             dod: 1.0,
+            peak_demand_mw,
+            demand_mwh,
+            unit_solar_mwh,
+            unit_wind_mwh,
         }
     }
 
@@ -145,10 +177,32 @@ impl CarbonExplorer {
 
     /// Scores one design point under one strategy.
     ///
+    /// Convenience wrapper over [`CarbonExplorer::evaluate_with`] using a
+    /// throwaway scratch; sweep loops should reuse a scratch instead.
+    ///
     /// # Panics
     ///
     /// Panics on non-finite design parameters.
     pub fn evaluate(&self, strategy: StrategyKind, design: &DesignPoint) -> EvaluatedDesign {
+        self.evaluate_with(strategy, design, &mut EvalScratch::default())
+    }
+
+    /// Scores one design point under one strategy, reusing `scratch`'s
+    /// buffers. This is the sweep engine's hot path: the renewable supply
+    /// is written into the scratch in place, and every reduction (unmet
+    /// energy, covered hours, operational carbon) runs through the fused
+    /// `ce-timeseries` kernels, so the renewables-only path performs no
+    /// heap allocation at all after the scratch warms up.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite design parameters.
+    pub fn evaluate_with(
+        &self,
+        strategy: StrategyKind,
+        design: &DesignPoint,
+        scratch: &mut EvalScratch,
+    ) -> EvaluatedDesign {
         assert!(
             design.solar_mw.is_finite()
                 && design.wind_mw.is_finite()
@@ -156,9 +210,11 @@ impl CarbonExplorer {
                 && design.extra_capacity_fraction.is_finite(),
             "design parameters must be finite"
         );
-        let supply = self
-            .grid
-            .scaled_renewables(design.solar_mw, design.wind_mw);
+        let supply = scratch
+            .supply
+            .get_or_insert_with(|| HourlySeries::zeros(self.demand.start(), self.demand.len()));
+        self.grid
+            .scaled_renewables_into(design.solar_mw, design.wind_mw, supply);
 
         let battery_mwh = if strategy.uses_battery() {
             design.battery_mwh
@@ -170,41 +226,49 @@ impl CarbonExplorer {
         } else {
             0.0
         };
-        let peak = self.demand.max().unwrap_or(0.0);
+        let peak = self.peak_demand_mw;
         let capacity_cap = peak * (1.0 + extra_fraction);
 
-        let (unmet, cycles) = match strategy {
+        // Each arm reduces to (unmet energy, covered hours, operational
+        // tons, cycles) without materializing an unmet series where the
+        // dispatch model doesn't already produce one.
+        let (stats, operational_tons, cycles) = match strategy {
             StrategyKind::RenewablesOnly => {
-                let unmet = self
+                let stats = self.demand.deficit_stats(supply).expect("aligned");
+                let operational = self
                     .demand
-                    .zip_with(&supply, |d, s| (d - s).max(0.0))
+                    .deficit_dot(supply, &self.grid_intensity)
                     .expect("aligned");
-                (unmet, 0.0)
+                (stats, operational, 0.0)
             }
             StrategyKind::RenewablesBattery => {
                 let mut battery = ClcBattery::lfp(battery_mwh, self.dod);
-                let result = simulate_dispatch(&mut battery, &self.demand, &supply)
-                    .expect("aligned");
-                (result.unmet, result.equivalent_cycles)
+                let result =
+                    simulate_dispatch(&mut battery, &self.demand, supply).expect("aligned");
+                self.reduce_unmet(&result.unmet, result.equivalent_cycles)
             }
             StrategyKind::RenewablesCas => {
                 let scheduler = GreedyScheduler::new(CasConfig {
                     max_capacity_mw: capacity_cap,
                     flexible_ratio: self.workload.flexible_fraction(),
                 });
-                let result = scheduler.schedule(&self.demand, &supply).expect("aligned");
-                let unmet = result
+                let result = scheduler.schedule(&self.demand, supply).expect("aligned");
+                let stats = result
                     .shifted_demand
-                    .zip_with(&supply, |d, s| (d - s).max(0.0))
+                    .deficit_stats(supply)
                     .expect("aligned");
-                (unmet, 0.0)
+                let operational = result
+                    .shifted_demand
+                    .deficit_dot(supply, &self.grid_intensity)
+                    .expect("aligned");
+                (stats, operational, 0.0)
             }
             StrategyKind::RenewablesBatteryCas => {
                 let mut battery = ClcBattery::lfp(battery_mwh, self.dod);
                 let result = combined_dispatch(
                     &mut battery,
                     &self.demand,
-                    &supply,
+                    supply,
                     CombinedConfig {
                         max_capacity_mw: capacity_cap,
                         flexible_ratio: self.workload.flexible_fraction(),
@@ -212,18 +276,30 @@ impl CarbonExplorer {
                     },
                 )
                 .expect("aligned");
-                (result.unmet, result.equivalent_cycles)
+                self.reduce_unmet(&result.unmet, result.equivalent_cycles)
             }
         };
 
-        let coverage = Coverage::from_unmet(&self.demand, &unmet).expect("aligned");
-        let operational_tons = unmet
-            .zip_with(&self.grid_intensity, |u, i| u * i)
-            .expect("aligned")
-            .sum();
+        let coverage = Coverage::from_sums(
+            self.demand_mwh,
+            stats.unmet_mwh,
+            stats.covered_hours,
+            self.demand.len(),
+        );
 
-        let solar_energy = self.grid.scaled_solar(design.solar_mw).sum();
-        let wind_energy = self.grid.scaled_wind(design.wind_mw).sum();
+        // Embodied accounting from the precomputed per-MW energy yields:
+        // `unit_sum × investment` replaces materializing (and summing) a
+        // scaled generation series per design point.
+        let solar_energy = if design.solar_mw > 0.0 {
+            self.unit_solar_mwh * design.solar_mw
+        } else {
+            0.0
+        };
+        let wind_energy = if design.wind_mw > 0.0 {
+            self.unit_wind_mwh * design.wind_mw
+        } else {
+            0.0
+        };
         let embodied_renewables_tons = self
             .embodied
             .renewables
@@ -249,13 +325,38 @@ impl CarbonExplorer {
         }
     }
 
+    /// Fused reduction of a dispatch-produced unmet series into
+    /// (deficit stats, operational tons, cycles).
+    fn reduce_unmet(&self, unmet: &HourlySeries, cycles: f64) -> (DeficitStats, f64, f64) {
+        let stats = kernels::unmet_stats_slices(unmet.values());
+        let operational = unmet.dot(&self.grid_intensity).expect("aligned");
+        (stats, operational, cycles)
+    }
+
     /// Scores every point of `space` (restricted to the axes `strategy`
-    /// uses) and returns the evaluations in iteration order.
+    /// uses) in parallel and returns the evaluations in iteration order —
+    /// the same order, and bitwise-identical values, as
+    /// [`CarbonExplorer::explore_serial`].
     pub fn explore(&self, strategy: StrategyKind, space: &DesignSpace) -> Vec<EvaluatedDesign> {
+        let designs: Vec<DesignPoint> = space.restricted_to(strategy).iter().collect();
+        ce_parallel::par_map_with(&designs, EvalScratch::default, |scratch, design| {
+            self.evaluate_with(strategy, design, scratch)
+        })
+    }
+
+    /// The serial reference implementation of [`CarbonExplorer::explore`]:
+    /// identical results on one thread. Kept public for determinism tests
+    /// and serial-vs-parallel benchmarking.
+    pub fn explore_serial(
+        &self,
+        strategy: StrategyKind,
+        space: &DesignSpace,
+    ) -> Vec<EvaluatedDesign> {
+        let mut scratch = EvalScratch::default();
         space
             .restricted_to(strategy)
             .iter()
-            .map(|design| self.evaluate(strategy, &design))
+            .map(|design| self.evaluate_with(strategy, &design, &mut scratch))
             .collect()
     }
 

@@ -55,8 +55,8 @@ pub mod sensitivity;
 pub use accounting::{match_credits, MatchingGranularity, MatchingReport};
 pub use coverage::{renewable_coverage, Coverage};
 pub use design::{DesignPoint, DesignSpace, StrategyKind};
-pub use explore::{CarbonExplorer, EvaluatedDesign};
+pub use explore::{CarbonExplorer, EvalScratch, EvaluatedDesign};
 pub use pareto::ParetoFrontier;
-pub use sensitivity::{tornado, Parameter, SensitivityRow};
 pub use scenario::Scenario;
 pub use seasonal::{monthly_coverage, worst_month, MonthlyCoverage};
+pub use sensitivity::{tornado, Parameter, SensitivityRow};

@@ -114,7 +114,11 @@ mod tests {
         ];
         let frontier = ParetoFrontier::from_evaluations(&evals);
         assert_eq!(frontier.len(), 3);
-        let embodied: Vec<f64> = frontier.points().iter().map(|e| e.embodied_tons()).collect();
+        let embodied: Vec<f64> = frontier
+            .points()
+            .iter()
+            .map(|e| e.embodied_tons())
+            .collect();
         assert_eq!(embodied, vec![10.0, 20.0, 30.0]);
         // Operational strictly decreases along the frontier.
         let ops: Vec<f64> = frontier

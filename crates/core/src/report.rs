@@ -58,8 +58,15 @@ pub fn evaluation_row(eval: &EvaluatedDesign) -> Vec<String> {
 /// The header matching [`evaluation_row`].
 pub fn evaluation_headers() -> [&'static str; 9] {
     [
-        "strategy", "solar MW", "wind MW", "batt MWh", "+serv", "coverage", "op tCO2",
-        "emb tCO2", "total tCO2",
+        "strategy",
+        "solar MW",
+        "wind MW",
+        "batt MWh",
+        "+serv",
+        "coverage",
+        "op tCO2",
+        "emb tCO2",
+        "total tCO2",
     ]
 }
 

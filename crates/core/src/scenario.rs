@@ -131,8 +131,7 @@ mod tests {
         let g = grid();
         let demand = flat_demand(20.0);
         let supply = flat_demand(0.0);
-        let intensity =
-            hourly_intensity(Scenario::GridMix, &demand, &supply, &g, None).unwrap();
+        let intensity = hourly_intensity(Scenario::GridMix, &demand, &supply, &g, None).unwrap();
         assert_eq!(intensity, g.carbon_intensity());
     }
 
@@ -150,8 +149,7 @@ mod tests {
                 0.0
             }
         });
-        let intensity =
-            hourly_intensity(Scenario::NetZero, &demand, &supply, &g, None).unwrap();
+        let intensity = hourly_intensity(Scenario::NetZero, &demand, &supply, &g, None).unwrap();
         assert_eq!(intensity[0], 0.0);
         assert!(intensity[1] > 0.0);
         assert_eq!(intensity[1], g.carbon_intensity()[1]);
@@ -166,8 +164,7 @@ mod tests {
         let supply = flat_demand(25.0);
         let unmet = flat_demand(0.0);
         let intensity =
-            hourly_intensity(Scenario::CarbonFree247, &demand, &supply, &g, Some(&unmet))
-                .unwrap();
+            hourly_intensity(Scenario::CarbonFree247, &demand, &supply, &g, Some(&unmet)).unwrap();
         assert_eq!(intensity.max().unwrap(), 0.0);
     }
 
@@ -178,8 +175,7 @@ mod tests {
         let supply = flat_demand(0.0);
         let unmet = flat_demand(10.0); // half of demand unmet
         let intensity =
-            hourly_intensity(Scenario::CarbonFree247, &demand, &supply, &g, Some(&unmet))
-                .unwrap();
+            hourly_intensity(Scenario::CarbonFree247, &demand, &supply, &g, Some(&unmet)).unwrap();
         let grid_intensity = g.carbon_intensity();
         for h in (0..intensity.len()).step_by(371) {
             assert!((intensity[h] - grid_intensity[h] * 0.5).abs() < 1e-12);
@@ -201,9 +197,15 @@ mod tests {
             .mean();
         // 24/7 with a big battery: assume unmet is halved by mitigation.
         let mitigated = unmet.scale(0.2);
-        let cf = hourly_intensity(Scenario::CarbonFree247, &demand, &supply, &g, Some(&mitigated))
-            .unwrap()
-            .mean();
+        let cf = hourly_intensity(
+            Scenario::CarbonFree247,
+            &demand,
+            &supply,
+            &g,
+            Some(&mitigated),
+        )
+        .unwrap()
+        .mean();
         assert!(mix > net_zero, "{mix} vs {net_zero}");
         assert!(net_zero > cf, "{net_zero} vs {cf}");
     }

@@ -8,7 +8,7 @@
 //! identifying the worst month a design must be provisioned for.
 
 use crate::coverage::Coverage;
-use ce_timeseries::{HourlySeries, TimeSeriesError};
+use ce_timeseries::{kernels, HourlySeries, TimeSeriesError};
 use serde::{Deserialize, Serialize};
 
 /// Coverage statistics for one calendar month.
@@ -33,33 +33,37 @@ pub fn monthly_coverage(
     supply: &HourlySeries,
 ) -> Result<Vec<MonthlyCoverage>, TimeSeriesError> {
     demand.check_aligned(supply)?;
-    let mut result = Vec::new();
+    if demand.is_empty() {
+        return Ok(Vec::new());
+    }
+    // Month boundaries first (cheap calendar scan), then the per-month
+    // reductions fan out over slices of the original series — no window
+    // copies, no intermediate unmet series.
+    let mut segments: Vec<(usize, usize, u8)> = Vec::new();
     let mut month_start = 0usize;
-    let mut current_month = match demand.is_empty() {
-        true => return Ok(result),
-        false => demand.timestamp(0).date().month(),
-    };
-    let flush = |start: usize, end: usize, month: u8, out: &mut Vec<MonthlyCoverage>| {
-        let d = demand.window(start, end - start).expect("window fits");
-        let s = supply.window(start, end - start).expect("window fits");
-        let unmet = d.zip_with(&s, |a, b| (a - b).max(0.0)).expect("aligned");
-        let coverage = Coverage::from_unmet(&d, &unmet).expect("aligned");
-        out.push(MonthlyCoverage {
-            month,
-            coverage: coverage.fraction(),
-            unmet_mwh: coverage.unmet_mwh(),
-        });
-    };
+    let mut current_month = demand.timestamp(0).date().month();
     for h in 1..demand.len() {
         let month = demand.timestamp(h).date().month();
         if month != current_month {
-            flush(month_start, h, current_month, &mut result);
+            segments.push((month_start, h, current_month));
             month_start = h;
             current_month = month;
         }
     }
-    flush(month_start, demand.len(), current_month, &mut result);
-    Ok(result)
+    segments.push((month_start, demand.len(), current_month));
+    Ok(ce_parallel::par_map(&segments, |&(start, end, month)| {
+        let d = &demand.values()[start..end];
+        let s = &supply.values()[start..end];
+        let stats = kernels::deficit_stats_slices(d, s);
+        let demand_mwh: f64 = d.iter().sum();
+        let coverage =
+            Coverage::from_sums(demand_mwh, stats.unmet_mwh, stats.covered_hours, d.len());
+        MonthlyCoverage {
+            month,
+            coverage: coverage.fraction(),
+            unmet_mwh: coverage.unmet_mwh(),
+        }
+    }))
 }
 
 /// The month with the lowest coverage — the design's binding season.
@@ -74,7 +78,11 @@ pub fn worst_month(
 ) -> Result<Option<MonthlyCoverage>, TimeSeriesError> {
     Ok(monthly_coverage(demand, supply)?
         .into_iter()
-        .min_by(|a, b| a.coverage.partial_cmp(&b.coverage).expect("finite coverage")))
+        .min_by(|a, b| {
+            a.coverage
+                .partial_cmp(&b.coverage)
+                .expect("finite coverage")
+        }))
 }
 
 #[cfg(test)]

@@ -147,28 +147,28 @@ pub fn tornado(
     strategy: StrategyKind,
     space: &DesignSpace,
 ) -> Vec<SensitivityRow> {
-    let mut rows: Vec<SensitivityRow> = Parameter::ALL
-        .iter()
-        .map(|&parameter| {
-            let (low, high) = parameter.range();
-            let at = |value: f64| {
-                explorer
-                    .clone()
-                    .with_embodied(parameter.apply(value))
-                    .optimal(strategy, space)
-                    .expect("non-empty design space")
-            };
-            let low_eval = at(low);
-            let high_eval = at(high);
-            SensitivityRow {
-                parameter,
-                total_at_low: low_eval.total_tons(),
-                total_at_high: high_eval.total_tons(),
-                coverage_at_low: low_eval.coverage.percent(),
-                coverage_at_high: high_eval.coverage.percent(),
-            }
-        })
-        .collect();
+    // Each parameter's low/high re-optimizations are independent, so the
+    // tornado fans out across parameters; the nested `optimal` sweeps
+    // detect they are already inside a parallel region and run serial.
+    let mut rows = ce_parallel::par_map(&Parameter::ALL, |&parameter| {
+        let (low, high) = parameter.range();
+        let at = |value: f64| {
+            explorer
+                .clone()
+                .with_embodied(parameter.apply(value))
+                .optimal(strategy, space)
+                .expect("non-empty design space")
+        };
+        let low_eval = at(low);
+        let high_eval = at(high);
+        SensitivityRow {
+            parameter,
+            total_at_low: low_eval.total_tons(),
+            total_at_high: high_eval.total_tons(),
+            coverage_at_low: low_eval.coverage.percent(),
+            coverage_at_high: high_eval.coverage.percent(),
+        }
+    });
     rows.sort_by(|a, b| b.swing().partial_cmp(&a.swing()).expect("finite swings"));
     rows
 }

@@ -77,8 +77,7 @@ impl JobTraceGenerator {
             let count = rng.gen_range(0.0..2.0 * self.arrivals_per_hour).round() as usize;
             for _ in 0..count {
                 let tier = draw_tier(&mut rng);
-                let duration =
-                    rng.gen_range(1.0..2.0 * self.mean_duration_hours).round() as u32;
+                let duration = rng.gen_range(1.0..2.0 * self.mean_duration_hours).round() as u32;
                 let power = rng.gen_range(0.2..1.8) * self.mean_power_mw;
                 jobs.push(Job {
                     arrival_hour: hour,
@@ -150,8 +149,7 @@ mod tests {
         let population = jobs();
         let total = population.len() as f64;
         for tier in SloTier::ALL {
-            let share =
-                population.iter().filter(|j| j.tier == tier).count() as f64 / total;
+            let share = population.iter().filter(|j| j.tier == tier).count() as f64 / total;
             let expected = tier.meta_fraction();
             assert!(
                 (share - expected).abs() < 0.02,

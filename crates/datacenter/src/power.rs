@@ -111,7 +111,10 @@ mod tests {
         assert_eq!(m.power_at(1.0), 50.0);
         assert_eq!(m.power_at(2.0), 50.0); // clamped
         let mid = m.power_at(0.5);
-        assert!((mid - 50.0 * (FACILITY_IDLE_FRACTION + (1.0 - FACILITY_IDLE_FRACTION) * 0.5)).abs() < 1e-12);
+        assert!(
+            (mid - 50.0 * (FACILITY_IDLE_FRACTION + (1.0 - FACILITY_IDLE_FRACTION) * 0.5)).abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -92,7 +92,11 @@ impl DataCenterSite {
     /// calibrated so the trace's mean equals [`DataCenterSite::avg_power_mw`].
     pub fn demand_trace(&self, year: i32, seed: u64) -> HourlySeries {
         let util = UtilizationModel::meta().generate(year, seed ^ site_stream(&self.state));
-        let (_, power) = PowerModel::calibrated_series(crate::power::FACILITY_IDLE_FRACTION, self.avg_power_mw, &util);
+        let (_, power) = PowerModel::calibrated_series(
+            crate::power::FACILITY_IDLE_FRACTION,
+            self.avg_power_mw,
+            &util,
+        );
         power
     }
 }
@@ -110,11 +114,9 @@ impl fmt::Display for DataCenterSite {
 /// Derives a per-site seed stream so different sites get independent traces
 /// from the same top-level seed.
 fn site_stream(state: &str) -> u64 {
-    state
-        .bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
-        })
+    state.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    })
 }
 
 #[cfg(test)]

@@ -49,7 +49,11 @@ impl TraceGenerator {
             TraceProfile::Google => UtilizationModel::google(),
         };
         let utilization = model.generate(year, seed);
-        let (model, power) = PowerModel::calibrated_series(crate::power::FACILITY_IDLE_FRACTION, self.avg_power_mw, &utilization);
+        let (model, power) = PowerModel::calibrated_series(
+            crate::power::FACILITY_IDLE_FRACTION,
+            self.avg_power_mw,
+            &utilization,
+        );
         DemandTrace {
             utilization,
             power,
@@ -76,8 +80,7 @@ mod tests {
         let corr = pearson(trace.utilization.values(), trace.power.values()).unwrap();
         assert!(corr > 0.999);
         // Power swing ~4%.
-        let swing =
-            (trace.power.max().unwrap() - trace.power.min().unwrap()) / trace.power.mean();
+        let swing = (trace.power.max().unwrap() - trace.power.min().unwrap()) / trace.power.mean();
         assert!((0.02..0.08).contains(&swing), "power swing {swing}");
         // Calibrated to the requested mean.
         assert!((trace.power.mean() - 50.0).abs() < 1e-6);

@@ -114,7 +114,10 @@ impl WorkloadMix {
 
     /// Fraction of total compute in `tier`.
     pub fn fraction_of_total(&self, tier: SloTier) -> f64 {
-        let idx = SloTier::ALL.iter().position(|t| *t == tier).expect("tier in ALL");
+        let idx = SloTier::ALL
+            .iter()
+            .position(|t| *t == tier)
+            .expect("tier in ALL");
         self.flexible_fraction * self.tier_fractions[idx]
     }
 

@@ -61,8 +61,14 @@ mod tests {
     #[test]
     fn pure_coal_hour_has_coal_intensity() {
         let fuels = vec![
-            (FuelType::Coal, HourlySeries::from_values(start(), vec![10.0, 0.0])),
-            (FuelType::Wind, HourlySeries::from_values(start(), vec![0.0, 10.0])),
+            (
+                FuelType::Coal,
+                HourlySeries::from_values(start(), vec![10.0, 0.0]),
+            ),
+            (
+                FuelType::Wind,
+                HourlySeries::from_values(start(), vec![0.0, 10.0]),
+            ),
         ];
         let intensity = carbon_intensity_series(&fuels);
         assert!((intensity[0] - 0.820).abs() < 1e-12);
@@ -72,8 +78,14 @@ mod tests {
     #[test]
     fn mixed_hour_is_weighted_average() {
         let fuels = vec![
-            (FuelType::Coal, HourlySeries::from_values(start(), vec![5.0])),
-            (FuelType::Wind, HourlySeries::from_values(start(), vec![5.0])),
+            (
+                FuelType::Coal,
+                HourlySeries::from_values(start(), vec![5.0]),
+            ),
+            (
+                FuelType::Wind,
+                HourlySeries::from_values(start(), vec![5.0]),
+            ),
         ];
         let intensity = carbon_intensity_series(&fuels);
         assert!((intensity[0] - (0.820 + 0.011) / 2.0).abs() < 1e-12);

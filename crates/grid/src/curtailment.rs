@@ -171,7 +171,11 @@ mod tests {
         let d2 = points[2].1 - points[1].1;
         assert!(d2 >= d1, "growth should accelerate: {points:?}");
         // Deep buildout curtails a large share of renewable generation.
-        assert!(points[3].1 > 0.2, "16x buildout curtails {:.3}", points[3].1);
+        assert!(
+            points[3].1 > 0.2,
+            "16x buildout curtails {:.3}",
+            points[3].1
+        );
         // At today's deployment the grid absorbs essentially everything.
         assert!(points[0].1 < 0.01);
     }

@@ -145,8 +145,7 @@ mod tests {
         let model = PriceModel::default();
         let g = grid();
         let prices = model.price_series(&g);
-        let flat =
-            HourlySeries::constant(prices.start(), prices.len(), 1.0);
+        let flat = HourlySeries::constant(prices.start(), prices.len(), 1.0);
         let cost = model.energy_cost(&flat, &prices);
         assert!((cost - prices.sum()).abs() < 1e-6);
     }

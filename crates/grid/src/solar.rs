@@ -25,7 +25,10 @@ pub struct SolarModel {
 
 /// Solar declination (radians) for a 1-based day of year (Cooper's formula).
 pub fn declination_rad(day_of_year: u32) -> f64 {
-    (23.45f64).to_radians() * (360.0 / 365.0 * (284.0 + day_of_year as f64)).to_radians().sin()
+    (23.45f64).to_radians()
+        * (360.0 / 365.0 * (284.0 + day_of_year as f64))
+            .to_radians()
+            .sin()
 }
 
 /// Sine of the solar elevation angle at `hour` (0-23, solar time) on

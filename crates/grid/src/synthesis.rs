@@ -7,7 +7,7 @@ use crate::fuel::FuelType;
 use crate::solar::SolarModel;
 use crate::wind::WindModel;
 use ce_timeseries::time::hours_in_year;
-use ce_timeseries::{HourlySeries, Timestamp};
+use ce_timeseries::{kernels, HourlySeries, Timestamp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -109,10 +109,7 @@ impl GridDataset {
 
     /// Hourly generation for one fuel, if present on this grid.
     pub fn generation(&self, fuel: FuelType) -> Option<&HourlySeries> {
-        self.fuels
-            .iter()
-            .find(|(f, _)| *f == fuel)
-            .map(|(_, s)| s)
+        self.fuels.iter().find(|(f, _)| *f == fuel).map(|(_, s)| s)
     }
 
     /// Hourly grid wind generation at installed capacity.
@@ -122,7 +119,8 @@ impl GridDataset {
     /// Never panics: every synthesized dataset contains a wind series
     /// (possibly all-zero).
     pub fn wind(&self) -> &HourlySeries {
-        self.generation(FuelType::Wind).expect("wind always present")
+        self.generation(FuelType::Wind)
+            .expect("wind always present")
     }
 
     /// Hourly grid solar generation at installed capacity.
@@ -171,7 +169,51 @@ impl GridDataset {
 
     /// Combined renewable supply for a (solar, wind) investment pair.
     pub fn scaled_renewables(&self, solar_mw: f64, wind_mw: f64) -> HourlySeries {
-        &self.scaled_solar(solar_mw) + &self.scaled_wind(wind_mw)
+        let mut out = HourlySeries::zeros(self.solar().start(), self.solar().len());
+        self.scaled_renewables_into(solar_mw, wind_mw, &mut out);
+        out
+    }
+
+    /// The per-series multipliers a (solar, wind) investment pair implies:
+    /// `investment / max_observed_generation`, or `0.0` when the
+    /// investment is non-positive or the grid lacks that source. Scaling
+    /// by these factors is exactly [`GridDataset::scaled_renewables`].
+    pub fn renewable_scale_factors(&self, solar_mw: f64, wind_mw: f64) -> (f64, f64) {
+        (
+            scale_factor(self.solar(), solar_mw),
+            scale_factor(self.wind(), wind_mw),
+        )
+    }
+
+    /// Writes the combined renewable supply for a (solar, wind) investment
+    /// pair into `out`, reusing its allocation. `out` is re-created only
+    /// if it is misaligned with this grid's series (e.g. freshly
+    /// constructed), so sweep loops that reuse one buffer per thread pay
+    /// zero allocations per design point.
+    pub fn scaled_renewables_into(&self, solar_mw: f64, wind_mw: f64, out: &mut HourlySeries) {
+        let solar = self.solar();
+        if out.check_aligned(solar).is_err() {
+            *out = HourlySeries::zeros(solar.start(), solar.len());
+        }
+        let (fs, fw) = self.renewable_scale_factors(solar_mw, wind_mw);
+        kernels::scaled_sum_into(
+            solar.values(),
+            fs,
+            self.wind().values(),
+            fw,
+            out.values_mut(),
+        );
+    }
+}
+
+/// The multiplier [`scale_to_investment`] applies: `investment / max`, or
+/// `0.0` for a non-positive investment or an all-zero series.
+fn scale_factor(series: &HourlySeries, investment_mw: f64) -> f64 {
+    let max = series.max().unwrap_or(0.0);
+    if max <= 0.0 || investment_mw <= 0.0 {
+        0.0
+    } else {
+        investment_mw / max
     }
 }
 
@@ -255,8 +297,7 @@ mod tests {
         // Zero investment yields a zero series.
         assert_eq!(g.scaled_wind(0.0).sum(), 0.0);
         // Scaling preserves shape: correlation with the original is 1.
-        let corr =
-            ce_timeseries::stats::pearson(g.wind().values(), scaled.values()).unwrap();
+        let corr = ce_timeseries::stats::pearson(g.wind().values(), scaled.values()).unwrap();
         assert!((corr - 1.0).abs() < 1e-9);
     }
 

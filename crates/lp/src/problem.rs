@@ -51,13 +51,19 @@ impl fmt::Display for LpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::DimensionMismatch { expected, found } => {
-                write!(f, "constraint has {found} coefficients, expected {expected}")
+                write!(
+                    f,
+                    "constraint has {found} coefficients, expected {expected}"
+                )
             }
             Self::Infeasible => write!(f, "problem is infeasible"),
             Self::Unbounded => write!(f, "objective is unbounded"),
             Self::IterationLimit => write!(f, "simplex iteration limit exceeded"),
             Self::BadVariable { index, n_vars } => {
-                write!(f, "variable index {index} out of range for {n_vars} variables")
+                write!(
+                    f,
+                    "variable index {index} out of range for {n_vars} variables"
+                )
             }
         }
     }
@@ -188,9 +194,7 @@ mod tests {
         assert_eq!(lp.n_vars(), 3);
         lp.add_constraint(vec![1.0, 0.0, 0.0], Relation::Ge, 1.0);
         assert_eq!(lp.n_constraints(), 1);
-        assert!(lp
-            .try_add_constraint(vec![1.0], Relation::Le, 1.0)
-            .is_err());
+        assert!(lp.try_add_constraint(vec![1.0], Relation::Le, 1.0).is_err());
     }
 
     #[test]
@@ -206,7 +210,10 @@ mod tests {
         assert!(lp.set_upper_bound(0, 5.0).is_ok());
         assert_eq!(
             lp.set_upper_bound(3, 5.0),
-            Err(LpError::BadVariable { index: 3, n_vars: 1 })
+            Err(LpError::BadVariable {
+                index: 3,
+                n_vars: 1
+            })
         );
     }
 

@@ -65,8 +65,7 @@ impl Tableau {
         let limit = 200 * (self.rows.len() + self.n_cols() + 10);
         for _ in 0..limit {
             // Bland: entering column = lowest index with negative reduced cost.
-            let entering = (0..self.n_cols())
-                .find(|&j| allow(j) && self.cost[j] < -EPS);
+            let entering = (0..self.n_cols()).find(|&j| allow(j) && self.cost[j] < -EPS);
             let Some(col) = entering else {
                 return Ok(());
             };
@@ -211,7 +210,8 @@ pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
         // Drive any residual basic artificials out of the basis.
         for r in 0..m {
             if t.artificial[t.basis[r]] {
-                if let Some(col) = (0..total).find(|&j| !t.artificial[j] && t.rows[r][j].abs() > EPS)
+                if let Some(col) =
+                    (0..total).find(|&j| !t.artificial[j] && t.rows[r][j].abs() > EPS)
                 {
                     t.pivot(r, col);
                 }
@@ -241,12 +241,7 @@ pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
             x[t.basis[r]] = t.rhs[r].max(0.0);
         }
     }
-    let objective: f64 = lp
-        .objective
-        .iter()
-        .zip(&x)
-        .map(|(c, v)| c * v)
-        .sum();
+    let objective: f64 = lp.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
     Ok(Solution::new(x, objective))
 }
 

@@ -1,0 +1,189 @@
+//! Deterministic data-parallel primitives for Carbon Explorer.
+//!
+//! The design-space sweeps behind the paper's Figures 13–15 are
+//! embarrassingly parallel: thousands of independent `evaluate` calls per
+//! balancing authority. This crate provides the small parallel-map core
+//! those sweeps run on, built on `std::thread::scope` (the container this
+//! workspace builds in has no crates.io access, so rayon itself cannot be
+//! fetched; this is the same contiguous-chunk + indexed-collect shape a
+//! rayon `par_iter().map().collect()` would compile to for these
+//! workloads).
+//!
+//! Guarantees:
+//!
+//! - **Deterministic output order**: results are returned in input order,
+//!   assembled from per-thread contiguous chunks — never in completion
+//!   order. For a pure `f`, output is bitwise-identical to the serial map.
+//! - **No nested oversubscription**: a `par_map` issued from inside a
+//!   worker thread runs serially, so outer parallelism (e.g. per-site
+//!   experiment loops) composes with inner parallelism (per-design sweeps)
+//!   without spawning `threads²` workers.
+//! - **Per-thread scratch**: [`par_map_with`] hands each worker one
+//!   scratch value for its whole chunk, the std-thread equivalent of
+//!   rayon's thread-local `map_init` — allocation-free inner loops reuse
+//!   buffers across a chunk.
+//!
+//! The worker count comes from `std::thread::available_parallelism`,
+//! overridable with the `CE_THREADS` environment variable (`CE_THREADS=1`
+//! forces every sweep serial, which is how the determinism tests compare
+//! paths).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::thread;
+
+thread_local! {
+    /// Set while the current thread is a parallel-region worker; nested
+    /// regions fall back to serial execution.
+    static IN_PARALLEL_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The number of worker threads parallel regions may use.
+///
+/// Reads `CE_THREADS` if set (clamped to at least 1), otherwise
+/// `std::thread::available_parallelism`.
+pub fn max_threads() -> usize {
+    if let Ok(value) = std::env::var("CE_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// `true` if the calling thread is already inside a parallel region (its
+/// `par_map` calls will run serially).
+pub fn in_parallel_region() -> bool {
+    IN_PARALLEL_REGION.with(Cell::get)
+}
+
+/// Maps `f` over `items` in parallel, returning results in input order.
+///
+/// Falls back to a serial map when the input is tiny, only one thread is
+/// available, or the caller is itself a parallel-region worker.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with(items, || (), move |(), item| f(item))
+}
+
+/// [`par_map`] with a per-worker scratch value: each worker calls `init`
+/// once and reuses the scratch across every item of its chunk.
+///
+/// Results are returned in input order regardless of thread scheduling.
+pub fn par_map_with<T, R, S, I, F>(items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    let threads = max_threads().min(items.len());
+    if threads <= 1 || items.len() <= 1 || in_parallel_region() {
+        let mut scratch = init();
+        return items.iter().map(|item| f(&mut scratch, item)).collect();
+    }
+
+    let chunk_size = items.len().div_ceil(threads);
+    let mut results = Vec::with_capacity(items.len());
+    thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(|| {
+                    IN_PARALLEL_REGION.with(|flag| flag.set(true));
+                    let mut scratch = init();
+                    let out: Vec<R> = chunk.iter().map(|item| f(&mut scratch, item)).collect();
+                    IN_PARALLEL_REGION.with(|flag| flag.set(false));
+                    out
+                })
+            })
+            .collect();
+        // Joining in spawn order reassembles input order: chunks are
+        // contiguous, and each worker preserves order within its chunk.
+        for handle in handles {
+            results.extend(handle.join().expect("parallel worker panicked"));
+        }
+    });
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..10_000).collect();
+        let doubled = par_map(&items, |&x| x * 2);
+        let expected: Vec<usize> = items.iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, expected);
+    }
+
+    #[test]
+    fn matches_serial_map_bitwise_for_floats() {
+        let items: Vec<f64> = (0..5_000).map(|i| i as f64 * 0.37).collect();
+        let f = |x: &f64| (x.sin() * 1e9).mul_add(*x, 1.0 / (x + 0.5));
+        let parallel = par_map(&items, f);
+        let serial: Vec<f64> = items.iter().map(f).collect();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<i32> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[41], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn scratch_is_reused_within_a_chunk() {
+        let items: Vec<usize> = (0..100).collect();
+        let inits = AtomicUsize::new(0);
+        let results = par_map_with(
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                Vec::<usize>::new()
+            },
+            |scratch, &item| {
+                scratch.push(item);
+                scratch.len()
+            },
+        );
+        // Scratch init count is bounded by the worker count, far below the
+        // item count, proving reuse across items.
+        assert!(inits.load(Ordering::SeqCst) <= max_threads());
+        assert_eq!(results.len(), items.len());
+    }
+
+    #[test]
+    fn nested_regions_run_serially_not_exponentially() {
+        let outer: Vec<usize> = (0..8).collect();
+        let results = par_map(&outer, |&i| {
+            assert!(in_parallel_region() || max_threads() == 1);
+            let inner: Vec<usize> = (0..100).collect();
+            par_map(&inner, |&j| i * 1000 + j).len()
+        });
+        assert_eq!(results, vec![100; 8]);
+        assert!(!in_parallel_region());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map(&items, |&x| {
+                assert!(x != 13, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+}

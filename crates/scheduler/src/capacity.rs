@@ -137,13 +137,18 @@ mod tests {
     fn infeasible_when_flexibility_is_too_low() {
         // Night hours have inflexible load but zero supply → never 24/7.
         let demand = HourlySeries::constant(start(), 24, 10.0);
-        let supply = HourlySeries::from_fn(start(), 24, |h| {
-            if (6..18).contains(&h) {
-                100.0
-            } else {
-                0.0
-            }
-        });
+        let supply =
+            HourlySeries::from_fn(
+                start(),
+                24,
+                |h| {
+                    if (6..18).contains(&h) {
+                        100.0
+                    } else {
+                        0.0
+                    }
+                },
+            );
         let result = required_capacity_for_full_coverage(&demand, &supply, 0.4).unwrap();
         assert!(result.is_none());
     }

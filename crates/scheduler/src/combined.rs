@@ -324,8 +324,7 @@ mod tests {
         let config = cfg(0.4);
 
         let mut combined_battery = ClcBattery::lfp(40.0, 1.0);
-        let combined =
-            combined_dispatch(&mut combined_battery, &demand, &supply, config).unwrap();
+        let combined = combined_dispatch(&mut combined_battery, &demand, &supply, config).unwrap();
 
         let mut battery_only = ClcBattery::lfp(40.0, 1.0);
         let b = ce_battery::simulate_dispatch(&mut battery_only, &demand, &supply).unwrap();

@@ -134,7 +134,10 @@ impl GreedyScheduler {
     fn schedule_day(&self, load: &mut [f64], cost: &[f64], supply: Option<&[f64]>) -> f64 {
         let n = load.len();
         // Movable budget is FWR of the *original* hourly load.
-        let mut movable: Vec<f64> = load.iter().map(|&l| l * self.config.flexible_ratio).collect();
+        let mut movable: Vec<f64> = load
+            .iter()
+            .map(|&l| l * self.config.flexible_ratio)
+            .collect();
 
         // Hours ranked by cost: sources from most expensive down,
         // destinations from cheapest up.
@@ -319,7 +322,10 @@ mod tests {
         });
         let result = sched.schedule(&demand, &supply).unwrap();
         // Hours 24..30 are untouched (not a full day).
-        assert_eq!(&result.shifted_demand.values()[24..], &demand.values()[24..]);
+        assert_eq!(
+            &result.shifted_demand.values()[24..],
+            &demand.values()[24..]
+        );
     }
 
     #[test]

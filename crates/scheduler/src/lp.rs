@@ -92,7 +92,10 @@ fn schedule_one_day(
     config: CasConfig,
 ) -> Result<Vec<f64>, LpScheduleError> {
     let n = demand.len();
-    let base: Vec<f64> = demand.iter().map(|&d| d * (1.0 - config.flexible_ratio)).collect();
+    let base: Vec<f64> = demand
+        .iter()
+        .map(|&d| d * (1.0 - config.flexible_ratio))
+        .collect();
     let flexible_total: f64 = demand.iter().map(|&d| d * config.flexible_ratio).sum();
     if flexible_total <= 1e-12 {
         return Ok(demand.to_vec());
@@ -116,7 +119,11 @@ fn schedule_one_day(
         // f_h ≤ cap − base_h (capacity).
         let mut cap_row = vec![0.0; 2 * n];
         cap_row[h] = 1.0;
-        lp.add_constraint(cap_row, Relation::Le, (config.max_capacity_mw - base[h]).max(0.0));
+        lp.add_constraint(
+            cap_row,
+            Relation::Le,
+            (config.max_capacity_mw - base[h]).max(0.0),
+        );
         // u_h − f_h ≥ base_h − supply_h  ⇔  u_h ≥ base_h + f_h − supply_h.
         let mut deficit_row = vec![0.0; 2 * n];
         deficit_row[n + h] = 1.0;

@@ -122,14 +122,11 @@ mod tests {
         let result = online_schedule(&demand, &supply, config()).unwrap();
         // The seasonal-naive forecast is exact here, so day 2+ schedules
         // are identical to the oracle's; only day 0 is unscheduled.
-        let unscheduled_day0: f64 = (0..24)
-            .map(|h| (demand[h] - supply[h]).max(0.0))
-            .sum();
-        let oracle_day0: f64 = result
-            .oracle_deficit_mwh
-            / 5.0; // oracle deficit is uniform across days
+        let unscheduled_day0: f64 = (0..24).map(|h| (demand[h] - supply[h]).max(0.0)).sum();
+        let oracle_day0: f64 = result.oracle_deficit_mwh / 5.0; // oracle deficit is uniform across days
         assert!(
-            result.deficit_mwh <= result.oracle_deficit_mwh + (unscheduled_day0 - oracle_day0) + 1e-6
+            result.deficit_mwh
+                <= result.oracle_deficit_mwh + (unscheduled_day0 - oracle_day0) + 1e-6
         );
     }
 

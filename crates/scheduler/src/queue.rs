@@ -138,7 +138,10 @@ mod tests {
     #[test]
     fn jobs_run_immediately_when_surplus_exists() {
         let surplus = HourlySeries::constant(start(), 48, 10.0);
-        let jobs = vec![job(0, 2, 1.0, SloTier::Tier4), job(5, 1, 2.0, SloTier::Tier1)];
+        let jobs = vec![
+            job(0, 2, 1.0, SloTier::Tier4),
+            job(5, 1, 2.0, SloTier::Tier1),
+        ];
         let stats = simulate_queue(&jobs, &surplus, 2020).unwrap();
         assert_eq!(stats.started_immediately, 2);
         assert_eq!(stats.forced_at_deadline, 0);
@@ -175,7 +178,10 @@ mod tests {
     fn surplus_is_consumed_by_earlier_jobs() {
         // 1 MW of surplus at hour 0 only; two 1 MW jobs arrive at 0.
         let surplus = HourlySeries::from_values(start(), vec![1.0, 0.0, 0.0, 1.0]);
-        let jobs = vec![job(0, 1, 1.0, SloTier::Tier3), job(0, 1, 1.0, SloTier::Tier3)];
+        let jobs = vec![
+            job(0, 1, 1.0, SloTier::Tier3),
+            job(0, 1, 1.0, SloTier::Tier3),
+        ];
         let stats = simulate_queue(&jobs, &surplus, 2020).unwrap();
         // First job takes hour 0; second finds surplus at hour 3 (within
         // its ±4h window).

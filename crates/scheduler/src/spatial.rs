@@ -113,7 +113,9 @@ pub fn migrate_load(
                     (i, spare)
                 })
                 .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"));
-            let Some((receiver, spare)) = receiver else { break };
+            let Some((receiver, spare)) = receiver else {
+                break;
+            };
             if spare <= 1e-9 {
                 break;
             }

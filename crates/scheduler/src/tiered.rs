@@ -173,7 +173,11 @@ mod tests {
     }
 
     fn solar_day() -> HourlySeries {
-        HourlySeries::from_fn(start(), 24, |h| if (8..16).contains(&h) { 40.0 } else { 0.0 })
+        HourlySeries::from_fn(
+            start(),
+            24,
+            |h| if (8..16).contains(&h) { 40.0 } else { 0.0 },
+        )
     }
 
     #[test]

@@ -26,7 +26,10 @@ use crate::TimeSeriesError;
 /// # Errors
 ///
 /// Returns [`TimeSeriesError::Empty`] for empty history.
-pub fn persistence(history: &HourlySeries, horizon: usize) -> Result<HourlySeries, TimeSeriesError> {
+pub fn persistence(
+    history: &HourlySeries,
+    horizon: usize,
+) -> Result<HourlySeries, TimeSeriesError> {
     let last = history
         .get(history.len().wrapping_sub(1))
         .ok_or(TimeSeriesError::Empty)?;
@@ -93,9 +96,7 @@ pub fn mae(forecast: &HourlySeries, actual: &HourlySeries) -> Result<f64, TimeSe
     if forecast.is_empty() {
         return Err(TimeSeriesError::Empty);
     }
-    Ok(forecast
-        .zip_with(actual, |f, a| (f - a).abs())?
-        .mean())
+    Ok(forecast.zip_with(actual, |f, a| (f - a).abs())?.mean())
 }
 
 /// Root-mean-square error between forecast and actual.

@@ -87,10 +87,7 @@ impl Frame {
 
     /// Borrows a column by name.
     pub fn column(&self, name: &str) -> Option<&HourlySeries> {
-        self.columns
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, s)| s)
+        self.columns.iter().find(|(n, _)| n == name).map(|(_, s)| s)
     }
 
     /// Removes a column, returning it if present.
@@ -177,10 +174,16 @@ mod tests {
 
     fn frame() -> Frame {
         let mut f = Frame::new(start(), 4);
-        f.insert("demand", HourlySeries::from_values(start(), vec![10.0, 10.0, 10.0, 10.0]))
-            .unwrap();
-        f.insert("supply", HourlySeries::from_values(start(), vec![12.0, 8.0, 15.0, 0.0]))
-            .unwrap();
+        f.insert(
+            "demand",
+            HourlySeries::from_values(start(), vec![10.0, 10.0, 10.0, 10.0]),
+        )
+        .unwrap();
+        f.insert(
+            "supply",
+            HourlySeries::from_values(start(), vec![12.0, 8.0, 15.0, 0.0]),
+        )
+        .unwrap();
         f
     }
 
@@ -215,9 +218,14 @@ mod tests {
     #[test]
     fn derive_computes_row_wise() {
         let mut f = frame();
-        f.derive("deficit", &["demand", "supply"], |row| (row[0] - row[1]).max(0.0))
-            .unwrap();
-        assert_eq!(f.column("deficit").unwrap().values(), &[0.0, 2.0, 0.0, 10.0]);
+        f.derive("deficit", &["demand", "supply"], |row| {
+            (row[0] - row[1]).max(0.0)
+        })
+        .unwrap();
+        assert_eq!(
+            f.column("deficit").unwrap().values(),
+            &[0.0, 2.0, 0.0, 10.0]
+        );
         assert!(f.derive("bad", &["missing"], |_| 0.0).is_err());
     }
 

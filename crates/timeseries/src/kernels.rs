@@ -1,0 +1,295 @@
+//! Fused reduction kernels over hourly series.
+//!
+//! The design-space sweep evaluates the same handful of reductions tens of
+//! thousands of times per balancing authority: "sum of the clamped
+//! deficit", "deficit-weighted carbon intensity", "how many hours were
+//! fully covered". Written naively (`zip_with(...).sum()`), each of those
+//! materializes a fresh 8760-sample [`HourlySeries`] only to fold it away.
+//! The kernels here fuse the combine-and-reduce into a single pass with no
+//! intermediate allocation; they are the inner loops of
+//! `ce_core::CarbonExplorer::evaluate`.
+//!
+//! Every kernel applies its operations elementwise in index order with a
+//! sequential left-to-right fold — exactly the float-operation sequence of
+//! the naive formulation — so results are bitwise-identical to
+//! `zip_with(f).sum()`, which the unit tests assert.
+//!
+//! Slice-level variants (`*_slices`) are exposed for callers that operate
+//! on windows of a series (e.g. monthly decomposition) without paying
+//! [`HourlySeries::window`]'s copy.
+
+use crate::series::HourlySeries;
+use crate::TimeSeriesError;
+
+/// Covered-hour threshold shared with coverage accounting: an hour whose
+/// clamped deficit is at most this many MWh counts as fully covered.
+pub const COVERED_EPSILON_MWH: f64 = 1e-9;
+
+/// Sums `f(a[i], b[i])` over two equal-length slices without allocating.
+///
+/// # Panics
+///
+/// Panics (debug assertion) if the slices differ in length.
+pub fn zip_sum_slices(a: &[f64], b: &[f64], mut f: impl FnMut(f64, f64) -> f64) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "zip_sum_slices requires equal lengths");
+    a.iter().zip(b).map(|(&x, &y)| f(x, y)).sum()
+}
+
+/// Dot product `Σ a[i]·b[i]` of two equal-length slices.
+pub fn dot_slices(a: &[f64], b: &[f64]) -> f64 {
+    zip_sum_slices(a, b, |x, y| x * y)
+}
+
+/// Clamped-deficit energy `Σ max(d[i] − s[i], 0)` — the unmet MWh of
+/// demand `d` under supply `s`.
+pub fn deficit_sum_slices(demand: &[f64], supply: &[f64]) -> f64 {
+    zip_sum_slices(demand, supply, |d, s| (d - s).max(0.0))
+}
+
+/// Deficit-weighted reduction `Σ max(d[i] − s[i], 0) · w[i]`, e.g. unmet
+/// energy times hourly carbon intensity = operational tons.
+pub fn deficit_dot_slices(demand: &[f64], supply: &[f64], weight: &[f64]) -> f64 {
+    debug_assert_eq!(demand.len(), weight.len(), "deficit_dot_slices lengths");
+    demand
+        .iter()
+        .zip(supply)
+        .zip(weight)
+        .map(|((&d, &s), &w)| (d - s).max(0.0) * w)
+        .sum()
+}
+
+/// The coverage-relevant aggregates of a clamped deficit, in one pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeficitStats {
+    /// Total unmet energy `Σ max(d − s, 0)`, MWh.
+    pub unmet_mwh: f64,
+    /// Hours whose clamped deficit is ≤ [`COVERED_EPSILON_MWH`].
+    pub covered_hours: usize,
+}
+
+/// Computes unmet energy and fully-covered hour count of `demand` under
+/// `supply` in a single pass, matching the float sequence of
+/// materializing the deficit series and then summing/counting it.
+pub fn deficit_stats_slices(demand: &[f64], supply: &[f64]) -> DeficitStats {
+    debug_assert_eq!(demand.len(), supply.len(), "deficit_stats_slices lengths");
+    let mut unmet_mwh = 0.0;
+    let mut covered_hours = 0usize;
+    for (&d, &s) in demand.iter().zip(supply) {
+        let u = (d - s).max(0.0);
+        unmet_mwh += u;
+        if u <= COVERED_EPSILON_MWH {
+            covered_hours += 1;
+        }
+    }
+    DeficitStats {
+        unmet_mwh,
+        covered_hours,
+    }
+}
+
+/// Aggregates of an already-clamped unmet series (e.g. a dispatch model's
+/// per-hour grid draw): total energy and fully-covered hour count, in one
+/// pass. Matches summing the series and counting
+/// `u ≤ COVERED_EPSILON_MWH` separately.
+pub fn unmet_stats_slices(unmet: &[f64]) -> DeficitStats {
+    let mut unmet_mwh = 0.0;
+    let mut covered_hours = 0usize;
+    for &u in unmet {
+        unmet_mwh += u;
+        if u <= COVERED_EPSILON_MWH {
+            covered_hours += 1;
+        }
+    }
+    DeficitStats {
+        unmet_mwh,
+        covered_hours,
+    }
+}
+
+/// Writes `a[i]·fa + b[i]·fb` into `out` — the fused "scale two generation
+/// series and add them" step of renewable-supply construction.
+///
+/// # Panics
+///
+/// Panics (debug assertion) on length mismatches.
+pub fn scaled_sum_into(a: &[f64], fa: f64, b: &[f64], fb: f64, out: &mut [f64]) {
+    debug_assert_eq!(a.len(), b.len(), "scaled_sum_into input lengths");
+    debug_assert_eq!(a.len(), out.len(), "scaled_sum_into output length");
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x * fa + y * fb;
+    }
+}
+
+impl HourlySeries {
+    /// Fused `zip_with(other, f).sum()` without the intermediate series.
+    ///
+    /// # Errors
+    ///
+    /// Returns an alignment error if the series differ in start or length.
+    pub fn zip_sum(
+        &self,
+        other: &Self,
+        f: impl FnMut(f64, f64) -> f64,
+    ) -> Result<f64, TimeSeriesError> {
+        self.check_aligned(other)?;
+        Ok(zip_sum_slices(self.values(), other.values(), f))
+    }
+
+    /// Dot product `Σ self[i]·other[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an alignment error if the series differ in start or length.
+    pub fn dot(&self, other: &Self) -> Result<f64, TimeSeriesError> {
+        self.check_aligned(other)?;
+        Ok(dot_slices(self.values(), other.values()))
+    }
+
+    /// Unmet energy of `self` (demand) under `supply`:
+    /// `Σ max(self − supply, 0)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an alignment error if the series differ in start or length.
+    pub fn deficit_sum(&self, supply: &Self) -> Result<f64, TimeSeriesError> {
+        self.check_aligned(supply)?;
+        Ok(deficit_sum_slices(self.values(), supply.values()))
+    }
+
+    /// Deficit-weighted reduction
+    /// `Σ max(self − supply, 0) · weight` — with `weight` an hourly carbon
+    /// intensity this is operational carbon in one pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns an alignment error if any pair of series is misaligned.
+    pub fn deficit_dot(&self, supply: &Self, weight: &Self) -> Result<f64, TimeSeriesError> {
+        self.check_aligned(supply)?;
+        self.check_aligned(weight)?;
+        Ok(deficit_dot_slices(
+            self.values(),
+            supply.values(),
+            weight.values(),
+        ))
+    }
+
+    /// Unmet energy and covered-hour count of `self` (demand) under
+    /// `supply`, in one pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns an alignment error if the series differ in start or length.
+    pub fn deficit_stats(&self, supply: &Self) -> Result<DeficitStats, TimeSeriesError> {
+        self.check_aligned(supply)?;
+        Ok(deficit_stats_slices(self.values(), supply.values()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Timestamp;
+
+    fn start() -> Timestamp {
+        Timestamp::start_of_year(2020)
+    }
+
+    /// A pair of irregular aligned series exercising negative deficits,
+    /// exact zeros, and magnitudes spanning several orders.
+    fn fixtures() -> (HourlySeries, HourlySeries, HourlySeries) {
+        let n = 1000;
+        let demand = HourlySeries::from_fn(start(), n, |h| {
+            10.0 + (h as f64 * 0.7).sin() * 9.0 + (h % 13) as f64 * 0.01
+        });
+        let supply = HourlySeries::from_fn(start(), n, |h| {
+            (h as f64 * 0.31).cos().abs() * 25.0 * ((h % 7) as f64 / 6.0)
+        });
+        let weight = HourlySeries::from_fn(start(), n, |h| 0.1 + (h % 24) as f64 * 0.03);
+        (demand, supply, weight)
+    }
+
+    #[test]
+    fn zip_sum_is_bitwise_identical_to_naive() {
+        let (a, b, _) = fixtures();
+        let naive = a.zip_with(&b, |x, y| (x - y).max(0.0)).unwrap().sum();
+        let fused = a.zip_sum(&b, |x, y| (x - y).max(0.0)).unwrap();
+        assert_eq!(naive.to_bits(), fused.to_bits());
+    }
+
+    #[test]
+    fn dot_is_bitwise_identical_to_naive() {
+        let (a, b, _) = fixtures();
+        let naive = a.zip_with(&b, |x, y| x * y).unwrap().sum();
+        assert_eq!(naive.to_bits(), a.dot(&b).unwrap().to_bits());
+    }
+
+    #[test]
+    fn deficit_sum_is_bitwise_identical_to_naive() {
+        let (d, s, _) = fixtures();
+        let naive = d.zip_with(&s, |x, y| (x - y).max(0.0)).unwrap().sum();
+        assert_eq!(naive.to_bits(), d.deficit_sum(&s).unwrap().to_bits());
+    }
+
+    #[test]
+    fn deficit_dot_is_bitwise_identical_to_naive() {
+        let (d, s, w) = fixtures();
+        let unmet = d.zip_with(&s, |x, y| (x - y).max(0.0)).unwrap();
+        let naive = unmet.zip_with(&w, |u, i| u * i).unwrap().sum();
+        let fused = d.deficit_dot(&s, &w).unwrap();
+        assert_eq!(naive.to_bits(), fused.to_bits());
+    }
+
+    #[test]
+    fn deficit_stats_match_materialized_series() {
+        let (d, s, _) = fixtures();
+        let unmet = d.zip_with(&s, |x, y| (x - y).max(0.0)).unwrap();
+        let stats = d.deficit_stats(&s).unwrap();
+        assert_eq!(stats.unmet_mwh.to_bits(), unmet.sum().to_bits());
+        assert_eq!(
+            stats.covered_hours,
+            unmet.count_where(|u| u <= COVERED_EPSILON_MWH)
+        );
+        // Sanity: the fixture has both covered and uncovered hours.
+        assert!(stats.covered_hours > 0 && stats.covered_hours < d.len());
+    }
+
+    #[test]
+    fn scaled_sum_matches_scale_then_add() {
+        let (a, b, _) = fixtures();
+        let (fa, fb) = (0.137, 2.91);
+        let naive = (&(&a * fa) + &(&b * fb)).into_values();
+        let mut out = vec![0.0; a.len()];
+        scaled_sum_into(a.values(), fa, b.values(), fb, &mut out);
+        assert_eq!(naive, out);
+    }
+
+    #[test]
+    fn zero_factors_produce_exact_zeros() {
+        let (a, b, _) = fixtures();
+        let mut out = vec![f64::NAN; a.len()];
+        scaled_sum_into(a.values(), 0.0, b.values(), 0.0, &mut out);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn misaligned_series_error() {
+        let a = HourlySeries::zeros(start(), 5);
+        let b = HourlySeries::zeros(start(), 6);
+        assert!(a.dot(&b).is_err());
+        assert!(a.deficit_sum(&b).is_err());
+        assert!(a.deficit_stats(&b).is_err());
+        assert!(a.zip_sum(&b, |x, y| x + y).is_err());
+        let c = HourlySeries::zeros(start().plus_hours(1), 5);
+        assert!(a.deficit_dot(&b, &c).is_err());
+        assert!(a.deficit_dot(&c, &c).is_err());
+    }
+
+    #[test]
+    fn empty_slices_sum_to_zero() {
+        assert_eq!(dot_slices(&[], &[]), 0.0);
+        assert_eq!(deficit_sum_slices(&[], &[]), 0.0);
+        let stats = deficit_stats_slices(&[], &[]);
+        assert_eq!(stats.unmet_mwh, 0.0);
+        assert_eq!(stats.covered_hours, 0);
+    }
+}

@@ -33,6 +33,7 @@ pub mod csv;
 mod error;
 pub mod forecast;
 pub mod frame;
+pub mod kernels;
 pub mod resample;
 pub mod series;
 pub mod stats;
@@ -40,5 +41,6 @@ pub mod time;
 
 pub use error::TimeSeriesError;
 pub use frame::Frame;
+pub use kernels::DeficitStats;
 pub use series::HourlySeries;
 pub use time::{Date, Timestamp, HOURS_PER_DAY};

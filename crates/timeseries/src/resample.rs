@@ -77,7 +77,11 @@ pub fn days(series: &HourlySeries) -> Vec<HourlySeries> {
 
 /// Generic chunked reduction: applies `f` to consecutive `chunk` -sized
 /// windows (trailing partial chunk dropped).
-pub fn reduce_chunks(series: &HourlySeries, chunk: usize, f: impl FnMut(&[f64]) -> f64) -> Vec<f64> {
+pub fn reduce_chunks(
+    series: &HourlySeries,
+    chunk: usize,
+    f: impl FnMut(&[f64]) -> f64,
+) -> Vec<f64> {
     if chunk == 0 {
         return Vec::new();
     }

@@ -244,10 +244,12 @@ impl HourlySeries {
     ///
     /// Returns [`TimeSeriesError::OutOfBounds`] if the window does not fit.
     pub fn window(&self, offset: usize, len: usize) -> Result<Self, TimeSeriesError> {
-        let end = offset.checked_add(len).ok_or(TimeSeriesError::OutOfBounds {
-            index: usize::MAX,
-            len: self.values.len(),
-        })?;
+        let end = offset
+            .checked_add(len)
+            .ok_or(TimeSeriesError::OutOfBounds {
+                index: usize::MAX,
+                len: self.values.len(),
+            })?;
         if end > self.values.len() {
             return Err(TimeSeriesError::OutOfBounds {
                 index: end,
@@ -357,10 +359,7 @@ mod tests {
         assert_eq!((&b / 2.0).values(), &[2.0, 2.5, 3.0]);
 
         let misaligned = HourlySeries::from_values(start().plus_hours(1), vec![1.0, 1.0, 1.0]);
-        assert_eq!(
-            a.try_add(&misaligned),
-            Err(TimeSeriesError::StartMismatch)
-        );
+        assert_eq!(a.try_add(&misaligned), Err(TimeSeriesError::StartMismatch));
         let short = HourlySeries::from_values(start(), vec![1.0]);
         assert!(matches!(
             a.try_add(&short),

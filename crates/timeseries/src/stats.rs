@@ -42,8 +42,16 @@ impl Histogram {
     ///
     /// Returns [`TimeSeriesError::Empty`] for empty input or zero bins.
     pub fn from_values(values: &[f64], bins: usize) -> Result<Self, TimeSeriesError> {
-        let lo = values.iter().copied().reduce(f64::min).ok_or(TimeSeriesError::Empty)?;
-        let hi = values.iter().copied().reduce(f64::max).ok_or(TimeSeriesError::Empty)?;
+        let lo = values
+            .iter()
+            .copied()
+            .reduce(f64::min)
+            .ok_or(TimeSeriesError::Empty)?;
+        let hi = values
+            .iter()
+            .copied()
+            .reduce(f64::max)
+            .ok_or(TimeSeriesError::Empty)?;
         let hi = if hi > lo { hi } else { lo + 1.0 };
         Self::new(values, lo, hi, bins)
     }

@@ -23,9 +23,8 @@ fn main() {
     let capacity = 5.0 * site.avg_power_mw();
 
     // Hold stored energy back for the dirtiest quartile of hours.
-    let dirty_threshold =
-        carbon_explorer::timeseries::stats::quantile(intensity.values(), 0.75)
-            .expect("non-empty intensity");
+    let dirty_threshold = carbon_explorer::timeseries::stats::quantile(intensity.values(), 0.75)
+        .expect("non-empty intensity");
     let policies: Vec<(&str, Box<dyn DispatchPolicy>)> = vec![
         ("greedy (paper default)", Box::new(GreedyPolicy)),
         (

@@ -48,11 +48,9 @@ fn main() {
         let mut battery = ClcBattery::lfp(capacity, dod);
         let result = simulate_dispatch(&mut battery, &demand, &supply).expect("aligned");
         let coverage = Coverage::from_unmet(&demand, &result.unmet).expect("aligned");
-        let embodied = EmbodiedParams::paper_defaults().battery.amortized_tons_per_year(
-            capacity,
-            dod,
-            result.equivalent_cycles,
-        );
+        let embodied = EmbodiedParams::paper_defaults()
+            .battery
+            .amortized_tons_per_year(capacity, dod, result.equivalent_cycles);
         println!(
             "  DoD {:>3.0}%: coverage {:.2}%, usable {:.0} MWh, cycle life {:.0}, embodied {:.0} tCO2/year",
             dod * 100.0,

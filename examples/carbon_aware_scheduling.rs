@@ -30,7 +30,10 @@ fn main() {
     };
 
     println!("one week of the Utah DC, 40% flexible workloads:\n");
-    println!("unscheduled renewable deficit: {:>8.1} MWh", deficit(&demand));
+    println!(
+        "unscheduled renewable deficit: {:>8.1} MWh",
+        deficit(&demand)
+    );
 
     let config = CasConfig {
         max_capacity_mw: demand.max().expect("non-empty") * 1.4,
@@ -47,7 +50,10 @@ fn main() {
     );
 
     let optimal = lp_schedule(&demand, &supply, config).expect("solvable day LPs");
-    println!("after LP-optimal placement:    {:>8.1} MWh", deficit(&optimal));
+    println!(
+        "after LP-optimal placement:    {:>8.1} MWh",
+        deficit(&optimal)
+    );
 
     let gap = (deficit(&greedy.shifted_demand) - deficit(&optimal)) / deficit(&optimal).max(1e-9);
     println!(

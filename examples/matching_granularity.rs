@@ -30,9 +30,8 @@ fn main() {
                 .matched_fraction()
                 * 100.0
         };
-        let hourly =
-            match_credits(&demand, &supply, &intensity, MatchingGranularity::Hourly)
-                .expect("aligned series");
+        let hourly = match_credits(&demand, &supply, &intensity, MatchingGranularity::Hourly)
+            .expect("aligned series");
         println!(
             "{state:<6}{:>9.1}%{:>9.1}%{:>9.1}%{:>9.1}%{:>14.0}",
             fraction(MatchingGranularity::Annual),

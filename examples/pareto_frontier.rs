@@ -52,10 +52,8 @@ fn main() {
     // more embodied carbon than it saves operationally.
     let all = explorer.explore(StrategyKind::RenewablesBatteryCas, &space);
     let frontier = ParetoFrontier::from_evaluations(&all);
-    if let (Some(best), Some(full)) = (
-        frontier.carbon_optimal(),
-        frontier.cheapest_full_coverage(),
-    ) {
+    if let (Some(best), Some(full)) = (frontier.carbon_optimal(), frontier.cheapest_full_coverage())
+    {
         println!(
             "cheapest 100% 24/7 design emits {:.0} t/y vs {:.0} t/y at the {:.1}%-coverage optimum:",
             full.total_tons(),

@@ -37,7 +37,10 @@ fn main() {
 
     ranking.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite totals"));
     println!("carbon-optimal total footprint per MW of DC capacity (best site first):\n");
-    println!("{:<6}{:<16}{:>14}{:>12}", "site", "regime", "tCO2/MW/year", "coverage");
+    println!(
+        "{:<6}{:<16}{:>14}{:>12}",
+        "site", "regime", "tCO2/MW/year", "coverage"
+    );
     for (state, regime, per_mw, coverage) in &ranking {
         println!("{state:<6}{regime:<16}{per_mw:>14.0}{coverage:>11.1}%");
     }

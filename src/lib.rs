@@ -14,7 +14,9 @@
 //! - [`scheduler`] — carbon-aware workload scheduling,
 //! - [`embodied`] — embodied-carbon models,
 //! - [`core`] — coverage, scenarios, design-space exploration, Pareto
-//!   analysis (the paper's contribution).
+//!   analysis (the paper's contribution),
+//! - [`parallel`] — the deterministic fork-join primitives behind the
+//!   parallel sweep engine (`CE_THREADS` controls the worker count).
 //!
 //! # Quickstart
 //!
@@ -37,6 +39,7 @@ pub use ce_datacenter as datacenter;
 pub use ce_embodied as embodied;
 pub use ce_grid as grid;
 pub use ce_lp as lp;
+pub use ce_parallel as parallel;
 pub use ce_scheduler as scheduler;
 pub use ce_timeseries as timeseries;
 

@@ -142,8 +142,7 @@ fn battery_dispatch_and_explorer_agree() {
 
     let supply = explorer.grid().scaled_renewables(100.0, 300.0);
     let mut battery = ClcBattery::lfp(200.0, 1.0);
-    let dispatch =
-        simulate_dispatch(&mut battery, explorer.demand(), &supply).expect("aligned");
+    let dispatch = simulate_dispatch(&mut battery, explorer.demand(), &supply).expect("aligned");
     let coverage = Coverage::from_unmet(explorer.demand(), &dispatch.unmet).expect("aligned");
     assert_eq!(eval.coverage, coverage);
     assert!((eval.battery_cycles - dispatch.equivalent_cycles).abs() < 1e-9);

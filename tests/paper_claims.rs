@@ -84,7 +84,9 @@ fn section_4_1_long_tail_to_full_coverage() {
     let demand = site.demand_trace(2020, 7);
     let coverage_at = |total_mw: f64| {
         let supply = grid.scaled_renewables(total_mw * 0.1, total_mw * 0.9);
-        renewable_coverage(&demand, &supply).expect("aligned").percent()
+        renewable_coverage(&demand, &supply)
+            .expect("aligned")
+            .percent()
     };
     let invest_for = |target: f64| {
         let (mut lo, mut hi) = (0.0, 300_000.0);
@@ -155,7 +157,9 @@ fn section_4_3_cas_gains_depend_on_region() {
     let mut gains = Vec::new();
     for state in ["UT", "NC", "OR", "TX"] {
         let (demand, supply, _) = site_and_supply(state);
-        let before = renewable_coverage(&demand, &supply).expect("aligned").percent();
+        let before = renewable_coverage(&demand, &supply)
+            .expect("aligned")
+            .percent();
         let scheduler = GreedyScheduler::new(CasConfig {
             max_capacity_mw: demand.max().unwrap() * 2.0,
             flexible_ratio: 0.4,
@@ -225,9 +229,8 @@ fn section_5_2_combined_solution_dominates() {
             .expect("aligned");
 
     let mut b2 = ClcBattery::lfp(100.0, 1.0);
-    let combined =
-        carbon_explorer::scheduler::combined_dispatch(&mut b2, &demand, &supply, config)
-            .expect("aligned");
+    let combined = carbon_explorer::scheduler::combined_dispatch(&mut b2, &demand, &supply, config)
+        .expect("aligned");
 
     assert!(combined.unmet.sum() <= battery_only.unmet.sum() + 1e-6);
     assert!(combined.unmet.sum() <= cas_only.unmet.sum() + 1e-6);
@@ -248,9 +251,15 @@ fn figure_6_scenario_intensity_ordering() {
     let net_zero = hourly_intensity(Scenario::NetZero, &demand, &supply, &grid, None)
         .expect("aligned")
         .mean();
-    let cf = hourly_intensity(Scenario::CarbonFree247, &demand, &supply, &grid, Some(&mitigated))
-        .expect("aligned")
-        .mean();
+    let cf = hourly_intensity(
+        Scenario::CarbonFree247,
+        &demand,
+        &supply,
+        &grid,
+        Some(&mitigated),
+    )
+    .expect("aligned")
+    .mean();
     assert!(mix > net_zero && net_zero > cf);
 }
 

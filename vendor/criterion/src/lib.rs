@@ -1,0 +1,185 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface this workspace's benches use — [`Criterion`],
+//! [`criterion_group!`], [`criterion_main!`], `bench_function`,
+//! `benchmark_group` — backed by a simple calibrated wall-clock timer
+//! instead of criterion's statistical machinery. Each benchmark is
+//! calibrated to a batch duration, then measured over several batches;
+//! the report prints the median, mean, and minimum per-iteration time.
+//!
+//! Output format:
+//!
+//! ```text
+//! explore_batt_cas_540pts    time: [median 182.41 ms]  mean 183.02 ms  min 181.77 ms  (5 batches x 2 iters)
+//! ```
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one measured batch.
+const BATCH_TARGET: Duration = Duration::from_millis(120);
+/// Number of measured batches per benchmark.
+const BATCHES: usize = 5;
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            prefix: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs `f` as a benchmark named `prefix/id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.prefix, id), f);
+        self
+    }
+
+    /// Ends the group (no-op; matches criterion's API).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; its [`iter`](Bencher::iter) method times
+/// the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters_per_batch: u64,
+    batch_times: Vec<Duration>,
+    calibrating: bool,
+}
+
+impl Bencher {
+    /// Times `f`, calibrating batch size on the first call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.calibrating {
+            // Grow the iteration count until a batch takes long enough to
+            // time reliably.
+            let mut n: u64 = 1;
+            loop {
+                let start = Instant::now();
+                for _ in 0..n {
+                    hint::black_box(f());
+                }
+                let elapsed = start.elapsed();
+                if elapsed >= BATCH_TARGET || n >= 1 << 24 {
+                    self.iters_per_batch = if elapsed >= BATCH_TARGET && elapsed < BATCH_TARGET * 4
+                    {
+                        n
+                    } else {
+                        scale_iters(n, elapsed)
+                    };
+                    break;
+                }
+                n *= 4;
+            }
+            self.calibrating = false;
+        }
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_batch {
+                hint::black_box(f());
+            }
+            self.batch_times.push(start.elapsed());
+        }
+    }
+}
+
+/// Picks an iteration count so one batch lands near [`BATCH_TARGET`].
+fn scale_iters(n: u64, elapsed: Duration) -> u64 {
+    let per_iter = elapsed.as_secs_f64() / n as f64;
+    ((BATCH_TARGET.as_secs_f64() / per_iter).round() as u64).max(1)
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    let mut bencher = Bencher {
+        iters_per_batch: 1,
+        batch_times: Vec::new(),
+        calibrating: true,
+    };
+    f(&mut bencher);
+    if bencher.batch_times.is_empty() {
+        println!("{id:<40} (no measurements)");
+        return;
+    }
+    let iters = bencher.iters_per_batch.max(1);
+    let mut per_iter: Vec<f64> = bencher
+        .batch_times
+        .iter()
+        .map(|t| t.as_secs_f64() / iters as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter[0];
+    println!(
+        "{id:<40} time: [median {}]  mean {}  min {}  ({} batches x {iters} iters)",
+        format_time(median),
+        format_time(mean),
+        format_time(min),
+        per_iter.len(),
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else {
+        format!("{:.2} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace builds in environments with no access to crates.io, so
+//! the real `serde` cannot be fetched. Nothing in the workspace actually
+//! serializes today — types only carry `#[derive(Serialize, Deserialize)]`
+//! so they are ready for a wire format later — which means marker traits
+//! and a no-op derive are sufficient to keep every annotation compiling.
+//!
+//! Swapping back to the real `serde` is a one-line change in the workspace
+//! `Cargo.toml` (point the `serde` entry at crates.io); no source file in
+//! the workspace needs to change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,53 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline `serde`
+//! stand-in. Each derive emits an empty marker-trait impl for the
+//! annotated type, so `#[derive(Serialize, Deserialize)]` keeps compiling
+//! without the real serde machinery.
+//!
+//! Only non-generic structs and enums are supported — which covers every
+//! annotated type in this workspace. A generic type produces a compile
+//! error pointing here rather than silently mis-parsing.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum`/`union` keyword.
+/// Panics (a compile error at the derive site) on generic types.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tree) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tree {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if let Some(TokenTree::Punct(p)) = tokens.next() {
+                            if p.as_char() == '<' {
+                                panic!(
+                                    "vendored serde_derive does not support generic type `{name}`"
+                                );
+                            }
+                        }
+                        return name.to_string();
+                    }
+                    other => panic!("expected type name after `{kw}`, found {other:?}"),
+                }
+            }
+        }
+    }
+    panic!("vendored serde_derive: no struct/enum/union found in derive input");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
