@@ -73,24 +73,29 @@ impl IdealBattery {
 }
 
 impl BatteryModel for IdealBattery {
+    #[inline]
     fn capacity_mwh(&self) -> f64 {
         self.capacity_mwh
     }
 
+    #[inline]
     fn soc_mwh(&self) -> f64 {
         self.soc_mwh
     }
 
+    #[inline]
     fn min_soc_mwh(&self) -> f64 {
         0.0
     }
 
+    #[inline]
     fn charge(&mut self, power_mw: f64) -> f64 {
         let accepted = power_mw.max(0.0).min(self.capacity_mwh - self.soc_mwh);
         self.soc_mwh += accepted;
         accepted
     }
 
+    #[inline]
     fn discharge(&mut self, power_mw: f64) -> f64 {
         let delivered = power_mw.max(0.0).min(self.soc_mwh);
         self.soc_mwh -= delivered;

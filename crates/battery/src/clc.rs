@@ -129,18 +129,22 @@ impl ClcBattery {
 }
 
 impl BatteryModel for ClcBattery {
+    #[inline]
     fn capacity_mwh(&self) -> f64 {
         self.params.capacity_mwh
     }
 
+    #[inline]
     fn soc_mwh(&self) -> f64 {
         self.soc_mwh
     }
 
+    #[inline]
     fn min_soc_mwh(&self) -> f64 {
         self.params.capacity_mwh * (1.0 - self.params.depth_of_discharge)
     }
 
+    #[inline]
     fn charge(&mut self, power_mw: f64) -> f64 {
         if power_mw <= 0.0 || self.params.capacity_mwh == 0.0 {
             return 0.0;
@@ -149,6 +153,15 @@ impl BatteryModel for ClcBattery {
         // charge efficiency: drawing E from the source stores eta_c * E.
         let rate_cap = self.params.charge_c_rate * self.params.capacity_mwh;
         let headroom = self.params.capacity_mwh - self.soc_mwh;
+        if headroom <= 0.0 {
+            // Pegged full: the general path would compute
+            // `min(power, rate_cap, 0.0) = 0.0` and leave the state
+            // untouched. Returning early skips the division below — the
+            // dominant latency on the state-of-charge dependency chain in
+            // year-long dispatch loops, where full batteries are the
+            // common case during surplus seasons.
+            return 0.0;
+        }
         let draw_cap = headroom / self.params.charge_efficiency;
         let accepted = power_mw.min(rate_cap).min(draw_cap);
         self.soc_mwh += accepted * self.params.charge_efficiency;
@@ -157,6 +170,7 @@ impl BatteryModel for ClcBattery {
         accepted
     }
 
+    #[inline]
     fn discharge(&mut self, power_mw: f64) -> f64 {
         if power_mw <= 0.0 || self.params.capacity_mwh == 0.0 {
             return 0.0;
@@ -164,6 +178,13 @@ impl BatteryModel for ClcBattery {
         // Delivering E to the load drains E / eta_d of content.
         let rate_cap = self.params.discharge_c_rate * self.params.capacity_mwh;
         let available = (self.soc_mwh - self.min_soc_mwh()).max(0.0);
+        if available <= 0.0 {
+            // Pegged empty: the general path delivers exactly 0.0 and
+            // leaves the state untouched; returning early skips the
+            // `delivered / efficiency` division, the common case during
+            // sustained deficit streaks.
+            return 0.0;
+        }
         let deliver_cap = available * self.params.discharge_efficiency;
         let delivered = power_mw.min(rate_cap).min(deliver_cap);
         self.soc_mwh -= delivered / self.params.discharge_efficiency;

@@ -44,4 +44,4 @@ pub use lifetime::{cycle_life, lifetime_years, lifetime_years_capped};
 pub use policy::{
     dispatch_with_policy, DispatchPolicy, GreedyPolicy, PeakShavingPolicy, ThresholdPolicy,
 };
-pub use simulate::{simulate_dispatch, DispatchResult};
+pub use simulate::{simulate_dispatch, simulate_dispatch_stats, DispatchResult, DispatchStats};

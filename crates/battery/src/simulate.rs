@@ -2,8 +2,9 @@
 //! charge on renewable surplus, discharge on renewable deficit.
 
 use crate::api::BatteryModel;
+use ce_timeseries::kernels::COVERED_EPSILON_MWH;
 use ce_timeseries::stats::Histogram;
-use ce_timeseries::{HourlySeries, TimeSeriesError};
+use ce_timeseries::{DeficitStats, HourlySeries, TimeSeriesError};
 
 /// The outcome of dispatching a battery over a demand/supply pair.
 #[derive(Debug, Clone, PartialEq)]
@@ -115,6 +116,100 @@ pub fn simulate_dispatch(
     })
 }
 
+/// The sweep-relevant aggregates of a battery dispatch run, produced
+/// without materializing any per-hour series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DispatchStats {
+    /// Unmet energy and fully-covered hour count of the dispatch's grid
+    /// draw (`u ≤ ce_timeseries::kernels::COVERED_EPSILON_MWH` counts as
+    /// covered).
+    pub deficit: DeficitStats,
+    /// Weighted grid draw `Σ unmet[h] · weight[h]` — operational carbon in
+    /// tons when `weight` is the hourly grid carbon intensity (t/MWh).
+    pub unmet_dot: f64,
+    /// Total energy delivered by the battery over the run, MWh.
+    pub total_discharged_mwh: f64,
+    /// Equivalent full cycles performed (energy discharged ÷ usable
+    /// capacity); 0 for a zero-capacity battery.
+    pub equivalent_cycles: f64,
+}
+
+/// Streaming variant of [`simulate_dispatch`]: steps the same greedy
+/// charge-on-surplus / discharge-on-deficit policy hour by hour, but folds
+/// the outputs into [`DispatchStats`] on the fly instead of materializing
+/// the four year-long `unmet`/`battery_supplied`/`curtailed`/`soc` series.
+/// This is the design-sweep hot path — it performs **zero heap
+/// allocations**.
+///
+/// Every accumulator folds in hour order, exactly as reducing
+/// [`simulate_dispatch`]'s `unmet` series afterwards would, so the results
+/// are bitwise-identical to the materializing path:
+/// `deficit.unmet_mwh == unmet.sum()`, `unmet_dot == unmet.dot(weight)`,
+/// and the cycle accounting matches field for field.
+///
+/// The function is generic so concrete battery models are monomorphized
+/// (no virtual dispatch in the inner loop); `&mut dyn BatteryModel` still
+/// works for callers that need dynamic dispatch.
+///
+/// # Errors
+///
+/// Returns an alignment error if `demand`, `supply`, and `weight` are not
+/// mutually aligned.
+pub fn simulate_dispatch_stats<B: BatteryModel + ?Sized>(
+    battery: &mut B,
+    demand: &HourlySeries,
+    supply: &HourlySeries,
+    weight: &HourlySeries,
+) -> Result<DispatchStats, TimeSeriesError> {
+    demand.check_aligned(supply)?;
+    demand.check_aligned(weight)?;
+    battery.reset(1.0);
+
+    let mut unmet_mwh = 0.0;
+    let mut covered_hours = 0usize;
+    let mut unmet_dot = 0.0;
+    let mut total_discharged = 0.0;
+
+    // Zipped slice iterators: no per-hour bounds checks, same hour order
+    // and float-op order as indexed traversal.
+    let hours = demand
+        .values()
+        .iter()
+        .zip(supply.values())
+        .zip(weight.values());
+    for ((&d, &s), &wh) in hours {
+        let u = if s >= d {
+            battery.charge(s - d);
+            0.0
+        } else {
+            let deficit = d - s;
+            let delivered = battery.discharge(deficit);
+            total_discharged += delivered;
+            deficit - delivered
+        };
+        unmet_mwh += u;
+        if u <= COVERED_EPSILON_MWH {
+            covered_hours += 1;
+        }
+        unmet_dot += u * wh;
+    }
+
+    let usable = battery.usable_capacity_mwh();
+    Ok(DispatchStats {
+        deficit: DeficitStats {
+            unmet_mwh,
+            covered_hours,
+        },
+        unmet_dot,
+        total_discharged_mwh: total_discharged,
+        equivalent_cycles: if usable > 0.0 {
+            total_discharged / usable
+        } else {
+            0.0
+        },
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,8 +225,6 @@ mod tests {
     fn surplus_charges_deficit_discharges() {
         let demand = HourlySeries::constant(start(), 4, 10.0);
         let supply = HourlySeries::from_values(start(), vec![20.0, 0.0, 20.0, 0.0]);
-        let mut battery = IdealBattery::new(100.0);
-        battery.reset(0.0);
         // simulate_dispatch resets to full; use a small battery to see flow.
         let mut battery = IdealBattery::new(5.0);
         let r = simulate_dispatch(&mut battery, &demand, &supply).unwrap();
@@ -217,6 +310,79 @@ mod tests {
         let supply = HourlySeries::zeros(start(), 4);
         let mut battery = IdealBattery::new(1.0);
         assert!(simulate_dispatch(&mut battery, &demand, &supply).is_err());
+        let weight = HourlySeries::zeros(start(), 3);
+        assert!(simulate_dispatch_stats(&mut battery, &demand, &supply, &weight).is_err());
+        let short_weight = HourlySeries::zeros(start(), 2);
+        let supply = HourlySeries::zeros(start(), 3);
+        assert!(simulate_dispatch_stats(&mut battery, &demand, &supply, &short_weight).is_err());
+    }
+
+    /// An irregular year-like fixture that swings the battery through
+    /// charge, discharge, clamping, and idle regimes.
+    fn stats_fixture() -> (HourlySeries, HourlySeries, HourlySeries) {
+        let n = 500;
+        let demand = HourlySeries::from_fn(start(), n, |h| {
+            10.0 + (h as f64 * 0.7).sin() * 9.0 + (h % 13) as f64 * 0.01
+        });
+        let supply = HourlySeries::from_fn(start(), n, |h| {
+            (h as f64 * 0.31).cos().abs() * 25.0 * ((h % 7) as f64 / 6.0)
+        });
+        let weight = HourlySeries::from_fn(start(), n, |h| 0.1 + (h % 24) as f64 * 0.03);
+        (demand, supply, weight)
+    }
+
+    #[test]
+    fn dispatch_stats_match_materialized_reductions_bitwise() {
+        let (demand, supply, weight) = stats_fixture();
+        // Ideal and CLC batteries, including zero-capacity and DoD floors.
+        let batteries: Vec<Box<dyn BatteryModel>> = vec![
+            Box::new(IdealBattery::new(30.0)),
+            Box::new(IdealBattery::new(0.0)),
+            Box::new(ClcBattery::lfp(30.0, 1.0)),
+            Box::new(ClcBattery::lfp(30.0, 0.6)),
+            Box::new(ClcBattery::sodium_ion(15.0, 0.8)),
+        ];
+        for mut battery in batteries {
+            let full = simulate_dispatch(battery.as_mut(), &demand, &supply).unwrap();
+            let stats =
+                simulate_dispatch_stats(battery.as_mut(), &demand, &supply, &weight).unwrap();
+            assert_eq!(
+                stats.deficit.unmet_mwh.to_bits(),
+                full.unmet.sum().to_bits(),
+                "unmet energy diverged"
+            );
+            assert_eq!(
+                stats.deficit.covered_hours,
+                full.unmet.count_where(|u| u <= COVERED_EPSILON_MWH),
+                "covered hours diverged"
+            );
+            assert_eq!(
+                stats.unmet_dot.to_bits(),
+                full.unmet.dot(&weight).unwrap().to_bits(),
+                "weighted grid draw diverged"
+            );
+            assert_eq!(
+                stats.total_discharged_mwh.to_bits(),
+                full.total_discharged_mwh.to_bits()
+            );
+            assert_eq!(
+                stats.equivalent_cycles.to_bits(),
+                full.equivalent_cycles.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn dispatch_stats_zero_capacity_passthrough() {
+        let (demand, supply, weight) = stats_fixture();
+        let mut battery = IdealBattery::new(0.0);
+        let stats = simulate_dispatch_stats(&mut battery, &demand, &supply, &weight).unwrap();
+        assert_eq!(
+            stats.deficit.unmet_mwh.to_bits(),
+            demand.deficit_sum(&supply).unwrap().to_bits()
+        );
+        assert_eq!(stats.equivalent_cycles, 0.0);
+        assert_eq!(stats.total_discharged_mwh, 0.0);
     }
 
     #[test]

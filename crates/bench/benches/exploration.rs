@@ -123,11 +123,92 @@ fn bench_parallel_sweep(c: &mut Criterion) {
     group.finish();
 }
 
+/// The factorization headline: 540-point grids where only one of the
+/// battery / extra-capacity axes is live, so the supply-major traversal
+/// computes 36 supply series instead of 540. `explore_serial` is the PR1
+/// point-per-point reference (supply recomputed at every point);
+/// `explore` is the factorized path. Both return bitwise-identical
+/// vectors, so the ratio is pure speedup.
+fn bench_factorized_sweeps(c: &mut Criterion) {
+    let explorer = explorer();
+
+    let battery_space = DesignSpace {
+        solar: (0.0, 600.0, 6),
+        wind: (0.0, 600.0, 6),
+        battery: (0.0, 700.0, 15),
+        extra_capacity: (0.0, 0.0, 1),
+    };
+    assert_eq!(
+        battery_space
+            .restricted_to(StrategyKind::RenewablesBattery)
+            .len(),
+        540
+    );
+    let mut group = c.benchmark_group("explore_battery_space_540pts");
+    group.bench_function("point_per_point", |b| {
+        b.iter(|| {
+            explorer.explore_serial(StrategyKind::RenewablesBattery, black_box(&battery_space))
+        })
+    });
+    group.bench_function("factorized", |b| {
+        b.iter(|| explorer.explore(StrategyKind::RenewablesBattery, black_box(&battery_space)))
+    });
+    group.finish();
+
+    let cas_space = DesignSpace {
+        solar: (0.0, 600.0, 6),
+        wind: (0.0, 600.0, 6),
+        battery: (0.0, 0.0, 1),
+        extra_capacity: (0.0, 1.0, 15),
+    };
+    assert_eq!(
+        cas_space.restricted_to(StrategyKind::RenewablesCas).len(),
+        540
+    );
+    let mut group = c.benchmark_group("explore_cas_only_space_540pts");
+    group.bench_function("point_per_point", |b| {
+        b.iter(|| explorer.explore_serial(StrategyKind::RenewablesCas, black_box(&cas_space)))
+    });
+    group.bench_function("factorized", |b| {
+        b.iter(|| explorer.explore(StrategyKind::RenewablesCas, black_box(&cas_space)))
+    });
+    group.finish();
+}
+
+/// Streaming minimum vs materialize-then-min over the same 540-point
+/// battery grid: `optimal` should never be slower than `explore` + a
+/// linear scan, and allocates no result vector.
+fn bench_streaming_optimal(c: &mut Criterion) {
+    let explorer = explorer();
+    let space = DesignSpace {
+        solar: (0.0, 600.0, 6),
+        wind: (0.0, 600.0, 6),
+        battery: (0.0, 700.0, 15),
+        extra_capacity: (0.0, 0.0, 1),
+    };
+    let strategy = StrategyKind::RenewablesBattery;
+    let mut group = c.benchmark_group("optimal_battery_space_540pts");
+    group.bench_function("materialize_then_min", |b| {
+        b.iter(|| {
+            explorer
+                .explore(strategy, black_box(&space))
+                .into_iter()
+                .min_by(|a, b| a.total_tons().partial_cmp(&b.total_tons()).expect("finite"))
+        })
+    });
+    group.bench_function("streaming", |b| {
+        b.iter(|| explorer.optimal(strategy, black_box(&space)))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_evaluate,
     bench_sweep,
     bench_fused_vs_naive,
-    bench_parallel_sweep
+    bench_parallel_sweep,
+    bench_factorized_sweeps,
+    bench_streaming_optimal
 );
 criterion_main!(benches);

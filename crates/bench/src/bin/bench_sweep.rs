@@ -1,0 +1,166 @@
+//! Machine-readable sweep benchmark: times the point-per-point reference
+//! (`explore_serial`) against the supply-major factorized traversal
+//! (`explore`) on one 540-point grid per strategy and writes
+//! `BENCH_sweep.json` with per-strategy µs/point and points/sec, so CI
+//! and the docs can track the factorization's speedup over time.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_sweep [output-path]    # default: BENCH_sweep.json
+//! ```
+//!
+//! The JSON is hand-rolled (the vendored serde has no serde_json
+//! companion); the schema is flat enough that `format!` is fine.
+
+use ce_core::{CarbonExplorer, DesignSpace, StrategyKind};
+use ce_datacenter::Fleet;
+use ce_grid::GridDataset;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Timed runs per path; the minimum is reported (standard practice for
+/// wall-clock microbenchmarks — noise is strictly additive).
+const ITERATIONS: u32 = 3;
+
+struct PathTiming {
+    total_us: f64,
+    us_per_point: f64,
+    points_per_sec: f64,
+}
+
+fn time_path<F: FnMut()>(mut run: F, points: usize) -> PathTiming {
+    run(); // warm-up: scratch sizing, page faults, branch history
+    let mut best = f64::INFINITY;
+    for _ in 0..ITERATIONS {
+        let start = Instant::now();
+        run();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    let total_us = best * 1e6;
+    PathTiming {
+        total_us,
+        us_per_point: total_us / points as f64,
+        points_per_sec: points as f64 / best,
+    }
+}
+
+fn path_json(t: &PathTiming) -> String {
+    format!(
+        "{{\"total_us\": {:.1}, \"us_per_point\": {:.3}, \"points_per_sec\": {:.1}}}",
+        t.total_us, t.us_per_point, t.points_per_sec
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+
+    let site = Fleet::meta_us().site("UT").expect("UT exists").clone();
+    let grid = GridDataset::synthesize(site.ba(), 2020, 7);
+    let explorer = CarbonExplorer::new(site.demand_trace(2020, 7), grid);
+
+    // `explore_serial` of the PR 1 seed build (commit 80d1d44) on these
+    // exact grids, measured on the same machine with the same
+    // best-of-three protocol: per-point supply synthesis + materializing
+    // dispatch (four year-long series for the battery arm, a full-year
+    // cost vector per day for the CAS arm). Static by necessity — the
+    // old code paths no longer exist — and only comparable to timings
+    // from the same machine.
+    let pr1_seed_us_per_point = [24.7, 175.0, 1055.5, 201.1];
+
+    // One 540-point grid per strategy, restricted to its live axes. The
+    // renewables-only grid is all supply groups (factorization is a
+    // no-op there — kept as the honest baseline); the battery and CAS
+    // grids have 36 groups × 15 sub-points, the combined grid 36 × 15.
+    let cases: [(StrategyKind, DesignSpace); 4] = [
+        (
+            StrategyKind::RenewablesOnly,
+            DesignSpace {
+                solar: (0.0, 600.0, 27),
+                wind: (0.0, 600.0, 20),
+                battery: (0.0, 0.0, 1),
+                extra_capacity: (0.0, 0.0, 1),
+            },
+        ),
+        (
+            StrategyKind::RenewablesBattery,
+            DesignSpace {
+                solar: (0.0, 600.0, 6),
+                wind: (0.0, 600.0, 6),
+                battery: (0.0, 700.0, 15),
+                extra_capacity: (0.0, 0.0, 1),
+            },
+        ),
+        (
+            StrategyKind::RenewablesCas,
+            DesignSpace {
+                solar: (0.0, 600.0, 6),
+                wind: (0.0, 600.0, 6),
+                battery: (0.0, 0.0, 1),
+                extra_capacity: (0.0, 1.0, 15),
+            },
+        ),
+        (
+            StrategyKind::RenewablesBatteryCas,
+            DesignSpace {
+                solar: (0.0, 600.0, 6),
+                wind: (0.0, 600.0, 6),
+                battery: (0.0, 700.0, 5),
+                extra_capacity: (0.0, 1.0, 3),
+            },
+        ),
+    ];
+
+    let mut entries = Vec::new();
+    for ((strategy, space), &pr1_us) in cases.iter().zip(&pr1_seed_us_per_point) {
+        let restricted = space.restricted_to(*strategy);
+        let points = restricted.len();
+        assert_eq!(points, 540, "{strategy}: reference grids are 540 points");
+
+        // Correctness gate before timing anything: the two paths must
+        // agree exactly, or the comparison is meaningless.
+        let serial = explorer.explore_serial(*strategy, space);
+        let factorized = explorer.explore(*strategy, space);
+        assert_eq!(serial, factorized, "{strategy}: paths diverged");
+
+        let ppp = time_path(
+            || {
+                black_box(explorer.explore_serial(*strategy, black_box(space)));
+            },
+            points,
+        );
+        let fact = time_path(
+            || {
+                black_box(explorer.explore(*strategy, black_box(space)));
+            },
+            points,
+        );
+        let speedup = ppp.total_us / fact.total_us;
+        let speedup_vs_pr1 = pr1_us / fact.us_per_point;
+
+        eprintln!(
+            "{strategy}: point-per-point {:.2} µs/pt, factorized {:.2} µs/pt ({speedup:.2}x live, {speedup_vs_pr1:.2}x vs PR1 seed)",
+            ppp.us_per_point, fact.us_per_point
+        );
+        entries.push(format!(
+            "    {{\n      \"strategy\": \"{strategy:?}\",\n      \"grid\": [{}, {}, {}, {}],\n      \"points\": {points},\n      \"supply_groups\": {},\n      \"point_per_point\": {},\n      \"factorized\": {},\n      \"speedup\": {speedup:.3},\n      \"pr1_seed_us_per_point\": {pr1_us:.1},\n      \"speedup_vs_pr1_seed\": {speedup_vs_pr1:.3}\n    }}",
+            restricted.solar.2,
+            restricted.wind.2,
+            restricted.battery.2,
+            restricted.extra_capacity.2,
+            restricted.solar.2 * restricted.wind.2,
+            path_json(&ppp),
+            path_json(&fact),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"design_space_sweep\",\n  \"iterations\": {ITERATIONS},\n  \"threads\": {},\n  \"pr1_seed_note\": \"pr1_seed_us_per_point: explore_serial of the PR1 seed build (80d1d44) on the same grids and machine; static because those code paths no longer exist\",\n  \"strategies\": [\n{}\n  ]\n}}\n",
+        ce_parallel::max_threads(),
+        entries.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    println!("wrote {out_path}");
+}

@@ -189,7 +189,11 @@ fn axis_len((_, _, steps): (f64, f64, usize)) -> usize {
     steps
 }
 
-fn axis_values((min, max, steps): (f64, f64, usize)) -> Vec<f64> {
+/// The concrete values an `(min, max, steps)` axis sweeps, in iteration
+/// order. Shared with the supply-major factorized traversal in
+/// [`crate::explore`], which regroups these same values without changing
+/// any of them.
+pub(crate) fn axis_values((min, max, steps): (f64, f64, usize)) -> Vec<f64> {
     match steps {
         0 => Vec::new(),
         1 => vec![min],

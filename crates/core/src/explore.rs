@@ -2,13 +2,16 @@
 //! carbon (paper §5, Figure 13).
 
 use crate::coverage::Coverage;
-use crate::design::{DesignPoint, DesignSpace, StrategyKind};
-use ce_battery::{simulate_dispatch, ClcBattery};
+use crate::design::{axis_values, DesignPoint, DesignSpace, StrategyKind};
+use ce_battery::{simulate_dispatch_stats, ClcBattery};
 use ce_datacenter::WorkloadMix;
 use ce_embodied::EmbodiedParams;
 use ce_grid::GridDataset;
-use ce_scheduler::{combined_dispatch, CasConfig, CombinedConfig, GreedyScheduler};
-use ce_timeseries::{kernels, DeficitStats, HourlySeries};
+use ce_scheduler::{
+    combined_dispatch_stats, CasConfig, CombinedConfig, CombinedScratch, GreedyScheduler,
+    ScheduleScratch,
+};
+use ce_timeseries::{kernels, HourlySeries};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -64,12 +67,17 @@ impl fmt::Display for EvaluatedDesign {
 /// Reusable per-thread evaluation buffers.
 ///
 /// [`CarbonExplorer::evaluate_with`] fills the supply buffer in place
-/// instead of allocating a fresh 8760-sample series per design point;
-/// sweep loops hand each worker thread one scratch for its whole chunk.
-/// A default-constructed scratch is sized lazily on first use.
+/// instead of allocating a fresh 8760-sample series per design point, and
+/// the scheduler arms run through scratch-owned shift/backlog buffers;
+/// sweep loops hand each worker thread one scratch for its whole chunk,
+/// after which every strategy's evaluation path performs zero heap
+/// allocation per design point. A default-constructed scratch is sized
+/// lazily on first use.
 #[derive(Debug, Clone, Default)]
 pub struct EvalScratch {
     supply: Option<HourlySeries>,
+    schedule: ScheduleScratch,
+    combined: CombinedScratch,
 }
 
 /// The design-space exploration engine (paper Figure 13).
@@ -203,6 +211,33 @@ impl CarbonExplorer {
         design: &DesignPoint,
         scratch: &mut EvalScratch,
     ) -> EvaluatedDesign {
+        let EvalScratch {
+            supply,
+            schedule,
+            combined,
+        } = scratch;
+        let supply = supply
+            .get_or_insert_with(|| HourlySeries::zeros(self.demand.start(), self.demand.len()));
+        self.grid
+            .scaled_renewables_into(design.solar_mw, design.wind_mw, supply);
+        self.score_with_supply(strategy, design, supply, schedule, combined)
+    }
+
+    /// Scores one design point against an already-materialized renewable
+    /// supply. This is the factorized sweep's inner loop: the supply is
+    /// invariant along the battery/extra-capacity axes, so
+    /// [`CarbonExplorer::explore`] fills it once per (solar, wind) group
+    /// and calls this for each sub-point. Every strategy arm folds its
+    /// dispatch to (unmet stats, operational tons, cycles) through the
+    /// streaming kernels without materializing any per-hour series.
+    fn score_with_supply(
+        &self,
+        strategy: StrategyKind,
+        design: &DesignPoint,
+        supply: &HourlySeries,
+        schedule: &mut ScheduleScratch,
+        combined: &mut CombinedScratch,
+    ) -> EvaluatedDesign {
         assert!(
             design.solar_mw.is_finite()
                 && design.wind_mw.is_finite()
@@ -210,12 +245,6 @@ impl CarbonExplorer {
                 && design.extra_capacity_fraction.is_finite(),
             "design parameters must be finite"
         );
-        let supply = scratch
-            .supply
-            .get_or_insert_with(|| HourlySeries::zeros(self.demand.start(), self.demand.len()));
-        self.grid
-            .scaled_renewables_into(design.solar_mw, design.wind_mw, supply);
-
         let battery_mwh = if strategy.uses_battery() {
             design.battery_mwh
         } else {
@@ -230,53 +259,58 @@ impl CarbonExplorer {
         let capacity_cap = peak * (1.0 + extra_fraction);
 
         // Each arm reduces to (unmet energy, covered hours, operational
-        // tons, cycles) without materializing an unmet series where the
-        // dispatch model doesn't already produce one.
+        // tons, cycles) hour by hour, with no per-hour series
+        // materialized anywhere.
         let (stats, operational_tons, cycles) = match strategy {
             StrategyKind::RenewablesOnly => {
-                let stats = self.demand.deficit_stats(supply).expect("aligned");
-                let operational = self
+                let (stats, operational) = self
                     .demand
-                    .deficit_dot(supply, &self.grid_intensity)
+                    .deficit_stats_dot(supply, &self.grid_intensity)
                     .expect("aligned");
                 (stats, operational, 0.0)
             }
             StrategyKind::RenewablesBattery => {
                 let mut battery = ClcBattery::lfp(battery_mwh, self.dod);
-                let result =
-                    simulate_dispatch(&mut battery, &self.demand, supply).expect("aligned");
-                self.reduce_unmet(&result.unmet, result.equivalent_cycles)
+                let result = simulate_dispatch_stats(
+                    &mut battery,
+                    &self.demand,
+                    supply,
+                    &self.grid_intensity,
+                )
+                .expect("aligned");
+                (result.deficit, result.unmet_dot, result.equivalent_cycles)
             }
             StrategyKind::RenewablesCas => {
                 let scheduler = GreedyScheduler::new(CasConfig {
                     max_capacity_mw: capacity_cap,
                     flexible_ratio: self.workload.flexible_fraction(),
                 });
-                let result = scheduler.schedule(&self.demand, supply).expect("aligned");
-                let stats = result
-                    .shifted_demand
-                    .deficit_stats(supply)
+                scheduler
+                    .schedule_with(&self.demand, supply, schedule)
                     .expect("aligned");
-                let operational = result
-                    .shifted_demand
-                    .deficit_dot(supply, &self.grid_intensity)
-                    .expect("aligned");
+                let (stats, operational) = kernels::deficit_stats_dot_slices(
+                    schedule.shifted(),
+                    supply.values(),
+                    self.grid_intensity.values(),
+                );
                 (stats, operational, 0.0)
             }
             StrategyKind::RenewablesBatteryCas => {
                 let mut battery = ClcBattery::lfp(battery_mwh, self.dod);
-                let result = combined_dispatch(
+                let result = combined_dispatch_stats(
                     &mut battery,
                     &self.demand,
                     supply,
+                    &self.grid_intensity,
                     CombinedConfig {
                         max_capacity_mw: capacity_cap,
                         flexible_ratio: self.workload.flexible_fraction(),
                         window_hours: 24,
                     },
+                    combined,
                 )
                 .expect("aligned");
-                self.reduce_unmet(&result.unmet, result.equivalent_cycles)
+                (result.deficit, result.unmet_dot, result.equivalent_cycles)
             }
         };
 
@@ -325,23 +359,66 @@ impl CarbonExplorer {
         }
     }
 
-    /// Fused reduction of a dispatch-produced unmet series into
-    /// (deficit stats, operational tons, cycles).
-    fn reduce_unmet(&self, unmet: &HourlySeries, cycles: f64) -> (DeficitStats, f64, f64) {
-        let stats = kernels::unmet_stats_slices(unmet.values());
-        let operational = unmet.dot(&self.grid_intensity).expect("aligned");
-        (stats, operational, cycles)
+    /// Materializes the renewable supply for one (solar, wind) group and
+    /// scores the whole battery × extra-capacity sub-grid against it.
+    /// Group outputs are contiguous blocks of `DesignSpace::iter` order
+    /// (solar and wind are the two outermost axes), so concatenating them
+    /// reproduces the flat sweep order exactly.
+    fn evaluate_group(
+        &self,
+        strategy: StrategyKind,
+        solar_mw: f64,
+        wind_mw: f64,
+        sub: &[(f64, f64)],
+        scratch: &mut EvalScratch,
+    ) -> Vec<EvaluatedDesign> {
+        let EvalScratch {
+            supply,
+            schedule,
+            combined,
+        } = scratch;
+        let supply = supply
+            .get_or_insert_with(|| HourlySeries::zeros(self.demand.start(), self.demand.len()));
+        self.grid.scaled_renewables_into(solar_mw, wind_mw, supply);
+        sub.iter()
+            .map(|&(battery_mwh, extra_capacity_fraction)| {
+                let design = DesignPoint {
+                    solar_mw,
+                    wind_mw,
+                    battery_mwh,
+                    extra_capacity_fraction,
+                };
+                self.score_with_supply(strategy, &design, supply, schedule, combined)
+            })
+            .collect()
     }
 
     /// Scores every point of `space` (restricted to the axes `strategy`
     /// uses) in parallel and returns the evaluations in iteration order —
     /// the same order, and bitwise-identical values, as
     /// [`CarbonExplorer::explore_serial`].
+    ///
+    /// The traversal is **supply-major factorized**: the scaled renewable
+    /// supply depends only on the (solar, wind) coordinates, so the grid
+    /// is grouped by those two axes, each group's supply is written into
+    /// the worker's scratch once, and the battery × extra-capacity
+    /// sub-grid is swept against the cached series. On a `B × E`
+    /// sub-grid this divides the supply-synthesis work (two scaled
+    /// year-long series plus their sum) by `B × E` relative to the
+    /// point-per-point path, without changing a single float operation in
+    /// any evaluation: the cached supply is bitwise what
+    /// [`CarbonExplorer::evaluate_with`] would have recomputed.
     pub fn explore(&self, strategy: StrategyKind, space: &DesignSpace) -> Vec<EvaluatedDesign> {
-        let designs: Vec<DesignPoint> = space.restricted_to(strategy).iter().collect();
-        ce_parallel::par_map_with(&designs, EvalScratch::default, |scratch, design| {
-            self.evaluate_with(strategy, design, scratch)
-        })
+        let space = space.restricted_to(strategy);
+        let (groups, sub) = factor_space(&space);
+        let blocks = ce_parallel::par_map_with(
+            &groups,
+            EvalScratch::default,
+            |scratch, &(solar_mw, wind_mw)| {
+                self.evaluate_group(strategy, solar_mw, wind_mw, &sub, scratch)
+            },
+        );
+        blocks.into_iter().flatten().collect()
     }
 
     /// The serial reference implementation of [`CarbonExplorer::explore`]:
@@ -362,10 +439,55 @@ impl CarbonExplorer {
 
     /// The carbon-optimal design in `space` for `strategy` (minimum total
     /// carbon), or `None` for an empty space.
+    ///
+    /// Streams the minimum instead of materializing the full evaluation
+    /// vector: each worker folds its contiguous chunk of (solar, wind)
+    /// groups — supply cached once per group, exactly as in
+    /// [`CarbonExplorer::explore`] — down to a single best candidate, and
+    /// the per-chunk candidates are combined in input order with a
+    /// strictly-less replacement rule. That rule makes the *first*
+    /// minimum in sweep order win, matching what
+    /// `explore(..).into_iter().min_by(..)` returns, bitwise.
     pub fn optimal(&self, strategy: StrategyKind, space: &DesignSpace) -> Option<EvaluatedDesign> {
-        self.explore(strategy, space)
-            .into_iter()
-            .min_by(|a, b| a.total_tons().partial_cmp(&b.total_tons()).expect("finite"))
+        let space = space.restricted_to(strategy);
+        let (groups, sub) = factor_space(&space);
+        if sub.is_empty() {
+            return None;
+        }
+        ce_parallel::par_fold_chunks_with(
+            &groups,
+            EvalScratch::default,
+            |scratch, chunk| {
+                let mut best: Option<EvaluatedDesign> = None;
+                for &(solar_mw, wind_mw) in chunk {
+                    let EvalScratch {
+                        supply,
+                        schedule,
+                        combined,
+                    } = scratch;
+                    let supply = supply.get_or_insert_with(|| {
+                        HourlySeries::zeros(self.demand.start(), self.demand.len())
+                    });
+                    self.grid.scaled_renewables_into(solar_mw, wind_mw, supply);
+                    for &(battery_mwh, extra_capacity_fraction) in &sub {
+                        let design = DesignPoint {
+                            solar_mw,
+                            wind_mw,
+                            battery_mwh,
+                            extra_capacity_fraction,
+                        };
+                        let eval =
+                            self.score_with_supply(strategy, &design, supply, schedule, combined);
+                        best = Some(match best.take() {
+                            Some(incumbent) => first_min(incumbent, eval),
+                            None => eval,
+                        });
+                    }
+                }
+                best.expect("chunks and the sub-grid are non-empty")
+            },
+            first_min,
+        )
     }
 
     /// [`CarbonExplorer::optimal`] followed by `rounds` of local
@@ -390,6 +512,51 @@ impl CarbonExplorer {
             }
         }
         Some(best)
+    }
+}
+
+/// A flattened two-axis grid: the cross product of two axes in nesting
+/// order (first axis outermost).
+type AxisPairs = Vec<(f64, f64)>;
+
+/// Splits a design space into its supply-determining (solar, wind) groups
+/// and the (battery, extra-capacity) sub-grid swept inside each group.
+/// Both lists are in `DesignSpace::iter` nesting order (solar outermost,
+/// extra capacity innermost), so iterating `groups × sub` reproduces the
+/// flat iteration order exactly.
+fn factor_space(space: &DesignSpace) -> (AxisPairs, AxisPairs) {
+    let solar = axis_values(space.solar);
+    let wind = axis_values(space.wind);
+    let battery = axis_values(space.battery);
+    let extra = axis_values(space.extra_capacity);
+    let mut groups = Vec::with_capacity(solar.len() * wind.len());
+    for &s in &solar {
+        for &w in &wind {
+            groups.push((s, w));
+        }
+    }
+    let mut sub = Vec::with_capacity(battery.len() * extra.len());
+    for &b in &battery {
+        for &e in &extra {
+            sub.push((b, e));
+        }
+    }
+    (groups, sub)
+}
+
+/// First-minimum-wins combine: the candidate replaces the incumbent only
+/// when strictly lower, so ties keep the earlier point in sweep order —
+/// the same winner `Iterator::min_by` would select over the flat sweep.
+fn first_min(incumbent: EvaluatedDesign, candidate: EvaluatedDesign) -> EvaluatedDesign {
+    if candidate
+        .total_tons()
+        .partial_cmp(&incumbent.total_tons())
+        .expect("finite")
+        == std::cmp::Ordering::Less
+    {
+        candidate
+    } else {
+        incumbent
     }
 }
 

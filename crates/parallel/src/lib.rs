@@ -113,6 +113,72 @@ where
     results
 }
 
+/// Parallel fold-then-combine: each worker folds its contiguous chunk of
+/// `items` into a single accumulator with `fold_chunk`, and the chunk
+/// accumulators are combined **in input order** with `combine` on the
+/// joining thread. Returns `None` for empty input.
+///
+/// This is the reduction counterpart of [`par_map_with`] — the whole
+/// point is that nothing proportional to `items.len()` is materialized:
+/// a sweep looking for a minimum carries one candidate per worker instead
+/// of a full result vector. Because chunks are contiguous and combined in
+/// input order, any `combine` that is associative over ordered
+/// concatenation (min-with-first-winner, sum-reordering-insensitive
+/// folds, …) produces results identical to the serial
+/// `fold_chunk(&mut init(), items)` — for first-winner minima this holds
+/// even with floating-point keys, since no comparison is reordered, only
+/// regrouped.
+///
+/// Falls back to a single serial fold for tiny inputs, one available
+/// thread, or when called from inside a parallel region.
+pub fn par_fold_chunks_with<T, S, A, I, F, C>(
+    items: &[T],
+    init: I,
+    fold_chunk: F,
+    mut combine: C,
+) -> Option<A>
+where
+    T: Sync,
+    A: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &[T]) -> A + Sync,
+    C: FnMut(A, A) -> A,
+{
+    if items.is_empty() {
+        return None;
+    }
+    let threads = max_threads().min(items.len());
+    if threads <= 1 || items.len() <= 1 || in_parallel_region() {
+        return Some(fold_chunk(&mut init(), items));
+    }
+
+    let chunk_size = items.len().div_ceil(threads);
+    let mut result: Option<A> = None;
+    thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(|| {
+                    IN_PARALLEL_REGION.with(|flag| flag.set(true));
+                    let acc = fold_chunk(&mut init(), chunk);
+                    IN_PARALLEL_REGION.with(|flag| flag.set(false));
+                    acc
+                })
+            })
+            .collect();
+        // Joining in spawn order keeps the combine sequence identical to
+        // the chunk order, hence deterministic.
+        for handle in handles {
+            let acc = handle.join().expect("parallel worker panicked");
+            result = Some(match result.take() {
+                Some(prev) => combine(prev, acc),
+                None => acc,
+            });
+        }
+    });
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +239,86 @@ mod tests {
         });
         assert_eq!(results, vec![100; 8]);
         assert!(!in_parallel_region());
+    }
+
+    #[test]
+    fn fold_chunks_matches_serial_fold() {
+        let items: Vec<f64> = (0..10_000)
+            .map(|i| ((i * 7919) % 1000) as f64 * 0.5)
+            .collect();
+        // First-winner minimum: the parallel regrouping must pick the same
+        // (value, index) as a serial left fold.
+        let fold = |_: &mut (), chunk: &[f64]| {
+            chunk
+                .iter()
+                .enumerate()
+                .fold(None::<(f64, usize)>, |best, (i, &v)| match best {
+                    Some((bv, bi)) if bv <= v => Some((bv, bi)),
+                    _ => Some((v, i)),
+                })
+        };
+        let combine = |a: Option<(f64, usize)>, b: Option<(f64, usize)>| match (a, b) {
+            (Some((av, ai)), Some((bv, _))) if av <= bv => Some((av, ai)),
+            (a, None) => a,
+            (_, b) => b,
+        };
+        // Indices are chunk-local, so compare values only (the value of
+        // the first minimum is position-independent).
+        let parallel = par_fold_chunks_with(&items, || (), fold, combine)
+            .flatten()
+            .map(|(v, _)| v);
+        let serial = fold(&mut (), &items).map(|(v, _)| v);
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn fold_chunks_combines_in_input_order() {
+        let items: Vec<usize> = (0..5_000).collect();
+        // Concatenating per-chunk (first, last) pairs in combine order
+        // must reconstruct the full input range.
+        let folded = par_fold_chunks_with(
+            &items,
+            || (),
+            |_, chunk| vec![(chunk[0], *chunk.last().unwrap())],
+            |mut a, b| {
+                a.extend(b);
+                a
+            },
+        )
+        .unwrap();
+        assert_eq!(folded.first().unwrap().0, 0);
+        assert_eq!(folded.last().unwrap().1, 4_999);
+        for pair in folded.windows(2) {
+            assert_eq!(pair[0].1 + 1, pair[1].0, "chunks out of order: {folded:?}");
+        }
+    }
+
+    #[test]
+    fn fold_chunks_empty_input_is_none() {
+        let empty: Vec<u32> = Vec::new();
+        let result = par_fold_chunks_with(&empty, || (), |_, c| c.len(), |a, b| a + b);
+        assert_eq!(result, None);
+    }
+
+    #[test]
+    fn fold_chunks_scratch_is_per_worker() {
+        let items: Vec<usize> = (0..1_000).collect();
+        let inits = AtomicUsize::new(0);
+        let total = par_fold_chunks_with(
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                0usize
+            },
+            |scratch, chunk| {
+                *scratch += chunk.len();
+                *scratch
+            },
+            |a, b| a + b,
+        )
+        .unwrap();
+        assert_eq!(total, items.len());
+        assert!(inits.load(Ordering::SeqCst) <= max_threads());
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //! SLOs are never violated.
 
 use ce_battery::BatteryModel;
-use ce_timeseries::{HourlySeries, TimeSeriesError};
+use ce_timeseries::kernels::COVERED_EPSILON_MWH;
+use ce_timeseries::{DeficitStats, HourlySeries, TimeSeriesError};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -197,6 +198,200 @@ pub fn combined_dispatch(
     })
 }
 
+/// Reusable state for [`combined_dispatch_stats`]: the deferred-work
+/// backlog queue, kept warm across calls so the sweep hot path performs no
+/// heap allocation once the queue has grown to its working size.
+#[derive(Debug, Clone, Default)]
+pub struct CombinedScratch {
+    backlog: VecDeque<(usize, f64)>,
+}
+
+/// The sweep-relevant aggregates of a combined battery + CAS dispatch,
+/// produced without materializing any per-hour series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CombinedStats {
+    /// Unmet energy and fully-covered hour count of the grid draw
+    /// (`u ≤ ce_timeseries::kernels::COVERED_EPSILON_MWH` counts as
+    /// covered), including any end-of-horizon forced backlog.
+    pub deficit: DeficitStats,
+    /// Weighted grid draw `Σ unmet[h] · weight[h]` — operational carbon in
+    /// tons when `weight` is the hourly grid carbon intensity (t/MWh).
+    pub unmet_dot: f64,
+    /// Total energy deferred across the run, MWh.
+    pub deferred_mwh: f64,
+    /// Energy force-run on grid power at its SLO deadline, MWh.
+    pub forced_mwh: f64,
+    /// Largest backlog of deferred work at any instant, MWh.
+    pub peak_backlog_mwh: f64,
+    /// Total energy delivered by the battery over the run, MWh.
+    pub total_discharged_mwh: f64,
+    /// Equivalent full battery cycles performed.
+    pub equivalent_cycles: f64,
+}
+
+/// Streaming variant of [`combined_dispatch`]: runs the same
+/// battery-first / defer-second heuristic hour by hour, but folds the
+/// outputs into [`CombinedStats`] on the fly instead of materializing the
+/// five year-long `unmet`/`effective_demand`/`battery_supplied`/
+/// `curtailed`/`soc` series. The only state beyond scalars is the
+/// deferred-work queue, which lives in the caller-owned `scratch`.
+///
+/// Every accumulator folds in hour order — with the final hour's grid
+/// draw folded after the end-of-horizon backlog is forced onto it,
+/// exactly as [`combined_dispatch`] patches its last `unmet` sample — so
+/// the results are bitwise-identical to reducing the materializing path's
+/// series: `deficit.unmet_mwh == unmet.sum()`,
+/// `unmet_dot == unmet.dot(weight)`, and the deferral/cycle accounting
+/// matches field for field.
+///
+/// The function is generic so concrete battery models are monomorphized
+/// (no virtual dispatch in the inner loop); `&mut dyn BatteryModel` still
+/// works.
+///
+/// # Errors
+///
+/// Returns an alignment error if `demand`, `supply`, and `weight` are not
+/// mutually aligned.
+///
+/// # Panics
+///
+/// Panics if `config.flexible_ratio` is outside `[0, 1]` or
+/// `config.window_hours` is zero.
+pub fn combined_dispatch_stats<B: BatteryModel + ?Sized>(
+    battery: &mut B,
+    demand: &HourlySeries,
+    supply: &HourlySeries,
+    weight: &HourlySeries,
+    config: CombinedConfig,
+    scratch: &mut CombinedScratch,
+) -> Result<CombinedStats, TimeSeriesError> {
+    assert!(
+        (0.0..=1.0).contains(&config.flexible_ratio),
+        "flexible ratio must be in [0, 1]"
+    );
+    assert!(config.window_hours > 0, "window must be at least one hour");
+    demand.check_aligned(supply)?;
+    demand.check_aligned(weight)?;
+    battery.reset(1.0);
+
+    let len = demand.len();
+    let w = weight.values();
+    let backlog = &mut scratch.backlog;
+    backlog.clear();
+
+    let mut unmet_mwh = 0.0;
+    let mut covered_hours = 0usize;
+    let mut unmet_dot = 0.0;
+    let mut deferred_total = 0.0;
+    let mut forced_total = 0.0;
+    let mut peak_backlog = 0.0f64;
+    let mut total_discharged = 0.0;
+    // The final hour's grid draw is held back: the end-of-horizon backlog
+    // is forced onto it before it is folded, mirroring the materializing
+    // path's `*unmet.last_mut() += leftover`.
+    let mut last_unmet = 0.0;
+
+    for h in 0..len {
+        let d = demand[h];
+        let s = supply[h];
+        let mut load = d;
+        let mut unmet_now = 0.0;
+
+        // SLO enforcement: any deferred work whose deadline is this hour
+        // must run now, whatever the energy source.
+        while let Some(&(deadline, energy)) = backlog.front() {
+            if deadline <= h {
+                backlog.pop_front();
+                load += energy;
+                forced_total += energy;
+            } else {
+                break;
+            }
+        }
+
+        if s >= load {
+            // Surplus: run deferred work first, newest-deadline last.
+            let mut surplus = s - load;
+            let mut headroom = (config.max_capacity_mw - load).max(0.0);
+            while surplus > 1e-12 && headroom > 1e-12 {
+                let Some((deadline, energy)) = backlog.pop_front() else {
+                    break;
+                };
+                let run = energy.min(surplus).min(headroom);
+                surplus -= run;
+                headroom -= run;
+                let remainder = energy - run;
+                if remainder > 1e-12 {
+                    backlog.push_front((deadline, remainder));
+                }
+            }
+            // Then charge the battery (the curtailed remainder is not
+            // tracked here).
+            battery.charge(surplus);
+        } else {
+            // Deficit: battery first.
+            let mut deficit = load - s;
+            let delivered = battery.discharge(deficit);
+            total_discharged += delivered;
+            deficit -= delivered;
+            if deficit > 1e-12 {
+                // Battery insufficient: defer what flexibility allows.
+                let deferrable = (d * config.flexible_ratio).min(deficit);
+                if deferrable > 1e-12 {
+                    backlog.push_back((h + config.window_hours, deferrable));
+                    deferred_total += deferrable;
+                    deficit -= deferrable;
+                }
+                unmet_now = deficit;
+            }
+        }
+
+        let backlog_now: f64 = backlog.iter().map(|(_, e)| e).sum();
+        peak_backlog = peak_backlog.max(backlog_now);
+
+        if h + 1 == len {
+            last_unmet = unmet_now;
+        } else {
+            unmet_mwh += unmet_now;
+            if unmet_now <= COVERED_EPSILON_MWH {
+                covered_hours += 1;
+            }
+            unmet_dot += unmet_now * w[h];
+        }
+    }
+
+    // Anything still in the backlog at the end of the horizon is forced
+    // onto grid energy (conservative accounting) via the final hour.
+    if len > 0 {
+        let leftover: f64 = backlog.iter().map(|(_, e)| e).sum();
+        let u = last_unmet + leftover;
+        forced_total += leftover;
+        unmet_mwh += u;
+        if u <= COVERED_EPSILON_MWH {
+            covered_hours += 1;
+        }
+        unmet_dot += u * w[len - 1];
+    }
+
+    let usable = battery.usable_capacity_mwh();
+    Ok(CombinedStats {
+        deficit: DeficitStats {
+            unmet_mwh,
+            covered_hours,
+        },
+        unmet_dot,
+        deferred_mwh: deferred_total,
+        forced_mwh: forced_total,
+        peak_backlog_mwh: peak_backlog,
+        total_discharged_mwh: total_discharged,
+        equivalent_cycles: if usable > 0.0 {
+            total_discharged / usable
+        } else {
+            0.0
+        },
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,6 +550,124 @@ mod tests {
         // 10 deferred: 4 + 4 run in hours 1-2, the last 2 in hour 3.
         assert!((r.effective_demand[3] - 4.0).abs() < 1e-9);
         assert_eq!(r.forced_mwh, 0.0);
+    }
+
+    #[test]
+    fn stats_match_materialized_reductions_bitwise() {
+        // Irregular demand/supply that exercises forced deadlines, partial
+        // backlog draining, battery clamping, and leftover forcing.
+        let demand = HourlySeries::from_fn(start(), 200, |h| 5.0 + ((h * 13) % 11) as f64);
+        let supply = HourlySeries::from_fn(start(), 200, |h| ((h * 29) % 23) as f64);
+        let weight = HourlySeries::from_fn(start(), 200, |h| 0.2 + (h % 24) as f64 * 0.02);
+        let configs = [
+            cfg(0.4),
+            cfg(1.0),
+            CombinedConfig {
+                max_capacity_mw: 12.0,
+                flexible_ratio: 0.6,
+                window_hours: 3,
+            },
+        ];
+        for config in configs {
+            for capacity in [0.0, 8.0, 40.0] {
+                let mut full_battery = ClcBattery::lfp(capacity, 0.9);
+                let full = combined_dispatch(&mut full_battery, &demand, &supply, config).unwrap();
+                let mut stats_battery = ClcBattery::lfp(capacity, 0.9);
+                let mut scratch = CombinedScratch::default();
+                let stats = combined_dispatch_stats(
+                    &mut stats_battery,
+                    &demand,
+                    &supply,
+                    &weight,
+                    config,
+                    &mut scratch,
+                )
+                .unwrap();
+                assert_eq!(
+                    stats.deficit.unmet_mwh.to_bits(),
+                    full.unmet.sum().to_bits(),
+                    "unmet energy diverged (cap {capacity})"
+                );
+                assert_eq!(
+                    stats.deficit.covered_hours,
+                    full.unmet.count_where(|u| u <= COVERED_EPSILON_MWH),
+                    "covered hours diverged (cap {capacity})"
+                );
+                assert_eq!(
+                    stats.unmet_dot.to_bits(),
+                    full.unmet.dot(&weight).unwrap().to_bits(),
+                    "weighted grid draw diverged (cap {capacity})"
+                );
+                assert_eq!(stats.deferred_mwh.to_bits(), full.deferred_mwh.to_bits());
+                assert_eq!(stats.forced_mwh.to_bits(), full.forced_mwh.to_bits());
+                assert_eq!(
+                    stats.peak_backlog_mwh.to_bits(),
+                    full.peak_backlog_mwh.to_bits()
+                );
+                assert_eq!(
+                    stats.equivalent_cycles.to_bits(),
+                    full.equivalent_cycles.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_scratch_is_reusable_and_empty_series_are_fine() {
+        let mut scratch = CombinedScratch::default();
+        let demand = HourlySeries::from_values(start(), vec![10.0, 0.0]);
+        let supply = HourlySeries::zeros(start(), 2);
+        let weight = HourlySeries::constant(start(), 2, 1.0);
+        let mut battery = IdealBattery::new(0.0);
+        // First run leaves backlog state; second run must not see it.
+        let first = combined_dispatch_stats(
+            &mut battery,
+            &demand,
+            &supply,
+            &weight,
+            cfg(0.4),
+            &mut scratch,
+        )
+        .unwrap();
+        let second = combined_dispatch_stats(
+            &mut battery,
+            &demand,
+            &supply,
+            &weight,
+            cfg(0.4),
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(first, second);
+        // Leftover backlog is forced onto the final hour, as in the
+        // materializing path.
+        assert!((first.deficit.unmet_mwh - 10.0).abs() < 1e-9);
+        assert!((first.forced_mwh - 4.0).abs() < 1e-9);
+        // Empty series: no hours, no stats.
+        let empty = HourlySeries::zeros(start(), 0);
+        let stats =
+            combined_dispatch_stats(&mut battery, &empty, &empty, &empty, cfg(0.4), &mut scratch)
+                .unwrap();
+        assert_eq!(stats.deficit.unmet_mwh, 0.0);
+        assert_eq!(stats.deficit.covered_hours, 0);
+    }
+
+    #[test]
+    fn stats_misaligned_weight_is_an_error() {
+        let demand = HourlySeries::zeros(start(), 3);
+        let supply = HourlySeries::zeros(start(), 3);
+        let weight = HourlySeries::zeros(start(), 4);
+        let mut battery = IdealBattery::new(1.0);
+        let mut scratch = CombinedScratch::default();
+        assert!(combined_dispatch_stats(
+            &mut battery,
+            &demand,
+            &supply,
+            &weight,
+            cfg(0.4),
+            &mut scratch
+        )
+        .is_err());
     }
 
     #[test]

@@ -28,6 +28,36 @@ pub struct ScheduleResult {
     pub energy_shifted_mwh: f64,
 }
 
+/// Reusable buffers for [`GreedyScheduler::schedule_with`] /
+/// [`GreedyScheduler::schedule_by_cost_with`].
+///
+/// A scheduling run needs a year-long shifted-load buffer, a year-long
+/// cost buffer, and two day-long work buffers; sweep loops that allocate
+/// them per call churn megabytes per design point. A default-constructed
+/// scratch sizes its buffers lazily on first use and reuses them for every
+/// subsequent call, so steady-state scheduling performs no heap
+/// allocation.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleScratch {
+    /// Post-scheduling load, one value per input hour.
+    shifted: Vec<f64>,
+    /// Per-hour cost signal (renewable deficit `d − s` for
+    /// [`GreedyScheduler::schedule_with`]).
+    cost: Vec<f64>,
+    /// Per-day movable budget, one value per hour of the day.
+    movable: Vec<f64>,
+    /// Per-day hour indices ranked by cost.
+    order: Vec<usize>,
+}
+
+impl ScheduleScratch {
+    /// The post-scheduling demand of the most recent run (one value per
+    /// input hour; empty before the first run).
+    pub fn shifted(&self) -> &[f64] {
+        &self.shifted
+    }
+}
+
 /// The paper's greedy carbon-aware scheduler.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GreedyScheduler {
@@ -71,27 +101,53 @@ impl GreedyScheduler {
         demand: &HourlySeries,
         supply: &HourlySeries,
     ) -> Result<ScheduleResult, TimeSeriesError> {
+        let mut scratch = ScheduleScratch::default();
+        let energy_shifted_mwh = self.schedule_with(demand, supply, &mut scratch)?;
+        Ok(ScheduleResult {
+            shifted_demand: HourlySeries::from_values(demand.start(), scratch.shifted),
+            energy_shifted_mwh,
+        })
+    }
+
+    /// [`GreedyScheduler::schedule`] into caller-owned buffers: the
+    /// post-scheduling load lands in `scratch.shifted()` and the total
+    /// energy moved is returned, with no per-call allocation once the
+    /// scratch is warm. Results are bitwise-identical to
+    /// [`GreedyScheduler::schedule`], which is a thin wrapper over this.
+    ///
+    /// # Errors
+    ///
+    /// Returns an alignment error if the series are misaligned.
+    pub fn schedule_with(
+        &self,
+        demand: &HourlySeries,
+        supply: &HourlySeries,
+        scratch: &mut ScheduleScratch,
+    ) -> Result<f64, TimeSeriesError> {
         demand.check_aligned(supply)?;
-        let mut shifted = demand.values().to_vec();
+        scratch.shifted.clear();
+        scratch.shifted.extend_from_slice(demand.values());
+        scratch.cost.clear();
+        scratch.cost.extend(
+            demand
+                .values()
+                .iter()
+                .zip(supply.values())
+                .map(|(d, s)| d - s),
+        );
         let mut total_moved = 0.0;
         let full_days = demand.len() / HOURS_PER_DAY;
         for day in 0..full_days {
             let base = day * HOURS_PER_DAY;
             total_moved += self.schedule_day(
-                &mut shifted[base..base + HOURS_PER_DAY],
-                &demand
-                    .values()
-                    .iter()
-                    .zip(supply.values())
-                    .map(|(d, s)| d - s)
-                    .collect::<Vec<_>>()[base..base + HOURS_PER_DAY],
+                &mut scratch.shifted[base..base + HOURS_PER_DAY],
+                &scratch.cost[base..base + HOURS_PER_DAY],
                 Some(&supply.values()[base..base + HOURS_PER_DAY]),
+                &mut scratch.movable,
+                &mut scratch.order,
             );
         }
-        Ok(ScheduleResult {
-            shifted_demand: HourlySeries::from_values(demand.start(), shifted),
-            energy_shifted_mwh: total_moved,
-        })
+        Ok(total_moved)
     }
 
     /// Schedules against an arbitrary per-hour carbon-cost signal (for
@@ -106,43 +162,85 @@ impl GreedyScheduler {
         demand: &HourlySeries,
         cost: &HourlySeries,
     ) -> Result<ScheduleResult, TimeSeriesError> {
+        let mut scratch = ScheduleScratch::default();
+        let energy_shifted_mwh = self.schedule_by_cost_with(demand, cost, &mut scratch)?;
+        Ok(ScheduleResult {
+            shifted_demand: HourlySeries::from_values(demand.start(), scratch.shifted),
+            energy_shifted_mwh,
+        })
+    }
+
+    /// [`GreedyScheduler::schedule_by_cost`] into caller-owned buffers,
+    /// analogous to [`GreedyScheduler::schedule_with`]: the shifted load
+    /// lands in `scratch.shifted()` and the energy moved is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns an alignment error if the series are misaligned.
+    pub fn schedule_by_cost_with(
+        &self,
+        demand: &HourlySeries,
+        cost: &HourlySeries,
+        scratch: &mut ScheduleScratch,
+    ) -> Result<f64, TimeSeriesError> {
         demand.check_aligned(cost)?;
-        let mut shifted = demand.values().to_vec();
+        scratch.shifted.clear();
+        scratch.shifted.extend_from_slice(demand.values());
         let mut total_moved = 0.0;
 
         let full_days = demand.len() / HOURS_PER_DAY;
         for day in 0..full_days {
             let base = day * HOURS_PER_DAY;
             total_moved += self.schedule_day(
-                &mut shifted[base..base + HOURS_PER_DAY],
+                &mut scratch.shifted[base..base + HOURS_PER_DAY],
                 &cost.values()[base..base + HOURS_PER_DAY],
                 None,
+                &mut scratch.movable,
+                &mut scratch.order,
             );
         }
 
-        Ok(ScheduleResult {
-            shifted_demand: HourlySeries::from_values(demand.start(), shifted),
-            energy_shifted_mwh: total_moved,
-        })
+        Ok(total_moved)
     }
 
-    /// Greedy within one day; returns energy moved.
+    /// Greedy within one day; returns energy moved. `movable` and `order`
+    /// are caller-owned work buffers (cleared and refilled here).
     ///
     /// When a `supply` slice is given, a destination hour additionally
     /// stops absorbing load once its remaining renewable surplus is used
     /// up — moving more would merely relocate the deficit.
-    fn schedule_day(&self, load: &mut [f64], cost: &[f64], supply: Option<&[f64]>) -> f64 {
+    fn schedule_day(
+        &self,
+        load: &mut [f64],
+        cost: &[f64],
+        supply: Option<&[f64]>,
+        movable: &mut Vec<f64>,
+        order: &mut Vec<usize>,
+    ) -> f64 {
         let n = load.len();
         // Movable budget is FWR of the *original* hourly load.
-        let mut movable: Vec<f64> = load
-            .iter()
-            .map(|&l| l * self.config.flexible_ratio)
-            .collect();
+        movable.clear();
+        movable.extend(load.iter().map(|&l| l * self.config.flexible_ratio));
 
         // Hours ranked by cost: sources from most expensive down,
-        // destinations from cheapest up.
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| cost[a].partial_cmp(&cost[b]).expect("no NaN cost"));
+        // destinations from cheapest up. A hand-rolled insertion sort
+        // keeps the allocation-free guarantee (`slice::sort_by` may
+        // allocate) while producing the exact permutation of any stable
+        // sort, so results match the previous `sort_by` formulation.
+        order.clear();
+        order.extend(0..n);
+        for i in 1..n {
+            let mut j = i;
+            while j > 0
+                && cost[order[j]]
+                    .partial_cmp(&cost[order[j - 1]])
+                    .expect("no NaN cost")
+                    == std::cmp::Ordering::Less
+            {
+                order.swap(j, j - 1);
+                j -= 1;
+            }
+        }
 
         let mut moved = 0.0;
         let mut dest_idx = 0;
@@ -326,6 +424,61 @@ mod tests {
             &result.shifted_demand.values()[24..],
             &demand.values()[24..]
         );
+    }
+
+    #[test]
+    fn schedule_with_matches_schedule_bitwise() {
+        let demand = HourlySeries::from_fn(start(), 96, |h| 8.0 + ((h * 11) % 9) as f64);
+        let supply = HourlySeries::from_fn(start(), 96, |h| ((h * 5) % 21) as f64);
+        let sched = GreedyScheduler::new(CasConfig {
+            max_capacity_mw: 18.0,
+            flexible_ratio: 0.4,
+        });
+        let full = sched.schedule(&demand, &supply).unwrap();
+        let mut scratch = ScheduleScratch::default();
+        let moved = sched.schedule_with(&demand, &supply, &mut scratch).unwrap();
+        assert_eq!(scratch.shifted(), full.shifted_demand.values());
+        assert_eq!(moved.to_bits(), full.energy_shifted_mwh.to_bits());
+    }
+
+    #[test]
+    fn schedule_by_cost_with_matches_schedule_by_cost() {
+        let demand = HourlySeries::from_fn(start(), 48, |h| 6.0 + (h % 4) as f64);
+        let cost = HourlySeries::from_fn(start(), 48, |h| ((h * 17) % 10) as f64);
+        let sched = GreedyScheduler::new(CasConfig {
+            max_capacity_mw: 40.0,
+            flexible_ratio: 0.7,
+        });
+        let full = sched.schedule_by_cost(&demand, &cost).unwrap();
+        let mut scratch = ScheduleScratch::default();
+        let moved = sched
+            .schedule_by_cost_with(&demand, &cost, &mut scratch)
+            .unwrap();
+        assert_eq!(scratch.shifted(), full.shifted_demand.values());
+        assert_eq!(moved.to_bits(), full.energy_shifted_mwh.to_bits());
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_runs_of_different_lengths() {
+        let sched = GreedyScheduler::new(CasConfig {
+            max_capacity_mw: 25.0,
+            flexible_ratio: 0.5,
+        });
+        let mut scratch = ScheduleScratch::default();
+        let long_demand = HourlySeries::constant(start(), 72, 10.0);
+        let long_supply = HourlySeries::from_fn(start(), 72, |h| ((h * 3) % 20) as f64);
+        sched
+            .schedule_with(&long_demand, &long_supply, &mut scratch)
+            .unwrap();
+        let short_demand = HourlySeries::constant(start(), 24, 10.0);
+        let short_supply = solar_day_supply();
+        let moved = sched
+            .schedule_with(&short_demand, &short_supply, &mut scratch)
+            .unwrap();
+        let fresh = sched.schedule(&short_demand, &short_supply).unwrap();
+        assert_eq!(scratch.shifted(), fresh.shifted_demand.values());
+        assert_eq!(moved, fresh.energy_shifted_mwh);
+        assert_eq!(scratch.shifted().len(), 24);
     }
 
     #[test]

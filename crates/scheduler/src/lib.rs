@@ -45,8 +45,11 @@ pub mod spatial;
 pub mod tiered;
 
 pub use capacity::{additional_capacity_fraction, required_capacity_for_full_coverage};
-pub use combined::{combined_dispatch, CombinedConfig, CombinedResult};
-pub use greedy::{CasConfig, GreedyScheduler, ScheduleResult};
+pub use combined::{
+    combined_dispatch, combined_dispatch_stats, CombinedConfig, CombinedResult, CombinedScratch,
+    CombinedStats,
+};
+pub use greedy::{CasConfig, GreedyScheduler, ScheduleResult, ScheduleScratch};
 pub use lp::lp_schedule;
 pub use online::{online_schedule, OnlineResult};
 pub use queue::{simulate_queue, QueueStats};

@@ -87,6 +87,42 @@ pub fn deficit_stats_slices(demand: &[f64], supply: &[f64]) -> DeficitStats {
     }
 }
 
+/// Computes [`deficit_stats_slices`] and [`deficit_dot_slices`] in a
+/// single pass: unmet energy, covered-hour count, and the
+/// deficit-weighted reduction `Σ max(d[i] − s[i], 0) · w[i]`.
+///
+/// Each accumulator folds in index order, exactly as the two separate
+/// kernels would, so both components are bitwise-identical to running
+/// [`deficit_stats_slices`] and [`deficit_dot_slices`] back to back —
+/// while reading the inputs once instead of twice. This is the scoring
+/// reduction of the renewables-only and CAS sweep arms.
+pub fn deficit_stats_dot_slices(
+    demand: &[f64],
+    supply: &[f64],
+    weight: &[f64],
+) -> (DeficitStats, f64) {
+    debug_assert_eq!(demand.len(), supply.len(), "deficit_stats_dot lengths");
+    debug_assert_eq!(demand.len(), weight.len(), "deficit_stats_dot lengths");
+    let mut unmet_mwh = 0.0;
+    let mut covered_hours = 0usize;
+    let mut dot = 0.0;
+    for ((&d, &s), &w) in demand.iter().zip(supply).zip(weight) {
+        let u = (d - s).max(0.0);
+        unmet_mwh += u;
+        if u <= COVERED_EPSILON_MWH {
+            covered_hours += 1;
+        }
+        dot += u * w;
+    }
+    (
+        DeficitStats {
+            unmet_mwh,
+            covered_hours,
+        },
+        dot,
+    )
+}
+
 /// Aggregates of an already-clamped unmet series (e.g. a dispatch model's
 /// per-hour grid draw): total energy and fully-covered hour count, in one
 /// pass. Matches summing the series and counting
@@ -183,6 +219,27 @@ impl HourlySeries {
         self.check_aligned(supply)?;
         Ok(deficit_stats_slices(self.values(), supply.values()))
     }
+
+    /// [`HourlySeries::deficit_stats`] and [`HourlySeries::deficit_dot`]
+    /// fused into one pass over the inputs; both components are
+    /// bitwise-identical to the separate calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns an alignment error if any pair of series is misaligned.
+    pub fn deficit_stats_dot(
+        &self,
+        supply: &Self,
+        weight: &Self,
+    ) -> Result<(DeficitStats, f64), TimeSeriesError> {
+        self.check_aligned(supply)?;
+        self.check_aligned(weight)?;
+        Ok(deficit_stats_dot_slices(
+            self.values(),
+            supply.values(),
+            weight.values(),
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -254,6 +311,20 @@ mod tests {
     }
 
     #[test]
+    fn deficit_stats_dot_matches_separate_kernels_bitwise() {
+        let (d, s, w) = fixtures();
+        let (stats, dot) = d.deficit_stats_dot(&s, &w).unwrap();
+        let separate_stats = d.deficit_stats(&s).unwrap();
+        let separate_dot = d.deficit_dot(&s, &w).unwrap();
+        assert_eq!(
+            stats.unmet_mwh.to_bits(),
+            separate_stats.unmet_mwh.to_bits()
+        );
+        assert_eq!(stats.covered_hours, separate_stats.covered_hours);
+        assert_eq!(dot.to_bits(), separate_dot.to_bits());
+    }
+
+    #[test]
     fn scaled_sum_matches_scale_then_add() {
         let (a, b, _) = fixtures();
         let (fa, fb) = (0.137, 2.91);
@@ -282,6 +353,8 @@ mod tests {
         let c = HourlySeries::zeros(start().plus_hours(1), 5);
         assert!(a.deficit_dot(&b, &c).is_err());
         assert!(a.deficit_dot(&c, &c).is_err());
+        assert!(a.deficit_stats_dot(&b, &c).is_err());
+        assert!(a.deficit_stats_dot(&c, &c).is_err());
     }
 
     #[test]
