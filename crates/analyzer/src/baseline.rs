@@ -1,0 +1,238 @@
+//! The `panic-in-lib` ratchet: a committed `lint-baseline.json` holding
+//! the per-file count of accepted panic sites.
+//!
+//! The workspace predates the analyzer, so it carries a few hundred
+//! `unwrap`/`expect` sites. Failing the build on all of them would force a
+//! big-bang rewrite; ignoring them would let the count grow. The ratchet
+//! does neither: every file's current count is recorded, any file whose
+//! count *rises* fails the build, and shrinking a file's count is
+//! celebrated by re-running `ce-analyzer --write-baseline` to lock in the
+//! lower number. The baseline may only ever decrease.
+//!
+//! The file is plain JSON with sorted keys so diffs are stable and
+//! reviewable. Parsing and rendering are hand-rolled (the workspace
+//! builds offline; the vendored `serde` stand-in has no JSON support) and
+//! accept exactly the subset this file uses.
+
+use std::collections::BTreeMap;
+
+/// Accepted panic-site counts per workspace-relative file path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `path → accepted count`, sorted by path.
+    pub files: BTreeMap<String, usize>,
+}
+
+impl Baseline {
+    /// Sum of all per-file counts.
+    pub fn total(&self) -> usize {
+        self.files.values().sum()
+    }
+
+    /// The accepted count for `path` (0 when absent).
+    pub fn allowed(&self, path: &str) -> usize {
+        self.files.get(path).copied().unwrap_or(0)
+    }
+
+    /// Renders the committed JSON form: sorted keys, one file per line.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n  \"rule\": \"panic-in-lib\",\n");
+        out.push_str(&format!("  \"total\": {},\n", self.total()));
+        out.push_str("  \"files\": {\n");
+        let n = self.files.len();
+        for (i, (path, count)) in self.files.iter().enumerate() {
+            let comma = if i + 1 == n { "" } else { "," };
+            out.push_str(&format!("    \"{path}\": {count}{comma}\n"));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses the committed JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem found.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        p.eat(b'{')?;
+        let mut files = BTreeMap::new();
+        let mut declared_total: Option<usize> = None;
+        loop {
+            p.skip_ws();
+            if p.try_eat(b'}') {
+                break;
+            }
+            let key = p.string()?;
+            p.skip_ws();
+            p.eat(b':')?;
+            p.skip_ws();
+            match key.as_str() {
+                "rule" => {
+                    let rule = p.string()?;
+                    if rule != "panic-in-lib" {
+                        return Err(format!("baseline is for rule `{rule}`, not panic-in-lib"));
+                    }
+                }
+                "total" => declared_total = Some(p.number()?),
+                "files" => {
+                    p.eat(b'{')?;
+                    loop {
+                        p.skip_ws();
+                        if p.try_eat(b'}') {
+                            break;
+                        }
+                        let path = p.string()?;
+                        p.skip_ws();
+                        p.eat(b':')?;
+                        p.skip_ws();
+                        let count = p.number()?;
+                        files.insert(path, count);
+                        p.skip_ws();
+                        p.try_eat(b',');
+                    }
+                }
+                other => return Err(format!("unexpected baseline key `{other}`")),
+            }
+            p.skip_ws();
+            p.try_eat(b',');
+        }
+        let baseline = Self { files };
+        if let Some(total) = declared_total {
+            if total != baseline.total() {
+                return Err(format!(
+                    "baseline declares total {total} but per-file counts sum to {}",
+                    baseline.total()
+                ));
+            }
+        }
+        Ok(baseline)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.try_eat(b) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {} of baseline",
+                b as char, self.pos
+            ))
+        }
+    }
+
+    fn try_eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.skip_ws();
+        self.eat(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid UTF-8 in baseline string".to_string())?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            if b == b'\\' {
+                return Err("escape sequences are not used in baseline paths".to_string());
+            }
+            self.pos += 1;
+        }
+        Err("unterminated string in baseline".to_string())
+    }
+
+    fn number(&mut self) -> Result<usize, String> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected a number at byte {start} of baseline"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| "unparseable number in baseline".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Baseline {
+        let mut files = BTreeMap::new();
+        files.insert("crates/a/src/lib.rs".to_string(), 3);
+        files.insert("crates/b/src/x.rs".to_string(), 1);
+        Baseline { files }
+    }
+
+    #[test]
+    fn round_trip() {
+        let b = sample();
+        let rendered = b.render();
+        assert_eq!(Baseline::parse(&rendered).unwrap(), b);
+        assert_eq!(b.total(), 4);
+    }
+
+    #[test]
+    fn rendered_form_is_stable_and_sorted() {
+        let rendered = sample().render();
+        let a = rendered.find("crates/a").unwrap();
+        let b = rendered.find("crates/b").unwrap();
+        assert!(a < b);
+        assert!(rendered.contains("\"total\": 4"));
+    }
+
+    #[test]
+    fn mismatched_total_rejected() {
+        let text = "{ \"rule\": \"panic-in-lib\", \"total\": 9, \"files\": { \"a.rs\": 1 } }";
+        assert!(Baseline::parse(text).is_err());
+    }
+
+    #[test]
+    fn wrong_rule_rejected() {
+        let text = "{ \"rule\": \"other\", \"total\": 0, \"files\": {} }";
+        assert!(Baseline::parse(text).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_zero() {
+        assert_eq!(sample().allowed("nope.rs"), 0);
+    }
+
+    #[test]
+    fn empty_baseline_parses() {
+        let b = Baseline::parse("{ \"rule\": \"panic-in-lib\", \"files\": {} }").unwrap();
+        assert_eq!(b.total(), 0);
+    }
+}

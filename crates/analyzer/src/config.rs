@@ -1,0 +1,146 @@
+//! Workspace policy: which rules run where, and the per-crate allowances.
+//!
+//! The analyzer is a *workspace* linter, not a general-purpose one, so its
+//! policy is code, reviewed like any other invariant. Three decisions live
+//! here:
+//!
+//! 1. which crates are **deterministic** (subject to the `nondeterminism`
+//!    rule) — everything except the escape hatches below;
+//! 2. the two narrow **allowances** the exploration engine needs:
+//!    `ce-parallel` may read the `CE_THREADS` environment variable (worker
+//!    count, which by construction cannot change results — that is the
+//!    crate's whole determinism contract), and `ce-bench` may call
+//!    `Instant::now`/`SystemTime::now` because benchmarking *is* timing;
+//! 3. the **pure result types** whose bare returns must be `#[must_use]`.
+
+/// Names of all six rules, in reporting order.
+pub const RULE_NAMES: &[&str] = &[
+    "nondeterminism",
+    "hot-path-alloc",
+    "float-eq",
+    "panic-in-lib",
+    "crate-hygiene",
+    "must-use",
+];
+
+/// Per-crate escape hatches for the `nondeterminism` rule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrateAllowances {
+    /// `std::env::var` is permitted, but only with a `"CE_THREADS"`
+    /// literal argument.
+    pub env_var_ce_threads: bool,
+    /// `Instant::now` / `SystemTime::now` are permitted (timing harness).
+    pub wall_clock: bool,
+}
+
+/// The analyzer's compiled-in policy.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Result types whose bare (non-`Result`/`Option`) returns from `pub`
+    /// functions must carry `#[must_use]`.
+    pub must_use_types: Vec<&'static str>,
+    /// Method names forbidden inside `// ce:hot` functions (matched as
+    /// `.name`).
+    pub hot_forbidden_methods: Vec<&'static str>,
+    /// Path patterns forbidden inside `// ce:hot` functions (matched as
+    /// `A::b`).
+    pub hot_forbidden_paths: Vec<(&'static str, &'static str)>,
+    /// Macro names forbidden inside `// ce:hot` functions (matched as
+    /// `name!`).
+    pub hot_forbidden_macros: Vec<&'static str>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            must_use_types: vec![
+                "DispatchStats",
+                "CombinedStats",
+                "DeficitStats",
+                "QueueStats",
+                "EvaluatedDesign",
+            ],
+            hot_forbidden_methods: vec![
+                "collect",
+                "to_vec",
+                "clone",
+                "to_string",
+                "to_owned",
+                "cloned",
+            ],
+            hot_forbidden_paths: vec![
+                ("Vec", "new"),
+                ("Vec", "with_capacity"),
+                ("Box", "new"),
+                ("String", "from"),
+                ("String", "new"),
+                ("String", "with_capacity"),
+                ("VecDeque", "new"),
+                ("VecDeque", "with_capacity"),
+                ("BTreeMap", "new"),
+                ("HashMap", "new"),
+            ],
+            hot_forbidden_macros: vec!["vec", "format"],
+        }
+    }
+}
+
+/// The allowances for the crate owning `rel_path` (a path relative to the
+/// workspace root, e.g. `crates/parallel/src/lib.rs`).
+pub fn allowances_for(rel_path: &str) -> CrateAllowances {
+    match crate_dir(rel_path) {
+        Some("parallel") => CrateAllowances {
+            env_var_ce_threads: true,
+            wall_clock: false,
+        },
+        Some("bench") => CrateAllowances {
+            env_var_ce_threads: false,
+            wall_clock: true,
+        },
+        _ => CrateAllowances::default(),
+    }
+}
+
+/// The `crates/<dir>` component of a workspace-relative path, if any.
+/// The facade crate (`src/lib.rs` at the root) returns `None`.
+pub fn crate_dir(rel_path: &str) -> Option<&str> {
+    let rest = rel_path.strip_prefix("crates/")?;
+    rest.split('/').next()
+}
+
+/// Whether `rel_path` is a crate root (`lib.rs` directly under a `src/`
+/// directory) and therefore subject to the `crate-hygiene` rule.
+pub fn is_crate_root(rel_path: &str) -> bool {
+    rel_path == "src/lib.rs"
+        || (rel_path.starts_with("crates/") && rel_path.ends_with("/src/lib.rs"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_dir_extraction() {
+        assert_eq!(crate_dir("crates/parallel/src/lib.rs"), Some("parallel"));
+        assert_eq!(crate_dir("crates/bench/src/bin/repro.rs"), Some("bench"));
+        assert_eq!(crate_dir("src/lib.rs"), None);
+    }
+
+    #[test]
+    fn allowances() {
+        assert!(allowances_for("crates/parallel/src/lib.rs").env_var_ce_threads);
+        assert!(allowances_for("crates/bench/src/bin/bench_sweep.rs").wall_clock);
+        assert_eq!(
+            allowances_for("crates/core/src/explore.rs"),
+            CrateAllowances::default()
+        );
+    }
+
+    #[test]
+    fn crate_roots() {
+        assert!(is_crate_root("src/lib.rs"));
+        assert!(is_crate_root("crates/core/src/lib.rs"));
+        assert!(!is_crate_root("crates/core/src/explore.rs"));
+        assert!(!is_crate_root("crates/bench/src/bin/repro.rs"));
+    }
+}

@@ -1,0 +1,429 @@
+//! The CLI driver: walks the workspace, runs every rule, applies the
+//! baseline ratchet, and renders diagnostics.
+//!
+//! Scan set: `crates/*/src/**/*.rs` plus the facade crate's `src/**/*.rs`,
+//! in sorted path order so output (and the JSON report) is deterministic —
+//! the analyzer holds itself to the invariants it enforces. `vendor/`,
+//! `target/`, tests, benches, and examples are out of scope: the rules
+//! protect library code.
+
+use crate::baseline::Baseline;
+use crate::config::Config;
+use crate::rules::{analyze_file, Violation};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Output format for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// `path:line:col: [rule] message`, one per line, plus a summary.
+    Human,
+    /// A single JSON object (for CI).
+    Json,
+}
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Workspace root (defaults to searching upward from cwd).
+    pub root: PathBuf,
+    /// Output format.
+    pub format: Format,
+    /// Rewrite the baseline from the current panic-site counts.
+    pub write_baseline: bool,
+    /// Path of the baseline file (default: `<root>/lint-baseline.json`).
+    pub baseline_path: PathBuf,
+}
+
+/// The exit status the process should report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// All rules clean; exit 0.
+    Clean,
+    /// One or more violations; exit 1.
+    Violations,
+    /// The analyzer itself could not run; exit 2.
+    Error,
+}
+
+impl Outcome {
+    /// The process exit code for this outcome.
+    pub fn code(self) -> i32 {
+        match self {
+            Outcome::Clean => 0,
+            Outcome::Violations => 1,
+            Outcome::Error => 2,
+        }
+    }
+}
+
+/// Parses CLI arguments (everything after the program name).
+///
+/// # Errors
+///
+/// Returns a usage message on unknown flags or missing values.
+pub fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut format = Format::Human;
+    let mut write_baseline = false;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?));
+            }
+            "--format" => {
+                format = match it.next().map(String::as_str) {
+                    Some("human") => Format::Human,
+                    Some("json") => Format::Json,
+                    other => {
+                        return Err(format!("--format must be `human` or `json`, got {other:?}"))
+                    }
+                };
+            }
+            "--write-baseline" => write_baseline = true,
+            "--baseline" => {
+                baseline_path = Some(PathBuf::from(
+                    it.next().ok_or("--baseline needs a file path")?,
+                ));
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => find_workspace_root()?,
+    };
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.json"));
+    Ok(Options {
+        root,
+        format,
+        write_baseline,
+        baseline_path,
+    })
+}
+
+const USAGE: &str = "usage: ce-analyzer [--root DIR] [--format human|json] \
+[--baseline FILE] [--write-baseline]";
+
+/// Walks upward from the current directory to the first `Cargo.toml`
+/// declaring `[workspace]`.
+fn find_workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace Cargo.toml found above the current directory".to_string());
+        }
+    }
+}
+
+/// Runs the analyzer with `opts`, printing diagnostics to stdout.
+/// This is the whole program; `main` only parses arguments.
+pub fn run(opts: &Options) -> Outcome {
+    let files = match scan_set(&opts.root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("ce-analyzer: {e}");
+            return Outcome::Error;
+        }
+    };
+    let config = Config::default();
+
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut panic_counts: BTreeMap<String, Vec<u32>> = BTreeMap::new();
+    for rel in &files {
+        let path = opts.root.join(rel);
+        let source = match fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ce-analyzer: cannot read {}: {e}", path.display());
+                return Outcome::Error;
+            }
+        };
+        let analysis = analyze_file(rel, &source, &config);
+        violations.extend(analysis.violations);
+        if !analysis.panic_sites.is_empty() {
+            panic_counts.insert(rel.clone(), analysis.panic_sites);
+        }
+    }
+
+    if opts.write_baseline {
+        let baseline = Baseline {
+            files: panic_counts
+                .iter()
+                .map(|(p, sites)| (p.clone(), sites.len()))
+                .collect(),
+        };
+        if let Err(e) = fs::write(&opts.baseline_path, baseline.render()) {
+            eprintln!(
+                "ce-analyzer: cannot write {}: {e}",
+                opts.baseline_path.display()
+            );
+            return Outcome::Error;
+        }
+        eprintln!(
+            "ce-analyzer: wrote baseline ({} panic sites in {} files) to {}",
+            baseline.total(),
+            baseline.files.len(),
+            opts.baseline_path.display()
+        );
+    } else {
+        apply_ratchet(opts, &panic_counts, &mut violations);
+    }
+
+    violations
+        .sort_by(|a, b| (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule)));
+
+    let current_total: usize = panic_counts.values().map(Vec::len).sum();
+    match opts.format {
+        Format::Human => print_human(&violations, files.len(), current_total),
+        Format::Json => println!("{}", render_json(&violations, files.len(), current_total)),
+    }
+    if violations.is_empty() {
+        Outcome::Clean
+    } else {
+        Outcome::Violations
+    }
+}
+
+/// Compares current panic counts to the baseline, producing violations
+/// for growth and stderr notes for shrinkage.
+fn apply_ratchet(
+    opts: &Options,
+    panic_counts: &BTreeMap<String, Vec<u32>>,
+    violations: &mut Vec<Violation>,
+) {
+    let baseline = match fs::read_to_string(&opts.baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                violations.push(Violation {
+                    rule: "panic-in-lib".to_string(),
+                    file: "lint-baseline.json".to_string(),
+                    line: 1,
+                    col: 1,
+                    message: format!("baseline is unreadable: {e}"),
+                });
+                return;
+            }
+        },
+        Err(_) => {
+            violations.push(Violation {
+                rule: "panic-in-lib".to_string(),
+                file: "lint-baseline.json".to_string(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "no baseline at {}; run `ce-analyzer --write-baseline` and commit it",
+                    opts.baseline_path.display()
+                ),
+            });
+            return;
+        }
+    };
+    let mut shrunk = 0usize;
+    for (file, sites) in panic_counts {
+        let allowed = baseline.allowed(file);
+        if sites.len() > allowed {
+            // Point at the last site: appended code is the likely culprit.
+            let line = sites.last().copied().unwrap_or(1);
+            violations.push(Violation {
+                rule: "panic-in-lib".to_string(),
+                file: file.clone(),
+                line,
+                col: 1,
+                message: format!(
+                    "{} panic sites (unwrap/expect/panic!/unreachable!) but the baseline \
+                     ratchet allows {allowed}; return Result instead, or shrink another \
+                     site and rerun --write-baseline",
+                    sites.len()
+                ),
+            });
+        } else if sites.len() < allowed {
+            shrunk += allowed - sites.len();
+        }
+    }
+    // Files that dropped out of the scan entirely also count as shrinkage.
+    for (file, &allowed) in &baseline.files {
+        if !panic_counts.contains_key(file) {
+            shrunk += allowed;
+        }
+    }
+    if shrunk > 0 {
+        eprintln!(
+            "ce-analyzer: note: {shrunk} panic sites below baseline — run \
+             `ce-analyzer --write-baseline` to ratchet down"
+        );
+    }
+}
+
+/// Collects the workspace-relative scan set, sorted.
+fn scan_set(root: &Path) -> Result<Vec<String>, String> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let entries = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+    for entry in entries.flatten() {
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            walk_rs(&src, root, &mut files)?;
+        }
+    }
+    let facade_src = root.join("src");
+    if facade_src.is_dir() {
+        walk_rs(&facade_src, root, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn walk_rs(dir: &Path, root: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            walk_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|_| "scan path escaped the workspace root".to_string())?;
+            out.push(rel.to_string_lossy().replace('\\', "/"));
+        }
+    }
+    Ok(())
+}
+
+fn print_human(violations: &[Violation], files_scanned: usize, panic_total: usize) {
+    for v in violations {
+        println!(
+            "{}:{}:{}: [{}] {}",
+            v.file, v.line, v.col, v.rule, v.message
+        );
+    }
+    if violations.is_empty() {
+        println!(
+            "ce-analyzer: clean — {files_scanned} files, 6 rules, \
+             {panic_total} baselined panic sites"
+        );
+    } else {
+        println!(
+            "ce-analyzer: {} violation(s) in {files_scanned} files",
+            violations.len()
+        );
+    }
+}
+
+/// Renders the machine-readable report (stable field and entry order).
+pub fn render_json(violations: &[Violation], files_scanned: usize, panic_total: usize) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"ok\": {},", violations.is_empty());
+    let _ = writeln!(out, "  \"files_scanned\": {files_scanned},");
+    let _ = writeln!(out, "  \"panic_sites\": {panic_total},");
+    out.push_str("  \"violations\": [\n");
+    let n = violations.len();
+    for (i, v) in violations.iter().enumerate() {
+        let comma = if i + 1 == n { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \
+             \"message\": \"{}\"}}{comma}",
+            json_escape(&v.rule),
+            json_escape(&v.file),
+            v.line,
+            v.col,
+            json_escape(&v.message)
+        );
+    }
+    out.push_str("  ]\n}");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_defaults() {
+        let opts = parse_args(&["--root".to_string(), "/tmp/ws".to_string()]).unwrap();
+        assert_eq!(opts.root, PathBuf::from("/tmp/ws"));
+        assert_eq!(opts.format, Format::Human);
+        assert!(!opts.write_baseline);
+        assert_eq!(
+            opts.baseline_path,
+            PathBuf::from("/tmp/ws/lint-baseline.json")
+        );
+    }
+
+    #[test]
+    fn args_json_and_baseline() {
+        let opts = parse_args(&[
+            "--root".to_string(),
+            "/ws".to_string(),
+            "--format".to_string(),
+            "json".to_string(),
+            "--write-baseline".to_string(),
+            "--baseline".to_string(),
+            "/elsewhere/b.json".to_string(),
+        ])
+        .unwrap();
+        assert_eq!(opts.format, Format::Json);
+        assert!(opts.write_baseline);
+        assert_eq!(opts.baseline_path, PathBuf::from("/elsewhere/b.json"));
+    }
+
+    #[test]
+    fn args_rejects_unknown() {
+        assert!(parse_args(&["--frobnicate".to_string()]).is_err());
+        assert!(parse_args(&["--format".to_string(), "xml".to_string()]).is_err());
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let v = Violation {
+            rule: "float-eq".to_string(),
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 3,
+            col: 7,
+            message: "msg".to_string(),
+        };
+        let json = render_json(&[v], 10, 42);
+        assert!(json.contains("\"ok\": false"));
+        assert!(json.contains("\"files_scanned\": 10"));
+        assert!(json.contains("\"panic_sites\": 42"));
+        assert!(json.contains("\"line\": 3"));
+        let clean = render_json(&[], 10, 42);
+        assert!(clean.contains("\"ok\": true"));
+    }
+}

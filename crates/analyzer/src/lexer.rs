@@ -1,0 +1,504 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The analyzer's rules are lexical: they match identifier/punctuation
+//! sequences (`HashMap`, `Instant :: now`, `. unwrap (`), comment markers
+//! (`// ce:hot`, `// ce:allow(...)`), and literal kinds (float vs integer).
+//! Full parsing is unnecessary — and `syn` is unavailable because the
+//! workspace builds offline — so this module tokenizes just enough of the
+//! language to make those matches sound:
+//!
+//! - identifiers and keywords (one token kind; rules match on text),
+//! - integer vs float literals (including exponents and type suffixes),
+//! - string / raw-string / byte-string / char literals (so rule patterns
+//!   never fire inside literal text),
+//! - lifetimes vs char literals (`'a` vs `'a'`),
+//! - line and block comments (kept as tokens — markers live in them),
+//! - multi-character operators (`==`, `!=`, `::`, `->`, …) with maximal
+//!   munch so `=>` is never misread as `=` `=` or `==`.
+//!
+//! Every token carries its 1-based line and column for diagnostics.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `unwrap`).
+    Ident,
+    /// An integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// A float literal (`0.0`, `1e-9`, `2.5f32`, `1f64`).
+    Float,
+    /// A string, raw-string, byte-string, or byte literal.
+    Str,
+    /// A character literal (`'a'`, `'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A `//` comment (doc comments included); text is the full comment.
+    LineComment,
+    /// A `/* ... */` comment (nesting handled); text is the full comment.
+    BlockComment,
+    /// An operator or delimiter, possibly multi-character (`==`, `::`).
+    Punct,
+}
+
+/// One lexeme with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The lexeme kind.
+    pub kind: TokenKind,
+    /// The exact source text of the lexeme.
+    pub text: String,
+    /// 1-based source line of the first character.
+    pub line: u32,
+    /// 1-based source column of the first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether this token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Whether this token is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch is a simple
+/// prefix scan.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+/// Tokenizes Rust source. Unknown bytes become single-character `Punct`
+/// tokens, so lexing never fails — a garbled file just produces tokens no
+/// rule matches.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    /// Advances one byte (multi-byte UTF-8 continuation bytes keep the
+    /// column — close enough for diagnostics).
+    fn bump(&mut self) {
+        if let Some(b) = self.peek() {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else if b & 0xC0 != 0x80 {
+                self.col += 1;
+            }
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32, col: u32) {
+        self.tokens.push(Token {
+            kind,
+            text: self.src[start..self.pos].to_string(),
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(b) = self.peek() {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek_at(1) == Some(b'/') => {
+                    while self.peek().is_some_and(|c| c != b'\n') {
+                        self.bump();
+                    }
+                    self.push(TokenKind::LineComment, start, line, col);
+                }
+                b'/' if self.peek_at(1) == Some(b'*') => {
+                    self.block_comment();
+                    self.push(TokenKind::BlockComment, start, line, col);
+                }
+                b'r' if self.is_raw_string_start(0) => {
+                    self.bump(); // r
+                    self.raw_string();
+                    self.push(TokenKind::Str, start, line, col);
+                }
+                b'b' if self.peek_at(1) == Some(b'"') => {
+                    self.bump(); // b
+                    self.bump(); // "
+                    self.quoted_string(b'"');
+                    self.push(TokenKind::Str, start, line, col);
+                }
+                b'b' if self.peek_at(1) == Some(b'r') && self.is_raw_string_start(1) => {
+                    self.bump(); // b
+                    self.bump(); // r
+                    self.raw_string();
+                    self.push(TokenKind::Str, start, line, col);
+                }
+                b'b' if self.peek_at(1) == Some(b'\'') => {
+                    self.bump(); // b
+                    self.bump(); // '
+                    self.quoted_string(b'\'');
+                    self.push(TokenKind::Str, start, line, col);
+                }
+                b'"' => {
+                    self.bump();
+                    self.quoted_string(b'"');
+                    self.push(TokenKind::Str, start, line, col);
+                }
+                b'\'' => {
+                    if self.is_lifetime() {
+                        self.bump(); // '
+                        while self.peek().is_some_and(is_ident_continue) {
+                            self.bump();
+                        }
+                        self.push(TokenKind::Lifetime, start, line, col);
+                    } else {
+                        self.bump();
+                        self.quoted_string(b'\'');
+                        self.push(TokenKind::Char, start, line, col);
+                    }
+                }
+                b'0'..=b'9' => {
+                    let kind = self.number();
+                    self.push(kind, start, line, col);
+                }
+                _ if is_ident_start(b) => {
+                    while self.peek().is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Ident, start, line, col);
+                }
+                _ => {
+                    let rest = &self.src[self.pos..];
+                    let multi = MULTI_PUNCT.iter().find(|p| rest.starts_with(**p));
+                    match multi {
+                        Some(p) => self.bump_n(p.len()),
+                        None => self.bump(),
+                    }
+                    self.push(TokenKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    /// Consumes a `/* ... */` comment, handling nesting.
+    fn block_comment(&mut self) {
+        self.bump(); // /
+        self.bump(); // *
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (None, _) => break,
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Is `r` (at `self.pos + off`) the start of a raw (byte) string,
+    /// i.e. followed by zero or more `#` then `"`? Distinguishes `r"..."`
+    /// and `r#"..."#` from identifiers like `r#keyword` and plain `r`.
+    fn is_raw_string_start(&self, off: usize) -> bool {
+        let mut i = off + 1; // past the r
+        while self.peek_at(i) == Some(b'#') {
+            i += 1;
+        }
+        // `r#ident` (raw identifier) has a # then an ident char, never a
+        // quote, so requiring the quote suffices.
+        self.peek_at(i) == Some(b'"')
+    }
+
+    /// After consuming `r` (and optionally `b`), consumes `#*" ... "#*`.
+    fn raw_string(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek() == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek() == Some(b'"') {
+            self.bump();
+        }
+        loop {
+            match self.peek() {
+                None => break,
+                Some(b'"') => {
+                    self.bump();
+                    let mut matched = 0usize;
+                    while matched < hashes && self.peek() == Some(b'#') {
+                        self.bump();
+                        matched += 1;
+                    }
+                    if matched == hashes {
+                        break;
+                    }
+                }
+                Some(_) => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes the remainder of a quoted literal (opening quote already
+    /// consumed), honoring backslash escapes.
+    fn quoted_string(&mut self, quote: u8) {
+        loop {
+            match self.peek() {
+                None => break,
+                Some(b'\\') => {
+                    self.bump();
+                    self.bump();
+                }
+                Some(b) if b == quote => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => self.bump(),
+            }
+        }
+    }
+
+    /// `'` starts a lifetime (not a char literal) when followed by an
+    /// identifier that is *not* itself closed by another `'`.
+    fn is_lifetime(&self) -> bool {
+        match self.peek_at(1) {
+            Some(b) if is_ident_start(b) => {
+                let mut i = 2;
+                while self.peek_at(i).is_some_and(is_ident_continue) {
+                    i += 1;
+                }
+                self.peek_at(i) != Some(b'\'')
+            }
+            _ => false,
+        }
+    }
+
+    /// Consumes a numeric literal, classifying it as [`TokenKind::Int`] or
+    /// [`TokenKind::Float`]. `1.max(2)` lexes as Int `1` + `.` + `max`;
+    /// `1.` and `1.5` and `1e9` and `1f64` are floats; `0x1E` is an int.
+    fn number(&mut self) -> TokenKind {
+        let radix_prefix = self.peek() == Some(b'0')
+            && matches!(
+                self.peek_at(1),
+                Some(b'x') | Some(b'X') | Some(b'o') | Some(b'O') | Some(b'b') | Some(b'B')
+            );
+        if radix_prefix {
+            self.bump();
+            self.bump();
+            while self
+                .peek()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+            {
+                self.bump();
+            }
+            return TokenKind::Int;
+        }
+
+        let mut is_float = false;
+        while self.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+            self.bump();
+        }
+        // Fractional part: a dot NOT followed by an identifier start
+        // (method call) or another dot (range).
+        if self.peek() == Some(b'.') {
+            let next = self.peek_at(1);
+            let is_method_or_range = next.is_some_and(|c| is_ident_start(c) || c == b'.');
+            if !is_method_or_range {
+                is_float = true;
+                self.bump(); // .
+                while self.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+                    self.bump();
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let mut i = 1;
+            if matches!(self.peek_at(i), Some(b'+') | Some(b'-')) {
+                i += 1;
+            }
+            if self.peek_at(i).is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                self.bump_n(i);
+                while self.peek().is_some_and(|c| c.is_ascii_digit() || c == b'_') {
+                    self.bump();
+                }
+            }
+        }
+        // Type suffix: f32/f64 force float; u*/i* keep int.
+        if self.peek().is_some_and(is_ident_start) {
+            let suffix_start = self.pos;
+            while self.peek().is_some_and(is_ident_continue) {
+                self.bump();
+            }
+            let suffix = &self.src[suffix_start..self.pos];
+            if suffix == "f32" || suffix == "f64" {
+                is_float = true;
+            }
+        }
+        if is_float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("fn foo() -> f64 { a == b }");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["fn", "foo", "(", ")", "->", "f64", "{", "a", "==", "b", "}"]
+        );
+        assert_eq!(toks[4].0, TokenKind::Punct); // ->
+        assert_eq!(toks[8].0, TokenKind::Punct); // ==
+    }
+
+    #[test]
+    fn float_vs_int_literals() {
+        assert_eq!(kinds("1")[0].0, TokenKind::Int);
+        assert_eq!(kinds("1.5")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1.")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1e9")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1.5e-9")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1_000.5")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1f64")[0].0, TokenKind::Float);
+        assert_eq!(kinds("2.5f32")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1u64")[0].0, TokenKind::Int);
+        assert_eq!(kinds("0x1E")[0].0, TokenKind::Int);
+        assert_eq!(kinds("0b101")[0].0, TokenKind::Int);
+    }
+
+    #[test]
+    fn method_call_on_int_is_not_a_float() {
+        let toks = kinds("1.max(2)");
+        assert_eq!(toks[0], (TokenKind::Int, "1".to_string()));
+        assert_eq!(toks[1], (TokenKind::Punct, ".".to_string()));
+        assert_eq!(toks[2], (TokenKind::Ident, "max".to_string()));
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        let toks = kinds("0..10");
+        assert_eq!(toks[0].0, TokenKind::Int);
+        assert_eq!(toks[1], (TokenKind::Punct, "..".to_string()));
+        assert_eq!(toks[2].0, TokenKind::Int);
+    }
+
+    #[test]
+    fn comments_are_tokens() {
+        let toks = kinds("a // ce:hot\nb /* block */ c");
+        assert_eq!(toks[1], (TokenKind::LineComment, "// ce:hot".to_string()));
+        assert_eq!(toks[3].0, TokenKind::BlockComment);
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let toks = kinds("/* outer /* inner */ still */ x");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "x".to_string()));
+    }
+
+    #[test]
+    fn strings_hide_rule_patterns() {
+        let toks = kinds(r#"let s = "HashMap == 0.0";"#);
+        assert_eq!(toks[3].0, TokenKind::Str);
+        assert_eq!(toks.len(), 5); // let s = <str> ;
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = kinds(r##"r#"quote " inside"# x"##);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1], (TokenKind::Ident, "x".to_string()));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("&'a str 'x' '\\n'");
+        assert_eq!(toks[1].0, TokenKind::Lifetime);
+        assert_eq!(toks[3].0, TokenKind::Char);
+        assert_eq!(toks[4].0, TokenKind::Char);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let toks = kinds(r#""a \" b" x"#);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1], (TokenKind::Ident, "x".to_string()));
+    }
+}

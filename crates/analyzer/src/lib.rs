@@ -1,0 +1,49 @@
+//! `ce-analyzer`: the workspace invariant linter.
+//!
+//! Carbon Explorer's exploration engine rests on three promises that the
+//! compiler cannot check: parallel sweeps are **bitwise-identical** to
+//! serial runs, the streaming dispatch kernels are **allocation-free**
+//! after scratch warm-up, and fused float reductions preserve **exact
+//! operation order**. A stray `HashMap` iteration, an `Instant::now`, or a
+//! `vec![]` in the wrong function silently invalidates the paper's
+//! Figure 13–15 reproduction while every test still passes.
+//!
+//! This crate is the missing correctness-tooling layer: a dependency-free
+//! static-analysis pass (the workspace builds offline, so no `syn`) with a
+//! [hand-rolled lexer](lexer) and six [rules](rules):
+//!
+//! 1. `nondeterminism` — no hash-ordered collections or ambient state in
+//!    deterministic crates (narrow allowances: `CE_THREADS` in
+//!    `ce-parallel`, wall-clock timing in `ce-bench`);
+//! 2. `hot-path-alloc` — functions marked `// ce:hot` must not allocate;
+//! 3. `float-eq` — float `==`/`!=` outside tests needs an explicit
+//!    `// ce:allow(float-eq, reason = "…")` marker;
+//! 4. `panic-in-lib` — panic sites ratchet downward against the committed
+//!    [`lint-baseline.json`](baseline);
+//! 5. `crate-hygiene` — crate roots carry `#![forbid(unsafe_code)]` and
+//!    `#![warn(missing_docs)]`;
+//! 6. `must-use` — pure stats/result returns carry `#[must_use]`.
+//!
+//! Run it from the workspace root:
+//!
+//! ```text
+//! cargo run --release -p ce-analyzer            # human diagnostics
+//! cargo run --release -p ce-analyzer -- --format json   # CI
+//! cargo run --release -p ce-analyzer -- --write-baseline
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations, 2 analyzer error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod config;
+pub mod driver;
+pub mod lexer;
+pub mod rules;
+
+pub use baseline::Baseline;
+pub use config::Config;
+pub use driver::{parse_args, run, Format, Options, Outcome};
+pub use rules::{analyze_file, FileAnalysis, Violation};

@@ -1,0 +1,16 @@
+//! `ce-analyzer` CLI entry point. All logic lives in the library so the
+//! golden tests can drive it in-process.
+
+use ce_analyzer::driver;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match driver::parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    std::process::exit(driver::run(&opts).code());
+}

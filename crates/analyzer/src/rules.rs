@@ -1,0 +1,855 @@
+//! The six workspace-invariant rules, evaluated over a lexed file.
+//!
+//! Each rule is lexical: it matches token patterns, comment markers, and
+//! coarse structure (test modules, `fn` bodies) recovered by brace
+//! matching. The rules and their rationale:
+//!
+//! | rule | enforces |
+//! |---|---|
+//! | `nondeterminism` | no `HashMap`/`HashSet`, `Instant::now`, `SystemTime::now`, `thread::current`, `env::var` in deterministic crates |
+//! | `hot-path-alloc` | no allocating calls inside `// ce:hot` functions |
+//! | `float-eq` | `==`/`!=` against float operands needs `// ce:allow(float-eq, …)` |
+//! | `panic-in-lib` | `unwrap`/`expect`/`panic!`/`unreachable!` counted against the baseline ratchet |
+//! | `crate-hygiene` | crate roots carry `#![forbid(unsafe_code)]` + `#![warn(missing_docs)]` |
+//! | `must-use` | `pub fn` returning a bare stats/result struct carries `#[must_use]` |
+//!
+//! Test code (`#[cfg(test)]` modules, `#[test]` functions) is exempt from
+//! `nondeterminism`, `float-eq`, `panic-in-lib`, and `must-use` — the
+//! invariants protect the sweep engine's production paths, and the
+//! bitwise-identity *tests* are precisely where float equality is correct.
+//!
+//! # Marker grammar
+//!
+//! - `// ce:hot` — the next `fn` in the file is a streaming hot path; the
+//!   `hot-path-alloc` rule patrols its body.
+//! - `// ce:allow(<rule>, reason = "…")` — suppresses `<rule>` violations
+//!   on the same line and the line immediately below. The reason is
+//!   mandatory; a marker without one is itself a violation.
+
+use crate::config::{allowances_for, is_crate_root, Config, RULE_NAMES};
+use crate::lexer::{lex, Token, TokenKind};
+
+/// One diagnostic: a rule violated at a file position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The rule violated (one of [`RULE_NAMES`]).
+    pub rule: String,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// The analysis of one file: direct violations plus the panic-site count
+/// the driver compares against the baseline ratchet.
+#[derive(Debug, Clone)]
+pub struct FileAnalysis {
+    /// Violations that fail the build outright.
+    pub violations: Vec<Violation>,
+    /// Non-test `unwrap()`/`expect()`/`panic!`/`unreachable!` sites
+    /// (line numbers), for the `panic-in-lib` ratchet.
+    pub panic_sites: Vec<u32>,
+}
+
+/// A parsed `// ce:allow(rule, reason = "…")` marker.
+#[derive(Debug, Clone)]
+struct AllowMarker {
+    line: u32,
+    rule: String,
+    has_reason: bool,
+}
+
+/// Analyzes one file; `rel_path` is workspace-relative with `/` separators.
+pub fn analyze_file(rel_path: &str, source: &str, config: &Config) -> FileAnalysis {
+    let tokens = lex(source);
+    let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+
+    let mut markers = Vec::new();
+    let mut hot_lines = Vec::new();
+    let mut violations = Vec::new();
+    for t in tokens.iter().filter(|t| t.is_comment()) {
+        collect_marker(t, &mut markers, &mut hot_lines, &mut violations, rel_path);
+    }
+
+    let test_mask = test_region_mask(&code);
+    let hot_ranges = hot_fn_ranges(&code, &hot_lines);
+
+    let ctx = RuleCtx {
+        rel_path,
+        code: &code,
+        test_mask: &test_mask,
+        markers: &markers,
+        config,
+    };
+
+    rule_nondeterminism(&ctx, &mut violations);
+    rule_hot_path_alloc(&ctx, &hot_ranges, &mut violations);
+    rule_float_eq(&ctx, &mut violations);
+    rule_crate_hygiene(&ctx, &mut violations);
+    rule_must_use(&ctx, &mut violations);
+    let panic_sites = panic_sites(&ctx);
+
+    violations.sort_by_key(|v| (v.line, v.col, v.rule.clone()));
+    FileAnalysis {
+        violations,
+        panic_sites,
+    }
+}
+
+struct RuleCtx<'a> {
+    rel_path: &'a str,
+    code: &'a [&'a Token],
+    /// `test_mask[i]` — is code token `i` inside a test item?
+    test_mask: &'a [bool],
+    markers: &'a [AllowMarker],
+    config: &'a Config,
+}
+
+impl RuleCtx<'_> {
+    fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.markers
+            .iter()
+            .any(|m| m.rule == rule && m.has_reason && (m.line == line || m.line + 1 == line))
+    }
+
+    fn violation(&self, rule: &str, tok: &Token, message: String) -> Option<Violation> {
+        if self.allowed(rule, tok.line) {
+            return None;
+        }
+        Some(Violation {
+            rule: rule.to_string(),
+            file: self.rel_path.to_string(),
+            line: tok.line,
+            col: tok.col,
+            message,
+        })
+    }
+}
+
+/// Parses `ce:hot` / `ce:allow` markers out of one comment token.
+fn collect_marker(
+    tok: &Token,
+    markers: &mut Vec<AllowMarker>,
+    hot_lines: &mut Vec<u32>,
+    violations: &mut Vec<Violation>,
+    rel_path: &str,
+) {
+    let body = tok
+        .text
+        .trim_start_matches('/')
+        .trim_start_matches('!')
+        .trim();
+    if body == "ce:hot" || body.starts_with("ce:hot ") {
+        hot_lines.push(tok.line);
+        return;
+    }
+    let Some(rest) = body.strip_prefix("ce:allow(") else {
+        return;
+    };
+    let inner = rest.split(')').next().unwrap_or("");
+    let mut parts = inner.splitn(2, ',');
+    let rule = parts.next().unwrap_or("").trim().to_string();
+    let reason_part = parts.next().unwrap_or("").trim();
+    let has_reason = reason_part
+        .strip_prefix("reason")
+        .map(|r| r.trim_start().starts_with('='))
+        .unwrap_or(false);
+    if !RULE_NAMES.contains(&rule.as_str()) {
+        violations.push(Violation {
+            rule: "marker".to_string(),
+            file: rel_path.to_string(),
+            line: tok.line,
+            col: tok.col,
+            message: format!("ce:allow names unknown rule `{rule}`"),
+        });
+        return;
+    }
+    if !has_reason {
+        violations.push(Violation {
+            rule: rule.clone(),
+            file: rel_path.to_string(),
+            line: tok.line,
+            col: tok.col,
+            message: format!("ce:allow({rule}) marker is missing its mandatory `reason = \"…\"`"),
+        });
+        return;
+    }
+    markers.push(AllowMarker {
+        line: tok.line,
+        rule,
+        has_reason,
+    });
+}
+
+/// Index of the `}` matching the `{` at `open` (counting braces only);
+/// falls back to the last token on unbalanced input.
+fn matching_brace(code: &[&Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in code.iter().enumerate().skip(open) {
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    code.len().saturating_sub(1)
+}
+
+/// Marks every code token covered by a `#[cfg(test)]` or `#[test]` item.
+fn test_region_mask(code: &[&Token]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].is_punct("#") && i + 1 < code.len() && code[i + 1].is_punct("[") {
+            let close = matching_bracket(code, i + 1);
+            let idents: Vec<&str> = code[i + 2..close]
+                .iter()
+                .filter(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text.as_str())
+                .collect();
+            let is_test_attr = match idents.first() {
+                Some(&"cfg") => idents.contains(&"test") && !idents.contains(&"not"),
+                Some(&"test") => idents.len() == 1,
+                _ => false,
+            };
+            if is_test_attr {
+                let end = item_end(code, close + 1);
+                for m in mask.iter_mut().take(end + 1).skip(i) {
+                    *m = true;
+                }
+                i = end + 1;
+                continue;
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Index of the `]` matching the `[` at `open`.
+fn matching_bracket(code: &[&Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in code.iter().enumerate().skip(open) {
+        if t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    code.len().saturating_sub(1)
+}
+
+/// The index where the item starting at `from` ends: the `;` closing a
+/// declaration, or the `}` closing the first top-level brace block.
+/// Skips over any further attributes.
+fn item_end(code: &[&Token], from: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = from;
+    while i < code.len() {
+        let t = code[i];
+        if depth == 0 {
+            if t.is_punct("#") && i + 1 < code.len() && code[i + 1].is_punct("[") {
+                i = matching_bracket(code, i + 1) + 1;
+                continue;
+            }
+            if t.is_punct("{") {
+                return matching_brace(code, i);
+            }
+            if t.is_punct(";") {
+                return i;
+            }
+        }
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        }
+        i += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+/// A `// ce:hot`-annotated function: its name and body token range.
+#[derive(Debug)]
+struct HotRange {
+    name: String,
+    body: (usize, usize),
+}
+
+/// Resolves each `// ce:hot` marker to the body of the next `fn`.
+fn hot_fn_ranges(code: &[&Token], hot_lines: &[u32]) -> Vec<HotRange> {
+    let mut ranges = Vec::new();
+    for &line in hot_lines {
+        let Some(fn_idx) = code.iter().position(|t| t.line > line && t.is_ident("fn")) else {
+            continue;
+        };
+        let name = code
+            .get(fn_idx + 1)
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        let Some(open) = code
+            .iter()
+            .skip(fn_idx)
+            .position(|t| t.is_punct("{"))
+            .map(|p| p + fn_idx)
+        else {
+            continue;
+        };
+        let close = matching_brace(code, open);
+        ranges.push(HotRange {
+            name,
+            body: (open, close),
+        });
+    }
+    ranges
+}
+
+fn rule_nondeterminism(ctx: &RuleCtx<'_>, out: &mut Vec<Violation>) {
+    const RULE: &str = "nondeterminism";
+    let allow = allowances_for(ctx.rel_path);
+    let code = ctx.code;
+    for i in 0..code.len() {
+        if ctx.test_mask[i] {
+            continue;
+        }
+        let t = code[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let path_call = |seg: &str| -> bool {
+            t.text == seg
+                && i + 2 < code.len()
+                && code[i + 1].is_punct("::")
+                && ctx.test_mask.get(i + 2) == Some(&false)
+        };
+        let v = match t.text.as_str() {
+            "HashMap" | "HashSet" => ctx.violation(
+                RULE,
+                t,
+                format!(
+                    "`{}` iteration order is nondeterministic; use the BTree equivalent \
+                     or a ce:allow marker with justification",
+                    t.text
+                ),
+            ),
+            "Instant" if path_call("Instant") && code[i + 2].is_ident("now") && !allow.wall_clock => {
+                ctx.violation(
+                    RULE,
+                    t,
+                    "`Instant::now` makes results wall-clock dependent; timing belongs in ce-bench"
+                        .to_string(),
+                )
+            }
+            "SystemTime"
+                if path_call("SystemTime") && code[i + 2].is_ident("now") && !allow.wall_clock =>
+            {
+                ctx.violation(
+                    RULE,
+                    t,
+                    "`SystemTime::now` makes results wall-clock dependent; timing belongs in ce-bench"
+                        .to_string(),
+                )
+            }
+            "thread" if path_call("thread") && code[i + 2].is_ident("current") => ctx.violation(
+                RULE,
+                t,
+                "`thread::current` is scheduler-dependent and breaks deterministic replay"
+                    .to_string(),
+            ),
+            "env" if path_call("env") && code[i + 2].is_ident("var") => {
+                let ce_threads_arg = code[i + 3..code.len().min(i + 8)]
+                    .iter()
+                    .any(|t| t.kind == TokenKind::Str && t.text.contains("CE_THREADS"));
+                if allow.env_var_ce_threads && ce_threads_arg {
+                    None
+                } else {
+                    ctx.violation(
+                        RULE,
+                        t,
+                        "`env::var` injects ambient state; only ce-parallel may read CE_THREADS"
+                            .to_string(),
+                    )
+                }
+            }
+            _ => None,
+        };
+        out.extend(v);
+    }
+}
+
+fn rule_hot_path_alloc(ctx: &RuleCtx<'_>, hot: &[HotRange], out: &mut Vec<Violation>) {
+    const RULE: &str = "hot-path-alloc";
+    let code = ctx.code;
+    let cfg = ctx.config;
+    for range in hot {
+        let (open, close) = range.body;
+        for i in open..=close.min(code.len().saturating_sub(1)) {
+            let t = code[i];
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let prev_is_dot = i > 0 && code[i - 1].is_punct(".");
+            let next = code.get(i + 1);
+            let next_calls = next.is_some_and(|n| n.is_punct("(") || n.is_punct("::"));
+            let v = if prev_is_dot
+                && next_calls
+                && cfg.hot_forbidden_methods.contains(&t.text.as_str())
+            {
+                ctx.violation(
+                    RULE,
+                    t,
+                    format!(
+                        "`.{}()` allocates inside hot fn `{}` (marked // ce:hot)",
+                        t.text, range.name
+                    ),
+                )
+            } else if next.is_some_and(|n| n.is_punct("!"))
+                && cfg.hot_forbidden_macros.contains(&t.text.as_str())
+            {
+                ctx.violation(
+                    RULE,
+                    t,
+                    format!(
+                        "`{}!` allocates inside hot fn `{}` (marked // ce:hot)",
+                        t.text, range.name
+                    ),
+                )
+            } else if next.is_some_and(|n| n.is_punct("::"))
+                && code.get(i + 2).is_some()
+                && cfg
+                    .hot_forbidden_paths
+                    .iter()
+                    .any(|(ty, m)| t.text == *ty && code[i + 2].is_ident(m))
+            {
+                ctx.violation(
+                    RULE,
+                    t,
+                    format!(
+                        "`{}::{}` allocates inside hot fn `{}` (marked // ce:hot)",
+                        t.text,
+                        code[i + 2].text,
+                        range.name
+                    ),
+                )
+            } else {
+                None
+            };
+            out.extend(v);
+        }
+    }
+}
+
+fn rule_float_eq(ctx: &RuleCtx<'_>, out: &mut Vec<Violation>) {
+    const RULE: &str = "float-eq";
+    let code = ctx.code;
+    let is_float_operand = |t: &Token| -> bool {
+        t.kind == TokenKind::Float || t.is_ident("f64") || t.is_ident("f32")
+    };
+    for i in 0..code.len() {
+        if ctx.test_mask[i] {
+            continue;
+        }
+        let t = code[i];
+        if !(t.is_punct("==") || t.is_punct("!=")) {
+            continue;
+        }
+        let floaty = (i > 0 && is_float_operand(code[i - 1]))
+            || code.get(i + 1).is_some_and(|n| is_float_operand(n));
+        if floaty {
+            out.extend(ctx.violation(
+                RULE,
+                t,
+                format!(
+                    "float `{}` comparison outside tests; restructure (epsilon/`total_cmp`/\
+                     `to_bits`) or mark `// ce:allow(float-eq, reason = \"…\")`",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Non-test panic sites, for the ratchet. Not marker-suppressible: the
+/// baseline is the escape hatch, and it only ratchets down.
+fn panic_sites(ctx: &RuleCtx<'_>) -> Vec<u32> {
+    let code = ctx.code;
+    let mut sites = Vec::new();
+    for i in 0..code.len() {
+        if ctx.test_mask[i] {
+            continue;
+        }
+        let t = code[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let prev_is_dot = i > 0 && code[i - 1].is_punct(".");
+        let next_is_paren = code.get(i + 1).is_some_and(|n| n.is_punct("("));
+        let next_is_bang = code.get(i + 1).is_some_and(|n| n.is_punct("!"));
+        let hit = match t.text.as_str() {
+            "unwrap" | "expect" => prev_is_dot && next_is_paren,
+            "panic" | "unreachable" => next_is_bang,
+            _ => false,
+        };
+        if hit {
+            sites.push(t.line);
+        }
+    }
+    sites
+}
+
+fn rule_crate_hygiene(ctx: &RuleCtx<'_>, out: &mut Vec<Violation>) {
+    const RULE: &str = "crate-hygiene";
+    if !is_crate_root(ctx.rel_path) {
+        return;
+    }
+    let code = ctx.code;
+    let has_inner_attr = |outer: &str, inner: &str| -> bool {
+        (0..code.len()).any(|i| {
+            code[i].is_punct("#")
+                && code.get(i + 1).is_some_and(|t| t.is_punct("!"))
+                && code.get(i + 2).is_some_and(|t| t.is_punct("["))
+                && code.get(i + 3).is_some_and(|t| t.is_ident(outer))
+                && code.get(i + 4).is_some_and(|t| t.is_punct("("))
+                && code.get(i + 5).is_some_and(|t| t.is_ident(inner))
+        })
+    };
+    let anchor = Token {
+        kind: TokenKind::Punct,
+        text: String::new(),
+        line: 1,
+        col: 1,
+    };
+    if !has_inner_attr("forbid", "unsafe_code") {
+        out.extend(ctx.violation(
+            RULE,
+            &anchor,
+            "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        ));
+    }
+    if !has_inner_attr("warn", "missing_docs") {
+        out.extend(ctx.violation(
+            RULE,
+            &anchor,
+            "crate root is missing `#![warn(missing_docs)]`".to_string(),
+        ));
+    }
+}
+
+fn rule_must_use(ctx: &RuleCtx<'_>, out: &mut Vec<Violation>) {
+    const RULE: &str = "must-use";
+    let code = ctx.code;
+    for i in 0..code.len() {
+        if ctx.test_mask[i] || !code[i].is_ident("fn") {
+            continue;
+        }
+        let (is_pub, has_must_use) = fn_prefix_info(code, i);
+        if !is_pub || has_must_use {
+            continue;
+        }
+        // Parameter list → return type tokens.
+        let Some(params_open) = code
+            .iter()
+            .skip(i)
+            .position(|t| t.is_punct("("))
+            .map(|p| p + i)
+        else {
+            continue;
+        };
+        let params_close = matching_paren(code, params_open);
+        if !code.get(params_close + 1).is_some_and(|t| t.is_punct("->")) {
+            continue;
+        }
+        let mut ret = Vec::new();
+        let mut j = params_close + 2;
+        while j < code.len() {
+            let t = code[j];
+            if t.is_punct("{") || t.is_punct(";") || t.is_ident("where") {
+                break;
+            }
+            ret.push(t);
+            j += 1;
+        }
+        let wrapped = ret
+            .iter()
+            .any(|t| t.is_ident("Result") || t.is_ident("Option"));
+        let bare_type = ctx
+            .config
+            .must_use_types
+            .iter()
+            .find(|ty| ret.iter().any(|t| t.is_ident(ty)));
+        if let Some(ty) = bare_type {
+            if !wrapped {
+                let fn_name = code.get(i + 1).map(|t| t.text.as_str()).unwrap_or("<anon>");
+                out.extend(ctx.violation(
+                    RULE,
+                    code[i],
+                    format!(
+                        "pub fn `{fn_name}` returns bare `{ty}`; annotate it #[must_use] \
+                         (dropping a pure result is always a bug)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_paren(code: &[&Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in code.iter().enumerate().skip(open) {
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    code.len().saturating_sub(1)
+}
+
+/// Looks backwards from a `fn` keyword for plain-`pub` visibility and a
+/// `#[must_use]` attribute, stopping at the previous item's boundary.
+/// `pub(crate)`/`pub(super)` items are internal API and are not flagged.
+fn fn_prefix_info(code: &[&Token], fn_idx: usize) -> (bool, bool) {
+    let mut is_pub = false;
+    let mut has_must_use = false;
+    let mut i = fn_idx;
+    let mut steps = 0;
+    while i > 0 && steps < 40 {
+        i -= 1;
+        steps += 1;
+        let t = code[i];
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") || t.is_punct(",") {
+            break;
+        }
+        if t.is_punct("]") {
+            // Walk the attribute group and scan it for must_use.
+            let mut depth = 1usize;
+            let close = i;
+            while i > 0 && depth > 0 {
+                i -= 1;
+                steps += 1;
+                if code[i].is_punct("]") {
+                    depth += 1;
+                } else if code[i].is_punct("[") {
+                    depth -= 1;
+                }
+            }
+            if code[i + 1..close].iter().any(|t| t.is_ident("must_use")) {
+                has_must_use = true;
+            }
+            continue;
+        }
+        if t.is_ident("pub") {
+            // `pub(crate)` / `pub(super)` → restricted, not public API.
+            is_pub = !code.get(i + 1).is_some_and(|n| n.is_punct("("));
+        }
+    }
+    (is_pub, has_must_use)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(rel_path: &str, src: &str) -> FileAnalysis {
+        analyze_file(rel_path, src, &Config::default())
+    }
+
+    fn rules_of(fa: &FileAnalysis) -> Vec<&str> {
+        fa.violations.iter().map(|v| v.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn hashmap_flagged_in_deterministic_crate() {
+        let fa = analyze(
+            "crates/core/src/x.rs",
+            "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }",
+        );
+        assert_eq!(rules_of(&fa), ["nondeterminism"; 3]);
+    }
+
+    #[test]
+    fn hashmap_fine_in_tests() {
+        let fa = analyze(
+            "crates/core/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n  use std::collections::HashMap;\n  fn f() { let _ = HashMap::<u32, u32>::new(); }\n}",
+        );
+        assert!(fa.violations.is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let fa = analyze(
+            "crates/core/src/x.rs",
+            "#[cfg(not(test))]\nmod real {\n  use std::collections::HashSet;\n}",
+        );
+        assert_eq!(rules_of(&fa), ["nondeterminism"]);
+    }
+
+    #[test]
+    fn instant_allowed_only_in_bench() {
+        let src = "fn f() { let _t = std::time::Instant::now(); }";
+        assert_eq!(
+            rules_of(&analyze("crates/core/src/x.rs", src)),
+            ["nondeterminism"]
+        );
+        assert!(analyze("crates/bench/src/x.rs", src).violations.is_empty());
+    }
+
+    #[test]
+    fn env_var_allowed_only_for_ce_threads_in_parallel() {
+        let ok = r#"fn f() { let _ = std::env::var("CE_THREADS"); }"#;
+        let bad = r#"fn f() { let _ = std::env::var("HOME"); }"#;
+        assert!(analyze("crates/parallel/src/workers.rs", ok)
+            .violations
+            .is_empty());
+        assert_eq!(
+            rules_of(&analyze("crates/parallel/src/workers.rs", bad)),
+            ["nondeterminism"]
+        );
+        assert_eq!(
+            rules_of(&analyze("crates/core/src/x.rs", ok)),
+            ["nondeterminism"]
+        );
+    }
+
+    #[test]
+    fn hot_fn_alloc_flagged() {
+        let src = "// ce:hot\nfn kernel(xs: &[f64]) -> Vec<f64> {\n  let v = Vec::new();\n  let _ = xs.to_vec();\n  let s = format!(\"x\");\n  v\n}";
+        let fa = analyze("crates/timeseries/src/x.rs", src);
+        assert_eq!(rules_of(&fa), ["hot-path-alloc"; 3]);
+    }
+
+    #[test]
+    fn unannotated_fn_may_allocate() {
+        let src = "fn cold() -> Vec<f64> { vec![0.0] }";
+        assert!(analyze("crates/timeseries/src/x.rs", src)
+            .violations
+            .is_empty());
+    }
+
+    #[test]
+    fn hot_marker_binds_to_next_fn_only() {
+        let src = "// ce:hot\nfn hot() { let _ = 1; }\nfn cold() { let _ = vec![1]; }";
+        assert!(analyze("crates/core/src/x.rs", src).violations.is_empty());
+    }
+
+    #[test]
+    fn float_eq_flagged_and_allowed() {
+        let bad = "fn f(x: f64) -> bool { x == 0.0 }";
+        let fa = analyze("crates/core/src/x.rs", bad);
+        assert_eq!(rules_of(&fa), ["float-eq"]);
+        let ok = "fn f(x: f64) -> bool {\n  // ce:allow(float-eq, reason = \"exact zero guard\")\n  x == 0.0\n}";
+        assert!(analyze("crates/core/src/x.rs", ok).violations.is_empty());
+    }
+
+    #[test]
+    fn float_eq_ignores_integers_and_tests() {
+        let src = "fn f(n: usize) -> bool { n == 0 }\n#[cfg(test)]\nmod tests { fn g(x: f64) -> bool { x == 1.5 } }";
+        assert!(analyze("crates/core/src/x.rs", src).violations.is_empty());
+    }
+
+    #[test]
+    fn as_f64_cast_comparison_is_flagged() {
+        let src = "fn f(n: usize, y: f64) -> bool { n as f64 == y }";
+        assert_eq!(
+            rules_of(&analyze("crates/core/src/x.rs", src)),
+            ["float-eq"]
+        );
+    }
+
+    #[test]
+    fn allow_marker_requires_reason() {
+        let src = "// ce:allow(float-eq)\nfn f(x: f64) -> bool { x == 0.0 }";
+        let fa = analyze("crates/core/src/x.rs", src);
+        assert_eq!(rules_of(&fa), ["float-eq", "float-eq"]);
+    }
+
+    #[test]
+    fn allow_marker_unknown_rule() {
+        let src = "// ce:allow(made-up, reason = \"x\")\nfn f() {}";
+        let fa = analyze("crates/core/src/x.rs", src);
+        assert_eq!(rules_of(&fa), ["marker"]);
+    }
+
+    #[test]
+    fn panic_sites_counted_outside_tests_only() {
+        let src = "fn f(o: Option<u32>) -> u32 { o.unwrap() }\nfn g() { panic!(\"boom\"); }\n#[cfg(test)]\nmod tests { fn t(o: Option<u32>) { o.unwrap(); } }";
+        let fa = analyze("crates/core/src/x.rs", src);
+        assert_eq!(fa.panic_sites, vec![1, 2]);
+    }
+
+    #[test]
+    fn unwrap_or_is_not_a_panic_site() {
+        let src = "fn f(o: Option<u32>) -> u32 { o.unwrap_or(0) }";
+        assert!(analyze("crates/core/src/x.rs", src).panic_sites.is_empty());
+    }
+
+    #[test]
+    fn doc_comment_examples_are_not_panic_sites() {
+        let src = "/// ```\n/// x.unwrap();\n/// panic!();\n/// ```\nfn f() {}";
+        assert!(analyze("crates/core/src/x.rs", src).panic_sites.is_empty());
+    }
+
+    #[test]
+    fn crate_hygiene_on_roots_only() {
+        let bare = "pub fn f() {}";
+        let fa = analyze("crates/core/src/lib.rs", bare);
+        assert_eq!(rules_of(&fa), ["crate-hygiene", "crate-hygiene"]);
+        assert!(analyze("crates/core/src/other.rs", bare)
+            .violations
+            .is_empty());
+        let good = "#![forbid(unsafe_code)]\n#![warn(missing_docs)]\npub fn f() {}";
+        assert!(analyze("crates/core/src/lib.rs", good)
+            .violations
+            .is_empty());
+    }
+
+    #[test]
+    fn must_use_on_bare_stats_returns() {
+        let bad = "pub fn stats() -> DispatchStats { todo() }";
+        assert_eq!(
+            rules_of(&analyze("crates/battery/src/x.rs", bad)),
+            ["must-use"]
+        );
+        let annotated = "#[must_use]\npub fn stats() -> DispatchStats { todo() }";
+        assert!(analyze("crates/battery/src/x.rs", annotated)
+            .violations
+            .is_empty());
+        let wrapped = "pub fn stats() -> Result<DispatchStats, E> { todo() }";
+        assert!(analyze("crates/battery/src/x.rs", wrapped)
+            .violations
+            .is_empty());
+        let private = "fn stats() -> DispatchStats { todo() }";
+        assert!(analyze("crates/battery/src/x.rs", private)
+            .violations
+            .is_empty());
+        let restricted = "pub(crate) fn stats() -> DispatchStats { todo() }";
+        assert!(analyze("crates/battery/src/x.rs", restricted)
+            .violations
+            .is_empty());
+    }
+
+    #[test]
+    fn patterns_in_strings_do_not_fire() {
+        let src = r#"fn f() -> &'static str { "HashMap Instant::now unwrap() == 0.0 vec![]" }"#;
+        let fa = analyze("crates/core/src/x.rs", src);
+        assert!(fa.violations.is_empty());
+        assert!(fa.panic_sites.is_empty());
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: a crate root missing both hygiene attributes (analyzed as
+//! `crates/grid/src/lib.rs`).
+
+pub mod fixture {
+    /// A placeholder item.
+    pub fn noop() {}
+}

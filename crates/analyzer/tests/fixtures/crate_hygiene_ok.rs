@@ -1,0 +1,10 @@
+//! Fixture: a crate root carrying both mandatory hygiene attributes
+//! (analyzed as `crates/grid/src/lib.rs`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fixture {
+    /// A placeholder item.
+    pub fn noop() {}
+}

@@ -1,0 +1,18 @@
+//! Fixture: unexplained float `==`/`!=` outside test code
+//! (analyzed as `crates/timeseries/src/fixture.rs`).
+
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn differs(a: f64, threshold: f64) -> bool {
+    a as f64 != threshold as f64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_comparison_in_tests_is_fine() {
+        assert!(super::is_zero(0.0) == true || 1.0 == 1.0);
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: float comparisons carrying the mandatory justification
+//! (analyzed as `crates/timeseries/src/fixture.rs`).
+
+pub fn is_zero(x: f64) -> bool {
+    // ce:allow(float-eq, reason = "fixture: exact-zero guard against division by zero; any nonzero value takes the other branch")
+    x == 0.0
+}
+
+pub fn near(a: f64, b: f64, eps: f64) -> bool {
+    (a - b).abs() <= eps
+}

@@ -1,0 +1,17 @@
+//! Fixture: allocations inside `// ce:hot` functions
+//! (analyzed as `crates/timeseries/src/fixture.rs`).
+
+// ce:hot
+pub fn windowed_sum(xs: &[f64]) -> f64 {
+    let scratch = vec![0.0f64; xs.len()];
+    let doubled: Vec<f64> = xs.iter().map(|x| x * 2.0).collect();
+    let label = format!("{} points", xs.len());
+    let copy = xs.to_vec();
+    let boxed = Box::new(0.0f64);
+    scratch.len() as f64 + doubled.len() as f64 + label.len() as f64 + copy.len() as f64 + *boxed
+}
+
+// Not annotated: the same allocations are fine on cold paths.
+pub fn cold_setup(xs: &[f64]) -> Vec<f64> {
+    xs.to_vec()
+}

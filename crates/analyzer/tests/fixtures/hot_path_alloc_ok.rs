@@ -1,0 +1,21 @@
+//! Fixture: a clean streaming hot path, plus one marker-suppressed
+//! allocation (analyzed as `crates/timeseries/src/fixture.rs`).
+
+// ce:hot
+pub fn zip_sum(a: &[f64], b: &[f64], out: &mut [f64]) -> f64 {
+    let mut acc = 0.0;
+    for ((x, y), o) in a.iter().zip(b).zip(out.iter_mut()) {
+        *o = x + y;
+        acc += *o;
+    }
+    acc
+}
+
+// ce:hot
+pub fn warm_path(xs: &[f64], scratch: &mut Vec<f64>) -> f64 {
+    if scratch.len() < xs.len() {
+        // ce:allow(hot-path-alloc, reason = "fixture: one-time scratch warm-up, amortized to zero across the sweep")
+        scratch.resize(xs.len(), 0.0);
+    }
+    xs.iter().sum()
+}

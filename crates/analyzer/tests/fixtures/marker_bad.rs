@@ -1,0 +1,10 @@
+//! Fixture: malformed suppression markers are themselves violations
+//! (analyzed as `crates/core/src/fixture.rs`).
+
+// ce:allow(no-such-rule, reason = "fixture: the rule name is not one the analyzer knows")
+pub fn a() {}
+
+// ce:allow(float-eq)
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}

@@ -1,0 +1,15 @@
+//! Fixture: pure result structs returned without `#[must_use]`
+//! (analyzed as `crates/battery/src/fixture.rs`).
+
+pub fn simulate() -> DispatchStats {
+    DispatchStats::default()
+}
+
+pub fn combined(a: f64) -> CombinedStats {
+    CombinedStats::from(a)
+}
+
+// Wrapped returns are exempt: the caller must already unwrap the Result.
+pub fn try_simulate() -> Result<DispatchStats, String> {
+    Ok(DispatchStats::default())
+}

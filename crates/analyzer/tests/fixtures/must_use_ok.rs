@@ -1,0 +1,12 @@
+//! Fixture: result structs correctly annotated, plus one
+//! marker-suppressed site (analyzed as `crates/battery/src/fixture.rs`).
+
+#[must_use]
+pub fn simulate() -> DispatchStats {
+    DispatchStats::default()
+}
+
+// ce:allow(must-use, reason = "fixture: called for its logging side effect in the bench harness")
+pub fn combined(a: f64) -> CombinedStats {
+    CombinedStats::from(a)
+}

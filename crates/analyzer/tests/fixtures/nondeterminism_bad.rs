@@ -1,0 +1,25 @@
+//! Fixture: iteration-order and wall-clock nondeterminism in a
+//! deterministic crate (analyzed as `crates/core/src/fixture.rs`).
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+pub fn keyed_scratch() -> HashMap<u64, f64> {
+    HashMap::new()
+}
+
+pub fn seen() -> HashSet<u32> {
+    HashSet::new()
+}
+
+pub fn elapsed_secs() -> f64 {
+    let start = Instant::now();
+    start.elapsed().as_secs_f64()
+}
+
+pub fn worker_count() -> usize {
+    std::env::var("CE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}

@@ -1,0 +1,25 @@
+//! Fixture: the same constructs, permitted (analyzed as
+//! `crates/parallel/src/workers.rs`, the crate allowlisted for the
+//! `CE_THREADS` environment probe).
+
+pub fn worker_count() -> usize {
+    std::env::var("CE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+// ce:allow(nondeterminism, reason = "fixture: keys are drained into a sorted Vec before any order-sensitive use")
+pub fn scratch() -> std::collections::HashMap<u64, f64> {
+    // ce:allow(nondeterminism, reason = "fixture: same map, constructor site")
+    std::collections::HashMap::new()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let t = std::time::Instant::now();
+        assert!(t.elapsed().as_secs() < 60);
+    }
+}

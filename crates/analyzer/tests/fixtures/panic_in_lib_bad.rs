@@ -1,0 +1,26 @@
+//! Fixture: panic sites in library code, counted for the baseline
+//! ratchet (analyzed as `crates/grid/src/fixture.rs`).
+
+pub fn first(xs: &[f64]) -> f64 {
+    *xs.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("fixture: digits only")
+}
+
+pub fn dispatch(kind: u8) -> &'static str {
+    match kind {
+        0 => "solar",
+        1 => "wind",
+        _ => panic!("unknown kind"),
+    }
+}
+
+pub fn clamped(x: f64) -> f64 {
+    if (0.0..=1.0).contains(&x) {
+        x
+    } else {
+        unreachable!("caller pre-validates")
+    }
+}

@@ -1,0 +1,24 @@
+//! Fixture: the same panicking constructs confined to test code, where
+//! the ratchet does not count them (analyzed as
+//! `crates/grid/src/fixture.rs`).
+
+pub fn first_or_zero(xs: &[f64]) -> f64 {
+    xs.first().copied().unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_free() {
+        let xs = [1.0f64];
+        assert_eq!(*xs.first().unwrap(), 1.0);
+        let n: u32 = "7".parse().expect("digits");
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn panics_are_test_behaviour() {
+        panic!("expected");
+    }
+}

@@ -1,0 +1,209 @@
+//! Golden-file diagnostics tests.
+//!
+//! Every rule has a **positive** fixture whose rendered diagnostics must
+//! match the committed `.expected` file byte-for-byte, and a **negative**
+//! fixture — the same constructs carrying `ce:allow` markers or living in
+//! an allowlisted crate/test region — that must analyze clean. A final
+//! self-check runs the full driver against the live workspace and demands
+//! a clean exit, so the linter can never drift from the code it guards.
+//!
+//! To regenerate the goldens after an intentional diagnostics change:
+//! `CE_BLESS=1 cargo test -p ce-analyzer --test golden`, then review the
+//! diff.
+
+use ce_analyzer::config::Config;
+use ce_analyzer::rules::analyze_file;
+use ce_analyzer::{run, Format, Options, Outcome};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A fixture analyzed under a synthetic workspace-relative path (the path
+/// decides which crate allowances and root-only rules apply).
+struct Case {
+    /// File stem under `tests/fixtures/`, without `.rs`.
+    stem: &'static str,
+    /// The path the analyzer is told the fixture lives at.
+    rel_path: &'static str,
+    /// Whether the fixture must produce diagnostics (golden-compared) or
+    /// analyze completely clean.
+    dirty: bool,
+}
+
+const CASES: &[Case] = &[
+    Case {
+        stem: "nondeterminism_bad",
+        rel_path: "crates/core/src/fixture.rs",
+        dirty: true,
+    },
+    Case {
+        stem: "nondeterminism_ok",
+        rel_path: "crates/parallel/src/workers.rs",
+        dirty: false,
+    },
+    Case {
+        stem: "hot_path_alloc_bad",
+        rel_path: "crates/timeseries/src/fixture.rs",
+        dirty: true,
+    },
+    Case {
+        stem: "hot_path_alloc_ok",
+        rel_path: "crates/timeseries/src/fixture.rs",
+        dirty: false,
+    },
+    Case {
+        stem: "float_eq_bad",
+        rel_path: "crates/timeseries/src/fixture.rs",
+        dirty: true,
+    },
+    Case {
+        stem: "float_eq_ok",
+        rel_path: "crates/timeseries/src/fixture.rs",
+        dirty: false,
+    },
+    Case {
+        stem: "panic_in_lib_bad",
+        rel_path: "crates/grid/src/fixture.rs",
+        dirty: true,
+    },
+    Case {
+        stem: "panic_in_lib_ok",
+        rel_path: "crates/grid/src/fixture.rs",
+        dirty: false,
+    },
+    Case {
+        stem: "crate_hygiene_bad",
+        rel_path: "crates/grid/src/lib.rs",
+        dirty: true,
+    },
+    Case {
+        stem: "crate_hygiene_ok",
+        rel_path: "crates/grid/src/lib.rs",
+        dirty: false,
+    },
+    Case {
+        stem: "must_use_bad",
+        rel_path: "crates/battery/src/fixture.rs",
+        dirty: true,
+    },
+    Case {
+        stem: "must_use_ok",
+        rel_path: "crates/battery/src/fixture.rs",
+        dirty: false,
+    },
+    Case {
+        stem: "marker_bad",
+        rel_path: "crates/core/src/fixture.rs",
+        dirty: true,
+    },
+];
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+}
+
+/// Renders one fixture's analysis the way `print_human` renders the
+/// workspace scan, with ratchet inputs appended so the panic-site counter
+/// is golden-tested too.
+fn render(case: &Case, config: &Config) -> String {
+    let source = fs::read_to_string(fixtures_dir().join(format!("{}.rs", case.stem)))
+        .expect("fixture exists");
+    let analysis = analyze_file(case.rel_path, &source, config);
+    let mut out = String::new();
+    for v in &analysis.violations {
+        out.push_str(&format!(
+            "{}:{}:{}: [{}] {}\n",
+            v.file, v.line, v.col, v.rule, v.message
+        ));
+    }
+    for line in &analysis.panic_sites {
+        out.push_str(&format!("panic-site {}:{}\n", case.rel_path, line));
+    }
+    out
+}
+
+#[test]
+fn fixtures_match_goldens() {
+    let config = Config::default();
+    let bless = std::env::var_os("CE_BLESS").is_some();
+    let mut failures = Vec::new();
+    for case in CASES {
+        let rendered = render(case, &config);
+        if !case.dirty {
+            if !rendered.is_empty() {
+                failures.push(format!(
+                    "{}: expected a clean analysis, got:\n{rendered}",
+                    case.stem
+                ));
+            }
+            continue;
+        }
+        let golden_path = fixtures_dir().join(format!("{}.expected", case.stem));
+        if bless {
+            fs::write(&golden_path, &rendered).expect("write golden");
+            continue;
+        }
+        let golden = fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("{}: missing golden ({e}); run CE_BLESS=1", case.stem));
+        if rendered != golden {
+            failures.push(format!(
+                "{}: diagnostics drifted from golden.\n--- expected ---\n{golden}\
+                 --- actual ---\n{rendered}",
+                case.stem
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn dirty_fixtures_exercise_every_rule() {
+    // The positive fixtures, between them, must cover all six rule names —
+    // otherwise a rule could silently stop firing without any golden
+    // noticing.
+    let config = Config::default();
+    let mut seen: Vec<String> = Vec::new();
+    for case in CASES.iter().filter(|c| c.dirty) {
+        let source = fs::read_to_string(fixtures_dir().join(format!("{}.rs", case.stem)))
+            .expect("fixture exists");
+        let analysis = analyze_file(case.rel_path, &source, &config);
+        for v in &analysis.violations {
+            seen.push(v.rule.clone());
+        }
+        if !analysis.panic_sites.is_empty() {
+            seen.push("panic-in-lib".to_string());
+        }
+    }
+    for rule in ce_analyzer::config::RULE_NAMES {
+        assert!(
+            seen.iter().any(|s| s == rule),
+            "no positive fixture triggers `{rule}`"
+        );
+    }
+}
+
+#[test]
+fn live_workspace_is_clean() {
+    // The self-check: the analyzer must pass on the workspace that ships
+    // it, with the committed baseline. A regression here means either new
+    // code broke an invariant or a rule change needs the codebase (or the
+    // baseline) brought along in the same commit.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let opts = Options {
+        baseline_path: root.join("lint-baseline.json"),
+        root,
+        format: Format::Json,
+        write_baseline: false,
+    };
+    assert_eq!(
+        run(&opts),
+        Outcome::Clean,
+        "ce-analyzer found violations in the live workspace; run \
+         `cargo run -p ce-analyzer` for diagnostics"
+    );
+}

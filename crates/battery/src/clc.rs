@@ -146,6 +146,7 @@ impl BatteryModel for ClcBattery {
 
     #[inline]
     fn charge(&mut self, power_mw: f64) -> f64 {
+        // ce:allow(float-eq, reason = "a zero-capacity battery is an exact sentinel (the no-battery strategy arm), not a computed value")
         if power_mw <= 0.0 || self.params.capacity_mwh == 0.0 {
             return 0.0;
         }
@@ -172,6 +173,7 @@ impl BatteryModel for ClcBattery {
 
     #[inline]
     fn discharge(&mut self, power_mw: f64) -> f64 {
+        // ce:allow(float-eq, reason = "a zero-capacity battery is an exact sentinel (the no-battery strategy arm), not a computed value")
         if power_mw <= 0.0 || self.params.capacity_mwh == 0.0 {
             return 0.0;
         }

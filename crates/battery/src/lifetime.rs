@@ -51,6 +51,7 @@ pub fn lifetime_years(dod: f64, cycles_per_year: f64) -> f64 {
         cycles_per_year >= 0.0,
         "cycles per year must be non-negative"
     );
+    // ce:allow(float-eq, reason = "exactly zero cycles means the battery never dispatches; lifetime is genuinely unbounded")
     if cycles_per_year == 0.0 {
         return f64::INFINITY;
     }

@@ -119,6 +119,7 @@ pub fn simulate_dispatch(
 /// The sweep-relevant aggregates of a battery dispatch run, produced
 /// without materializing any per-hour series.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[must_use]
 pub struct DispatchStats {
     /// Unmet energy and fully-covered hour count of the dispatch's grid
     /// draw (`u ≤ ce_timeseries::kernels::COVERED_EPSILON_MWH` counts as
@@ -155,6 +156,7 @@ pub struct DispatchStats {
 ///
 /// Returns an alignment error if `demand`, `supply`, and `weight` are not
 /// mutually aligned.
+// ce:hot
 pub fn simulate_dispatch_stats<B: BatteryModel + ?Sized>(
     battery: &mut B,
     demand: &HourlySeries,

@@ -4,7 +4,7 @@
 use ce_core::CarbonExplorer;
 use ce_datacenter::{DataCenterSite, Fleet};
 use ce_grid::{BalancingAuthority, GridDataset};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The canonical data year used throughout the paper's evaluation.
 pub const YEAR: i32 = 2020;
@@ -59,7 +59,7 @@ impl Fidelity {
 #[derive(Debug)]
 pub struct Context {
     fleet: Fleet,
-    grids: HashMap<BalancingAuthority, GridDataset>,
+    grids: BTreeMap<BalancingAuthority, GridDataset>,
     /// The sweep resolution experiments should use.
     pub fidelity: Fidelity,
 }
@@ -69,7 +69,7 @@ impl Context {
     pub fn new(fidelity: Fidelity) -> Self {
         Self {
             fleet: Fleet::meta_us(),
-            grids: HashMap::new(),
+            grids: BTreeMap::new(),
             fidelity,
         }
     }

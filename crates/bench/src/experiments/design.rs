@@ -178,9 +178,11 @@ pub fn fig8(ctx: &mut Context) -> String {
                     out,
                     "coverage {target:>5.1}% needs {mw:>12.0} MW of renewables"
                 );
+                // ce:allow(float-eq, reason = "target is drawn from the literal list above; comparing a literal to itself is exact")
                 if target == 95.0 {
                     invest95 = Some(mw);
                 }
+                // ce:allow(float-eq, reason = "target is drawn from the literal list above; comparing a literal to itself is exact")
                 if target == 99.9 {
                     invest999 = Some(mw);
                 }

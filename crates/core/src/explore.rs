@@ -191,6 +191,7 @@ impl CarbonExplorer {
     /// # Panics
     ///
     /// Panics on non-finite design parameters.
+    #[must_use]
     pub fn evaluate(&self, strategy: StrategyKind, design: &DesignPoint) -> EvaluatedDesign {
         self.evaluate_with(strategy, design, &mut EvalScratch::default())
     }
@@ -205,6 +206,8 @@ impl CarbonExplorer {
     /// # Panics
     ///
     /// Panics on non-finite design parameters.
+    #[must_use]
+    // ce:hot
     pub fn evaluate_with(
         &self,
         strategy: StrategyKind,
@@ -230,6 +233,7 @@ impl CarbonExplorer {
     /// and calls this for each sub-point. Every strategy arm folds its
     /// dispatch to (unmet stats, operational tons, cycles) through the
     /// streaming kernels without materializing any per-hour series.
+    // ce:hot
     fn score_with_supply(
         &self,
         strategy: StrategyKind,
@@ -408,6 +412,7 @@ impl CarbonExplorer {
     /// point-per-point path, without changing a single float operation in
     /// any evaluation: the cached supply is bitwise what
     /// [`CarbonExplorer::evaluate_with`] would have recomputed.
+    #[must_use]
     pub fn explore(&self, strategy: StrategyKind, space: &DesignSpace) -> Vec<EvaluatedDesign> {
         let space = space.restricted_to(strategy);
         let (groups, sub) = factor_space(&space);
@@ -424,6 +429,7 @@ impl CarbonExplorer {
     /// The serial reference implementation of [`CarbonExplorer::explore`]:
     /// identical results on one thread. Kept public for determinism tests
     /// and serial-vs-parallel benchmarking.
+    #[must_use]
     pub fn explore_serial(
         &self,
         strategy: StrategyKind,
@@ -755,7 +761,7 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn rejects_non_finite_design() {
         let explorer = utah_explorer();
-        explorer.evaluate(
+        let _ = explorer.evaluate(
             StrategyKind::RenewablesOnly,
             &DesignPoint::renewables(f64::NAN, 0.0),
         );

@@ -39,6 +39,7 @@ impl ParetoFrontier {
     }
 
     /// The frontier points, embodied carbon ascending.
+    #[must_use]
     pub fn points(&self) -> &[EvaluatedDesign] {
         &self.points
     }

@@ -209,6 +209,7 @@ pub struct CombinedScratch {
 /// The sweep-relevant aggregates of a combined battery + CAS dispatch,
 /// produced without materializing any per-hour series.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[must_use]
 pub struct CombinedStats {
     /// Unmet energy and fully-covered hour count of the grid draw
     /// (`u ≤ ce_timeseries::kernels::COVERED_EPSILON_MWH` counts as
@@ -257,6 +258,7 @@ pub struct CombinedStats {
 ///
 /// Panics if `config.flexible_ratio` is outside `[0, 1]` or
 /// `config.window_hours` is zero.
+// ce:hot
 pub fn combined_dispatch_stats<B: BatteryModel + ?Sized>(
     battery: &mut B,
     demand: &HourlySeries,

@@ -53,6 +53,7 @@ pub struct ScheduleScratch {
 impl ScheduleScratch {
     /// The post-scheduling demand of the most recent run (one value per
     /// input hour; empty before the first run).
+    #[must_use]
     pub fn shifted(&self) -> &[f64] {
         &self.shifted
     }
@@ -118,6 +119,7 @@ impl GreedyScheduler {
     /// # Errors
     ///
     /// Returns an alignment error if the series are misaligned.
+    // ce:hot
     pub fn schedule_with(
         &self,
         demand: &HourlySeries,
@@ -177,6 +179,7 @@ impl GreedyScheduler {
     /// # Errors
     ///
     /// Returns an alignment error if the series are misaligned.
+    // ce:hot
     pub fn schedule_by_cost_with(
         &self,
         demand: &HourlySeries,
@@ -209,6 +212,7 @@ impl GreedyScheduler {
     /// When a `supply` slice is given, a destination hour additionally
     /// stops absorbing load once its remaining renewable surplus is used
     /// up — moving more would merely relocate the deficit.
+    // ce:hot
     fn schedule_day(
         &self,
         load: &mut [f64],

@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 
 /// Statistics from a queue simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[must_use]
 pub struct QueueStats {
     /// Jobs simulated.
     pub jobs: usize,

@@ -30,24 +30,32 @@ pub const COVERED_EPSILON_MWH: f64 = 1e-9;
 /// # Panics
 ///
 /// Panics (debug assertion) if the slices differ in length.
+#[must_use]
+// ce:hot
 pub fn zip_sum_slices(a: &[f64], b: &[f64], mut f: impl FnMut(f64, f64) -> f64) -> f64 {
     debug_assert_eq!(a.len(), b.len(), "zip_sum_slices requires equal lengths");
     a.iter().zip(b).map(|(&x, &y)| f(x, y)).sum()
 }
 
 /// Dot product `Σ a[i]·b[i]` of two equal-length slices.
+#[must_use]
+// ce:hot
 pub fn dot_slices(a: &[f64], b: &[f64]) -> f64 {
     zip_sum_slices(a, b, |x, y| x * y)
 }
 
 /// Clamped-deficit energy `Σ max(d[i] − s[i], 0)` — the unmet MWh of
 /// demand `d` under supply `s`.
+#[must_use]
+// ce:hot
 pub fn deficit_sum_slices(demand: &[f64], supply: &[f64]) -> f64 {
     zip_sum_slices(demand, supply, |d, s| (d - s).max(0.0))
 }
 
 /// Deficit-weighted reduction `Σ max(d[i] − s[i], 0) · w[i]`, e.g. unmet
 /// energy times hourly carbon intensity = operational tons.
+#[must_use]
+// ce:hot
 pub fn deficit_dot_slices(demand: &[f64], supply: &[f64], weight: &[f64]) -> f64 {
     debug_assert_eq!(demand.len(), weight.len(), "deficit_dot_slices lengths");
     demand
@@ -70,6 +78,8 @@ pub struct DeficitStats {
 /// Computes unmet energy and fully-covered hour count of `demand` under
 /// `supply` in a single pass, matching the float sequence of
 /// materializing the deficit series and then summing/counting it.
+#[must_use]
+// ce:hot
 pub fn deficit_stats_slices(demand: &[f64], supply: &[f64]) -> DeficitStats {
     debug_assert_eq!(demand.len(), supply.len(), "deficit_stats_slices lengths");
     let mut unmet_mwh = 0.0;
@@ -96,6 +106,8 @@ pub fn deficit_stats_slices(demand: &[f64], supply: &[f64]) -> DeficitStats {
 /// [`deficit_stats_slices`] and [`deficit_dot_slices`] back to back —
 /// while reading the inputs once instead of twice. This is the scoring
 /// reduction of the renewables-only and CAS sweep arms.
+#[must_use]
+// ce:hot
 pub fn deficit_stats_dot_slices(
     demand: &[f64],
     supply: &[f64],
@@ -127,6 +139,8 @@ pub fn deficit_stats_dot_slices(
 /// per-hour grid draw): total energy and fully-covered hour count, in one
 /// pass. Matches summing the series and counting
 /// `u ≤ COVERED_EPSILON_MWH` separately.
+#[must_use]
+// ce:hot
 pub fn unmet_stats_slices(unmet: &[f64]) -> DeficitStats {
     let mut unmet_mwh = 0.0;
     let mut covered_hours = 0usize;
@@ -148,6 +162,7 @@ pub fn unmet_stats_slices(unmet: &[f64]) -> DeficitStats {
 /// # Panics
 ///
 /// Panics (debug assertion) on length mismatches.
+// ce:hot
 pub fn scaled_sum_into(a: &[f64], fa: f64, b: &[f64], fb: f64, out: &mut [f64]) {
     debug_assert_eq!(a.len(), b.len(), "scaled_sum_into input lengths");
     debug_assert_eq!(a.len(), out.len(), "scaled_sum_into output length");
@@ -162,6 +177,7 @@ impl HourlySeries {
     /// # Errors
     ///
     /// Returns an alignment error if the series differ in start or length.
+    // ce:hot
     pub fn zip_sum(
         &self,
         other: &Self,
@@ -176,6 +192,7 @@ impl HourlySeries {
     /// # Errors
     ///
     /// Returns an alignment error if the series differ in start or length.
+    // ce:hot
     pub fn dot(&self, other: &Self) -> Result<f64, TimeSeriesError> {
         self.check_aligned(other)?;
         Ok(dot_slices(self.values(), other.values()))
@@ -187,6 +204,7 @@ impl HourlySeries {
     /// # Errors
     ///
     /// Returns an alignment error if the series differ in start or length.
+    // ce:hot
     pub fn deficit_sum(&self, supply: &Self) -> Result<f64, TimeSeriesError> {
         self.check_aligned(supply)?;
         Ok(deficit_sum_slices(self.values(), supply.values()))
@@ -199,6 +217,7 @@ impl HourlySeries {
     /// # Errors
     ///
     /// Returns an alignment error if any pair of series is misaligned.
+    // ce:hot
     pub fn deficit_dot(&self, supply: &Self, weight: &Self) -> Result<f64, TimeSeriesError> {
         self.check_aligned(supply)?;
         self.check_aligned(weight)?;
@@ -215,6 +234,7 @@ impl HourlySeries {
     /// # Errors
     ///
     /// Returns an alignment error if the series differ in start or length.
+    // ce:hot
     pub fn deficit_stats(&self, supply: &Self) -> Result<DeficitStats, TimeSeriesError> {
         self.check_aligned(supply)?;
         Ok(deficit_stats_slices(self.values(), supply.values()))
@@ -227,6 +247,7 @@ impl HourlySeries {
     /// # Errors
     ///
     /// Returns an alignment error if any pair of series is misaligned.
+    // ce:hot
     pub fn deficit_stats_dot(
         &self,
         supply: &Self,

@@ -224,12 +224,14 @@ impl HourlySeries {
     /// Index of the largest sample (first on ties), or `None` if empty.
     pub fn argmax(&self) -> Option<usize> {
         let max = self.max()?;
+        // ce:allow(float-eq, reason = "intentional bitwise re-find of the exact value reduce(f64::max) returned")
         self.values.iter().position(|&v| v == max)
     }
 
     /// Index of the smallest sample (first on ties), or `None` if empty.
     pub fn argmin(&self) -> Option<usize> {
         let min = self.min()?;
+        // ce:allow(float-eq, reason = "intentional bitwise re-find of the exact value reduce(f64::min) returned")
         self.values.iter().position(|&v| v == min)
     }
 

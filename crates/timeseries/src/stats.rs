@@ -100,6 +100,7 @@ pub fn coefficient_of_variation(values: &[f64]) -> f64 {
     } else {
         values.iter().sum::<f64>() / values.len() as f64
     };
+    // ce:allow(float-eq, reason = "exact-zero guard against division by zero; an epsilon would misclassify tiny real means")
     if mean == 0.0 {
         0.0
     } else {
@@ -134,6 +135,7 @@ pub fn pearson(a: &[f64], b: &[f64]) -> Result<f64, TimeSeriesError> {
         va += (x - ma).powi(2);
         vb += (y - mb).powi(2);
     }
+    // ce:allow(float-eq, reason = "a constant series has exactly zero variance; correlation is undefined and reported as 0")
     if va == 0.0 || vb == 0.0 {
         return Ok(0.0);
     }

@@ -33,6 +33,9 @@
 //! assert!(coverage.fraction() > 0.0 && coverage.fraction() <= 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use ce_battery as battery;
 pub use ce_core as core;
 pub use ce_datacenter as datacenter;
