@@ -6,11 +6,16 @@
 //!
 //! 1. which crates are **deterministic** (subject to the `nondeterminism`
 //!    rule) — everything except the escape hatches below;
-//! 2. the two narrow **allowances** the exploration engine needs:
+//! 2. the narrow per-crate **allowances** the workspace's edges need:
 //!    `ce-parallel` may read the `CE_THREADS` environment variable (worker
 //!    count, which by construction cannot change results — that is the
-//!    crate's whole determinism contract), and `ce-bench` may call
-//!    `Instant::now`/`SystemTime::now` because benchmarking *is* timing;
+//!    crate's whole determinism contract) and spawn threads; `ce-bench`
+//!    may call `Instant::now`/`SystemTime::now` (benchmarking *is*
+//!    timing), open sockets, and spawn load-generator threads; `ce-serve`
+//!    may open sockets, spawn its worker pool, and read the clock, because
+//!    a network service is operationally nondeterministic by nature — its
+//!    *response bodies* stay bitwise-deterministic, which is exactly why
+//!    the allowance never extends to the compute crates it calls into;
 //! 3. the **pure result types** whose bare returns must be `#[must_use]`.
 
 /// Names of all six rules, in reporting order.
@@ -31,6 +36,11 @@ pub struct CrateAllowances {
     pub env_var_ce_threads: bool,
     /// `Instant::now` / `SystemTime::now` are permitted (timing harness).
     pub wall_clock: bool,
+    /// `TcpListener` / `TcpStream` / `UdpSocket` are permitted (network
+    /// front ends and their load generators).
+    pub sockets: bool,
+    /// `thread::spawn` / `thread::scope` are permitted (worker pools).
+    pub threads: bool,
 }
 
 /// The analyzer's compiled-in policy.
@@ -91,11 +101,20 @@ pub fn allowances_for(rel_path: &str) -> CrateAllowances {
     match crate_dir(rel_path) {
         Some("parallel") => CrateAllowances {
             env_var_ce_threads: true,
-            wall_clock: false,
+            threads: true,
+            ..CrateAllowances::default()
         },
         Some("bench") => CrateAllowances {
-            env_var_ce_threads: false,
             wall_clock: true,
+            sockets: true,
+            threads: true,
+            ..CrateAllowances::default()
+        },
+        Some("serve") => CrateAllowances {
+            wall_clock: true,
+            sockets: true,
+            threads: true,
+            ..CrateAllowances::default()
         },
         _ => CrateAllowances::default(),
     }
@@ -128,8 +147,15 @@ mod tests {
 
     #[test]
     fn allowances() {
-        assert!(allowances_for("crates/parallel/src/lib.rs").env_var_ce_threads);
-        assert!(allowances_for("crates/bench/src/bin/bench_sweep.rs").wall_clock);
+        let parallel = allowances_for("crates/parallel/src/lib.rs");
+        assert!(parallel.env_var_ce_threads && parallel.threads);
+        assert!(!parallel.wall_clock && !parallel.sockets);
+        let bench = allowances_for("crates/bench/src/bin/bench_sweep.rs");
+        assert!(bench.wall_clock && bench.sockets && bench.threads);
+        assert!(!bench.env_var_ce_threads);
+        let serve = allowances_for("crates/serve/src/server.rs");
+        assert!(serve.wall_clock && serve.sockets && serve.threads);
+        assert!(!serve.env_var_ce_threads);
         assert_eq!(
             allowances_for("crates/core/src/explore.rs"),
             CrateAllowances::default()

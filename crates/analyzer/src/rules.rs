@@ -368,6 +368,30 @@ fn rule_nondeterminism(ctx: &RuleCtx<'_>, out: &mut Vec<Violation>) {
                 "`thread::current` is scheduler-dependent and breaks deterministic replay"
                     .to_string(),
             ),
+            "thread"
+                if path_call("thread")
+                    && (code[i + 2].is_ident("spawn") || code[i + 2].is_ident("scope"))
+                    && !allow.threads =>
+            {
+                ctx.violation(
+                    RULE,
+                    t,
+                    format!(
+                        "`thread::{}` introduces scheduling nondeterminism; thread pools \
+                         belong in ce-parallel or ce-serve",
+                        code[i + 2].text
+                    ),
+                )
+            }
+            "TcpListener" | "TcpStream" | "UdpSocket" if !allow.sockets => ctx.violation(
+                RULE,
+                t,
+                format!(
+                    "`{}` brings network timing into results; sockets belong in \
+                     ce-serve or ce-bench",
+                    t.text
+                ),
+            ),
             "env" if path_call("env") && code[i + 2].is_ident("var") => {
                 let ce_threads_arg = code[i + 3..code.len().min(i + 8)]
                     .iter()
@@ -709,6 +733,55 @@ mod tests {
             ["nondeterminism"]
         );
         assert!(analyze("crates/bench/src/x.rs", src).violations.is_empty());
+    }
+
+    #[test]
+    fn sockets_allowed_only_in_serve_and_bench() {
+        let src = "fn f() { let _l = std::net::TcpListener::bind(\"127.0.0.1:0\"); }";
+        assert_eq!(
+            rules_of(&analyze("crates/core/src/x.rs", src)),
+            ["nondeterminism"]
+        );
+        assert!(analyze("crates/serve/src/server.rs", src)
+            .violations
+            .is_empty());
+        assert!(analyze("crates/bench/src/bin/bench_serve.rs", src)
+            .violations
+            .is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_allowed_only_in_pool_crates() {
+        let spawn = "fn f() { std::thread::spawn(|| {}); }";
+        let scope = "fn f() { std::thread::scope(|_s| {}); }";
+        for src in [spawn, scope] {
+            assert_eq!(
+                rules_of(&analyze("crates/core/src/x.rs", src)),
+                ["nondeterminism"],
+                "{src}"
+            );
+            assert!(analyze("crates/parallel/src/x.rs", src)
+                .violations
+                .is_empty());
+            assert!(analyze("crates/serve/src/x.rs", src).violations.is_empty());
+        }
+        // `thread::current` stays forbidden even where spawning is allowed.
+        let current = "fn f() { let _ = std::thread::current(); }";
+        assert_eq!(
+            rules_of(&analyze("crates/parallel/src/x.rs", current)),
+            ["nondeterminism"]
+        );
+    }
+
+    #[test]
+    fn serve_allowance_is_narrow() {
+        // The serve allowance covers sockets/threads/clock — a HashMap in
+        // ce-serve is still a determinism violation.
+        let fa = analyze(
+            "crates/serve/src/cache.rs",
+            "use std::collections::HashMap;\nfn f() { let _m = HashMap::<u32, u32>::new(); }",
+        );
+        assert_eq!(rules_of(&fa), ["nondeterminism"; 2]);
     }
 
     #[test]

@@ -1,0 +1,26 @@
+//! Fixture: the serve allowance is *narrow* (analyzed as
+//! `crates/serve/src/fixture.rs`). Sockets, worker threads, and clock
+//! reads pass, but every other determinism rule still bites inside
+//! ce-serve: hash-order containers, ambient environment reads, and
+//! `thread::current` remain violations.
+
+use std::collections::HashMap;
+
+pub fn serve_forever() -> std::io::Result<()> {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0")?;
+    let worker = std::thread::spawn(move || drop(listener));
+    let _ = worker.join();
+    Ok(())
+}
+
+pub fn routing_table() -> HashMap<String, u16> {
+    HashMap::new()
+}
+
+pub fn ambient_port() -> Option<String> {
+    std::env::var("PORT").ok()
+}
+
+pub fn worker_name() -> String {
+    format!("{:?}", std::thread::current().id())
+}

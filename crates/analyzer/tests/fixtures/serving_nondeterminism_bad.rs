@@ -1,0 +1,23 @@
+//! Fixture: sockets and thread spawning in a deterministic crate
+//! (analyzed as `crates/core/src/fixture.rs`). Compute crates must never
+//! grow a network or threading edge of their own.
+
+use std::net::{TcpListener, TcpStream, UdpSocket};
+
+pub fn open_listener() -> std::io::Result<TcpListener> {
+    TcpListener::bind("127.0.0.1:0")
+}
+
+pub fn dial() -> std::io::Result<TcpStream> {
+    TcpStream::connect("127.0.0.1:7878")
+}
+
+pub fn datagram() -> std::io::Result<UdpSocket> {
+    UdpSocket::bind("127.0.0.1:0")
+}
+
+pub fn fan_out() {
+    let handle = std::thread::spawn(|| 1 + 1);
+    let _ = handle.join();
+    std::thread::scope(|_s| {});
+}

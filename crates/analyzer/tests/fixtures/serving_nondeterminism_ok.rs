@@ -1,0 +1,23 @@
+//! Fixture: the same serving constructs, permitted (analyzed as
+//! `crates/serve/src/fixture.rs` — the crate allowlisted for sockets,
+//! worker threads, and wall-clock reads).
+
+use std::net::{TcpListener, TcpStream};
+use std::time::Instant;
+
+pub fn open_listener() -> std::io::Result<TcpListener> {
+    TcpListener::bind("127.0.0.1:0")
+}
+
+pub fn dial() -> std::io::Result<TcpStream> {
+    TcpStream::connect("127.0.0.1:7878")
+}
+
+pub fn pool() {
+    let worker = std::thread::spawn(|| {});
+    let _ = worker.join();
+}
+
+pub fn latency_micros(start: Instant) -> u128 {
+    start.elapsed().as_micros()
+}

@@ -41,6 +41,21 @@ const CASES: &[Case] = &[
         dirty: false,
     },
     Case {
+        stem: "serving_nondeterminism_bad",
+        rel_path: "crates/core/src/fixture.rs",
+        dirty: true,
+    },
+    Case {
+        stem: "serving_nondeterminism_ok",
+        rel_path: "crates/serve/src/fixture.rs",
+        dirty: false,
+    },
+    Case {
+        stem: "serve_allowance_narrow_bad",
+        rel_path: "crates/serve/src/fixture.rs",
+        dirty: true,
+    },
+    Case {
         stem: "hot_path_alloc_bad",
         rel_path: "crates/timeseries/src/fixture.rs",
         dirty: true,

@@ -1,0 +1,270 @@
+//! Machine-readable serving-layer benchmark: boots an in-process
+//! `ce-serve` instance and drives `POST /evaluate` over real sockets with
+//! closed-loop clients at several concurrency levels, separating the
+//! *cold* path (every key computed by the worker pool) from the *hot*
+//! path (every key replayed from the response cache). Writes
+//! `BENCH_serve.json` with p50/p99 latency and throughput per level, so
+//! the docs can track the serving overhead over time.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_serve [output-path]    # default: BENCH_serve.json
+//! ```
+//!
+//! Before timing anything, every response body is checked byte-for-byte
+//! against encoding the direct library call — the serving layer's
+//! determinism contract is a precondition of the numbers meaning
+//! anything. The JSON is hand-rolled (the vendored serde has no
+//! serde_json companion).
+
+use ce_core::EvalScratch;
+use ce_serve::{
+    build_explorer, execute, start, ComputeKind, ComputeRequest, Json, Limits, ServerConfig,
+};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+/// Closed-loop client threads per timed run.
+const CONCURRENCY_LEVELS: [usize; 3] = [1, 4, 16];
+
+/// Distinct `/evaluate` keys in the working set (the cold phase computes
+/// each once; the hot phase replays them round-robin from the cache).
+const DISTINCT_KEYS: usize = 64;
+
+/// Requests per client in the hot phase.
+const HOT_REQUESTS_PER_CLIENT: usize = 256;
+
+/// Exits with a diagnostic; benchmarks fail loudly, not with a backtrace.
+fn die(context: &str, detail: &str) -> ! {
+    eprintln!("bench_serve: {context}: {detail}");
+    std::process::exit(1);
+}
+
+/// The `i`-th working-set request body: same site context (one shared
+/// explorer), distinct design, so each body is a distinct canonical key.
+fn body(i: usize) -> String {
+    format!(
+        r#"{{"site":"UT","strategy":"renewables_battery","design":{{"solar_mw":{},"wind_mw":{},"battery_mwh":{}}}}}"#,
+        100 + 5 * (i % 8),
+        50 + 10 * (i / 8),
+        25 + i
+    )
+}
+
+/// One persistent keep-alive client connection.
+struct Client {
+    stream: TcpStream,
+    buffer: Vec<u8>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Self {
+        let stream = match TcpStream::connect(addr) {
+            Ok(stream) => stream,
+            Err(e) => die("connect", &e.to_string()),
+        };
+        let _ = stream.set_nodelay(true);
+        Self {
+            stream,
+            buffer: Vec::new(),
+        }
+    }
+
+    /// Sends one request and returns `(latency_micros, response_body)`.
+    fn post(&mut self, path: &str, body: &str) -> (u64, String) {
+        let request = format!(
+            "POST {path} HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let started = Instant::now();
+        if let Err(e) = self.stream.write_all(request.as_bytes()) {
+            die("send request", &e.to_string());
+        }
+        let head_end = loop {
+            if let Some(pos) = find_subslice(&self.buffer, b"\r\n\r\n") {
+                break pos + 4;
+            }
+            self.fill();
+        };
+        let head = String::from_utf8_lossy(&self.buffer[..head_end]).to_string();
+        if !head.starts_with("HTTP/1.1 200") {
+            die("non-200 response", head.lines().next().unwrap_or(""));
+        }
+        let content_length = head
+            .lines()
+            .filter_map(|l| l.split_once(':'))
+            .find(|(k, _)| k.trim().eq_ignore_ascii_case("content-length"))
+            .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+            .unwrap_or_else(|| die("response", "missing content-length"));
+        while self.buffer.len() < head_end + content_length {
+            self.fill();
+        }
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let response_body =
+            String::from_utf8_lossy(&self.buffer[head_end..head_end + content_length]).to_string();
+        self.buffer.drain(..head_end + content_length);
+        (micros, response_body)
+    }
+
+    fn fill(&mut self) {
+        let mut chunk = [0u8; 16 * 1024];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => die("read response", "server closed the connection"),
+            Ok(n) => self.buffer.extend_from_slice(&chunk[..n]),
+            Err(e) => die("read response", &e.to_string()),
+        }
+    }
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+struct PhaseTiming {
+    requests: usize,
+    p50_us: u64,
+    p99_us: u64,
+    requests_per_sec: f64,
+}
+
+/// Runs `clients` closed-loop clients, each issuing its slice of
+/// `(key_index, expected_body)` work items, and merges their latencies.
+fn run_phase(
+    addr: SocketAddr,
+    clients: usize,
+    work_per_client: &[Vec<usize>],
+    expected: &[String],
+) -> PhaseTiming {
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let work = work_per_client[c].clone();
+            let expected = expected.to_vec();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                let mut latencies = Vec::with_capacity(work.len());
+                for key in work {
+                    let (micros, response) = client.post("/evaluate", &body(key));
+                    if response != expected[key] {
+                        die("determinism", "served body differs from library bytes");
+                    }
+                    latencies.push(micros);
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::new();
+    for handle in handles {
+        match handle.join() {
+            Ok(mut client_latencies) => latencies.append(&mut client_latencies),
+            Err(_) => die("client thread", "panicked"),
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let quantile = |q: f64| -> u64 {
+        let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+        latencies[rank - 1]
+    };
+    PhaseTiming {
+        requests: latencies.len(),
+        p50_us: quantile(0.50),
+        p99_us: quantile(0.99),
+        requests_per_sec: latencies.len() as f64 / elapsed,
+    }
+}
+
+fn phase_json(t: &PhaseTiming) -> String {
+    format!(
+        "{{\"requests\": {}, \"p50_us\": {}, \"p99_us\": {}, \"requests_per_sec\": {:.1}}}",
+        t.requests, t.p50_us, t.p99_us, t.requests_per_sec
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    // Reference bytes for every working-set key, straight from the
+    // library: the contract every served response must match.
+    let limits = Limits::default();
+    let mut scratch = EvalScratch::default();
+    let mut explorer = None;
+    let expected: Vec<String> = (0..DISTINCT_KEYS)
+        .map(|i| {
+            let json = match Json::parse(&body(i)) {
+                Ok(json) => json,
+                Err(e) => die("request body", &e.to_string()),
+            };
+            let request = match ComputeRequest::parse(ComputeKind::Evaluate, &json, &limits) {
+                Ok(request) => request,
+                Err(e) => die("request parse", &e.message),
+            };
+            let explorer =
+                explorer.get_or_insert_with(|| match build_explorer(request.context()) {
+                    Ok(explorer) => explorer,
+                    Err(e) => die("explorer", &e.message),
+                });
+            execute(&request, explorer, &mut scratch).encode()
+        })
+        .collect();
+
+    let mut entries = Vec::new();
+    for concurrency in CONCURRENCY_LEVELS {
+        // A fresh server per level: the cold phase must actually be cold.
+        let config = ServerConfig {
+            workers: 4,
+            queue_capacity: 1024,
+            cache_capacity: 2 * DISTINCT_KEYS,
+            ..ServerConfig::default()
+        };
+        let handle = match start(config) {
+            Ok(handle) => handle,
+            Err(e) => die("bind", &e.to_string()),
+        };
+        let addr = handle.addr();
+
+        // Cold: the working set striped across clients, each key once.
+        let mut cold_work: Vec<Vec<usize>> = vec![Vec::new(); concurrency];
+        for key in 0..DISTINCT_KEYS {
+            cold_work[key % concurrency].push(key);
+        }
+        let cold = run_phase(addr, concurrency, &cold_work, &expected);
+
+        // Hot: round-robin replay of the (now fully cached) working set.
+        let hot_work: Vec<Vec<usize>> = (0..concurrency)
+            .map(|c| {
+                (0..HOT_REQUESTS_PER_CLIENT)
+                    .map(|r| (c + r) % DISTINCT_KEYS)
+                    .collect()
+            })
+            .collect();
+        let hot = run_phase(addr, concurrency, &hot_work, &expected);
+
+        eprintln!(
+            "concurrency {concurrency}: cold p50 {} µs p99 {} µs ({:.0} req/s), hot p50 {} µs p99 {} µs ({:.0} req/s)",
+            cold.p50_us, cold.p99_us, cold.requests_per_sec, hot.p50_us, hot.p99_us, hot.requests_per_sec
+        );
+        entries.push(format!(
+            "    {{\n      \"concurrency\": {concurrency},\n      \"cold\": {},\n      \"hot\": {}\n    }}",
+            phase_json(&cold),
+            phase_json(&hot)
+        ));
+        handle.shutdown();
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"serve_evaluate\",\n  \"workers\": 4,\n  \"distinct_keys\": {DISTINCT_KEYS},\n  \"hot_requests_per_client\": {HOT_REQUESTS_PER_CLIENT},\n  \"determinism\": \"every response body byte-compared against the direct library encoding\",\n  \"levels\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        die("write benchmark output", &e.to_string());
+    }
+    println!("wrote {out_path}");
+}

@@ -94,6 +94,26 @@ impl StrategyKind {
             StrategyKind::RenewablesBatteryCas => "Renewables + Battery + CAS",
         }
     }
+
+    /// The stable, machine-readable identifier of this strategy — the wire
+    /// name used by `ce-serve`'s JSON schema and by scenario cache keys.
+    /// Guaranteed never to change spelling; round-trips through
+    /// [`StrategyKind::from_canonical_key`].
+    pub fn canonical_key(&self) -> &'static str {
+        match self {
+            StrategyKind::RenewablesOnly => "renewables_only",
+            StrategyKind::RenewablesBattery => "renewables_battery",
+            StrategyKind::RenewablesCas => "renewables_cas",
+            StrategyKind::RenewablesBatteryCas => "renewables_battery_cas",
+        }
+    }
+
+    /// Parses a [`StrategyKind::canonical_key`] back into a strategy.
+    pub fn from_canonical_key(key: &str) -> Option<StrategyKind> {
+        StrategyKind::ALL
+            .into_iter()
+            .find(|s| s.canonical_key() == key)
+    }
 }
 
 impl fmt::Display for StrategyKind {
@@ -269,6 +289,14 @@ mod tests {
         space.wind = (0.0, 10.0, 0);
         assert!(space.is_empty());
         assert_eq!(space.iter().count(), 0);
+    }
+
+    #[test]
+    fn canonical_keys_round_trip() {
+        for s in StrategyKind::ALL {
+            assert_eq!(StrategyKind::from_canonical_key(s.canonical_key()), Some(s));
+        }
+        assert_eq!(StrategyKind::from_canonical_key("Renewables Only"), None);
     }
 
     #[test]

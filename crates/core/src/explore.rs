@@ -47,6 +47,32 @@ impl EvaluatedDesign {
     pub fn total_tons(&self) -> f64 {
         self.operational_tons + self.embodied_tons()
     }
+
+    /// The evaluation's numeric fields as stable `(name, value)` pairs, in
+    /// a fixed wire order.
+    ///
+    /// This is the *pure* serialization surface consumed by response
+    /// encoders (`ce-serve` renders exactly these pairs as JSON): no I/O,
+    /// no formatting — the caller decides how to print each `f64`, so a
+    /// byte-identical encoder applied to a bitwise-equal evaluation always
+    /// produces byte-identical output. Derived totals are included so
+    /// clients never re-derive (and potentially re-round) them.
+    #[must_use]
+    pub fn canonical_fields(&self) -> [(&'static str, f64); 11] {
+        [
+            ("coverage_fraction", self.coverage.fraction()),
+            ("coverage_hour_fraction", self.coverage.hour_fraction()),
+            ("unmet_mwh", self.coverage.unmet_mwh()),
+            ("demand_mwh", self.coverage.demand_mwh()),
+            ("operational_tons", self.operational_tons),
+            ("embodied_renewables_tons", self.embodied_renewables_tons),
+            ("embodied_battery_tons", self.embodied_battery_tons),
+            ("embodied_servers_tons", self.embodied_servers_tons),
+            ("embodied_tons", self.embodied_tons()),
+            ("total_tons", self.total_tons()),
+            ("battery_cycles", self.battery_cycles),
+        ]
+    }
 }
 
 impl fmt::Display for EvaluatedDesign {
@@ -267,10 +293,15 @@ impl CarbonExplorer {
         // materialized anywhere.
         let (stats, operational_tons, cycles) = match strategy {
             StrategyKind::RenewablesOnly => {
-                let (stats, operational) = self
-                    .demand
-                    .deficit_stats_dot(supply, &self.grid_intensity)
-                    .expect("aligned");
+                // Alignment is a constructor invariant (and the supply is
+                // written into a demand-shaped buffer), so this goes
+                // straight to the infallible slice kernel — the exact code
+                // the checked `deficit_stats_dot` wrapper runs.
+                let (stats, operational) = kernels::deficit_stats_dot_slices(
+                    self.demand.values(),
+                    supply.values(),
+                    self.grid_intensity.values(),
+                );
                 (stats, operational, 0.0)
             }
             StrategyKind::RenewablesBattery => {
@@ -490,10 +521,18 @@ impl CarbonExplorer {
                         });
                     }
                 }
-                best.expect("chunks and the sub-grid are non-empty")
+                // Chunks and the sub-grid are non-empty, so `best` is
+                // always `Some`; carrying the `Option` through the combine
+                // keeps this path panic-free regardless.
+                best
             },
-            first_min,
+            |a, b| match (a, b) {
+                (Some(a), Some(b)) => Some(first_min(a, b)),
+                (a, None) => a,
+                (None, b) => b,
+            },
         )
+        .flatten()
     }
 
     /// [`CarbonExplorer::optimal`] followed by `rounds` of local
@@ -553,13 +592,10 @@ fn factor_space(space: &DesignSpace) -> (AxisPairs, AxisPairs) {
 /// First-minimum-wins combine: the candidate replaces the incumbent only
 /// when strictly lower, so ties keep the earlier point in sweep order —
 /// the same winner `Iterator::min_by` would select over the flat sweep.
+/// Totals are finite (`score_with_supply` rejects non-finite designs), so
+/// the plain `<` is exactly `partial_cmp == Less`.
 fn first_min(incumbent: EvaluatedDesign, candidate: EvaluatedDesign) -> EvaluatedDesign {
-    if candidate
-        .total_tons()
-        .partial_cmp(&incumbent.total_tons())
-        .expect("finite")
-        == std::cmp::Ordering::Less
-    {
+    if candidate.total_tons() < incumbent.total_tons() {
         candidate
     } else {
         incumbent
@@ -755,6 +791,48 @@ mod tests {
             .optimal_refined(StrategyKind::RenewablesBattery, &space, 2)
             .unwrap();
         assert!(refined.total_tons() <= coarse.total_tons() + 1e-9);
+    }
+
+    #[test]
+    fn canonical_fields_match_accessors() {
+        let explorer = utah_explorer();
+        let eval = explorer.evaluate(
+            StrategyKind::RenewablesBattery,
+            &DesignPoint {
+                solar_mw: 300.0,
+                wind_mw: 150.0,
+                battery_mwh: 200.0,
+                extra_capacity_fraction: 0.0,
+            },
+        );
+        let fields = eval.canonical_fields();
+        let get = |name: &str| -> f64 {
+            fields
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(get("total_tons").to_bits(), eval.total_tons().to_bits());
+        assert_eq!(
+            get("embodied_tons").to_bits(),
+            eval.embodied_tons().to_bits()
+        );
+        assert_eq!(
+            get("coverage_fraction").to_bits(),
+            eval.coverage.fraction().to_bits()
+        );
+        assert_eq!(
+            get("operational_tons").to_bits(),
+            eval.operational_tons.to_bits()
+        );
+        // Names are unique and the order is fixed.
+        let names: Vec<&str> = fields.iter().map(|(n, _)| *n).collect();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names, dedup);
+        assert_eq!(names[0], "coverage_fraction");
+        assert_eq!(names[10], "battery_cycles");
     }
 
     #[test]

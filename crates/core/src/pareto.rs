@@ -19,13 +19,8 @@ impl ParetoFrontier {
         let mut sorted: Vec<&EvaluatedDesign> = evaluations.iter().collect();
         sorted.sort_by(|a, b| {
             a.embodied_tons()
-                .partial_cmp(&b.embodied_tons())
-                .expect("finite embodied carbon")
-                .then(
-                    a.operational_tons
-                        .partial_cmp(&b.operational_tons)
-                        .expect("finite operational carbon"),
-                )
+                .total_cmp(&b.embodied_tons())
+                .then(a.operational_tons.total_cmp(&b.operational_tons))
         });
         let mut points: Vec<EvaluatedDesign> = Vec::new();
         let mut best_operational = f64::INFINITY;
@@ -57,11 +52,9 @@ impl ParetoFrontier {
     /// The frontier point with minimum *total* carbon — the carbon-optimal
     /// design.
     pub fn carbon_optimal(&self) -> Option<&EvaluatedDesign> {
-        self.points.iter().min_by(|a, b| {
-            a.total_tons()
-                .partial_cmp(&b.total_tons())
-                .expect("finite total carbon")
-        })
+        self.points
+            .iter()
+            .min_by(|a, b| a.total_tons().total_cmp(&b.total_tons()))
     }
 
     /// The cheapest frontier point that achieves full 24/7 coverage, if
@@ -70,11 +63,7 @@ impl ParetoFrontier {
         self.points
             .iter()
             .filter(|e| e.coverage.is_full())
-            .min_by(|a, b| {
-                a.total_tons()
-                    .partial_cmp(&b.total_tons())
-                    .expect("finite total carbon")
-            })
+            .min_by(|a, b| a.total_tons().total_cmp(&b.total_tons()))
     }
 }
 

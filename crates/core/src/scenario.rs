@@ -45,6 +45,26 @@ impl Scenario {
             Scenario::CarbonFree247 => "24/7 Carbon Free",
         }
     }
+
+    /// The stable, machine-readable identifier of this scenario.
+    ///
+    /// This is the wire name used by serialization layers (`ce-serve`'s
+    /// JSON schema and any cache keyed on scenarios): unlike [`Scenario::label`]
+    /// it is guaranteed never to change spelling, so hashes derived from it
+    /// stay valid across releases. Round-trips through
+    /// [`Scenario::from_canonical_key`].
+    pub fn canonical_key(&self) -> &'static str {
+        match self {
+            Scenario::GridMix => "grid_mix",
+            Scenario::NetZero => "net_zero",
+            Scenario::CarbonFree247 => "carbon_free_247",
+        }
+    }
+
+    /// Parses a [`Scenario::canonical_key`] back into a scenario.
+    pub fn from_canonical_key(key: &str) -> Option<Scenario> {
+        Scenario::ALL.into_iter().find(|s| s.canonical_key() == key)
+    }
 }
 
 impl fmt::Display for Scenario {
@@ -221,5 +241,14 @@ mod tests {
     fn labels() {
         assert_eq!(Scenario::NetZero.to_string(), "Net Zero");
         assert_eq!(Scenario::ALL.len(), 3);
+    }
+
+    #[test]
+    fn canonical_keys_round_trip() {
+        for s in Scenario::ALL {
+            assert_eq!(Scenario::from_canonical_key(s.canonical_key()), Some(s));
+        }
+        assert_eq!(Scenario::from_canonical_key("Grid Mix"), None);
+        assert_eq!(Scenario::from_canonical_key(""), None);
     }
 }

@@ -114,10 +114,9 @@ impl WorkloadMix {
 
     /// Fraction of total compute in `tier`.
     pub fn fraction_of_total(&self, tier: SloTier) -> f64 {
-        let idx = SloTier::ALL
-            .iter()
-            .position(|t| *t == tier)
-            .expect("tier in ALL");
+        // `ALL` lists the variants in declaration order, so the
+        // discriminant *is* the index — no fallible lookup needed.
+        let idx = tier as usize;
         self.flexible_fraction * self.tier_fractions[idx]
     }
 

@@ -59,6 +59,33 @@ pub fn in_parallel_region() -> bool {
     IN_PARALLEL_REGION.with(Cell::get)
 }
 
+/// Runs `f` with this thread marked as a parallel-region worker, so every
+/// `par_map`/`par_fold` issued inside executes serially on the calling
+/// thread.
+///
+/// This is the explicit form of the nested-region guard, for callers that
+/// manage their own thread pool — e.g. `ce-serve`'s request workers, where
+/// the pool itself is the parallelism and a nested sweep fanning out to
+/// `threads²` workers would wreck tail latency. Because parallel and
+/// serial sweeps are bitwise-identical by construction, wrapping a
+/// computation in `run_serial` never changes its result, only its
+/// scheduling.
+///
+/// The flag is restored on exit even if `f` panics, so a worker thread
+/// that catches the panic is not left permanently serialized (or
+/// permanently marked if it was not a worker to begin with).
+pub fn run_serial<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            IN_PARALLEL_REGION.with(|flag| flag.set(self.0));
+        }
+    }
+    let _restore = Restore(IN_PARALLEL_REGION.with(Cell::get));
+    IN_PARALLEL_REGION.with(|flag| flag.set(true));
+    f()
+}
+
 /// Maps `f` over `items` in parallel, returning results in input order.
 ///
 /// Falls back to a serial map when the input is tiny, only one thread is
@@ -107,7 +134,12 @@ where
         // Joining in spawn order reassembles input order: chunks are
         // contiguous, and each worker preserves order within its chunk.
         for handle in handles {
-            results.extend(handle.join().expect("parallel worker panicked"));
+            match handle.join() {
+                Ok(out) => results.extend(out),
+                // Re-raise the worker's own panic payload on the caller —
+                // same observable behavior as a serial map that panicked.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
     results
@@ -169,7 +201,10 @@ where
         // Joining in spawn order keeps the combine sequence identical to
         // the chunk order, hence deterministic.
         for handle in handles {
-            let acc = handle.join().expect("parallel worker panicked");
+            let acc = match handle.join() {
+                Ok(acc) => acc,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
             result = Some(match result.take() {
                 Some(prev) => combine(prev, acc),
                 None => acc,
@@ -319,6 +354,22 @@ mod tests {
         .unwrap();
         assert_eq!(total, items.len());
         assert!(inits.load(Ordering::SeqCst) <= max_threads());
+    }
+
+    #[test]
+    fn run_serial_forces_serial_and_restores() {
+        assert!(!in_parallel_region());
+        let items: Vec<usize> = (0..64).collect();
+        let result = run_serial(|| {
+            assert!(in_parallel_region());
+            par_map(&items, |&x| x + 1)
+        });
+        assert_eq!(result[63], 64);
+        assert!(!in_parallel_region());
+        // Restored even when the closure panics.
+        let caught = std::panic::catch_unwind(|| run_serial(|| panic!("boom")));
+        assert!(caught.is_err());
+        assert!(!in_parallel_region());
     }
 
     #[test]

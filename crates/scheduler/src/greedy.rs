@@ -235,11 +235,7 @@ impl GreedyScheduler {
         order.extend(0..n);
         for i in 1..n {
             let mut j = i;
-            while j > 0
-                && cost[order[j]]
-                    .partial_cmp(&cost[order[j - 1]])
-                    .expect("no NaN cost")
-                    == std::cmp::Ordering::Less
+            while j > 0 && cost[order[j]].total_cmp(&cost[order[j - 1]]) == std::cmp::Ordering::Less
             {
                 order.swap(j, j - 1);
                 j -= 1;

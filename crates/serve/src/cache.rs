@@ -1,0 +1,201 @@
+//! A sharded LRU cache mapping canonical scenario keys to encoded
+//! response bodies.
+//!
+//! The cache stores the exact bytes a fresh computation produced
+//! (`Arc<str>` — handing out a hit is a refcount bump, not a copy), so a
+//! cached response is bitwise identical to an uncached one. The canonical
+//! key string is the authoritative identity; the [`crate::hash`] value
+//! only selects a shard, which makes hash collisions harmless — two
+//! colliding keys merely share a shard and its lock.
+//!
+//! Recency is tracked with a monotonic per-shard tick and an order map
+//! (`tick → key`), giving `O(log n)` get/insert/evict with only `std`
+//! collections. `BTreeMap` keeps iteration deterministic, in keeping with
+//! the workspace-wide ban on hashed containers.
+
+use crate::hash::hash_str;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+struct Entry {
+    body: Arc<str>,
+    tick: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    entries: BTreeMap<Arc<str>, Entry>,
+    /// Recency index: tick of last touch → key. Oldest tick = LRU victim.
+    order: BTreeMap<u64, Arc<str>>,
+    tick: u64,
+}
+
+/// A fixed-capacity, sharded LRU response cache.
+pub struct ShardedCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard: usize,
+}
+
+impl ShardedCache {
+    /// Creates a cache of roughly `capacity` entries spread over `shards`
+    /// shards (rounded up to a power of two, clamped to `1..=64`). Each
+    /// shard holds `ceil(capacity / shards)` entries, so the true bound is
+    /// `capacity` rounded up to a shard multiple.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shard_count = shards.clamp(1, 64).next_power_of_two();
+        let per_shard = capacity.max(1).div_ceil(shard_count);
+        Self {
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            per_shard,
+        }
+    }
+
+    fn shard(&self, key: &str) -> MutexGuard<'_, Shard> {
+        // High bits: the low bits of a multiply-mix hash are the weakest.
+        let idx = (hash_str(key) >> 32) as usize & (self.shards.len() - 1);
+        // Poisoning: a panic while holding the lock cannot leave the maps
+        // inconsistent enough to matter for a cache — worst case an entry
+        // is missing from one index and unevictable; recover and serve.
+        self.shards[idx]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Looks up `key`, bumping its recency on a hit.
+    pub fn get(&self, key: &str) -> Option<Arc<str>> {
+        let mut guard = self.shard(key);
+        let shard = &mut *guard;
+        shard.tick += 1;
+        let new_tick = shard.tick;
+        let entry = shard.entries.get_mut(key)?;
+        let old_tick = entry.tick;
+        entry.tick = new_tick;
+        let body = Arc::clone(&entry.body);
+        if let Some(k) = shard.order.remove(&old_tick) {
+            shard.order.insert(new_tick, k);
+        }
+        Some(body)
+    }
+
+    /// Inserts (or refreshes) `key → body`, evicting the least-recently
+    /// used entries of the shard if it is over capacity.
+    pub fn insert(&self, key: &str, body: Arc<str>) {
+        let mut guard = self.shard(key);
+        let shard = &mut *guard;
+        shard.tick += 1;
+        let new_tick = shard.tick;
+        if let Some(entry) = shard.entries.get_mut(key) {
+            let old_tick = entry.tick;
+            entry.tick = new_tick;
+            entry.body = body;
+            if let Some(k) = shard.order.remove(&old_tick) {
+                shard.order.insert(new_tick, k);
+            }
+            return;
+        }
+        let key: Arc<str> = Arc::from(key);
+        shard.entries.insert(
+            Arc::clone(&key),
+            Entry {
+                body,
+                tick: new_tick,
+            },
+        );
+        shard.order.insert(new_tick, key);
+        while shard.entries.len() > self.per_shard {
+            let Some((_, victim)) = shard.order.pop_first() else {
+                break;
+            };
+            shard.entries.remove(&victim);
+        }
+    }
+
+    /// Total entries across all shards (a gauge for `/stats`).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .entries
+                    .len()
+            })
+            .sum()
+    }
+
+    /// `true` if the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    #[test]
+    fn get_returns_inserted_bytes_shared() {
+        let cache = ShardedCache::new(8, 2);
+        cache.insert("k1", body("{\"v\":1}"));
+        let hit = cache.get("k1").expect("hit");
+        assert_eq!(&*hit, "{\"v\":1}");
+        // Same allocation, not a copy.
+        assert!(Arc::ptr_eq(&hit, &cache.get("k1").expect("hit")));
+        assert!(cache.get("k2").is_none());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn insert_refreshes_existing_key() {
+        let cache = ShardedCache::new(8, 1);
+        cache.insert("k", body("old"));
+        cache.insert("k", body("new"));
+        assert_eq!(&*cache.get("k").expect("hit"), "new");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency() {
+        // Single shard, capacity 2.
+        let cache = ShardedCache::new(2, 1);
+        cache.insert("a", body("A"));
+        cache.insert("b", body("B"));
+        // Touch `a` so `b` becomes the LRU victim.
+        assert!(cache.get("a").is_some());
+        cache.insert("c", body("C"));
+        assert!(cache.get("a").is_some(), "recently used survives");
+        assert!(cache.get("b").is_none(), "LRU evicted");
+        assert!(cache.get("c").is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn shard_counts_round_up() {
+        let cache = ShardedCache::new(3, 3); // → 4 shards, 1 entry each
+        assert_eq!(cache.shards.len(), 4);
+        assert_eq!(cache.per_shard, 1);
+        let one = ShardedCache::new(10, 0);
+        assert_eq!(one.shards.len(), 1);
+        assert!(one.is_empty());
+    }
+
+    #[test]
+    fn many_keys_stay_retrievable_within_capacity() {
+        let cache = ShardedCache::new(64, 8);
+        for i in 0..32 {
+            cache.insert(&format!("key-{i}"), body(&format!("v{i}")));
+        }
+        for i in 0..32 {
+            assert_eq!(
+                cache.get(&format!("key-{i}")).as_deref(),
+                Some(format!("v{i}").as_str())
+            );
+        }
+    }
+}

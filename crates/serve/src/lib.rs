@@ -1,0 +1,72 @@
+//! `ce-serve`: a dependency-free HTTP query service over the Carbon
+//! Explorer exploration engine.
+//!
+//! The crate turns the library's design-space exploration into a network
+//! service using nothing but `std`: a hand-written HTTP/1.1 front end on
+//! [`std::net::TcpListener`], a hand-rolled JSON layer ([`json`]), a
+//! bounded MPMC job queue feeding a fixed worker pool ([`queue`],
+//! [`server`]), request coalescing plus a sharded LRU response cache
+//! keyed by canonical scenario keys ([`request`], [`cache`], [`hash`]),
+//! and per-endpoint metrics ([`metrics`]).
+//!
+//! # Endpoints
+//!
+//! | endpoint | body | answer |
+//! |---|---|---|
+//! | `POST /evaluate` | context + `strategy` + `design` | one [`ce_core::EvaluatedDesign`] |
+//! | `POST /explore` | context + `strategy` + `space` | every evaluation in the space |
+//! | `POST /optimal` | context + `strategy` + `space` (+ `refine_rounds`) | the carbon-optimal design |
+//! | `GET /healthz` | — | liveness (never queued) |
+//! | `GET /stats` | — | counters, gauges, latency quantiles |
+//! | `GET /scenarios` | — | scenario + strategy wire keys |
+//!
+//! A *context* is `{"site": "UT"}` or `{"ba": "PACE", "demand_mw": 25}`,
+//! plus optional `year` (default 2020) and `seed` (default 7).
+//!
+//! # Determinism contract
+//!
+//! Compute responses are **bitwise identical** to direct library calls —
+//! whether computed fresh, replayed from the response cache, or shared
+//! via coalescing — because bodies are encoded exactly once
+//! ([`Json::encode`] is byte-deterministic) and cached/shared as
+//! immutable `Arc<str>`. Cache disposition travels in the `x-ce-cache`
+//! header (`miss`/`hit`/`coalesced`), never in the body. The server's
+//! *operational* behavior (timings, `/stats`, which requests coalesce) is
+//! of course scheduling-dependent; `ce-serve` therefore holds an explicit
+//! nondeterminism allowance for sockets, threads, and wall-clock reads in
+//! the workspace analyzer, mirroring `ce-bench`'s.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ce_serve::{start, ServerConfig};
+//! use std::io::{Read, Write};
+//!
+//! let handle = start(ServerConfig::default()).expect("bind");
+//! let mut conn = std::net::TcpStream::connect(handle.addr()).expect("connect");
+//! conn.write_all(b"GET /healthz HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n")
+//!     .expect("request");
+//! let mut reply = String::new();
+//! conn.read_to_string(&mut reply).expect("response");
+//! assert!(reply.starts_with("HTTP/1.1 200"));
+//! assert!(reply.ends_with("{\"status\":\"ok\"}"));
+//! handle.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod hash;
+pub mod json;
+pub mod metrics;
+pub mod queue;
+pub mod request;
+pub mod server;
+
+pub use json::{Json, JsonError};
+pub use request::{
+    build_explorer, evaluation_json, execute, scenarios_json, ComputeKind, ComputeRequest, Context,
+    DemandSource, ExplorerCache, Limits, RequestError,
+};
+pub use server::{start, ServerConfig, ServerHandle};

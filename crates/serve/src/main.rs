@@ -1,0 +1,112 @@
+//! The `ce-serve` binary: boot the query service and run until killed.
+//!
+//! ```text
+//! ce-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//! ```
+
+use ce_serve::{start, ServerConfig};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "usage: ce-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+  --addr     bind address (default 127.0.0.1:7878; port 0 picks a free port)
+  --workers  compute worker threads (default 2)
+  --queue    bounded job-queue capacity (default 64)
+  --cache    response-cache capacity in entries (default 256)";
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<ServerConfig, String> {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(USAGE.to_string());
+        }
+        let value = args
+            .next()
+            .ok_or_else(|| format!("missing value for `{flag}`\n{USAGE}"))?;
+        let parse_count = |name: &str, v: &str| -> Result<usize, String> {
+            v.parse::<usize>()
+                .ok()
+                .filter(|n| *n > 0)
+                .ok_or_else(|| format!("`{name}` needs a positive integer, got `{v}`\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value,
+            "--workers" => config.workers = parse_count("--workers", &value)?,
+            "--queue" => config.queue_capacity = parse_count("--queue", &value)?,
+            "--cache" => config.cache_capacity = parse_count("--cache", &value)?,
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args(std::env::args().skip(1)) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    let handle = match start(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("ce-serve: failed to bind: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!("ce-serve listening on http://{}", handle.addr());
+    // Serve until the process is killed; the handle's Drop would shut the
+    // pool down, so keep it alive here.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_overrides() {
+        let config = parse_args(std::iter::empty()).expect("defaults");
+        assert_eq!(config.addr, "127.0.0.1:7878");
+        let config = parse_args(
+            [
+                "--addr",
+                "0.0.0.0:0",
+                "--workers",
+                "4",
+                "--queue",
+                "8",
+                "--cache",
+                "16",
+            ]
+            .into_iter()
+            .map(String::from),
+        )
+        .expect("parses");
+        assert_eq!(config.addr, "0.0.0.0:0");
+        assert_eq!(config.workers, 4);
+        assert_eq!(config.queue_capacity, 8);
+        assert_eq!(config.cache_capacity, 16);
+    }
+
+    #[test]
+    fn bad_flags_are_rejected_with_usage() {
+        for bad in [
+            vec!["--workers"],
+            vec!["--workers", "0"],
+            vec!["--workers", "x"],
+            vec!["--nope", "1"],
+            vec!["--help"],
+        ] {
+            let err = parse_args(bad.iter().map(ToString::to_string)).expect_err("rejects");
+            assert!(err.contains("usage:"), "{err}");
+        }
+    }
+}

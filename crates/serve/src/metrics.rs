@@ -1,0 +1,257 @@
+//! Per-endpoint request counters and log-spaced latency histograms,
+//! rendered as the `/stats` response.
+//!
+//! Everything here is lock-free (`AtomicU64` with relaxed ordering —
+//! counters are monotone telemetry, not synchronization). Latencies land
+//! in power-of-two microsecond buckets, so the histogram is fixed-size,
+//! allocation-free on the record path, and good enough to read p50/p99 off
+//! bucket upper bounds.
+//!
+//! `/stats` output is observational (it reflects wall-clock timing and
+//! request interleaving) and is deliberately *outside* the bitwise
+//! determinism contract that covers compute responses.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of latency buckets; bucket `i` counts requests with latency in
+/// `[2^(i-1), 2^i)` microseconds (bucket 0 is `< 1µs`), and the last
+/// bucket absorbs everything slower.
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// The service's routable endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /evaluate` — one design point.
+    Evaluate,
+    /// `POST /explore` — a full design-space sweep.
+    Explore,
+    /// `POST /optimal` — carbon-optimal search.
+    Optimal,
+    /// `GET /healthz` — liveness probe.
+    Healthz,
+    /// `GET /stats` — this module's output.
+    Stats,
+    /// `GET /scenarios` — supply scenarios and strategies.
+    Scenarios,
+}
+
+impl Endpoint {
+    /// All endpoints, in `/stats` reporting order.
+    pub const ALL: [Endpoint; 6] = [
+        Endpoint::Evaluate,
+        Endpoint::Explore,
+        Endpoint::Optimal,
+        Endpoint::Healthz,
+        Endpoint::Stats,
+        Endpoint::Scenarios,
+    ];
+
+    /// The stats-object field name for this endpoint.
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::Evaluate => "evaluate",
+            Endpoint::Explore => "explore",
+            Endpoint::Optimal => "optimal",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Stats => "stats",
+            Endpoint::Scenarios => "scenarios",
+        }
+    }
+}
+
+/// Counters and latency histogram for one endpoint.
+#[derive(Debug)]
+pub struct EndpointMetrics {
+    /// Requests routed here (whatever the outcome).
+    pub requests: AtomicU64,
+    /// Responses with status >= 400 (shed requests included).
+    pub errors: AtomicU64,
+    /// Requests shed with `429` because the job queue was full.
+    pub shed: AtomicU64,
+    /// Responses served from the response cache.
+    pub cache_hits: AtomicU64,
+    /// Requests that attached to an identical in-flight computation.
+    pub coalesced: AtomicU64,
+    /// Computations actually executed by a worker for this endpoint.
+    pub computed: AtomicU64,
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for EndpointMetrics {
+    fn default() -> Self {
+        Self {
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            computed: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl EndpointMetrics {
+    /// Records one observed request latency.
+    pub fn record_latency_micros(&self, micros: u64) {
+        let bits = (u64::BITS - micros.leading_zeros()) as usize;
+        let bucket = bits.min(LATENCY_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Estimated latency quantile `q ∈ [0, 1]`, in microseconds, as the
+    /// upper bound of the bucket containing that rank (0 with no samples).
+    pub fn latency_quantile_micros(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let clamped = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based; ceil without going through
+        // float rounding on large totals.
+        let target = ((clamped * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_upper_bound_micros(i);
+            }
+        }
+        bucket_upper_bound_micros(LATENCY_BUCKETS - 1)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("requests", load(&self.requests)),
+            ("errors", load(&self.errors)),
+            ("shed", load(&self.shed)),
+            ("cache_hits", load(&self.cache_hits)),
+            ("coalesced", load(&self.coalesced)),
+            ("computed", load(&self.computed)),
+            (
+                "p50_micros",
+                Json::Num(self.latency_quantile_micros(0.50) as f64),
+            ),
+            (
+                "p99_micros",
+                Json::Num(self.latency_quantile_micros(0.99) as f64),
+            ),
+        ])
+    }
+}
+
+fn load(counter: &AtomicU64) -> Json {
+    Json::Num(counter.load(Ordering::Relaxed) as f64)
+}
+
+/// Upper bound (µs) of latency bucket `i`.
+fn bucket_upper_bound_micros(i: usize) -> u64 {
+    1u64 << i.min(63)
+}
+
+/// All endpoints' metrics; one instance lives in the server's shared state.
+#[derive(Debug)]
+pub struct Metrics {
+    per: [EndpointMetrics; Endpoint::ALL.len()],
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self {
+            per: std::array::from_fn(|_| EndpointMetrics::default()),
+        }
+    }
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counters for `endpoint`.
+    pub fn endpoint(&self, endpoint: Endpoint) -> &EndpointMetrics {
+        &self.per[endpoint as usize]
+    }
+
+    /// Renders the `/stats` body: one object per endpoint plus the
+    /// caller-supplied point-in-time gauges (queue depth, busy workers…).
+    pub fn to_json(&self, gauges: &[(&str, f64)]) -> Json {
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        for (name, value) in gauges {
+            fields.push(((*name).to_string(), Json::Num(*value)));
+        }
+        let endpoints = Endpoint::ALL
+            .iter()
+            .map(|&e| (e.name().to_string(), self.endpoint(e).to_json()))
+            .collect();
+        fields.push(("endpoints".to_string(), Json::Obj(endpoints)));
+        Json::Obj(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_indexing_matches_all_order() {
+        let m = Metrics::new();
+        for (i, &e) in Endpoint::ALL.iter().enumerate() {
+            assert_eq!(e as usize, i);
+            m.endpoint(e).requests.fetch_add(1, Ordering::Relaxed);
+        }
+        for &e in &Endpoint::ALL {
+            assert_eq!(m.endpoint(e).requests.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn latency_buckets_are_log_spaced() {
+        let em = EndpointMetrics::default();
+        em.record_latency_micros(0); // bucket 0
+        em.record_latency_micros(1); // bucket 1 (upper bound 2)
+        em.record_latency_micros(1000); // bucket 10 (upper bound 1024)
+        assert_eq!(em.latency_quantile_micros(0.0), 1);
+        assert_eq!(em.latency_quantile_micros(1.0), 1024);
+        assert_eq!(em.latency_quantile_micros(0.5), 2);
+    }
+
+    #[test]
+    fn quantiles_with_no_samples_are_zero() {
+        let em = EndpointMetrics::default();
+        assert_eq!(em.latency_quantile_micros(0.99), 0);
+    }
+
+    #[test]
+    fn huge_latencies_land_in_last_bucket() {
+        let em = EndpointMetrics::default();
+        em.record_latency_micros(u64::MAX);
+        assert_eq!(
+            em.latency_quantile_micros(1.0),
+            bucket_upper_bound_micros(LATENCY_BUCKETS - 1)
+        );
+    }
+
+    #[test]
+    fn stats_json_shape() {
+        let m = Metrics::new();
+        m.endpoint(Endpoint::Evaluate)
+            .cache_hits
+            .fetch_add(3, Ordering::Relaxed);
+        let json = m.to_json(&[("queue_depth", 2.0)]);
+        assert_eq!(json.get("queue_depth").and_then(Json::as_f64), Some(2.0));
+        let eps = json.get("endpoints").expect("endpoints");
+        let eval = eps.get("evaluate").expect("evaluate");
+        assert_eq!(eval.get("cache_hits").and_then(Json::as_f64), Some(3.0));
+        for &e in &Endpoint::ALL {
+            assert!(eps.get(e.name()).is_some(), "missing {}", e.name());
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Integration tests driving `ce-serve` over real TCP sockets: routing,
+//! error statuses, keep-alive, backpressure shedding, and graceful
+//! shutdown draining.
+
+use ce_serve::{start, Json, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Sends one HTTP/1.1 request with `connection: close` and returns
+/// `(status, lowercased headers, body)`.
+fn http(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("UTF-8 response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("head/body split");
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|c| c.parse().ok())
+        .expect("status code");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, body.to_string())
+}
+
+fn header<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Polls a top-level `/stats` gauge until `pred` holds, or fails the test.
+fn wait_for_gauge(addr: SocketAddr, gauge: &str, pred: impl Fn(f64) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut last = f64::NAN;
+    while Instant::now() < deadline {
+        let (status, _, body) = http(addr, "GET", "/stats", "");
+        assert_eq!(status, 200, "/stats must stay available");
+        let stats = Json::parse(&body).expect("stats JSON");
+        if let Some(v) = stats.get(gauge).and_then(Json::as_f64) {
+            last = v;
+            if pred(v) {
+                return;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("gauge `{gauge}` never satisfied predicate (last value {last})");
+}
+
+/// An `/explore` body slow enough (4096 battery + CAS evaluations, the
+/// widest space the default limits admit) to keep a debug-build worker
+/// busy for seconds while the test inspects server state. `variant`
+/// perturbs the space so each body is a distinct canonical key.
+fn slow_explore_body(variant: usize) -> String {
+    format!(
+        r#"{{"ba":"PACE","demand_mw":5,"strategy":"renewables_battery_cas",
+            "space":{{"solar":[0,100,4],"wind":[0,100,8],"battery":[0,{},128]}}}}"#,
+        50 + variant
+    )
+}
+
+#[test]
+fn routing_and_error_statuses() {
+    let handle = start(ServerConfig::default()).expect("bind");
+    let addr = handle.addr();
+
+    let (status, _, body) = http(addr, "GET", "/healthz", "");
+    assert_eq!((status, body.as_str()), (200, "{\"status\":\"ok\"}"));
+
+    let (status, _, body) = http(addr, "GET", "/scenarios", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("renewables_battery_cas"), "{body}");
+
+    let (status, _, _) = http(addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+    let (status, _, _) = http(addr, "POST", "/healthz", "{}");
+    assert_eq!(status, 405);
+    let (status, _, body) = http(addr, "POST", "/evaluate", "{not json");
+    assert_eq!(status, 400, "{body}");
+    let (status, _, body) = http(
+        addr,
+        "POST",
+        "/evaluate",
+        r#"{"site":"UT","strategy":"fusion_reactors","design":{}}"#,
+    );
+    assert_eq!(status, 422, "{body}");
+    let (status, _, body) = http(
+        addr,
+        "POST",
+        "/evaluate",
+        r#"{"site":"ZZ","strategy":"renewables_only","design":{}}"#,
+    );
+    assert_eq!(status, 404, "{body}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_sequential_requests_on_one_connection() {
+    let handle = start(ServerConfig::default()).expect("bind");
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let probe = b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n";
+    stream.write_all(probe).expect("first request");
+    stream.write_all(probe).expect("second request");
+    let mut seen = String::new();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while seen.matches("{\"status\":\"ok\"}").count() < 2 {
+        assert!(Instant::now() < deadline, "responses: {seen}");
+        let mut chunk = [0u8; 1024];
+        let n = stream.read(&mut chunk).expect("read");
+        assert_ne!(n, 0, "connection closed early: {seen}");
+        seen.push_str(&String::from_utf8_lossy(&chunk[..n]));
+    }
+    assert_eq!(seen.matches("HTTP/1.1 200").count(), 2, "{seen}");
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_bodies_are_rejected() {
+    let config = ServerConfig {
+        max_body_bytes: 128,
+        ..ServerConfig::default()
+    };
+    let handle = start(config).expect("bind");
+    let (status, _, body) = http(handle.addr(), "POST", "/evaluate", &"x".repeat(256));
+    assert_eq!(status, 400, "{body}");
+    handle.shutdown();
+}
+
+#[test]
+fn full_queue_sheds_with_429_while_healthz_stays_responsive() {
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServerConfig::default()
+    };
+    let handle = start(config).expect("bind");
+    let addr = handle.addr();
+
+    // Job A occupies the only worker...
+    let job_a = std::thread::spawn(move || http(addr, "POST", "/explore", &slow_explore_body(0)));
+    wait_for_gauge(addr, "busy_workers", |v| v >= 1.0);
+    // ...job B fills the only queue slot...
+    let job_b = std::thread::spawn(move || http(addr, "POST", "/explore", &slow_explore_body(1)));
+    wait_for_gauge(addr, "queue_depth", |v| v >= 1.0);
+
+    // ...so job C must be shed, with a Retry-After hint.
+    let (status, headers, body) = http(addr, "POST", "/explore", &slow_explore_body(2));
+    assert_eq!(status, 429, "{body}");
+    assert_eq!(header(&headers, "retry-after"), Some("1"));
+
+    // Saturated compute never blocks observability.
+    let (status, _, body) = http(addr, "GET", "/healthz", "");
+    assert_eq!((status, body.as_str()), (200, "{\"status\":\"ok\"}"));
+    let (status, _, body) = http(addr, "GET", "/stats", "");
+    assert_eq!(status, 200);
+    let stats = Json::parse(&body).expect("stats JSON");
+    let shed = stats
+        .get("endpoints")
+        .and_then(|e| e.get("explore"))
+        .and_then(|e| e.get("shed"))
+        .and_then(Json::as_f64);
+    assert_eq!(shed, Some(1.0), "{body}");
+
+    // The accepted jobs still complete normally.
+    let (status_a, headers_a, _) = job_a.join().expect("job A");
+    let (status_b, _, _) = job_b.join().expect("job B");
+    assert_eq!((status_a, status_b), (200, 200));
+    assert_eq!(header(&headers_a, "x-ce-cache"), Some("miss"));
+
+    // And the shed key was fully retired: retrying job C now succeeds.
+    let (status, _, body) = http(addr, "POST", "/explore", &slow_explore_body(2));
+    assert_eq!(status, 200, "{body}");
+
+    // Replays of job A are cache hits.
+    let (status, headers, _) = http(addr, "POST", "/explore", &slow_explore_body(0));
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-ce-cache"), Some("hit"));
+
+    handle.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_work_then_refuses_connections() {
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity: 4,
+        ..ServerConfig::default()
+    };
+    let handle = start(config).expect("bind");
+    let addr = handle.addr();
+
+    let in_flight =
+        std::thread::spawn(move || http(addr, "POST", "/explore", &slow_explore_body(9)));
+    wait_for_gauge(addr, "busy_workers", |v| v >= 1.0);
+    handle.shutdown();
+
+    // The request accepted before shutdown was drained, not dropped.
+    let (status, _, body) = in_flight.join().expect("drained request");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"results\""), "{body}");
+
+    // The listener is gone: new connections fail (or are reset unserved).
+    match TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
+        Err(_) => {}
+        Ok(mut stream) => {
+            let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n");
+            let mut reply = Vec::new();
+            let _ = stream
+                .set_read_timeout(Some(Duration::from_secs(2)))
+                .and_then(|()| stream.read_to_end(&mut reply));
+            assert!(reply.is_empty(), "served after shutdown: {reply:?}");
+        }
+    }
+}

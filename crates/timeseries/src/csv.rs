@@ -61,7 +61,9 @@ pub fn write_csv<W: Write>(
 pub fn to_csv_string(names: &[&str], series: &[&HourlySeries]) -> Result<String, TimeSeriesError> {
     let mut buf = Vec::new();
     write_csv(&mut buf, names, series)?;
-    Ok(String::from_utf8(buf).expect("csv output is always utf-8"))
+    // The writers above only emit ASCII, so the lossy conversion is
+    // exact; it simply avoids a panic path.
+    Ok(String::from_utf8_lossy(&buf).into_owned())
 }
 
 /// Reads CSV produced by [`write_csv`] back into series.

@@ -68,9 +68,14 @@ pub fn days(series: &HourlySeries) -> Vec<HourlySeries> {
     let full_days = series.len() / HOURS_PER_DAY;
     (0..full_days)
         .map(|d| {
-            series
-                .window(d * HOURS_PER_DAY, HOURS_PER_DAY)
-                .expect("full day fits by construction")
+            // Every full day fits by construction, so the slice below is
+            // in bounds and this path is infallible (unlike the checked
+            // `window`, which would force an unreachable error arm here).
+            let start = d * HOURS_PER_DAY;
+            HourlySeries::from_values(
+                series.timestamp(start),
+                series.values()[start..start + HOURS_PER_DAY].to_vec(),
+            )
         })
         .collect()
 }

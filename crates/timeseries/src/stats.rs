@@ -144,20 +144,24 @@ pub fn pearson(a: &[f64], b: &[f64]) -> Result<f64, TimeSeriesError> {
 
 /// Linear-interpolated quantile `q ∈ [0, 1]` of `values`.
 ///
+/// Values are ranked with IEEE-754 total order, so NaN inputs sort to the
+/// top instead of aborting; callers with possibly-NaN data should filter
+/// first.
+///
 /// # Errors
 ///
 /// Returns [`TimeSeriesError::Empty`] for empty input.
 ///
 /// # Panics
 ///
-/// Panics if `q` is outside `[0, 1]` or any value is NaN.
+/// Panics if `q` is outside `[0, 1]`.
 pub fn quantile(values: &[f64], q: f64) -> Result<f64, TimeSeriesError> {
     assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
     if values.is_empty() {
         return Err(TimeSeriesError::Empty);
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -175,7 +179,7 @@ pub fn mean_of_top_k(values: &[f64], k: usize) -> Result<f64, TimeSeriesError> {
         return Err(TimeSeriesError::Empty);
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+    sorted.sort_by(|a, b| b.total_cmp(a));
     let k = k.min(sorted.len());
     Ok(sorted[..k].iter().sum::<f64>() / k as f64)
 }
@@ -190,7 +194,7 @@ pub fn mean_of_bottom_k(values: &[f64], k: usize) -> Result<f64, TimeSeriesError
         return Err(TimeSeriesError::Empty);
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let k = k.min(sorted.len());
     Ok(sorted[..k].iter().sum::<f64>() / k as f64)
 }

@@ -1,0 +1,139 @@
+//! Boot the `ce-serve` query service on a free port, evaluate one design
+//! over real HTTP, and read the service's own metrics — everything a
+//! deployment does, in one file.
+//!
+//! Run with: `cargo run --example serve_quickstart`
+
+use carbon_explorer::serve::{start, Json, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Minimal HTTP/1.1 client: one request, `connection: close`, returns
+/// `(status_line, body)`.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to ce-serve");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nhost: example\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("complete response");
+    let status_line = head.lines().next().unwrap_or("").to_string();
+    (status_line, body.to_string())
+}
+
+fn main() {
+    // Port 0 picks a free port; `handle.addr()` reports the real one.
+    let handle = start(ServerConfig::default()).expect("bind ce-serve");
+    let addr = handle.addr();
+    println!("ce-serve listening on http://{addr}");
+
+    // Liveness first — this endpoint never queues behind compute.
+    let (status, body) = http(addr, "GET", "/healthz", "");
+    println!("healthz: {status} {body}");
+
+    // Evaluate one candidate design for Meta's Utah site: 150 MW solar,
+    // 100 MW wind, a 40 MWh battery, with carbon-aware scheduling.
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/evaluate",
+        r#"{"site":"UT","strategy":"renewables_battery_cas",
+            "design":{"solar_mw":150,"wind_mw":100,"battery_mwh":40}}"#,
+    );
+    assert!(status.contains("200"), "{status}: {body}");
+    let evaluation = Json::parse(&body).expect("response JSON");
+    println!(
+        "UT design: renewable coverage {:.1}%, total carbon {:.0} tons",
+        100.0
+            * evaluation
+                .get("coverage_fraction")
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::NAN),
+        evaluation
+            .get("total_tons")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN),
+    );
+
+    // The same request again is a response-cache hit: byte-identical body,
+    // microsecond latency.
+    let (_, replay) = http(
+        addr,
+        "POST",
+        "/evaluate",
+        r#"{"site":"UT","strategy":"renewables_battery_cas",
+            "design":{"solar_mw":150,"wind_mw":100,"battery_mwh":40}}"#,
+    );
+    assert_eq!(replay, body, "cache replays are bitwise-identical");
+
+    // Sweep a small solar × wind grid and report the lowest-carbon point.
+    let (status, body) = http(
+        addr,
+        "POST",
+        "/explore",
+        r#"{"site":"UT","strategy":"renewables_only",
+            "space":{"solar":[0,300,4],"wind":[0,300,4]}}"#,
+    );
+    assert!(status.contains("200"), "{status}: {body}");
+    let sweep = Json::parse(&body).expect("sweep JSON");
+    let results = sweep
+        .get("results")
+        .and_then(Json::as_array)
+        .expect("results array");
+    let best = results
+        .iter()
+        .min_by(|a, b| {
+            let tons = |e: &Json| {
+                e.get("total_tons")
+                    .and_then(Json::as_f64)
+                    .unwrap_or(f64::INFINITY)
+            };
+            tons(a).total_cmp(&tons(b))
+        })
+        .expect("non-empty sweep");
+    println!(
+        "swept {} designs; best: {} MW solar, {} MW wind → {:.0} tons",
+        results.len(),
+        best.get("design")
+            .and_then(|d| d.get("solar_mw"))
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN),
+        best.get("design")
+            .and_then(|d| d.get("wind_mw"))
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN),
+        best.get("total_tons")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN),
+    );
+
+    // `/stats` shows what the service did.
+    let (_, stats_body) = http(addr, "GET", "/stats", "");
+    let stats = Json::parse(&stats_body).expect("stats JSON");
+    let evaluate = stats
+        .get("endpoints")
+        .and_then(|e| e.get("evaluate"))
+        .expect("evaluate stats");
+    println!(
+        "served {} /evaluate requests ({} computed, {} cache hits)",
+        evaluate
+            .get("requests")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0),
+        evaluate
+            .get("computed")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0),
+        evaluate
+            .get("cache_hits")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0),
+    );
+
+    // Graceful shutdown drains in-flight work before returning.
+    handle.shutdown();
+    println!("server drained and stopped");
+}

@@ -16,7 +16,9 @@
 //! - [`core`] — coverage, scenarios, design-space exploration, Pareto
 //!   analysis (the paper's contribution),
 //! - [`parallel`] — the deterministic fork-join primitives behind the
-//!   parallel sweep engine (`CE_THREADS` controls the worker count).
+//!   parallel sweep engine (`CE_THREADS` controls the worker count),
+//! - [`serve`] — a dependency-free HTTP query service over the engine
+//!   (bounded worker pool, scenario caching, request coalescing).
 //!
 //! # Quickstart
 //!
@@ -44,6 +46,7 @@ pub use ce_grid as grid;
 pub use ce_lp as lp;
 pub use ce_parallel as parallel;
 pub use ce_scheduler as scheduler;
+pub use ce_serve as serve;
 pub use ce_timeseries as timeseries;
 
 /// Convenient glob-import surface covering the most common types.
