@@ -114,6 +114,133 @@ impl Baseline {
     }
 }
 
+/// The graph-rule ratchet: a committed `reach-baseline.json` holding two
+/// per-file finding counts — panic sites reachable from hot fns/handlers
+/// (`panic-reachability`) and unreferenced pub items (`dead-pub-api`).
+///
+/// Same contract as [`Baseline`]: counts may only fall. The two rules
+/// share one file because they ratchet together — both are properties of
+/// the workspace call graph, refreshed by the same `--write-baseline` run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReachBaseline {
+    /// `panic-reachability`: path → accepted reachable-panic-site count.
+    pub panic_reach: BTreeMap<String, usize>,
+    /// `dead-pub-api`: path → accepted dead-pub-item count.
+    pub dead_api: BTreeMap<String, usize>,
+}
+
+impl ReachBaseline {
+    /// Sum of both sections' counts.
+    pub fn total(&self) -> usize {
+        self.panic_reach.values().sum::<usize>() + self.dead_api.values().sum::<usize>()
+    }
+
+    /// The accepted `panic-reachability` count for `path` (0 when absent).
+    pub fn allowed_reach(&self, path: &str) -> usize {
+        self.panic_reach.get(path).copied().unwrap_or(0)
+    }
+
+    /// The accepted `dead-pub-api` count for `path` (0 when absent).
+    pub fn allowed_dead(&self, path: &str) -> usize {
+        self.dead_api.get(path).copied().unwrap_or(0)
+    }
+
+    /// Renders the committed JSON form: sorted keys, one file per line.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n  \"rule\": \"reachability\",\n");
+        out.push_str(&format!("  \"total\": {},\n", self.total()));
+        for (i, (section, files)) in [
+            ("panic-reachability", &self.panic_reach),
+            ("dead-pub-api", &self.dead_api),
+        ]
+        .iter()
+        .enumerate()
+        {
+            out.push_str(&format!("  \"{section}\": {{\n"));
+            let n = files.len();
+            for (j, (path, count)) in files.iter().enumerate() {
+                let comma = if j + 1 == n { "" } else { "," };
+                out.push_str(&format!("    \"{path}\": {count}{comma}\n"));
+            }
+            let comma = if i == 0 { "," } else { "" };
+            out.push_str(&format!("  }}{comma}\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses the committed JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem found.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        p.eat(b'{')?;
+        let mut baseline = ReachBaseline::default();
+        let mut declared_total: Option<usize> = None;
+        loop {
+            p.skip_ws();
+            if p.try_eat(b'}') {
+                break;
+            }
+            let key = p.string()?;
+            p.skip_ws();
+            p.eat(b':')?;
+            p.skip_ws();
+            match key.as_str() {
+                "rule" => {
+                    let rule = p.string()?;
+                    if rule != "reachability" {
+                        return Err(format!(
+                            "reach baseline is for rule `{rule}`, not reachability"
+                        ));
+                    }
+                }
+                "total" => declared_total = Some(p.number()?),
+                "panic-reachability" | "dead-pub-api" => {
+                    p.eat(b'{')?;
+                    let files = if key == "panic-reachability" {
+                        &mut baseline.panic_reach
+                    } else {
+                        &mut baseline.dead_api
+                    };
+                    loop {
+                        p.skip_ws();
+                        if p.try_eat(b'}') {
+                            break;
+                        }
+                        let path = p.string()?;
+                        p.skip_ws();
+                        p.eat(b':')?;
+                        p.skip_ws();
+                        let count = p.number()?;
+                        files.insert(path, count);
+                        p.skip_ws();
+                        p.try_eat(b',');
+                    }
+                }
+                other => return Err(format!("unexpected reach-baseline key `{other}`")),
+            }
+            p.skip_ws();
+            p.try_eat(b',');
+        }
+        if let Some(total) = declared_total {
+            if total != baseline.total() {
+                return Err(format!(
+                    "reach baseline declares total {total} but per-file counts sum to {}",
+                    baseline.total()
+                ));
+            }
+        }
+        Ok(baseline)
+    }
+}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -233,6 +360,53 @@ mod tests {
     #[test]
     fn empty_baseline_parses() {
         let b = Baseline::parse("{ \"rule\": \"panic-in-lib\", \"files\": {} }").unwrap();
+        assert_eq!(b.total(), 0);
+    }
+
+    fn reach_sample() -> ReachBaseline {
+        let mut b = ReachBaseline::default();
+        b.panic_reach.insert("crates/a/src/lib.rs".to_string(), 4);
+        b.panic_reach.insert("crates/b/src/x.rs".to_string(), 2);
+        b.dead_api.insert("crates/a/src/lib.rs".to_string(), 1);
+        b
+    }
+
+    #[test]
+    fn reach_round_trip() {
+        let b = reach_sample();
+        let rendered = b.render();
+        assert_eq!(ReachBaseline::parse(&rendered).unwrap(), b);
+        assert_eq!(b.total(), 7);
+        assert!(rendered.contains("\"total\": 7"));
+    }
+
+    #[test]
+    fn reach_sections_independent() {
+        let b = reach_sample();
+        assert_eq!(b.allowed_reach("crates/a/src/lib.rs"), 4);
+        assert_eq!(b.allowed_dead("crates/a/src/lib.rs"), 1);
+        assert_eq!(b.allowed_reach("nope.rs"), 0);
+        assert_eq!(b.allowed_dead("crates/b/src/x.rs"), 0);
+    }
+
+    #[test]
+    fn reach_wrong_rule_rejected() {
+        assert!(ReachBaseline::parse("{ \"rule\": \"panic-in-lib\" }").is_err());
+    }
+
+    #[test]
+    fn reach_mismatched_total_rejected() {
+        let text = "{ \"rule\": \"reachability\", \"total\": 9, \
+                    \"panic-reachability\": { \"a.rs\": 1 }, \"dead-pub-api\": {} }";
+        assert!(ReachBaseline::parse(text).is_err());
+    }
+
+    #[test]
+    fn reach_empty_parses() {
+        let b = ReachBaseline::parse(
+            "{ \"rule\": \"reachability\", \"panic-reachability\": {}, \"dead-pub-api\": {} }",
+        )
+        .unwrap();
         assert_eq!(b.total(), 0);
     }
 }

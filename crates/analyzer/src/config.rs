@@ -18,7 +18,9 @@
 //!    the allowance never extends to the compute crates it calls into;
 //! 3. the **pure result types** whose bare returns must be `#[must_use]`.
 
-/// Names of all six rules, in reporting order.
+/// Names of all ten rules, in reporting order. The first six are
+/// file-local; the last four run over the workspace call graph built by
+/// [`resolve`](crate::resolve) and [`callgraph`](crate::callgraph).
 pub const RULE_NAMES: &[&str] = &[
     "nondeterminism",
     "hot-path-alloc",
@@ -26,6 +28,10 @@ pub const RULE_NAMES: &[&str] = &[
     "panic-in-lib",
     "crate-hygiene",
     "must-use",
+    "hot-path-transitive-alloc",
+    "panic-reachability",
+    "dead-pub-api",
+    "determinism-taint",
 ];
 
 /// Per-crate escape hatches for the `nondeterminism` rule.
@@ -125,6 +131,13 @@ pub fn allowances_for(rel_path: &str) -> CrateAllowances {
 pub fn crate_dir(rel_path: &str) -> Option<&str> {
     let rest = rel_path.strip_prefix("crates/")?;
     rest.split('/').next()
+}
+
+/// The crate key of a workspace-relative path: the `crates/<dir>` name,
+/// or `"facade"` for the root `src/` crate. Keys are what the call graph
+/// and dependency closure are indexed by.
+pub fn crate_key(rel_path: &str) -> String {
+    crate_dir(rel_path).unwrap_or("facade").to_string()
 }
 
 /// Whether `rel_path` is a crate root (`lib.rs` directly under a `src/`

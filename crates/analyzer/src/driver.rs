@@ -1,15 +1,24 @@
-//! The CLI driver: walks the workspace, runs every rule, applies the
-//! baseline ratchet, and renders diagnostics.
+//! The CLI driver: walks the workspace, runs both analysis passes,
+//! applies the baseline ratchets, and renders diagnostics.
 //!
 //! Scan set: `crates/*/src/**/*.rs` plus the facade crate's `src/**/*.rs`,
 //! in sorted path order so output (and the JSON report) is deterministic —
-//! the analyzer holds itself to the invariants it enforces. `vendor/`,
-//! `target/`, tests, benches, and examples are out of scope: the rules
-//! protect library code.
+//! the analyzer holds itself to the invariants it enforces. `vendor/` and
+//! `target/` are out of scope. Tests, benches, and examples are scanned as
+//! *reference* files only: their identifiers feed the `dead-pub-api`
+//! liveness index, but no rules run on them.
+//!
+//! File reading is sequential; the per-file work (lexing, file-local
+//! rules, item extraction) fans out over `ce_parallel::par_map`, whose
+//! input-order result guarantee keeps diagnostics byte-identical to a
+//! serial run (pinned by the serial-vs-parallel equality test).
 
-use crate::baseline::Baseline;
+use crate::baseline::{Baseline, ReachBaseline};
+use crate::callgraph::CallGraph;
 use crate::config::Config;
-use crate::rules::{analyze_file, Violation};
+use crate::items::extract;
+use crate::resolve::{resolve, CrateGraph, Workspace};
+use crate::rules::{analyze_file, analyze_graph, DeadFinding, ReachFinding, Violation};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs;
@@ -20,8 +29,11 @@ use std::path::{Path, PathBuf};
 pub enum Format {
     /// `path:line:col: [rule] message`, one per line, plus a summary.
     Human,
-    /// A single JSON object (for CI).
+    /// A single JSON object (for CI artifacts).
     Json,
+    /// GitHub Actions workflow commands (`::error file=…,line=…::…`),
+    /// one per violation, plus a plain summary line.
+    Github,
 }
 
 /// Parsed command-line options.
@@ -31,10 +43,13 @@ pub struct Options {
     pub root: PathBuf,
     /// Output format.
     pub format: Format,
-    /// Rewrite the baseline from the current panic-site counts.
+    /// Rewrite both baselines from the current counts.
     pub write_baseline: bool,
-    /// Path of the baseline file (default: `<root>/lint-baseline.json`).
+    /// Path of the panic-site baseline (default: `<root>/lint-baseline.json`).
     pub baseline_path: PathBuf,
+    /// Path of the reachability/dead-API baseline (default:
+    /// `<root>/reach-baseline.json`).
+    pub reach_baseline_path: PathBuf,
 }
 
 /// The exit status the process should report.
@@ -69,6 +84,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut format = Format::Human;
     let mut write_baseline = false;
     let mut baseline_path: Option<PathBuf> = None;
+    let mut reach_baseline_path: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -79,8 +95,11 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                 format = match it.next().map(String::as_str) {
                     Some("human") => Format::Human,
                     Some("json") => Format::Json,
+                    Some("github") => Format::Github,
                     other => {
-                        return Err(format!("--format must be `human` or `json`, got {other:?}"))
+                        return Err(format!(
+                            "--format must be `human`, `json`, or `github`, got {other:?}"
+                        ))
                     }
                 };
             }
@@ -88,6 +107,11 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             "--baseline" => {
                 baseline_path = Some(PathBuf::from(
                     it.next().ok_or("--baseline needs a file path")?,
+                ));
+            }
+            "--reach-baseline" => {
+                reach_baseline_path = Some(PathBuf::from(
+                    it.next().ok_or("--reach-baseline needs a file path")?,
                 ));
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
@@ -99,16 +123,19 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         None => find_workspace_root()?,
     };
     let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.json"));
+    let reach_baseline_path =
+        reach_baseline_path.unwrap_or_else(|| root.join("reach-baseline.json"));
     Ok(Options {
         root,
         format,
         write_baseline,
         baseline_path,
+        reach_baseline_path,
     })
 }
 
-const USAGE: &str = "usage: ce-analyzer [--root DIR] [--format human|json] \
-[--baseline FILE] [--write-baseline]";
+const USAGE: &str = "usage: ce-analyzer [--root DIR] [--format human|json|github] \
+[--baseline FILE] [--reach-baseline FILE] [--write-baseline]";
 
 /// Walks upward from the current directory to the first `Cargo.toml`
 /// declaring `[workspace]`.
@@ -127,73 +154,186 @@ fn find_workspace_root() -> Result<PathBuf, String> {
     }
 }
 
+/// The complete result of both analysis passes — pure data, independent
+/// of baselines and output format, so tests can compare serial and
+/// parallel runs for equality.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkspaceAnalysis {
+    /// File-local violations plus graph-rule hard violations, unsorted
+    /// (the driver sorts after ratcheting).
+    pub violations: Vec<Violation>,
+    /// Per-file panic-site lines, for the `panic-in-lib` ratchet.
+    pub panic_counts: BTreeMap<String, Vec<u32>>,
+    /// `panic-reachability` findings with witnesses.
+    pub panic_reach: Vec<ReachFinding>,
+    /// `dead-pub-api` findings.
+    pub dead_api: Vec<DeadFinding>,
+    /// Library files scanned.
+    pub files_scanned: usize,
+    /// Functions in the call graph.
+    pub fn_count: usize,
+    /// Resolved call edges.
+    pub edge_count: usize,
+}
+
+/// Runs both passes over in-memory sources. `lib_sources` are
+/// `(workspace-relative path, contents)` pairs for library files (rules +
+/// extraction); `ref_sources` are tests/benches/examples (reference index
+/// only). Pure: same inputs, same output, parallel or serial.
+pub fn analyze_workspace(
+    lib_sources: &[(String, String)],
+    ref_sources: &[(String, String)],
+    crates: CrateGraph,
+    config: &Config,
+) -> WorkspaceAnalysis {
+    // Pass 1, fanned out per file. par_map returns results in input
+    // order, so everything downstream is deterministic.
+    let per_file = ce_parallel::par_map(lib_sources, |(rel, src)| {
+        (analyze_file(rel, src, config), extract(rel, src))
+    });
+    let ref_items = ce_parallel::par_map(ref_sources, |(rel, src)| extract(rel, src));
+
+    let mut violations = Vec::new();
+    let mut panic_counts = BTreeMap::new();
+    let mut lib_items = Vec::with_capacity(per_file.len());
+    for ((analysis, items), (rel, _)) in per_file.into_iter().zip(lib_sources) {
+        violations.extend(analysis.violations);
+        if !analysis.panic_sites.is_empty() {
+            panic_counts.insert(rel.clone(), analysis.panic_sites);
+        }
+        lib_items.push(items);
+    }
+
+    // Pass 2: merge, resolve, run the graph rules.
+    let ws = Workspace::build(lib_items, ref_items, crates);
+    let graph = CallGraph::new(resolve(&ws));
+    let ga = analyze_graph(&ws, &graph);
+    violations.extend(ga.violations);
+
+    WorkspaceAnalysis {
+        violations,
+        panic_counts,
+        panic_reach: ga.panic_reach,
+        dead_api: ga.dead_api,
+        files_scanned: lib_sources.len(),
+        fn_count: ws.fns.len(),
+        edge_count: graph.edge_count(),
+    }
+}
+
+/// Sorted `(workspace-relative path, contents)` pairs for one scan set.
+pub type SourceSet = Vec<(String, String)>;
+
+/// Reads both scan sets from disk: library sources (rules + extraction)
+/// and reference sources (tests/benches/examples, liveness index only),
+/// each as sorted `(workspace-relative path, contents)` pairs.
+///
+/// # Errors
+///
+/// Returns a message if a directory or file cannot be read.
+pub fn scan_workspace(root: &Path) -> Result<(SourceSet, SourceSet), String> {
+    let read_all = |files: Vec<String>| -> Result<Vec<(String, String)>, String> {
+        files
+            .into_iter()
+            .map(|rel| {
+                let path = root.join(&rel);
+                fs::read_to_string(&path)
+                    .map(|src| (rel, src))
+                    .map_err(|e| format!("cannot read {}: {e}", path.display()))
+            })
+            .collect()
+    };
+    Ok((read_all(scan_set(root)?)?, read_all(ref_scan_set(root)?)?))
+}
+
 /// Runs the analyzer with `opts`, printing diagnostics to stdout.
 /// This is the whole program; `main` only parses arguments.
 pub fn run(opts: &Options) -> Outcome {
-    let files = match scan_set(&opts.root) {
-        Ok(f) => f,
+    let (lib_sources, ref_sources) = match scan_workspace(&opts.root) {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("ce-analyzer: {e}");
             return Outcome::Error;
         }
     };
-    let config = Config::default();
-
-    let mut violations: Vec<Violation> = Vec::new();
-    let mut panic_counts: BTreeMap<String, Vec<u32>> = BTreeMap::new();
-    for rel in &files {
-        let path = opts.root.join(rel);
-        let source = match fs::read_to_string(&path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("ce-analyzer: cannot read {}: {e}", path.display());
-                return Outcome::Error;
-            }
-        };
-        let analysis = analyze_file(rel, &source, &config);
-        violations.extend(analysis.violations);
-        if !analysis.panic_sites.is_empty() {
-            panic_counts.insert(rel.clone(), analysis.panic_sites);
-        }
-    }
-
-    if opts.write_baseline {
-        let baseline = Baseline {
-            files: panic_counts
-                .iter()
-                .map(|(p, sites)| (p.clone(), sites.len()))
-                .collect(),
-        };
-        if let Err(e) = fs::write(&opts.baseline_path, baseline.render()) {
-            eprintln!(
-                "ce-analyzer: cannot write {}: {e}",
-                opts.baseline_path.display()
-            );
+    let crates = match CrateGraph::from_root(&opts.root) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ce-analyzer: {e}");
             return Outcome::Error;
         }
-        eprintln!(
-            "ce-analyzer: wrote baseline ({} panic sites in {} files) to {}",
-            baseline.total(),
-            baseline.files.len(),
-            opts.baseline_path.display()
-        );
+    };
+
+    let config = Config::default();
+    let analysis = analyze_workspace(&lib_sources, &ref_sources, crates, &config);
+    let mut violations = analysis.violations.clone();
+
+    if opts.write_baseline {
+        if let Err(e) = write_baselines(opts, &analysis) {
+            eprintln!("ce-analyzer: {e}");
+            return Outcome::Error;
+        }
     } else {
-        apply_ratchet(opts, &panic_counts, &mut violations);
+        apply_ratchet(opts, &analysis.panic_counts, &mut violations);
+        apply_reach_ratchet(opts, &analysis, &mut violations);
     }
 
     violations
         .sort_by(|a, b| (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule)));
 
-    let current_total: usize = panic_counts.values().map(Vec::len).sum();
+    let stats = ReportStats {
+        files_scanned: analysis.files_scanned,
+        panic_sites: analysis.panic_counts.values().map(Vec::len).sum(),
+        fns: analysis.fn_count,
+        call_edges: analysis.edge_count,
+        reachable_findings: analysis.panic_reach.len(),
+        dead_pub_items: analysis.dead_api.len(),
+    };
     match opts.format {
-        Format::Human => print_human(&violations, files.len(), current_total),
-        Format::Json => println!("{}", render_json(&violations, files.len(), current_total)),
+        Format::Human => print_human(&violations, &stats),
+        Format::Json => println!("{}", render_json(&violations, &stats)),
+        Format::Github => print_github(&violations, &stats),
     }
     if violations.is_empty() {
         Outcome::Clean
     } else {
         Outcome::Violations
     }
+}
+
+/// Writes both baselines from the current analysis.
+fn write_baselines(opts: &Options, analysis: &WorkspaceAnalysis) -> Result<(), String> {
+    let baseline = Baseline {
+        files: analysis
+            .panic_counts
+            .iter()
+            .map(|(p, sites)| (p.clone(), sites.len()))
+            .collect(),
+    };
+    fs::write(&opts.baseline_path, baseline.render())
+        .map_err(|e| format!("cannot write {}: {e}", opts.baseline_path.display()))?;
+    eprintln!(
+        "ce-analyzer: wrote baseline ({} panic sites in {} files) to {}",
+        baseline.total(),
+        baseline.files.len(),
+        opts.baseline_path.display()
+    );
+    let mut reach = ReachBaseline::default();
+    for f in &analysis.panic_reach {
+        *reach.panic_reach.entry(f.file.clone()).or_insert(0) += 1;
+    }
+    for d in &analysis.dead_api {
+        *reach.dead_api.entry(d.file.clone()).or_insert(0) += 1;
+    }
+    fs::write(&opts.reach_baseline_path, reach.render())
+        .map_err(|e| format!("cannot write {}: {e}", opts.reach_baseline_path.display()))?;
+    eprintln!(
+        "ce-analyzer: wrote reach baseline ({} reachable panic sites, {} dead pub items) to {}",
+        reach.panic_reach.values().sum::<usize>(),
+        reach.dead_api.values().sum::<usize>(),
+        opts.reach_baseline_path.display()
+    );
+    Ok(())
 }
 
 /// Compares current panic counts to the baseline, producing violations
@@ -267,7 +407,119 @@ fn apply_ratchet(
     }
 }
 
-/// Collects the workspace-relative scan set, sorted.
+/// Compares graph-rule finding counts to `reach-baseline.json`. A file
+/// whose count rises fails with one violation **per finding** in that
+/// file, each carrying its witness path, so the culprit is identifiable
+/// without rerunning anything.
+fn apply_reach_ratchet(
+    opts: &Options,
+    analysis: &WorkspaceAnalysis,
+    violations: &mut Vec<Violation>,
+) {
+    let baseline = match fs::read_to_string(&opts.reach_baseline_path) {
+        Ok(text) => match ReachBaseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                violations.push(Violation {
+                    rule: "panic-reachability".to_string(),
+                    file: "reach-baseline.json".to_string(),
+                    line: 1,
+                    col: 1,
+                    message: format!("reach baseline is unreadable: {e}"),
+                });
+                return;
+            }
+        },
+        Err(_) => {
+            violations.push(Violation {
+                rule: "panic-reachability".to_string(),
+                file: "reach-baseline.json".to_string(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "no reach baseline at {}; run `ce-analyzer --write-baseline` and commit it",
+                    opts.reach_baseline_path.display()
+                ),
+            });
+            return;
+        }
+    };
+
+    let mut reach_by_file: BTreeMap<&str, Vec<&ReachFinding>> = BTreeMap::new();
+    for f in &analysis.panic_reach {
+        reach_by_file.entry(f.file.as_str()).or_default().push(f);
+    }
+    let mut shrunk = 0usize;
+    for (file, findings) in &reach_by_file {
+        let allowed = baseline.allowed_reach(file);
+        if findings.len() > allowed {
+            for f in findings {
+                violations.push(Violation {
+                    rule: "panic-reachability".to_string(),
+                    file: f.file.clone(),
+                    line: f.line,
+                    col: f.col,
+                    message: format!(
+                        "{} in `{}` is reachable from a hot/entry root via {} — {} \
+                         reachable panic sites in this file vs baseline {allowed}",
+                        f.what,
+                        f.in_fn,
+                        f.witness,
+                        findings.len()
+                    ),
+                });
+            }
+        } else if findings.len() < allowed {
+            shrunk += allowed - findings.len();
+        }
+    }
+    for (file, &allowed) in &baseline.panic_reach {
+        if !reach_by_file.contains_key(file.as_str()) {
+            shrunk += allowed;
+        }
+    }
+
+    let mut dead_by_file: BTreeMap<&str, Vec<&DeadFinding>> = BTreeMap::new();
+    for d in &analysis.dead_api {
+        dead_by_file.entry(d.file.as_str()).or_default().push(d);
+    }
+    for (file, findings) in &dead_by_file {
+        let allowed = baseline.allowed_dead(file);
+        if findings.len() > allowed {
+            for d in findings {
+                violations.push(Violation {
+                    rule: "dead-pub-api".to_string(),
+                    file: d.file.clone(),
+                    line: d.line,
+                    col: 1,
+                    message: format!(
+                        "pub {} `{}` is never referenced anywhere in the workspace, tests, \
+                         benches, or examples — {} dead pub items in this file vs baseline \
+                         {allowed}",
+                        d.kind,
+                        d.name,
+                        findings.len()
+                    ),
+                });
+            }
+        } else if findings.len() < allowed {
+            shrunk += allowed - findings.len();
+        }
+    }
+    for (file, &allowed) in &baseline.dead_api {
+        if !dead_by_file.contains_key(file.as_str()) {
+            shrunk += allowed;
+        }
+    }
+    if shrunk > 0 {
+        eprintln!(
+            "ce-analyzer: note: {shrunk} reachability/dead-API findings below baseline — \
+             run `ce-analyzer --write-baseline` to ratchet down"
+        );
+    }
+}
+
+/// Collects the workspace-relative library scan set, sorted.
 fn scan_set(root: &Path) -> Result<Vec<String>, String> {
     let mut files = Vec::new();
     let crates_dir = root.join("crates");
@@ -282,6 +534,32 @@ fn scan_set(root: &Path) -> Result<Vec<String>, String> {
     let facade_src = root.join("src");
     if facade_src.is_dir() {
         walk_rs(&facade_src, root, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Collects the reference scan set — tests, benches, and examples across
+/// the workspace — sorted. These feed the `dead-pub-api` liveness index
+/// only.
+fn ref_scan_set(root: &Path) -> Result<Vec<String>, String> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let entries = fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+    for entry in entries.flatten() {
+        for sub in ["tests", "benches", "examples"] {
+            let dir = entry.path().join(sub);
+            if dir.is_dir() {
+                walk_rs(&dir, root, &mut files)?;
+            }
+        }
+    }
+    for sub in ["tests", "examples", "benches"] {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            walk_rs(&dir, root, &mut files)?;
+        }
     }
     files.sort();
     Ok(files)
@@ -303,7 +581,24 @@ fn walk_rs(dir: &Path, root: &Path, out: &mut Vec<String>) -> Result<(), String>
     Ok(())
 }
 
-fn print_human(violations: &[Violation], files_scanned: usize, panic_total: usize) {
+/// Summary counters for the report footers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReportStats {
+    /// Library files scanned.
+    pub files_scanned: usize,
+    /// Total baselined panic sites.
+    pub panic_sites: usize,
+    /// Functions in the call graph.
+    pub fns: usize,
+    /// Resolved call edges.
+    pub call_edges: usize,
+    /// Panic sites reachable from hot/entry roots.
+    pub reachable_findings: usize,
+    /// Unreferenced pub items.
+    pub dead_pub_items: usize,
+}
+
+fn print_human(violations: &[Violation], stats: &ReportStats) {
     for v in violations {
         println!(
             "{}:{}:{}: [{}] {}",
@@ -312,23 +607,78 @@ fn print_human(violations: &[Violation], files_scanned: usize, panic_total: usiz
     }
     if violations.is_empty() {
         println!(
-            "ce-analyzer: clean — {files_scanned} files, 6 rules, \
-             {panic_total} baselined panic sites"
+            "ce-analyzer: clean — {} files, 10 rules, {} fns / {} call edges, \
+             {} baselined panic sites, {} reachable + {} dead-API findings baselined",
+            stats.files_scanned,
+            stats.fns,
+            stats.call_edges,
+            stats.panic_sites,
+            stats.reachable_findings,
+            stats.dead_pub_items
         );
     } else {
         println!(
-            "ce-analyzer: {} violation(s) in {files_scanned} files",
-            violations.len()
+            "ce-analyzer: {} violation(s) in {} files",
+            violations.len(),
+            stats.files_scanned
         );
     }
 }
 
+/// Prints GitHub Actions `::error` workflow commands, one per violation.
+fn print_github(violations: &[Violation], stats: &ReportStats) {
+    for v in violations {
+        println!(
+            "::error file={},line={},col={},title=ce-analyzer {}::{}",
+            github_escape_property(&v.file),
+            v.line,
+            v.col,
+            github_escape_property(&v.rule),
+            github_escape_message(&v.message)
+        );
+    }
+    if violations.is_empty() {
+        println!(
+            "ce-analyzer: clean — {} files, {} fns / {} call edges",
+            stats.files_scanned, stats.fns, stats.call_edges
+        );
+    } else {
+        println!(
+            "ce-analyzer: {} violation(s) in {} files",
+            violations.len(),
+            stats.files_scanned
+        );
+    }
+}
+
+/// Escapes a workflow-command message (`%`, CR, LF).
+fn github_escape_message(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+/// Escapes a workflow-command property (message escapes plus `:` and `,`).
+fn github_escape_property(s: &str) -> String {
+    github_escape_message(s)
+        .replace(':', "%3A")
+        .replace(',', "%2C")
+}
+
 /// Renders the machine-readable report (stable field and entry order).
-pub fn render_json(violations: &[Violation], files_scanned: usize, panic_total: usize) -> String {
+pub fn render_json(violations: &[Violation], stats: &ReportStats) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"ok\": {},", violations.is_empty());
-    let _ = writeln!(out, "  \"files_scanned\": {files_scanned},");
-    let _ = writeln!(out, "  \"panic_sites\": {panic_total},");
+    let _ = writeln!(out, "  \"files_scanned\": {},", stats.files_scanned);
+    let _ = writeln!(out, "  \"panic_sites\": {},", stats.panic_sites);
+    let _ = writeln!(out, "  \"fns\": {},", stats.fns);
+    let _ = writeln!(out, "  \"call_edges\": {},", stats.call_edges);
+    let _ = writeln!(
+        out,
+        "  \"reachable_findings\": {},",
+        stats.reachable_findings
+    );
+    let _ = writeln!(out, "  \"dead_pub_items\": {},", stats.dead_pub_items);
     out.push_str("  \"violations\": [\n");
     let n = violations.len();
     for (i, v) in violations.iter().enumerate() {
@@ -379,6 +729,10 @@ mod tests {
             opts.baseline_path,
             PathBuf::from("/tmp/ws/lint-baseline.json")
         );
+        assert_eq!(
+            opts.reach_baseline_path,
+            PathBuf::from("/tmp/ws/reach-baseline.json")
+        );
     }
 
     #[test]
@@ -391,11 +745,26 @@ mod tests {
             "--write-baseline".to_string(),
             "--baseline".to_string(),
             "/elsewhere/b.json".to_string(),
+            "--reach-baseline".to_string(),
+            "/elsewhere/r.json".to_string(),
         ])
         .unwrap();
         assert_eq!(opts.format, Format::Json);
         assert!(opts.write_baseline);
         assert_eq!(opts.baseline_path, PathBuf::from("/elsewhere/b.json"));
+        assert_eq!(opts.reach_baseline_path, PathBuf::from("/elsewhere/r.json"));
+    }
+
+    #[test]
+    fn args_github_format() {
+        let opts = parse_args(&[
+            "--root".to_string(),
+            "/ws".to_string(),
+            "--format".to_string(),
+            "github".to_string(),
+        ])
+        .unwrap();
+        assert_eq!(opts.format, Format::Github);
     }
 
     #[test]
@@ -410,6 +779,23 @@ mod tests {
     }
 
     #[test]
+    fn github_escaping() {
+        assert_eq!(github_escape_message("50% a\nb"), "50%25 a%0Ab");
+        assert_eq!(github_escape_property("a:b,c"), "a%3Ab%2Cc");
+    }
+
+    fn sample_stats() -> ReportStats {
+        ReportStats {
+            files_scanned: 10,
+            panic_sites: 42,
+            fns: 100,
+            call_edges: 250,
+            reachable_findings: 7,
+            dead_pub_items: 2,
+        }
+    }
+
+    #[test]
     fn json_report_shape() {
         let v = Violation {
             rule: "float-eq".to_string(),
@@ -418,12 +804,16 @@ mod tests {
             col: 7,
             message: "msg".to_string(),
         };
-        let json = render_json(&[v], 10, 42);
+        let json = render_json(&[v], &sample_stats());
         assert!(json.contains("\"ok\": false"));
         assert!(json.contains("\"files_scanned\": 10"));
         assert!(json.contains("\"panic_sites\": 42"));
+        assert!(json.contains("\"fns\": 100"));
+        assert!(json.contains("\"call_edges\": 250"));
+        assert!(json.contains("\"reachable_findings\": 7"));
+        assert!(json.contains("\"dead_pub_items\": 2"));
         assert!(json.contains("\"line\": 3"));
-        let clean = render_json(&[], 10, 42);
+        let clean = render_json(&[], &sample_stats());
         assert!(clean.contains("\"ok\": true"));
     }
 }

@@ -10,11 +10,19 @@
 //!
 //! This crate is the missing correctness-tooling layer: a dependency-free
 //! static-analysis pass (the workspace builds offline, so no `syn`) with a
-//! [hand-rolled lexer](lexer) and six [rules](rules):
+//! [hand-rolled lexer](lexer) and a **two-pass** architecture. Pass 1
+//! lexes every library file in parallel, runs the six file-local
+//! [rules](rules), and [extracts](items) each file's items — functions,
+//! impl owners, visibility, `ce:` markers, call sites, and per-function
+//! alloc/panic/nondeterminism facts. Pass 2 [resolves](resolve) the call
+//! sites into a conservative workspace-wide [call graph](callgraph) and
+//! runs four graph rules over it.
+//!
+//! File-local rules:
 //!
 //! 1. `nondeterminism` — no hash-ordered collections or ambient state in
 //!    deterministic crates (narrow allowances: `CE_THREADS` in
-//!    `ce-parallel`, wall-clock timing in `ce-bench`);
+//!    `ce-parallel`, wall-clock/sockets in `ce-bench`/`ce-serve`);
 //! 2. `hot-path-alloc` — functions marked `// ce:hot` must not allocate;
 //! 3. `float-eq` — float `==`/`!=` outside tests needs an explicit
 //!    `// ce:allow(float-eq, reason = "…")` marker;
@@ -24,12 +32,29 @@
 //!    `#![warn(missing_docs)]`;
 //! 6. `must-use` — pure stats/result returns carry `#[must_use]`.
 //!
+//! Graph rules (pass 2):
+//!
+//! 7. `hot-path-transitive-alloc` — a `// ce:hot` fn must not *reach* an
+//!    allocating fn through any call chain;
+//! 8. `panic-reachability` — every panic/unwrap/expect/indexing site
+//!    reachable from a `// ce:hot` fn or `// ce:entry` handler, with a
+//!    shortest witness call path, ratcheted by `reach-baseline.json`;
+//! 9. `dead-pub-api` — `pub` items never referenced anywhere in the
+//!    workspace, tests, benches, or examples (same ratchet file);
+//! 10. `determinism-taint` — deterministic crates must not call into
+//!     functions that reach a wall-clock or socket use.
+//!
+//! Resolution is conservative: method calls resolve to every same-named
+//! workspace method in the caller's dependency closure, so the graph
+//! rules over-approximate and cannot miss a real violation.
+//!
 //! Run it from the workspace root:
 //!
 //! ```text
 //! cargo run --release -p ce-analyzer            # human diagnostics
-//! cargo run --release -p ce-analyzer -- --format json   # CI
-//! cargo run --release -p ce-analyzer -- --write-baseline
+//! cargo run --release -p ce-analyzer -- --format json     # CI report
+//! cargo run --release -p ce-analyzer -- --format github   # CI annotations
+//! cargo run --release -p ce-analyzer -- --write-baseline  # refresh both ratchets
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations, 2 analyzer error.
@@ -38,12 +63,18 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod callgraph;
 pub mod config;
 pub mod driver;
+pub mod items;
 pub mod lexer;
+pub mod resolve;
 pub mod rules;
 
-pub use baseline::Baseline;
+pub use baseline::{Baseline, ReachBaseline};
 pub use config::Config;
-pub use driver::{parse_args, run, Format, Options, Outcome};
-pub use rules::{analyze_file, FileAnalysis, Violation};
+pub use driver::{
+    analyze_workspace, parse_args, run, scan_workspace, Format, Options, Outcome, WorkspaceAnalysis,
+};
+pub use resolve::CrateGraph;
+pub use rules::{analyze_file, analyze_graph, FileAnalysis, GraphAnalysis, Violation};

@@ -187,7 +187,7 @@ fn collect_marker(
 
 /// Index of the `}` matching the `{` at `open` (counting braces only);
 /// falls back to the last token on unbalanced input.
-fn matching_brace(code: &[&Token], open: usize) -> usize {
+pub(crate) fn matching_brace(code: &[&Token], open: usize) -> usize {
     let mut depth = 0usize;
     for (i, t) in code.iter().enumerate().skip(open) {
         if t.is_punct("{") {
@@ -203,7 +203,7 @@ fn matching_brace(code: &[&Token], open: usize) -> usize {
 }
 
 /// Marks every code token covered by a `#[cfg(test)]` or `#[test]` item.
-fn test_region_mask(code: &[&Token]) -> Vec<bool> {
+pub(crate) fn test_region_mask(code: &[&Token]) -> Vec<bool> {
     let mut mask = vec![false; code.len()];
     let mut i = 0;
     while i < code.len() {
@@ -236,7 +236,7 @@ fn test_region_mask(code: &[&Token]) -> Vec<bool> {
 }
 
 /// Index of the `]` matching the `[` at `open`.
-fn matching_bracket(code: &[&Token], open: usize) -> usize {
+pub(crate) fn matching_bracket(code: &[&Token], open: usize) -> usize {
     let mut depth = 0usize;
     for (i, t) in code.iter().enumerate().skip(open) {
         if t.is_punct("[") {
@@ -254,7 +254,7 @@ fn matching_bracket(code: &[&Token], open: usize) -> usize {
 /// The index where the item starting at `from` ends: the `;` closing a
 /// declaration, or the `}` closing the first top-level brace block.
 /// Skips over any further attributes.
-fn item_end(code: &[&Token], from: usize) -> usize {
+pub(crate) fn item_end(code: &[&Token], from: usize) -> usize {
     let mut depth = 0i32;
     let mut i = from;
     while i < code.len() {
@@ -630,7 +630,7 @@ fn rule_must_use(ctx: &RuleCtx<'_>, out: &mut Vec<Violation>) {
 }
 
 /// Index of the `)` matching the `(` at `open`.
-fn matching_paren(code: &[&Token], open: usize) -> usize {
+pub(crate) fn matching_paren(code: &[&Token], open: usize) -> usize {
     let mut depth = 0usize;
     for (i, t) in code.iter().enumerate().skip(open) {
         if t.is_punct("(") {
@@ -648,7 +648,7 @@ fn matching_paren(code: &[&Token], open: usize) -> usize {
 /// Looks backwards from a `fn` keyword for plain-`pub` visibility and a
 /// `#[must_use]` attribute, stopping at the previous item's boundary.
 /// `pub(crate)`/`pub(super)` items are internal API and are not flagged.
-fn fn_prefix_info(code: &[&Token], fn_idx: usize) -> (bool, bool) {
+pub(crate) fn fn_prefix_info(code: &[&Token], fn_idx: usize) -> (bool, bool) {
     let mut is_pub = false;
     let mut has_must_use = false;
     let mut i = fn_idx;
@@ -684,6 +684,278 @@ fn fn_prefix_info(code: &[&Token], fn_idx: usize) -> (bool, bool) {
         }
     }
     (is_pub, has_must_use)
+}
+
+// ---------------------------------------------------------------------------
+// Graph rules (pass 2)
+//
+// The four rules below run over the workspace call graph instead of a
+// single token stream. They consume the facts pass 1 attached to each
+// function (alloc/panic/taint sites) and the conservative edges built by
+// `resolve`, so every finding is an over-approximation with an audit
+// trail: the shortest witness call path from the root that makes the
+// function relevant.
+// ---------------------------------------------------------------------------
+
+use crate::callgraph::{path_to, render_witness, CallGraph};
+use crate::resolve::Workspace;
+
+/// One panic site reachable from a hot fn or request handler, with its
+/// witness. Ratcheted per file by the driver against `reach-baseline.json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReachFinding {
+    /// File containing the panic site.
+    pub file: String,
+    /// 1-based line of the site.
+    pub line: u32,
+    /// 1-based column of the site.
+    pub col: u32,
+    /// What panics there (`` `.unwrap()` ``, `slice/array indexing`, …).
+    pub what: String,
+    /// Display name of the containing function.
+    pub in_fn: String,
+    /// Shortest call path from a root to the containing function.
+    pub witness: String,
+}
+
+/// One `pub` item never referenced anywhere in the workspace. Ratcheted
+/// per file by the driver against `reach-baseline.json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadFinding {
+    /// File defining the item.
+    pub file: String,
+    /// 1-based line of the definition.
+    pub line: u32,
+    /// `"fn"`, `"struct"`, or `"enum"`.
+    pub kind: &'static str,
+    /// Item name.
+    pub name: String,
+}
+
+/// Everything pass 2 produces: hard violations plus the two ratcheted
+/// finding sets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphAnalysis {
+    /// `hot-path-transitive-alloc` and `determinism-taint` violations
+    /// (fail the build outright; `ce:allow` markers are the escape hatch).
+    pub violations: Vec<Violation>,
+    /// `panic-reachability` findings, in deterministic scan order.
+    pub panic_reach: Vec<ReachFinding>,
+    /// `dead-pub-api` findings, in deterministic scan order.
+    pub dead_api: Vec<DeadFinding>,
+}
+
+/// Runs all four graph rules over the resolved workspace.
+pub fn analyze_graph(ws: &Workspace, graph: &CallGraph) -> GraphAnalysis {
+    let mut out = GraphAnalysis::default();
+    rule_hot_transitive_alloc(ws, graph, &mut out.violations);
+    rule_panic_reachability(ws, graph, &mut out.panic_reach);
+    rule_dead_pub_api(ws, &mut out.dead_api);
+    rule_determinism_taint(ws, graph, &mut out.violations);
+    out
+}
+
+/// True when `f` carries a call-site `ce:allow(rule)` marker covering
+/// `line` (the marker's own line, trailing a call, or the line above it).
+fn site_allowed(f: &crate::items::FnItem, rule: &str, line: u32) -> bool {
+    f.allow_sites
+        .iter()
+        .any(|(l, r)| r == rule && (*l == line || l + 1 == line))
+}
+
+/// BFS from `root` that skips call edges suppressed by a call-site
+/// `ce:allow(rule)` marker in the caller's body.
+fn reach_filtered(
+    ws: &Workspace,
+    graph: &CallGraph,
+    root: usize,
+    rule: &str,
+) -> Vec<Option<crate::callgraph::Parent>> {
+    let mut parents: Vec<Option<crate::callgraph::Parent>> = vec![None; ws.fns.len()];
+    parents[root] = Some(crate::callgraph::Parent {
+        caller: root,
+        line: 0,
+    });
+    let mut queue = std::collections::VecDeque::from([root]);
+    while let Some(u) = queue.pop_front() {
+        for e in &graph.adj[u] {
+            if site_allowed(&ws.fns[u], rule, e.line) {
+                continue;
+            }
+            if parents[e.callee].is_none() {
+                parents[e.callee] = Some(crate::callgraph::Parent {
+                    caller: u,
+                    line: e.line,
+                });
+                queue.push_back(e.callee);
+            }
+        }
+    }
+    parents
+}
+
+/// `hot-path-transitive-alloc`: a `// ce:hot` fn must not *reach* an
+/// allocating fn through any call chain. The direct-site case is the
+/// file-local `hot-path-alloc` rule; this closes the helper loophole.
+/// A call-site `ce:allow` marker cuts exactly that edge (for deliberate
+/// warm-up allocations) without blinding the whole function.
+fn rule_hot_transitive_alloc(ws: &Workspace, graph: &CallGraph, out: &mut Vec<Violation>) {
+    const RULE: &str = "hot-path-transitive-alloc";
+    for (i, f) in ws.fns.iter().enumerate() {
+        if !f.hot || f.allows.iter().any(|r| r == RULE) {
+            continue;
+        }
+        let parents = reach_filtered(ws, graph, i, RULE);
+        for (j, p) in parents.iter().enumerate() {
+            if j == i || p.is_none() {
+                continue;
+            }
+            let g = &ws.fns[j];
+            let Some(site) = g.allocs.first() else {
+                continue;
+            };
+            if g.allows.iter().any(|r| r == RULE) {
+                continue;
+            }
+            let witness = render_witness(&ws.fns, &path_to(&parents, j));
+            out.push(Violation {
+                rule: RULE.to_string(),
+                file: f.file.clone(),
+                line: f.line,
+                col: 1,
+                message: format!(
+                    "hot fn `{}` reaches allocating fn `{}` ({}:{}: {}) via {witness}",
+                    f.display(),
+                    g.display(),
+                    g.file,
+                    site.line,
+                    site.what
+                ),
+            });
+        }
+    }
+}
+
+/// `panic-reachability`: every panic site reachable from a `// ce:hot` fn
+/// or a `// ce:entry` request handler, each with its shortest witness.
+/// Not marker-suppressible — the `reach-baseline.json` ratchet is the
+/// escape hatch, and it only goes down.
+fn rule_panic_reachability(ws: &Workspace, graph: &CallGraph, out: &mut Vec<ReachFinding>) {
+    let roots: Vec<usize> = ws
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.hot || f.entry)
+        .map(|(i, _)| i)
+        .collect();
+    if roots.is_empty() {
+        return;
+    }
+    let parents = graph.reach(&roots);
+    for (j, p) in parents.iter().enumerate() {
+        if p.is_none() {
+            continue;
+        }
+        let g = &ws.fns[j];
+        if g.panics.is_empty() {
+            continue;
+        }
+        let witness = render_witness(&ws.fns, &path_to(&parents, j));
+        for site in &g.panics {
+            out.push(ReachFinding {
+                file: g.file.clone(),
+                line: site.line,
+                col: site.col,
+                what: site.what.clone(),
+                in_fn: g.display(),
+                witness: witness.clone(),
+            });
+        }
+    }
+}
+
+/// `dead-pub-api`: a `pub` item in a library crate that no identifier
+/// anywhere in the workspace (src, tests, benches, examples) refers to
+/// beyond its own definition. Name-based and therefore conservative in
+/// the safe direction: a name collision keeps an item alive, never the
+/// reverse.
+fn rule_dead_pub_api(ws: &Workspace, out: &mut Vec<DeadFinding>) {
+    const RULE: &str = "dead-pub-api";
+    for p in &ws.pub_items {
+        if p.allows.iter().any(|r| r == RULE) {
+            continue;
+        }
+        if ws.refs_to(&p.name) > p.own_refs {
+            continue;
+        }
+        out.push(DeadFinding {
+            file: p.file.clone(),
+            line: p.line,
+            kind: p.kind,
+            name: p.name.clone(),
+        });
+    }
+}
+
+/// `determinism-taint`: flags every call edge that crosses from a fully
+/// deterministic crate into an allowance crate (wall clock or sockets)
+/// whose target reaches an actual nondeterminism use. Thread-pool
+/// allowances (`ce-parallel`) do not taint: determinism under threading
+/// is that crate's proven contract.
+fn rule_determinism_taint(ws: &Workspace, graph: &CallGraph, out: &mut Vec<Violation>) {
+    const RULE: &str = "determinism-taint";
+    let tainted: Vec<usize> = ws
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| !f.taints.is_empty())
+        .map(|(i, _)| i)
+        .collect();
+    if tainted.is_empty() {
+        return;
+    }
+    let reversed = graph.reversed();
+    let reaches_taint = reversed.reach(&tainted);
+    for (i, f) in ws.fns.iter().enumerate() {
+        let f_allow = allowances_for(&f.file);
+        if f_allow.wall_clock || f_allow.sockets || f.allows.iter().any(|r| r == RULE) {
+            continue;
+        }
+        for e in &graph.adj[i] {
+            let g = &ws.fns[e.callee];
+            let g_allow = allowances_for(&g.file);
+            if !(g_allow.wall_clock || g_allow.sockets) {
+                continue; // crossing edge only; deeper hops report there
+            }
+            if reaches_taint[e.callee].is_none() || g.allows.iter().any(|r| r == RULE) {
+                continue;
+            }
+            // Witness from g down to the taint: the reversed-BFS path
+            // runs taint → … → g; flip it.
+            let mut down = path_to(&reaches_taint, e.callee);
+            down.reverse();
+            let taint_fn = &ws.fns[*down.last().unwrap_or(&e.callee)];
+            let site = taint_fn.taints.first();
+            let witness = render_witness(&ws.fns, &down);
+            out.push(Violation {
+                rule: RULE.to_string(),
+                file: f.file.clone(),
+                line: e.line,
+                col: 1,
+                message: format!(
+                    "fn `{}` (deterministic crate `{}`) calls `{}` (crate `{}`), which \
+                     reaches {} at {}:{} via {witness}",
+                    f.display(),
+                    f.crate_key,
+                    g.display(),
+                    g.crate_key,
+                    site.map(|s| s.what.clone()).unwrap_or_default(),
+                    taint_fn.file,
+                    site.map(|s| s.line).unwrap_or(0),
+                ),
+            });
+        }
+    }
 }
 
 #[cfg(test)]

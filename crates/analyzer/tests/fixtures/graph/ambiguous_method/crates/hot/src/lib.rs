@@ -1,0 +1,21 @@
+pub struct Cheap;
+pub struct Costly;
+
+impl Cheap {
+    pub fn compute(&self) -> f64 {
+        1.0
+    }
+}
+
+impl Costly {
+    pub fn compute(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        out.push(2.0);
+        out
+    }
+}
+
+// ce:hot
+pub fn kernel(c: &Cheap) -> f64 {
+    c.compute()
+}

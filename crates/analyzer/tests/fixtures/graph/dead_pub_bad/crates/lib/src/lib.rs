@@ -1,0 +1,11 @@
+pub fn used_helper(x: f64) -> f64 {
+    x + 1.0
+}
+
+pub fn forgotten_api(x: f64) -> f64 {
+    x * 2.0
+}
+
+pub fn entrypoint(x: f64) -> f64 {
+    used_helper(x)
+}

@@ -1,0 +1,5 @@
+#[test]
+fn forgotten_api_doubles() {
+    assert_eq!(ce_lib::forgotten_api(2.0), 4.0);
+    assert_eq!(ce_lib::entrypoint(1.0), 2.0);
+}

@@ -1,0 +1,5 @@
+use ce_serve::timed_evaluate;
+
+pub fn sweep(x: f64) -> f64 {
+    timed_evaluate(x)
+}

@@ -1,0 +1,4 @@
+#[test]
+fn sweep_is_used() {
+    let _ = ce_core::sweep;
+}

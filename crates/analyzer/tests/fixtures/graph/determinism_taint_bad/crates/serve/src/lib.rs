@@ -1,0 +1,8 @@
+use std::time::Instant;
+
+pub fn timed_evaluate(x: f64) -> f64 {
+    let start = Instant::now();
+    let y = x * 2.0;
+    let _elapsed = start.elapsed();
+    y
+}

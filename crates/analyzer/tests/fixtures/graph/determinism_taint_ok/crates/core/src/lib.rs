@@ -1,0 +1,6 @@
+use ce_serve::timed_evaluate;
+
+// ce:allow(determinism-taint, reason = "diagnostic path, excluded from sweep results")
+pub fn sweep(x: f64) -> f64 {
+    timed_evaluate(x)
+}

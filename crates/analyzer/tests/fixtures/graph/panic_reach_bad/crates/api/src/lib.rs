@@ -1,0 +1,12 @@
+// ce:entry
+pub fn handle(raw: &str) -> f64 {
+    route(raw)
+}
+
+fn route(raw: &str) -> f64 {
+    parse(raw)
+}
+
+fn parse(raw: &str) -> f64 {
+    raw.trim().parse().unwrap()
+}

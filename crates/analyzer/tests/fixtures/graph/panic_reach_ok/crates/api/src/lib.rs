@@ -1,0 +1,8 @@
+// ce:entry
+pub fn handle(raw: &str) -> f64 {
+    parse(raw).unwrap_or(0.0)
+}
+
+fn parse(raw: &str) -> Option<f64> {
+    raw.trim().parse().ok()
+}

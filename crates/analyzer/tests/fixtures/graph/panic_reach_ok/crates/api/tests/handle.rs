@@ -1,0 +1,4 @@
+#[test]
+fn handle_is_used() {
+    let _ = ce_api::handle;
+}

@@ -1,0 +1,7 @@
+use ce_util::build_scratch;
+
+// ce:hot
+pub fn kernel(xs: &[f64]) -> f64 {
+    let scratch = build_scratch(xs.len());
+    scratch.len() as f64
+}

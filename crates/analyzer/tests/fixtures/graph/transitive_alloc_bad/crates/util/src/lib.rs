@@ -1,0 +1,5 @@
+pub fn build_scratch(n: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n);
+    out.push(0.0);
+    out
+}

@@ -1,0 +1,8 @@
+use ce_util::build_scratch;
+
+// ce:hot
+pub fn kernel(xs: &[f64]) -> f64 {
+    // ce:allow(hot-path-transitive-alloc, reason = "warm-up: runs once before the steady state")
+    let scratch = build_scratch(xs.len());
+    scratch.len() as f64
+}

@@ -13,7 +13,9 @@
 
 use ce_analyzer::config::Config;
 use ce_analyzer::rules::analyze_file;
-use ce_analyzer::{run, Format, Options, Outcome};
+use ce_analyzer::{
+    analyze_workspace, run, scan_workspace, CrateGraph, Format, Options, Outcome, WorkspaceAnalysis,
+};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -172,11 +174,188 @@ fn fixtures_match_goldens() {
     assert!(failures.is_empty(), "{}", failures.join("\n"));
 }
 
+/// A multi-file fixture: a mini-workspace directory under
+/// `tests/fixtures/graph/<name>/` with `crates/*/Cargo.toml` manifests,
+/// analyzed end to end through both passes. Dirty cases golden-compare
+/// their graph-rule output against the committed `expected.txt` in the
+/// case directory; clean cases must produce no graph findings at all.
+struct GraphCase {
+    name: &'static str,
+    dirty: bool,
+}
+
+const GRAPH_CASES: &[GraphCase] = &[
+    GraphCase {
+        name: "transitive_alloc_bad",
+        dirty: true,
+    },
+    GraphCase {
+        name: "transitive_alloc_ok",
+        dirty: false,
+    },
+    GraphCase {
+        name: "panic_reach_bad",
+        dirty: true,
+    },
+    GraphCase {
+        name: "panic_reach_ok",
+        dirty: false,
+    },
+    GraphCase {
+        name: "dead_pub_bad",
+        dirty: true,
+    },
+    GraphCase {
+        name: "dead_pub_ok",
+        dirty: false,
+    },
+    GraphCase {
+        name: "determinism_taint_bad",
+        dirty: true,
+    },
+    GraphCase {
+        name: "determinism_taint_ok",
+        dirty: false,
+    },
+    // Conservatism proof: `kernel` calls `.compute()` on a `Cheap`
+    // receiver, but method resolution is name-based, so the allocating
+    // `Costly::compute` candidate keeps the violation alive — the rule
+    // over-approximates rather than miss a real reach.
+    GraphCase {
+        name: "ambiguous_method",
+        dirty: true,
+    },
+];
+
+fn graph_case_dir(name: &str) -> PathBuf {
+    fixtures_dir().join("graph").join(name)
+}
+
+/// Recursively collects `(case-relative path, contents)` for every `.rs`
+/// file under `dir`, sorted by path.
+fn collect_sources(root: &Path, dir: &Path, out: &mut Vec<(String, String)>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_sources(root, &path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("fixture path under case root")
+                .to_string_lossy()
+                .replace('\\', "/");
+            let src = fs::read_to_string(&path).expect("fixture file readable");
+            out.push((rel, src));
+        }
+    }
+}
+
+/// Runs both analysis passes over one graph case.
+fn analyze_graph_case(case: &GraphCase) -> WorkspaceAnalysis {
+    let dir = graph_case_dir(case.name);
+    let crates = CrateGraph::from_root(&dir).expect("fixture manifests parse");
+    let mut lib = Vec::new();
+    let mut refs = Vec::new();
+    let crates_dir = dir.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates_dir) {
+        let mut dirs: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for crate_dir in dirs {
+            collect_sources(&dir, &crate_dir.join("src"), &mut lib);
+            collect_sources(&dir, &crate_dir.join("tests"), &mut refs);
+        }
+    }
+    lib.sort();
+    refs.sort();
+    analyze_workspace(&lib, &refs, crates, &Config::default())
+}
+
+/// Renders a graph case's *graph-rule* output (file-local rules are
+/// covered by the single-file goldens and ignored here).
+fn render_graph(analysis: &WorkspaceAnalysis) -> String {
+    const GRAPH_RULES: &[&str] = &["hot-path-transitive-alloc", "determinism-taint"];
+    let mut out = String::new();
+    for v in &analysis.violations {
+        if GRAPH_RULES.contains(&v.rule.as_str()) {
+            out.push_str(&format!(
+                "{}:{}:{}: [{}] {}\n",
+                v.file, v.line, v.col, v.rule, v.message
+            ));
+        }
+    }
+    for f in &analysis.panic_reach {
+        out.push_str(&format!(
+            "reach {}:{}:{}: {} in `{}` via {}\n",
+            f.file, f.line, f.col, f.what, f.in_fn, f.witness
+        ));
+    }
+    for d in &analysis.dead_api {
+        out.push_str(&format!(
+            "dead {}:{}: pub {} `{}`\n",
+            d.file, d.line, d.kind, d.name
+        ));
+    }
+    out
+}
+
+#[test]
+fn graph_fixtures_match_goldens() {
+    let bless = std::env::var_os("CE_BLESS").is_some();
+    let mut failures = Vec::new();
+    for case in GRAPH_CASES {
+        let rendered = render_graph(&analyze_graph_case(case));
+        if !case.dirty {
+            if !rendered.is_empty() {
+                failures.push(format!(
+                    "{}: expected no graph findings, got:\n{rendered}",
+                    case.name
+                ));
+            }
+            continue;
+        }
+        let golden_path = graph_case_dir(case.name).join("expected.txt");
+        if bless {
+            fs::write(&golden_path, &rendered).expect("write golden");
+            continue;
+        }
+        let golden = fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("{}: missing golden ({e}); run CE_BLESS=1", case.name));
+        if rendered != golden {
+            failures.push(format!(
+                "{}: graph diagnostics drifted from golden.\n--- expected ---\n{golden}\
+                 --- actual ---\n{rendered}",
+                case.name
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn every_reachability_finding_carries_a_witness_path() {
+    // The rule's contract: no finding without a concrete call path.
+    for case in GRAPH_CASES.iter().filter(|c| c.dirty) {
+        for f in &analyze_graph_case(case).panic_reach {
+            assert!(
+                !f.witness.is_empty(),
+                "{}: finding at {}:{} has no witness",
+                case.name,
+                f.file,
+                f.line
+            );
+        }
+    }
+}
+
 #[test]
 fn dirty_fixtures_exercise_every_rule() {
-    // The positive fixtures, between them, must cover all six rule names —
+    // The positive fixtures, between them, must cover all ten rule names —
     // otherwise a rule could silently stop firing without any golden
-    // noticing.
+    // noticing. File-local rules come from the single-file cases, graph
+    // rules from the mini-workspace cases.
     let config = Config::default();
     let mut seen: Vec<String> = Vec::new();
     for case in CASES.iter().filter(|c| c.dirty) {
@@ -190,12 +369,53 @@ fn dirty_fixtures_exercise_every_rule() {
             seen.push("panic-in-lib".to_string());
         }
     }
+    for case in GRAPH_CASES.iter().filter(|c| c.dirty) {
+        let analysis = analyze_graph_case(case);
+        for v in &analysis.violations {
+            seen.push(v.rule.clone());
+        }
+        if !analysis.panic_reach.is_empty() {
+            seen.push("panic-reachability".to_string());
+        }
+        if !analysis.dead_api.is_empty() {
+            seen.push("dead-pub-api".to_string());
+        }
+    }
     for rule in ce_analyzer::config::RULE_NAMES {
         assert!(
             seen.iter().any(|s| s == rule),
             "no positive fixture triggers `{rule}`"
         );
     }
+}
+
+#[test]
+fn serial_and_parallel_analysis_are_identical() {
+    // The two-pass scan fans out per file over `ce_parallel::par_map`;
+    // its input-order result contract must make the full analysis —
+    // violations, findings, witnesses, stats — byte-identical to a
+    // serial run on the live workspace.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let (lib, refs) = scan_workspace(&root).expect("workspace scans");
+    let parallel = analyze_workspace(
+        &lib,
+        &refs,
+        CrateGraph::from_root(&root).expect("crate graph builds"),
+        &Config::default(),
+    );
+    let serial = ce_parallel::run_serial(|| {
+        analyze_workspace(
+            &lib,
+            &refs,
+            CrateGraph::from_root(&root).expect("crate graph builds"),
+            &Config::default(),
+        )
+    });
+    assert_eq!(parallel, serial);
 }
 
 #[test]
@@ -211,6 +431,7 @@ fn live_workspace_is_clean() {
         .expect("workspace root resolves");
     let opts = Options {
         baseline_path: root.join("lint-baseline.json"),
+        reach_baseline_path: root.join("reach-baseline.json"),
         root,
         format: Format::Json,
         write_baseline: false,

@@ -246,6 +246,7 @@ impl CarbonExplorer {
             combined,
         } = scratch;
         let supply = supply
+            // ce:allow(hot-path-transitive-alloc, reason = "scratch warm-up: zeros runs once, before the steady state the rule guards")
             .get_or_insert_with(|| HourlySeries::zeros(self.demand.start(), self.demand.len()));
         self.grid
             .scaled_renewables_into(design.solar_mw, design.wind_mw, supply);
@@ -670,6 +671,23 @@ mod tests {
         assert!(large.coverage.fraction() > small.coverage.fraction());
         assert!(large.embodied_renewables_tons > small.embodied_renewables_tons);
         assert!(large.operational_tons < small.operational_tons);
+    }
+
+    #[test]
+    fn workload_mix_changes_scheduled_coverage() {
+        let design = DesignPoint {
+            solar_mw: 300.0,
+            wind_mw: 150.0,
+            battery_mwh: 0.0,
+            extra_capacity_fraction: 0.3,
+        };
+        let rigid = utah_explorer()
+            .with_workload(WorkloadMix::inflexible())
+            .evaluate(StrategyKind::RenewablesCas, &design);
+        let flexible = utah_explorer()
+            .with_workload(WorkloadMix::fully_flexible())
+            .evaluate(StrategyKind::RenewablesCas, &design);
+        assert!(flexible.coverage.fraction() >= rigid.coverage.fraction());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Hourly carbon intensity of a grid's generation mix.
 
 use crate::fuel::FuelType;
-use ce_timeseries::HourlySeries;
+use ce_timeseries::{HourlySeries, TimeSeriesError};
 
 /// Computes the hourly carbon intensity (tons CO2eq per MWh) of a
 /// generation mix: the generation-weighted average of each fuel's
@@ -9,18 +9,23 @@ use ce_timeseries::HourlySeries;
 ///
 /// Hours with zero total generation report zero intensity.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the fuel series are misaligned (they always are aligned when
-/// produced by [`GridDataset`](crate::GridDataset)).
-pub fn carbon_intensity_series(fuels: &[(FuelType, HourlySeries)]) -> HourlySeries {
-    let (_, first) = fuels.first().expect("at least one fuel series");
+/// Returns [`TimeSeriesError::Empty`] for an empty fuel list and an
+/// alignment error if the fuel series are misaligned (they always are
+/// aligned when produced by [`GridDataset`](crate::GridDataset)).
+pub fn carbon_intensity_series(
+    fuels: &[(FuelType, HourlySeries)],
+) -> Result<HourlySeries, TimeSeriesError> {
+    let Some((_, first)) = fuels.first() else {
+        return Err(TimeSeriesError::Empty);
+    };
     let len = first.len();
     let start = first.start();
     for (_, s) in fuels {
-        first.check_aligned(s).expect("fuel series aligned");
+        first.check_aligned(s)?;
     }
-    HourlySeries::from_fn(start, len, |h| {
+    Ok(HourlySeries::from_fn(start, len, |h| {
         let mut weighted = 0.0;
         let mut total = 0.0;
         for (fuel, series) in fuels {
@@ -33,20 +38,20 @@ pub fn carbon_intensity_series(fuels: &[(FuelType, HourlySeries)]) -> HourlySeri
         } else {
             0.0
         }
-    })
+    }))
 }
 
 /// Total operational carbon (tons CO2eq) of consuming `consumption` (MW,
 /// hourly) from a grid whose intensity is `intensity` (t/MWh, hourly).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the series are misaligned.
-pub fn operational_carbon(consumption: &HourlySeries, intensity: &HourlySeries) -> f64 {
-    consumption
-        .zip_with(intensity, |c, i| c * i)
-        .expect("consumption and intensity aligned")
-        .sum()
+/// Returns an alignment error if the series are misaligned.
+pub fn operational_carbon(
+    consumption: &HourlySeries,
+    intensity: &HourlySeries,
+) -> Result<f64, TimeSeriesError> {
+    Ok(consumption.zip_with(intensity, |c, i| c * i)?.sum())
 }
 
 #[cfg(test)]
@@ -70,7 +75,7 @@ mod tests {
                 HourlySeries::from_values(start(), vec![0.0, 10.0]),
             ),
         ];
-        let intensity = carbon_intensity_series(&fuels);
+        let intensity = carbon_intensity_series(&fuels).unwrap();
         assert!((intensity[0] - 0.820).abs() < 1e-12);
         assert!((intensity[1] - 0.011).abs() < 1e-12);
     }
@@ -87,7 +92,7 @@ mod tests {
                 HourlySeries::from_values(start(), vec![5.0]),
             ),
         ];
-        let intensity = carbon_intensity_series(&fuels);
+        let intensity = carbon_intensity_series(&fuels).unwrap();
         assert!((intensity[0] - (0.820 + 0.011) / 2.0).abs() < 1e-12);
     }
 
@@ -97,7 +102,7 @@ mod tests {
             FuelType::NaturalGas,
             HourlySeries::from_values(start(), vec![0.0]),
         )];
-        assert_eq!(carbon_intensity_series(&fuels)[0], 0.0);
+        assert_eq!(carbon_intensity_series(&fuels).unwrap()[0], 0.0);
     }
 
     #[test]
@@ -105,14 +110,19 @@ mod tests {
         let consumption = HourlySeries::from_values(start(), vec![10.0, 20.0]);
         let intensity = HourlySeries::from_values(start(), vec![0.5, 0.1]);
         // 10*0.5 + 20*0.1 = 7 tons.
-        assert!((operational_carbon(&consumption, &intensity) - 7.0).abs() < 1e-12);
+        let tons = operational_carbon(&consumption, &intensity).unwrap();
+        assert!((tons - 7.0).abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "aligned")]
-    fn operational_carbon_panics_on_misalignment() {
+    fn operational_carbon_rejects_misalignment() {
         let a = HourlySeries::zeros(start(), 2);
         let b = HourlySeries::zeros(start(), 3);
-        operational_carbon(&a, &b);
+        assert!(operational_carbon(&a, &b).is_err());
+    }
+
+    #[test]
+    fn empty_fuel_list_is_an_error() {
+        assert!(carbon_intensity_series(&[]).is_err());
     }
 }

@@ -1,33 +1,37 @@
 //! Renewable curtailment: computing curtailed energy from supply/demand
 //! series, and the historical California trend behind the paper's Figure 4.
 
-use ce_timeseries::HourlySeries;
+use ce_timeseries::{HourlySeries, TimeSeriesError};
 use serde::{Deserialize, Serialize};
 
 /// Hourly energy (MWh) that would be curtailed: renewable supply in excess
 /// of demand.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the series are misaligned.
-pub fn curtailed_energy(supply: &HourlySeries, demand: &HourlySeries) -> HourlySeries {
-    supply
-        .zip_with(demand, |s, d| (s - d).max(0.0))
-        .expect("supply and demand aligned")
+/// Returns an alignment error if the series are misaligned.
+pub fn curtailed_energy(
+    supply: &HourlySeries,
+    demand: &HourlySeries,
+) -> Result<HourlySeries, TimeSeriesError> {
+    supply.zip_with(demand, |s, d| (s - d).max(0.0))
 }
 
 /// Fraction of renewable energy curtailed over the whole series (0 if there
 /// is no supply).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the series are misaligned.
-pub fn curtailment_fraction(supply: &HourlySeries, demand: &HourlySeries) -> f64 {
+/// Returns an alignment error if the series are misaligned.
+pub fn curtailment_fraction(
+    supply: &HourlySeries,
+    demand: &HourlySeries,
+) -> Result<f64, TimeSeriesError> {
     let total = supply.sum();
     if total <= 0.0 {
-        return 0.0;
+        return Ok(0.0);
     }
-    curtailed_energy(supply, demand).sum() / total
+    Ok(curtailed_energy(supply, demand)?.sum() / total)
 }
 
 /// One year of the historical California curtailment record (Figure 4):
@@ -79,10 +83,15 @@ pub fn historical_ca_curtailment() -> Vec<CurtailmentRecord> {
 /// This reproduces Figure 4's *mechanism* — curtailment grows
 /// superlinearly with deployment because midday solar increasingly
 /// overshoots demand — rather than its fitted trend line.
+///
+/// # Errors
+///
+/// Returns an alignment error if the grid's series are misaligned (they
+/// never are when synthesized).
 pub fn simulate_curtailment_growth(
     grid: &crate::synthesis::GridDataset,
     scales: &[f64],
-) -> Vec<(f64, f64)> {
+) -> Result<Vec<(f64, f64)>, TimeSeriesError> {
     // Non-renewable baseload cannot back down below this fraction of
     // demand, so renewables above the remainder are curtailed.
     const MUST_RUN_FRACTION: f64 = 0.25;
@@ -90,12 +99,8 @@ pub fn simulate_curtailment_growth(
     scales
         .iter()
         .map(|&scale| {
-            let supply = grid
-                .wind()
-                .try_add(grid.solar())
-                .expect("grid series aligned")
-                .scale(scale);
-            (scale, curtailment_fraction(&supply, &absorable))
+            let supply = grid.wind().try_add(grid.solar())?.scale(scale);
+            Ok((scale, curtailment_fraction(&supply, &absorable)?))
         })
         .collect()
 }
@@ -113,7 +118,7 @@ mod tests {
     fn curtailed_energy_clamps_at_zero() {
         let supply = HourlySeries::from_values(start(), vec![10.0, 5.0, 0.0]);
         let demand = HourlySeries::from_values(start(), vec![7.0, 8.0, 4.0]);
-        let curtailed = curtailed_energy(&supply, &demand);
+        let curtailed = curtailed_energy(&supply, &demand).unwrap();
         assert_eq!(curtailed.values(), &[3.0, 0.0, 0.0]);
     }
 
@@ -121,9 +126,9 @@ mod tests {
     fn curtailment_fraction_basics() {
         let supply = HourlySeries::from_values(start(), vec![10.0, 10.0]);
         let demand = HourlySeries::from_values(start(), vec![5.0, 15.0]);
-        assert!((curtailment_fraction(&supply, &demand) - 0.25).abs() < 1e-12);
+        assert!((curtailment_fraction(&supply, &demand).unwrap() - 0.25).abs() < 1e-12);
         let none = HourlySeries::zeros(start(), 2);
-        assert_eq!(curtailment_fraction(&none, &demand), 0.0);
+        assert_eq!(curtailment_fraction(&none, &demand).unwrap(), 0.0);
     }
 
     #[test]
@@ -159,7 +164,7 @@ mod tests {
             2020,
             7,
         );
-        let points = simulate_curtailment_growth(&grid, &[2.0, 4.0, 8.0, 16.0]);
+        let points = simulate_curtailment_growth(&grid, &[2.0, 4.0, 8.0, 16.0]).unwrap();
         assert_eq!(points.len(), 4);
         // Monotone growth...
         for pair in points.windows(2) {

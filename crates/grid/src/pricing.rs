@@ -13,7 +13,7 @@
 //! identical, and the difference is a useful ablation.
 
 use crate::synthesis::GridDataset;
-use ce_timeseries::HourlySeries;
+use ce_timeseries::{HourlySeries, TimeSeriesError};
 use serde::{Deserialize, Serialize};
 
 /// Parameters of the merit-order price model.
@@ -45,36 +45,37 @@ impl PriceModel {
     /// Residual load is grid demand minus renewable generation; hours
     /// where renewables exceed demand price at
     /// [`PriceModel::oversupply_price`].
-    pub fn price_series(&self, grid: &GridDataset) -> HourlySeries {
+    ///
+    /// # Errors
+    ///
+    /// Returns an alignment error if the grid's series are misaligned
+    /// (they never are when synthesized).
+    pub fn price_series(&self, grid: &GridDataset) -> Result<HourlySeries, TimeSeriesError> {
         let demand = grid.demand();
-        let renewables = grid
-            .wind()
-            .try_add(grid.solar())
-            .expect("grid series aligned");
-        let residual = demand
-            .zip_with(&renewables, |d, r| d - r)
-            .expect("grid series aligned");
+        let renewables = grid.wind().try_add(grid.solar())?;
+        let residual = demand.zip_with(&renewables, |d, r| d - r)?;
         let mean_residual = residual.clamp_min(0.0).mean().max(1e-9);
-        residual.map(|r| {
+        Ok(residual.map(|r| {
             if r <= 0.0 {
                 self.oversupply_price
             } else {
                 self.base_price * (r / mean_residual).powf(self.exponent)
             }
-        })
+        }))
     }
 
     /// Annual energy cost ($) of a consumption series at this model's
     /// prices.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the series are misaligned.
-    pub fn energy_cost(&self, consumption: &HourlySeries, prices: &HourlySeries) -> f64 {
-        consumption
-            .zip_with(prices, |c, p| c * p)
-            .expect("consumption and prices aligned")
-            .sum()
+    /// Returns an alignment error if the series are misaligned.
+    pub fn energy_cost(
+        &self,
+        consumption: &HourlySeries,
+        prices: &HourlySeries,
+    ) -> Result<f64, TimeSeriesError> {
+        Ok(consumption.zip_with(prices, |c, p| c * p)?.sum())
     }
 }
 
@@ -90,14 +91,14 @@ mod tests {
 
     #[test]
     fn prices_are_bounded_below_by_oversupply_price() {
-        let prices = PriceModel::default().price_series(&grid());
+        let prices = PriceModel::default().price_series(&grid()).unwrap();
         assert!(prices.min().unwrap() >= -10.0 - 1e-9);
     }
 
     #[test]
     fn scarcity_hours_are_expensive() {
         let g = grid();
-        let prices = PriceModel::default().price_series(&g);
+        let prices = PriceModel::default().price_series(&g).unwrap();
         let renewables = g.wind().try_add(g.solar()).unwrap();
         // Find a renewable-rich and a renewable-poor hour.
         let rich = renewables.argmax().unwrap();
@@ -109,7 +110,7 @@ mod tests {
     fn price_correlates_with_carbon_intensity() {
         // The paper's premise: cheap hours are green hours.
         let g = grid();
-        let prices = PriceModel::default().price_series(&g);
+        let prices = PriceModel::default().price_series(&g).unwrap();
         let intensity = g.carbon_intensity();
         let corr = pearson(prices.values(), intensity.values()).unwrap();
         assert!(corr > 0.4, "price/intensity correlation {corr:.3}");
@@ -120,7 +121,7 @@ mod tests {
         // schedule_by_cost accepts any cost signal; using prices must
         // reduce the carbon-weighted consumption because they correlate.
         let g = grid();
-        let prices = PriceModel::default().price_series(&g);
+        let prices = PriceModel::default().price_series(&g).unwrap();
         assert_eq!(prices.len(), g.demand().len());
     }
 
@@ -131,12 +132,14 @@ mod tests {
             exponent: 1.0,
             ..PriceModel::default()
         }
-        .price_series(&g);
+        .price_series(&g)
+        .unwrap();
         let convex = PriceModel {
             exponent: 3.0,
             ..PriceModel::default()
         }
-        .price_series(&g);
+        .price_series(&g)
+        .unwrap();
         assert!(convex.max().unwrap() > flat.max().unwrap());
     }
 
@@ -144,9 +147,9 @@ mod tests {
     fn energy_cost_integrates() {
         let model = PriceModel::default();
         let g = grid();
-        let prices = model.price_series(&g);
+        let prices = model.price_series(&g).unwrap();
         let flat = HourlySeries::constant(prices.start(), prices.len(), 1.0);
-        let cost = model.energy_cost(&flat, &prices);
+        let cost = model.energy_cost(&flat, &prices).unwrap();
         assert!((cost - prices.sum()).abs() < 1e-6);
     }
 }

@@ -149,8 +149,13 @@ impl GridDataset {
     }
 
     /// Hourly carbon intensity of the grid mix, tons CO2eq per MWh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset's fuel series are misaligned — impossible
+    /// for synthesized datasets, which build every fuel on one clock.
     pub fn carbon_intensity(&self) -> HourlySeries {
-        carbon_intensity_series(&self.fuels)
+        carbon_intensity_series(&self.fuels).expect("fuel series aligned by construction")
     }
 
     /// Wind generation linearly rescaled to an investment of
@@ -193,6 +198,7 @@ impl GridDataset {
     pub fn scaled_renewables_into(&self, solar_mw: f64, wind_mw: f64, out: &mut HourlySeries) {
         let solar = self.solar();
         if out.check_aligned(solar).is_err() {
+            // ce:allow(hot-path-transitive-alloc, reason = "scratch realignment: allocates only when the caller's buffer is misshapen, never in steady state")
             *out = HourlySeries::zeros(solar.start(), solar.len());
         }
         let (fs, fw) = self.renewable_scale_factors(solar_mw, wind_mw);

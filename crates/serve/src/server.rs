@@ -289,6 +289,7 @@ struct HttpRequest {
     keep_alive: bool,
 }
 
+// ce:entry
 fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
     let _ = stream.set_nodelay(true);
@@ -606,6 +607,7 @@ fn compute(
     }
 }
 
+// ce:entry
 fn worker_loop(shared: &Arc<Shared>) {
     let mut scratch = EvalScratch::default();
     while let Some(job) = shared.queue.pop() {

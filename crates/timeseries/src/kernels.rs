@@ -379,6 +379,21 @@ mod tests {
     }
 
     #[test]
+    fn unmet_stats_matches_deficit_stats_on_clamped_series() {
+        let demand = [5.0f64, 2.0, 4.0, 1.0];
+        let supply = [3.0f64, 2.5, 4.0, 0.0];
+        let unmet: Vec<f64> = demand
+            .iter()
+            .zip(&supply)
+            .map(|(&d, &s)| (d - s).max(0.0))
+            .collect();
+        let direct = unmet_stats_slices(&unmet);
+        let reference = deficit_stats_slices(&demand, &supply);
+        assert_eq!(direct.unmet_mwh, reference.unmet_mwh);
+        assert_eq!(direct.covered_hours, reference.covered_hours);
+    }
+
+    #[test]
     fn empty_slices_sum_to_zero() {
         assert_eq!(dot_slices(&[], &[]), 0.0);
         assert_eq!(deficit_sum_slices(&[], &[]), 0.0);

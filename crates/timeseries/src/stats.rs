@@ -79,7 +79,10 @@ impl Histogram {
 
     /// Iterator over `(bin_center, count)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (f64, usize)> + '_ {
-        (0..self.counts.len()).map(move |i| (self.bin_center(i), self.counts[i]))
+        self.counts
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.bin_center(i), c))
     }
 }
 

@@ -138,19 +138,29 @@ impl Date {
                 what: "day of year out of range",
             });
         }
-        let mut remaining = doy;
-        for month in 1..=12u8 {
+        Ok(Self::from_day_of_year_clamped(year, doy))
+    }
+
+    /// Infallible companion to [`Date::from_day_of_year`]: walks the
+    /// months, clamping out-of-range inputs to Jan 1 / Dec 31 instead of
+    /// failing. Callers guarantee `1 <= doy <= days_in_year(year)`.
+    fn from_day_of_year_clamped(year: i32, doy: u32) -> Self {
+        let mut remaining = doy.max(1);
+        let mut month = 1u8;
+        while month < 12 {
             let dim = days_in_month(year, month) as u32;
             if remaining <= dim {
-                return Ok(Self {
-                    year,
-                    month,
-                    day: remaining as u8,
-                });
+                break;
             }
             remaining -= dim;
+            month += 1;
         }
-        unreachable!("doy bounded by days_in_year");
+        let dim = days_in_month(year, month) as u32;
+        Self {
+            year,
+            month,
+            day: remaining.min(dim) as u8,
+        }
     }
 
     /// The next calendar day (rolls over month and year boundaries).
@@ -243,7 +253,7 @@ impl Timestamp {
         let doy = (hour_of_year / HOURS_PER_DAY) as u32 + 1;
         let hour = (hour_of_year % HOURS_PER_DAY) as u8;
         Self {
-            date: Date::from_day_of_year(year, doy).expect("doy in range by construction"),
+            date: Date::from_day_of_year_clamped(year, doy),
             hour,
         }
     }
