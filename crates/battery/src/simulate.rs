@@ -358,9 +358,19 @@ mod tests {
                 full.unmet.count_where(|u| u <= COVERED_EPSILON_MWH),
                 "covered hours diverged"
             );
+            // The streaming fold accumulates u·w hour by hour, so the
+            // oracle is a sequential in-order sum (HourlySeries::dot uses
+            // the lane-chunked reduction order and would diverge bitwise).
+            let sequential_dot: f64 = full
+                .unmet
+                .zip_with(&weight, |u, w| u * w)
+                .unwrap()
+                .values()
+                .iter()
+                .sum();
             assert_eq!(
                 stats.unmet_dot.to_bits(),
-                full.unmet.dot(&weight).unwrap().to_bits(),
+                sequential_dot.to_bits(),
                 "weighted grid draw diverged"
             );
             assert_eq!(
@@ -379,10 +389,16 @@ mod tests {
         let (demand, supply, weight) = stats_fixture();
         let mut battery = IdealBattery::new(0.0);
         let stats = simulate_dispatch_stats(&mut battery, &demand, &supply, &weight).unwrap();
-        assert_eq!(
-            stats.deficit.unmet_mwh.to_bits(),
-            demand.deficit_sum(&supply).unwrap().to_bits()
-        );
+        // The dispatch fold accumulates hour by hour, so compare against a
+        // sequential in-order sum of the clamped deficit (deficit_sum's
+        // lane-chunked reduction order intentionally differs).
+        let sequential: f64 = demand
+            .zip_with(&supply, |d, s| (d - s).max(0.0))
+            .unwrap()
+            .values()
+            .iter()
+            .sum();
+        assert_eq!(stats.deficit.unmet_mwh.to_bits(), sequential.to_bits());
         assert_eq!(stats.equivalent_cycles, 0.0);
         assert_eq!(stats.total_discharged_mwh, 0.0);
     }

@@ -8,8 +8,8 @@ use ce_datacenter::WorkloadMix;
 use ce_embodied::EmbodiedParams;
 use ce_grid::GridDataset;
 use ce_scheduler::{
-    combined_dispatch_stats, CasConfig, CombinedConfig, CombinedScratch, GreedyScheduler,
-    ScheduleScratch,
+    combined_dispatch_stats, CasConfig, CombinedConfig, CombinedScratch, CostOrder,
+    GreedyScheduler, ScheduleScratch,
 };
 use ce_timeseries::{kernels, HourlySeries};
 use serde::{Deserialize, Serialize};
@@ -97,13 +97,17 @@ impl fmt::Display for EvaluatedDesign {
 /// the scheduler arms run through scratch-owned shift/backlog buffers;
 /// sweep loops hand each worker thread one scratch for its whole chunk,
 /// after which every strategy's evaluation path performs zero heap
-/// allocation per design point. A default-constructed scratch is sized
-/// lazily on first use.
+/// allocation per design point. The scratch also owns a [`CostOrder`]:
+/// the per-day cost-sorted hour permutations the CAS scheduler consumes,
+/// rebuilt once per renewable supply (once per (solar, wind) group in the
+/// factorized sweep) instead of once per design point. A
+/// default-constructed scratch is sized lazily on first use.
 #[derive(Debug, Clone, Default)]
 pub struct EvalScratch {
     supply: Option<HourlySeries>,
     schedule: ScheduleScratch,
     combined: CombinedScratch,
+    cost_order: CostOrder,
 }
 
 /// The design-space exploration engine (paper Figure 13).
@@ -244,22 +248,30 @@ impl CarbonExplorer {
             supply,
             schedule,
             combined,
+            cost_order,
         } = scratch;
         let supply = supply
             // ce:allow(hot-path-transitive-alloc, reason = "scratch warm-up: zeros runs once, before the steady state the rule guards")
             .get_or_insert_with(|| HourlySeries::zeros(self.demand.start(), self.demand.len()));
         self.grid
             .scaled_renewables_into(design.solar_mw, design.wind_mw, supply);
-        self.score_with_supply(strategy, design, supply, schedule, combined)
+        if matches!(strategy, StrategyKind::RenewablesCas) {
+            cost_order.rebuild_from_deficit_slices(self.demand.values(), supply.values());
+        }
+        self.score_with_supply(strategy, design, supply, schedule, combined, cost_order)
     }
 
     /// Scores one design point against an already-materialized renewable
     /// supply. This is the factorized sweep's inner loop: the supply is
     /// invariant along the battery/extra-capacity axes, so
     /// [`CarbonExplorer::explore`] fills it once per (solar, wind) group
-    /// and calls this for each sub-point. Every strategy arm folds its
-    /// dispatch to (unmet stats, operational tons, cycles) through the
-    /// streaming kernels without materializing any per-hour series.
+    /// and calls this for each sub-point. `cost_order` must hold the
+    /// per-day cost permutations for `(demand, supply)` whenever
+    /// `strategy` is [`StrategyKind::RenewablesCas`] — callers rebuild it
+    /// alongside the supply, so the per-day cost sort is likewise hoisted
+    /// out of the sub-grid loop. Every strategy arm folds its dispatch to
+    /// (unmet stats, operational tons, cycles) through the streaming
+    /// kernels without materializing any per-hour series.
     // ce:hot
     fn score_with_supply(
         &self,
@@ -268,6 +280,7 @@ impl CarbonExplorer {
         supply: &HourlySeries,
         schedule: &mut ScheduleScratch,
         combined: &mut CombinedScratch,
+        cost_order: &CostOrder,
     ) -> EvaluatedDesign {
         assert!(
             design.solar_mw.is_finite()
@@ -322,7 +335,7 @@ impl CarbonExplorer {
                     flexible_ratio: self.workload.flexible_fraction(),
                 });
                 scheduler
-                    .schedule_with(&self.demand, supply, schedule)
+                    .schedule_with_order(&self.demand, supply, cost_order, schedule)
                     .expect("aligned");
                 let (stats, operational) = kernels::deficit_stats_dot_slices(
                     schedule.shifted(),
@@ -412,10 +425,14 @@ impl CarbonExplorer {
             supply,
             schedule,
             combined,
+            cost_order,
         } = scratch;
         let supply = supply
             .get_or_insert_with(|| HourlySeries::zeros(self.demand.start(), self.demand.len()));
         self.grid.scaled_renewables_into(solar_mw, wind_mw, supply);
+        if matches!(strategy, StrategyKind::RenewablesCas) {
+            cost_order.rebuild_from_deficit_slices(self.demand.values(), supply.values());
+        }
         sub.iter()
             .map(|&(battery_mwh, extra_capacity_fraction)| {
                 let design = DesignPoint {
@@ -424,7 +441,7 @@ impl CarbonExplorer {
                     battery_mwh,
                     extra_capacity_fraction,
                 };
-                self.score_with_supply(strategy, &design, supply, schedule, combined)
+                self.score_with_supply(strategy, &design, supply, schedule, combined, cost_order)
             })
             .collect()
     }
@@ -443,7 +460,11 @@ impl CarbonExplorer {
     /// year-long series plus their sum) by `B × E` relative to the
     /// point-per-point path, without changing a single float operation in
     /// any evaluation: the cached supply is bitwise what
-    /// [`CarbonExplorer::evaluate_with`] would have recomputed.
+    /// [`CarbonExplorer::evaluate_with`] would have recomputed. For the
+    /// CAS strategy the per-day cost sort is hoisted the same way: the
+    /// group's [`CostOrder`] is rebuilt once alongside its supply and
+    /// every sub-point schedules through the cached permutations, which
+    /// reproduce the sorting path's stable order exactly.
     #[must_use]
     pub fn explore(&self, strategy: StrategyKind, space: &DesignSpace) -> Vec<EvaluatedDesign> {
         let space = space.restricted_to(strategy);
@@ -502,11 +523,16 @@ impl CarbonExplorer {
                         supply,
                         schedule,
                         combined,
+                        cost_order,
                     } = scratch;
                     let supply = supply.get_or_insert_with(|| {
                         HourlySeries::zeros(self.demand.start(), self.demand.len())
                     });
                     self.grid.scaled_renewables_into(solar_mw, wind_mw, supply);
+                    if matches!(strategy, StrategyKind::RenewablesCas) {
+                        cost_order
+                            .rebuild_from_deficit_slices(self.demand.values(), supply.values());
+                    }
                     for &(battery_mwh, extra_capacity_fraction) in &sub {
                         let design = DesignPoint {
                             solar_mw,
@@ -514,8 +540,9 @@ impl CarbonExplorer {
                             battery_mwh,
                             extra_capacity_fraction,
                         };
-                        let eval =
-                            self.score_with_supply(strategy, &design, supply, schedule, combined);
+                        let eval = self.score_with_supply(
+                            strategy, &design, supply, schedule, combined, cost_order,
+                        );
                         best = Some(match best.take() {
                             Some(incumbent) => first_min(incumbent, eval),
                             None => eval,

@@ -595,9 +595,20 @@ mod tests {
                     full.unmet.count_where(|u| u <= COVERED_EPSILON_MWH),
                     "covered hours diverged (cap {capacity})"
                 );
+                // The streaming fold accumulates u·w hour by hour, so the
+                // oracle is a sequential in-order sum (HourlySeries::dot
+                // uses the lane-chunked reduction order and would diverge
+                // bitwise).
+                let sequential_dot: f64 = full
+                    .unmet
+                    .zip_with(&weight, |u, w| u * w)
+                    .unwrap()
+                    .values()
+                    .iter()
+                    .sum();
                 assert_eq!(
                     stats.unmet_dot.to_bits(),
-                    full.unmet.dot(&weight).unwrap().to_bits(),
+                    sequential_dot.to_bits(),
                     "weighted grid draw diverged (cap {capacity})"
                 );
                 assert_eq!(stats.deferred_mwh.to_bits(), full.deferred_mwh.to_bits());

@@ -32,7 +32,7 @@ pub struct ScheduleResult {
 /// [`GreedyScheduler::schedule_by_cost_with`].
 ///
 /// A scheduling run needs a year-long shifted-load buffer, a year-long
-/// cost buffer, and two day-long work buffers; sweep loops that allocate
+/// cost buffer, and a day-long ranking buffer; sweep loops that allocate
 /// them per call churn megabytes per design point. A default-constructed
 /// scratch sizes its buffers lazily on first use and reuses them for every
 /// subsequent call, so steady-state scheduling performs no heap
@@ -44,10 +44,8 @@ pub struct ScheduleScratch {
     /// Per-hour cost signal (renewable deficit `d − s` for
     /// [`GreedyScheduler::schedule_with`]).
     cost: Vec<f64>,
-    /// Per-day movable budget, one value per hour of the day.
-    movable: Vec<f64>,
     /// Per-day hour indices ranked by cost.
-    order: Vec<usize>,
+    order: Vec<u32>,
 }
 
 impl ScheduleScratch {
@@ -57,6 +55,170 @@ impl ScheduleScratch {
     pub fn shifted(&self) -> &[f64] {
         &self.shifted
     }
+}
+
+/// Precomputed per-day cost permutations (plus the cost signal they rank),
+/// reusable across every scheduling run that shares the cost series.
+///
+/// `schedule_day`'s dominant work is ranking the day's hours by cost —
+/// the cost series depends only on demand and supply, yet the per-point
+/// sweep path re-sorted it for every battery/CAS design point in a supply
+/// group. Building a `CostOrder` once per group and scheduling through
+/// [`GreedyScheduler::schedule_with_order`] /
+/// [`GreedyScheduler::schedule_by_cost_with_order`] hoists both the cost
+/// fill and the 365 daily sorts out of the per-point path.
+///
+/// The stored permutation of each full day is exactly the stable sort by
+/// `f64::total_cmp` that the uncached path's insertion sort produces
+/// (ties keep hour order), so cached and uncached scheduling are
+/// bitwise-identical; a trailing partial day is excluded, mirroring the
+/// schedulers. Buffers are reused across `rebuild_*` calls, so a warm
+/// `CostOrder` re-ranks without allocating.
+#[derive(Debug, Clone, Default)]
+pub struct CostOrder {
+    /// Length of the source cost series (including any partial day).
+    source_len: usize,
+    /// The cost signal over the full days, one value per hour.
+    cost: Vec<f64>,
+    /// Concatenated per-day permutations: for each full day, the local
+    /// hour indices `0..HOURS_PER_DAY` ranked by ascending cost.
+    order: Vec<u32>,
+    /// Sort workspace: packed `(total_cmp-ordered cost bits, local hour)`
+    /// keys for the whole year.
+    sort_buf: Vec<u128>,
+}
+
+impl CostOrder {
+    /// Builds the per-day permutations for an arbitrary per-hour cost
+    /// signal (the ranking [`GreedyScheduler::schedule_by_cost`] uses).
+    #[must_use]
+    pub fn from_cost(cost: &[f64]) -> Self {
+        let mut this = Self::default();
+        this.rebuild_from_cost(cost);
+        this
+    }
+
+    /// Builds the per-day permutations for the renewable-deficit cost
+    /// `d − s` (the ranking [`GreedyScheduler::schedule`] uses).
+    ///
+    /// # Errors
+    ///
+    /// Returns an alignment error if the series are misaligned.
+    pub fn from_deficit(
+        demand: &HourlySeries,
+        supply: &HourlySeries,
+    ) -> Result<Self, TimeSeriesError> {
+        let mut this = Self::default();
+        this.rebuild_from_deficit(demand, supply)?;
+        Ok(this)
+    }
+
+    /// Re-ranks in place for a new cost signal, reusing the buffers.
+    pub fn rebuild_from_cost(&mut self, cost: &[f64]) {
+        self.source_len = cost.len();
+        let full = cost.len() - cost.len() % HOURS_PER_DAY;
+        self.cost.clear();
+        self.cost.extend(cost.iter().take(full));
+        self.rebuild_orders();
+    }
+
+    /// Re-ranks in place for a new demand/supply pair, reusing the
+    /// buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns an alignment error if the series are misaligned.
+    pub fn rebuild_from_deficit(
+        &mut self,
+        demand: &HourlySeries,
+        supply: &HourlySeries,
+    ) -> Result<(), TimeSeriesError> {
+        demand.check_aligned(supply)?;
+        self.rebuild_from_deficit_slices(demand.values(), supply.values());
+        Ok(())
+    }
+
+    /// Slice-level [`CostOrder::rebuild_from_deficit`] for callers whose
+    /// alignment is already an invariant (e.g. a sweep's supply buffer is
+    /// shaped from its demand trace): infallible, so hot loops carry no
+    /// error path. If the lengths do differ, the shorter one is ranked
+    /// and recorded as [`CostOrder::source_len`], which the schedulers'
+    /// own length check then rejects.
+    // ce:hot
+    pub fn rebuild_from_deficit_slices(&mut self, demand: &[f64], supply: &[f64]) {
+        self.source_len = demand.len().min(supply.len());
+        let full = self.source_len - self.source_len % HOURS_PER_DAY;
+        self.cost.clear();
+        self.cost
+            .extend(demand.iter().zip(supply).take(full).map(|(d, s)| d - s));
+        self.rebuild_orders();
+    }
+
+    /// Length of the source series this order was built from (the
+    /// schedulers require it to match the demand they are given).
+    #[must_use]
+    pub fn source_len(&self) -> usize {
+        self.source_len
+    }
+
+    /// Number of full days ranked.
+    #[must_use]
+    pub fn days(&self) -> usize {
+        self.order.len() / HOURS_PER_DAY
+    }
+
+    /// Re-sorts every day of `self.cost` into `self.order`. Each hour is
+    /// packed into one integer key — the cost's `total_cmp`-ordered bits
+    /// above, the hour index below — so sorting keys on unsigned order
+    /// equals sorting `(cost, hour)` pairs on (cost by `total_cmp`, then
+    /// hour). That composite yields the same permutation as stably
+    /// sorting hour indices by cost: the hour tiebreak hand-resolves
+    /// equal costs to ascending hour order, which is exactly what
+    /// stability would preserve — and because the keys are unique, the
+    /// (faster, allocation-free) unstable integer sort produces that
+    /// permutation deterministically.
+    // ce:hot
+    fn rebuild_orders(&mut self) {
+        // `f64::total_cmp` is the comparison of sign-magnitude bit
+        // patterns mapped to two's complement; flipping all bits of
+        // negatives and the sign bit of non-negatives maps that order
+        // onto plain unsigned order.
+        let ordered_bits = |cost: f64| -> u64 {
+            let bits = cost.to_bits();
+            if bits >> 63 == 1 {
+                !bits
+            } else {
+                bits ^ (1 << 63)
+            }
+        };
+        self.sort_buf.clear();
+        self.sort_buf.extend(
+            self.cost
+                .iter()
+                .zip((0..HOURS_PER_DAY as u32).cycle())
+                .map(|(&cost, hour)| (u128::from(ordered_bits(cost)) << 32) | u128::from(hour)),
+        );
+        for day_keys in self.sort_buf.chunks_exact_mut(HOURS_PER_DAY) {
+            day_keys.sort_unstable();
+        }
+        self.order.clear();
+        self.order
+            .extend(self.sort_buf.iter().map(|&key| key as u32));
+    }
+}
+
+/// Reads one hour's `(cost, load)` pair when a transfer cursor lands on
+/// it. Centralizing the cursor reads keeps the transfer loop's slice
+/// accesses in one place (one bounds check site per slice).
+// ce:hot
+fn cursor_slot(cost: &[f64], load: &[f64], hour: usize) -> (f64, f64) {
+    (cost[hour], load[hour])
+}
+
+/// Commits a cursor's mirrored load back to the day slice.
+// ce:hot
+fn commit_load(load: &mut [f64], hour: usize, value: f64) {
+    load[hour] = value;
 }
 
 /// The paper's greedy carbon-aware scheduler.
@@ -127,10 +289,15 @@ impl GreedyScheduler {
         scratch: &mut ScheduleScratch,
     ) -> Result<f64, TimeSeriesError> {
         demand.check_aligned(supply)?;
-        scratch.shifted.clear();
-        scratch.shifted.extend_from_slice(demand.values());
-        scratch.cost.clear();
-        scratch.cost.extend(
+        let ScheduleScratch {
+            shifted,
+            cost,
+            order,
+        } = scratch;
+        shifted.clear();
+        shifted.extend_from_slice(demand.values());
+        cost.clear();
+        cost.extend(
             demand
                 .values()
                 .iter()
@@ -138,16 +305,11 @@ impl GreedyScheduler {
                 .map(|(d, s)| d - s),
         );
         let mut total_moved = 0.0;
-        let full_days = demand.len() / HOURS_PER_DAY;
-        for day in 0..full_days {
-            let base = day * HOURS_PER_DAY;
-            total_moved += self.schedule_day(
-                &mut scratch.shifted[base..base + HOURS_PER_DAY],
-                &scratch.cost[base..base + HOURS_PER_DAY],
-                Some(&supply.values()[base..base + HOURS_PER_DAY]),
-                &mut scratch.movable,
-                &mut scratch.order,
-            );
+        let loads = shifted.chunks_exact_mut(HOURS_PER_DAY);
+        let costs = cost.chunks_exact(HOURS_PER_DAY);
+        let supplies = supply.values().chunks_exact(HOURS_PER_DAY);
+        for ((load, cost), sup) in loads.zip(costs).zip(supplies) {
+            total_moved += self.schedule_day(load, cost, Some(sup), order);
         }
         Ok(total_moved)
     }
@@ -190,24 +352,92 @@ impl GreedyScheduler {
         scratch.shifted.clear();
         scratch.shifted.extend_from_slice(demand.values());
         let mut total_moved = 0.0;
-
-        let full_days = demand.len() / HOURS_PER_DAY;
-        for day in 0..full_days {
-            let base = day * HOURS_PER_DAY;
-            total_moved += self.schedule_day(
-                &mut scratch.shifted[base..base + HOURS_PER_DAY],
-                &cost.values()[base..base + HOURS_PER_DAY],
-                None,
-                &mut scratch.movable,
-                &mut scratch.order,
-            );
+        let loads = scratch.shifted.chunks_exact_mut(HOURS_PER_DAY);
+        let costs = cost.values().chunks_exact(HOURS_PER_DAY);
+        for (load, cost) in loads.zip(costs) {
+            total_moved += self.schedule_day(load, cost, None, &mut scratch.order);
         }
-
         Ok(total_moved)
     }
 
-    /// Greedy within one day; returns energy moved. `movable` and `order`
-    /// are caller-owned work buffers (cleared and refilled here).
+    /// [`GreedyScheduler::schedule_with`] with a precomputed
+    /// [`CostOrder`] (built from the *same* demand/supply pair via
+    /// [`CostOrder::from_deficit`] / [`CostOrder::rebuild_from_deficit`]):
+    /// the per-day cost ranking — the dominant cost of the uncached path —
+    /// is reused instead of recomputed, and results are bitwise-identical.
+    ///
+    /// Sweep loops exploit this by building one `CostOrder` per supply
+    /// group and scheduling every design point in the group through it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an alignment error if the series are misaligned, or a
+    /// length mismatch if `order` was built from a series of a different
+    /// length than `demand`.
+    // ce:hot
+    pub fn schedule_with_order(
+        &self,
+        demand: &HourlySeries,
+        supply: &HourlySeries,
+        order: &CostOrder,
+        scratch: &mut ScheduleScratch,
+    ) -> Result<f64, TimeSeriesError> {
+        demand.check_aligned(supply)?;
+        if order.source_len() != demand.len() {
+            return Err(TimeSeriesError::LengthMismatch {
+                left: order.source_len(),
+                right: demand.len(),
+            });
+        }
+        scratch.shifted.clear();
+        scratch.shifted.extend_from_slice(demand.values());
+        let mut total_moved = 0.0;
+        let loads = scratch.shifted.chunks_exact_mut(HOURS_PER_DAY);
+        let costs = order.cost.chunks_exact(HOURS_PER_DAY);
+        let orders = order.order.chunks_exact(HOURS_PER_DAY);
+        let supplies = supply.values().chunks_exact(HOURS_PER_DAY);
+        for (((load, cost), ord), sup) in loads.zip(costs).zip(orders).zip(supplies) {
+            total_moved += self.transfer_day(load, cost, Some(sup), ord);
+        }
+        Ok(total_moved)
+    }
+
+    /// [`GreedyScheduler::schedule_by_cost_with`] with a precomputed
+    /// [`CostOrder`] (built from the *same* cost series via
+    /// [`CostOrder::from_cost`] / [`CostOrder::rebuild_from_cost`]);
+    /// results are bitwise-identical to the uncached path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a length mismatch if `order` was built from a series of a
+    /// different length than `demand`.
+    // ce:hot
+    pub fn schedule_by_cost_with_order(
+        &self,
+        demand: &HourlySeries,
+        order: &CostOrder,
+        scratch: &mut ScheduleScratch,
+    ) -> Result<f64, TimeSeriesError> {
+        if order.source_len() != demand.len() {
+            return Err(TimeSeriesError::LengthMismatch {
+                left: order.source_len(),
+                right: demand.len(),
+            });
+        }
+        scratch.shifted.clear();
+        scratch.shifted.extend_from_slice(demand.values());
+        let mut total_moved = 0.0;
+        let loads = scratch.shifted.chunks_exact_mut(HOURS_PER_DAY);
+        let costs = order.cost.chunks_exact(HOURS_PER_DAY);
+        let orders = order.order.chunks_exact(HOURS_PER_DAY);
+        for ((load, cost), ord) in loads.zip(costs).zip(orders) {
+            total_moved += self.transfer_day(load, cost, None, ord);
+        }
+        Ok(total_moved)
+    }
+
+    /// Greedy within one day; returns energy moved. `order` is a
+    /// caller-owned work buffer (cleared and refilled here).
     ///
     /// When a `supply` slice is given, a destination hour additionally
     /// stops absorbing load once its remaining renewable surplus is used
@@ -218,58 +448,143 @@ impl GreedyScheduler {
         load: &mut [f64],
         cost: &[f64],
         supply: Option<&[f64]>,
-        movable: &mut Vec<f64>,
-        order: &mut Vec<usize>,
+        order: &mut Vec<u32>,
     ) -> f64 {
         let n = load.len();
-        // Movable budget is FWR of the *original* hourly load.
-        movable.clear();
-        movable.extend(load.iter().map(|&l| l * self.config.flexible_ratio));
-
         // Hours ranked by cost: sources from most expensive down,
         // destinations from cheapest up. A hand-rolled insertion sort
         // keeps the allocation-free guarantee (`slice::sort_by` may
         // allocate) while producing the exact permutation of any stable
-        // sort, so results match the previous `sort_by` formulation.
+        // sort, so results match both the previous `sort_by` formulation
+        // and the pair-sort in [`CostOrder::rebuild_from_cost`].
         order.clear();
-        order.extend(0..n);
+        order.extend(0..n as u32);
         for i in 1..n {
             let mut j = i;
-            while j > 0 && cost[order[j]].total_cmp(&cost[order[j - 1]]) == std::cmp::Ordering::Less
+            while j > 0
+                && cost[order[j] as usize].total_cmp(&cost[order[j - 1] as usize])
+                    == std::cmp::Ordering::Less
             {
                 order.swap(j, j - 1);
                 j -= 1;
             }
         }
+        self.transfer_day(load, cost, supply, order)
+    }
+
+    /// The transfer phase shared by the sorting and permutation-cached
+    /// paths: walks `order` (the day's hours ranked by ascending cost)
+    /// from both ends, moving flexible load from the most expensive hours
+    /// into the cheapest. Returns the energy moved.
+    ///
+    /// The cursors' slots are mirrored into locals (`src_load`, `budget`,
+    /// `dst_load`, ...) and written back only when a cursor advances or
+    /// the loop exits: the two cursor positions are always distinct slots
+    /// (the loop stops before they meet), so the mirrors keep the serial
+    /// chain of float ops — and therefore every result bit, NaN inputs
+    /// included — identical to operating on the slices directly, while
+    /// the iteration itself touches no memory. The per-source budget is
+    /// `original load × FWR`; a source's load is first mutated *after*
+    /// its budget is mirrored, so computing it on cursor advance equals
+    /// precomputing all budgets up front (what an earlier revision's
+    /// `movable` buffer did).
+    // ce:hot
+    fn transfer_day(
+        &self,
+        load: &mut [f64],
+        cost: &[f64],
+        supply: Option<&[f64]>,
+        order: &[u32],
+    ) -> f64 {
+        let ratio = self.config.flexible_ratio;
+        let cap = self.config.max_capacity_mw;
+
+        // A day with no movable budget (zero flexibility, or an all-idle
+        // day) cannot transfer anything: every candidate amount is capped
+        // by a budget ≤ 1e-12 and fails the `> 1e-12` move threshold
+        // below, so skipping the loop is a bitwise no-op. (NaN budgets
+        // fail the `<=` test and conservatively fall through.)
+        if load.iter().all(|&l| l * ratio <= 1e-12) {
+            return 0.0;
+        }
+
+        // Destinations walk `order` from the cheap end, sources from the
+        // expensive end. Taking both ends off a double-ended iterator
+        // reproduces the index-pair walk (`order[dest_idx]` /
+        // `order[src_idx - 1]` while `dest_idx < src_idx`): when one side
+        // exhausts the middle, the index walk's next step would alias the
+        // cursors onto the same hour and break on `cost[dst] >= cost[src]`
+        // without moving anything, so breaking on `None` is equivalent.
+        let mut ends = order.iter();
+        let Some(&first) = ends.next() else {
+            return 0.0;
+        };
+        let Some(&last) = ends.next_back() else {
+            return 0.0; // single-hour day: nowhere cheaper to move to
+        };
+        let mut dst = first as usize;
+        let mut src = last as usize;
+        // A destination absorbs up to `limit − load`: `limit` folds the
+        // capacity cap and the hour's renewable supply into one bound per
+        // destination, hoisting the supply clamp off the per-iteration
+        // dependency chain (rounding is monotone, so clamping the smaller
+        // bound yields the identical headroom the two-sided clamp did).
+        let limit_of = |hour: usize| match supply {
+            Some(s) => cap.min(s[hour]),
+            None => cap,
+        };
+        let (mut dst_cost, mut dst_load) = cursor_slot(cost, load, dst);
+        let mut dst_limit = limit_of(dst);
+        let (mut src_cost, mut src_load) = cursor_slot(cost, load, src);
+        let mut budget = src_load * ratio;
 
         let mut moved = 0.0;
-        let mut dest_idx = 0;
-        let mut src_idx = n;
-        while dest_idx < src_idx {
-            let src = order[src_idx - 1];
-            let dst = order[dest_idx];
+        loop {
             // Only profitable to move load to a strictly cheaper hour.
-            if cost[dst] >= cost[src] {
+            if dst_cost >= src_cost {
                 break;
             }
-            let mut headroom = (self.config.max_capacity_mw - load[dst]).max(0.0);
-            if let Some(s) = supply {
-                headroom = headroom.min((s[dst] - load[dst]).max(0.0));
-            }
-            let amount = movable[src].min(headroom);
+            let headroom = (dst_limit - dst_load).max(0.0);
+            // A budget-bound move transfers the budget itself: taking the
+            // branch instead of `min` keeps full drains (the common case
+            // in sweeps) off the headroom dependency chain, while the
+            // `min` fallback preserves the tie/NaN selection exactly.
+            let amount = if budget < headroom {
+                budget
+            } else {
+                budget.min(headroom)
+            };
             if amount > 1e-12 {
-                load[src] -= amount;
-                load[dst] += amount;
-                movable[src] -= amount;
+                src_load -= amount;
+                dst_load += amount;
+                budget -= amount;
                 moved += amount;
             }
-            // Advance whichever side is exhausted.
-            if movable[src] <= 1e-12 {
-                src_idx -= 1;
+            // Advance whichever side is exhausted, committing its mirror.
+            if budget <= 1e-12 {
+                commit_load(load, src, src_load);
+                match ends.next_back() {
+                    Some(&s) => {
+                        src = s as usize;
+                        (src_cost, src_load) = cursor_slot(cost, load, src);
+                        budget = src_load * ratio;
+                    }
+                    None => break,
+                }
             } else {
-                dest_idx += 1;
+                commit_load(load, dst, dst_load);
+                match ends.next() {
+                    Some(&d) => {
+                        dst = d as usize;
+                        (dst_cost, dst_load) = cursor_slot(cost, load, dst);
+                        dst_limit = limit_of(dst);
+                    }
+                    None => break,
+                }
             }
         }
+        commit_load(load, src, src_load);
+        commit_load(load, dst, dst_load);
         moved
     }
 }
@@ -479,6 +794,135 @@ mod tests {
         assert_eq!(scratch.shifted(), fresh.shifted_demand.values());
         assert_eq!(moved, fresh.energy_shifted_mwh);
         assert_eq!(scratch.shifted().len(), 24);
+    }
+
+    /// Irregular multi-day fixture with cost ties, flat stretches, zero
+    /// hours, and a trailing partial day.
+    fn uneven_fixture() -> (HourlySeries, HourlySeries) {
+        let demand = HourlySeries::from_fn(start(), 24 * 7 + 5, |h| {
+            8.0 + ((h * 11) % 9) as f64 + if h % 31 == 0 { 0.0 } else { 0.25 }
+        });
+        let supply = HourlySeries::from_fn(start(), 24 * 7 + 5, |h| {
+            // Repeats every 12 hours within a day, forcing cost ties.
+            ((h % 12) * 3 % 17) as f64 + if h / 24 == 2 { 0.0 } else { 1.5 }
+        });
+        (demand, supply)
+    }
+
+    #[test]
+    fn cached_order_matches_sorting_path_bitwise() {
+        let (demand, supply) = uneven_fixture();
+        for (cap, fwr) in [(18.0, 0.4), (12.5, 1.0), (100.0, 0.05), (9.0, 0.0)] {
+            let sched = GreedyScheduler::new(CasConfig {
+                max_capacity_mw: cap,
+                flexible_ratio: fwr,
+            });
+            let mut sorted = ScheduleScratch::default();
+            let moved_sorted = sched.schedule_with(&demand, &supply, &mut sorted).unwrap();
+            let order = CostOrder::from_deficit(&demand, &supply).unwrap();
+            let mut cached = ScheduleScratch::default();
+            let moved_cached = sched
+                .schedule_with_order(&demand, &supply, &order, &mut cached)
+                .unwrap();
+            let sorted_bits: Vec<u64> = sorted.shifted().iter().map(|v| v.to_bits()).collect();
+            let cached_bits: Vec<u64> = cached.shifted().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                sorted_bits, cached_bits,
+                "shifted diverged (cap {cap}, fwr {fwr})"
+            );
+            assert_eq!(
+                moved_sorted.to_bits(),
+                moved_cached.to_bits(),
+                "moved diverged (cap {cap}, fwr {fwr})"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_order_matches_by_cost_path_bitwise() {
+        let demand = HourlySeries::from_fn(start(), 24 * 5, |h| 6.0 + (h % 4) as f64);
+        // Ties across hours (cost repeats every 6 hours) plus NaN-free
+        // negatives to exercise the full total_cmp ordering.
+        let cost = HourlySeries::from_fn(start(), 24 * 5, |h| ((h % 6) as f64) - 2.0);
+        let sched = GreedyScheduler::new(CasConfig {
+            max_capacity_mw: 40.0,
+            flexible_ratio: 0.7,
+        });
+        let mut sorted = ScheduleScratch::default();
+        let moved_sorted = sched
+            .schedule_by_cost_with(&demand, &cost, &mut sorted)
+            .unwrap();
+        let order = CostOrder::from_cost(cost.values());
+        let mut cached = ScheduleScratch::default();
+        let moved_cached = sched
+            .schedule_by_cost_with_order(&demand, &order, &mut cached)
+            .unwrap();
+        let sorted_bits: Vec<u64> = sorted.shifted().iter().map(|v| v.to_bits()).collect();
+        let cached_bits: Vec<u64> = cached.shifted().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(sorted_bits, cached_bits);
+        assert_eq!(moved_sorted.to_bits(), moved_cached.to_bits());
+    }
+
+    #[test]
+    fn cost_order_is_reusable_across_rebuilds() {
+        let (demand, supply) = uneven_fixture();
+        let mut order = CostOrder::from_deficit(&demand, &supply).unwrap();
+        // Rebuild for a different, shorter pair; must match a fresh build.
+        let d2 = HourlySeries::from_fn(start(), 48, |h| 5.0 + (h % 7) as f64);
+        let s2 = HourlySeries::from_fn(start(), 48, |h| ((h * 13) % 19) as f64);
+        order.rebuild_from_deficit(&d2, &s2).unwrap();
+        let fresh = CostOrder::from_deficit(&d2, &s2).unwrap();
+        assert_eq!(order.source_len(), fresh.source_len());
+        assert_eq!(order.days(), fresh.days());
+        assert_eq!(order.order, fresh.order);
+        let sched = GreedyScheduler::new(CasConfig {
+            max_capacity_mw: 20.0,
+            flexible_ratio: 0.5,
+        });
+        let mut cached = ScheduleScratch::default();
+        let moved = sched
+            .schedule_with_order(&d2, &s2, &order, &mut cached)
+            .unwrap();
+        let mut sorted = ScheduleScratch::default();
+        let moved_sorted = sched.schedule_with(&d2, &s2, &mut sorted).unwrap();
+        assert_eq!(cached.shifted(), sorted.shifted());
+        assert_eq!(moved.to_bits(), moved_sorted.to_bits());
+    }
+
+    #[test]
+    fn stale_cost_order_length_is_an_error() {
+        let (demand, supply) = uneven_fixture();
+        let order = CostOrder::from_deficit(&demand, &supply).unwrap();
+        let short_demand = HourlySeries::zeros(start(), 48);
+        let short_supply = HourlySeries::zeros(start(), 48);
+        let sched = GreedyScheduler::new(CasConfig {
+            max_capacity_mw: 10.0,
+            flexible_ratio: 0.4,
+        });
+        let mut scratch = ScheduleScratch::default();
+        assert!(sched
+            .schedule_with_order(&short_demand, &short_supply, &order, &mut scratch)
+            .is_err());
+        assert!(sched
+            .schedule_by_cost_with_order(&short_demand, &order, &mut scratch)
+            .is_err());
+    }
+
+    #[test]
+    fn zero_budget_day_skips_transfer_without_changing_results() {
+        // All-zero demand gives every day a zero movable budget; the
+        // early-skip must leave the load untouched and report zero moved,
+        // exactly as the full transfer loop would.
+        let demand = HourlySeries::zeros(start(), 48);
+        let supply = HourlySeries::from_fn(start(), 48, |h| (h % 5) as f64);
+        let sched = GreedyScheduler::new(CasConfig {
+            max_capacity_mw: 10.0,
+            flexible_ratio: 1.0,
+        });
+        let mut scratch = ScheduleScratch::default();
+        let moved = sched.schedule_with(&demand, &supply, &mut scratch).unwrap();
+        assert_eq!(moved, 0.0);
+        assert_eq!(scratch.shifted(), demand.values());
     }
 
     #[test]

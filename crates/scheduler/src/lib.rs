@@ -49,7 +49,7 @@ pub use combined::{
     combined_dispatch, combined_dispatch_stats, CombinedConfig, CombinedResult, CombinedScratch,
     CombinedStats,
 };
-pub use greedy::{CasConfig, GreedyScheduler, ScheduleResult, ScheduleScratch};
+pub use greedy::{CasConfig, CostOrder, GreedyScheduler, ScheduleResult, ScheduleScratch};
 pub use lp::lp_schedule;
 pub use online::{online_schedule, OnlineResult};
 pub use queue::{simulate_queue, QueueStats};

@@ -9,10 +9,38 @@
 //! intermediate allocation; they are the inner loops of
 //! `ce_core::CarbonExplorer::evaluate`.
 //!
-//! Every kernel applies its operations elementwise in index order with a
-//! sequential left-to-right fold — exactly the float-operation sequence of
-//! the naive formulation — so results are bitwise-identical to
-//! `zip_with(f).sum()`, which the unit tests assert.
+//! # Reduction order
+//!
+//! A single sequential accumulator chains every add through one register,
+//! so the loop runs at the latency of an f64 add instead of the
+//! throughput of the vector units. The reduction kernels therefore fold
+//! into [`LANES`] **independent accumulator lanes** with a fixed,
+//! documented combination order, which the compiler autovectorizes under
+//! `#![forbid(unsafe_code)]`:
+//!
+//! 1. The input is split into full chunks of [`LANES`] elements followed
+//!    by a remainder of `len % LANES` elements.
+//! 2. Within the full chunks, element `i` folds into lane `i % LANES`:
+//!    lane `j` accumulates elements `j, j + LANES, j + 2·LANES, …` in
+//!    increasing index order. Elementwise *maps* (the clamp in a deficit,
+//!    the multiply in a dot product, any caller-supplied closure) are
+//!    still applied in increasing index order — only the *additions* are
+//!    distributed across lanes.
+//! 3. The lanes combine in the fixed tree
+//!    `((l0 + l1) + (l2 + l3)) + ((l4 + l5) + (l6 + l7))`.
+//! 4. The remainder elements fold sequentially, left to right, onto the
+//!    tree total.
+//!
+//! This order is part of each kernel's contract: it is deterministic,
+//! independent of thread count and platform, and shared by the
+//! transparent scalar implementations in [`reference`], to which every
+//! chunked kernel is bitwise-identical (the unit tests pin lengths 0, 1,
+//! 7, 8, 9, and 8760). Purely elementwise kernels ([`scaled_sum_into`])
+//! have no reduction and are bitwise-independent of chunking.
+//!
+//! Hour-by-hour *simulations* (battery dispatch, the combined heuristic)
+//! carry loop-borne state and keep their sequential folds; their
+//! contracts are unchanged.
 //!
 //! Slice-level variants (`*_slices`) are exposed for callers that operate
 //! on windows of a series (e.g. monthly decomposition) without paying
@@ -25,19 +53,48 @@ use crate::TimeSeriesError;
 /// clamped deficit is at most this many MWh counts as fully covered.
 pub const COVERED_EPSILON_MWH: f64 = 1e-9;
 
-/// Sums `f(a[i], b[i])` over two equal-length slices without allocating.
+/// Number of independent accumulator lanes in the chunked reduction
+/// kernels (see the [module docs](self) for the full reduction order).
 ///
-/// # Panics
-///
-/// Panics (debug assertion) if the slices differ in length.
+/// Eight f64 lanes fill two 256-bit vectors (or four 128-bit ones), and —
+/// even where the compiler emits scalar code — break the loop-carried
+/// dependency on a single accumulator register.
+pub const LANES: usize = 8;
+
+/// Combines the accumulator lanes in the documented fixed tree:
+/// `((l0 + l1) + (l2 + l3)) + ((l4 + l5) + (l6 + l7))`.
+#[inline]
+#[must_use]
+fn reduce_lanes(lanes: [f64; LANES]) -> f64 {
+    let [l0, l1, l2, l3, l4, l5, l6, l7] = lanes;
+    ((l0 + l1) + (l2 + l3)) + ((l4 + l5) + (l6 + l7))
+}
+
+/// Sums `f(a[i], b[i])` over two equal-length slices without allocating,
+/// in the documented chunked reduction order. `f` is applied to elements
+/// in increasing index order (stateful closures observe every pair exactly
+/// once, in order); only the additions are distributed across lanes.
 #[must_use]
 // ce:hot
 pub fn zip_sum_slices(a: &[f64], b: &[f64], mut f: impl FnMut(f64, f64) -> f64) -> f64 {
     debug_assert_eq!(a.len(), b.len(), "zip_sum_slices requires equal lengths");
-    a.iter().zip(b).map(|(&x, &y)| f(x, y)).sum()
+    let mut lanes = [0.0; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xs, ys) in ca.by_ref().zip(cb.by_ref()) {
+        for ((lane, &x), &y) in lanes.iter_mut().zip(xs).zip(ys) {
+            *lane += f(x, y);
+        }
+    }
+    let mut total = reduce_lanes(lanes);
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        total += f(x, y);
+    }
+    total
 }
 
-/// Dot product `Σ a[i]·b[i]` of two equal-length slices.
+/// Dot product `Σ a[i]·b[i]` of two equal-length slices, in the
+/// documented chunked reduction order.
 #[must_use]
 // ce:hot
 pub fn dot_slices(a: &[f64], b: &[f64]) -> f64 {
@@ -45,7 +102,8 @@ pub fn dot_slices(a: &[f64], b: &[f64]) -> f64 {
 }
 
 /// Clamped-deficit energy `Σ max(d[i] − s[i], 0)` — the unmet MWh of
-/// demand `d` under supply `s`.
+/// demand `d` under supply `s` — in the documented chunked reduction
+/// order.
 #[must_use]
 // ce:hot
 pub fn deficit_sum_slices(demand: &[f64], supply: &[f64]) -> f64 {
@@ -53,17 +111,32 @@ pub fn deficit_sum_slices(demand: &[f64], supply: &[f64]) -> f64 {
 }
 
 /// Deficit-weighted reduction `Σ max(d[i] − s[i], 0) · w[i]`, e.g. unmet
-/// energy times hourly carbon intensity = operational tons.
+/// energy times hourly carbon intensity = operational tons, in the
+/// documented chunked reduction order.
 #[must_use]
 // ce:hot
 pub fn deficit_dot_slices(demand: &[f64], supply: &[f64], weight: &[f64]) -> f64 {
+    debug_assert_eq!(demand.len(), supply.len(), "deficit_dot_slices lengths");
     debug_assert_eq!(demand.len(), weight.len(), "deficit_dot_slices lengths");
-    demand
+    let mut lanes = [0.0; LANES];
+    let mut cd = demand.chunks_exact(LANES);
+    let mut cs = supply.chunks_exact(LANES);
+    let mut cw = weight.chunks_exact(LANES);
+    for ((ds, ss), ws) in cd.by_ref().zip(cs.by_ref()).zip(cw.by_ref()) {
+        for (((lane, &d), &s), &w) in lanes.iter_mut().zip(ds).zip(ss).zip(ws) {
+            *lane += (d - s).max(0.0) * w;
+        }
+    }
+    let mut total = reduce_lanes(lanes);
+    let tail = cd
+        .remainder()
         .iter()
-        .zip(supply)
-        .zip(weight)
-        .map(|((&d, &s), &w)| (d - s).max(0.0) * w)
-        .sum()
+        .zip(cs.remainder())
+        .zip(cw.remainder());
+    for ((&d, &s), &w) in tail {
+        total += (d - s).max(0.0) * w;
+    }
+    total
 }
 
 /// The coverage-relevant aggregates of a clamped deficit, in one pass.
@@ -76,20 +149,31 @@ pub struct DeficitStats {
 }
 
 /// Computes unmet energy and fully-covered hour count of `demand` under
-/// `supply` in a single pass, matching the float sequence of
-/// materializing the deficit series and then summing/counting it.
+/// `supply` in a single pass. The energy folds in the documented chunked
+/// reduction order; the hour count is an exact integer sum and is
+/// order-independent.
 #[must_use]
 // ce:hot
 pub fn deficit_stats_slices(demand: &[f64], supply: &[f64]) -> DeficitStats {
     debug_assert_eq!(demand.len(), supply.len(), "deficit_stats_slices lengths");
-    let mut unmet_mwh = 0.0;
-    let mut covered_hours = 0usize;
-    for (&d, &s) in demand.iter().zip(supply) {
+    let mut lanes = [0.0; LANES];
+    let mut covered = [0usize; LANES];
+    let mut cd = demand.chunks_exact(LANES);
+    let mut cs = supply.chunks_exact(LANES);
+    for (ds, ss) in cd.by_ref().zip(cs.by_ref()) {
+        let acc = lanes.iter_mut().zip(covered.iter_mut());
+        for (((lane, cov), &d), &s) in acc.zip(ds).zip(ss) {
+            let u = (d - s).max(0.0);
+            *lane += u;
+            *cov += usize::from(u <= COVERED_EPSILON_MWH);
+        }
+    }
+    let mut unmet_mwh = reduce_lanes(lanes);
+    let mut covered_hours: usize = covered.iter().sum();
+    for (&d, &s) in cd.remainder().iter().zip(cs.remainder()) {
         let u = (d - s).max(0.0);
         unmet_mwh += u;
-        if u <= COVERED_EPSILON_MWH {
-            covered_hours += 1;
-        }
+        covered_hours += usize::from(u <= COVERED_EPSILON_MWH);
     }
     DeficitStats {
         unmet_mwh,
@@ -101,11 +185,12 @@ pub fn deficit_stats_slices(demand: &[f64], supply: &[f64]) -> DeficitStats {
 /// single pass: unmet energy, covered-hour count, and the
 /// deficit-weighted reduction `Σ max(d[i] − s[i], 0) · w[i]`.
 ///
-/// Each accumulator folds in index order, exactly as the two separate
-/// kernels would, so both components are bitwise-identical to running
-/// [`deficit_stats_slices`] and [`deficit_dot_slices`] back to back —
-/// while reading the inputs once instead of twice. This is the scoring
-/// reduction of the renewables-only and CAS sweep arms.
+/// Both float accumulators fold in the documented chunked reduction
+/// order, with identical lane assignment, so the components are
+/// bitwise-identical to running [`deficit_stats_slices`] and
+/// [`deficit_dot_slices`] back to back — while reading the inputs once
+/// instead of twice. This is the scoring reduction of the renewables-only
+/// and CAS sweep arms.
 #[must_use]
 // ce:hot
 pub fn deficit_stats_dot_slices(
@@ -115,15 +200,36 @@ pub fn deficit_stats_dot_slices(
 ) -> (DeficitStats, f64) {
     debug_assert_eq!(demand.len(), supply.len(), "deficit_stats_dot lengths");
     debug_assert_eq!(demand.len(), weight.len(), "deficit_stats_dot lengths");
-    let mut unmet_mwh = 0.0;
-    let mut covered_hours = 0usize;
-    let mut dot = 0.0;
-    for ((&d, &s), &w) in demand.iter().zip(supply).zip(weight) {
+    let mut unmet_lanes = [0.0; LANES];
+    let mut dot_lanes = [0.0; LANES];
+    let mut covered = [0usize; LANES];
+    let mut cd = demand.chunks_exact(LANES);
+    let mut cs = supply.chunks_exact(LANES);
+    let mut cw = weight.chunks_exact(LANES);
+    for ((ds, ss), ws) in cd.by_ref().zip(cs.by_ref()).zip(cw.by_ref()) {
+        let acc = unmet_lanes
+            .iter_mut()
+            .zip(dot_lanes.iter_mut())
+            .zip(covered.iter_mut());
+        for ((((ul, dl), cov), (&d, &s)), &w) in acc.zip(ds.iter().zip(ss)).zip(ws) {
+            let u = (d - s).max(0.0);
+            *ul += u;
+            *cov += usize::from(u <= COVERED_EPSILON_MWH);
+            *dl += u * w;
+        }
+    }
+    let mut unmet_mwh = reduce_lanes(unmet_lanes);
+    let mut dot = reduce_lanes(dot_lanes);
+    let mut covered_hours: usize = covered.iter().sum();
+    let tail = cd
+        .remainder()
+        .iter()
+        .zip(cs.remainder())
+        .zip(cw.remainder());
+    for ((&d, &s), &w) in tail {
         let u = (d - s).max(0.0);
         unmet_mwh += u;
-        if u <= COVERED_EPSILON_MWH {
-            covered_hours += 1;
-        }
+        covered_hours += usize::from(u <= COVERED_EPSILON_MWH);
         dot += u * w;
     }
     (
@@ -137,18 +243,26 @@ pub fn deficit_stats_dot_slices(
 
 /// Aggregates of an already-clamped unmet series (e.g. a dispatch model's
 /// per-hour grid draw): total energy and fully-covered hour count, in one
-/// pass. Matches summing the series and counting
-/// `u ≤ COVERED_EPSILON_MWH` separately.
+/// pass, with the energy folding in the documented chunked reduction
+/// order.
 #[must_use]
 // ce:hot
 pub fn unmet_stats_slices(unmet: &[f64]) -> DeficitStats {
-    let mut unmet_mwh = 0.0;
-    let mut covered_hours = 0usize;
-    for &u in unmet {
-        unmet_mwh += u;
-        if u <= COVERED_EPSILON_MWH {
-            covered_hours += 1;
+    let mut lanes = [0.0; LANES];
+    let mut covered = [0usize; LANES];
+    let mut chunks = unmet.chunks_exact(LANES);
+    for us in chunks.by_ref() {
+        let acc = lanes.iter_mut().zip(covered.iter_mut());
+        for ((lane, cov), &u) in acc.zip(us) {
+            *lane += u;
+            *cov += usize::from(u <= COVERED_EPSILON_MWH);
         }
+    }
+    let mut unmet_mwh = reduce_lanes(lanes);
+    let mut covered_hours: usize = covered.iter().sum();
+    for &u in chunks.remainder() {
+        unmet_mwh += u;
+        covered_hours += usize::from(u <= COVERED_EPSILON_MWH);
     }
     DeficitStats {
         unmet_mwh,
@@ -159,20 +273,162 @@ pub fn unmet_stats_slices(unmet: &[f64]) -> DeficitStats {
 /// Writes `a[i]·fa + b[i]·fb` into `out` — the fused "scale two generation
 /// series and add them" step of renewable-supply construction.
 ///
-/// # Panics
-///
-/// Panics (debug assertion) on length mismatches.
+/// Purely elementwise: `out[i]` depends on index `i` alone, so the
+/// chunked traversal (structured for straight-line vector codegen) is
+/// bitwise-identical to any other traversal order.
 // ce:hot
 pub fn scaled_sum_into(a: &[f64], fa: f64, b: &[f64], fb: f64, out: &mut [f64]) {
     debug_assert_eq!(a.len(), b.len(), "scaled_sum_into input lengths");
     debug_assert_eq!(a.len(), out.len(), "scaled_sum_into output length");
-    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+    let mut co = out.chunks_exact_mut(LANES);
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for ((os, xs), ys) in co.by_ref().zip(ca.by_ref()).zip(cb.by_ref()) {
+        for ((o, &x), &y) in os.iter_mut().zip(xs).zip(ys) {
+            *o = x * fa + y * fb;
+        }
+    }
+    let tail = co
+        .into_remainder()
+        .iter_mut()
+        .zip(ca.remainder())
+        .zip(cb.remainder());
+    for ((o, &x), &y) in tail {
         *o = x * fa + y * fb;
     }
 }
 
+/// Transparent scalar reference implementations of the chunked kernels.
+///
+/// Each function here spells out the [module-level](self) reduction order
+/// literally — lane `j` is the plain sequential sum of term indices
+/// `j, j + LANES, j + 2·LANES, …` below the chunk boundary, the lanes
+/// combine in the fixed tree, and the tail folds left to right — trading
+/// all performance (each lane is a separate pass over the input) for
+/// obviousness. They are the oracles the optimized kernels are tested
+/// against, bit for bit, and the executable specification of the
+/// reduction-order contract; production code should call the top-level
+/// kernels instead.
+///
+/// Because the lane decomposition re-traverses the input once per lane,
+/// the elementwise maps here take pure `Fn` closures (an oracle may apply
+/// them repeatedly), unlike the single-pass `FnMut` kernels above.
+pub mod reference {
+    use super::{DeficitStats, COVERED_EPSILON_MWH, LANES};
+
+    /// The full documented reduction of a term stream: per-lane
+    /// sequential sums over the chunked prefix (`terms()` yields the
+    /// elementwise-mapped values in index order; lane `j` keeps every
+    /// `LANES`-th term starting at `j`), the fixed combination tree, then
+    /// a sequential left-to-right tail fold.
+    #[must_use]
+    fn chunked_reduce<I: Iterator<Item = f64>>(len: usize, terms: impl Fn() -> I) -> f64 {
+        let main = len - len % LANES;
+        // Explicit fold from +0.0: the kernels' lanes start at +0.0, and
+        // `Iterator::sum::<f64>()` would use -0.0 as its empty identity.
+        let lane = |j: usize| -> f64 {
+            terms()
+                .take(main)
+                .skip(j)
+                .step_by(LANES)
+                .fold(0.0, |acc, t| acc + t)
+        };
+        let tree = ((lane(0) + lane(1)) + (lane(2) + lane(3)))
+            + ((lane(4) + lane(5)) + (lane(6) + lane(7)));
+        terms().skip(main).fold(tree, |acc, t| acc + t)
+    }
+
+    /// Reference oracle for [`super::zip_sum_slices`] (pure closures
+    /// only; see the [module docs](self)).
+    #[must_use]
+    pub fn zip_sum_slices(a: &[f64], b: &[f64], f: impl Fn(f64, f64) -> f64 + Copy) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "zip_sum_slices requires equal lengths");
+        chunked_reduce(a.len(), || a.iter().zip(b).map(move |(&x, &y)| f(x, y)))
+    }
+
+    /// Reference oracle for [`super::dot_slices`].
+    #[must_use]
+    pub fn dot_slices(a: &[f64], b: &[f64]) -> f64 {
+        zip_sum_slices(a, b, |x, y| x * y)
+    }
+
+    /// Reference oracle for [`super::deficit_sum_slices`].
+    #[must_use]
+    pub fn deficit_sum_slices(demand: &[f64], supply: &[f64]) -> f64 {
+        zip_sum_slices(demand, supply, |d, s| (d - s).max(0.0))
+    }
+
+    /// Reference oracle for [`super::deficit_dot_slices`].
+    #[must_use]
+    pub fn deficit_dot_slices(demand: &[f64], supply: &[f64], weight: &[f64]) -> f64 {
+        debug_assert_eq!(demand.len(), supply.len(), "deficit_dot_slices lengths");
+        debug_assert_eq!(demand.len(), weight.len(), "deficit_dot_slices lengths");
+        chunked_reduce(demand.len(), || {
+            demand
+                .iter()
+                .zip(supply)
+                .zip(weight)
+                .map(|((&d, &s), &w)| (d - s).max(0.0) * w)
+        })
+    }
+
+    /// Reference oracle for [`super::deficit_stats_slices`]. The energy
+    /// follows the documented reduction order; the covered-hour count is
+    /// an exact integer and order-independent.
+    #[must_use]
+    pub fn deficit_stats_slices(demand: &[f64], supply: &[f64]) -> DeficitStats {
+        let covered_hours = demand
+            .iter()
+            .zip(supply)
+            .map(|(&d, &s)| (d - s).max(0.0))
+            .filter(|&u| u <= COVERED_EPSILON_MWH)
+            .count();
+        DeficitStats {
+            unmet_mwh: deficit_sum_slices(demand, supply),
+            covered_hours,
+        }
+    }
+
+    /// Reference oracle for [`super::deficit_stats_dot_slices`]: the
+    /// separate stats and dot oracles, whose components the fused kernel
+    /// must reproduce bit for bit.
+    #[must_use]
+    pub fn deficit_stats_dot_slices(
+        demand: &[f64],
+        supply: &[f64],
+        weight: &[f64],
+    ) -> (DeficitStats, f64) {
+        (
+            deficit_stats_slices(demand, supply),
+            deficit_dot_slices(demand, supply, weight),
+        )
+    }
+
+    /// Reference oracle for [`super::unmet_stats_slices`].
+    #[must_use]
+    pub fn unmet_stats_slices(unmet: &[f64]) -> DeficitStats {
+        DeficitStats {
+            unmet_mwh: chunked_reduce(unmet.len(), || unmet.iter().copied()),
+            covered_hours: unmet.iter().filter(|&&u| u <= COVERED_EPSILON_MWH).count(),
+        }
+    }
+
+    /// Reference oracle for [`super::scaled_sum_into`]: the plain
+    /// sequential elementwise loop (chunking cannot change an
+    /// elementwise map, so no lane structure is needed here).
+    pub fn scaled_sum_into(a: &[f64], fa: f64, b: &[f64], fb: f64, out: &mut [f64]) {
+        debug_assert_eq!(a.len(), b.len(), "scaled_sum_into input lengths");
+        debug_assert_eq!(a.len(), out.len(), "scaled_sum_into output length");
+        for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *o = x * fa + y * fb;
+        }
+    }
+}
+
 impl HourlySeries {
-    /// Fused `zip_with(other, f).sum()` without the intermediate series.
+    /// Fused `zip_with(other, f)` reduction without the intermediate
+    /// series, in the documented chunked reduction order (see
+    /// [`zip_sum_slices`]).
     ///
     /// # Errors
     ///
@@ -272,61 +528,182 @@ mod tests {
         Timestamp::start_of_year(2020)
     }
 
-    /// A pair of irregular aligned series exercising negative deficits,
-    /// exact zeros, and magnitudes spanning several orders.
-    fn fixtures() -> (HourlySeries, HourlySeries, HourlySeries) {
-        let n = 1000;
-        let demand = HourlySeries::from_fn(start(), n, |h| {
-            10.0 + (h as f64 * 0.7).sin() * 9.0 + (h % 13) as f64 * 0.01
-        });
-        let supply = HourlySeries::from_fn(start(), n, |h| {
-            (h as f64 * 0.31).cos().abs() * 25.0 * ((h % 7) as f64 / 6.0)
-        });
-        let weight = HourlySeries::from_fn(start(), n, |h| 0.1 + (h % 24) as f64 * 0.03);
+    /// Edge and bulk lengths for the chunked-vs-reference pins: empty,
+    /// single element, one short of a chunk, exactly one chunk, one past a
+    /// chunk, and a full year of hours.
+    const PIN_LENGTHS: [usize; 6] = [0, 1, 7, 8, 9, 8760];
+
+    /// Irregular aligned fixtures of length `n` exercising negative
+    /// deficits, exact zeros, and magnitudes spanning several orders.
+    fn fixtures_of_len(n: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let demand: Vec<f64> = (0..n)
+            .map(|h| 10.0 + (h as f64 * 0.7).sin() * 9.0 + (h % 13) as f64 * 0.01)
+            .collect();
+        let supply: Vec<f64> = (0..n)
+            .map(|h| (h as f64 * 0.31).cos().abs() * 25.0 * ((h % 7) as f64 / 6.0))
+            .collect();
+        let weight: Vec<f64> = (0..n).map(|h| 0.1 + (h % 24) as f64 * 0.03).collect();
         (demand, supply, weight)
     }
 
-    #[test]
-    fn zip_sum_is_bitwise_identical_to_naive() {
-        let (a, b, _) = fixtures();
-        let naive = a.zip_with(&b, |x, y| (x - y).max(0.0)).unwrap().sum();
-        let fused = a.zip_sum(&b, |x, y| (x - y).max(0.0)).unwrap();
-        assert_eq!(naive.to_bits(), fused.to_bits());
+    /// Series-typed fixtures for the checked wrappers.
+    fn fixtures() -> (HourlySeries, HourlySeries, HourlySeries) {
+        let (d, s, w) = fixtures_of_len(1000);
+        (
+            HourlySeries::from_values(start(), d),
+            HourlySeries::from_values(start(), s),
+            HourlySeries::from_values(start(), w),
+        )
     }
 
     #[test]
-    fn dot_is_bitwise_identical_to_naive() {
-        let (a, b, _) = fixtures();
-        let naive = a.zip_with(&b, |x, y| x * y).unwrap().sum();
-        assert_eq!(naive.to_bits(), a.dot(&b).unwrap().to_bits());
+    fn chunked_kernels_match_reference_oracles_on_pin_lengths() {
+        for n in PIN_LENGTHS {
+            let (d, s, w) = fixtures_of_len(n);
+            assert_eq!(
+                dot_slices(&d, &s).to_bits(),
+                reference::dot_slices(&d, &s).to_bits(),
+                "dot_slices diverged at len {n}"
+            );
+            assert_eq!(
+                deficit_sum_slices(&d, &s).to_bits(),
+                reference::deficit_sum_slices(&d, &s).to_bits(),
+                "deficit_sum_slices diverged at len {n}"
+            );
+            assert_eq!(
+                deficit_dot_slices(&d, &s, &w).to_bits(),
+                reference::deficit_dot_slices(&d, &s, &w).to_bits(),
+                "deficit_dot_slices diverged at len {n}"
+            );
+            let fast = deficit_stats_slices(&d, &s);
+            let oracle = reference::deficit_stats_slices(&d, &s);
+            assert_eq!(
+                fast.unmet_mwh.to_bits(),
+                oracle.unmet_mwh.to_bits(),
+                "deficit_stats_slices energy diverged at len {n}"
+            );
+            assert_eq!(
+                fast.covered_hours, oracle.covered_hours,
+                "deficit_stats_slices count diverged at len {n}"
+            );
+            let zs = zip_sum_slices(&d, &s, |x, y| (x - y).abs());
+            let zr = reference::zip_sum_slices(&d, &s, |x, y| (x - y).abs());
+            assert_eq!(
+                zs.to_bits(),
+                zr.to_bits(),
+                "zip_sum_slices diverged at len {n}"
+            );
+            let unmet: Vec<f64> = d.iter().zip(&s).map(|(&x, &y)| (x - y).max(0.0)).collect();
+            let fast = unmet_stats_slices(&unmet);
+            let oracle = reference::unmet_stats_slices(&unmet);
+            assert_eq!(
+                fast.unmet_mwh.to_bits(),
+                oracle.unmet_mwh.to_bits(),
+                "unmet_stats_slices energy diverged at len {n}"
+            );
+            assert_eq!(
+                fast.covered_hours, oracle.covered_hours,
+                "unmet_stats_slices count diverged at len {n}"
+            );
+            let mut out_fast = vec![f64::NAN; n];
+            let mut out_ref = vec![f64::NAN; n];
+            scaled_sum_into(&d, 0.137, &s, 2.91, &mut out_fast);
+            reference::scaled_sum_into(&d, 0.137, &s, 2.91, &mut out_ref);
+            let fast_bits: Vec<u64> = out_fast.iter().map(|v| v.to_bits()).collect();
+            let ref_bits: Vec<u64> = out_ref.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(fast_bits, ref_bits, "scaled_sum_into diverged at len {n}");
+        }
     }
 
     #[test]
-    fn deficit_sum_is_bitwise_identical_to_naive() {
+    fn stats_dot_fused_matches_separate_oracles_on_pin_lengths() {
+        for n in PIN_LENGTHS {
+            let (d, s, w) = fixtures_of_len(n);
+            let (stats, dot) = deficit_stats_dot_slices(&d, &s, &w);
+            let (oracle_stats, oracle_dot) = reference::deficit_stats_dot_slices(&d, &s, &w);
+            assert_eq!(
+                stats.unmet_mwh.to_bits(),
+                oracle_stats.unmet_mwh.to_bits(),
+                "fused unmet diverged at len {n}"
+            );
+            assert_eq!(
+                stats.covered_hours, oracle_stats.covered_hours,
+                "fused count diverged at len {n}"
+            );
+            assert_eq!(
+                dot.to_bits(),
+                oracle_dot.to_bits(),
+                "fused dot diverged at len {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn zip_sum_applies_closure_in_index_order() {
+        // A stateful closure must observe every pair exactly once, in
+        // increasing index order, regardless of the lane structure.
+        let n = 21; // two full chunks + a 5-element tail
+        let (a, b, _) = fixtures_of_len(n);
+        let mut seen = Vec::new();
+        let _ = zip_sum_slices(&a, &b, |x, y| {
+            seen.push((x, y));
+            x + y
+        });
+        let expected: Vec<(f64, f64)> = a.iter().zip(&b).map(|(&x, &y)| (x, y)).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn reduction_sums_all_elements_exactly_on_integer_inputs() {
+        // Integer-valued inputs sum exactly in any association, so the
+        // chunked total must equal the plain sum — a coverage check that
+        // no element is dropped or double-counted around chunk edges.
+        for n in PIN_LENGTHS {
+            let a: Vec<f64> = (0..n).map(|i| (i % 97) as f64).collect();
+            let ones = vec![1.0; n];
+            let expected: f64 = a.iter().sum();
+            assert_eq!(dot_slices(&a, &ones), expected, "len {n}");
+            let zeros = vec![0.0; n];
+            assert_eq!(deficit_sum_slices(&a, &zeros), expected, "len {n}");
+        }
+    }
+
+    #[test]
+    fn dot_is_bitwise_identical_to_reference() {
+        let (a, b, _) = fixtures();
+        let oracle = reference::dot_slices(a.values(), b.values());
+        assert_eq!(oracle.to_bits(), a.dot(&b).unwrap().to_bits());
+    }
+
+    #[test]
+    fn deficit_sum_is_bitwise_identical_to_reference() {
         let (d, s, _) = fixtures();
-        let naive = d.zip_with(&s, |x, y| (x - y).max(0.0)).unwrap().sum();
-        assert_eq!(naive.to_bits(), d.deficit_sum(&s).unwrap().to_bits());
+        let oracle = reference::deficit_sum_slices(d.values(), s.values());
+        assert_eq!(oracle.to_bits(), d.deficit_sum(&s).unwrap().to_bits());
     }
 
     #[test]
-    fn deficit_dot_is_bitwise_identical_to_naive() {
+    fn deficit_dot_is_bitwise_identical_to_reference() {
         let (d, s, w) = fixtures();
-        let unmet = d.zip_with(&s, |x, y| (x - y).max(0.0)).unwrap();
-        let naive = unmet.zip_with(&w, |u, i| u * i).unwrap().sum();
+        let oracle = reference::deficit_dot_slices(d.values(), s.values(), w.values());
         let fused = d.deficit_dot(&s, &w).unwrap();
-        assert_eq!(naive.to_bits(), fused.to_bits());
+        assert_eq!(oracle.to_bits(), fused.to_bits());
     }
 
     #[test]
-    fn deficit_stats_match_materialized_series() {
+    fn deficit_stats_count_matches_materialized_series() {
+        // The covered-hour count is an exact integer and must agree with
+        // counting over the materialized deficit series whatever the
+        // reduction order; the energy matches the reference oracle.
         let (d, s, _) = fixtures();
         let unmet = d.zip_with(&s, |x, y| (x - y).max(0.0)).unwrap();
         let stats = d.deficit_stats(&s).unwrap();
-        assert_eq!(stats.unmet_mwh.to_bits(), unmet.sum().to_bits());
         assert_eq!(
             stats.covered_hours,
             unmet.count_where(|u| u <= COVERED_EPSILON_MWH)
         );
+        let oracle = reference::deficit_stats_slices(d.values(), s.values());
+        assert_eq!(stats.unmet_mwh.to_bits(), oracle.unmet_mwh.to_bits());
         // Sanity: the fixture has both covered and uncovered hours.
         assert!(stats.covered_hours > 0 && stats.covered_hours < d.len());
     }
@@ -347,6 +724,8 @@ mod tests {
 
     #[test]
     fn scaled_sum_matches_scale_then_add() {
+        // Elementwise kernel: bitwise equal to the operator formulation
+        // regardless of chunking.
         let (a, b, _) = fixtures();
         let (fa, fb) = (0.137, 2.91);
         let naive = (&(&a * fa) + &(&b * fb)).into_values();
