@@ -47,6 +47,11 @@ pub struct CrateAllowances {
     pub sockets: bool,
     /// `thread::spawn` / `thread::scope` are permitted (worker pools).
     pub threads: bool,
+    /// Raw file-descriptor APIs (`AsRawFd`, `as_raw_fd`, `RawFd`,
+    /// `from_raw_fd`, …) are permitted. Only the event-loop front end
+    /// needs them, to hand sockets to `poll(2)`; everywhere else a raw fd
+    /// is a sign of I/O sneaking into deterministic code.
+    pub raw_fds: bool,
 }
 
 /// The analyzer's compiled-in policy.
@@ -120,10 +125,21 @@ pub fn allowances_for(rel_path: &str) -> CrateAllowances {
             wall_clock: true,
             sockets: true,
             threads: true,
+            raw_fds: true,
             ..CrateAllowances::default()
         },
         _ => CrateAllowances::default(),
     }
+}
+
+/// Whether `rel_path`'s crate root may use `#![deny(unsafe_code)]` in
+/// place of `#![forbid(unsafe_code)]`. Only `ce-serve` qualifies: its
+/// `sys` module holds the workspace's single `poll(2)` FFI declaration
+/// behind scoped `#[allow(unsafe_code)]` blocks, which `forbid` would
+/// reject outright. `deny` still makes any *new* unsafe a hard error
+/// unless it carries an explicit, reviewable `allow`.
+pub fn may_deny_unsafe(rel_path: &str) -> bool {
+    crate_dir(rel_path) == Some("serve")
 }
 
 /// The `crates/<dir>` component of a workspace-relative path, if any.
@@ -167,12 +183,22 @@ mod tests {
         assert!(bench.wall_clock && bench.sockets && bench.threads);
         assert!(!bench.env_var_ce_threads);
         let serve = allowances_for("crates/serve/src/server.rs");
-        assert!(serve.wall_clock && serve.sockets && serve.threads);
+        assert!(serve.wall_clock && serve.sockets && serve.threads && serve.raw_fds);
         assert!(!serve.env_var_ce_threads);
+        let bench = allowances_for("crates/bench/src/bin/bench_serve.rs");
+        assert!(!bench.raw_fds, "only the event loop handles raw fds");
         assert_eq!(
             allowances_for("crates/core/src/explore.rs"),
             CrateAllowances::default()
         );
+    }
+
+    #[test]
+    fn deny_unsafe_exception_is_serve_only() {
+        assert!(may_deny_unsafe("crates/serve/src/lib.rs"));
+        assert!(!may_deny_unsafe("crates/core/src/lib.rs"));
+        assert!(!may_deny_unsafe("crates/bench/src/bin/bench_serve.rs"));
+        assert!(!may_deny_unsafe("src/lib.rs"));
     }
 
     #[test]

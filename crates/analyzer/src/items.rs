@@ -661,6 +661,18 @@ fn collect_body_facts(
                 col: t.col,
                 what: format!("`{}` (socket)", t.text),
             });
+        } else if matches!(
+            t.text.as_str(),
+            "AsRawFd" | "RawFd" | "as_raw_fd" | "from_raw_fd" | "into_raw_fd"
+        ) && allow.raw_fds
+        {
+            // Raw-fd surface is a taint fact like sockets: legal only in
+            // the event loop, and deterministic crates must not reach it.
+            item.taints.push(Site {
+                line: t.line,
+                col: t.col,
+                what: format!("`{}` (raw fd)", t.text),
+            });
         }
 
         // Call sites.
@@ -1197,15 +1209,17 @@ mod tests {
 
     #[test]
     fn taint_facts_only_in_allowance_crates() {
-        let src =
-            "fn f() { let _ = std::time::Instant::now(); let _l: Option<TcpListener> = None; }";
+        let src = "fn f() { let _ = std::time::Instant::now(); \
+                   let _l: Option<TcpListener> = None; \
+                   let _fd = listener.as_raw_fd(); }";
         let serve = extract("crates/serve/src/x.rs", src);
         let taints: Vec<&str> = serve.fns[0]
             .taints
             .iter()
             .map(|s| s.what.as_str())
             .collect();
-        assert_eq!(taints.len(), 2, "{taints:?}");
+        assert_eq!(taints.len(), 3, "{taints:?}");
+        assert!(taints.iter().any(|t| t.contains("raw fd")), "{taints:?}");
         let core = extract("crates/core/src/x.rs", src);
         assert!(core.fns[0].taints.is_empty());
     }

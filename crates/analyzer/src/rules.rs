@@ -392,6 +392,38 @@ fn rule_nondeterminism(ctx: &RuleCtx<'_>, out: &mut Vec<Violation>) {
                     t.text
                 ),
             ),
+            // Raw fd surface: the traits, the `RawFd` type, and the
+            // conversion methods. Only the event-loop front end (which
+            // must hand fds to `poll(2)`) holds the allowance — a raw fd
+            // anywhere else is I/O smuggled past the socket rule.
+            "AsRawFd" | "RawFd" | "AsFd" | "BorrowedFd" | "OwnedFd" | "FromRawFd" | "IntoRawFd"
+                if !allow.raw_fds =>
+            {
+                ctx.violation(
+                    RULE,
+                    t,
+                    format!(
+                        "`{}` exposes raw file descriptors; only ce-serve's event loop \
+                         may touch fds (to drive poll(2))",
+                        t.text
+                    ),
+                )
+            }
+            "as_raw_fd" | "from_raw_fd" | "into_raw_fd" | "as_fd"
+                if !allow.raw_fds
+                    && i > 0
+                    && (code[i - 1].is_punct(".") || code[i - 1].is_punct("::")) =>
+            {
+                ctx.violation(
+                    RULE,
+                    t,
+                    format!(
+                        "`{}` exposes raw file descriptors; only ce-serve's event loop \
+                         may touch fds (to drive poll(2))",
+                        t.text
+                    ),
+                )
+            }
             "env" if path_call("env") && code[i + 2].is_ident("var") => {
                 let ce_threads_arg = code[i + 3..code.len().min(i + 8)]
                     .iter()
@@ -555,7 +587,13 @@ fn rule_crate_hygiene(ctx: &RuleCtx<'_>, out: &mut Vec<Violation>) {
         line: 1,
         col: 1,
     };
-    if !has_inner_attr("forbid", "unsafe_code") {
+    // `ce-serve` alone may hold `#![deny(unsafe_code)]` instead: its
+    // `sys` module needs two scoped `#[allow(unsafe_code)]` blocks for
+    // the `poll(2)` FFI, which `forbid` cannot coexist with. `deny`
+    // still hard-errors on unsanctioned unsafe.
+    let unsafe_fenced = has_inner_attr("forbid", "unsafe_code")
+        || (crate::config::may_deny_unsafe(ctx.rel_path) && has_inner_attr("deny", "unsafe_code"));
+    if !unsafe_fenced {
         out.extend(ctx.violation(
             RULE,
             &anchor,

@@ -1,0 +1,11 @@
+//! Fixture: `#![deny(unsafe_code)]` on an ordinary crate root (analyzed
+//! as `crates/grid/src/lib.rs`). The downgrade from `forbid` is reserved
+//! for ce-serve's FFI module; everywhere else the root must `forbid`.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fixture {
+    /// A placeholder item.
+    pub fn noop() {}
+}

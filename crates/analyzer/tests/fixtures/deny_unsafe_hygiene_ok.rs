@@ -1,0 +1,12 @@
+//! Fixture: `#![deny(unsafe_code)]` accepted on the ce-serve crate root
+//! (analyzed as `crates/serve/src/lib.rs`). Its `sys` module scopes the
+//! workspace's single `poll(2)` FFI declaration behind explicit
+//! `#[allow(unsafe_code)]` blocks, which `forbid` would reject outright.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fixture {
+    /// A placeholder item.
+    pub fn noop() {}
+}

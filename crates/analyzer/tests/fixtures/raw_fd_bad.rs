@@ -1,0 +1,11 @@
+//! Fixture: raw file descriptors leaking into a deterministic crate
+//! (analyzed as `crates/core/src/fixture.rs`). Only ce-serve's event
+//! loop may touch fds — it hands sockets to `poll(2)`; anywhere else a
+//! raw fd is I/O sneaking into compute code.
+
+use std::fs::File;
+use std::os::fd::{AsRawFd, RawFd};
+
+pub fn leak_fd(file: &File) -> RawFd {
+    file.as_raw_fd()
+}

@@ -1,0 +1,10 @@
+//! Fixture: the same raw-fd surface, permitted (analyzed as
+//! `crates/serve/src/fixture.rs` — the one crate whose event loop must
+//! hand socket fds to `poll(2)`).
+
+use std::net::TcpListener;
+use std::os::fd::{AsRawFd, RawFd};
+
+pub fn pollable(listener: &TcpListener) -> RawFd {
+    listener.as_raw_fd()
+}

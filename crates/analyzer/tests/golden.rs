@@ -58,6 +58,16 @@ const CASES: &[Case] = &[
         dirty: true,
     },
     Case {
+        stem: "raw_fd_bad",
+        rel_path: "crates/core/src/fixture.rs",
+        dirty: true,
+    },
+    Case {
+        stem: "raw_fd_ok",
+        rel_path: "crates/serve/src/fixture.rs",
+        dirty: false,
+    },
+    Case {
         stem: "hot_path_alloc_bad",
         rel_path: "crates/timeseries/src/fixture.rs",
         dirty: true,
@@ -95,6 +105,16 @@ const CASES: &[Case] = &[
     Case {
         stem: "crate_hygiene_ok",
         rel_path: "crates/grid/src/lib.rs",
+        dirty: false,
+    },
+    Case {
+        stem: "deny_unsafe_hygiene_bad",
+        rel_path: "crates/grid/src/lib.rs",
+        dirty: true,
+    },
+    Case {
+        stem: "deny_unsafe_hygiene_ok",
+        rel_path: "crates/serve/src/lib.rs",
         dirty: false,
     },
     Case {

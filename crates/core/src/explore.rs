@@ -479,6 +479,31 @@ impl CarbonExplorer {
         blocks.into_iter().flatten().collect()
     }
 
+    /// Streams the sweep of `space` one supply group at a time: `visit`
+    /// is called once per (solar, wind) group, in sweep order, with that
+    /// group's contiguous block of evaluations. Concatenating the blocks
+    /// reproduces [`CarbonExplorer::explore`] exactly — same order, same
+    /// bits — because groups are contiguous prefixes of the
+    /// `DesignSpace::iter` order (see [`CarbonExplorer::explore`]'s
+    /// factorization notes). The traversal is serial by construction;
+    /// callers that want parallelism use `explore`, callers that want
+    /// incremental output (e.g. `ce-serve`'s chunked `/explore`
+    /// responses) use this.
+    pub fn explore_groups(
+        &self,
+        strategy: StrategyKind,
+        space: &DesignSpace,
+        mut visit: impl FnMut(&[EvaluatedDesign]),
+    ) {
+        let space = space.restricted_to(strategy);
+        let (groups, sub) = factor_space(&space);
+        let mut scratch = EvalScratch::default();
+        for &(solar_mw, wind_mw) in &groups {
+            let block = self.evaluate_group(strategy, solar_mw, wind_mw, &sub, &mut scratch);
+            visit(&block);
+        }
+    }
+
     /// The serial reference implementation of [`CarbonExplorer::explore`]:
     /// identical results on one thread. Kept public for determinism tests
     /// and serial-vs-parallel benchmarking.
@@ -878,6 +903,39 @@ mod tests {
         assert_eq!(names, dedup);
         assert_eq!(names[0], "coverage_fraction");
         assert_eq!(names[10], "battery_cycles");
+    }
+
+    #[test]
+    fn explore_groups_concatenation_is_bitwise_identical() {
+        let explorer = utah_explorer();
+        let space = DesignSpace {
+            solar: (0.0, 300.0, 3),
+            wind: (0.0, 200.0, 2),
+            battery: (0.0, 100.0, 4),
+            extra_capacity: (0.0, 0.5, 2),
+        };
+        let strategy = StrategyKind::RenewablesBatteryCas;
+        let reference = explorer.explore(strategy, &space);
+
+        let mut blocks = 0usize;
+        let mut streamed = Vec::new();
+        explorer.explore_groups(strategy, &space, |block| {
+            blocks += 1;
+            streamed.extend_from_slice(block);
+        });
+
+        // One visit per (solar, wind) supply group, covering the whole sweep.
+        assert_eq!(blocks, 3 * 2);
+        assert_eq!(streamed.len(), reference.len());
+        for (a, b) in streamed.iter().zip(&reference) {
+            assert_eq!(a.design, b.design);
+            for ((name_a, va), (name_b, vb)) in
+                a.canonical_fields().iter().zip(b.canonical_fields())
+            {
+                assert_eq!(name_a, &name_b);
+                assert_eq!(va.to_bits(), vb.to_bits(), "{name_a} differs");
+            }
+        }
     }
 
     #[test]

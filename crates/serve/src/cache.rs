@@ -1,174 +1,250 @@
-//! A sharded LRU cache mapping canonical scenario keys to encoded
-//! response bodies.
+//! Per-shard response caching: an owned LRU keyed by canonical scenario
+//! keys, plus a raw-bytes memo that lets the hot path skip JSON parsing
+//! entirely.
 //!
-//! The cache stores the exact bytes a fresh computation produced
-//! (`Arc<str>` — handing out a hit is a refcount bump, not a copy), so a
-//! cached response is bitwise identical to an uncached one. The canonical
-//! key string is the authoritative identity; the [`crate::hash`] value
-//! only selects a shard, which makes hash collisions harmless — two
-//! colliding keys merely share a shard and its lock.
+//! Each event shard owns one [`ShardCache`] and one [`RawMemo`]
+//! exclusively (`&mut self` everywhere — no locks on the hot path; the
+//! sharding *is* the synchronization). Cached bodies store the exact
+//! bytes a fresh computation produced, so a cached response is bitwise
+//! identical to an uncached one; chunked responses additionally store
+//! their fragment boundaries ([`CachedBody::Chunked`]) so a replay frames
+//! identical HTTP chunks on the wire.
 //!
-//! Recency is tracked with a monotonic per-shard tick and an order map
+//! Recency is tracked with a monotonic tick and an order map
 //! (`tick → key`), giving `O(log n)` get/insert/evict with only `std`
 //! collections. `BTreeMap` keeps iteration deterministic, in keeping with
 //! the workspace-wide ban on hashed containers.
+//!
+//! [`RawMemo`] maps the *hash of the raw request bytes* (route + body, see
+//! [`crate::hash`]) to the already-derived canonical key and parsed
+//! request. A repeat of the byte-identical request — the common shape of
+//! a hot serving workload — skips UTF-8 validation, JSON parsing, request
+//! validation, and canonical-key rendering. Collisions are harmless: the
+//! stored raw bytes are compared before the entry is trusted.
 
-use crate::hash::hash_str;
+use crate::request::{ComputeKind, ComputeRequest};
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A cached response body, in the framing it was first served with.
+#[derive(Clone)]
+pub enum CachedBody {
+    /// A `content-length` body: the full encoded bytes.
+    Full(Arc<str>),
+    /// A `transfer-encoding: chunked` body: the fragments, in order.
+    /// Concatenating them yields the buffered encoding; replaying them
+    /// one HTTP chunk each reproduces the fresh response byte-for-byte.
+    Chunked(Arc<[Arc<str>]>),
+}
 
 struct Entry {
-    body: Arc<str>,
+    body: CachedBody,
     tick: u64,
 }
 
-#[derive(Default)]
-struct Shard {
+/// A fixed-capacity LRU response cache owned by one event shard.
+pub struct ShardCache {
     entries: BTreeMap<Arc<str>, Entry>,
     /// Recency index: tick of last touch → key. Oldest tick = LRU victim.
     order: BTreeMap<u64, Arc<str>>,
     tick: u64,
+    capacity: usize,
 }
 
-/// A fixed-capacity, sharded LRU response cache.
-pub struct ShardedCache {
-    shards: Vec<Mutex<Shard>>,
-    per_shard: usize,
-}
-
-impl ShardedCache {
-    /// Creates a cache of roughly `capacity` entries spread over `shards`
-    /// shards (rounded up to a power of two, clamped to `1..=64`). Each
-    /// shard holds `ceil(capacity / shards)` entries, so the true bound is
-    /// `capacity` rounded up to a shard multiple.
-    pub fn new(capacity: usize, shards: usize) -> Self {
-        let shard_count = shards.clamp(1, 64).next_power_of_two();
-        let per_shard = capacity.max(1).div_ceil(shard_count);
+impl ShardCache {
+    /// Creates a cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
         Self {
-            shards: (0..shard_count)
-                .map(|_| Mutex::new(Shard::default()))
-                .collect(),
-            per_shard,
+            entries: BTreeMap::new(),
+            order: BTreeMap::new(),
+            tick: 0,
+            capacity: capacity.max(1),
         }
     }
 
-    fn shard(&self, key: &str) -> MutexGuard<'_, Shard> {
-        // High bits: the low bits of a multiply-mix hash are the weakest.
-        let idx = (hash_str(key) >> 32) as usize & (self.shards.len() - 1);
-        // Poisoning: a panic while holding the lock cannot leave the maps
-        // inconsistent enough to matter for a cache — worst case an entry
-        // is missing from one index and unevictable; recover and serve.
-        self.shards[idx]
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-    }
-
     /// Looks up `key`, bumping its recency on a hit.
-    pub fn get(&self, key: &str) -> Option<Arc<str>> {
-        let mut guard = self.shard(key);
-        let shard = &mut *guard;
-        shard.tick += 1;
-        let new_tick = shard.tick;
-        let entry = shard.entries.get_mut(key)?;
+    pub fn get(&mut self, key: &str) -> Option<CachedBody> {
+        self.tick += 1;
+        let new_tick = self.tick;
+        let entry = self.entries.get_mut(key)?;
         let old_tick = entry.tick;
         entry.tick = new_tick;
-        let body = Arc::clone(&entry.body);
-        if let Some(k) = shard.order.remove(&old_tick) {
-            shard.order.insert(new_tick, k);
+        let body = entry.body.clone();
+        if let Some(k) = self.order.remove(&old_tick) {
+            self.order.insert(new_tick, k);
         }
         Some(body)
     }
 
-    /// Inserts (or refreshes) `key → body`, evicting the least-recently
-    /// used entries of the shard if it is over capacity.
-    pub fn insert(&self, key: &str, body: Arc<str>) {
-        let mut guard = self.shard(key);
-        let shard = &mut *guard;
-        shard.tick += 1;
-        let new_tick = shard.tick;
-        if let Some(entry) = shard.entries.get_mut(key) {
+    /// Inserts (or refreshes) `key → body`, evicting least-recently used
+    /// entries while over capacity. Returns how many entries were evicted
+    /// (an observability counter, not a correctness signal).
+    pub fn insert(&mut self, key: &str, body: CachedBody) -> u64 {
+        self.tick += 1;
+        let new_tick = self.tick;
+        if let Some(entry) = self.entries.get_mut(key) {
             let old_tick = entry.tick;
             entry.tick = new_tick;
             entry.body = body;
-            if let Some(k) = shard.order.remove(&old_tick) {
-                shard.order.insert(new_tick, k);
+            if let Some(k) = self.order.remove(&old_tick) {
+                self.order.insert(new_tick, k);
             }
-            return;
+            return 0;
         }
         let key: Arc<str> = Arc::from(key);
-        shard.entries.insert(
+        self.entries.insert(
             Arc::clone(&key),
             Entry {
                 body,
                 tick: new_tick,
             },
         );
-        shard.order.insert(new_tick, key);
-        while shard.entries.len() > self.per_shard {
-            let Some((_, victim)) = shard.order.pop_first() else {
+        self.order.insert(new_tick, key);
+        let mut evicted = 0;
+        while self.entries.len() > self.capacity {
+            let Some((_, victim)) = self.order.pop_first() else {
                 break;
             };
-            shard.entries.remove(&victim);
+            self.entries.remove(&victim);
+            evicted += 1;
         }
+        evicted
     }
 
-    /// Total entries across all shards (a gauge for `/stats`).
+    /// Entries currently held (a gauge for `/stats`).
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| {
-                s.lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .entries
-                    .len()
-            })
-            .sum()
+        self.entries.len()
     }
 
     /// `true` if the cache holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.entries.is_empty()
+    }
+}
+
+/// One memoized request: the raw bytes it must match, the canonical key
+/// they map to, and the validated request (kept so a memo hit that misses
+/// the response cache can still enqueue a job without re-parsing).
+struct MemoEntry {
+    raw: Vec<u8>,
+    key: Arc<str>,
+    request: ComputeRequest,
+}
+
+/// A bounded FIFO memo from raw request bytes to their parse result,
+/// keyed by [`crate::hash::hash_bytes`] with the raw bytes stored for
+/// collision-proof comparison.
+pub struct RawMemo {
+    entries: BTreeMap<u64, MemoEntry>,
+    order: VecDeque<u64>,
+    capacity: usize,
+}
+
+impl RawMemo {
+    /// Creates a memo holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            entries: BTreeMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The canonical key and parsed request memoized for `raw` posted as
+    /// `kind`, if these exact bytes were seen before on the same endpoint
+    /// (hash matches *and* the kind and bytes compare equal — a colliding
+    /// hash whose bytes or endpoint differ is a miss).
+    pub fn get(
+        &self,
+        hash: u64,
+        kind: ComputeKind,
+        raw: &[u8],
+    ) -> Option<(&Arc<str>, &ComputeRequest)> {
+        let entry = self.entries.get(&hash)?;
+        if entry.request.kind() == kind && entry.raw == raw {
+            Some((&entry.key, &entry.request))
+        } else {
+            None
+        }
+    }
+
+    /// Memoizes `raw → (key, request)`, evicting the oldest entry at
+    /// capacity. A hash already present is overwritten (latest bytes win;
+    /// the stale FIFO slot for the old value expires harmlessly).
+    pub fn insert(&mut self, hash: u64, raw: Vec<u8>, key: Arc<str>, request: ComputeRequest) {
+        if self
+            .entries
+            .insert(hash, MemoEntry { raw, key, request })
+            .is_none()
+        {
+            self.order.push_back(hash);
+            while self.entries.len() > self.capacity {
+                let Some(oldest) = self.order.pop_front() else {
+                    break;
+                };
+                self.entries.remove(&oldest);
+            }
+        }
+    }
+
+    /// Entries currently memoized.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hash::hash_bytes;
+    use crate::json::Json;
+    use crate::request::{ComputeKind, Limits};
 
-    fn body(s: &str) -> Arc<str> {
-        Arc::from(s)
+    fn body(s: &str) -> CachedBody {
+        CachedBody::Full(Arc::from(s))
+    }
+
+    fn full(b: &CachedBody) -> &str {
+        match b {
+            CachedBody::Full(s) => s,
+            CachedBody::Chunked(_) => panic!("expected Full"),
+        }
     }
 
     #[test]
     fn get_returns_inserted_bytes_shared() {
-        let cache = ShardedCache::new(8, 2);
+        let mut cache = ShardCache::new(8);
         cache.insert("k1", body("{\"v\":1}"));
         let hit = cache.get("k1").expect("hit");
-        assert_eq!(&*hit, "{\"v\":1}");
-        // Same allocation, not a copy.
-        assert!(Arc::ptr_eq(&hit, &cache.get("k1").expect("hit")));
+        assert_eq!(full(&hit), "{\"v\":1}");
         assert!(cache.get("k2").is_none());
         assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
     }
 
     #[test]
-    fn insert_refreshes_existing_key() {
-        let cache = ShardedCache::new(8, 1);
-        cache.insert("k", body("old"));
-        cache.insert("k", body("new"));
-        assert_eq!(&*cache.get("k").expect("hit"), "new");
+    fn insert_refreshes_existing_key_without_eviction() {
+        let mut cache = ShardCache::new(8);
+        assert_eq!(cache.insert("k", body("old")), 0);
+        assert_eq!(cache.insert("k", body("new")), 0);
+        assert_eq!(full(&cache.get("k").expect("hit")), "new");
         assert_eq!(cache.len(), 1);
     }
 
     #[test]
-    fn lru_eviction_respects_recency() {
-        // Single shard, capacity 2.
-        let cache = ShardedCache::new(2, 1);
+    fn lru_eviction_respects_recency_and_is_counted() {
+        let mut cache = ShardCache::new(2);
         cache.insert("a", body("A"));
         cache.insert("b", body("B"));
         // Touch `a` so `b` becomes the LRU victim.
         assert!(cache.get("a").is_some());
-        cache.insert("c", body("C"));
+        assert_eq!(cache.insert("c", body("C")), 1);
         assert!(cache.get("a").is_some(), "recently used survives");
         assert!(cache.get("b").is_none(), "LRU evicted");
         assert!(cache.get("c").is_some());
@@ -176,26 +252,67 @@ mod tests {
     }
 
     #[test]
-    fn shard_counts_round_up() {
-        let cache = ShardedCache::new(3, 3); // → 4 shards, 1 entry each
-        assert_eq!(cache.shards.len(), 4);
-        assert_eq!(cache.per_shard, 1);
-        let one = ShardedCache::new(10, 0);
-        assert_eq!(one.shards.len(), 1);
-        assert!(one.is_empty());
+    fn chunked_bodies_keep_their_fragment_boundaries() {
+        let mut cache = ShardCache::new(4);
+        let fragments: Arc<[Arc<str>]> =
+            vec![Arc::<str>::from("{\"a\":["), Arc::<str>::from("1]}")].into();
+        cache.insert("k", CachedBody::Chunked(Arc::clone(&fragments)));
+        match cache.get("k").expect("hit") {
+            CachedBody::Chunked(got) => {
+                assert_eq!(got.len(), 2);
+                assert_eq!(&*got[0], "{\"a\":[");
+                assert_eq!(&*got[1], "1]}");
+            }
+            CachedBody::Full(_) => panic!("framing lost"),
+        }
+    }
+
+    fn parse_request(raw: &str) -> ComputeRequest {
+        ComputeRequest::parse(
+            ComputeKind::Evaluate,
+            &Json::parse(raw).expect("valid"),
+            &Limits::default(),
+        )
+        .expect("parses")
     }
 
     #[test]
-    fn many_keys_stay_retrievable_within_capacity() {
-        let cache = ShardedCache::new(64, 8);
-        for i in 0..32 {
-            cache.insert(&format!("key-{i}"), body(&format!("v{i}")));
+    fn memo_hits_only_on_byte_identical_raw() {
+        let raw = br#"{"site":"UT","strategy":"renewables_only","design":{"solar_mw":100}}"#;
+        let request = parse_request(std::str::from_utf8(raw).expect("utf8"));
+        let key: Arc<str> = Arc::from(request.canonical_key().as_str());
+        let mut memo = RawMemo::new(4);
+        let hash = hash_bytes(raw);
+        assert!(memo.get(hash, ComputeKind::Evaluate, raw).is_none());
+        memo.insert(hash, raw.to_vec(), Arc::clone(&key), request);
+        let (got_key, got_req) = memo
+            .get(hash, ComputeKind::Evaluate, raw)
+            .expect("memo hit");
+        assert!(Arc::ptr_eq(got_key, &key));
+        assert_eq!(got_req.canonical_key(), &*key);
+        // Same hash, different bytes (a simulated collision) must miss,
+        // and the same bytes posted to a different endpoint must miss.
+        assert!(memo
+            .get(hash, ComputeKind::Evaluate, b"different bytes")
+            .is_none());
+        assert!(memo.get(hash, ComputeKind::Explore, raw).is_none());
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn memo_evicts_fifo_at_capacity() {
+        let raw = r#"{"site":"UT","strategy":"renewables_only","design":{"solar_mw":100}}"#;
+        let request = parse_request(raw);
+        let key: Arc<str> = Arc::from("k");
+        let mut memo = RawMemo::new(2);
+        for i in 0u64..3 {
+            memo.insert(i, vec![i as u8], Arc::clone(&key), request.clone());
         }
-        for i in 0..32 {
-            assert_eq!(
-                cache.get(&format!("key-{i}")).as_deref(),
-                Some(format!("v{i}").as_str())
-            );
-        }
+        assert_eq!(memo.len(), 2);
+        let kind = ComputeKind::Evaluate;
+        assert!(memo.get(0, kind, &[0]).is_none(), "oldest evicted");
+        assert!(memo.get(1, kind, &[1]).is_some());
+        assert!(memo.get(2, kind, &[2]).is_some());
+        assert!(!memo.is_empty());
     }
 }

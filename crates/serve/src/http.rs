@@ -1,0 +1,349 @@
+//! Incremental HTTP/1.1 request parsing and response framing.
+//!
+//! The parser is built for a readiness loop: it consumes whatever bytes
+//! have arrived so far and reports `NeedMore` without losing progress —
+//! [`find_head_end`] resumes its `\r\n\r\n` scan from a caller-held
+//! offset (with a 3-byte overlap for terminators split across reads), so
+//! a request delivered one byte at a time costs `O(n)` total, not
+//! `O(n²)`.
+//!
+//! Framing is the writing half: responses are appended to a connection's
+//! output buffer either with `content-length` ([`write_response`]) or as
+//! `transfer-encoding: chunked` ([`write_chunked_head`] /
+//! [`write_chunk`] / [`write_last_chunk`]) for streamed `/explore`
+//! bodies. Chunk boundaries are part of the cached representation, so a
+//! replayed chunked response is byte-identical on the wire to the fresh
+//! one.
+
+/// Maximum bytes of a request head (request line + headers) before the
+/// connection is rejected.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Request method, as far as routing cares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// `GET`.
+    Get,
+    /// `POST`.
+    Post,
+    /// Anything else (always answered 405 on known paths).
+    Other,
+}
+
+/// A routable path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /stats`.
+    Stats,
+    /// `GET /scenarios`.
+    Scenarios,
+    /// `POST /evaluate`.
+    Evaluate,
+    /// `POST /explore`.
+    Explore,
+    /// `POST /optimal`.
+    Optimal,
+}
+
+impl Target {
+    /// The method this path serves.
+    pub fn method(self) -> Method {
+        match self {
+            Target::Healthz | Target::Stats | Target::Scenarios => Method::Get,
+            Target::Evaluate | Target::Explore | Target::Optimal => Method::Post,
+        }
+    }
+
+    fn from_path(path: &str) -> Option<Target> {
+        Some(match path {
+            "/healthz" => Target::Healthz,
+            "/stats" => Target::Stats,
+            "/scenarios" => Target::Scenarios,
+            "/evaluate" => Target::Evaluate,
+            "/explore" => Target::Explore,
+            "/optimal" => Target::Optimal,
+            _ => return None,
+        })
+    }
+}
+
+/// A parsed request head, body not yet (necessarily) arrived.
+#[derive(Debug, Clone)]
+pub struct Head {
+    /// Request method.
+    pub method: Method,
+    /// The routed path; `None` is a 404.
+    pub target: Option<Target>,
+    /// Whether the connection persists after this exchange.
+    pub keep_alive: bool,
+    /// Declared body length (0 when absent).
+    pub content_length: usize,
+    /// Bytes the head occupied, including the `\r\n\r\n` terminator.
+    pub head_len: usize,
+}
+
+/// Searches `buf[*scan..]` for the `\r\n\r\n` head terminator, returning
+/// the index one past it. On failure, rewinds `*scan` to `len - 3` so the
+/// next call re-examines only bytes that could complete a terminator
+/// split across reads.
+pub fn find_head_end(buf: &[u8], scan: &mut usize) -> Option<usize> {
+    let start = *scan;
+    if let Some(pos) = buf
+        .get(start..)
+        .unwrap_or_default()
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + start)
+    {
+        *scan = pos + 4;
+        return Some(pos + 4);
+    }
+    *scan = buf.len().saturating_sub(3).max(start);
+    None
+}
+
+/// Parses a complete request head (`head_bytes` runs up to and including
+/// the blank line).
+///
+/// # Errors
+///
+/// `(status, message)` — always 400 here; the caller turns an oversized
+/// `content_length` into 413 because that check needs its config.
+pub fn parse_head(head_bytes: &[u8]) -> Result<Head, (u16, &'static str)> {
+    let head_len = head_bytes.len();
+    let text = std::str::from_utf8(head_bytes).map_err(|_| (400, "non-UTF-8 request head"))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method_token = parts.next().unwrap_or("");
+    let raw_path = parts.next().unwrap_or("");
+    let path = raw_path.split('?').next().unwrap_or("");
+    let version = parts.next().unwrap_or("");
+    if method_token.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
+        return Err((400, "malformed request line"));
+    }
+    let method = match method_token {
+        "GET" => Method::Get,
+        "POST" => Method::Post,
+        _ => Method::Other,
+    };
+    let mut content_length = 0usize;
+    let mut keep_alive = version != "HTTP/1.0";
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value.parse().map_err(|_| (400, "bad content-length"))?;
+        } else if name.trim().eq_ignore_ascii_case("connection") {
+            let value = value.to_ascii_lowercase();
+            if value.split(',').any(|t| t.trim() == "close") {
+                keep_alive = false;
+            } else if value.split(',').any(|t| t.trim() == "keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+    Ok(Head {
+        method,
+        target: Target::from_path(path),
+        keep_alive,
+        content_length,
+        head_len,
+    })
+}
+
+/// The reason phrase for every status this server produces.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Error",
+    }
+}
+
+fn push_head_line(out: &mut Vec<u8>, status: u16, extra_headers: &[(&str, &str)]) {
+    out.extend_from_slice(b"HTTP/1.1 ");
+    let digits = [
+        b'0' + (status / 100 % 10) as u8,
+        b'0' + (status / 10 % 10) as u8,
+        b'0' + (status % 10) as u8,
+    ];
+    out.extend_from_slice(&digits);
+    out.push(b' ');
+    out.extend_from_slice(status_reason(status).as_bytes());
+    out.extend_from_slice(b"\r\ncontent-type: application/json\r\n");
+    for (name, value) in extra_headers {
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(value.as_bytes());
+        out.extend_from_slice(b"\r\n");
+    }
+}
+
+/// Appends a full `content-length`-framed response.
+pub fn write_response(out: &mut Vec<u8>, status: u16, extra_headers: &[(&str, &str)], body: &str) {
+    push_head_line(out, status, extra_headers);
+    out.extend_from_slice(b"content-length: ");
+    let mut buf = itoa(body.len());
+    out.append(&mut buf);
+    out.extend_from_slice(b"\r\n\r\n");
+    out.extend_from_slice(body.as_bytes());
+}
+
+/// Appends the head of a `transfer-encoding: chunked` response; the body
+/// follows via [`write_chunk`] and ends with [`write_last_chunk`].
+pub fn write_chunked_head(out: &mut Vec<u8>, status: u16, extra_headers: &[(&str, &str)]) {
+    push_head_line(out, status, extra_headers);
+    out.extend_from_slice(b"transfer-encoding: chunked\r\n\r\n");
+}
+
+/// Appends one HTTP chunk (`{len:x}\r\n{data}\r\n`). Empty fragments are
+/// skipped — a zero-length chunk would terminate the body.
+pub fn write_chunk(out: &mut Vec<u8>, data: &str) {
+    if data.is_empty() {
+        return;
+    }
+    let mut len = hex(data.len());
+    out.append(&mut len);
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(data.as_bytes());
+    out.extend_from_slice(b"\r\n");
+}
+
+/// Appends the terminating zero-length chunk.
+pub fn write_last_chunk(out: &mut Vec<u8>) {
+    out.extend_from_slice(b"0\r\n\r\n");
+}
+
+fn itoa(mut n: usize) -> Vec<u8> {
+    if n == 0 {
+        return vec![b'0'];
+    }
+    let mut digits = Vec::with_capacity(20);
+    while n > 0 {
+        digits.push(b'0' + (n % 10) as u8);
+        n /= 10;
+    }
+    digits.reverse();
+    digits
+}
+
+fn hex(mut n: usize) -> Vec<u8> {
+    if n == 0 {
+        return vec![b'0'];
+    }
+    let mut digits = Vec::with_capacity(16);
+    while n > 0 {
+        let d = (n % 16) as u8;
+        digits.push(if d < 10 { b'0' + d } else { b'a' + d - 10 });
+        n /= 16;
+    }
+    digits.reverse();
+    digits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_scan_resumes_across_partial_reads() {
+        let full = b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\nrest";
+        // Feed one byte at a time; the scan offset must never re-examine
+        // more than a 3-byte overlap.
+        let mut buf = Vec::new();
+        let mut scan = 0usize;
+        let mut found = None;
+        for (i, &b) in full.iter().enumerate() {
+            buf.push(b);
+            if let Some(end) = find_head_end(&buf, &mut scan) {
+                found = Some((i, end));
+                break;
+            }
+            assert!(scan + 3 >= buf.len(), "scan {scan} lags buf {}", buf.len());
+        }
+        let (at, end) = found.expect("terminator found");
+        assert_eq!(end, full.len() - 4);
+        assert_eq!(at, full.len() - 5); // found on the final '\n' of the blank line
+    }
+
+    #[test]
+    fn parse_head_extracts_routing_fields() {
+        let head = parse_head(
+            b"POST /evaluate?x=1 HTTP/1.1\r\ncontent-length: 42\r\nConnection: close\r\n\r\n",
+        )
+        .expect("parses");
+        assert_eq!(head.method, Method::Post);
+        assert_eq!(head.target, Some(Target::Evaluate));
+        assert_eq!(head.content_length, 42);
+        assert!(!head.keep_alive);
+        let head = parse_head(b"GET /stats HTTP/1.1\r\n\r\n").expect("parses");
+        assert_eq!(head.target, Some(Target::Stats));
+        assert!(head.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        let head = parse_head(b"GET /stats HTTP/1.0\r\n\r\n").expect("parses");
+        assert!(!head.keep_alive, "HTTP/1.0 defaults to close");
+        let head = parse_head(b"PUT /nope HTTP/1.1\r\n\r\n").expect("parses");
+        assert_eq!(head.method, Method::Other);
+        assert_eq!(head.target, None);
+    }
+
+    #[test]
+    fn parse_head_rejects_malformed_lines() {
+        for bad in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET /x SPDY/3\r\n\r\n",
+            b"GET  HTTP/1.1\r\n\r\n",
+            b"POST /evaluate HTTP/1.1\r\ncontent-length: banana\r\n\r\n",
+            b"\xff\xfe\r\n\r\n",
+        ] {
+            assert!(parse_head(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn response_framing_matches_handwritten_bytes() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, &[("x-ce-cache", "hit")], "{\"a\":1}");
+        let expected = "HTTP/1.1 200 OK\r\ncontent-type: application/json\r\nx-ce-cache: hit\r\ncontent-length: 7\r\n\r\n{\"a\":1}";
+        assert_eq!(out, expected.as_bytes());
+    }
+
+    #[test]
+    fn chunked_framing_round_trips() {
+        let mut out = Vec::new();
+        write_chunked_head(&mut out, 200, &[]);
+        write_chunk(&mut out, "hello ");
+        write_chunk(&mut out, ""); // skipped, not a terminator
+        write_chunk(&mut out, &"x".repeat(26));
+        write_last_chunk(&mut out);
+        let text = String::from_utf8(out).expect("utf8");
+        let (head, body) = text.split_once("\r\n\r\n").expect("split");
+        assert!(head.contains("transfer-encoding: chunked"));
+        assert!(!head.contains("content-length"));
+        assert_eq!(
+            body,
+            format!("6\r\nhello \r\n1a\r\n{}\r\n0\r\n\r\n", "x".repeat(26))
+        );
+    }
+
+    #[test]
+    fn every_produced_status_has_a_reason() {
+        for status in [200, 400, 404, 405, 408, 413, 422, 429, 500, 503, 504] {
+            assert_ne!(status_reason(status), "Error", "{status}");
+        }
+        assert_eq!(status_reason(418), "Error");
+    }
+}

@@ -2,12 +2,15 @@
 //! Explorer exploration engine.
 //!
 //! The crate turns the library's design-space exploration into a network
-//! service using nothing but `std`: a hand-written HTTP/1.1 front end on
-//! [`std::net::TcpListener`], a hand-rolled JSON layer ([`json`]), a
-//! bounded MPMC job queue feeding a fixed worker pool ([`queue`],
-//! [`server`]), request coalescing plus a sharded LRU response cache
-//! keyed by canonical scenario keys ([`request`], [`cache`], [`hash`]),
-//! and per-endpoint metrics ([`metrics`]).
+//! service using nothing but `std` and one `poll(2)` declaration
+//! ([`sys`]): per-core event-loop shards running a nonblocking readiness
+//! loop with incremental HTTP/1.1 parsing ([`http`], [`server`]), a
+//! hand-rolled JSON layer ([`json`]), bounded per-shard job queues
+//! feeding shard-pinned workers ([`queue`]), request coalescing plus a
+//! shard-owned LRU response cache and a raw-bytes request memo keyed by
+//! canonical scenario keys ([`request`], [`cache`], [`hash`]), streamed
+//! `transfer-encoding: chunked` bodies for large `/explore` sweeps, and
+//! per-endpoint and per-shard metrics ([`metrics`]).
 //!
 //! # Endpoints
 //!
@@ -29,12 +32,15 @@
 //! whether computed fresh, replayed from the response cache, or shared
 //! via coalescing — because bodies are encoded exactly once
 //! ([`Json::encode`] is byte-deterministic) and cached/shared as
-//! immutable `Arc<str>`. Cache disposition travels in the `x-ce-cache`
+//! immutable `Arc<str>`. Streamed `/explore` bodies keep the contract:
+//! the chunked fragments concatenate to exactly the buffered encoding,
+//! and the fragment boundaries are cached so replays are byte-identical
+//! *on the wire* too. Cache disposition travels in the `x-ce-cache`
 //! header (`miss`/`hit`/`coalesced`), never in the body. The server's
 //! *operational* behavior (timings, `/stats`, which requests coalesce) is
 //! of course scheduling-dependent; `ce-serve` therefore holds an explicit
-//! nondeterminism allowance for sockets, threads, and wall-clock reads in
-//! the workspace analyzer, mirroring `ce-bench`'s.
+//! nondeterminism allowance for sockets, threads, wall-clock reads, and
+//! raw fds in the workspace analyzer, mirroring `ce-bench`'s.
 //!
 //! # Quickstart
 //!
@@ -53,16 +59,22 @@
 //! handle.shutdown();
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the two narrowly scoped
+// `#[allow(unsafe_code)]` blocks in [`sys`] (the `poll(2)` declaration
+// and its call site) are the crate's entire unsafe surface.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+mod event;
 pub mod hash;
+pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod queue;
 pub mod request;
 pub mod server;
+pub mod sys;
 
 pub use json::{Json, JsonError};
 pub use request::{

@@ -1,22 +1,27 @@
 //! The `ce-serve` binary: boot the query service and run until killed.
 //!
 //! ```text
-//! ce-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//! ce-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--shards N]
 //! ```
 
 use ce_serve::{start, ServerConfig};
 use std::process::ExitCode;
 use std::time::Duration;
 
-const USAGE: &str = "usage: ce-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+const USAGE: &str =
+    "usage: ce-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N] [--shards N]
   --addr     bind address (default 127.0.0.1:7878; port 0 picks a free port)
-  --workers  compute worker threads (default 2)
-  --queue    bounded job-queue capacity (default 64)
-  --cache    response-cache capacity in entries (default 256)";
+  --workers  compute worker threads (default 2; raised to the shard count)
+  --queue    bounded job-queue capacity per shard (default 64)
+  --cache    total response-cache capacity in entries (default 256)
+  --shards   event-loop shards; 0 = one per core (binary default 0)";
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<ServerConfig, String> {
     let mut config = ServerConfig {
         addr: "127.0.0.1:7878".to_string(),
+        // The binary defaults to one shard per core; the library default
+        // stays 1 so embedded/test servers are fully deterministic.
+        event_shards: 0,
         ..ServerConfig::default()
     };
     let mut args = args.peekable();
@@ -38,6 +43,12 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<ServerConfig, String
             "--workers" => config.workers = parse_count("--workers", &value)?,
             "--queue" => config.queue_capacity = parse_count("--queue", &value)?,
             "--cache" => config.cache_capacity = parse_count("--cache", &value)?,
+            "--shards" => {
+                // 0 is meaningful here (auto-detect), unlike the other counts.
+                config.event_shards = value.parse::<usize>().map_err(|_| {
+                    format!("`--shards` needs a non-negative integer, got `{value}`\n{USAGE}")
+                })?;
+            }
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
@@ -75,6 +86,7 @@ mod tests {
     fn defaults_and_overrides() {
         let config = parse_args(std::iter::empty()).expect("defaults");
         assert_eq!(config.addr, "127.0.0.1:7878");
+        assert_eq!(config.event_shards, 0, "binary defaults to auto shards");
         let config = parse_args(
             [
                 "--addr",
@@ -85,6 +97,8 @@ mod tests {
                 "8",
                 "--cache",
                 "16",
+                "--shards",
+                "2",
             ]
             .into_iter()
             .map(String::from),
@@ -94,6 +108,7 @@ mod tests {
         assert_eq!(config.workers, 4);
         assert_eq!(config.queue_capacity, 8);
         assert_eq!(config.cache_capacity, 16);
+        assert_eq!(config.event_shards, 2);
     }
 
     #[test]

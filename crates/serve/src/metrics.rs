@@ -155,6 +155,59 @@ fn bucket_upper_bound_micros(i: usize) -> u64 {
     1u64 << i.min(63)
 }
 
+/// Event-loop and cache counters for one shard, published to `/stats` as
+/// one element of the `"shards"` array. These make the sharding claim
+/// observable: per-shard hit rates show the cache partitioning working,
+/// and the loop counters (wakeups, partial reads, short writes) expose
+/// how the readiness loop is actually behaving under load.
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    /// Times the shard's waker fired (worker completions arriving).
+    pub wakeups: AtomicU64,
+    /// `poll(2)` calls the event loop made.
+    pub polls: AtomicU64,
+    /// Connections this shard accepted.
+    pub accepts: AtomicU64,
+    /// Read events that left a partial request buffered (the incremental
+    /// parser reported "need more bytes").
+    pub partial_reads: AtomicU64,
+    /// Write attempts that could not flush the full output buffer.
+    pub short_writes: AtomicU64,
+    /// Responses served from this shard's response cache.
+    pub cache_hits: AtomicU64,
+    /// Compute requests that missed this shard's response cache.
+    pub cache_misses: AtomicU64,
+    /// Entries evicted from this shard's response cache.
+    pub cache_evictions: AtomicU64,
+    /// Responses streamed as `transfer-encoding: chunked`.
+    pub streamed: AtomicU64,
+}
+
+impl ShardStats {
+    /// Renders this shard's counters plus caller-supplied point-in-time
+    /// gauges (cache entries, in-flight keys, queue depth).
+    pub fn to_json(&self, gauges: &[(&str, f64)]) -> Json {
+        let mut fields: Vec<(String, Json)> = gauges
+            .iter()
+            .map(|(name, value)| ((*name).to_string(), Json::Num(*value)))
+            .collect();
+        for (name, counter) in [
+            ("wakeups", &self.wakeups),
+            ("polls", &self.polls),
+            ("accepts", &self.accepts),
+            ("partial_reads", &self.partial_reads),
+            ("short_writes", &self.short_writes),
+            ("cache_hits", &self.cache_hits),
+            ("cache_misses", &self.cache_misses),
+            ("cache_evictions", &self.cache_evictions),
+            ("streamed", &self.streamed),
+        ] {
+            fields.push((name.to_string(), load(counter)));
+        }
+        Json::Obj(fields)
+    }
+}
+
 /// All endpoints' metrics; one instance lives in the server's shared state.
 #[derive(Debug)]
 pub struct Metrics {
@@ -237,6 +290,28 @@ mod tests {
             em.latency_quantile_micros(1.0),
             bucket_upper_bound_micros(LATENCY_BUCKETS - 1)
         );
+    }
+
+    #[test]
+    fn shard_stats_render_gauges_and_counters() {
+        let s = ShardStats::default();
+        s.wakeups.fetch_add(4, Ordering::Relaxed);
+        s.short_writes.fetch_add(1, Ordering::Relaxed);
+        let json = s.to_json(&[("cache_entries", 7.0)]);
+        assert_eq!(json.get("cache_entries").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(json.get("wakeups").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(json.get("short_writes").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(json.get("partial_reads").and_then(Json::as_f64), Some(0.0));
+        for name in [
+            "polls",
+            "accepts",
+            "cache_hits",
+            "cache_misses",
+            "cache_evictions",
+            "streamed",
+        ] {
+            assert!(json.get(name).is_some(), "missing {name}");
+        }
     }
 
     #[test]

@@ -245,12 +245,34 @@ impl ComputeRequest {
         }
     }
 
+    /// The wire kind this request was posted as.
+    pub fn kind(&self) -> ComputeKind {
+        match self {
+            ComputeRequest::Evaluate { .. } => ComputeKind::Evaluate,
+            ComputeRequest::Explore { .. } => ComputeKind::Explore,
+            ComputeRequest::Optimal { .. } => ComputeKind::Optimal,
+        }
+    }
+
     /// The metrics endpoint this request belongs to.
     pub fn endpoint(&self) -> Endpoint {
         match self {
             ComputeRequest::Evaluate { .. } => Endpoint::Evaluate,
             ComputeRequest::Explore { .. } => Endpoint::Explore,
             ComputeRequest::Optimal { .. } => Endpoint::Optimal,
+        }
+    }
+
+    /// For `/explore` requests, the number of effective design points the
+    /// sweep will evaluate (after strategy restriction); `None` for other
+    /// kinds. The server compares this against its streaming threshold to
+    /// choose `content-length` vs `transfer-encoding: chunked` framing.
+    pub fn explore_points(&self) -> Option<usize> {
+        match self {
+            ComputeRequest::Explore {
+                strategy, space, ..
+            } => Some(space.restricted_to(*strategy).len()),
+            _ => None,
         }
     }
 
@@ -630,6 +652,37 @@ pub fn evaluation_json(eval: &EvaluatedDesign) -> Json {
     Json::obj(fields)
 }
 
+/// The closing fragment of a streamed `/explore` body.
+pub const EXPLORE_SUFFIX: &str = "]}";
+
+/// The opening fragment of a streamed `/explore` body: everything before
+/// the first result. Built from the same [`Json`] encoders the buffered
+/// path uses, so `explore_prefix + fragments… + `[`EXPLORE_SUFFIX`]`
+/// concatenates to exactly the bytes [`execute`] would have encoded.
+pub fn explore_prefix(strategy: StrategyKind, count: usize) -> String {
+    let mut prefix = String::from("{\"strategy\":");
+    prefix.push_str(&Json::string(strategy.canonical_key()).encode());
+    prefix.push_str(",\"count\":");
+    prefix.push_str(&Json::Num(count as f64).encode());
+    prefix.push_str(",\"results\":[");
+    prefix
+}
+
+/// One supply group's worth of a streamed `/explore` body: the
+/// evaluations encoded and comma-joined, with a leading comma when the
+/// group is not the first (array elements are comma-separated, and the
+/// previous fragment ended mid-array).
+pub fn explore_group_fragment(evals: &[EvaluatedDesign], first: bool) -> String {
+    let mut fragment = String::new();
+    for (i, eval) in evals.iter().enumerate() {
+        if !first || i > 0 {
+            fragment.push(',');
+        }
+        fragment.push_str(&evaluation_json(eval).encode());
+    }
+    fragment
+}
+
 /// Executes a validated request against an explorer. Pure: same request +
 /// same explorer → byte-identical [`Json::encode`] output, fresh or not.
 pub fn execute(req: &ComputeRequest, explorer: &CarbonExplorer, scratch: &mut EvalScratch) -> Json {
@@ -964,6 +1017,43 @@ mod tests {
             let wire = parsed.get(name).and_then(Json::as_f64).expect(name);
             assert_eq!(wire.to_bits(), value.to_bits(), "{name}");
         }
+    }
+
+    #[test]
+    fn streamed_fragments_concatenate_to_the_buffered_encoding() {
+        let ctx = Context {
+            source: DemandSource::Constant {
+                ba: BalancingAuthority::PACE,
+                demand_mw: 5.0,
+            },
+            year: 2020,
+            seed: 7,
+        };
+        let explorer = build_explorer(&ctx).expect("builds");
+        let strategy = StrategyKind::RenewablesBattery;
+        let space = DesignSpace {
+            solar: (0.0, 100.0, 3),
+            wind: (0.0, 100.0, 2),
+            battery: (0.0, 50.0, 4),
+            extra_capacity: (0.0, 0.0, 1),
+        };
+        let req = ComputeRequest::Explore {
+            ctx,
+            strategy,
+            space: space.clone(),
+        };
+        let count = req.explore_points().expect("explore");
+        assert_eq!(count, 3 * 2 * 4);
+        let buffered = execute(&req, &explorer, &mut EvalScratch::default()).encode();
+
+        let mut streamed = explore_prefix(strategy, count);
+        let mut first = true;
+        explorer.explore_groups(strategy, &space, |block| {
+            streamed.push_str(&explore_group_fragment(block, first));
+            first = false;
+        });
+        streamed.push_str(EXPLORE_SUFFIX);
+        assert_eq!(streamed, buffered, "fragment concatenation differs");
     }
 
     #[test]

@@ -1,83 +1,100 @@
-//! The HTTP/1.1 front end, worker pool, and lifecycle management.
+//! Server configuration, shard/worker wiring, and lifecycle management.
 //!
 //! # Architecture
 //!
 //! ```text
-//! TcpListener ── accept loop ──► one handler thread per connection
-//!                                   │  parse HTTP, route
-//!                                   │  GET endpoints answer inline
-//!                                   ▼
-//!                    response cache ──hit──► reply (bitwise-cached body)
-//!                                   │ miss
-//!                    in-flight map ──same key──► attach (coalesce)
-//!                                   │ new key
-//!                    bounded queue ──full──► 429 + Retry-After
-//!                                   │
-//!                    worker pool (owns EvalScratch each) ──► compute,
-//!                    fill cache, publish outcome, wake all waiters
+//!                       shared nonblocking TcpListener
+//!                      ╱            │                ╲
+//!            shard 0 event loop   shard 1 …    shard N-1   (one thread
+//!            ┌─────────────────────────────┐               each; see
+//!            │ poll(2) readiness loop      │               [`crate::event`])
+//!            │ conn slab · incremental     │
+//!            │ HTTP parse · raw-bytes memo │──sync──► GET endpoints,
+//!            │ LRU cache shard · inflight  │          cache hits, errors
+//!            └──────────┬──────────────────┘
+//!               bounded │ queue (per shard)       completions ▲ + waker
+//!                       ▼                                     │
+//!            shard-pinned workers (own EvalScratch) ──────────┘
+//!            buffered results, or chunk-by-chunk streamed /explore
 //! ```
 //!
-//! `GET /healthz` and `GET /stats` never touch the queue, so the service
-//! stays observable while compute capacity is saturated. `POST` bodies
-//! are computed by a fixed worker pool behind a *bounded* queue; a full
-//! queue sheds the request with `429` instead of accepting unbounded
-//! work. Identical in-flight requests (same canonical key) share one
-//! computation.
+//! Each shard's event loop exclusively owns its connections, response
+//! cache, raw-request memo, and in-flight map — the hot path takes no
+//! locks. Workers are pinned to shards (at least one each) and hand
+//! results back through the shard's completion queue plus waker socket.
 //!
 //! # Determinism
 //!
 //! Compute responses are bitwise identical whether served fresh, from the
 //! response cache, or by coalescing — the body is encoded once by the
-//! worker and shared as `Arc<str>`. Cache disposition is reported in the
-//! `x-ce-cache` response header (`miss` / `hit` / `coalesced`)
-//! specifically so it never perturbs the body bytes. Workers run the
+//! worker and shared as `Arc<str>`. Streamed `/explore` responses carry
+//! the same bytes: the fragment sequence (prefix, one fragment per supply
+//! group, suffix) concatenates to exactly the buffered encoding, and the
+//! fragment boundaries are cached so a replay frames identical HTTP
+//! chunks. Cache disposition is reported in the `x-ce-cache` header
+//! (`miss` / `hit` / `coalesced`), never in the body. Workers run the
 //! engine through [`ce_parallel::run_serial`], trading intra-request
 //! parallelism for across-request parallelism without oversubscribing.
 
-use crate::cache::ShardedCache;
+use crate::event::{event_loop, Completion, Waker};
 use crate::json::Json;
-use crate::metrics::{Endpoint, Metrics};
-use crate::queue::{BoundedQueue, PushError};
+use crate::metrics::{Metrics, ShardStats};
+use crate::queue::BoundedQueue;
 use crate::request::{
-    execute, scenarios_json, ComputeKind, ComputeRequest, ExplorerCache, Limits, RequestError,
+    execute, explore_group_fragment, explore_prefix, scenarios_json, ComputeRequest, ExplorerCache,
+    Limits, RequestError,
 };
 use ce_core::EvalScratch;
-use std::collections::BTreeMap;
-use std::io::{self, Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Server tuning knobs. `Default` suits tests and small deployments.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address; port 0 picks a free port (see [`ServerHandle::addr`]).
     pub addr: String,
-    /// Compute worker threads (minimum 1).
+    /// Compute worker threads (minimum 1; raised to the shard count so
+    /// every shard has at least one pinned worker).
     pub workers: usize,
-    /// Bounded job-queue capacity; beyond it requests are shed with 429.
+    /// Bounded job-queue capacity *per shard*; beyond it requests are
+    /// shed with 429.
     pub queue_capacity: usize,
-    /// Response-cache capacity (entries).
+    /// Total response-cache capacity (entries), divided across shards.
     pub cache_capacity: usize,
-    /// Response-cache shard count.
-    pub cache_shards: usize,
+    /// Event-loop shards. `0` means one per available core; the default
+    /// is 1, which keeps single-process behavior fully deterministic
+    /// (every connection shares one cache and coalescing domain).
+    pub event_shards: usize,
     /// How many built [`ce_core::CarbonExplorer`]s to keep.
     pub explorer_cache_capacity: usize,
-    /// Largest accepted request body, bytes.
+    /// Largest accepted request body, bytes (larger ⇒ 413 at the header,
+    /// before any body byte is buffered).
     pub max_body_bytes: usize,
     /// Concurrent connections beyond which new ones get 503.
     pub max_connections: usize,
     /// Design-space validation limits.
     pub limits: Limits,
-    /// Socket read timeout (bounds how long an idle keep-alive connection
-    /// can outlive a shutdown request).
+    /// How long a connection may stall mid-request (head or body started
+    /// but unfinished) before it is closed with 408 — the slow-loris
+    /// guard. Also bounds write-stalled peers.
     pub read_timeout: Duration,
-    /// How long a handler waits for its computation before giving up
+    /// How long an idle keep-alive connection (no request in progress)
+    /// may sit before being closed.
+    pub idle_timeout: Duration,
+    /// How long a request waits for its computation before giving up
     /// with 504.
     pub compute_timeout: Duration,
+    /// `/explore` sweeps with at least this many design points stream as
+    /// `transfer-encoding: chunked`, one fragment per supply group,
+    /// instead of buffering the whole body first.
+    pub stream_threshold_points: usize,
 }
 
 impl Default for ServerConfig {
@@ -87,82 +104,71 @@ impl Default for ServerConfig {
             workers: 2,
             queue_capacity: 64,
             cache_capacity: 256,
-            cache_shards: 8,
+            event_shards: 1,
             explorer_cache_capacity: 4,
             max_body_bytes: 64 * 1024,
             max_connections: 64,
             limits: Limits::default(),
             read_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(60),
             compute_timeout: Duration::from_secs(120),
+            stream_threshold_points: 2048,
         }
     }
 }
 
-/// The result of one computation, published to every coalesced waiter.
-#[derive(Clone)]
-struct Outcome {
-    status: u16,
-    body: Arc<str>,
+/// A queued computation, owned by one shard's worker feed.
+pub(crate) struct Job {
+    /// Canonical scenario key (the coalescing/caching identity).
+    pub(crate) key: Arc<str>,
+    /// The validated request.
+    pub(crate) request: ComputeRequest,
+    /// Stream the result as chunked fragments instead of one body.
+    pub(crate) stream: bool,
 }
 
-/// One in-flight computation: waiters block on the condvar until the
-/// worker fills the slot.
-struct InflightCell {
-    slot: Mutex<Option<Outcome>>,
-    ready: Condvar,
+/// Cross-thread state for one shard: its worker feed, its completion
+/// mailbox, and the gauges its event loop publishes for `/stats`.
+pub(crate) struct ShardShared {
+    /// Worker feed for this shard.
+    pub(crate) queue: BoundedQueue<Job>,
+    /// Results (and stream fragments) headed back to the event loop.
+    pub(crate) completions: Mutex<VecDeque<Completion>>,
+    /// Wakes the event loop when a completion lands.
+    pub(crate) waker: Waker,
+    /// Event-loop counters for `/stats`.
+    pub(crate) stats: ShardStats,
+    /// Connections currently owned by this shard.
+    pub(crate) connections: AtomicU64,
+    /// In-flight computation keys (published by the event loop).
+    pub(crate) inflight_keys: AtomicU64,
+    /// Response-cache entries (published by the event loop).
+    pub(crate) cache_entries: AtomicU64,
 }
 
-impl InflightCell {
-    fn new() -> Self {
-        Self {
-            slot: Mutex::new(None),
-            ready: Condvar::new(),
-        }
-    }
-
-    fn publish(&self, outcome: Outcome) {
-        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
-        *slot = Some(outcome);
-        drop(slot);
-        self.ready.notify_all();
-    }
-
-    fn wait(&self, timeout: Duration) -> Option<Outcome> {
-        let start = Instant::now();
-        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
-        loop {
-            if let Some(outcome) = slot.as_ref() {
-                return Some(outcome.clone());
-            }
-            let elapsed = start.elapsed();
-            if elapsed >= timeout {
-                return None;
-            }
-            let (guard, _) = self
-                .ready
-                .wait_timeout(slot, timeout - elapsed)
-                .unwrap_or_else(PoisonError::into_inner);
-            slot = guard;
-        }
+impl ShardShared {
+    /// Enqueues a completion and wakes the shard's event loop.
+    pub(crate) fn push_completion(&self, completion: Completion) {
+        self.completions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(completion);
+        self.waker.wake();
     }
 }
 
-struct Job {
-    key: Arc<str>,
-    request: ComputeRequest,
-    cell: Arc<InflightCell>,
-}
-
-struct Shared {
-    config: ServerConfig,
-    metrics: Metrics,
-    cache: ShardedCache,
-    explorers: ExplorerCache,
-    queue: BoundedQueue<Job>,
-    inflight: Mutex<BTreeMap<Arc<str>, Arc<InflightCell>>>,
-    shutdown: AtomicBool,
-    connections: AtomicU64,
-    busy_workers: AtomicU64,
+/// State shared by every shard and worker.
+pub(crate) struct Shared {
+    pub(crate) config: ServerConfig,
+    pub(crate) metrics: Metrics,
+    pub(crate) explorers: ExplorerCache,
+    pub(crate) shards: Vec<Arc<ShardShared>>,
+    pub(crate) shutdown: AtomicBool,
+    /// Connections across all shards (the 503 admission gauge).
+    pub(crate) connections: AtomicU64,
+    pub(crate) busy_workers: AtomicU64,
+    /// `GET /scenarios` body, encoded once at startup.
+    pub(crate) scenarios: Arc<str>,
 }
 
 /// A running server. Dropping the handle shuts the server down; call
@@ -170,43 +176,89 @@ struct Shared {
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    listener_thread: Option<JoinHandle<()>>,
+    event_threads: Vec<JoinHandle<()>>,
     worker_threads: Vec<JoinHandle<()>>,
 }
 
-/// Binds, spawns the worker pool and accept loop, and returns a handle.
+fn shard_count(config: &ServerConfig) -> usize {
+    if config.event_shards == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        config.event_shards
+    }
+}
+
+/// Binds, spawns the event-loop shards and their pinned workers, and
+/// returns a handle.
 ///
 /// # Errors
 ///
-/// I/O errors from binding the listener address.
+/// I/O errors from binding the listener address or building the per-shard
+/// waker socket pairs.
 pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(config.addr.as_str())?;
+    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    let shards = shard_count(&config);
+    let queue_capacity = config.queue_capacity;
+    let mut shard_shared = Vec::with_capacity(shards);
+    let mut waker_rxs = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        // A loopback socket pair is the waker: dependency-free, pollable
+        // alongside the listener and connections.
+        let pair = TcpListener::bind("127.0.0.1:0")?;
+        let tx = TcpStream::connect(pair.local_addr()?)?;
+        let (rx, _) = pair.accept()?;
+        tx.set_nonblocking(true)?;
+        tx.set_nodelay(true)?;
+        rx.set_nonblocking(true)?;
+        waker_rxs.push(rx);
+        shard_shared.push(Arc::new(ShardShared {
+            queue: BoundedQueue::new(queue_capacity),
+            completions: Mutex::new(VecDeque::new()),
+            waker: Waker::new(tx),
+            stats: ShardStats::default(),
+            connections: AtomicU64::new(0),
+            inflight_keys: AtomicU64::new(0),
+            cache_entries: AtomicU64::new(0),
+        }));
+    }
     let shared = Arc::new(Shared {
         metrics: Metrics::new(),
-        cache: ShardedCache::new(config.cache_capacity, config.cache_shards),
         explorers: ExplorerCache::new(config.explorer_cache_capacity),
-        queue: BoundedQueue::new(config.queue_capacity),
-        inflight: Mutex::new(BTreeMap::new()),
+        shards: shard_shared,
         shutdown: AtomicBool::new(false),
         connections: AtomicU64::new(0),
         busy_workers: AtomicU64::new(0),
+        scenarios: scenarios_json().encode_arc(),
         config,
     });
-    let worker_threads = (0..shared.config.workers.max(1))
-        .map(|_| {
+    // Every shard gets at least one pinned worker; extras round-robin.
+    let workers = shared.config.workers.max(1).max(shards);
+    let worker_threads = (0..workers)
+        .map(|i| {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || worker_loop(&shared))
+            std::thread::spawn(move || worker_loop(&shared, i % shards))
         })
         .collect();
-    let listener_thread = {
-        let shared = Arc::clone(&shared);
-        std::thread::spawn(move || accept_loop(&listener, &shared))
-    };
+    let event_threads = waker_rxs
+        .into_iter()
+        .enumerate()
+        .map(|(index, rx)| {
+            let shared = Arc::clone(&shared);
+            let listener = listener.try_clone()?;
+            Ok(std::thread::spawn(move || {
+                event_loop(shared, index, listener, rx)
+            }))
+        })
+        .collect::<io::Result<Vec<_>>>()?;
+    drop(listener); // shards hold their own clones; the last one out unbinds
     Ok(ServerHandle {
         addr,
         shared,
-        listener_thread: Some(listener_thread),
+        event_threads,
         worker_threads,
     })
 }
@@ -218,8 +270,8 @@ impl ServerHandle {
     }
 
     /// Graceful shutdown: stop accepting, let workers drain every job
-    /// already queued (waiters get their responses), then join all server
-    /// threads and wait briefly for connection handlers to finish.
+    /// already queued (waiters get their responses), flush what the event
+    /// loops still owe, then join every server thread.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -229,20 +281,22 @@ impl ServerHandle {
             return;
         }
         // Refuse new jobs but let workers drain accepted ones.
-        self.shared.queue.close();
-        // Poke the accept loop so it observes the flag.
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
-        if let Some(handle) = self.listener_thread.take() {
-            let _ = handle.join();
+        for shard in &self.shared.shards {
+            shard.queue.close();
+        }
+        for shard in &self.shared.shards {
+            shard.waker.wake();
         }
         for handle in self.worker_threads.drain(..) {
             let _ = handle.join();
         }
-        // Handler threads are detached; give in-progress responses a
-        // bounded window to flush before returning.
-        let deadline = Instant::now() + Duration::from_secs(10);
-        while self.shared.connections.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(5));
+        // Workers are done; every completion is queued. Wake the loops a
+        // final time so none sleeps through the flag.
+        for shard in &self.shared.shards {
+            shard.waker.wake();
+        }
+        for handle in self.event_threads.drain(..) {
+            let _ = handle.join();
         }
     }
 }
@@ -253,389 +307,77 @@ impl Drop for ServerHandle {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    for stream in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else {
-            continue;
-        };
-        let previous = shared.connections.fetch_add(1, Ordering::SeqCst);
-        if previous >= shared.config.max_connections as u64 {
-            shared.connections.fetch_sub(1, Ordering::SeqCst);
-            let mut stream = stream;
-            let _ = write_response(
-                &mut stream,
-                503,
-                &[("connection", "close")],
-                "{\"error\":\"connection limit reached\"}",
-            );
-            continue;
-        }
-        let shared = Arc::clone(shared);
-        std::thread::spawn(move || {
-            handle_connection(stream, &shared);
-            shared.connections.fetch_sub(1, Ordering::SeqCst);
-        });
-    }
-}
-
-/// One parsed HTTP request.
-struct HttpRequest {
-    method: String,
-    path: String,
-    body: Vec<u8>,
-    keep_alive: bool,
-}
-
+/// Runs one shard-pinned compute worker until its queue closes and
+/// drains.
 // ce:entry
-fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
-    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
-    let _ = stream.set_nodelay(true);
-    let mut leftover: Vec<u8> = Vec::new();
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        match read_request(&mut stream, &mut leftover, shared.config.max_body_bytes) {
-            Ok(Some(request)) => {
-                let keep_alive = request.keep_alive;
-                let written = respond(&mut stream, shared, &request);
-                if !written || !keep_alive {
-                    break;
-                }
-            }
-            Ok(None) => break, // clean EOF between requests
-            Err(e) => {
-                if e.kind() == io::ErrorKind::InvalidData {
-                    let _ = write_response(
-                        &mut stream,
-                        400,
-                        &[("connection", "close")],
-                        "{\"error\":\"malformed HTTP request\"}",
-                    );
-                }
-                break;
-            }
-        }
-    }
-    let _ = stream.shutdown(Shutdown::Both);
-}
-
-fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
-    haystack
-        .windows(needle.len())
-        .position(|window| window == needle)
-}
-
-/// Reads one HTTP/1.1 request (head + `Content-Length` body) from the
-/// stream. `leftover` carries pipelined bytes between keep-alive
-/// requests. `Ok(None)` is a clean EOF before any bytes of a request.
-fn read_request(
-    stream: &mut TcpStream,
-    leftover: &mut Vec<u8>,
-    max_body: usize,
-) -> io::Result<Option<HttpRequest>> {
-    const MAX_HEAD_BYTES: usize = 8 * 1024;
-    let head_end = loop {
-        if let Some(pos) = find_subslice(leftover, b"\r\n\r\n") {
-            break pos + 4;
-        }
-        if leftover.len() > MAX_HEAD_BYTES {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "request head too large",
-            ));
-        }
-        let mut chunk = [0u8; 4096];
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return if leftover.is_empty() {
-                Ok(None)
-            } else {
-                Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "connection closed mid-request",
-                ))
-            };
-        }
-        leftover.extend_from_slice(&chunk[..n]);
-    };
-
-    let head = std::str::from_utf8(&leftover[..head_end])
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 request head"))?;
-    let mut lines = head.split("\r\n");
-    let request_line = lines.next().unwrap_or("");
-    let mut parts = request_line.split(' ');
-    let method = parts.next().unwrap_or("").to_string();
-    let raw_path = parts.next().unwrap_or("");
-    let path = raw_path.split('?').next().unwrap_or("").to_string();
-    let version = parts.next().unwrap_or("");
-    if method.is_empty() || path.is_empty() || !version.starts_with("HTTP/1.") {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "malformed request line",
-        ));
-    }
-    let mut content_length = 0usize;
-    let mut keep_alive = version != "HTTP/1.0";
-    for line in lines {
-        let Some((name, value)) = line.split_once(':') else {
-            continue;
-        };
-        let name = name.trim().to_ascii_lowercase();
-        let value = value.trim();
-        if name == "content-length" {
-            content_length = value
-                .parse()
-                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad content-length"))?;
-        } else if name == "connection" {
-            let value = value.to_ascii_lowercase();
-            if value.split(',').any(|t| t.trim() == "close") {
-                keep_alive = false;
-            } else if value.split(',').any(|t| t.trim() == "keep-alive") {
-                keep_alive = true;
-            }
-        }
-    }
-    if content_length > max_body {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "request body too large",
-        ));
-    }
-    leftover.drain(..head_end);
-    while leftover.len() < content_length {
-        let mut chunk = [0u8; 4096];
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "connection closed mid-body",
-            ));
-        }
-        leftover.extend_from_slice(&chunk[..n]);
-    }
-    let body: Vec<u8> = leftover.drain(..content_length).collect();
-    Ok(Some(HttpRequest {
-        method,
-        path,
-        body,
-        keep_alive,
-    }))
-}
-
-/// A routed response, before HTTP framing.
-struct Response {
-    status: u16,
-    body: Arc<str>,
-    /// `x-ce-cache` header value for compute endpoints.
-    cache_note: Option<&'static str>,
-    /// Add `Retry-After` (set when shedding with 429).
-    retry_after: bool,
-}
-
-impl Response {
-    fn plain(status: u16, body: impl Into<Arc<str>>) -> Self {
-        Self {
-            status,
-            body: body.into(),
-            cache_note: None,
-            retry_after: false,
-        }
-    }
-
-    fn error(status: u16, message: &str) -> Self {
-        Self::plain(
-            status,
-            Json::obj(vec![("error", Json::string(message))])
-                .encode()
-                .as_str(),
-        )
-    }
-}
-
-fn respond(stream: &mut TcpStream, shared: &Arc<Shared>, request: &HttpRequest) -> bool {
-    let started = Instant::now();
-    let (endpoint, response) = route(shared, request);
-    if let Some(endpoint) = endpoint {
-        let metrics = shared.metrics.endpoint(endpoint);
-        metrics.requests.fetch_add(1, Ordering::Relaxed);
-        if response.status >= 400 {
-            metrics.errors.fetch_add(1, Ordering::Relaxed);
-        }
-        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-        metrics.record_latency_micros(micros);
-    }
-    let mut headers: Vec<(&str, &str)> = Vec::new();
-    if let Some(note) = response.cache_note {
-        headers.push(("x-ce-cache", note));
-    }
-    if response.retry_after {
-        headers.push(("retry-after", "1"));
-    }
-    write_response(stream, response.status, &headers, &response.body)
-}
-
-fn route(shared: &Arc<Shared>, request: &HttpRequest) -> (Option<Endpoint>, Response) {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => (
-            Some(Endpoint::Healthz),
-            Response::plain(200, "{\"status\":\"ok\"}"),
-        ),
-        ("GET", "/stats") => (
-            Some(Endpoint::Stats),
-            Response::plain(200, stats_json(shared).encode().as_str()),
-        ),
-        ("GET", "/scenarios") => (
-            Some(Endpoint::Scenarios),
-            Response::plain(200, scenarios_json().encode().as_str()),
-        ),
-        ("POST", "/evaluate") => {
-            compute(shared, ComputeKind::Evaluate, Endpoint::Evaluate, request)
-        }
-        ("POST", "/explore") => compute(shared, ComputeKind::Explore, Endpoint::Explore, request),
-        ("POST", "/optimal") => compute(shared, ComputeKind::Optimal, Endpoint::Optimal, request),
-        (_, "/healthz" | "/stats" | "/scenarios" | "/evaluate" | "/explore" | "/optimal") => {
-            (None, Response::error(405, "method not allowed"))
-        }
-        _ => (None, Response::error(404, "no such endpoint")),
-    }
-}
-
-fn compute(
-    shared: &Arc<Shared>,
-    kind: ComputeKind,
-    endpoint: Endpoint,
-    request: &HttpRequest,
-) -> (Option<Endpoint>, Response) {
-    let metrics = shared.metrics.endpoint(endpoint);
-    let Ok(text) = std::str::from_utf8(&request.body) else {
-        return (Some(endpoint), Response::error(400, "body must be UTF-8"));
-    };
-    let json = match Json::parse(text) {
-        Ok(json) => json,
-        Err(e) => {
-            return (
-                Some(endpoint),
-                Response::error(400, &format!("invalid JSON: {e}")),
-            );
-        }
-    };
-    let parsed = match ComputeRequest::parse(kind, &json, &shared.config.limits) {
-        Ok(parsed) => parsed,
-        Err(RequestError { status, message }) => {
-            return (Some(endpoint), Response::error(status, &message));
-        }
-    };
-    let key = parsed.canonical_key();
-
-    if let Some(body) = shared.cache.get(&key) {
-        metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
-        return (
-            Some(endpoint),
-            Response {
-                status: 200,
-                body,
-                cache_note: Some("hit"),
-                retry_after: false,
-            },
-        );
-    }
-
-    let key: Arc<str> = Arc::from(key.as_str());
-    let (cell, creator) = {
-        let mut inflight = shared
-            .inflight
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
-        match inflight.get(&key) {
-            Some(cell) => (Arc::clone(cell), false),
-            None => {
-                let cell = Arc::new(InflightCell::new());
-                inflight.insert(Arc::clone(&key), Arc::clone(&cell));
-                (cell, true)
-            }
-        }
-    };
-
-    if creator {
-        let job = Job {
-            key: Arc::clone(&key),
-            request: parsed,
-            cell: Arc::clone(&cell),
-        };
-        if let Err(refusal) = shared.queue.try_push(job) {
-            let mut inflight = shared
-                .inflight
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
-            inflight.remove(&key);
-            drop(inflight);
-            return match refusal {
-                PushError::Full => {
-                    metrics.shed.fetch_add(1, Ordering::Relaxed);
-                    let mut response = Response::error(429, "compute queue full; retry shortly");
-                    response.retry_after = true;
-                    (Some(endpoint), response)
-                }
-                PushError::Closed => (
-                    Some(endpoint),
-                    Response::error(503, "server is shutting down"),
-                ),
-            };
-        }
-    } else {
-        metrics.coalesced.fetch_add(1, Ordering::Relaxed);
-    }
-
-    match cell.wait(shared.config.compute_timeout) {
-        Some(outcome) => (
-            Some(endpoint),
-            Response {
-                status: outcome.status,
-                body: outcome.body,
-                cache_note: Some(if creator { "miss" } else { "coalesced" }),
-                retry_after: false,
-            },
-        ),
-        None => (
-            Some(endpoint),
-            Response::error(504, "computation timed out"),
-        ),
-    }
-}
-
-// ce:entry
-fn worker_loop(shared: &Arc<Shared>) {
+pub(crate) fn worker_loop(shared: &Arc<Shared>, shard_index: usize) {
+    let shard = &shared.shards[shard_index];
     let mut scratch = EvalScratch::default();
-    while let Some(job) = shared.queue.pop() {
+    while let Some(job) = shard.queue.pop() {
         shared.busy_workers.fetch_add(1, Ordering::SeqCst);
         let endpoint = job.request.endpoint();
+        let streamed_any = Cell::new(false);
         // Catch panics so coalesced waiters always get an outcome; the
         // scratch buffers are plain reusable vectors, safe to keep using.
         let result = catch_unwind(AssertUnwindSafe(|| {
             let explorer = shared.explorers.get_or_build(job.request.context())?;
-            // Serial engine inside each worker: parallelism comes from
-            // the pool itself, and nesting thread scopes per request
-            // would oversubscribe the host.
-            Ok(ce_parallel::run_serial(|| {
-                execute(&job.request, &explorer, &mut scratch)
-            }))
+            if job.stream {
+                if let ComputeRequest::Explore {
+                    strategy, space, ..
+                } = &job.request
+                {
+                    let points = job.request.explore_points().unwrap_or(0);
+                    let push_fragment = |fragment: String| {
+                        streamed_any.set(true);
+                        shard.push_completion(Completion::Chunk {
+                            key: Arc::clone(&job.key),
+                            fragment: Arc::from(fragment.as_str()),
+                        });
+                    };
+                    push_fragment(explore_prefix(*strategy, points));
+                    // Serial engine inside each worker: parallelism comes
+                    // from the pool itself, and nesting thread scopes per
+                    // request would oversubscribe the host.
+                    ce_parallel::run_serial(|| {
+                        let mut first = true;
+                        explorer.explore_groups(*strategy, space, |group| {
+                            push_fragment(explore_group_fragment(group, first));
+                            first = false;
+                        });
+                    });
+                    push_fragment(crate::request::EXPLORE_SUFFIX.to_string());
+                    return Ok(None);
+                }
+            }
+            Ok(Some(
+                ce_parallel::run_serial(|| execute(&job.request, &explorer, &mut scratch))
+                    .encode_arc(),
+            ))
         }));
-        let outcome = match result {
-            Ok(Ok(json)) => Outcome {
+        let completion = match result {
+            Ok(Ok(None)) => Completion::Done {
+                key: Arc::clone(&job.key),
                 status: 200,
-                body: json.encode_arc(),
+                body: None,
+                streamed: true,
             },
-            Ok(Err(RequestError { status, message })) => Outcome {
+            Ok(Ok(Some(body))) => Completion::Done {
+                key: Arc::clone(&job.key),
+                status: 200,
+                body: Some(body),
+                streamed: false,
+            },
+            Ok(Err(RequestError { status, message })) => Completion::Done {
+                key: Arc::clone(&job.key),
                 status,
-                body: Json::obj(vec![("error", Json::string(message))]).encode_arc(),
+                body: Some(Json::obj(vec![("error", Json::string(message))]).encode_arc()),
+                streamed: streamed_any.get(),
             },
-            Err(_panic) => Outcome {
+            Err(_panic) => Completion::Done {
+                key: Arc::clone(&job.key),
                 status: 500,
-                body: Arc::from("{\"error\":\"internal computation failure\"}"),
+                body: Some(Arc::from("{\"error\":\"internal computation failure\"}")),
+                streamed: streamed_any.get(),
             },
         };
         shared
@@ -643,33 +385,27 @@ fn worker_loop(shared: &Arc<Shared>) {
             .endpoint(endpoint)
             .computed
             .fetch_add(1, Ordering::Relaxed);
-        // Publication order matters: fill the cache first, then retire
-        // the in-flight entry, then wake waiters — a request arriving at
-        // any interleaving sees the result exactly once (via cache, via
-        // coalescing, or by recomputing after full retirement).
-        if outcome.status == 200 {
-            shared.cache.insert(&job.key, Arc::clone(&outcome.body));
-        }
-        {
-            let mut inflight = shared
-                .inflight
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
-            inflight.remove(&job.key);
-        }
-        job.cell.publish(outcome);
+        shard.push_completion(completion);
         shared.busy_workers.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
-fn stats_json(shared: &Arc<Shared>) -> Json {
-    let inflight_keys = shared
-        .inflight
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .len();
-    shared.metrics.to_json(&[
-        ("queue_depth", shared.queue.len() as f64),
+/// Renders the `/stats` body: per-endpoint counters, whole-service
+/// gauges, and one object per shard with its event-loop counters.
+pub(crate) fn stats_json(shared: &Shared) -> Json {
+    let queue_depth: usize = shared.shards.iter().map(|s| s.queue.len()).sum();
+    let inflight: u64 = shared
+        .shards
+        .iter()
+        .map(|s| s.inflight_keys.load(Ordering::SeqCst))
+        .sum();
+    let cache_entries: u64 = shared
+        .shards
+        .iter()
+        .map(|s| s.cache_entries.load(Ordering::SeqCst))
+        .sum();
+    let mut json = shared.metrics.to_json(&[
+        ("queue_depth", queue_depth as f64),
         (
             "busy_workers",
             shared.busy_workers.load(Ordering::SeqCst) as f64,
@@ -678,48 +414,32 @@ fn stats_json(shared: &Arc<Shared>) -> Json {
             "connections",
             shared.connections.load(Ordering::SeqCst) as f64,
         ),
-        ("inflight_keys", inflight_keys as f64),
-        ("response_cache_entries", shared.cache.len() as f64),
+        ("inflight_keys", inflight as f64),
+        ("response_cache_entries", cache_entries as f64),
         ("explorer_cache_entries", shared.explorers.len() as f64),
-    ])
-}
-
-fn status_reason(status: u16) -> &'static str {
-    match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        422 => "Unprocessable Entity",
-        429 => "Too Many Requests",
-        500 => "Internal Server Error",
-        503 => "Service Unavailable",
-        504 => "Gateway Timeout",
-        _ => "Error",
+    ]);
+    let shards = shared
+        .shards
+        .iter()
+        .map(|s| {
+            s.stats.to_json(&[
+                ("connections", s.connections.load(Ordering::SeqCst) as f64),
+                ("queue_depth", s.queue.len() as f64),
+                (
+                    "inflight_keys",
+                    s.inflight_keys.load(Ordering::SeqCst) as f64,
+                ),
+                (
+                    "cache_entries",
+                    s.cache_entries.load(Ordering::SeqCst) as f64,
+                ),
+            ])
+        })
+        .collect();
+    if let Json::Obj(fields) = &mut json {
+        fields.push(("shards".to_string(), Json::Arr(shards)));
     }
-}
-
-fn write_response(
-    stream: &mut TcpStream,
-    status: u16,
-    extra_headers: &[(&str, &str)],
-    body: &str,
-) -> bool {
-    let mut head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
-        status_reason(status),
-        body.len()
-    );
-    for (name, value) in extra_headers {
-        head.push_str(name);
-        head.push_str(": ");
-        head.push_str(value);
-        head.push_str("\r\n");
-    }
-    head.push_str("\r\n");
-    stream.write_all(head.as_bytes()).is_ok()
-        && stream.write_all(body.as_bytes()).is_ok()
-        && stream.flush().is_ok()
+    json
 }
 
 #[cfg(test)]
@@ -727,30 +447,69 @@ mod tests {
     use super::*;
 
     #[test]
-    fn subslice_search() {
-        assert_eq!(find_subslice(b"abcd\r\n\r\nrest", b"\r\n\r\n"), Some(4));
-        assert_eq!(find_subslice(b"abcd", b"\r\n\r\n"), None);
-        assert_eq!(find_subslice(b"", b"\r\n\r\n"), None);
+    fn default_config_is_single_shard() {
+        let config = ServerConfig::default();
+        assert_eq!(config.event_shards, 1);
+        assert_eq!(shard_count(&config), 1);
+        assert_eq!(config.stream_threshold_points, 2048);
+        assert!(config.idle_timeout > config.read_timeout);
     }
 
     #[test]
-    fn status_reasons_cover_produced_codes() {
-        for status in [200, 400, 404, 405, 422, 429, 500, 503, 504] {
-            assert_ne!(status_reason(status), "Error", "{status}");
-        }
-        assert_eq!(status_reason(418), "Error");
+    fn zero_shards_means_auto() {
+        let config = ServerConfig {
+            event_shards: 0,
+            ..ServerConfig::default()
+        };
+        assert!(shard_count(&config) >= 1);
     }
 
     #[test]
-    fn inflight_cell_times_out_then_delivers() {
-        let cell = InflightCell::new();
-        assert!(cell.wait(Duration::from_millis(10)).is_none());
-        cell.publish(Outcome {
-            status: 200,
-            body: Arc::from("{}"),
-        });
-        let outcome = cell.wait(Duration::from_millis(10)).expect("published");
-        assert_eq!(outcome.status, 200);
-        assert_eq!(&*outcome.body, "{}");
+    fn stats_json_reports_one_object_per_shard() {
+        let config = ServerConfig {
+            event_shards: 3,
+            ..ServerConfig::default()
+        };
+        let shards = (0..3)
+            .map(|_| {
+                let pair = TcpListener::bind("127.0.0.1:0").expect("bind");
+                let tx = TcpStream::connect(pair.local_addr().expect("addr")).expect("connect");
+                Arc::new(ShardShared {
+                    queue: BoundedQueue::new(4),
+                    completions: Mutex::new(VecDeque::new()),
+                    waker: Waker::new(tx),
+                    stats: ShardStats::default(),
+                    connections: AtomicU64::new(2),
+                    inflight_keys: AtomicU64::new(1),
+                    cache_entries: AtomicU64::new(5),
+                })
+            })
+            .collect();
+        let shared = Shared {
+            metrics: Metrics::new(),
+            explorers: ExplorerCache::new(1),
+            shards,
+            shutdown: AtomicBool::new(false),
+            connections: AtomicU64::new(6),
+            busy_workers: AtomicU64::new(0),
+            scenarios: scenarios_json().encode_arc(),
+            config,
+        };
+        let json = stats_json(&shared);
+        assert_eq!(json.get("inflight_keys").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(
+            json.get("response_cache_entries").and_then(Json::as_f64),
+            Some(15.0)
+        );
+        let shards = json.get("shards").expect("shards array");
+        let Json::Arr(items) = shards else {
+            panic!("shards must be an array");
+        };
+        assert_eq!(items.len(), 3);
+        assert_eq!(
+            items[0].get("cache_entries").and_then(Json::as_f64),
+            Some(5.0)
+        );
+        assert!(items[0].get("wakeups").is_some());
     }
 }

@@ -1,0 +1,142 @@
+//! Minimal `poll(2)` plumbing — the only platform call the event loop
+//! needs, declared directly so the crate stays free of external
+//! dependencies.
+//!
+//! The workspace builds without crates.io access, so there is no `libc`
+//! or `mio` to lean on; instead this module carries the one `extern "C"`
+//! declaration required for readiness notification. It is the sole reason
+//! the crate root is `#![deny(unsafe_code)]` rather than `forbid`: the
+//! two `#[allow(unsafe_code)]` scopes below (the foreign declaration and
+//! the call site) are the crate's entire unsafe surface, and both are
+//! trivially auditable — `poll` reads and writes only the `PollFd` slice
+//! we hand it, with the length we pass.
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// There is readable data (or a pending accept / peer close) on the fd.
+pub const POLLIN: i16 = 0x001;
+/// The fd can be written without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (revents only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (revents only).
+pub const POLLHUP: i16 = 0x010;
+/// The fd was not open (revents only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of the `poll(2)` fd set, ABI-compatible with `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The file descriptor to watch (negative entries are ignored by the
+    /// kernel, which is how callers can hold a slot without watching it).
+    pub fd: RawFd,
+    /// Requested events ([`POLLIN`] / [`POLLOUT`]).
+    pub events: i16,
+    /// Returned events, filled in by the kernel.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// A watch entry for `fd` with the given interest set.
+    pub fn new(fd: RawFd, events: i16) -> Self {
+        Self {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// `true` if any of `mask`'s bits came back in `revents`.
+    pub fn returned(&self, mask: i16) -> bool {
+        self.revents & mask != 0
+    }
+
+    /// `true` if the kernel reported an error/hangup condition.
+    pub fn failed(&self) -> bool {
+        self.returned(POLLERR | POLLNVAL)
+    }
+}
+
+#[cfg(target_os = "linux")]
+type Nfds = std::ffi::c_ulong;
+#[cfg(not(target_os = "linux"))]
+type Nfds = u32;
+
+#[allow(unsafe_code)]
+mod ffi {
+    extern "C" {
+        pub fn poll(
+            fds: *mut super::PollFd,
+            nfds: super::Nfds,
+            timeout: std::ffi::c_int,
+        ) -> std::ffi::c_int;
+    }
+}
+
+/// Blocks until at least one fd in `fds` is ready, the timeout elapses
+/// (`timeout_ms`; negative waits forever), or a signal interrupts — which
+/// is retried internally, so callers never see `EINTR`. Returns the
+/// number of entries with non-zero `revents` (0 on timeout).
+///
+/// # Errors
+///
+/// Any non-`EINTR` failure from the underlying call (`EINVAL` for an
+/// oversized set, `ENOMEM`, …).
+pub fn poll(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of
+        // `repr(C)` pollfd-compatible structs, and the length passed is
+        // its true length; the kernel only writes `revents` within it.
+        #[allow(unsafe_code)]
+        let rc = unsafe { ffi::poll(fds.as_mut_ptr(), fds.len() as Nfds, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn timeout_returns_zero_ready() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let mut fds = [PollFd::new(listener.as_raw_fd(), POLLIN)];
+        let ready = poll(&mut fds, 10).expect("poll");
+        assert_eq!(ready, 0);
+        assert!(!fds[0].returned(POLLIN));
+    }
+
+    #[test]
+    fn readable_socket_reports_pollin() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut tx = TcpStream::connect(addr).expect("connect");
+        let (rx, _) = listener.accept().expect("accept");
+        tx.write_all(b"x").expect("write");
+        let mut fds = [PollFd::new(rx.as_raw_fd(), POLLIN | POLLOUT)];
+        let ready = poll(&mut fds, 1000).expect("poll");
+        assert!(ready >= 1);
+        assert!(fds[0].returned(POLLIN), "revents {:#x}", fds[0].revents);
+        assert!(fds[0].returned(POLLOUT), "idle socket is writable");
+        assert!(!fds[0].failed());
+    }
+
+    #[test]
+    fn negative_fd_entries_are_ignored() {
+        let mut fds = [PollFd::new(-1, POLLIN)];
+        let ready = poll(&mut fds, 10).expect("poll");
+        assert_eq!(ready, 0);
+        assert_eq!(fds[0].revents, 0);
+    }
+}

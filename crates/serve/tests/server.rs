@@ -7,8 +7,26 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
+/// Decodes a `transfer-encoding: chunked` payload into the body bytes.
+fn dechunk(payload: &str) -> String {
+    let mut out = String::new();
+    let mut rest = payload;
+    loop {
+        let (len_line, after) = rest
+            .split_once("\r\n")
+            .unwrap_or_else(|| panic!("chunk length line missing in {payload:?}"));
+        let len = usize::from_str_radix(len_line.trim(), 16).expect("hex chunk length");
+        if len == 0 {
+            break;
+        }
+        out.push_str(&after[..len]);
+        rest = &after[len + 2..]; // past the chunk's trailing \r\n
+    }
+    out
+}
+
 /// Sends one HTTP/1.1 request with `connection: close` and returns
-/// `(status, lowercased headers, body)`.
+/// `(status, lowercased headers, body)`. Chunked bodies are decoded.
 fn http(
     addr: SocketAddr,
     method: &str,
@@ -31,11 +49,16 @@ fn http(
         .and_then(|l| l.split(' ').nth(1))
         .and_then(|c| c.parse().ok())
         .expect("status code");
-    let headers = lines
+    let headers: Vec<(String, String)> = lines
         .filter_map(|l| l.split_once(':'))
         .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
         .collect();
-    (status, headers, body.to_string())
+    let body = if header(&headers, "transfer-encoding") == Some("chunked") {
+        dechunk(body)
+    } else {
+        body.to_string()
+    };
+    (status, headers, body)
 }
 
 fn header<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
@@ -136,14 +159,136 @@ fn keep_alive_serves_sequential_requests_on_one_connection() {
 }
 
 #[test]
-fn oversized_bodies_are_rejected() {
+fn oversized_bodies_are_rejected_with_413_before_buffering() {
     let config = ServerConfig {
         max_body_bytes: 128,
         ..ServerConfig::default()
     };
     let handle = start(config).expect("bind");
-    let (status, _, body) = http(handle.addr(), "POST", "/evaluate", &"x".repeat(256));
-    assert_eq!(status, 400, "{body}");
+    let (status, headers, body) = http(handle.addr(), "POST", "/evaluate", &"x".repeat(256));
+    assert_eq!(status, 413, "{body}");
+    assert_eq!(header(&headers, "connection"), Some("close"));
+
+    // The rejection happens at the request head: a declared-oversized body
+    // is refused even when none of its bytes ever arrive.
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    stream
+        .write_all(b"POST /evaluate HTTP/1.1\r\nhost: t\r\ncontent-length: 999999\r\n\r\n")
+        .expect("head only");
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("response then close");
+    let text = String::from_utf8_lossy(&reply);
+    assert!(text.starts_with("HTTP/1.1 413"), "{text}");
+    handle.shutdown();
+}
+
+#[test]
+fn stalled_mid_request_connections_get_408() {
+    let config = ServerConfig {
+        read_timeout: Duration::from_millis(300),
+        ..ServerConfig::default()
+    };
+    let handle = start(config).expect("bind");
+
+    // A slow-loris peer: opens a request head and then goes silent.
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    stream
+        .write_all(b"POST /evaluate HTTP/1.1\r\nhost: t\r\ncontent-le")
+        .expect("partial head");
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("408 then close");
+    let text = String::from_utf8_lossy(&reply);
+    assert!(text.starts_with("HTTP/1.1 408"), "{text}");
+
+    // A well-behaved request on a fresh connection still succeeds.
+    let (status, _, body) = http(handle.addr(), "GET", "/healthz", "");
+    assert_eq!((status, body.as_str()), (200, "{\"status\":\"ok\"}"));
+    handle.shutdown();
+}
+
+#[test]
+fn idle_keep_alive_connections_are_closed_after_idle_timeout() {
+    let config = ServerConfig {
+        idle_timeout: Duration::from_millis(300),
+        ..ServerConfig::default()
+    };
+    let handle = start(config).expect("bind");
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut reply = Vec::new();
+    stream
+        .read_to_end(&mut reply)
+        .expect("EOF when idle-closed");
+    assert!(reply.is_empty(), "idle close sends nothing: {reply:?}");
+    handle.shutdown();
+}
+
+#[test]
+fn requests_delivered_one_byte_at_a_time_still_parse() {
+    let handle = start(ServerConfig::default()).expect("bind");
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let body = r#"{"site":"UT","strategy":"renewables_only","design":{"solar_mw":100}}"#;
+    let request = format!(
+        "POST /evaluate HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    for &byte in request.as_bytes() {
+        stream.write_all(&[byte]).expect("drip one byte");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("response");
+    let text = String::from_utf8_lossy(&reply);
+    assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+    assert!(text.contains("\"strategy\":\"renewables_only\""), "{text}");
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_requests_split_across_reads_are_answered_in_order() {
+    let handle = start(ServerConfig::default()).expect("bind");
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let body = r#"{"site":"UT","strategy":"renewables_only","design":{"solar_mw":100}}"#;
+    let post = format!(
+        "POST /evaluate HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let wire = post.repeat(3) + "GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n";
+    // Deliver the pipelined burst in awkward slices that split heads and
+    // bodies across reads.
+    let bytes = wire.as_bytes();
+    let cuts = [7, 63, post.len() + 5, 2 * post.len() + 11, bytes.len()];
+    let mut sent = 0;
+    for cut in cuts {
+        stream.write_all(&bytes[sent..cut]).expect("slice");
+        sent = cut;
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).expect("responses");
+    let text = String::from_utf8_lossy(&reply);
+    assert_eq!(text.matches("HTTP/1.1 200").count(), 4, "{text}");
+    assert!(
+        text.trim_end().ends_with("{\"status\":\"ok\"}"),
+        "responses out of order: {text}"
+    );
+    // The three identical evaluates resolve to one computation plus two
+    // cache hits, all byte-identical.
+    assert_eq!(text.matches("\"strategy\":\"renewables_only\"").count(), 3);
     handle.shutdown();
 }
 

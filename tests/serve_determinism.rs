@@ -35,6 +35,57 @@ fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, Option<String>, Strin
     (status, cache_note, body.to_string())
 }
 
+/// Sends one HTTP/1.1 request and returns `(status, lowercased headers,
+/// undecoded payload)` — the payload keeps its chunk framing, so callers
+/// can compare wire bytes as well as decoded bodies.
+fn post_raw(addr: SocketAddr, path: &str, body: &str) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let text = String::from_utf8(raw).expect("UTF-8 response");
+    let (head, payload) = text.split_once("\r\n\r\n").expect("head/body split");
+    let status = head
+        .split(' ')
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .expect("status code");
+    let headers = head
+        .split("\r\n")
+        .skip(1)
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, payload.to_string())
+}
+
+fn header<'h>(headers: &'h [(String, String)], name: &str) -> Option<&'h str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Decodes a `transfer-encoding: chunked` payload into the body bytes.
+fn dechunk(payload: &str) -> String {
+    let mut out = String::new();
+    let mut rest = payload;
+    loop {
+        let (len_line, after) = rest.split_once("\r\n").expect("chunk length line");
+        let len = usize::from_str_radix(len_line.trim(), 16).expect("hex chunk length");
+        if len == 0 {
+            break;
+        }
+        out.push_str(&after[..len]);
+        rest = &after[len + 2..];
+    }
+    out
+}
+
 /// Encodes the result of executing `body` directly against the library —
 /// the reference bytes every served response must match.
 fn direct_bytes(kind: ComputeKind, body: &str) -> String {
@@ -157,6 +208,84 @@ fn coalesced_explores_share_one_computation_and_match_the_library() {
             .unwrap_or(0.0);
     assert_eq!(attached, 2.0, "two requests rode the first computation");
     assert!(notes.contains(&"miss".to_string()), "{notes:?}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn streamed_explore_chunks_concatenate_to_the_buffered_encoding() {
+    // 4 × 4 × 128 = 2048 points: exactly the default streaming threshold,
+    // so the sweep goes out as `transfer-encoding: chunked`, one fragment
+    // per evaluated group. The determinism contract must hold through the
+    // streaming path — fresh, coalesced, and replayed from cache — and
+    // the cached fragment boundaries must make replays byte-identical on
+    // the wire, not just after decoding.
+    let body = r#"{"ba":"PACE","demand_mw":5,"strategy":"renewables_battery",
+        "space":{"solar":[0,100,4],"wind":[0,100,4],"battery":[0,50,128]}}"#;
+    let reference = direct_bytes(ComputeKind::Explore, body);
+
+    let config = ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    };
+    let handle = start(config).expect("bind");
+    let addr = handle.addr();
+
+    // Three concurrent clients: one computes, the others coalesce onto the
+    // in-flight stream or replay the cached fragments.
+    let clients: Vec<_> = (0..3)
+        .map(|_| std::thread::spawn(move || post_raw(addr, "/explore", body)))
+        .collect();
+    let mut wires = Vec::new();
+    for client in clients {
+        let (status, headers, payload) = client.join().expect("client");
+        assert_eq!(status, 200);
+        assert_eq!(header(&headers, "transfer-encoding"), Some("chunked"));
+        assert_eq!(header(&headers, "content-length"), None);
+        assert_eq!(
+            dechunk(&payload),
+            reference,
+            "chunk concatenation differs from the buffered encoding"
+        );
+        wires.push(payload);
+    }
+    assert!(
+        wires.windows(2).all(|w| w[0] == w[1]),
+        "fragment boundaries differ between fresh, coalesced, and cached replays"
+    );
+
+    // A later request replays from the response cache — same wire bytes.
+    let (status, headers, replay) = post_raw(addr, "/explore", body);
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-ce-cache"), Some("hit"));
+    assert_eq!(replay, wires[0], "cache replay differs on the wire");
+
+    // However the clients interleaved, the sweep was computed exactly once.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"GET /stats HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n")
+        .expect("stats request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("stats response");
+    let stats = Json::parse(raw.split("\r\n\r\n").nth(1).expect("stats body")).expect("stats JSON");
+    let explore = stats
+        .get("endpoints")
+        .and_then(|e| e.get("explore"))
+        .expect("explore stats");
+    assert_eq!(explore.get("computed").and_then(Json::as_f64), Some(1.0));
+    let streamed = stats
+        .get("shards")
+        .and_then(Json::as_array)
+        .and_then(|shards| shards.first())
+        .and_then(|s| s.get("streamed"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    assert!(streamed >= 4.0, "all four responses streamed: {streamed}");
+
+    // Every float in the streamed body survives with its exact bits.
+    let served = Json::parse(&dechunk(&wires[0])).expect("served JSON");
+    let expected = Json::parse(&reference).expect("reference JSON");
+    assert_bitwise_eq(&served, &expected, "$");
 
     handle.shutdown();
 }
