@@ -1,5 +1,7 @@
-//! The `panic-in-lib` ratchet: a committed `lint-baseline.json` holding
-//! the per-file count of accepted panic sites.
+//! The file-local lint ratchets: a committed `lint-baseline.json` holding
+//! the per-file counts of accepted panic sites (`panic-in-lib`), lossy
+//! casts (`cast-truncation`), and justified unsafe sites
+//! (`unsafe-boundary`).
 //!
 //! The workspace predates the analyzer, so it carries a few hundred
 //! `unwrap`/`expect` sites. Failing the build on all of them would force a
@@ -7,7 +9,9 @@
 //! does neither: every file's current count is recorded, any file whose
 //! count *rises* fails the build, and shrinking a file's count is
 //! celebrated by re-running `ce-analyzer --write-baseline` to lock in the
-//! lower number. The baseline may only ever decrease.
+//! lower number. The baseline may only ever decrease, and an entry whose
+//! file has left the scan set is itself a hard error — dead allowances
+//! don't accumulate.
 //!
 //! The file is plain JSON with sorted keys so diffs are stable and
 //! reviewable. Parsing and rendering are hand-rolled (the workspace
@@ -16,39 +20,70 @@
 
 use std::collections::BTreeMap;
 
-/// Accepted panic-site counts per workspace-relative file path.
+/// Accepted per-file site counts for the three file-local ratchets, keyed
+/// by workspace-relative path.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Baseline {
-    /// `path → accepted count`, sorted by path.
+    /// `panic-in-lib`: path → accepted panic-site count. (The section is
+    /// named `files` in the JSON for continuity with the single-rule era.)
     pub files: BTreeMap<String, usize>,
+    /// `cast-truncation`: path → accepted lossy-cast count.
+    pub casts: BTreeMap<String, usize>,
+    /// `unsafe-boundary`: path → accepted justified-unsafe-site count.
+    pub unsafe_sites: BTreeMap<String, usize>,
 }
 
 impl Baseline {
-    /// Sum of all per-file counts.
+    /// Sum of all sections' per-file counts.
     pub fn total(&self) -> usize {
-        self.files.values().sum()
+        self.files.values().sum::<usize>()
+            + self.casts.values().sum::<usize>()
+            + self.unsafe_sites.values().sum::<usize>()
     }
 
-    /// The accepted count for `path` (0 when absent).
+    /// The accepted `panic-in-lib` count for `path` (0 when absent).
     pub fn allowed(&self, path: &str) -> usize {
         self.files.get(path).copied().unwrap_or(0)
     }
 
+    /// The accepted `cast-truncation` count for `path` (0 when absent).
+    pub fn allowed_cast(&self, path: &str) -> usize {
+        self.casts.get(path).copied().unwrap_or(0)
+    }
+
+    /// The accepted `unsafe-boundary` count for `path` (0 when absent).
+    pub fn allowed_unsafe(&self, path: &str) -> usize {
+        self.unsafe_sites.get(path).copied().unwrap_or(0)
+    }
+
     /// Renders the committed JSON form: sorted keys, one file per line.
     pub fn render(&self) -> String {
-        let mut out = String::from("{\n  \"rule\": \"panic-in-lib\",\n");
+        let mut out = String::from("{\n  \"rule\": \"lint\",\n");
         out.push_str(&format!("  \"total\": {},\n", self.total()));
-        out.push_str("  \"files\": {\n");
-        let n = self.files.len();
-        for (i, (path, count)) in self.files.iter().enumerate() {
-            let comma = if i + 1 == n { "" } else { "," };
-            out.push_str(&format!("    \"{path}\": {count}{comma}\n"));
+        for (i, (section, files)) in [
+            ("files", &self.files),
+            ("cast-truncation", &self.casts),
+            ("unsafe-boundary", &self.unsafe_sites),
+        ]
+        .iter()
+        .enumerate()
+        {
+            out.push_str(&format!("  \"{section}\": {{\n"));
+            let n = files.len();
+            for (j, (path, count)) in files.iter().enumerate() {
+                let comma = if j + 1 == n { "" } else { "," };
+                out.push_str(&format!("    \"{path}\": {count}{comma}\n"));
+            }
+            let comma = if i == 2 { "" } else { "," };
+            out.push_str(&format!("  }}{comma}\n"));
         }
-        out.push_str("  }\n}\n");
+        out.push_str("}\n");
         out
     }
 
-    /// Parses the committed JSON form.
+    /// Parses the committed JSON form. Accepts the legacy single-section
+    /// form (`"rule": "panic-in-lib"` with only `files`) so a pre-split
+    /// baseline still loads.
     ///
     /// # Errors
     ///
@@ -60,7 +95,7 @@ impl Baseline {
         };
         p.skip_ws();
         p.eat(b'{')?;
-        let mut files = BTreeMap::new();
+        let mut baseline = Baseline::default();
         let mut declared_total: Option<usize> = None;
         loop {
             p.skip_ws();
@@ -74,13 +109,18 @@ impl Baseline {
             match key.as_str() {
                 "rule" => {
                     let rule = p.string()?;
-                    if rule != "panic-in-lib" {
-                        return Err(format!("baseline is for rule `{rule}`, not panic-in-lib"));
+                    if rule != "lint" && rule != "panic-in-lib" {
+                        return Err(format!("baseline is for rule `{rule}`, not lint"));
                     }
                 }
                 "total" => declared_total = Some(p.number()?),
-                "files" => {
+                "files" | "cast-truncation" | "unsafe-boundary" => {
                     p.eat(b'{')?;
+                    let files = match key.as_str() {
+                        "files" => &mut baseline.files,
+                        "cast-truncation" => &mut baseline.casts,
+                        _ => &mut baseline.unsafe_sites,
+                    };
                     loop {
                         p.skip_ws();
                         if p.try_eat(b'}') {
@@ -101,7 +141,6 @@ impl Baseline {
             p.skip_ws();
             p.try_eat(b',');
         }
-        let baseline = Self { files };
         if let Some(total) = declared_total {
             if total != baseline.total() {
                 return Err(format!(
@@ -317,10 +356,12 @@ mod tests {
     use super::*;
 
     fn sample() -> Baseline {
-        let mut files = BTreeMap::new();
-        files.insert("crates/a/src/lib.rs".to_string(), 3);
-        files.insert("crates/b/src/x.rs".to_string(), 1);
-        Baseline { files }
+        let mut b = Baseline::default();
+        b.files.insert("crates/a/src/lib.rs".to_string(), 3);
+        b.files.insert("crates/b/src/x.rs".to_string(), 1);
+        b.casts.insert("crates/a/src/lib.rs".to_string(), 2);
+        b.unsafe_sites.insert("crates/c/src/sys.rs".to_string(), 2);
+        b
     }
 
     #[test]
@@ -328,7 +369,25 @@ mod tests {
         let b = sample();
         let rendered = b.render();
         assert_eq!(Baseline::parse(&rendered).unwrap(), b);
-        assert_eq!(b.total(), 4);
+        assert_eq!(b.total(), 8);
+    }
+
+    #[test]
+    fn legacy_single_section_form_parses() {
+        let text = "{ \"rule\": \"panic-in-lib\", \"total\": 2, \"files\": { \"a.rs\": 2 } }";
+        let b = Baseline::parse(text).unwrap();
+        assert_eq!(b.allowed("a.rs"), 2);
+        assert!(b.casts.is_empty());
+        assert!(b.unsafe_sites.is_empty());
+    }
+
+    #[test]
+    fn sections_are_independent() {
+        let b = sample();
+        assert_eq!(b.allowed("crates/a/src/lib.rs"), 3);
+        assert_eq!(b.allowed_cast("crates/a/src/lib.rs"), 2);
+        assert_eq!(b.allowed_unsafe("crates/a/src/lib.rs"), 0);
+        assert_eq!(b.allowed_unsafe("crates/c/src/sys.rs"), 2);
     }
 
     #[test]
@@ -337,7 +396,9 @@ mod tests {
         let a = rendered.find("crates/a").unwrap();
         let b = rendered.find("crates/b").unwrap();
         assert!(a < b);
-        assert!(rendered.contains("\"total\": 4"));
+        assert!(rendered.contains("\"total\": 8"));
+        assert!(rendered.contains("\"cast-truncation\""));
+        assert!(rendered.contains("\"unsafe-boundary\""));
     }
 
     #[test]

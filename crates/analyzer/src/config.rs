@@ -18,9 +18,11 @@
 //!    the allowance never extends to the compute crates it calls into;
 //! 3. the **pure result types** whose bare returns must be `#[must_use]`.
 
-/// Names of all ten rules, in reporting order. The first six are
-/// file-local; the last four run over the workspace call graph built by
-/// [`resolve`](crate::resolve) and [`callgraph`](crate::callgraph).
+/// Names of all thirteen rules, in reporting order. The first six are
+/// file-local; the next four run over the workspace call graph built by
+/// [`resolve`](crate::resolve) and [`callgraph`](crate::callgraph); the
+/// last three form the resource-discipline tier (blocking reachability,
+/// the unsafe boundary audit, and lossy-cast tracking).
 pub const RULE_NAMES: &[&str] = &[
     "nondeterminism",
     "hot-path-alloc",
@@ -32,7 +34,122 @@ pub const RULE_NAMES: &[&str] = &[
     "panic-reachability",
     "dead-pub-api",
     "determinism-taint",
+    "blocking-in-event-loop",
+    "unsafe-boundary",
+    "cast-truncation",
 ];
+
+/// One row of `--list-rules`: rule name, tier, and a one-line summary.
+/// Kept next to [`RULE_NAMES`] (and pinned equal by a test) so the CLI,
+/// the docs, and the registry cannot drift apart.
+pub const RULE_INFO: &[(&str, &str, &str)] = &[
+    (
+        "nondeterminism",
+        "file-local",
+        "no clocks, RNGs, env reads, sockets, threads, or raw fds outside per-crate allowances",
+    ),
+    (
+        "hot-path-alloc",
+        "file-local",
+        "no allocating calls or macros directly inside `// ce:hot` functions",
+    ),
+    (
+        "float-eq",
+        "file-local",
+        "no `==`/`!=` on float expressions; compare against tolerances",
+    ),
+    (
+        "panic-in-lib",
+        "file-local (ratcheted)",
+        "unwrap/expect/panic!/unreachable! sites per file may only shrink vs lint-baseline.json",
+    ),
+    (
+        "crate-hygiene",
+        "file-local",
+        "crate roots carry #![forbid(unsafe_code)] (serve: deny) and the standard lint set",
+    ),
+    (
+        "must-use",
+        "file-local",
+        "pub fns returning bare stats/result types must be #[must_use]",
+    ),
+    (
+        "hot-path-transitive-alloc",
+        "call-graph",
+        "`// ce:hot` functions must not transitively reach an allocating function",
+    ),
+    (
+        "panic-reachability",
+        "call-graph (ratcheted)",
+        "panic sites reachable from hot/entry roots may only shrink vs reach-baseline.json",
+    ),
+    (
+        "dead-pub-api",
+        "call-graph (ratcheted)",
+        "pub items referenced nowhere in the workspace, tests, benches, or examples",
+    ),
+    (
+        "determinism-taint",
+        "call-graph",
+        "deterministic crates must not transitively call nondeterminism behind an allowance",
+    ),
+    (
+        "blocking-in-event-loop",
+        "resource-discipline (call-graph)",
+        "`// ce:nonblocking` functions must not transitively reach a blocking call",
+    ),
+    (
+        "unsafe-boundary",
+        "resource-discipline (ratcheted)",
+        "unsafe only in the allowlisted FFI module, each site // ce:safety-justified and counted",
+    ),
+    (
+        "cast-truncation",
+        "resource-discipline (ratcheted)",
+        "lossy `as` casts in deterministic crates need try_from, explicit rounding, or ce:allow(cast)",
+    ),
+];
+
+/// `ce:allow(...)` kinds that are not rule names: `blocking` suppresses a
+/// blocking fact or cuts one call edge for `blocking-in-event-loop`;
+/// `cast` suppresses one lossy-cast site for `cast-truncation`.
+pub const ALLOW_KINDS: &[&str] = &["blocking", "cast"];
+
+/// Whether `kind` is valid inside `ce:allow(kind, reason = "…")` — either
+/// a rule name or one of the site-kind shorthands in [`ALLOW_KINDS`].
+pub fn is_allow_kind(kind: &str) -> bool {
+    RULE_NAMES.contains(&kind) || ALLOW_KINDS.contains(&kind)
+}
+
+/// The rule that owns diagnostics about an allow kind (e.g. a missing
+/// reason): shorthands map to their rule, rule names map to themselves.
+pub fn rule_for_allow_kind(kind: &str) -> &str {
+    match kind {
+        "blocking" => "blocking-in-event-loop",
+        "cast" => "cast-truncation",
+        other => other,
+    }
+}
+
+/// Files allowed to contain unsafe code at all. The `poll(2)` FFI shim is
+/// the workspace's entire unsafe surface; `unsafe-boundary` rejects any
+/// unsafe fact elsewhere outright (no baseline entry can admit it).
+pub const UNSAFE_ALLOWLIST: &[&str] = &["crates/serve/src/sys.rs"];
+
+/// Whether `rel_path` may contain `unsafe` / `#[allow(unsafe_code)]`.
+pub fn unsafe_allowlisted(rel_path: &str) -> bool {
+    UNSAFE_ALLOWLIST.contains(&rel_path)
+}
+
+/// Whether `rel_path` belongs to a deterministic crate — no wall-clock or
+/// socket allowance — and is therefore subject to `cast-truncation`.
+/// The operational front ends (`ce-serve`, `ce-bench`) deal in fd counts,
+/// byte lengths, and latency buckets where narrowing is routine and
+/// outside the bitwise-determinism contract.
+pub fn is_deterministic(rel_path: &str) -> bool {
+    let a = allowances_for(rel_path);
+    !a.wall_clock && !a.sockets
+}
 
 /// Per-crate escape hatches for the `nondeterminism` rule.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -199,6 +316,41 @@ mod tests {
         assert!(!may_deny_unsafe("crates/core/src/lib.rs"));
         assert!(!may_deny_unsafe("crates/bench/src/bin/bench_serve.rs"));
         assert!(!may_deny_unsafe("src/lib.rs"));
+    }
+
+    #[test]
+    fn rule_info_matches_rule_names() {
+        assert_eq!(RULE_INFO.len(), RULE_NAMES.len());
+        for ((info_name, _, _), name) in RULE_INFO.iter().zip(RULE_NAMES) {
+            assert_eq!(info_name, name, "RULE_INFO order drifted from RULE_NAMES");
+        }
+    }
+
+    #[test]
+    fn allow_kinds() {
+        assert!(is_allow_kind("blocking"));
+        assert!(is_allow_kind("cast"));
+        assert!(is_allow_kind("hot-path-alloc"));
+        assert!(!is_allow_kind("frobnicate"));
+        assert_eq!(rule_for_allow_kind("blocking"), "blocking-in-event-loop");
+        assert_eq!(rule_for_allow_kind("cast"), "cast-truncation");
+        assert_eq!(rule_for_allow_kind("float-eq"), "float-eq");
+    }
+
+    #[test]
+    fn unsafe_allowlist_is_sys_only() {
+        assert!(unsafe_allowlisted("crates/serve/src/sys.rs"));
+        assert!(!unsafe_allowlisted("crates/serve/src/event.rs"));
+        assert!(!unsafe_allowlisted("crates/core/src/explore.rs"));
+    }
+
+    #[test]
+    fn deterministic_crates_exclude_operational_front_ends() {
+        assert!(is_deterministic("crates/core/src/explore.rs"));
+        assert!(is_deterministic("crates/parallel/src/lib.rs"));
+        assert!(is_deterministic("src/lib.rs"));
+        assert!(!is_deterministic("crates/serve/src/event.rs"));
+        assert!(!is_deterministic("crates/bench/src/context.rs"));
     }
 
     #[test]

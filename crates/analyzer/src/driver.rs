@@ -45,6 +45,8 @@ pub struct Options {
     pub format: Format,
     /// Rewrite both baselines from the current counts.
     pub write_baseline: bool,
+    /// Print the rule table (name, tier, description) and exit.
+    pub list_rules: bool,
     /// Path of the panic-site baseline (default: `<root>/lint-baseline.json`).
     pub baseline_path: PathBuf,
     /// Path of the reachability/dead-API baseline (default:
@@ -83,6 +85,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut root: Option<PathBuf> = None;
     let mut format = Format::Human;
     let mut write_baseline = false;
+    let mut list_rules = false;
     let mut baseline_path: Option<PathBuf> = None;
     let mut reach_baseline_path: Option<PathBuf> = None;
     let mut it = args.iter();
@@ -104,6 +107,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
                 };
             }
             "--write-baseline" => write_baseline = true,
+            "--list-rules" => list_rules = true,
             "--baseline" => {
                 baseline_path = Some(PathBuf::from(
                     it.next().ok_or("--baseline needs a file path")?,
@@ -120,6 +124,8 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
     }
     let root = match root {
         Some(r) => r,
+        // --list-rules never touches the workspace; don't demand one.
+        None if list_rules => PathBuf::from("."),
         None => find_workspace_root()?,
     };
     let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.json"));
@@ -129,13 +135,14 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
         root,
         format,
         write_baseline,
+        list_rules,
         baseline_path,
         reach_baseline_path,
     })
 }
 
 const USAGE: &str = "usage: ce-analyzer [--root DIR] [--format human|json|github] \
-[--baseline FILE] [--reach-baseline FILE] [--write-baseline]";
+[--baseline FILE] [--reach-baseline FILE] [--write-baseline] [--list-rules]";
 
 /// Walks upward from the current directory to the first `Cargo.toml`
 /// declaring `[workspace]`.
@@ -164,6 +171,10 @@ pub struct WorkspaceAnalysis {
     pub violations: Vec<Violation>,
     /// Per-file panic-site lines, for the `panic-in-lib` ratchet.
     pub panic_counts: BTreeMap<String, Vec<u32>>,
+    /// Per-file lossy-cast lines, for the `cast-truncation` ratchet.
+    pub cast_counts: BTreeMap<String, Vec<u32>>,
+    /// Per-file justified-unsafe lines, for the `unsafe-boundary` ratchet.
+    pub unsafe_counts: BTreeMap<String, Vec<u32>>,
     /// `panic-reachability` findings with witnesses.
     pub panic_reach: Vec<ReachFinding>,
     /// `dead-pub-api` findings.
@@ -195,11 +206,19 @@ pub fn analyze_workspace(
 
     let mut violations = Vec::new();
     let mut panic_counts = BTreeMap::new();
+    let mut cast_counts = BTreeMap::new();
+    let mut unsafe_counts = BTreeMap::new();
     let mut lib_items = Vec::with_capacity(per_file.len());
     for ((analysis, items), (rel, _)) in per_file.into_iter().zip(lib_sources) {
         violations.extend(analysis.violations);
         if !analysis.panic_sites.is_empty() {
             panic_counts.insert(rel.clone(), analysis.panic_sites);
+        }
+        if !analysis.cast_sites.is_empty() {
+            cast_counts.insert(rel.clone(), analysis.cast_sites);
+        }
+        if !analysis.unsafe_sites.is_empty() {
+            unsafe_counts.insert(rel.clone(), analysis.unsafe_sites);
         }
         lib_items.push(items);
     }
@@ -213,6 +232,8 @@ pub fn analyze_workspace(
     WorkspaceAnalysis {
         violations,
         panic_counts,
+        cast_counts,
+        unsafe_counts,
         panic_reach: ga.panic_reach,
         dead_api: ga.dead_api,
         files_scanned: lib_sources.len(),
@@ -249,6 +270,10 @@ pub fn scan_workspace(root: &Path) -> Result<(SourceSet, SourceSet), String> {
 /// Runs the analyzer with `opts`, printing diagnostics to stdout.
 /// This is the whole program; `main` only parses arguments.
 pub fn run(opts: &Options) -> Outcome {
+    if opts.list_rules {
+        print!("{}", render_rule_table());
+        return Outcome::Clean;
+    }
     let (lib_sources, ref_sources) = match scan_workspace(&opts.root) {
         Ok(s) => s,
         Err(e) => {
@@ -274,8 +299,10 @@ pub fn run(opts: &Options) -> Outcome {
             return Outcome::Error;
         }
     } else {
-        apply_ratchet(opts, &analysis.panic_counts, &mut violations);
-        apply_reach_ratchet(opts, &analysis, &mut violations);
+        let scanned: std::collections::BTreeSet<&str> =
+            lib_sources.iter().map(|(rel, _)| rel.as_str()).collect();
+        apply_ratchet(opts, &analysis, &scanned, &mut violations);
+        apply_reach_ratchet(opts, &analysis, &scanned, &mut violations);
     }
 
     violations
@@ -284,6 +311,8 @@ pub fn run(opts: &Options) -> Outcome {
     let stats = ReportStats {
         files_scanned: analysis.files_scanned,
         panic_sites: analysis.panic_counts.values().map(Vec::len).sum(),
+        lossy_casts: analysis.cast_counts.values().map(Vec::len).sum(),
+        unsafe_sites: analysis.unsafe_counts.values().map(Vec::len).sum(),
         fns: analysis.fn_count,
         call_edges: analysis.edge_count,
         reachable_findings: analysis.panic_reach.len(),
@@ -303,19 +332,23 @@ pub fn run(opts: &Options) -> Outcome {
 
 /// Writes both baselines from the current analysis.
 fn write_baselines(opts: &Options, analysis: &WorkspaceAnalysis) -> Result<(), String> {
-    let baseline = Baseline {
-        files: analysis
-            .panic_counts
-            .iter()
+    let count = |m: &BTreeMap<String, Vec<u32>>| -> BTreeMap<String, usize> {
+        m.iter()
             .map(|(p, sites)| (p.clone(), sites.len()))
-            .collect(),
+            .collect()
+    };
+    let baseline = Baseline {
+        files: count(&analysis.panic_counts),
+        casts: count(&analysis.cast_counts),
+        unsafe_sites: count(&analysis.unsafe_counts),
     };
     fs::write(&opts.baseline_path, baseline.render())
         .map_err(|e| format!("cannot write {}: {e}", opts.baseline_path.display()))?;
     eprintln!(
-        "ce-analyzer: wrote baseline ({} panic sites in {} files) to {}",
-        baseline.total(),
-        baseline.files.len(),
+        "ce-analyzer: wrote baseline ({} panic sites, {} lossy casts, {} unsafe sites) to {}",
+        baseline.files.values().sum::<usize>(),
+        baseline.casts.values().sum::<usize>(),
+        baseline.unsafe_sites.values().sum::<usize>(),
         opts.baseline_path.display()
     );
     let mut reach = ReachBaseline::default();
@@ -336,11 +369,14 @@ fn write_baselines(opts: &Options, analysis: &WorkspaceAnalysis) -> Result<(), S
     Ok(())
 }
 
-/// Compares current panic counts to the baseline, producing violations
-/// for growth and stderr notes for shrinkage.
+/// Compares current file-local site counts (panic, lossy-cast, unsafe)
+/// to the baseline, producing violations for growth and for stale entries
+/// (a baselined file that left the scan set), and stderr notes for
+/// shrinkage.
 fn apply_ratchet(
     opts: &Options,
-    panic_counts: &BTreeMap<String, Vec<u32>>,
+    analysis: &WorkspaceAnalysis,
+    scanned: &std::collections::BTreeSet<&str>,
     violations: &mut Vec<Violation>,
 ) {
     let baseline = match fs::read_to_string(&opts.baseline_path) {
@@ -371,39 +407,87 @@ fn apply_ratchet(
             return;
         }
     };
+    /// One ratcheted section: (rule, human label, live counts, allowances).
+    type Section<'a> = (
+        &'a str,
+        &'a str,
+        &'a BTreeMap<String, Vec<u32>>,
+        &'a BTreeMap<String, usize>,
+    );
+    let sections: [Section<'_>; 3] = [
+        (
+            "panic-in-lib",
+            "panic sites (unwrap/expect/panic!/unreachable!)",
+            &analysis.panic_counts,
+            &baseline.files,
+        ),
+        (
+            "cast-truncation",
+            "lossy `as` casts",
+            &analysis.cast_counts,
+            &baseline.casts,
+        ),
+        (
+            "unsafe-boundary",
+            "unsafe sites",
+            &analysis.unsafe_counts,
+            &baseline.unsafe_sites,
+        ),
+    ];
     let mut shrunk = 0usize;
-    for (file, sites) in panic_counts {
-        let allowed = baseline.allowed(file);
-        if sites.len() > allowed {
-            // Point at the last site: appended code is the likely culprit.
-            let line = sites.last().copied().unwrap_or(1);
-            violations.push(Violation {
-                rule: "panic-in-lib".to_string(),
-                file: file.clone(),
-                line,
-                col: 1,
-                message: format!(
-                    "{} panic sites (unwrap/expect/panic!/unreachable!) but the baseline \
-                     ratchet allows {allowed}; return Result instead, or shrink another \
-                     site and rerun --write-baseline",
-                    sites.len()
-                ),
-            });
-        } else if sites.len() < allowed {
-            shrunk += allowed - sites.len();
+    for (rule, what, counts, allowed_files) in sections {
+        for (file, sites) in counts {
+            let allowed = allowed_files.get(file).copied().unwrap_or(0);
+            if sites.len() > allowed {
+                // Point at the last site: appended code is the likely culprit.
+                let line = sites.last().copied().unwrap_or(1);
+                violations.push(Violation {
+                    rule: rule.to_string(),
+                    file: file.clone(),
+                    line,
+                    col: 1,
+                    message: format!(
+                        "{} {what} but the baseline ratchet allows {allowed}; fix the new \
+                         site, or shrink another and rerun --write-baseline",
+                        sites.len()
+                    ),
+                });
+            } else if sites.len() < allowed {
+                shrunk += allowed - sites.len();
+            }
         }
-    }
-    // Files that dropped out of the scan entirely also count as shrinkage.
-    for (file, &allowed) in &baseline.files {
-        if !panic_counts.contains_key(file) {
-            shrunk += allowed;
+        for (file, &allowed) in allowed_files {
+            if counts.contains_key(file) {
+                continue;
+            }
+            if scanned.contains(file.as_str()) {
+                // Still scanned, now clean: shrinkage to lock in.
+                shrunk += allowed;
+            } else {
+                // The file itself is gone: a dead allowance, not shrinkage.
+                violations.push(stale_entry_violation(rule, file, "lint-baseline.json"));
+            }
         }
     }
     if shrunk > 0 {
         eprintln!(
-            "ce-analyzer: note: {shrunk} panic sites below baseline — run \
+            "ce-analyzer: note: {shrunk} baselined lint sites below baseline — run \
              `ce-analyzer --write-baseline` to ratchet down"
         );
+    }
+}
+
+/// A hard violation for a baseline entry whose file has left the scan set.
+fn stale_entry_violation(rule: &str, file: &str, baseline_file: &str) -> Violation {
+    Violation {
+        rule: rule.to_string(),
+        file: baseline_file.to_string(),
+        line: 1,
+        col: 1,
+        message: format!(
+            "stale baseline entry: `{file}` is no longer in the scan set; \
+             rerun `ce-analyzer --write-baseline` to prune it"
+        ),
     }
 }
 
@@ -414,6 +498,7 @@ fn apply_ratchet(
 fn apply_reach_ratchet(
     opts: &Options,
     analysis: &WorkspaceAnalysis,
+    scanned: &std::collections::BTreeSet<&str>,
     violations: &mut Vec<Violation>,
 ) {
     let baseline = match fs::read_to_string(&opts.reach_baseline_path) {
@@ -474,8 +559,17 @@ fn apply_reach_ratchet(
         }
     }
     for (file, &allowed) in &baseline.panic_reach {
-        if !reach_by_file.contains_key(file.as_str()) {
+        if reach_by_file.contains_key(file.as_str()) {
+            continue;
+        }
+        if scanned.contains(file.as_str()) {
             shrunk += allowed;
+        } else {
+            violations.push(stale_entry_violation(
+                "panic-reachability",
+                file,
+                "reach-baseline.json",
+            ));
         }
     }
 
@@ -507,8 +601,17 @@ fn apply_reach_ratchet(
         }
     }
     for (file, &allowed) in &baseline.dead_api {
-        if !dead_by_file.contains_key(file.as_str()) {
+        if dead_by_file.contains_key(file.as_str()) {
+            continue;
+        }
+        if scanned.contains(file.as_str()) {
             shrunk += allowed;
+        } else {
+            violations.push(stale_entry_violation(
+                "dead-pub-api",
+                file,
+                "reach-baseline.json",
+            ));
         }
     }
     if shrunk > 0 {
@@ -588,6 +691,10 @@ pub struct ReportStats {
     pub files_scanned: usize,
     /// Total baselined panic sites.
     pub panic_sites: usize,
+    /// Total baselined lossy-cast sites.
+    pub lossy_casts: usize,
+    /// Total baselined (justified, allowlisted) unsafe sites.
+    pub unsafe_sites: usize,
     /// Functions in the call graph.
     pub fns: usize,
     /// Resolved call edges.
@@ -596,6 +703,19 @@ pub struct ReportStats {
     pub reachable_findings: usize,
     /// Unreferenced pub items.
     pub dead_pub_items: usize,
+}
+
+/// Renders the `--list-rules` table from [`crate::config::RULE_INFO`] —
+/// the single source of truth, so the docs and the binary can't drift.
+pub fn render_rule_table() -> String {
+    let info = crate::config::RULE_INFO;
+    let name_w = info.iter().map(|(n, _, _)| n.len()).max().unwrap_or(0);
+    let tier_w = info.iter().map(|(_, t, _)| t.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (name, tier, desc) in info {
+        let _ = writeln!(out, "{name:name_w$}  {tier:tier_w$}  {desc}");
+    }
+    out
 }
 
 fn print_human(violations: &[Violation], stats: &ReportStats) {
@@ -607,12 +727,16 @@ fn print_human(violations: &[Violation], stats: &ReportStats) {
     }
     if violations.is_empty() {
         println!(
-            "ce-analyzer: clean — {} files, 10 rules, {} fns / {} call edges, \
-             {} baselined panic sites, {} reachable + {} dead-API findings baselined",
+            "ce-analyzer: clean — {} files, {} rules, {} fns / {} call edges, \
+             {} baselined panic sites, {} lossy casts + {} unsafe sites baselined, \
+             {} reachable + {} dead-API findings baselined",
             stats.files_scanned,
+            crate::config::RULE_NAMES.len(),
             stats.fns,
             stats.call_edges,
             stats.panic_sites,
+            stats.lossy_casts,
+            stats.unsafe_sites,
             stats.reachable_findings,
             stats.dead_pub_items
         );
@@ -671,6 +795,8 @@ pub fn render_json(violations: &[Violation], stats: &ReportStats) -> String {
     let _ = writeln!(out, "  \"ok\": {},", violations.is_empty());
     let _ = writeln!(out, "  \"files_scanned\": {},", stats.files_scanned);
     let _ = writeln!(out, "  \"panic_sites\": {},", stats.panic_sites);
+    let _ = writeln!(out, "  \"lossy_casts\": {},", stats.lossy_casts);
+    let _ = writeln!(out, "  \"unsafe_sites\": {},", stats.unsafe_sites);
     let _ = writeln!(out, "  \"fns\": {},", stats.fns);
     let _ = writeln!(out, "  \"call_edges\": {},", stats.call_edges);
     let _ = writeln!(
@@ -706,8 +832,8 @@ fn json_escape(s: &str) -> String {
             '\\' => out.push_str("\\\\"),
             '\n' => out.push_str("\\n"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+            c if u32::from(c) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", u32::from(c));
             }
             c => out.push(c),
         }
@@ -788,6 +914,8 @@ mod tests {
         ReportStats {
             files_scanned: 10,
             panic_sites: 42,
+            lossy_casts: 5,
+            unsafe_sites: 2,
             fns: 100,
             call_edges: 250,
             reachable_findings: 7,
@@ -808,6 +936,8 @@ mod tests {
         assert!(json.contains("\"ok\": false"));
         assert!(json.contains("\"files_scanned\": 10"));
         assert!(json.contains("\"panic_sites\": 42"));
+        assert!(json.contains("\"lossy_casts\": 5"));
+        assert!(json.contains("\"unsafe_sites\": 2"));
         assert!(json.contains("\"fns\": 100"));
         assert!(json.contains("\"call_edges\": 250"));
         assert!(json.contains("\"reachable_findings\": 7"));
@@ -815,5 +945,20 @@ mod tests {
         assert!(json.contains("\"line\": 3"));
         let clean = render_json(&[], &sample_stats());
         assert!(clean.contains("\"ok\": true"));
+    }
+
+    #[test]
+    fn args_list_rules_needs_no_workspace() {
+        let opts = parse_args(&["--list-rules".to_string()]).unwrap();
+        assert!(opts.list_rules);
+    }
+
+    #[test]
+    fn rule_table_lists_every_rule() {
+        let table = render_rule_table();
+        for rule in crate::config::RULE_NAMES {
+            assert!(table.contains(rule), "missing {rule} in rule table");
+        }
+        assert_eq!(table.lines().count(), crate::config::RULE_NAMES.len());
     }
 }

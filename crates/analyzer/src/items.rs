@@ -97,6 +97,9 @@ pub struct FnItem {
     pub hot: bool,
     /// Annotated `// ce:entry` (request-handler root).
     pub entry: bool,
+    /// Annotated `// ce:nonblocking` (event-loop tick, state-machine
+    /// advance, …) — must not transitively reach a blocking fact.
+    pub nonblocking: bool,
     /// Rules suppressed at this function by `ce:allow` markers bound to it.
     pub allows: Vec<String>,
     /// `(line, rule)` of every `ce:allow` marker *inside* the body —
@@ -112,6 +115,10 @@ pub struct FnItem {
     /// Nondeterminism-allowance uses (wall clock, sockets) inside the
     /// body — the facts `determinism-taint` propagates.
     pub taints: Vec<Site>,
+    /// Blocking facts inside the body (mutex/condvar waits, thread
+    /// sleeps/joins, channel receives, blocking socket reads/accepts) —
+    /// the facts `blocking-in-event-loop` propagates.
+    pub blocking: Vec<Site>,
 }
 
 impl FnItem {
@@ -242,6 +249,7 @@ pub fn extract(rel_path: &str, source: &str) -> FileItems {
     let tokens = lex(source);
     let mut hot_lines: Vec<u32> = Vec::new();
     let mut entry_lines: Vec<u32> = Vec::new();
+    let mut nonblocking_lines: Vec<u32> = Vec::new();
     let mut allow_markers: Vec<(u32, String)> = Vec::new();
     for t in tokens.iter().filter(|t| t.is_comment()) {
         let body = t
@@ -253,6 +261,8 @@ pub fn extract(rel_path: &str, source: &str) -> FileItems {
             hot_lines.push(t.line);
         } else if body == "ce:entry" || body.starts_with("ce:entry ") {
             entry_lines.push(t.line);
+        } else if body == "ce:nonblocking" || body.starts_with("ce:nonblocking ") {
+            nonblocking_lines.push(t.line);
         } else if let Some(rest) = body.strip_prefix("ce:allow(") {
             let inner = rest.split(')').next().unwrap_or("");
             let rule = inner.split(',').next().unwrap_or("").trim().to_string();
@@ -298,6 +308,7 @@ pub fn extract(rel_path: &str, source: &str) -> FileItems {
             line: fn_line,
             hot: bound_marker(&hot_lines, fn_line, &raw_fns, &code),
             entry: bound_marker(&entry_lines, fn_line, &raw_fns, &code),
+            nonblocking: bound_marker(&nonblocking_lines, fn_line, &raw_fns, &code),
             allows: bound_allows(&allow_markers, fn_line),
             allow_sites: {
                 let (body_start, body_end) = (code[open].line, code[close].line);
@@ -311,6 +322,7 @@ pub fn extract(rel_path: &str, source: &str) -> FileItems {
             allocs: Vec::new(),
             panics: Vec::new(),
             taints: Vec::new(),
+            blocking: Vec::new(),
         };
         collect_body_facts(&code, open, close, &nested, &allow_markers, &mut item);
         fns.push(item);
@@ -545,6 +557,14 @@ fn collect_body_facts(
                 && (rule == "hot-path-alloc" || rule == "hot-path-transitive-alloc")
         })
     };
+    // A blocking fact under a site-level `ce:allow(blocking, …)` is a
+    // reviewed, bounded wait (or a nonblocking-mode fd call that merely
+    // shares a blocking API's name) and is not propagated to callers.
+    let blocking_allowed = |line: u32| {
+        allow_markers
+            .iter()
+            .any(|(ml, rule)| (*ml == line || ml + 1 == line) && rule == "blocking")
+    };
     let mut i = open;
     while i <= close.min(code.len().saturating_sub(1)) {
         if let Some(&(_, nc)) = nested.iter().find(|&&(no, _)| no == i) {
@@ -673,6 +693,50 @@ fn collect_body_facts(
                 col: t.col,
                 what: format!("`{}` (raw fd)", t.text),
             });
+        }
+
+        // Blocking facts: calls that can park the thread. Name-based and
+        // over-approximate like everything else here — a lock-free method
+        // that shares a blocking API's name either gets renamed (the
+        // honest fix) or a justified site-level `ce:allow(blocking)`.
+        if !blocking_allowed(t.line) {
+            let blocking_what = if prev_dot && next_paren {
+                match t.text.as_str() {
+                    "lock" | "try_lock_until" => Some(format!("`.{}()` (mutex)", t.text)),
+                    "wait" | "wait_timeout" | "wait_while" => {
+                        Some(format!("`.{}()` (condvar)", t.text))
+                    }
+                    "recv" | "recv_timeout" | "recv_deadline" => {
+                        Some(format!("`.{}()` (channel receive)", t.text))
+                    }
+                    "read" | "read_exact" | "read_to_end" | "read_to_string" => {
+                        Some(format!("`.{}()` (blocking read)", t.text))
+                    }
+                    "accept" => Some("`.accept()` (blocking accept)".to_string()),
+                    // Only the no-argument form is a thread join;
+                    // `slice.join(", ")` is string concatenation.
+                    "join" if code.get(i + 2).is_some_and(|n| n.is_punct(")")) => {
+                        Some("`.join()` (thread join)".to_string())
+                    }
+                    _ => None,
+                }
+            } else if t.text == "sleep"
+                && next_paren
+                && prev_colons
+                && i >= 2
+                && code[i - 2].is_ident("thread")
+            {
+                Some("`thread::sleep`".to_string())
+            } else {
+                None
+            };
+            if let Some(what) = blocking_what {
+                item.blocking.push(Site {
+                    line: t.line,
+                    col: t.col,
+                    what,
+                });
+            }
         }
 
         // Call sites.
@@ -1205,6 +1269,40 @@ mod tests {
         };
         assert_eq!(count("f"), 2);
         assert_eq!(count("g"), 1);
+    }
+
+    #[test]
+    fn nonblocking_marker_binds_to_next_fn() {
+        let src = "// ce:nonblocking\nfn tick() {}\nfn other() {}";
+        let items = extract("crates/serve/src/x.rs", src);
+        assert!(first_fn(&items, "tick").nonblocking);
+        assert!(!first_fn(&items, "other").nonblocking);
+    }
+
+    #[test]
+    fn blocking_facts_extracted() {
+        let src = "fn f(m: &std::sync::Mutex<u32>, h: std::thread::JoinHandle<()>) {\n  let _ = m.lock();\n  std::thread::sleep(std::time::Duration::from_millis(1));\n  let _ = h.join();\n  let _ = rx.recv();\n}";
+        let items = extract("crates/core/src/x.rs", src);
+        let f = first_fn(&items, "f");
+        let whats: Vec<&str> = f.blocking.iter().map(|s| s.what.as_str()).collect();
+        assert!(whats.contains(&"`.lock()` (mutex)"), "{whats:?}");
+        assert!(whats.contains(&"`thread::sleep`"), "{whats:?}");
+        assert!(whats.contains(&"`.join()` (thread join)"), "{whats:?}");
+        assert!(whats.contains(&"`.recv()` (channel receive)"), "{whats:?}");
+    }
+
+    #[test]
+    fn string_join_is_not_a_blocking_fact() {
+        let src = "fn f(parts: &[&str]) -> String { parts.join(\", \") }";
+        let items = extract("crates/core/src/x.rs", src);
+        assert!(first_fn(&items, "f").blocking.is_empty());
+    }
+
+    #[test]
+    fn allow_blocking_suppresses_the_fact() {
+        let src = "fn f(m: &std::sync::Mutex<u32>) {\n  // ce:allow(blocking, reason = \"bounded critical section\")\n  let _ = m.lock();\n}";
+        let items = extract("crates/serve/src/x.rs", src);
+        assert!(first_fn(&items, "f").blocking.is_empty());
     }
 
     #[test]

@@ -11,12 +11,12 @@
 //! This crate is the missing correctness-tooling layer: a dependency-free
 //! static-analysis pass (the workspace builds offline, so no `syn`) with a
 //! [hand-rolled lexer](lexer) and a **two-pass** architecture. Pass 1
-//! lexes every library file in parallel, runs the six file-local
+//! lexes every library file in parallel, runs the eight file-local
 //! [rules](rules), and [extracts](items) each file's items — functions,
 //! impl owners, visibility, `ce:` markers, call sites, and per-function
-//! alloc/panic/nondeterminism facts. Pass 2 [resolves](resolve) the call
-//! sites into a conservative workspace-wide [call graph](callgraph) and
-//! runs four graph rules over it.
+//! alloc/panic/nondeterminism/blocking/unsafe/cast facts. Pass 2
+//! [resolves](resolve) the call sites into a conservative workspace-wide
+//! [call graph](callgraph) and runs five graph rules over it.
 //!
 //! File-local rules:
 //!
@@ -30,19 +30,28 @@
 //!    [`lint-baseline.json`](baseline);
 //! 5. `crate-hygiene` — crate roots carry `#![forbid(unsafe_code)]` and
 //!    `#![warn(missing_docs)]`;
-//! 6. `must-use` — pure stats/result returns carry `#[must_use]`.
+//! 6. `must-use` — pure stats/result returns carry `#[must_use]`;
+//! 7. `unsafe-boundary` — unsafe scopes only in the allowlisted
+//!    `crates/serve/src/sys.rs`, each justified by `// ce:safety(…)`,
+//!    counted and ratcheted;
+//! 8. `cast-truncation` — lossy `as` casts in deterministic crates need
+//!    `try_from`, explicit rounding, or `ce:allow(cast, …)`, ratcheted.
 //!
 //! Graph rules (pass 2):
 //!
-//! 7. `hot-path-transitive-alloc` — a `// ce:hot` fn must not *reach* an
+//! 9. `hot-path-transitive-alloc` — a `// ce:hot` fn must not *reach* an
 //!    allocating fn through any call chain;
-//! 8. `panic-reachability` — every panic/unwrap/expect/indexing site
-//!    reachable from a `// ce:hot` fn or `// ce:entry` handler, with a
-//!    shortest witness call path, ratcheted by `reach-baseline.json`;
-//! 9. `dead-pub-api` — `pub` items never referenced anywhere in the
-//!    workspace, tests, benches, or examples (same ratchet file);
-//! 10. `determinism-taint` — deterministic crates must not call into
-//!     functions that reach a wall-clock or socket use.
+//! 10. `panic-reachability` — every panic/unwrap/expect/indexing site
+//!     reachable from a `// ce:hot` fn or `// ce:entry` handler, with a
+//!     shortest witness call path, ratcheted by `reach-baseline.json`;
+//! 11. `dead-pub-api` — `pub` items never referenced anywhere in the
+//!     workspace, tests, benches, or examples (same ratchet file);
+//! 12. `determinism-taint` — deterministic crates must not call into
+//!     functions that reach a wall-clock or socket use;
+//! 13. `blocking-in-event-loop` — a `// ce:nonblocking` fn (the serve
+//!     reactor tick and its helpers) must not *reach* a blocking call,
+//!     with a shortest witness path; `ce:allow(blocking, …)` on a call
+//!     site cuts exactly that edge.
 //!
 //! Resolution is conservative: method calls resolve to every same-named
 //! workspace method in the caller's dependency closure, so the graph
@@ -55,6 +64,7 @@
 //! cargo run --release -p ce-analyzer -- --format json     # CI report
 //! cargo run --release -p ce-analyzer -- --format github   # CI annotations
 //! cargo run --release -p ce-analyzer -- --write-baseline  # refresh both ratchets
+//! cargo run --release -p ce-analyzer -- --list-rules      # rule/tier table
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations, 2 analyzer error.

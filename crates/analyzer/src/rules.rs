@@ -1,8 +1,9 @@
-//! The six workspace-invariant rules, evaluated over a lexed file.
+//! The file-local rules (pass 1), evaluated over a lexed file, plus the
+//! graph rules (pass 2) further down.
 //!
-//! Each rule is lexical: it matches token patterns, comment markers, and
-//! coarse structure (test modules, `fn` bodies) recovered by brace
-//! matching. The rules and their rationale:
+//! Each file-local rule is lexical: it matches token patterns, comment
+//! markers, and coarse structure (test modules, `fn` bodies) recovered by
+//! brace matching. The file-local rules and their rationale:
 //!
 //! | rule | enforces |
 //! |---|---|
@@ -12,27 +13,41 @@
 //! | `panic-in-lib` | `unwrap`/`expect`/`panic!`/`unreachable!` counted against the baseline ratchet |
 //! | `crate-hygiene` | crate roots carry `#![forbid(unsafe_code)]` + `#![warn(missing_docs)]` |
 //! | `must-use` | `pub fn` returning a bare stats/result struct carries `#[must_use]` |
+//! | `unsafe-boundary` | unsafe only in the allowlisted FFI module, each site `// ce:safety`-justified and ratcheted |
+//! | `cast-truncation` | lossy `as` casts in deterministic crates counted against the baseline ratchet |
 //!
 //! Test code (`#[cfg(test)]` modules, `#[test]` functions) is exempt from
-//! `nondeterminism`, `float-eq`, `panic-in-lib`, and `must-use` — the
-//! invariants protect the sweep engine's production paths, and the
-//! bitwise-identity *tests* are precisely where float equality is correct.
+//! `nondeterminism`, `float-eq`, `panic-in-lib`, `must-use`, and
+//! `cast-truncation` — the invariants protect the sweep engine's
+//! production paths, and the bitwise-identity *tests* are precisely where
+//! float equality is correct. `unsafe-boundary` has no test exemption:
+//! the unsafe surface is audited wherever it appears.
 //!
 //! # Marker grammar
 //!
 //! - `// ce:hot` — the next `fn` in the file is a streaming hot path; the
 //!   `hot-path-alloc` rule patrols its body.
-//! - `// ce:allow(<rule>, reason = "…")` — suppresses `<rule>` violations
-//!   on the same line and the line immediately below. The reason is
-//!   mandatory; a marker without one is itself a violation.
+//! - `// ce:entry` — the next `fn` is a request-handler root for
+//!   `panic-reachability`.
+//! - `// ce:nonblocking` — the next `fn` is an event-loop step; the
+//!   `blocking-in-event-loop` graph rule patrols its closure.
+//! - `// ce:safety(<justification>)` — justifies the unsafe fact within
+//!   the next three lines; `unsafe-boundary` requires one per site.
+//! - `// ce:allow(<kind>, reason = "…")` — suppresses `<kind>` violations
+//!   on the same line and the line immediately below. `<kind>` is a rule
+//!   name or one of the site-kind shorthands (`blocking`, `cast`). The
+//!   reason is mandatory; a marker without one is itself a violation.
 
-use crate::config::{allowances_for, is_crate_root, Config, RULE_NAMES};
+use crate::config::{
+    allowances_for, is_allow_kind, is_crate_root, is_deterministic, rule_for_allow_kind,
+    unsafe_allowlisted, Config,
+};
 use crate::lexer::{lex, Token, TokenKind};
 
 /// One diagnostic: a rule violated at a file position.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// The rule violated (one of [`RULE_NAMES`]).
+    /// The rule violated (one of [`crate::config::RULE_NAMES`]).
     pub rule: String,
     /// Workspace-relative path of the offending file.
     pub file: String,
@@ -44,8 +59,8 @@ pub struct Violation {
     pub message: String,
 }
 
-/// The analysis of one file: direct violations plus the panic-site count
-/// the driver compares against the baseline ratchet.
+/// The analysis of one file: direct violations plus the per-file site
+/// counts the driver compares against the baseline ratchets.
 #[derive(Debug, Clone)]
 pub struct FileAnalysis {
     /// Violations that fail the build outright.
@@ -53,6 +68,13 @@ pub struct FileAnalysis {
     /// Non-test `unwrap()`/`expect()`/`panic!`/`unreachable!` sites
     /// (line numbers), for the `panic-in-lib` ratchet.
     pub panic_sites: Vec<u32>,
+    /// Lossy `as` cast sites (line numbers) in deterministic crates,
+    /// for the `cast-truncation` ratchet.
+    pub cast_sites: Vec<u32>,
+    /// Justified, allowlisted unsafe sites (line numbers), for the
+    /// `unsafe-boundary` ratchet. Unjustified or out-of-allowlist unsafe
+    /// is a violation instead.
+    pub unsafe_sites: Vec<u32>,
 }
 
 /// A parsed `// ce:allow(rule, reason = "…")` marker.
@@ -70,9 +92,17 @@ pub fn analyze_file(rel_path: &str, source: &str, config: &Config) -> FileAnalys
 
     let mut markers = Vec::new();
     let mut hot_lines = Vec::new();
+    let mut safety_lines = Vec::new();
     let mut violations = Vec::new();
     for t in tokens.iter().filter(|t| t.is_comment()) {
-        collect_marker(t, &mut markers, &mut hot_lines, &mut violations, rel_path);
+        collect_marker(
+            t,
+            &mut markers,
+            &mut hot_lines,
+            &mut safety_lines,
+            &mut violations,
+            rel_path,
+        );
     }
 
     let test_mask = test_region_mask(&code);
@@ -92,11 +122,15 @@ pub fn analyze_file(rel_path: &str, source: &str, config: &Config) -> FileAnalys
     rule_crate_hygiene(&ctx, &mut violations);
     rule_must_use(&ctx, &mut violations);
     let panic_sites = panic_sites(&ctx);
+    let cast_sites = cast_sites(&ctx);
+    let unsafe_sites = rule_unsafe_boundary(&ctx, &safety_lines, &mut violations);
 
     violations.sort_by_key(|v| (v.line, v.col, v.rule.clone()));
     FileAnalysis {
         violations,
         panic_sites,
+        cast_sites,
+        unsafe_sites,
     }
 }
 
@@ -130,11 +164,14 @@ impl RuleCtx<'_> {
     }
 }
 
-/// Parses `ce:hot` / `ce:allow` markers out of one comment token.
+/// Parses `ce:hot` / `ce:safety` / `ce:allow` markers out of one comment
+/// token. (`ce:entry` and `ce:nonblocking` bind to `fn` items and are
+/// consumed by the fact extractor in `items.rs`, not here.)
 fn collect_marker(
     tok: &Token,
     markers: &mut Vec<AllowMarker>,
     hot_lines: &mut Vec<u32>,
+    safety_lines: &mut Vec<u32>,
     violations: &mut Vec<Violation>,
     rel_path: &str,
 ) {
@@ -145,6 +182,21 @@ fn collect_marker(
         .trim();
     if body == "ce:hot" || body.starts_with("ce:hot ") {
         hot_lines.push(tok.line);
+        return;
+    }
+    if let Some(rest) = body.strip_prefix("ce:safety(") {
+        let inner = rest.rsplit_once(')').map_or(rest, |(a, _)| a).trim();
+        if inner.is_empty() {
+            violations.push(Violation {
+                rule: "unsafe-boundary".to_string(),
+                file: rel_path.to_string(),
+                line: tok.line,
+                col: tok.col,
+                message: "ce:safety(…) marker carries no justification text".to_string(),
+            });
+        } else {
+            safety_lines.push(tok.line);
+        }
         return;
     }
     let Some(rest) = body.strip_prefix("ce:allow(") else {
@@ -158,7 +210,7 @@ fn collect_marker(
         .strip_prefix("reason")
         .map(|r| r.trim_start().starts_with('='))
         .unwrap_or(false);
-    if !RULE_NAMES.contains(&rule.as_str()) {
+    if !is_allow_kind(&rule) {
         violations.push(Violation {
             rule: "marker".to_string(),
             file: rel_path.to_string(),
@@ -169,8 +221,9 @@ fn collect_marker(
         return;
     }
     if !has_reason {
+        let owner = rule_for_allow_kind(&rule);
         violations.push(Violation {
-            rule: rule.clone(),
+            rule: owner.to_string(),
             file: rel_path.to_string(),
             line: tok.line,
             col: tok.col,
@@ -565,6 +618,142 @@ fn panic_sites(ctx: &RuleCtx<'_>) -> Vec<u32> {
     sites
 }
 
+/// Targets of an `as` cast that can truncate or lose precision. `f64` is
+/// deliberately absent: the integers this workspace lifts to `f64` fit in
+/// its 53-bit mantissa, and flagging them would bury the real hazards.
+const LOSSY_CAST_TARGETS: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+];
+
+/// Non-test lossy `as` casts in deterministic crates, for the
+/// `cast-truncation` ratchet. `ce:allow(cast, reason = "…")` suppresses a
+/// site; casts whose operand ends in an explicit rounding or clamping
+/// call (`.round()`, `.floor()`, `.ceil()`, `.trunc()`, `.clamp(…)`,
+/// `.min(…)`, `.max(…)`) already state their precision intent and are
+/// exempt.
+fn cast_sites(ctx: &RuleCtx<'_>) -> Vec<u32> {
+    if !is_deterministic(ctx.rel_path) {
+        return Vec::new();
+    }
+    let code = ctx.code;
+    let mut sites = Vec::new();
+    for i in 0..code.len() {
+        if ctx.test_mask[i] || !code[i].is_ident("as") {
+            continue;
+        }
+        let lossy = code.get(i + 1).is_some_and(|n| {
+            n.kind == TokenKind::Ident && LOSSY_CAST_TARGETS.contains(&n.text.as_str())
+        });
+        if lossy && !ctx.allowed("cast", code[i].line) && !rounding_exempt(code, i) {
+            sites.push(code[i].line);
+        }
+    }
+    sites
+}
+
+/// Is the operand of the `as` at `idx` a call to an explicit rounding or
+/// clamping method? Matches `….round() as u32`-style forms by walking
+/// back from the closing paren to the method name.
+fn rounding_exempt(code: &[&Token], idx: usize) -> bool {
+    const EXPLICIT: &[&str] = &["round", "floor", "ceil", "trunc", "clamp", "min", "max"];
+    if idx == 0 || !code[idx - 1].is_punct(")") {
+        return false;
+    }
+    let mut depth = 0i32;
+    let mut i = idx - 1;
+    loop {
+        if code[i].is_punct(")") {
+            depth += 1;
+        } else if code[i].is_punct("(") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        if i == 0 {
+            return false;
+        }
+        i -= 1;
+    }
+    i >= 2
+        && code[i - 1].kind == TokenKind::Ident
+        && EXPLICIT.contains(&code[i - 1].text.as_str())
+        && code[i - 2].is_punct(".")
+}
+
+/// The `unsafe-boundary` audit. Facts are `#[allow(unsafe_code)]`
+/// attribute scopes and any bare `unsafe` token outside such a scope.
+/// Every fact must live in an allowlisted file AND carry a
+/// `// ce:safety(…)` justification within the three lines above it;
+/// surviving sites are returned for the ratchet. No test exemption: the
+/// unsafe surface is audited wherever it appears.
+fn rule_unsafe_boundary(
+    ctx: &RuleCtx<'_>,
+    safety_lines: &[u32],
+    out: &mut Vec<Violation>,
+) -> Vec<u32> {
+    const RULE: &str = "unsafe-boundary";
+    let code = ctx.code;
+    let mut facts: Vec<(u32, u32, &'static str)> = Vec::new();
+    let mut covered: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].is_punct("#") && code.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            let close = matching_bracket(code, i + 1);
+            let is_allow_unsafe = {
+                let mut idents = code[i + 2..close]
+                    .iter()
+                    .filter(|t| t.kind == TokenKind::Ident)
+                    .map(|t| t.text.as_str());
+                idents.next() == Some("allow")
+                    && idents.next() == Some("unsafe_code")
+                    && idents.next().is_none()
+            };
+            if is_allow_unsafe {
+                facts.push((code[i].line, code[i].col, "#[allow(unsafe_code)] scope"));
+                covered.push((i, item_end(code, close + 1)));
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    for (j, t) in code.iter().enumerate() {
+        if t.is_ident("unsafe") && !covered.iter().any(|&(s, e)| (s..=e).contains(&j)) {
+            facts.push((t.line, t.col, "`unsafe` scope"));
+        }
+    }
+    facts.sort_unstable();
+    let mut sites = Vec::new();
+    for (line, col, what) in facts {
+        if !unsafe_allowlisted(ctx.rel_path) {
+            out.push(Violation {
+                rule: RULE.to_string(),
+                file: ctx.rel_path.to_string(),
+                line,
+                col,
+                message: format!(
+                    "{what} outside the unsafe allowlist (only {} may hold unsafe code)",
+                    crate::config::UNSAFE_ALLOWLIST.join(", ")
+                ),
+            });
+        } else if !safety_lines.iter().any(|&s| s <= line && line - s <= 3) {
+            out.push(Violation {
+                rule: RULE.to_string(),
+                file: ctx.rel_path.to_string(),
+                line,
+                col,
+                message: format!(
+                    "{what} has no `// ce:safety(…)` justification within the three lines above"
+                ),
+            });
+        } else {
+            sites.push(line);
+        }
+    }
+    sites
+}
+
 fn rule_crate_hygiene(ctx: &RuleCtx<'_>, out: &mut Vec<Violation>) {
     const RULE: &str = "crate-hygiene";
     if !is_crate_root(ctx.rel_path) {
@@ -774,8 +963,9 @@ pub struct DeadFinding {
 /// finding sets.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct GraphAnalysis {
-    /// `hot-path-transitive-alloc` and `determinism-taint` violations
-    /// (fail the build outright; `ce:allow` markers are the escape hatch).
+    /// `hot-path-transitive-alloc`, `blocking-in-event-loop`, and
+    /// `determinism-taint` violations (fail the build outright;
+    /// `ce:allow` markers are the escape hatch).
     pub violations: Vec<Violation>,
     /// `panic-reachability` findings, in deterministic scan order.
     pub panic_reach: Vec<ReachFinding>,
@@ -783,10 +973,11 @@ pub struct GraphAnalysis {
     pub dead_api: Vec<DeadFinding>,
 }
 
-/// Runs all four graph rules over the resolved workspace.
+/// Runs all five graph rules over the resolved workspace.
 pub fn analyze_graph(ws: &Workspace, graph: &CallGraph) -> GraphAnalysis {
     let mut out = GraphAnalysis::default();
     rule_hot_transitive_alloc(ws, graph, &mut out.violations);
+    rule_blocking_in_event_loop(ws, graph, &mut out.violations);
     rule_panic_reachability(ws, graph, &mut out.panic_reach);
     rule_dead_pub_api(ws, &mut out.dead_api);
     rule_determinism_taint(ws, graph, &mut out.violations);
@@ -868,6 +1059,51 @@ fn rule_hot_transitive_alloc(ws: &Workspace, graph: &CallGraph, out: &mut Vec<Vi
                     g.file,
                     site.line,
                     site.what
+                ),
+            });
+        }
+    }
+}
+
+/// `blocking-in-event-loop`: a `// ce:nonblocking` fn (event-loop tick,
+/// state-machine advance, deadline sweep, completion drain) must not
+/// reach a blocking call — mutex locks, condvar waits, sleeps, joins,
+/// channel receives, blocking reads/accepts — through any call chain,
+/// including its own body. A call-site `ce:allow(blocking, reason = "…")`
+/// marker cuts exactly that edge (for a deliberately short critical
+/// section or a nonblocking fd) without blinding the whole function.
+fn rule_blocking_in_event_loop(ws: &Workspace, graph: &CallGraph, out: &mut Vec<Violation>) {
+    const RULE: &str = "blocking-in-event-loop";
+    const KIND: &str = "blocking";
+    for (i, f) in ws.fns.iter().enumerate() {
+        if !f.nonblocking || f.allows.iter().any(|r| r == KIND) {
+            continue;
+        }
+        let parents = reach_filtered(ws, graph, i, KIND);
+        for (j, p) in parents.iter().enumerate() {
+            if p.is_none() {
+                continue;
+            }
+            let g = &ws.fns[j];
+            let Some(site) = g.blocking.first() else {
+                continue;
+            };
+            if j != i && g.allows.iter().any(|r| r == KIND) {
+                continue;
+            }
+            let witness = render_witness(&ws.fns, &path_to(&parents, j));
+            out.push(Violation {
+                rule: RULE.to_string(),
+                file: f.file.clone(),
+                line: f.line,
+                col: 1,
+                message: format!(
+                    "nonblocking fn `{}` reaches blocking call {} in `{}` ({}:{}) via {witness}",
+                    f.display(),
+                    site.what,
+                    g.display(),
+                    g.file,
+                    site.line
                 ),
             });
         }
@@ -1234,5 +1470,78 @@ mod tests {
         let fa = analyze("crates/core/src/x.rs", src);
         assert!(fa.violations.is_empty());
         assert!(fa.panic_sites.is_empty());
+    }
+
+    #[test]
+    fn lossy_casts_counted_in_deterministic_crates_only() {
+        let src = "fn f(x: f64, n: usize) -> u32 { let _ = x as u32; n as u32 }";
+        let fa = analyze("crates/core/src/x.rs", src);
+        assert!(fa.violations.is_empty());
+        assert_eq!(fa.cast_sites, [1, 1]);
+        assert!(analyze("crates/serve/src/x.rs", src).cast_sites.is_empty());
+    }
+
+    #[test]
+    fn rounded_and_allowed_casts_are_exempt() {
+        let src = "fn f(x: f64) -> u32 {\n  let a = x.round() as u32;\n  let b = x.clamp(0.0, 10.0) as u32;\n  // ce:allow(cast, reason = \"low 32 bits wanted\")\n  let c = (a as u64 * 3) as u32;\n  a + b + c\n}";
+        let fa = analyze("crates/core/src/x.rs", src);
+        assert!(fa.violations.is_empty());
+        assert!(fa.cast_sites.is_empty(), "{:?}", fa.cast_sites);
+    }
+
+    #[test]
+    fn widening_f64_and_test_casts_are_not_counted() {
+        let src = "fn f(x: u32) -> f64 { x as f64 }\n#[cfg(test)]\nmod tests {\n  fn g(x: f64) -> u8 { x as u8 }\n}";
+        let fa = analyze("crates/core/src/x.rs", src);
+        assert!(fa.cast_sites.is_empty());
+    }
+
+    #[test]
+    fn unsafe_outside_allowlist_is_a_violation() {
+        let src = "fn f(p: *const u32) -> u32 { unsafe { *p } }";
+        let fa = analyze("crates/core/src/x.rs", src);
+        assert_eq!(rules_of(&fa), ["unsafe-boundary"]);
+        assert!(fa.unsafe_sites.is_empty());
+    }
+
+    #[test]
+    fn allowlisted_unsafe_requires_a_safety_justification() {
+        let unjustified = "fn f(p: *const u32) -> u32 { unsafe { *p } }";
+        let fa = analyze("crates/serve/src/sys.rs", unjustified);
+        assert_eq!(rules_of(&fa), ["unsafe-boundary"]);
+
+        let justified = "// ce:safety(p is valid for reads by contract)\nfn f(p: *const u32) -> u32 { unsafe { *p } }";
+        let fa = analyze("crates/serve/src/sys.rs", justified);
+        assert!(fa.violations.is_empty());
+        assert_eq!(fa.unsafe_sites, [2]);
+    }
+
+    #[test]
+    fn allow_unsafe_code_attr_scope_is_one_fact() {
+        let src = "// ce:safety(ffi declaration only; call sites carry the obligation)\n#[allow(unsafe_code)]\nmod ffi {\n  extern \"C\" {\n    pub fn poll() -> i32;\n  }\n}";
+        let fa = analyze("crates/serve/src/sys.rs", src);
+        assert!(fa.violations.is_empty());
+        assert_eq!(fa.unsafe_sites, [2]);
+    }
+
+    #[test]
+    fn empty_safety_marker_is_a_violation() {
+        let src = "// ce:safety()\nfn f(p: *const u32) -> u32 { unsafe { *p } }";
+        let fa = analyze("crates/serve/src/sys.rs", src);
+        assert_eq!(rules_of(&fa), ["unsafe-boundary", "unsafe-boundary"]);
+    }
+
+    #[test]
+    fn allow_blocking_and_cast_kinds_are_known() {
+        let src = "// ce:allow(blocking, reason = \"short critical section\")\nfn f() {}\n// ce:allow(cast, reason = \"bounded\")\nfn g() {}";
+        let fa = analyze("crates/core/src/x.rs", src);
+        assert!(fa.violations.is_empty());
+    }
+
+    #[test]
+    fn allow_blocking_without_reason_reports_under_owning_rule() {
+        let src = "// ce:allow(blocking)\nfn f() {}";
+        let fa = analyze("crates/core/src/x.rs", src);
+        assert_eq!(rules_of(&fa), ["blocking-in-event-loop"]);
     }
 }

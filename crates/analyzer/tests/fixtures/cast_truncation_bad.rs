@@ -1,0 +1,18 @@
+//! Positive fixture: lossy `as` casts in a deterministic crate are
+//! counted as ratchet sites. Widening into `f64` and rounded casts are
+//! not (see the `_ok` companion for the sanctioned forms).
+
+/// Narrowing a horizon index silently drops high bits on overflow.
+pub fn pack_hour(hour_of_year: usize) -> u32 {
+    hour_of_year as u32
+}
+
+/// Truncating a float towards zero silently loses the fraction.
+pub fn whole_megawatts(power_mw: f64) -> i64 {
+    power_mw as i64
+}
+
+/// Widening a `u32` into `f64` is exact and not counted.
+pub fn exact_fraction(part: u32, whole: u32) -> f64 {
+    f64::from(part) / f64::from(whole).max(1.0)
+}

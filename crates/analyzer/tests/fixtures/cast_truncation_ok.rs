@@ -1,0 +1,28 @@
+//! Negative fixture: the sanctioned forms of the casts the `_bad`
+//! companion counts — checked conversions, justified `ce:allow(cast)`
+//! markers, the rounding/clamping carve-out, and test regions.
+
+/// Checked conversion: saturate instead of truncating.
+pub fn pack_hour(hour_of_year: usize) -> u32 {
+    u32::try_from(hour_of_year).unwrap_or(u32::MAX)
+}
+
+/// A justified cast carries its proof.
+pub fn day_hour(hour_of_year: usize) -> u8 {
+    // ce:allow(cast, reason = "a residue modulo 24 always fits u8")
+    (hour_of_year % 24) as u8
+}
+
+/// Rounding first states the intent, so the cast is exempt.
+pub fn whole_megawatts(power_mw: f64) -> i64 {
+    power_mw.round() as i64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_regions_are_exempt() {
+        let x = 300_usize;
+        assert_eq!(x as u8, 44);
+    }
+}

@@ -1,0 +1,23 @@
+//! A reactor whose tick transitively reaches a mutex acquisition: the
+//! `ce:nonblocking` root must be rejected with a shortest witness path.
+
+use std::sync::{Mutex, PoisonError};
+
+/// A shard's job mailbox.
+pub struct Shard {
+    jobs: Mutex<Vec<u64>>,
+}
+
+impl Shard {
+    /// One reactor step; must never park the shard thread.
+    // ce:nonblocking
+    pub fn tick(&self) -> usize {
+        self.drain()
+    }
+
+    /// Drains the mailbox under the shard mutex.
+    fn drain(&self) -> usize {
+        let jobs = self.jobs.lock().unwrap_or_else(PoisonError::into_inner);
+        jobs.len()
+    }
+}

@@ -1,0 +1,4 @@
+#[test]
+fn tick_is_used() {
+    let _ = ce_serve::Shard::tick;
+}

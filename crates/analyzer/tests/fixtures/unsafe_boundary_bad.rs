@@ -1,0 +1,16 @@
+//! Positive fixture: unsafe outside the allowlist is rejected outright,
+//! and a `ce:safety()` marker with no justification text is itself a
+//! violation — an empty proof is no proof.
+
+/// Reads the first element without a bounds check.
+pub fn first_unchecked(values: &[f64]) -> f64 {
+    // ce:safety()
+    unsafe { *values.as_ptr() }
+}
+
+#[allow(unsafe_code)]
+mod shim {
+    extern "C" {
+        pub fn external_sum(ptr: *const f64, len: usize) -> f64;
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture for the allowlisted path: justified unsafe inside
+//! `crates/serve/src/sys.rs` produces no violations, only ratchet
+//! *sites* — the golden pins exactly two `unsafe-site` lines and nothing
+//! else, proving the rule counts rather than flags here.
+
+// ce:safety(declaration only — the foreign signature matches the kernel
+// prototype and introduces no runtime behavior)
+#[allow(unsafe_code)]
+mod ffi {
+    extern "C" {
+        pub fn poll_shim(fd: i32) -> i32;
+    }
+}
+
+/// Calls the shim with a descriptor the caller owns.
+pub fn poll_once(fd: i32) -> i32 {
+    // ce:safety(`fd` is a valid open descriptor owned by the caller)
+    #[allow(unsafe_code)]
+    unsafe {
+        ffi::poll_shim(fd)
+    }
+}

@@ -132,6 +132,29 @@ const CASES: &[Case] = &[
         rel_path: "crates/core/src/fixture.rs",
         dirty: true,
     },
+    Case {
+        stem: "cast_truncation_bad",
+        rel_path: "crates/core/src/fixture.rs",
+        dirty: true,
+    },
+    Case {
+        stem: "cast_truncation_ok",
+        rel_path: "crates/core/src/fixture.rs",
+        dirty: false,
+    },
+    Case {
+        stem: "unsafe_boundary_bad",
+        rel_path: "crates/core/src/fixture.rs",
+        dirty: true,
+    },
+    Case {
+        // The allowlisted path: justified unsafe is *counted*, not
+        // flagged — dirty so the golden pins the two `unsafe-site` lines
+        // (and, by matching exactly, the absence of any violation).
+        stem: "unsafe_boundary_ok",
+        rel_path: "crates/serve/src/sys.rs",
+        dirty: true,
+    },
 ];
 
 fn fixtures_dir() -> PathBuf {
@@ -156,6 +179,12 @@ fn render(case: &Case, config: &Config) -> String {
     }
     for line in &analysis.panic_sites {
         out.push_str(&format!("panic-site {}:{}\n", case.rel_path, line));
+    }
+    for line in &analysis.cast_sites {
+        out.push_str(&format!("cast-site {}:{}\n", case.rel_path, line));
+    }
+    for line in &analysis.unsafe_sites {
+        out.push_str(&format!("unsafe-site {}:{}\n", case.rel_path, line));
     }
     out
 }
@@ -245,6 +274,14 @@ const GRAPH_CASES: &[GraphCase] = &[
         name: "ambiguous_method",
         dirty: true,
     },
+    GraphCase {
+        name: "nonblocking_bad",
+        dirty: true,
+    },
+    GraphCase {
+        name: "nonblocking_allowed",
+        dirty: false,
+    },
 ];
 
 fn graph_case_dir(name: &str) -> PathBuf {
@@ -296,7 +333,11 @@ fn analyze_graph_case(case: &GraphCase) -> WorkspaceAnalysis {
 /// Renders a graph case's *graph-rule* output (file-local rules are
 /// covered by the single-file goldens and ignored here).
 fn render_graph(analysis: &WorkspaceAnalysis) -> String {
-    const GRAPH_RULES: &[&str] = &["hot-path-transitive-alloc", "determinism-taint"];
+    const GRAPH_RULES: &[&str] = &[
+        "hot-path-transitive-alloc",
+        "determinism-taint",
+        "blocking-in-event-loop",
+    ];
     let mut out = String::new();
     for v in &analysis.violations {
         if GRAPH_RULES.contains(&v.rule.as_str()) {
@@ -372,10 +413,13 @@ fn every_reachability_finding_carries_a_witness_path() {
 
 #[test]
 fn dirty_fixtures_exercise_every_rule() {
-    // The positive fixtures, between them, must cover all ten rule names —
+    // The positive fixtures, between them, must cover every rule name —
     // otherwise a rule could silently stop firing without any golden
     // noticing. File-local rules come from the single-file cases, graph
-    // rules from the mini-workspace cases.
+    // rules from the mini-workspace cases. The counting rules
+    // (`panic-in-lib`, `cast-truncation`, `unsafe-boundary`) surface as
+    // ratcheted site counts rather than direct violations, so their
+    // coverage is synthesized from the extracted sites.
     let config = Config::default();
     let mut seen: Vec<String> = Vec::new();
     for case in CASES.iter().filter(|c| c.dirty) {
@@ -387,6 +431,9 @@ fn dirty_fixtures_exercise_every_rule() {
         }
         if !analysis.panic_sites.is_empty() {
             seen.push("panic-in-lib".to_string());
+        }
+        if !analysis.cast_sites.is_empty() {
+            seen.push("cast-truncation".to_string());
         }
     }
     for case in GRAPH_CASES.iter().filter(|c| c.dirty) {
@@ -455,11 +502,67 @@ fn live_workspace_is_clean() {
         root,
         format: Format::Json,
         write_baseline: false,
+        list_rules: false,
     };
     assert_eq!(
         run(&opts),
         Outcome::Clean,
         "ce-analyzer found violations in the live workspace; run \
          `cargo run -p ce-analyzer` for diagnostics"
+    );
+}
+
+#[test]
+fn live_serve_reactor_is_verified_nonblocking() {
+    // Pins the serve crate's resource-discipline posture: the event loop's
+    // reactor tick (and its helpers) must stay `ce:nonblocking` so the
+    // blocking-reachability rule keeps guarding them, and the crate's
+    // entire unsafe surface must remain the two justified scopes in
+    // `sys.rs`. If either marker set is deleted, the graph rule would pass
+    // vacuously — this test fails instead.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let event_loop = fs::read_to_string(root.join("crates/serve/src/event.rs")).expect("event.rs");
+    let roots = event_loop
+        .lines()
+        .filter(|l| l.trim() == "// ce:nonblocking")
+        .count();
+    assert!(
+        roots >= 4,
+        "expected the reactor tick, completion drain, connection \
+         state-machine and deadline sweep to stay ce:nonblocking, found \
+         {roots} markers"
+    );
+
+    let (lib, refs) = scan_workspace(&root).expect("workspace scans");
+    let analysis = analyze_workspace(
+        &lib,
+        &refs,
+        CrateGraph::from_root(&root).expect("crate graph builds"),
+        &Config::default(),
+    );
+    let blocking: Vec<_> = analysis
+        .violations
+        .iter()
+        .filter(|v| v.rule == "blocking-in-event-loop")
+        .collect();
+    assert!(
+        blocking.is_empty(),
+        "the live event loop reaches a blocking call: {blocking:#?}"
+    );
+    let unsafe_files: Vec<_> = analysis.unsafe_counts.keys().collect();
+    assert_eq!(
+        unsafe_files,
+        vec!["crates/serve/src/sys.rs"],
+        "justified unsafe must stay confined to the poll(2) shim"
+    );
+    assert_eq!(
+        analysis.unsafe_counts["crates/serve/src/sys.rs"].len(),
+        2,
+        "sys.rs must hold exactly its two audited unsafe scopes \
+         (declaration + call site)"
     );
 }

@@ -44,6 +44,7 @@ thread_local! {
 ///
 /// Reads `CE_THREADS` if set (clamped to at least 1), otherwise
 /// `std::thread::available_parallelism`.
+// ce:nonblocking
 pub fn max_threads() -> usize {
     if let Ok(value) = std::env::var("CE_THREADS") {
         if let Ok(n) = value.trim().parse::<usize>() {
@@ -55,6 +56,7 @@ pub fn max_threads() -> usize {
 
 /// `true` if the calling thread is already inside a parallel region (its
 /// `par_map` calls will run serially).
+// ce:nonblocking
 pub fn in_parallel_region() -> bool {
     IN_PARALLEL_REGION.with(Cell::get)
 }
@@ -74,6 +76,7 @@ pub fn in_parallel_region() -> bool {
 /// The flag is restored on exit even if `f` panics, so a worker thread
 /// that catches the panic is not left permanently serialized (or
 /// permanently marked if it was not a worker to begin with).
+// ce:nonblocking
 pub fn run_serial<R>(f: impl FnOnce() -> R) -> R {
     struct Restore(bool);
     impl Drop for Restore {

@@ -195,6 +195,7 @@ impl CostOrder {
         self.sort_buf.extend(
             self.cost
                 .iter()
+                // ce:allow(cast, reason = "the 24-hour day constant fits u32")
                 .zip((0..HOURS_PER_DAY as u32).cycle())
                 .map(|(&cost, hour)| (u128::from(ordered_bits(cost)) << 32) | u128::from(hour)),
         );
@@ -203,8 +204,18 @@ impl CostOrder {
         }
         self.order.clear();
         self.order
+            // ce:allow(cast, reason = "intentional: the low 32 bits of the packed key are the hour ordinal")
             .extend(self.sort_buf.iter().map(|&key| key as u32));
     }
+}
+
+/// Widens a packed `u32` hour ordinal back into a slice index; the one
+/// sanctioned cast site for the order buffers, so the transfer loops stay
+/// free of ad-hoc `as` conversions.
+// ce:hot
+fn idx(hour: u32) -> usize {
+    // ce:allow(cast, reason = "u32 hour ordinal widening into usize; every supported target is at least 32-bit")
+    hour as usize
 }
 
 /// Reads one hour's `(cost, load)` pair when a transfer cursor lands on
@@ -458,11 +469,12 @@ impl GreedyScheduler {
         // sort, so results match both the previous `sort_by` formulation
         // and the pair-sort in [`CostOrder::rebuild_from_cost`].
         order.clear();
+        // ce:allow(cast, reason = "a day slice is 24 hours, so the hour ordinal fits u32")
         order.extend(0..n as u32);
         for i in 1..n {
             let mut j = i;
             while j > 0
-                && cost[order[j] as usize].total_cmp(&cost[order[j - 1] as usize])
+                && cost[idx(order[j])].total_cmp(&cost[idx(order[j - 1])])
                     == std::cmp::Ordering::Less
             {
                 order.swap(j, j - 1);
@@ -522,8 +534,8 @@ impl GreedyScheduler {
         let Some(&last) = ends.next_back() else {
             return 0.0; // single-hour day: nowhere cheaper to move to
         };
-        let mut dst = first as usize;
-        let mut src = last as usize;
+        let mut dst = idx(first);
+        let mut src = idx(last);
         // A destination absorbs up to `limit − load`: `limit` folds the
         // capacity cap and the hour's renewable supply into one bound per
         // destination, hoisting the supply clamp off the per-iteration
@@ -565,7 +577,7 @@ impl GreedyScheduler {
                 commit_load(load, src, src_load);
                 match ends.next_back() {
                     Some(&s) => {
-                        src = s as usize;
+                        src = idx(s);
                         (src_cost, src_load) = cursor_slot(cost, load, src);
                         budget = src_load * ratio;
                     }
@@ -575,7 +587,7 @@ impl GreedyScheduler {
                 commit_load(load, dst, dst_load);
                 match ends.next() {
                     Some(&d) => {
-                        dst = d as usize;
+                        dst = idx(d);
                         (dst_cost, dst_load) = cursor_slot(cost, load, dst);
                         dst_limit = limit_of(dst);
                     }

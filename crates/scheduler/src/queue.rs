@@ -49,7 +49,7 @@ pub fn simulate_queue(
     if surplus.is_empty() {
         return Err(TimeSeriesError::Empty);
     }
-    let horizon = surplus.len() as u32;
+    let horizon = u32::try_from(surplus.len()).unwrap_or(u32::MAX);
     let mut available = surplus.values().to_vec();
 
     // Process jobs in arrival order: earlier arrivals claim surplus first.
@@ -70,7 +70,8 @@ pub fn simulate_queue(
             .min(horizon.saturating_sub(1));
         let mut start = None;
         for h in job.arrival_hour..=latest_start {
-            if (h as usize) < available.len() && available[h as usize] >= job.power_mw {
+            let slot = usize::try_from(h).unwrap_or(usize::MAX);
+            if slot < available.len() && available[slot] >= job.power_mw {
                 start = Some(h);
                 break;
             }
@@ -90,7 +91,9 @@ pub fn simulate_queue(
         max_delay = max_delay.max(delay);
 
         for h in start..(start + job.duration_hours).min(horizon) {
-            let idx = h as usize;
+            let Ok(idx) = usize::try_from(h) else {
+                break; // unrepresentable hour index: past any real horizon
+            };
             let green = available[idx].min(job.power_mw).max(0.0);
             green_energy += green;
             available[idx] -= job.power_mw; // may go negative = grid draw

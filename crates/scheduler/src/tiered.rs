@@ -116,7 +116,10 @@ impl TieredScheduler {
         tier: &TierSpec,
     ) {
         let n = load.len();
-        let window = tier.window_hours.map(|w| w as usize).unwrap_or(n);
+        let window = tier
+            .window_hours
+            .and_then(|w| usize::try_from(w).ok())
+            .unwrap_or(n);
         // Deficit hours, worst first.
         let mut sources: Vec<usize> = (0..n).collect();
         sources.sort_by(|&a, &b| {

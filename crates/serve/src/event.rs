@@ -196,6 +196,7 @@ impl Slab {
     fn insert(&mut self, stream: TcpStream, now: Instant) -> usize {
         self.next_generation += 1;
         let conn = Conn::new(stream, self.next_generation, now);
+        // ce:allow(blocking, reason = "Vec::pop on the free list; only shares a name with the parking queue pop")
         if let Some(slot) = self.free.pop() {
             if let Some(entry) = self.slots.get_mut(slot) {
                 *entry = Some(conn);
@@ -375,47 +376,63 @@ impl Loop {
                 // EINVAL/ENOMEM would spin; back off rather than burn CPU.
                 std::thread::sleep(Duration::from_millis(10));
             }
-            self.shard.stats.polls.fetch_add(1, Ordering::Relaxed);
-            let now = Instant::now();
-
-            if fds.first().is_some_and(|f| f.returned(POLLIN)) {
-                self.shard.stats.wakeups.fetch_add(1, Ordering::Relaxed);
-                self.drain_waker_pipe();
-            }
-            self.deliver_completions(now);
-            if let Some(i) = listener_idx {
-                if fds.get(i).is_some_and(|f| f.returned(POLLIN)) {
-                    self.accept_ready(now);
-                }
-            }
-            for (i, &(slot, generation)) in fd_slots.iter().enumerate() {
-                let Some(&pfd) = fds.get(conn_base + i) else {
-                    break;
-                };
-                if self.slab.get_mut(slot, generation).is_none() {
-                    continue; // closed (or reused) during this iteration
-                }
-                if pfd.failed() {
-                    self.close_conn(slot);
-                    continue;
-                }
-                if pfd.returned(POLLIN) {
-                    self.handle_readable(slot, now);
-                } else if pfd.returned(POLLHUP) {
-                    self.close_conn(slot);
-                    continue;
-                }
-                if pfd.returned(POLLOUT) && self.slab.get_mut(slot, generation).is_some() {
-                    self.try_flush(slot, now);
-                    self.process_conn(slot, now);
-                }
-            }
-            self.sweep(now);
+            self.tick(&fds, listener_idx, &fd_slots, conn_base);
         }
+    }
+
+    /// One reactor step after `poll` returns: drain the waker, deliver
+    /// completions, accept, service ready connections, sweep deadlines.
+    /// Everything here runs on the shard's only thread; the analyzer
+    /// verifies transitively that nothing in it can block.
+    // ce:nonblocking
+    fn tick(
+        &mut self,
+        fds: &[PollFd],
+        listener_idx: Option<usize>,
+        fd_slots: &[(usize, u64)],
+        conn_base: usize,
+    ) {
+        self.shard.stats.polls.fetch_add(1, Ordering::Relaxed);
+        let now = Instant::now();
+
+        if fds.first().is_some_and(|f| f.returned(POLLIN)) {
+            self.shard.stats.wakeups.fetch_add(1, Ordering::Relaxed);
+            self.drain_waker_pipe();
+        }
+        self.deliver_completions(now);
+        if let Some(i) = listener_idx {
+            if fds.get(i).is_some_and(|f| f.returned(POLLIN)) {
+                self.accept_ready(now);
+            }
+        }
+        for (i, &(slot, generation)) in fd_slots.iter().enumerate() {
+            let Some(&pfd) = fds.get(conn_base + i) else {
+                break;
+            };
+            if self.slab.get_mut(slot, generation).is_none() {
+                continue; // closed (or reused) during this iteration
+            }
+            if pfd.failed() {
+                self.close_conn(slot);
+                continue;
+            }
+            if pfd.returned(POLLIN) {
+                self.handle_readable(slot, now);
+            } else if pfd.returned(POLLHUP) {
+                self.close_conn(slot);
+                continue;
+            }
+            if pfd.returned(POLLOUT) && self.slab.get_mut(slot, generation).is_some() {
+                self.try_flush(slot, now);
+                self.process_conn(slot, now);
+            }
+        }
+        self.sweep(now);
     }
 
     fn drain_waker_pipe(&mut self) {
         loop {
+            // ce:allow(blocking, reason = "nonblocking loopback socket: reads return WouldBlock, never park")
             match self.waker_rx.read(&mut self.read_buf) {
                 Ok(0) => break, // worker side gone (shutdown)
                 Ok(_) => continue,
@@ -427,11 +444,14 @@ impl Loop {
         self.shard.waker.rearm();
     }
 
+    /// Drains the completion mailbox and resumes the touched connections.
+    // ce:nonblocking
     fn deliver_completions(&mut self, now: Instant) {
         loop {
             let next = self
                 .shard
                 .completions
+                // ce:allow(blocking, reason = "completion mailbox critical section is a single pop_front; workers hold it for one push")
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
                 .pop_front();
@@ -563,6 +583,7 @@ impl Loop {
             let Some(listener) = self.listener.as_ref() else {
                 return;
             };
+            // ce:allow(blocking, reason = "listener is in nonblocking mode; accept returns WouldBlock instead of parking")
             match listener.accept() {
                 Ok((stream, _)) => {
                     let previous = self.shared.connections.fetch_add(1, Ordering::SeqCst);
@@ -577,6 +598,7 @@ impl Loop {
                         );
                         let mut stream = stream;
                         let _ = stream.write_all(&refusal);
+                        // ce:allow(blocking, reason = "TcpStream::shutdown, not ServerHandle::shutdown; a plain close syscall")
                         let _ = stream.shutdown(Shutdown::Both);
                         continue;
                     }
@@ -599,6 +621,7 @@ impl Loop {
         let Some(conn) = self.slab.slot_mut(slot) else {
             return;
         };
+        // ce:allow(blocking, reason = "accepted streams are set nonblocking; reads return WouldBlock, never park")
         match conn.stream.read(&mut self.read_buf) {
             Ok(0) => conn.read_eof = true,
             Ok(n) => {
@@ -625,6 +648,7 @@ impl Loop {
     /// Parses and dispatches every complete request buffered on `slot`,
     /// then compacts the input buffer and flushes output. Returns whether
     /// a partial request remains buffered.
+    // ce:nonblocking
     fn process_conn(&mut self, slot: usize, now: Instant) -> bool {
         let mut incomplete = false;
         loop {
@@ -860,6 +884,7 @@ impl Loop {
         let stream = request
             .explore_points()
             .is_some_and(|points| points >= self.shared.config.stream_threshold_points);
+        // ce:allow(blocking, reason = "try_push never waits; its queue critical section is a bounded len check + push_back")
         match self.shard.queue.try_push(Job {
             key: Arc::clone(&key),
             request,
@@ -1038,6 +1063,7 @@ impl Loop {
                     .retain(|w| w.slot != slot || w.generation != conn.generation);
             }
         }
+        // ce:allow(blocking, reason = "TcpStream::shutdown, not ServerHandle::shutdown; a plain close syscall")
         let _ = conn.stream.shutdown(Shutdown::Both);
         self.shared.connections.fetch_sub(1, Ordering::SeqCst);
         self.shard
@@ -1047,6 +1073,7 @@ impl Loop {
 
     /// The deadline sweep: slow-loris 408s, idle keep-alive closes,
     /// write-stall closes, and compute-timeout 504s.
+    // ce:nonblocking
     fn sweep(&mut self, now: Instant) {
         let read_timeout = self.shared.config.read_timeout;
         let idle_timeout = self.shared.config.idle_timeout;

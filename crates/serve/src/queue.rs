@@ -12,6 +12,7 @@
 //! already accepted before they see `None`.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Why a [`BoundedQueue::try_push`] was refused.
@@ -34,6 +35,9 @@ pub struct BoundedQueue<T> {
     inner: Mutex<Inner<T>>,
     not_empty: Condvar,
     capacity: usize,
+    /// Lock-free depth gauge, maintained alongside the locked state so
+    /// stats paths (which run inside the event loop) never take the lock.
+    depth: AtomicUsize,
 }
 
 impl<T> BoundedQueue<T> {
@@ -46,6 +50,7 @@ impl<T> BoundedQueue<T> {
             }),
             not_empty: Condvar::new(),
             capacity: capacity.max(1),
+            depth: AtomicUsize::new(0),
         }
     }
 
@@ -71,6 +76,7 @@ impl<T> BoundedQueue<T> {
             return Err(PushError::Full);
         }
         inner.items.push_back(item);
+        self.depth.store(inner.items.len(), Ordering::Relaxed);
         drop(inner);
         self.not_empty.notify_one();
         Ok(())
@@ -83,6 +89,7 @@ impl<T> BoundedQueue<T> {
         let mut inner = self.lock();
         loop {
             if let Some(item) = inner.items.pop_front() {
+                self.depth.store(inner.items.len(), Ordering::Relaxed);
                 return Some(item);
             }
             if inner.closed {
@@ -105,14 +112,11 @@ impl<T> BoundedQueue<T> {
     }
 
     /// Number of items currently queued (racy by nature; a gauge, not a
-    /// synchronization primitive).
-    pub fn len(&self) -> usize {
-        self.lock().items.len()
-    }
-
-    /// `true` if no items are queued right now.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
+    /// synchronization primitive). Reads an atomic shadow of the locked
+    /// depth, so callers on the event-loop hot path never contend on the
+    /// queue mutex.
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
     }
 }
 
@@ -127,12 +131,12 @@ mod tests {
         assert_eq!(q.try_push(1), Ok(()));
         assert_eq!(q.try_push(2), Ok(()));
         assert_eq!(q.try_push(3), Err(PushError::Full));
-        assert_eq!(q.len(), 2);
+        assert_eq!(q.depth(), 2);
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.try_push(3), Ok(()));
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), Some(3));
-        assert!(q.is_empty());
+        assert_eq!(q.depth(), 0);
     }
 
     #[test]

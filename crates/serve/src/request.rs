@@ -574,6 +574,9 @@ pub fn build_explorer(ctx: &Context) -> Result<CarbonExplorer, RequestError> {
 pub struct ExplorerCache {
     inner: Mutex<Vec<(String, Arc<CarbonExplorer>)>>,
     capacity: usize,
+    /// Lock-free entry gauge mirroring `inner.len()`, so `/stats` (served
+    /// from inside the event loop) never touches the cache mutex.
+    entries: std::sync::atomic::AtomicUsize,
 }
 
 impl ExplorerCache {
@@ -582,6 +585,7 @@ impl ExplorerCache {
         Self {
             inner: Mutex::new(Vec::new()),
             capacity: capacity.max(1),
+            entries: std::sync::atomic::AtomicUsize::new(0),
         }
     }
 
@@ -611,21 +615,17 @@ impl ExplorerCache {
             if cache.len() > self.capacity {
                 cache.remove(0);
             }
+            self.entries
+                .store(cache.len(), std::sync::atomic::Ordering::Relaxed);
         }
         Ok(explorer)
     }
 
-    /// Number of cached explorers (a `/stats` gauge).
-    pub fn len(&self) -> usize {
-        self.inner
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .len()
-    }
-
-    /// `true` if no explorer is cached.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
+    /// Number of cached explorers (a `/stats` gauge). Reads an atomic
+    /// shadow of the locked length, so the event loop never contends on
+    /// the cache mutex to render stats.
+    pub fn entry_count(&self) -> usize {
+        self.entries.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 
@@ -964,13 +964,17 @@ mod tests {
             Arc::ptr_eq(&first, &second),
             "hit returns the same explorer"
         );
-        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.entry_count(), 1);
         let other = Context {
             seed: 8,
             ..ut.clone()
         };
         let _ = cache.get_or_build(&other).expect("builds");
-        assert_eq!(cache.len(), 1, "capacity 1 evicts the older context");
+        assert_eq!(
+            cache.entry_count(),
+            1,
+            "capacity 1 evicts the older context"
+        );
         let rebuilt = cache.get_or_build(&ut).expect("rebuilds");
         assert!(!Arc::ptr_eq(&first, &rebuilt), "evicted context rebuilds");
     }

@@ -393,7 +393,7 @@ pub(crate) fn worker_loop(shared: &Arc<Shared>, shard_index: usize) {
 /// Renders the `/stats` body: per-endpoint counters, whole-service
 /// gauges, and one object per shard with its event-loop counters.
 pub(crate) fn stats_json(shared: &Shared) -> Json {
-    let queue_depth: usize = shared.shards.iter().map(|s| s.queue.len()).sum();
+    let queue_depth: usize = shared.shards.iter().map(|s| s.queue.depth()).sum();
     let inflight: u64 = shared
         .shards
         .iter()
@@ -416,7 +416,10 @@ pub(crate) fn stats_json(shared: &Shared) -> Json {
         ),
         ("inflight_keys", inflight as f64),
         ("response_cache_entries", cache_entries as f64),
-        ("explorer_cache_entries", shared.explorers.len() as f64),
+        (
+            "explorer_cache_entries",
+            shared.explorers.entry_count() as f64,
+        ),
     ]);
     let shards = shared
         .shards
@@ -424,7 +427,7 @@ pub(crate) fn stats_json(shared: &Shared) -> Json {
         .map(|s| {
             s.stats.to_json(&[
                 ("connections", s.connections.load(Ordering::SeqCst) as f64),
-                ("queue_depth", s.queue.len() as f64),
+                ("queue_depth", s.queue.depth() as f64),
                 (
                     "inflight_keys",
                     s.inflight_keys.load(Ordering::SeqCst) as f64,

@@ -64,6 +64,9 @@ type Nfds = std::ffi::c_ulong;
 #[cfg(not(target_os = "linux"))]
 type Nfds = u32;
 
+// ce:safety(declaration only — binding poll(2) introduces no runtime
+// behavior; the signature matches the libc prototype, and soundness is
+// each call site's obligation)
 #[allow(unsafe_code)]
 mod ffi {
     extern "C" {
@@ -82,15 +85,22 @@ mod ffi {
 ///
 /// # Errors
 ///
-/// Any non-`EINTR` failure from the underlying call (`EINVAL` for an
+/// `InvalidInput` if the slice length does not fit the kernel's `nfds_t`,
+/// plus any non-`EINTR` failure from the underlying call (`EINVAL` for an
 /// oversized set, `ENOMEM`, …).
 pub fn poll(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    let nfds = Nfds::try_from(fds.len()).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "poll set exceeds the platform nfds_t range",
+        )
+    })?;
     loop {
-        // SAFETY: `fds` is a valid, exclusively borrowed slice of
-        // `repr(C)` pollfd-compatible structs, and the length passed is
-        // its true length; the kernel only writes `revents` within it.
+        // ce:safety(`fds` is a valid, exclusively borrowed slice of
+        // `repr(C)` pollfd-compatible structs, `nfds` is its checked true
+        // length, and the kernel only writes `revents` within it)
         #[allow(unsafe_code)]
-        let rc = unsafe { ffi::poll(fds.as_mut_ptr(), fds.len() as Nfds, timeout_ms) };
+        let rc = unsafe { ffi::poll(fds.as_mut_ptr(), nfds, timeout_ms) };
         if rc >= 0 {
             return Ok(rc as usize);
         }

@@ -37,6 +37,7 @@ pub fn days_in_year(year: i32) -> u32 {
 
 /// Number of hours in `year` (8760 or 8784).
 pub fn hours_in_year(year: i32) -> usize {
+    // ce:allow(cast, reason = "u32 day count widening into usize; every supported target is at least 32-bit")
     days_in_year(year) as usize * HOURS_PER_DAY
 }
 
@@ -50,7 +51,7 @@ pub fn days_in_month(year: i32, month: u8) -> u8 {
     if month == 2 && is_leap_year(year) {
         29
     } else {
-        DAYS_IN_MONTH[(month - 1) as usize]
+        DAYS_IN_MONTH[usize::from(month - 1)]
     }
 }
 
@@ -121,9 +122,9 @@ impl Date {
     pub fn day_of_year(&self) -> u32 {
         let mut doy = 0u32;
         for m in 1..self.month {
-            doy += days_in_month(self.year, m) as u32;
+            doy += u32::from(days_in_month(self.year, m));
         }
-        doy + self.day as u32
+        doy + u32::from(self.day)
     }
 
     /// Builds a date from a 1-based ordinal day of the year.
@@ -148,14 +149,14 @@ impl Date {
         let mut remaining = doy.max(1);
         let mut month = 1u8;
         while month < 12 {
-            let dim = days_in_month(year, month) as u32;
+            let dim = u32::from(days_in_month(year, month));
             if remaining <= dim {
                 break;
             }
             remaining -= dim;
             month += 1;
         }
-        let dim = days_in_month(year, month) as u32;
+        let dim = u32::from(days_in_month(year, month));
         Self {
             year,
             month,
@@ -240,7 +241,8 @@ impl Timestamp {
 
     /// Zero-based hour within the year (`0..hours_in_year(year)`).
     pub fn hour_of_year(&self) -> usize {
-        (self.date.day_of_year() as usize - 1) * HOURS_PER_DAY + self.hour as usize
+        // ce:allow(cast, reason = "u32 day ordinal widening into usize; every supported target is at least 32-bit")
+        (self.date.day_of_year() as usize - 1) * HOURS_PER_DAY + usize::from(self.hour)
     }
 
     /// Builds a timestamp from a zero-based hour of the year, rolling into
@@ -250,7 +252,9 @@ impl Timestamp {
             hour_of_year -= hours_in_year(year);
             year += 1;
         }
+        // ce:allow(cast, reason = "the loop above normalizes hour_of_year below 8784, so the day ordinal fits u32")
         let doy = (hour_of_year / HOURS_PER_DAY) as u32 + 1;
+        // ce:allow(cast, reason = "a residue modulo 24 always fits u8")
         let hour = (hour_of_year % HOURS_PER_DAY) as u8;
         Self {
             date: Date::from_day_of_year_clamped(year, doy),
