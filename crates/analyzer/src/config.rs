@@ -349,6 +349,10 @@ mod tests {
         assert!(is_deterministic("crates/core/src/explore.rs"));
         assert!(is_deterministic("crates/parallel/src/lib.rs"));
         assert!(is_deterministic("src/lib.rs"));
+        // Provenance records attest determinism, so the crate that mints
+        // them must itself be free of clocks, RNGs, and env reads.
+        assert!(is_deterministic("crates/manifest/src/manifest.rs"));
+        assert!(is_deterministic("crates/manifest/src/sha256.rs"));
         assert!(!is_deterministic("crates/serve/src/event.rs"));
         assert!(!is_deterministic("crates/bench/src/context.rs"));
     }

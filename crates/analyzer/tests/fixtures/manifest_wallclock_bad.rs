@@ -1,0 +1,23 @@
+//! Fixture: a provenance record stamped with wall-clock time (analyzed
+//! as `crates/manifest/src/fixture.rs`). A manifest attests a
+//! *deterministic* computation — stamping a creation time would make two
+//! runs of the same scenario emit different record bytes, breaking the
+//! content-address. `ce-manifest` carries no clock allowance, so the
+//! nondeterminism rule must reject this outright.
+
+use std::time::SystemTime;
+
+pub struct StampedRecord {
+    pub result_hash: String,
+    pub created_unix_secs: u64,
+}
+
+pub fn stamp(result_hash: String) -> StampedRecord {
+    let created_unix_secs = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map_or(0, |since| since.as_secs());
+    StampedRecord {
+        result_hash,
+        created_unix_secs,
+    }
+}

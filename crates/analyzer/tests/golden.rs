@@ -58,6 +58,14 @@ const CASES: &[Case] = &[
         dirty: true,
     },
     Case {
+        // Provenance records must not carry wall-clock stamps: the
+        // manifest crate is deterministic, so a `SystemTime::now`
+        // creation timestamp is rejected, not baselined.
+        stem: "manifest_wallclock_bad",
+        rel_path: "crates/manifest/src/fixture.rs",
+        dirty: true,
+    },
+    Case {
         stem: "raw_fd_bad",
         rel_path: "crates/core/src/fixture.rs",
         dirty: true,

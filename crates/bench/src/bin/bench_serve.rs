@@ -22,7 +22,12 @@
 //! the byte-for-byte response verification. `--check` parses an existing
 //! results file and fails unless every concurrency level is present with
 //! a plausible hot throughput, so CI catches a stale or hand-mangled
-//! file without re-running the benchmark.
+//! file without re-running the benchmark. The output also embeds a
+//! `ce-manifest` provenance record over the working set's evaluations
+//! (input hash over the canonical request keys, result hash over the
+//! evaluation bytes); `--check` re-derives both hashes on the current
+//! checkout and fails on any drift — timings are machine-specific, the
+//! manifest is not.
 //!
 //! Before timing anything, every response body is checked byte-for-byte
 //! against encoding the direct library call — the serving layer's
@@ -30,9 +35,12 @@
 //! anything. The JSON is hand-rolled (the vendored serde has no
 //! serde_json companion).
 
-use ce_core::EvalScratch;
+use ce_core::{provenance, EvalScratch, StrategyKind};
+use ce_datacenter::Fleet;
+use ce_manifest::{verify, Manifest, Recomputed};
 use ce_serve::{
-    build_explorer, execute, start, ComputeKind, ComputeRequest, Json, Limits, ServerConfig,
+    build_explorer, execute, manifest_from_json, start, ComputeKind, ComputeRequest, Json, Limits,
+    ServerConfig,
 };
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -277,36 +285,79 @@ fn phase_json(t: &PhaseTiming) -> String {
     )
 }
 
+/// The working set's library-derived ground truth: the byte-exact
+/// reference bodies every served response must match, plus a
+/// `ce-manifest` provenance record over the evaluations behind them.
+struct Reference {
+    bodies: Vec<String>,
+    manifest: Manifest,
+}
+
 /// Reference bytes for every working-set key, straight from the library:
-/// the contract every served response must match.
-fn reference_bodies(keys: usize) -> Vec<String> {
+/// the contract every served response must match. Alongside the bodies,
+/// builds the provenance manifest: input hash over the newline-joined
+/// canonical request keys (the server's cache identities), result hash
+/// over the evaluations in key order — both re-derivable bit-for-bit by
+/// `--check` on any checkout.
+fn reference(keys: usize) -> Reference {
     let limits = Limits::default();
     let mut scratch = EvalScratch::default();
     let mut explorer = None;
-    (0..keys)
-        .map(|i| {
-            let json = match Json::parse(&body(i)) {
-                Ok(json) => json,
-                Err(e) => die("request body", &e.to_string()),
-            };
-            let request = match ComputeRequest::parse(ComputeKind::Evaluate, &json, &limits) {
-                Ok(request) => request,
-                Err(e) => die("request parse", &e.message),
-            };
-            let explorer =
-                explorer.get_or_insert_with(|| match build_explorer(request.context()) {
-                    Ok(explorer) => explorer,
-                    Err(e) => die("explorer", &e.message),
-                });
-            execute(&request, explorer, &mut scratch).encode()
-        })
-        .collect()
+    let mut bodies = Vec::with_capacity(keys);
+    let mut canonical_keys = Vec::with_capacity(keys);
+    let mut evaluations = Vec::with_capacity(keys);
+    let mut scenario: Option<(i32, u64, StrategyKind)> = None;
+    for i in 0..keys {
+        let json = match Json::parse(&body(i)) {
+            Ok(json) => json,
+            Err(e) => die("request body", &e.to_string()),
+        };
+        let request = match ComputeRequest::parse(ComputeKind::Evaluate, &json, &limits) {
+            Ok(request) => request,
+            Err(e) => die("request parse", &e.message),
+        };
+        let explorer = explorer.get_or_insert_with(|| match build_explorer(request.context()) {
+            Ok(explorer) => explorer,
+            Err(e) => die("explorer", &e.message),
+        });
+        let ComputeRequest::Evaluate {
+            strategy, design, ..
+        } = &request
+        else {
+            die("request", "working-set bodies must be /evaluate requests");
+        };
+        let ctx = request.context();
+        scenario.get_or_insert((ctx.year, ctx.seed, *strategy));
+        evaluations.push(explorer.evaluate_with(*strategy, design, &mut scratch));
+        canonical_keys.push(request.canonical_key());
+        bodies.push(execute(&request, explorer, &mut scratch).encode());
+    }
+    let (year, seed, strategy) =
+        scenario.unwrap_or_else(|| die("reference", "working set is empty"));
+    let fleet = Fleet::meta_us();
+    let ba = fleet
+        .site("UT")
+        .unwrap_or_else(|| die("fleet", "site UT missing"));
+    let manifest = provenance::build_manifest(
+        "serve",
+        ba.ba().code(),
+        strategy.canonical_key(),
+        &[year],
+        &[seed],
+        &canonical_keys.join("\n"),
+        &evaluations,
+    );
+    Reference { bodies, manifest }
 }
 
 /// Runs cold + hot phases at every concurrency level. `hot_per_client`
-/// scales the hot phase (shrunk under `--smoke`).
-fn run_benchmark(hot_per_client: usize, keys: usize) -> Vec<(usize, PhaseTiming, PhaseTiming)> {
-    let expected = reference_bodies(keys);
+/// scales the hot phase (shrunk under `--smoke`); `expected` holds the
+/// library-derived reference body for each working-set key.
+fn run_benchmark(
+    hot_per_client: usize,
+    keys: usize,
+    expected: &[String],
+) -> Vec<(usize, PhaseTiming, PhaseTiming)> {
     let mut results = Vec::new();
     for concurrency in CONCURRENCY_LEVELS {
         // A fresh server per level: the cold phase must actually be cold.
@@ -327,14 +378,14 @@ fn run_benchmark(hot_per_client: usize, keys: usize) -> Vec<(usize, PhaseTiming,
         for key in 0..keys {
             cold_work[key % concurrency].push(key);
         }
-        let cold = run_closed_loop(addr, concurrency, &cold_work, &expected);
+        let cold = run_closed_loop(addr, concurrency, &cold_work, expected);
 
         // Hot: round-robin replay of the (now fully cached) working set,
         // pipelined so the event loop sees full read buffers.
         let hot_work: Vec<Vec<usize>> = (0..concurrency)
             .map(|c| (0..hot_per_client).map(|r| (c + r) % keys).collect())
             .collect();
-        let hot = run_pipelined(addr, concurrency, &hot_work, &expected, PIPELINE_DEPTH);
+        let hot = run_pipelined(addr, concurrency, &hot_work, expected, PIPELINE_DEPTH);
 
         eprintln!(
             "concurrency {concurrency}: cold p50 {} µs p99 {} µs ({:.0} req/s), hot p50 {} µs p99 {} µs ({:.0} req/s)",
@@ -346,7 +397,11 @@ fn run_benchmark(hot_per_client: usize, keys: usize) -> Vec<(usize, PhaseTiming,
     results
 }
 
-fn results_json(results: &[(usize, PhaseTiming, PhaseTiming)], hot_per_client: usize) -> String {
+fn results_json(
+    results: &[(usize, PhaseTiming, PhaseTiming)],
+    hot_per_client: usize,
+    manifest: &Manifest,
+) -> String {
     let entries: Vec<String> = results
         .iter()
         .map(|(concurrency, cold, hot)| {
@@ -362,7 +417,8 @@ fn results_json(results: &[(usize, PhaseTiming, PhaseTiming)], hot_per_client: u
         })
         .collect();
     format!(
-        "{{\n  \"benchmark\": \"serve_evaluate\",\n  \"workers\": 4,\n  \"pipeline_depth\": {PIPELINE_DEPTH},\n  \"distinct_keys\": {DISTINCT_KEYS},\n  \"hot_requests_per_client\": {hot_per_client},\n  \"prev\": \"prev_requests_per_sec is the thread-per-connection architecture's hot path on the same host class\",\n  \"determinism\": \"every response body byte-compared against the direct library encoding\",\n  \"levels\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"serve_evaluate\",\n  \"workers\": 4,\n  \"pipeline_depth\": {PIPELINE_DEPTH},\n  \"distinct_keys\": {DISTINCT_KEYS},\n  \"hot_requests_per_client\": {hot_per_client},\n  \"prev\": \"prev_requests_per_sec is the thread-per-connection architecture's hot path on the same host class\",\n  \"determinism\": \"every response body byte-compared against the direct library encoding\",\n  \"manifest_note\": \"manifest: ce-manifest provenance record over the working set's evaluations in key order; --check re-derives both hashes and fails on any drift\",\n  \"manifest\": {},\n  \"levels\": [\n{}\n  ]\n}}\n",
+        manifest.to_json(),
         entries.join(",\n")
     )
 }
@@ -412,7 +468,29 @@ fn check(path: &str) -> ! {
             die("check", &format!("c={want}: missing prev_requests_per_sec"));
         }
     }
-    println!("bench_serve --check: {path} ok");
+
+    // Provenance: lift the embedded manifest back into a typed record,
+    // check it is the canonical byte spelling, then re-derive the working
+    // set's evaluations and demand both hashes reproduce bit-for-bit.
+    // The timings above are machine-specific; the manifest is not.
+    let block = json
+        .get("manifest")
+        .unwrap_or_else(|| die("check", "missing manifest block"));
+    let manifest = match manifest_from_json(block) {
+        Ok(manifest) => manifest,
+        Err(e) => die("check", &e),
+    };
+    if block.encode() != manifest.to_json() {
+        die("check", "manifest block is not the canonical byte spelling");
+    }
+    let fresh = reference(DISTINCT_KEYS).manifest;
+    if let Err(e) = verify(&manifest, |_| Recomputed {
+        input_hash: fresh.input_hash.clone(),
+        result_hash: fresh.result_hash.clone(),
+    }) {
+        die("check", &format!("manifest: {e}"));
+    }
+    println!("bench_serve --check: {path} ok (schema + manifest re-derived)");
     std::process::exit(0);
 }
 
@@ -426,7 +504,8 @@ fn main() {
         Some("--smoke") => {
             // Small enough for CI, but both phases run and every response
             // is still byte-verified. Writes nothing.
-            let results = run_benchmark(64, 16);
+            let reference = reference(16);
+            let results = run_benchmark(64, 16, &reference.bodies);
             for (concurrency, _, hot) in &results {
                 if hot.requests == 0 {
                     die("smoke", &format!("no hot requests at c={concurrency}"));
@@ -441,8 +520,9 @@ fn main() {
         .first()
         .cloned()
         .unwrap_or_else(|| "BENCH_serve.json".to_string());
-    let results = run_benchmark(HOT_REQUESTS_PER_CLIENT, DISTINCT_KEYS);
-    let json = results_json(&results, HOT_REQUESTS_PER_CLIENT);
+    let reference = reference(DISTINCT_KEYS);
+    let results = run_benchmark(HOT_REQUESTS_PER_CLIENT, DISTINCT_KEYS, &reference.bodies);
+    let json = results_json(&results, HOT_REQUESTS_PER_CLIENT, &reference.manifest);
     if let Err(e) = std::fs::write(&out_path, &json) {
         die("write benchmark output", &e.to_string());
     }

@@ -14,24 +14,34 @@
 //!                                 # stage probes, schema self-check);
 //!                                 # default: target/BENCH_sweep_smoke.json
 //! bench_sweep --check [path]      # no timing: parse an existing output
-//!                                 # file and validate its schema
+//!                                 # file, validate its schema, and
+//!                                 # re-derive its provenance manifest
 //! ```
 //!
 //! The JSON is hand-rolled (the vendored serde has no serde_json
 //! companion); the schema is flat enough that `format!` is fine, and
 //! `--check` re-parses it with `ce-serve`'s `Json` parser so CI verifies
 //! the committed artifact stays machine-readable.
+//!
+//! Every output embeds a `ce-manifest` provenance record over the exact
+//! evaluations the correctness gate compared (every strategy's factorized
+//! sweep, in case order). Timings are machine-specific, but the
+//! *evaluations* are bitwise deterministic — so `--check` re-runs them and
+//! `ce_manifest::verify` fails the artifact if the committed result hash
+//! no longer reproduces on the current checkout.
 
 use ce_battery::{simulate_dispatch_stats, ClcBattery};
-use ce_core::{CarbonExplorer, DesignSpace, StrategyKind};
+use ce_core::{provenance, CarbonExplorer, DesignSpace, EvaluatedDesign, StrategyKind};
 use ce_datacenter::Fleet;
 use ce_grid::GridDataset;
+use ce_manifest::{verify, Manifest, Recomputed};
 use ce_scheduler::{
     combined_dispatch_stats, CasConfig, CombinedConfig, CombinedScratch, CostOrder,
     GreedyScheduler, ScheduleScratch,
 };
-use ce_serve::Json;
+use ce_serve::{manifest_from_json, Json};
 use ce_timeseries::kernels;
+use std::fmt::Write as _;
 use std::hint::black_box;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -311,13 +321,79 @@ fn cases(smoke: bool) -> [(StrategyKind, DesignSpace); 4] {
     }
 }
 
+/// The scenario behind every sweep timing and its provenance manifest:
+/// one site, one synthesized demand/weather year.
+const SITE: &str = "UT";
+const YEAR: i32 = 2020;
+const SEED: u64 = 7;
+
+/// Canonical spelling of the sweep scenario — site, synthesis year and
+/// seed, mode, and every strategy's grid axes with floats by IEEE-754 bit
+/// pattern (the same discipline `ce-serve` canonical keys use). Hashed
+/// into the manifest's `input_hash`.
+fn sweep_input_key(smoke: bool) -> String {
+    let mut key = format!(
+        "bench=design_space_sweep;site={SITE};year={YEAR};seed={SEED};mode={};",
+        if smoke { "smoke" } else { "full" }
+    );
+    for (strategy, space) in &cases(smoke) {
+        let _ = write!(key, "strategy={};", strategy.canonical_key());
+        for (axis, (lo, hi, steps)) in [
+            ("solar", space.solar),
+            ("wind", space.wind),
+            ("battery", space.battery),
+            ("extra_capacity", space.extra_capacity),
+        ] {
+            let _ = write!(
+                key,
+                "{axis}={:016x},{:016x},{steps};",
+                lo.to_bits(),
+                hi.to_bits()
+            );
+        }
+    }
+    key
+}
+
+/// The benchmark's fixed site, cloned out of the fleet. The single
+/// lookup `expect` lives here so both the timing run and the manifest
+/// derivation share one panic site.
+fn bench_site() -> ce_datacenter::DataCenterSite {
+    Fleet::meta_us().site(SITE).expect("site exists").clone()
+}
+
+/// Derives the sweep's provenance manifest from scratch: every strategy's
+/// factorized sweep on a fresh explorer, hashed in case order. The writer
+/// embeds this record in the output; `--check` recomputes it and demands
+/// bit-identical hashes via `ce_manifest::verify`.
+fn sweep_manifest(smoke: bool) -> Manifest {
+    let site = bench_site();
+    let explorer = CarbonExplorer::new(
+        site.demand_trace(YEAR, SEED),
+        GridDataset::synthesize(site.ba(), YEAR, SEED),
+    );
+    let evaluations: Vec<EvaluatedDesign> = cases(smoke)
+        .iter()
+        .flat_map(|(strategy, space)| explorer.explore(*strategy, space))
+        .collect();
+    provenance::build_manifest(
+        "sweep",
+        site.ba().code(),
+        "all",
+        &[YEAR],
+        &[SEED],
+        &sweep_input_key(smoke),
+        &evaluations,
+    )
+}
+
 fn run_bench(smoke: bool, out_path: &str) -> ExitCode {
     let iterations = if smoke { 1 } else { ITERATIONS };
     let stage_reps = if smoke { 4 } else { STAGE_REPS };
 
-    let site = Fleet::meta_us().site("UT").expect("UT exists").clone();
-    let grid = GridDataset::synthesize(site.ba(), 2020, 7);
-    let explorer = CarbonExplorer::new(site.demand_trace(2020, 7), grid);
+    let site = bench_site();
+    let grid = GridDataset::synthesize(site.ba(), YEAR, SEED);
+    let explorer = CarbonExplorer::new(site.demand_trace(YEAR, SEED), grid);
 
     // `explore_serial` of the PR 1 seed build (commit 80d1d44) on the
     // full grids, measured on the same machine with the same
@@ -390,10 +466,16 @@ fn run_bench(smoke: bool, out_path: &str) -> ExitCode {
         ));
     }
 
+    // Provenance record over the same evaluations the correctness gate
+    // compared. Timings above are machine-specific; this record is not —
+    // any checkout can re-derive it bit-for-bit.
+    let manifest = sweep_manifest(smoke);
+
     let json = format!(
-        "{{\n  \"benchmark\": \"design_space_sweep\",\n  \"mode\": \"{}\",\n  \"iterations\": {iterations},\n  \"threads\": {},\n  \"pr1_seed_note\": \"pr1_seed_us_per_point: explore_serial of the PR1 seed build (80d1d44) on the same grids and machine; static because those code paths no longer exist\",\n  \"prev_note\": \"prev_us_per_point: factorized µs/pt of the PR5 build (before the permutation cache and lane-chunked kernels) on the full grids and the same machine\",\n  \"stages_note\": \"stages: per-call µs of each pipeline stage probed on the grid's central design point with the supply (and for CAS the cost order) prebuilt; fused arms report one stage, and stage sums need not match us_per_point\",\n  \"strategies\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"design_space_sweep\",\n  \"mode\": \"{}\",\n  \"iterations\": {iterations},\n  \"threads\": {},\n  \"pr1_seed_note\": \"pr1_seed_us_per_point: explore_serial of the PR1 seed build (80d1d44) on the same grids and machine; static because those code paths no longer exist\",\n  \"prev_note\": \"prev_us_per_point: factorized µs/pt of the PR5 build (before the permutation cache and lane-chunked kernels) on the full grids and the same machine\",\n  \"stages_note\": \"stages: per-call µs of each pipeline stage probed on the grid's central design point with the supply (and for CAS the cost order) prebuilt; fused arms report one stage, and stage sums need not match us_per_point\",\n  \"manifest_note\": \"manifest: ce-manifest provenance record over every strategy's factorized sweep in case order; --check re-derives both hashes and fails on any drift\",\n  \"manifest\": {},\n  \"strategies\": [\n{}\n  ]\n}}\n",
         if smoke { "smoke" } else { "full" },
         ce_parallel::max_threads(),
+        manifest.to_json(),
         entries.join(",\n")
     );
     std::fs::write(out_path, &json).expect("write benchmark output");
@@ -439,7 +521,7 @@ fn check_schema(path: &str) -> ExitCode {
             errors.push(format!("{key}: missing or < 1"));
         }
     }
-    for key in ["pr1_seed_note", "prev_note", "stages_note"] {
+    for key in ["pr1_seed_note", "prev_note", "stages_note", "manifest_note"] {
         if root.get(key).and_then(Json::as_str).is_none() {
             errors.push(format!("{key}: missing"));
         }
@@ -517,9 +599,36 @@ fn check_schema(path: &str) -> ExitCode {
         }
     }
 
+    // Provenance: lift the embedded manifest back into a typed record,
+    // check it is the canonical byte spelling, then re-run the sweep
+    // evaluations and demand both hashes reproduce bit-for-bit. The
+    // code fingerprint is deliberately not compared (a changed checkout
+    // legitimately re-fingerprints); the data hashes are load-bearing.
+    let smoke = root.get("mode").and_then(Json::as_str) == Some("smoke");
+    match root.get("manifest") {
+        None => errors.push("manifest: missing".to_string()),
+        Some(block) => match manifest_from_json(block) {
+            Err(e) => errors.push(e),
+            Ok(manifest) => {
+                if block.encode() != manifest.to_json() {
+                    errors.push(
+                        "manifest: embedded block is not the canonical byte spelling".to_string(),
+                    );
+                }
+                let fresh = sweep_manifest(smoke);
+                if let Err(e) = verify(&manifest, |_| Recomputed {
+                    input_hash: fresh.input_hash.clone(),
+                    result_hash: fresh.result_hash.clone(),
+                }) {
+                    errors.push(format!("manifest: {e}"));
+                }
+            }
+        },
+    }
+
     if errors.is_empty() {
         println!(
-            "{path}: schema ok ({} strategies, mode {})",
+            "{path}: schema ok, manifest re-derived ({} strategies, mode {})",
             strategies.len(),
             root.get("mode").and_then(Json::as_str).unwrap_or("full"),
         );

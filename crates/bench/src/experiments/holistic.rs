@@ -5,8 +5,11 @@ use crate::context::{Context, Fidelity, SEED, YEAR};
 use crate::experiments::design::cas_gain_at_meta_investment;
 use ce_battery::{simulate_dispatch, ClcBattery};
 use ce_core::report::{render_table, sparkline};
-use ce_core::{DesignSpace, ParetoFrontier, StrategyKind};
+use ce_core::{
+    provenance, CarbonExplorer, DesignSpace, EnsembleSpec, ParetoFrontier, StrategyKind,
+};
 use ce_datacenter::DataCenterSite;
+use ce_grid::GridDataset;
 use std::fmt::Write as _;
 
 /// The exploration grid for a site at a given fidelity.
@@ -149,6 +152,124 @@ pub fn fig15(ctx: &mut Context) -> String {
         "NE", "OR", "UT", "NM", "TX", "IL", "VA", "OH", "NC", "IA", "GA", "TN", "AL",
     ];
     fig15_for_sites(ctx, &states)
+}
+
+/// Weather-year count in the `fig15-ensemble` robustness study.
+pub const FIG15_ENSEMBLE_MEMBERS: usize = 7;
+
+/// `fig15-ensemble` for a chosen subset of sites: each strategy's
+/// carbon-optimal design, found on the canonical seed, is frozen and
+/// re-scored across [`FIG15_ENSEMBLE_MEMBERS`] independently seeded
+/// weather years. The coverage and total-carbon spreads bound how much
+/// of a Fig. 15 number is the luck of one weather draw; each row carries
+/// the content address (result hash) of the ensemble's provenance
+/// manifest, whose input key names every member grid by its lineage.
+pub fn fig15_ensemble_for_sites(ctx: &mut Context, states: &[&str]) -> String {
+    let members = u64::try_from(FIG15_ENSEMBLE_MEMBERS).unwrap_or(u64::MAX);
+    let mut out = format!(
+        "Fig. 15 ensemble: carbon-optimal designs re-scored across {} seeded weather years (seeds {}..{})\n\n",
+        FIG15_ENSEMBLE_MEMBERS,
+        SEED,
+        SEED.wrapping_add(members)
+    );
+    let headers = [
+        "site",
+        "strategy",
+        "cov@7",
+        "cov min/mean/max",
+        "t/MW min~max (mean)",
+        "manifest",
+    ];
+    let refine_rounds = ctx.fidelity.refine_rounds();
+    let inputs: Vec<_> = states
+        .iter()
+        .map(|state| {
+            let site = ctx.site(state);
+            let explorer = ctx.explorer(state);
+            let space = space_for(&site, ctx.fidelity);
+            (state.to_string(), site, explorer, space)
+        })
+        .collect();
+    let site_rows = ce_parallel::par_map(&inputs, |(state, site, explorer, space)| {
+        let avg = site.avg_power_mw();
+        let spec = EnsembleSpec::consecutive(YEAR, SEED, FIG15_ENSEMBLE_MEMBERS);
+        // One synthesis per member year, shared across strategies; the
+        // lineage keys also name each member in the manifests' input keys.
+        let grids: Vec<GridDataset> = spec
+            .seeds
+            .iter()
+            .map(|&seed| GridDataset::synthesize(site.ba(), YEAR, seed))
+            .collect();
+        let mut lineage = String::new();
+        for grid in &grids {
+            lineage.push_str(&grid.lineage_key());
+        }
+        let build = |seed: u64| {
+            let grid = grids
+                .iter()
+                .find(|g| g.seed() == seed)
+                .cloned()
+                .unwrap_or_else(|| GridDataset::synthesize(site.ba(), YEAR, seed));
+            CarbonExplorer::new(site.demand_trace(YEAR, seed), grid)
+        };
+        StrategyKind::ALL
+            .iter()
+            .filter_map(|&strategy| {
+                let best = explorer.optimal_refined(strategy, space, refine_rounds)?;
+                let result = spec.evaluate(strategy, &best.design, build);
+                let cov = result.coverage_spread()?;
+                let tons = result.total_tons_spread()?;
+                let mut input_key = format!(
+                    "experiment=fig15-ensemble;site={state};{lineage}strategy={};",
+                    strategy.canonical_key()
+                );
+                for (name, value) in [
+                    ("solar_mw", best.design.solar_mw),
+                    ("wind_mw", best.design.wind_mw),
+                    ("battery_mwh", best.design.battery_mwh),
+                    (
+                        "extra_capacity_fraction",
+                        best.design.extra_capacity_fraction,
+                    ),
+                ] {
+                    let _ = write!(input_key, "{name}={:016x};", value.to_bits());
+                }
+                let manifest = provenance::ensemble_manifest(site.ba().code(), &input_key, &result);
+                Some(vec![
+                    state.clone(),
+                    strategy.label().to_string(),
+                    format!("{:.1}%", best.coverage.percent()),
+                    format!(
+                        "{:.1}/{:.1}/{:.1}%",
+                        cov.min * 100.0,
+                        cov.mean * 100.0,
+                        cov.max * 100.0
+                    ),
+                    format!(
+                        "{:.0}~{:.0} ({:.0})",
+                        tons.min / avg,
+                        tons.max / avg,
+                        tons.mean / avg
+                    ),
+                    manifest.address().chars().take(12).collect::<String>(),
+                ])
+            })
+            .collect::<Vec<_>>()
+    });
+    let rows: Vec<Vec<String>> = site_rows.into_iter().flatten().collect();
+    out.push_str(&render_table(&headers, &rows));
+    out.push_str(
+        "\ncov@7 is the canonical-seed coverage Fig. 15 reports; the spread across\n\
+         weather years bounds its seed sensitivity. \"manifest\" is the first 12 hex\n\
+         digits of each ensemble's content address — re-running this experiment on\n\
+         any checkout must reproduce these digits exactly.\n",
+    );
+    out
+}
+
+/// `fig15-ensemble`: the three Fig. 14 representative regions.
+pub fn fig15_ensemble(ctx: &mut Context) -> String {
+    fig15_ensemble_for_sites(ctx, &["OR", "NC", "UT"])
 }
 
 /// Figure 16: battery charge-level distribution at the carbon-optimal
@@ -338,6 +459,28 @@ mod tests {
         let out = fig15_for_sites(&mut ctx(), &["UT", "NC"]);
         assert_eq!(out.matches("Renewables Only").count(), 2);
         assert_eq!(out.matches("Renewables + Battery + CAS").count(), 2);
+    }
+
+    #[test]
+    fn fig15_ensemble_rows_carry_spreads_and_addresses() {
+        let out = fig15_ensemble_for_sites(&mut ctx(), &["UT"]);
+        // One row per strategy, each with a 12-hex-digit manifest address.
+        assert_eq!(out.matches("Renewables Only").count(), 1);
+        assert_eq!(out.matches("Renewables + Battery + CAS").count(), 1);
+        let addresses: Vec<&str> = out
+            .lines()
+            .filter(|l| l.starts_with("UT"))
+            .filter_map(|l| l.split_whitespace().last())
+            .collect();
+        assert_eq!(addresses.len(), StrategyKind::ALL.len());
+        for addr in &addresses {
+            assert_eq!(addr.len(), 12, "short content address: {addr}");
+            assert!(addr.chars().all(|c| c.is_ascii_hexdigit()));
+        }
+        // Content addressing: the same scenario must reproduce the same
+        // addresses bit-for-bit on a second run.
+        let again = fig15_ensemble_for_sites(&mut ctx(), &["UT"]);
+        assert_eq!(out, again);
     }
 
     #[test]

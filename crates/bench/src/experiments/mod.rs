@@ -10,7 +10,7 @@ use crate::context::Context;
 
 /// Every experiment id: the paper's artifacts in paper order, followed by
 /// this reproduction's extension/ablation studies.
-pub const ALL_IDS: [&str; 25] = [
+pub const ALL_IDS: [&str; 26] = [
     "table1",
     "table2",
     "fig1",
@@ -26,6 +26,7 @@ pub const ALL_IDS: [&str; 25] = [
     "fig12",
     "fig14",
     "fig15",
+    "fig15-ensemble",
     "fig16",
     "dod",
     "cas",
@@ -56,6 +57,7 @@ pub fn run(id: &str, ctx: &mut Context) -> Option<String> {
         "fig12" => design::fig12(ctx),
         "fig14" => holistic::fig14(ctx),
         "fig15" => holistic::fig15(ctx),
+        "fig15-ensemble" => holistic::fig15_ensemble(ctx),
         "fig16" => holistic::fig16(ctx),
         "dod" => holistic::dod_study(ctx),
         "cas" => holistic::cas_study(ctx),

@@ -45,8 +45,10 @@
 pub mod accounting;
 pub mod coverage;
 pub mod design;
+pub mod ensemble;
 pub mod explore;
 pub mod pareto;
+pub mod provenance;
 pub mod report;
 pub mod scenario;
 pub mod seasonal;
@@ -55,6 +57,7 @@ pub mod sensitivity;
 pub use accounting::{match_credits, MatchingGranularity, MatchingReport};
 pub use coverage::{renewable_coverage, Coverage};
 pub use design::{DesignPoint, DesignSpace, StrategyKind};
+pub use ensemble::{EnsembleResult, EnsembleSpec, Spread};
 pub use explore::{CarbonExplorer, EvalScratch, EvaluatedDesign};
 pub use pareto::ParetoFrontier;
 pub use scenario::Scenario;

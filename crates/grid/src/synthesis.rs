@@ -24,6 +24,7 @@ use rand::{Rng, SeedableRng};
 pub struct GridDataset {
     ba: BalancingAuthority,
     year: i32,
+    seed: u64,
     fuels: Vec<(FuelType, HourlySeries)>,
     demand: HourlySeries,
 }
@@ -92,6 +93,7 @@ impl GridDataset {
         Self {
             ba,
             year,
+            seed,
             fuels,
             demand,
         }
@@ -105,6 +107,25 @@ impl GridDataset {
     /// The calendar year synthesized.
     pub fn year(&self) -> i32 {
         self.year
+    }
+
+    /// The seed of the synthetic weather streams. Together with
+    /// [`GridDataset::ba`] and [`GridDataset::year`] it reconstructs this
+    /// dataset exactly — one seed is one synthetic weather year.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The dataset's canonical lineage spelling,
+    /// `ba=<code>;year=<year>;seed=<seed>;` — the input-key fragment
+    /// provenance manifests hash to identify the grid a result came from.
+    pub fn lineage_key(&self) -> String {
+        format!(
+            "ba={};year={};seed={};",
+            self.ba.code(),
+            self.year,
+            self.seed
+        )
     }
 
     /// Hourly generation for one fuel, if present on this grid.

@@ -1,0 +1,96 @@
+//! Computes the workspace code fingerprint at build time.
+//!
+//! Every manifest records which code produced its numbers. The
+//! fingerprint is a SHA-256 over every Rust source file in the workspace
+//! (`crates/*/src/**/*.rs` plus the facade's `src/`), each absorbed as
+//! `path NUL contents NUL` in sorted path order with `/` separators — a
+//! pure function of the checkout, never of wall-clock time or build
+//! environment, so rebuilding the same sources always stamps the same
+//! fingerprint.
+//!
+//! The hasher is the crate's own `src/sha256.rs`, `include!`d below: that
+//! file is self-contained precisely so it can run here, before the crate
+//! itself exists.
+
+include!("src/sha256.rs");
+
+use std::env;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Collects workspace-relative (`/`-separated) paths of `.rs` files under
+/// `dir`, recursively.
+fn walk_rs(root: &Path, dir: &Path, out: &mut Vec<String>) {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) => panic!("cannot read {}: {e}", dir.display()),
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            walk_rs(root, &path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("walked path is under the workspace root")
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+}
+
+fn main() {
+    let manifest_dir = PathBuf::from(env::var("CARGO_MANIFEST_DIR").expect("cargo sets this"));
+    let root = manifest_dir
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/manifest sits two levels below the workspace root")
+        .to_path_buf();
+
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
+        .expect("workspace crates/ directory exists")
+        .flatten()
+        .map(|e| e.path())
+        .collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            walk_rs(&root, &src, &mut files);
+            // Directory-level triggers catch files added or removed;
+            // file-level ones below catch edits.
+            println!("cargo:rerun-if-changed={}", src.display());
+        }
+    }
+    let facade_src = root.join("src");
+    if facade_src.is_dir() {
+        walk_rs(&root, &facade_src, &mut files);
+        println!("cargo:rerun-if-changed={}", facade_src.display());
+    }
+    files.sort();
+
+    let mut hasher = Sha256::new();
+    hasher.update(b"ce-code-fingerprint/v1\n");
+    for rel in &files {
+        let contents = fs::read(root.join(rel))
+            .unwrap_or_else(|e| panic!("cannot read source file {rel}: {e}"));
+        hasher.update(rel.as_bytes());
+        hasher.update(b"\0");
+        hasher.update(&contents);
+        hasher.update(b"\0");
+        println!("cargo:rerun-if-changed={}", root.join(rel).display());
+    }
+    let hex = hasher.finalize().to_hex();
+
+    let out_dir = PathBuf::from(env::var("OUT_DIR").expect("cargo sets OUT_DIR"));
+    let generated = format!(
+        "/// SHA-256 over every workspace source file (sorted `path NUL \
+         contents NUL` runs), computed by `build.rs` — a pure function of \
+         the checkout, never of build time or environment.\n\
+         pub const CODE_FINGERPRINT: &str = \"{hex}\";\n"
+    );
+    fs::write(out_dir.join("fingerprint.rs"), generated).expect("OUT_DIR is writable");
+}

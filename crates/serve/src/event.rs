@@ -771,6 +771,29 @@ impl Loop {
                 let body = Arc::clone(&self.shared.scenarios);
                 self.respond_ok(slot, Endpoint::Scenarios, &body, now);
             }
+            Target::Manifest => {
+                self.shared
+                    .metrics
+                    .endpoint(Endpoint::Manifest)
+                    .requests
+                    .fetch_add(1, Ordering::Relaxed);
+                let found = head
+                    .manifest_hash
+                    .as_deref()
+                    .and_then(|hash| self.shared.manifests.get(hash));
+                match found {
+                    Some(body) => {
+                        self.respond_with(slot, Some(Endpoint::Manifest), 200, &[], &body, now);
+                    }
+                    None => self.respond_status(
+                        slot,
+                        Endpoint::Manifest,
+                        404,
+                        "no manifest registered under that result hash",
+                        now,
+                    ),
+                }
+            }
             Target::Evaluate | Target::Explore | Target::Optimal => {
                 if let Some((kind, endpoint)) = kind_endpoint(target) {
                     self.compute(slot, kind, endpoint, now);

@@ -39,6 +39,9 @@ pub enum Target {
     Stats,
     /// `GET /scenarios`.
     Scenarios,
+    /// `GET /manifest/<result_hash>` (the hash travels in
+    /// [`Head::manifest_hash`]).
+    Manifest,
     /// `POST /evaluate`.
     Evaluate,
     /// `POST /explore`.
@@ -51,7 +54,7 @@ impl Target {
     /// The method this path serves.
     pub fn method(self) -> Method {
         match self {
-            Target::Healthz | Target::Stats | Target::Scenarios => Method::Get,
+            Target::Healthz | Target::Stats | Target::Scenarios | Target::Manifest => Method::Get,
             Target::Evaluate | Target::Explore | Target::Optimal => Method::Post,
         }
     }
@@ -82,6 +85,9 @@ pub struct Head {
     pub content_length: usize,
     /// Bytes the head occupied, including the `\r\n\r\n` terminator.
     pub head_len: usize,
+    /// The `<result_hash>` path segment of a [`Target::Manifest`]
+    /// request; `None` for every other target.
+    pub manifest_hash: Option<String>,
 }
 
 /// Searches `buf[*scan..]` for the `\r\n\r\n` head terminator, returning
@@ -147,12 +153,21 @@ pub fn parse_head(head_bytes: &[u8]) -> Result<Head, (u16, &'static str)> {
             }
         }
     }
+    // `/manifest/<hash>` is the one dynamic route: the trailing segment
+    // is a content address, not an enumerable path.
+    let (target, manifest_hash) = match path.strip_prefix("/manifest/") {
+        Some(hash) if !hash.is_empty() && !hash.contains('/') => {
+            (Some(Target::Manifest), Some(hash.to_string()))
+        }
+        _ => (Target::from_path(path), None),
+    };
     Ok(Head {
         method,
-        target: Target::from_path(path),
+        target,
         keep_alive,
         content_length,
         head_len,
+        manifest_hash,
     })
 }
 
@@ -298,6 +313,27 @@ mod tests {
         let head = parse_head(b"PUT /nope HTTP/1.1\r\n\r\n").expect("parses");
         assert_eq!(head.method, Method::Other);
         assert_eq!(head.target, None);
+    }
+
+    #[test]
+    fn manifest_route_captures_the_hash_segment() {
+        let head = parse_head(b"GET /manifest/ab12cd HTTP/1.1\r\n\r\n").expect("parses");
+        assert_eq!(head.target, Some(Target::Manifest));
+        assert_eq!(head.manifest_hash.as_deref(), Some("ab12cd"));
+        assert_eq!(Target::Manifest.method(), Method::Get);
+        // Bare, empty, and nested paths are not the manifest route.
+        for path in [
+            &b"GET /manifest HTTP/1.1\r\n\r\n"[..],
+            b"GET /manifest/ HTTP/1.1\r\n\r\n",
+            b"GET /manifest/a/b HTTP/1.1\r\n\r\n",
+        ] {
+            let head = parse_head(path).expect("parses");
+            assert_eq!(head.target, None, "{}", String::from_utf8_lossy(path));
+            assert_eq!(head.manifest_hash, None);
+        }
+        // Query strings are stripped before routing, like every route.
+        let head = parse_head(b"GET /manifest/ff00?pretty=1 HTTP/1.1\r\n\r\n").expect("parses");
+        assert_eq!(head.manifest_hash.as_deref(), Some("ff00"));
     }
 
     #[test]

@@ -22,9 +22,15 @@
 //! | `GET /healthz` | — | liveness (never queued) |
 //! | `GET /stats` | — | counters, gauges, latency quantiles |
 //! | `GET /scenarios` | — | scenario + strategy wire keys |
+//! | `GET /manifest/<hash>` | — | the provenance manifest registered under a result hash |
 //!
 //! A *context* is `{"site": "UT"}` or `{"ba": "PACE", "demand_mw": 25}`,
 //! plus optional `year` (default 2020) and `seed` (default 7).
+//! `/evaluate` and `/explore` accept an optional `"manifest": true`,
+//! which appends a [`ce_manifest::Manifest`] block to the response —
+//! seed, year, balancing authority, strategy, code fingerprint, and the
+//! canonical input/result hashes — and registers it for content-addressed
+//! lookup at `GET /manifest/<result_hash>`.
 //!
 //! # Determinism contract
 //!
@@ -78,7 +84,8 @@ pub mod sys;
 
 pub use json::{Json, JsonError};
 pub use request::{
-    build_explorer, evaluation_json, execute, scenarios_json, ComputeKind, ComputeRequest, Context,
-    DemandSource, ExplorerCache, Limits, RequestError,
+    build_explorer, evaluation_json, execute, execute_with_manifest, manifest_from_json,
+    manifest_json, request_manifest, scenarios_json, ComputeKind, ComputeRequest, Context,
+    DemandSource, ExplorerCache, Limits, ManifestStore, RequestError,
 };
 pub use server::{start, ServerConfig, ServerHandle};

@@ -34,17 +34,20 @@ pub enum Endpoint {
     Stats,
     /// `GET /scenarios` — supply scenarios and strategies.
     Scenarios,
+    /// `GET /manifest/<hash>` — content-addressed provenance lookup.
+    Manifest,
 }
 
 impl Endpoint {
     /// All endpoints, in `/stats` reporting order.
-    pub const ALL: [Endpoint; 6] = [
+    pub const ALL: [Endpoint; 7] = [
         Endpoint::Evaluate,
         Endpoint::Explore,
         Endpoint::Optimal,
         Endpoint::Healthz,
         Endpoint::Stats,
         Endpoint::Scenarios,
+        Endpoint::Manifest,
     ];
 
     /// The stats-object field name for this endpoint.
@@ -56,6 +59,7 @@ impl Endpoint {
             Endpoint::Healthz => "healthz",
             Endpoint::Stats => "stats",
             Endpoint::Scenarios => "scenarios",
+            Endpoint::Manifest => "manifest",
         }
     }
 }

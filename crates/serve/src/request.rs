@@ -25,11 +25,13 @@
 
 use crate::json::Json;
 use crate::metrics::Endpoint;
+use ce_core::provenance;
 use ce_core::{
     CarbonExplorer, DesignPoint, DesignSpace, EvalScratch, EvaluatedDesign, Scenario, StrategyKind,
 };
 use ce_datacenter::Fleet;
 use ce_grid::{BalancingAuthority, GridDataset};
+use ce_manifest::Manifest;
 use ce_timeseries::HourlySeries;
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex, PoisonError};
@@ -156,6 +158,8 @@ pub enum ComputeRequest {
         strategy: StrategyKind,
         /// The design point.
         design: DesignPoint,
+        /// Attach a provenance manifest to the response.
+        manifest: bool,
     },
     /// Sweep a design space, returning every evaluation.
     Explore {
@@ -165,6 +169,8 @@ pub enum ComputeRequest {
         strategy: StrategyKind,
         /// The (unrestricted) design space.
         space: DesignSpace,
+        /// Attach a provenance manifest to the response.
+        manifest: bool,
     },
     /// Find the carbon-optimal design in a space.
     Optimal {
@@ -195,18 +201,22 @@ impl ComputeRequest {
         match kind {
             ComputeKind::Evaluate => {
                 let design = parse_design(body)?;
+                let manifest = parse_manifest_flag(body)?;
                 Ok(ComputeRequest::Evaluate {
                     ctx,
                     strategy,
                     design,
+                    manifest,
                 })
             }
             ComputeKind::Explore => {
                 let space = parse_space(body, strategy, limits)?;
+                let manifest = parse_manifest_flag(body)?;
                 Ok(ComputeRequest::Explore {
                     ctx,
                     strategy,
                     space,
+                    manifest,
                 })
             }
             ComputeKind::Optimal => {
@@ -276,6 +286,26 @@ impl ComputeRequest {
         }
     }
 
+    /// The strategy this request evaluates under.
+    pub fn strategy(&self) -> StrategyKind {
+        match self {
+            ComputeRequest::Evaluate { strategy, .. }
+            | ComputeRequest::Explore { strategy, .. }
+            | ComputeRequest::Optimal { strategy, .. } => *strategy,
+        }
+    }
+
+    /// Whether this request asked for a provenance manifest. The flag is
+    /// part of the canonical key: a manifest-bearing response has
+    /// different bytes, so it must be a different cache identity.
+    pub fn wants_manifest(&self) -> bool {
+        match self {
+            ComputeRequest::Evaluate { manifest, .. }
+            | ComputeRequest::Explore { manifest, .. } => *manifest,
+            ComputeRequest::Optimal { .. } => false,
+        }
+    }
+
     /// The canonical scenario key of this request (see the module docs).
     pub fn canonical_key(&self) -> String {
         let mut key = String::new();
@@ -284,6 +314,7 @@ impl ComputeRequest {
                 ctx,
                 strategy,
                 design,
+                manifest,
             } => {
                 key.push_str("evaluate;");
                 key.push_str(&ctx.canonical_key());
@@ -292,16 +323,23 @@ impl ComputeRequest {
                 push_bits(&mut key, "wind", design.wind_mw);
                 push_bits(&mut key, "battery", design.battery_mwh);
                 push_bits(&mut key, "extra", design.extra_capacity_fraction);
+                if *manifest {
+                    key.push_str("manifest=1;");
+                }
             }
             ComputeRequest::Explore {
                 ctx,
                 strategy,
                 space,
+                manifest,
             } => {
                 key.push_str("explore;");
                 key.push_str(&ctx.canonical_key());
                 let _ = write!(key, "strategy={};", strategy.canonical_key());
                 push_space(&mut key, space);
+                if *manifest {
+                    key.push_str("manifest=1;");
+                }
             }
             ComputeRequest::Optimal {
                 ctx,
@@ -355,6 +393,16 @@ fn as_index(v: &Json) -> Option<usize> {
 
 fn as_finite(v: &Json) -> Option<f64> {
     v.as_f64().filter(|n| n.is_finite())
+}
+
+/// Reads the optional `manifest` opt-in flag (absent means `false`).
+fn parse_manifest_flag(body: &Json) -> Result<bool, RequestError> {
+    match body.get("manifest") {
+        None => Ok(false),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| RequestError::bad("`manifest` must be a boolean")),
+    }
 }
 
 fn parse_context(body: &Json) -> Result<Context, RequestError> {
@@ -629,6 +677,62 @@ impl ExplorerCache {
     }
 }
 
+/// A bounded registry of served manifests, content-addressed by result
+/// hash: `GET /manifest/<result_hash>` answers from here. Workers insert
+/// after computing a manifest-bearing response; the event loop looks up
+/// inline. Insertion order is eviction order (FIFO) — a manifest is a
+/// tiny immutable record, so recency tracking buys nothing.
+pub struct ManifestStore {
+    inner: Mutex<Vec<(Arc<str>, Arc<str>)>>,
+    capacity: usize,
+    /// Lock-free entry gauge mirroring `inner.len()` for `/stats`.
+    entries: std::sync::atomic::AtomicUsize,
+}
+
+impl ManifestStore {
+    /// Creates a store holding at most `capacity` manifests (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Vec::new()),
+            capacity: capacity.max(1),
+            entries: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Registers a manifest body under its result hash. Re-registering an
+    /// existing hash is a no-op: content addressing means the body is
+    /// already byte-identical.
+    pub fn insert(&self, result_hash: &str, body: Arc<str>) {
+        // ce:allow(blocking, reason = "one push under a lock readers hold for a bounded scan; only workers insert")
+        let mut store = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if store.iter().any(|(hash, _)| hash.as_ref() == result_hash) {
+            return;
+        }
+        store.push((Arc::from(result_hash), body));
+        if store.len() > self.capacity {
+            store.remove(0);
+        }
+        self.entries
+            .store(store.len(), std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The manifest body registered under `result_hash`, if any.
+    pub fn get(&self, result_hash: &str) -> Option<Arc<str>> {
+        // ce:allow(blocking, reason = "bounded scan of a small vector; writers hold the lock for one push")
+        let store = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        store
+            .iter()
+            .find(|(hash, _)| hash.as_ref() == result_hash)
+            .map(|(_, body)| Arc::clone(body))
+    }
+
+    /// Number of registered manifests (a `/stats` gauge); reads the
+    /// atomic shadow, never the lock.
+    pub fn entry_count(&self) -> usize {
+        self.entries.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
 /// Renders one evaluation as the wire object: the strategy's canonical
 /// key, the design point, and every [`EvaluatedDesign::canonical_fields`]
 /// metric in its pinned order.
@@ -652,8 +756,152 @@ pub fn evaluation_json(eval: &EvaluatedDesign) -> Json {
     Json::obj(fields)
 }
 
+/// The balancing authority a context's grid data is synthesized for —
+/// the `ba` field stamped into provenance manifests.
+fn ba_code(ctx: &Context) -> String {
+    match &ctx.source {
+        DemandSource::Site(state) => Fleet::meta_us()
+            .site(state)
+            .map(|site| site.ba().code().to_string())
+            .unwrap_or_else(|| state.clone()),
+        DemandSource::Constant { ba, .. } => ba.code().to_string(),
+    }
+}
+
+/// The manifest `kind` string for a request's wire kind.
+fn manifest_kind(kind: ComputeKind) -> &'static str {
+    match kind {
+        ComputeKind::Evaluate => "evaluate",
+        ComputeKind::Explore => "explore",
+        ComputeKind::Optimal => "optimal",
+    }
+}
+
+/// Assembles the provenance manifest for a request whose evaluations are
+/// in hand (the buffered paths). The input hash covers the request's
+/// canonical key — the same string that is the cache/coalescing identity.
+pub fn request_manifest(req: &ComputeRequest, evaluations: &[EvaluatedDesign]) -> Manifest {
+    let ctx = req.context();
+    provenance::build_manifest(
+        manifest_kind(req.kind()),
+        &ba_code(ctx),
+        req.strategy().canonical_key(),
+        &[ctx.year],
+        &[ctx.seed],
+        &req.canonical_key(),
+        evaluations,
+    )
+}
+
+/// Assembles the provenance manifest for a streamed `/explore` sweep from
+/// the result digest a [`provenance::ResultHasher`] accumulated while the
+/// groups went out. Produces bytes identical to [`request_manifest`] over
+/// the same evaluations.
+pub fn streamed_explore_manifest(req: &ComputeRequest, result_hash: String) -> Manifest {
+    let ctx = req.context();
+    provenance::manifest_with_result_hash(
+        manifest_kind(req.kind()),
+        &ba_code(ctx),
+        req.strategy().canonical_key(),
+        &[ctx.year],
+        &[ctx.seed],
+        &req.canonical_key(),
+        result_hash,
+    )
+}
+
+/// Renders a manifest as its wire object. Field order and spelling are
+/// pinned to match [`Manifest::to_json`] byte-for-byte, so the inline
+/// `manifest` block, the `GET /manifest/<hash>` body, and the manifests
+/// committed in benchmark files are all the same bytes.
+pub fn manifest_json(manifest: &Manifest) -> Json {
+    Json::obj(vec![
+        ("schema", Json::Num(f64::from(manifest.schema))),
+        ("kind", Json::string(manifest.kind.as_str())),
+        ("ba", Json::string(manifest.ba.as_str())),
+        ("strategy", Json::string(manifest.strategy.as_str())),
+        (
+            "years",
+            Json::Arr(
+                manifest
+                    .years
+                    .iter()
+                    .map(|&y| Json::Num(f64::from(y)))
+                    .collect(),
+            ),
+        ),
+        (
+            "seeds",
+            Json::Arr(
+                manifest
+                    .seeds
+                    .iter()
+                    .map(|&s| Json::Num(s as f64))
+                    .collect(),
+            ),
+        ),
+        (
+            "code_fingerprint",
+            Json::string(manifest.code_fingerprint.as_str()),
+        ),
+        ("input_hash", Json::string(manifest.input_hash.as_str())),
+        ("result_hash", Json::string(manifest.result_hash.as_str())),
+    ])
+}
+
+/// Decodes a wire manifest object back into a [`Manifest`] — the inverse
+/// of [`manifest_json`]. The bench `--check` modes use this to lift the
+/// manifests committed inside `BENCH_*.json` artifacts back into typed
+/// records so `ce_manifest::verify` can re-derive them.
+///
+/// # Errors
+///
+/// A message naming the first missing or mistyped field.
+pub fn manifest_from_json(json: &Json) -> Result<Manifest, String> {
+    let str_field = |name: &str| {
+        json.get(name)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("manifest.{name}: missing or not a string"))
+    };
+    let num_list = |name: &str| {
+        json.get(name)
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("manifest.{name}: missing or not an array"))?
+            .iter()
+            .map(Json::as_f64)
+            .collect::<Option<Vec<f64>>>()
+            .ok_or_else(|| format!("manifest.{name}: non-numeric entry"))
+    };
+    let schema = json
+        .get("schema")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| "manifest.schema: missing or not a number".to_string())?;
+    Ok(Manifest {
+        schema: schema as u32,
+        kind: str_field("kind")?,
+        ba: str_field("ba")?,
+        strategy: str_field("strategy")?,
+        years: num_list("years")?.iter().map(|&y| y as i32).collect(),
+        seeds: num_list("seeds")?.iter().map(|&s| s as u64).collect(),
+        code_fingerprint: str_field("code_fingerprint")?,
+        input_hash: str_field("input_hash")?,
+        result_hash: str_field("result_hash")?,
+    })
+}
+
 /// The closing fragment of a streamed `/explore` body.
 pub const EXPLORE_SUFFIX: &str = "]}";
+
+/// The closing fragment of a manifest-bearing streamed `/explore` body:
+/// closes the results array, then carries the `manifest` block the
+/// buffered encoding would have placed after it.
+pub fn explore_suffix_with_manifest(manifest: &Manifest) -> String {
+    let mut suffix = String::from("],\"manifest\":");
+    suffix.push_str(&manifest_json(manifest).encode());
+    suffix.push('}');
+    suffix
+}
 
 /// The opening fragment of a streamed `/explore` body: everything before
 /// the first result. Built from the same [`Json`] encoders the buffered
@@ -686,23 +934,54 @@ pub fn explore_group_fragment(evals: &[EvaluatedDesign], first: bool) -> String 
 /// Executes a validated request against an explorer. Pure: same request +
 /// same explorer → byte-identical [`Json::encode`] output, fresh or not.
 pub fn execute(req: &ComputeRequest, explorer: &CarbonExplorer, scratch: &mut EvalScratch) -> Json {
+    execute_with_manifest(req, explorer, scratch).0
+}
+
+/// [`execute`], also returning the provenance manifest when the request
+/// opted in (`"manifest": true`). The manifest is both embedded in the
+/// response (a trailing `manifest` field) and returned separately so the
+/// server can register it for `GET /manifest/<result_hash>` lookups.
+pub fn execute_with_manifest(
+    req: &ComputeRequest,
+    explorer: &CarbonExplorer,
+    scratch: &mut EvalScratch,
+) -> (Json, Option<Manifest>) {
     match req {
         ComputeRequest::Evaluate {
-            strategy, design, ..
-        } => evaluation_json(&explorer.evaluate_with(*strategy, design, scratch)),
+            strategy,
+            design,
+            manifest,
+            ..
+        } => {
+            let eval = explorer.evaluate_with(*strategy, design, scratch);
+            let mut json = evaluation_json(&eval);
+            let built = manifest.then(|| request_manifest(req, std::slice::from_ref(&eval)));
+            if let (Some(m), Json::Obj(fields)) = (&built, &mut json) {
+                fields.push(("manifest".to_string(), manifest_json(m)));
+            }
+            (json, built)
+        }
         ComputeRequest::Explore {
-            strategy, space, ..
+            strategy,
+            space,
+            manifest,
+            ..
         } => {
             let results = explorer.explore(*strategy, space);
             let count = results.len();
-            Json::obj(vec![
+            let built = manifest.then(|| request_manifest(req, &results));
+            let mut fields = vec![
                 ("strategy", Json::string(strategy.canonical_key())),
                 ("count", Json::Num(count as f64)),
                 (
                     "results",
                     Json::Arr(results.iter().map(evaluation_json).collect()),
                 ),
-            ])
+            ];
+            if let Some(m) = &built {
+                fields.push(("manifest", manifest_json(m)));
+            }
+            (Json::obj(fields), built)
         }
         ComputeRequest::Optimal {
             strategy,
@@ -715,7 +994,7 @@ pub fn execute(req: &ComputeRequest, explorer: &CarbonExplorer, scratch: &mut Ev
             } else {
                 explorer.optimal(*strategy, space)
             };
-            match best {
+            let json = match best {
                 Some(best) => Json::obj(vec![
                     ("strategy", Json::string(strategy.canonical_key())),
                     ("found", Json::Bool(true)),
@@ -725,7 +1004,8 @@ pub fn execute(req: &ComputeRequest, explorer: &CarbonExplorer, scratch: &mut Ev
                     ("strategy", Json::string(strategy.canonical_key())),
                     ("found", Json::Bool(false)),
                 ]),
-            }
+            };
+            (json, None)
         }
     }
 }
@@ -781,6 +1061,7 @@ mod tests {
             ctx,
             strategy,
             design,
+            manifest,
         } = &req
         else {
             panic!("wrong variant");
@@ -791,6 +1072,7 @@ mod tests {
         assert_eq!(design.solar_mw, 100.0);
         assert_eq!(design.wind_mw, 0.0);
         assert_eq!(design.battery_mwh, 50.0);
+        assert!(!manifest, "manifest defaults to off");
         assert_eq!(req.endpoint(), Endpoint::Evaluate);
     }
 
@@ -1000,6 +1282,7 @@ mod tests {
             ctx,
             strategy: StrategyKind::RenewablesBattery,
             design,
+            manifest: false,
         };
         let mut scratch = EvalScratch::default();
         let served = execute(&req, &explorer, &mut scratch).encode();
@@ -1045,6 +1328,7 @@ mod tests {
             ctx,
             strategy,
             space: space.clone(),
+            manifest: false,
         };
         let count = req.explore_points().expect("explore");
         assert_eq!(count, 3 * 2 * 4);
@@ -1058,6 +1342,157 @@ mod tests {
         });
         streamed.push_str(EXPLORE_SUFFIX);
         assert_eq!(streamed, buffered, "fragment concatenation differs");
+    }
+
+    #[test]
+    fn manifest_flag_parses_and_keys_distinctly() {
+        let plain =
+            parse_eval(r#"{"site":"UT","strategy":"renewables_only","design":{"solar_mw":100}}"#)
+                .expect("parses");
+        let flagged = parse_eval(
+            r#"{"site":"UT","strategy":"renewables_only","design":{"solar_mw":100},"manifest":true}"#,
+        )
+        .expect("parses");
+        let spelled_off = parse_eval(
+            r#"{"site":"UT","strategy":"renewables_only","design":{"solar_mw":100},"manifest":false}"#,
+        )
+        .expect("parses");
+        assert!(flagged.wants_manifest());
+        assert!(!plain.wants_manifest());
+        assert_ne!(
+            plain.canonical_key(),
+            flagged.canonical_key(),
+            "a manifest-bearing response has different bytes, so it needs its own key"
+        );
+        assert_eq!(
+            plain.canonical_key(),
+            spelled_off.canonical_key(),
+            "a spelled-out `manifest: false` is the default"
+        );
+        let err = parse_eval(
+            r#"{"site":"UT","strategy":"renewables_only","design":{},"manifest":"yes"}"#,
+        )
+        .expect_err("non-boolean manifest");
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn manifest_wire_encoding_matches_the_crate_canonical_json() {
+        let req = parse_eval(
+            r#"{"site":"UT","strategy":"renewables_battery","design":{"solar_mw":100,"battery_mwh":50},"manifest":true}"#,
+        )
+        .expect("parses");
+        let explorer = build_explorer(req.context()).expect("builds");
+        let (_, manifest) = execute_with_manifest(&req, &explorer, &mut EvalScratch::default());
+        let manifest = manifest.expect("manifest requested");
+        assert_eq!(
+            manifest_json(&manifest).encode(),
+            manifest.to_json(),
+            "served manifest bytes must equal ce-manifest's canonical JSON"
+        );
+        // And the decoder inverts the encoder: parse the wire bytes back
+        // into a typed record and land on the same manifest.
+        let parsed = Json::parse(&manifest.to_json()).expect("wire manifest parses");
+        assert_eq!(manifest_from_json(&parsed), Ok(manifest));
+    }
+
+    #[test]
+    fn evaluate_manifest_verifies_against_recomputation() {
+        let req = parse_eval(
+            r#"{"site":"UT","strategy":"renewables_battery","design":{"solar_mw":100,"battery_mwh":50},"manifest":true}"#,
+        )
+        .expect("parses");
+        let explorer = build_explorer(req.context()).expect("builds");
+        let (json, manifest) = execute_with_manifest(&req, &explorer, &mut EvalScratch::default());
+        let manifest = manifest.expect("manifest requested");
+        assert_eq!(manifest.kind, "evaluate");
+        assert_eq!(manifest.ba, "PACE", "UT's grid is PACE");
+        assert_eq!(manifest.years, vec![2020]);
+        assert_eq!(manifest.seeds, vec![7]);
+        // The embedded block carries the same hashes.
+        let block = json.get("manifest").expect("embedded manifest block");
+        assert_eq!(
+            block.get("result_hash").and_then(Json::as_str),
+            Some(manifest.result_hash.as_str())
+        );
+        // Recomputing the evaluation from scratch reproduces both hashes.
+        let ComputeRequest::Evaluate {
+            strategy, design, ..
+        } = &req
+        else {
+            panic!("wrong variant");
+        };
+        let fresh = explorer.evaluate_with(*strategy, design, &mut EvalScratch::default());
+        assert_eq!(
+            ce_manifest::verify(&manifest, |_| provenance::recomputed(
+                &req.canonical_key(),
+                std::slice::from_ref(&fresh)
+            )),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn manifest_streamed_fragments_concatenate_to_the_buffered_encoding() {
+        let ctx = Context {
+            source: DemandSource::Constant {
+                ba: BalancingAuthority::PACE,
+                demand_mw: 5.0,
+            },
+            year: 2020,
+            seed: 7,
+        };
+        let explorer = build_explorer(&ctx).expect("builds");
+        let strategy = StrategyKind::RenewablesBattery;
+        let space = DesignSpace {
+            solar: (0.0, 100.0, 3),
+            wind: (0.0, 100.0, 2),
+            battery: (0.0, 50.0, 4),
+            extra_capacity: (0.0, 0.0, 1),
+        };
+        let req = ComputeRequest::Explore {
+            ctx,
+            strategy,
+            space: space.clone(),
+            manifest: true,
+        };
+        let count = req.explore_points().expect("explore");
+        let (buffered, buffered_manifest) =
+            execute_with_manifest(&req, &explorer, &mut EvalScratch::default());
+        let buffered = buffered.encode();
+        let buffered_manifest = buffered_manifest.expect("manifest requested");
+
+        // The streamed path hashes group-by-group alongside the fragments.
+        let mut streamed = explore_prefix(strategy, count);
+        let mut first = true;
+        let mut hasher = provenance::ResultHasher::new();
+        explorer.explore_groups(strategy, &space, |block| {
+            hasher.absorb(block);
+            streamed.push_str(&explore_group_fragment(block, first));
+            first = false;
+        });
+        let manifest = streamed_explore_manifest(&req, hasher.finish_hex());
+        assert_eq!(manifest, buffered_manifest, "streamed manifest differs");
+        streamed.push_str(&explore_suffix_with_manifest(&manifest));
+        assert_eq!(streamed, buffered, "fragment concatenation differs");
+    }
+
+    #[test]
+    fn manifest_store_is_bounded_and_content_addressed() {
+        let store = ManifestStore::new(2);
+        store.insert("aaaa", Arc::from("{\"a\":1}"));
+        store.insert("bbbb", Arc::from("{\"b\":2}"));
+        assert_eq!(store.entry_count(), 2);
+        assert_eq!(store.get("aaaa").as_deref(), Some("{\"a\":1}"));
+        // Re-registering the same hash never replaces the body.
+        store.insert("aaaa", Arc::from("{\"a\":999}"));
+        assert_eq!(store.get("aaaa").as_deref(), Some("{\"a\":1}"));
+        assert_eq!(store.entry_count(), 2);
+        // A third distinct hash evicts the oldest.
+        store.insert("cccc", Arc::from("{\"c\":3}"));
+        assert_eq!(store.entry_count(), 2);
+        assert!(store.get("aaaa").is_none(), "oldest entry evicted");
+        assert!(store.get("cccc").is_some());
     }
 
     #[test]

@@ -41,8 +41,9 @@ use crate::json::Json;
 use crate::metrics::{Metrics, ShardStats};
 use crate::queue::BoundedQueue;
 use crate::request::{
-    execute, explore_group_fragment, explore_prefix, scenarios_json, ComputeRequest, ExplorerCache,
-    Limits, RequestError,
+    execute_with_manifest, explore_group_fragment, explore_prefix, explore_suffix_with_manifest,
+    manifest_json, scenarios_json, streamed_explore_manifest, ComputeRequest, ExplorerCache,
+    Limits, ManifestStore, RequestError,
 };
 use ce_core::EvalScratch;
 use std::cell::Cell;
@@ -169,6 +170,9 @@ pub(crate) struct Shared {
     pub(crate) busy_workers: AtomicU64,
     /// `GET /scenarios` body, encoded once at startup.
     pub(crate) scenarios: Arc<str>,
+    /// Served provenance manifests, content-addressed by result hash
+    /// (`GET /manifest/<hash>`).
+    pub(crate) manifests: ManifestStore,
 }
 
 /// A running server. Dropping the handle shuts the server down; call
@@ -233,6 +237,7 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         connections: AtomicU64::new(0),
         busy_workers: AtomicU64::new(0),
         scenarios: scenarios_json().encode_arc(),
+        manifests: ManifestStore::new(config.cache_capacity.max(64)),
         config,
     });
     // Every shard gets at least one pinned worker; extras round-robin.
@@ -323,7 +328,10 @@ pub(crate) fn worker_loop(shared: &Arc<Shared>, shard_index: usize) {
             let explorer = shared.explorers.get_or_build(job.request.context())?;
             if job.stream {
                 if let ComputeRequest::Explore {
-                    strategy, space, ..
+                    strategy,
+                    space,
+                    manifest,
+                    ..
                 } = &job.request
                 {
                     let points = job.request.explore_points().unwrap_or(0);
@@ -335,24 +343,46 @@ pub(crate) fn worker_loop(shared: &Arc<Shared>, shard_index: usize) {
                         });
                     };
                     push_fragment(explore_prefix(*strategy, points));
+                    // A manifest-bearing sweep hashes each group as it
+                    // streams; the digest matches the buffered path's
+                    // one-shot hash because absorption order is identical.
+                    let mut hasher = manifest.then(ce_core::provenance::ResultHasher::new);
                     // Serial engine inside each worker: parallelism comes
                     // from the pool itself, and nesting thread scopes per
                     // request would oversubscribe the host.
                     ce_parallel::run_serial(|| {
                         let mut first = true;
                         explorer.explore_groups(*strategy, space, |group| {
+                            if let Some(h) = hasher.as_mut() {
+                                h.absorb(group);
+                            }
                             push_fragment(explore_group_fragment(group, first));
                             first = false;
                         });
                     });
-                    push_fragment(crate::request::EXPLORE_SUFFIX.to_string());
+                    match hasher {
+                        Some(hasher) => {
+                            let manifest =
+                                streamed_explore_manifest(&job.request, hasher.finish_hex());
+                            shared
+                                .manifests
+                                .insert(manifest.address(), manifest_json(&manifest).encode_arc());
+                            push_fragment(explore_suffix_with_manifest(&manifest));
+                        }
+                        None => push_fragment(crate::request::EXPLORE_SUFFIX.to_string()),
+                    }
                     return Ok(None);
                 }
             }
-            Ok(Some(
-                ce_parallel::run_serial(|| execute(&job.request, &explorer, &mut scratch))
-                    .encode_arc(),
-            ))
+            let (json, manifest) = ce_parallel::run_serial(|| {
+                execute_with_manifest(&job.request, &explorer, &mut scratch)
+            });
+            if let Some(manifest) = &manifest {
+                shared
+                    .manifests
+                    .insert(manifest.address(), manifest_json(manifest).encode_arc());
+            }
+            Ok(Some(json.encode_arc()))
         }));
         let completion = match result {
             Ok(Ok(None)) => Completion::Done {
@@ -420,6 +450,7 @@ pub(crate) fn stats_json(shared: &Shared) -> Json {
             "explorer_cache_entries",
             shared.explorers.entry_count() as f64,
         ),
+        ("manifest_entries", shared.manifests.entry_count() as f64),
     ]);
     let shards = shared
         .shards
@@ -496,9 +527,14 @@ mod tests {
             connections: AtomicU64::new(6),
             busy_workers: AtomicU64::new(0),
             scenarios: scenarios_json().encode_arc(),
+            manifests: ManifestStore::new(4),
             config,
         };
         let json = stats_json(&shared);
+        assert_eq!(
+            json.get("manifest_entries").and_then(Json::as_f64),
+            Some(0.0)
+        );
         assert_eq!(json.get("inflight_keys").and_then(Json::as_f64), Some(3.0));
         assert_eq!(
             json.get("response_cache_entries").and_then(Json::as_f64),

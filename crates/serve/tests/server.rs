@@ -136,6 +136,89 @@ fn routing_and_error_statuses() {
 }
 
 #[test]
+fn manifest_blocks_are_served_and_content_addressable() {
+    let handle = start(ServerConfig::default()).expect("bind");
+    let addr = handle.addr();
+
+    // A plain evaluate carries no manifest block.
+    let plain = r#"{"site":"UT","strategy":"renewables_battery","design":{"solar_mw":100,"battery_mwh":50}}"#;
+    let (status, _, body) = http(addr, "POST", "/evaluate", plain);
+    assert_eq!(status, 200, "{body}");
+    assert!(!body.contains("\"manifest\""), "{body}");
+
+    // Opting in appends the provenance block...
+    let flagged = r#"{"site":"UT","strategy":"renewables_battery","design":{"solar_mw":100,"battery_mwh":50},"manifest":true}"#;
+    let (status, _, body) = http(addr, "POST", "/evaluate", flagged);
+    assert_eq!(status, 200, "{body}");
+    let response = Json::parse(&body).expect("response JSON");
+    let block = response.get("manifest").expect("manifest block");
+    let result_hash = block
+        .get("result_hash")
+        .and_then(Json::as_str)
+        .expect("result hash");
+    assert_eq!(result_hash.len(), 64, "SHA-256 hex");
+    assert_eq!(block.get("kind").and_then(Json::as_str), Some("evaluate"));
+    assert_eq!(block.get("ba").and_then(Json::as_str), Some("PACE"));
+
+    // ...and registers it for content-addressed lookup.
+    let (status, _, served) = http(addr, "GET", &format!("/manifest/{result_hash}"), "");
+    assert_eq!(status, 200, "{served}");
+    let manifest = Json::parse(&served).expect("manifest JSON");
+    assert_eq!(
+        manifest.get("result_hash").and_then(Json::as_str),
+        Some(result_hash)
+    );
+    assert_eq!(&manifest, block, "lookup returns the embedded block");
+
+    // An unknown hash is a 404, not an error.
+    let (status, _, _) = http(addr, "GET", &format!("/manifest/{}", "0".repeat(64)), "");
+    assert_eq!(status, 404);
+
+    // The flagged and plain requests are distinct cache keys: replaying
+    // each returns its own bytes, now from cache.
+    let (_, headers, replay) = http(addr, "POST", "/evaluate", flagged);
+    assert_eq!(header(&headers, "x-ce-cache"), Some("hit"));
+    assert_eq!(
+        replay, body,
+        "cached manifest-bearing body is byte-identical"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn streamed_explore_carries_the_manifest_in_its_final_chunks() {
+    let config = ServerConfig {
+        stream_threshold_points: 1, // force chunked framing even for tiny sweeps
+        ..ServerConfig::default()
+    };
+    let handle = start(config).expect("bind");
+    let addr = handle.addr();
+    let body = r#"{"ba":"PACE","demand_mw":5,"strategy":"renewables_only",
+                   "space":{"solar":[0,100,3],"wind":[0,100,2]},"manifest":true}"#;
+    let (status, headers, streamed) = http(addr, "POST", "/explore", body);
+    assert_eq!(status, 200, "{streamed}");
+    assert_eq!(header(&headers, "transfer-encoding"), Some("chunked"));
+    let response = Json::parse(&streamed).expect("dechunked body parses");
+    assert_eq!(response.get("count").and_then(Json::as_f64), Some(6.0));
+    let block = response.get("manifest").expect("manifest block");
+    assert_eq!(block.get("kind").and_then(Json::as_str), Some("explore"));
+    let result_hash = block
+        .get("result_hash")
+        .and_then(Json::as_str)
+        .expect("result hash");
+    let (status, _, served) = http(addr, "GET", &format!("/manifest/{result_hash}"), "");
+    assert_eq!(status, 200, "{served}");
+    assert_eq!(
+        Json::parse(&served)
+            .expect("manifest JSON")
+            .get("input_hash"),
+        block.get("input_hash")
+    );
+    handle.shutdown();
+}
+
+#[test]
 fn keep_alive_serves_sequential_requests_on_one_connection() {
     let handle = start(ServerConfig::default()).expect("bind");
     let mut stream = TcpStream::connect(handle.addr()).expect("connect");

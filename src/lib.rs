@@ -18,7 +18,9 @@
 //! - [`parallel`] — the deterministic fork-join primitives behind the
 //!   parallel sweep engine (`CE_THREADS` controls the worker count),
 //! - [`serve`] — a dependency-free HTTP query service over the engine
-//!   (bounded worker pool, scenario caching, request coalescing).
+//!   (bounded worker pool, scenario caching, request coalescing),
+//! - [`manifest`] — provenance manifests: streaming SHA-256, canonical
+//!   serialization, and content-addressed, verifiable lineage records.
 //!
 //! # Quickstart
 //!
@@ -44,6 +46,7 @@ pub use ce_datacenter as datacenter;
 pub use ce_embodied as embodied;
 pub use ce_grid as grid;
 pub use ce_lp as lp;
+pub use ce_manifest as manifest;
 pub use ce_parallel as parallel;
 pub use ce_scheduler as scheduler;
 pub use ce_serve as serve;
