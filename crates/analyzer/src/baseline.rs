@@ -1,7 +1,8 @@
 //! The file-local lint ratchets: a committed `lint-baseline.json` holding
 //! the per-file counts of accepted panic sites (`panic-in-lib`), lossy
-//! casts (`cast-truncation`), and justified unsafe sites
-//! (`unsafe-boundary`).
+//! casts (`cast-truncation`), justified unsafe sites (`unsafe-boundary`),
+//! unproven arithmetic (`int-overflow`), and unproven bracket indexing
+//! (`slice-index`).
 //!
 //! The workspace predates the analyzer, so it carries a few hundred
 //! `unwrap`/`expect` sites. Failing the build on all of them would force a
@@ -20,7 +21,7 @@
 
 use std::collections::BTreeMap;
 
-/// Accepted per-file site counts for the three file-local ratchets, keyed
+/// Accepted per-file site counts for the five file-local ratchets, keyed
 /// by workspace-relative path.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Baseline {
@@ -31,6 +32,10 @@ pub struct Baseline {
     pub casts: BTreeMap<String, usize>,
     /// `unsafe-boundary`: path → accepted justified-unsafe-site count.
     pub unsafe_sites: BTreeMap<String, usize>,
+    /// `int-overflow`: path → accepted unproven-arithmetic-site count.
+    pub arith: BTreeMap<String, usize>,
+    /// `slice-index`: path → accepted unproven-index-site count.
+    pub indexes: BTreeMap<String, usize>,
 }
 
 impl Baseline {
@@ -39,6 +44,8 @@ impl Baseline {
         self.files.values().sum::<usize>()
             + self.casts.values().sum::<usize>()
             + self.unsafe_sites.values().sum::<usize>()
+            + self.arith.values().sum::<usize>()
+            + self.indexes.values().sum::<usize>()
     }
 
     /// The accepted `panic-in-lib` count for `path` (0 when absent).
@@ -56,6 +63,16 @@ impl Baseline {
         self.unsafe_sites.get(path).copied().unwrap_or(0)
     }
 
+    /// The accepted `int-overflow` count for `path` (0 when absent).
+    pub fn allowed_arith(&self, path: &str) -> usize {
+        self.arith.get(path).copied().unwrap_or(0)
+    }
+
+    /// The accepted `slice-index` count for `path` (0 when absent).
+    pub fn allowed_index(&self, path: &str) -> usize {
+        self.indexes.get(path).copied().unwrap_or(0)
+    }
+
     /// Renders the committed JSON form: sorted keys, one file per line.
     pub fn render(&self) -> String {
         let mut out = String::from("{\n  \"rule\": \"lint\",\n");
@@ -64,6 +81,8 @@ impl Baseline {
             ("files", &self.files),
             ("cast-truncation", &self.casts),
             ("unsafe-boundary", &self.unsafe_sites),
+            ("int-overflow", &self.arith),
+            ("slice-index", &self.indexes),
         ]
         .iter()
         .enumerate()
@@ -74,7 +93,7 @@ impl Baseline {
                 let comma = if j + 1 == n { "" } else { "," };
                 out.push_str(&format!("    \"{path}\": {count}{comma}\n"));
             }
-            let comma = if i == 2 { "" } else { "," };
+            let comma = if i == 4 { "" } else { "," };
             out.push_str(&format!("  }}{comma}\n"));
         }
         out.push_str("}\n");
@@ -114,12 +133,15 @@ impl Baseline {
                     }
                 }
                 "total" => declared_total = Some(p.number()?),
-                "files" | "cast-truncation" | "unsafe-boundary" => {
+                "files" | "cast-truncation" | "unsafe-boundary" | "int-overflow"
+                | "slice-index" => {
                     p.eat(b'{')?;
                     let files = match key.as_str() {
                         "files" => &mut baseline.files,
                         "cast-truncation" => &mut baseline.casts,
-                        _ => &mut baseline.unsafe_sites,
+                        "unsafe-boundary" => &mut baseline.unsafe_sites,
+                        "int-overflow" => &mut baseline.arith,
+                        _ => &mut baseline.indexes,
                     };
                     loop {
                         p.skip_ws();
@@ -361,6 +383,8 @@ mod tests {
         b.files.insert("crates/b/src/x.rs".to_string(), 1);
         b.casts.insert("crates/a/src/lib.rs".to_string(), 2);
         b.unsafe_sites.insert("crates/c/src/sys.rs".to_string(), 2);
+        b.arith.insert("crates/a/src/lib.rs".to_string(), 5);
+        b.indexes.insert("crates/b/src/x.rs".to_string(), 4);
         b
     }
 
@@ -369,7 +393,7 @@ mod tests {
         let b = sample();
         let rendered = b.render();
         assert_eq!(Baseline::parse(&rendered).unwrap(), b);
-        assert_eq!(b.total(), 8);
+        assert_eq!(b.total(), 17);
     }
 
     #[test]
@@ -379,6 +403,8 @@ mod tests {
         assert_eq!(b.allowed("a.rs"), 2);
         assert!(b.casts.is_empty());
         assert!(b.unsafe_sites.is_empty());
+        assert!(b.arith.is_empty());
+        assert!(b.indexes.is_empty());
     }
 
     #[test]
@@ -388,6 +414,10 @@ mod tests {
         assert_eq!(b.allowed_cast("crates/a/src/lib.rs"), 2);
         assert_eq!(b.allowed_unsafe("crates/a/src/lib.rs"), 0);
         assert_eq!(b.allowed_unsafe("crates/c/src/sys.rs"), 2);
+        assert_eq!(b.allowed_arith("crates/a/src/lib.rs"), 5);
+        assert_eq!(b.allowed_arith("crates/b/src/x.rs"), 0);
+        assert_eq!(b.allowed_index("crates/b/src/x.rs"), 4);
+        assert_eq!(b.allowed_index("crates/a/src/lib.rs"), 0);
     }
 
     #[test]
@@ -396,9 +426,11 @@ mod tests {
         let a = rendered.find("crates/a").unwrap();
         let b = rendered.find("crates/b").unwrap();
         assert!(a < b);
-        assert!(rendered.contains("\"total\": 8"));
+        assert!(rendered.contains("\"total\": 17"));
         assert!(rendered.contains("\"cast-truncation\""));
         assert!(rendered.contains("\"unsafe-boundary\""));
+        assert!(rendered.contains("\"int-overflow\""));
+        assert!(rendered.contains("\"slice-index\""));
     }
 
     #[test]

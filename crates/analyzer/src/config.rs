@@ -18,11 +18,13 @@
 //!    the allowance never extends to the compute crates it calls into;
 //! 3. the **pure result types** whose bare returns must be `#[must_use]`.
 
-/// Names of all thirteen rules, in reporting order. The first six are
+/// Names of all sixteen rules, in reporting order. The first six are
 /// file-local; the next four run over the workspace call graph built by
-/// [`resolve`](crate::resolve) and [`callgraph`](crate::callgraph); the
-/// last three form the resource-discipline tier (blocking reachability,
-/// the unsafe boundary audit, and lossy-cast tracking).
+/// [`resolve`](crate::resolve) and [`callgraph`](crate::callgraph); three
+/// form the resource-discipline tier (blocking reachability, the unsafe
+/// boundary audit, and lossy-cast tracking); and the last three sit on
+/// the intraprocedural [`dataflow`](crate::dataflow) pass (overflow
+/// audit, slice-index discipline, and atomics-ordering justification).
 pub const RULE_NAMES: &[&str] = &[
     "nondeterminism",
     "hot-path-alloc",
@@ -37,6 +39,9 @@ pub const RULE_NAMES: &[&str] = &[
     "blocking-in-event-loop",
     "unsafe-boundary",
     "cast-truncation",
+    "int-overflow",
+    "slice-index",
+    "atomic-ordering",
 ];
 
 /// One row of `--list-rules`: rule name, tier, and a one-line summary.
@@ -108,12 +113,31 @@ pub const RULE_INFO: &[(&str, &str, &str)] = &[
         "resource-discipline (ratcheted)",
         "lossy `as` casts in deterministic crates need try_from, explicit rounding, or ce:allow(cast)",
     ),
+    (
+        "int-overflow",
+        "dataflow (ratcheted)",
+        "unchecked + - * << on ints in deterministic crates: prove in-range, checked_*/saturating_*, or ce:allow(arith)",
+    ),
+    (
+        "slice-index",
+        "dataflow (ratcheted)",
+        "bracket indexing outside tests must be dataflow-proven bounded; unproven sites ratchet per file",
+    ),
+    (
+        "atomic-ordering",
+        "dataflow (call-graph)",
+        "every Ordering::* needs // ce:ordering(reason) within 3 lines; SeqCst on hot/nonblocking paths needs ce:allow(seqcst)",
+    ),
 ];
 
 /// `ce:allow(...)` kinds that are not rule names: `blocking` suppresses a
 /// blocking fact or cuts one call edge for `blocking-in-event-loop`;
-/// `cast` suppresses one lossy-cast site for `cast-truncation`.
-pub const ALLOW_KINDS: &[&str] = &["blocking", "cast"];
+/// `cast` suppresses one lossy-cast site for `cast-truncation`; `arith`
+/// suppresses one unproven arithmetic site for `int-overflow`; `index`
+/// suppresses one unproven bracket-index site for `slice-index`; `seqcst`
+/// justifies one `SeqCst` site on a hot/nonblocking-reachable path for
+/// `atomic-ordering`.
+pub const ALLOW_KINDS: &[&str] = &["blocking", "cast", "arith", "index", "seqcst"];
 
 /// Whether `kind` is valid inside `ce:allow(kind, reason = "…")` — either
 /// a rule name or one of the site-kind shorthands in [`ALLOW_KINDS`].
@@ -127,6 +151,9 @@ pub fn rule_for_allow_kind(kind: &str) -> &str {
     match kind {
         "blocking" => "blocking-in-event-loop",
         "cast" => "cast-truncation",
+        "arith" => "int-overflow",
+        "index" => "slice-index",
+        "seqcst" => "atomic-ordering",
         other => other,
     }
 }
@@ -330,11 +357,26 @@ mod tests {
     fn allow_kinds() {
         assert!(is_allow_kind("blocking"));
         assert!(is_allow_kind("cast"));
+        assert!(is_allow_kind("arith"));
+        assert!(is_allow_kind("index"));
+        assert!(is_allow_kind("seqcst"));
         assert!(is_allow_kind("hot-path-alloc"));
         assert!(!is_allow_kind("frobnicate"));
         assert_eq!(rule_for_allow_kind("blocking"), "blocking-in-event-loop");
         assert_eq!(rule_for_allow_kind("cast"), "cast-truncation");
+        assert_eq!(rule_for_allow_kind("arith"), "int-overflow");
+        assert_eq!(rule_for_allow_kind("index"), "slice-index");
+        assert_eq!(rule_for_allow_kind("seqcst"), "atomic-ordering");
         assert_eq!(rule_for_allow_kind("float-eq"), "float-eq");
+    }
+
+    #[test]
+    fn sixteen_rules_with_the_dataflow_tier_last() {
+        assert_eq!(RULE_NAMES.len(), 16);
+        assert_eq!(
+            &RULE_NAMES[13..],
+            &["int-overflow", "slice-index", "atomic-ordering"]
+        );
     }
 
     #[test]

@@ -1,0 +1,2030 @@
+//! Pass 2: conservative intraprocedural dataflow over the lexed stream.
+//!
+//! After item extraction the analyzer walks every function body once more,
+//! this time tracking *value facts* instead of syntax: integer-literal
+//! constants, `len()`-derived bounds, `min`/`clamp` range facts, and guard
+//! conditions (`if i < xs.len()`). The walk is branch- and loop-aware —
+//! facts established by a guard hold only inside the guarded block, and
+//! entering a loop body first kills every fact about identifiers the body
+//! assigns, because a fact proved on iteration one need not hold on
+//! iteration two.
+//!
+//! The pass produces two site lists that the rule layer turns into the
+//! `int-overflow` and `slice-index` rules:
+//!
+//! - every unchecked `+ - * <<` (and compound `+= -= *= <<=`) whose
+//!   operands are provably integer, classified *proven in-range* or not;
+//! - every postfix bracket-index expression, classified *proven bounded*
+//!   or not.
+//!
+//! Everything here is a deliberate under-approximation: a fact is only
+//! recorded when the token pattern is unambiguous, and any write the walk
+//! cannot see through (`x = …`, `&mut x`, a length-mutating method call)
+//! kills the facts it might invalidate. Two documented approximations
+//! remain: closures are walked linearly (a closure body sees the facts
+//! live at its *definition* site), and the `a >= b ⇒ a - b` proof assumes
+//! the operands share a sign, which holds for the unsigned counters it is
+//! designed for.
+//!
+//! The engine is intraprocedural by construction: each `fn` body is a
+//! *barrier* frame, so facts never leak between functions — but parameter
+//! type annotations (`i: usize`) do seed integer-typedness.
+
+use crate::lexer::{Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One unchecked arithmetic site found by the dataflow walk.
+#[derive(Debug, Clone)]
+pub struct ArithSite {
+    /// 1-based line of the operator token.
+    pub line: u32,
+    /// 1-based column of the operator token.
+    pub col: u32,
+    /// The operator text (`+`, `-`, `*`, `<<`, `+=`, …).
+    pub op: String,
+    /// Whether dataflow proved the result in-range.
+    pub proven: bool,
+}
+
+/// One postfix bracket-index site found by the dataflow walk.
+#[derive(Debug, Clone)]
+pub struct IndexSite {
+    /// 1-based line of the `[` token.
+    pub line: u32,
+    /// 1-based column of the `[` token.
+    pub col: u32,
+    /// Whether dataflow proved the index bounded by the receiver's length.
+    pub proven: bool,
+}
+
+/// All dataflow findings for one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileDataflow {
+    /// Integer arithmetic sites, in token order.
+    pub arith: Vec<ArithSite>,
+    /// Bracket-index sites, in token order.
+    pub indexes: Vec<IndexSite>,
+}
+
+/// Runs the dataflow pass over a file's non-comment tokens.
+pub fn analyze_source(code: &[&Token]) -> FileDataflow {
+    let mut w = Walker {
+        code,
+        frames: vec![Frame::barrier()],
+        out: FileDataflow::default(),
+    };
+    w.walk(0, code.len());
+    w.out
+}
+
+/// The `(line, col)` positions of every bracket-index site the dataflow
+/// pass proved bounded. Item extraction uses this to keep proven indexing
+/// out of the panic-fact set (and therefore out of the reachability
+/// baseline).
+pub fn proven_index_sites(code: &[&Token]) -> BTreeSet<(u32, u32)> {
+    analyze_source(code)
+        .indexes
+        .iter()
+        .filter(|s| s.proven)
+        .map(|s| (s.line, s.col))
+        .collect()
+}
+
+/// Integer type names, for typedness seeding and per-type limits.
+const INT_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Methods that can change a collection's length; a call through one kills
+/// every `len()`-derived fact about the receiver.
+const LEN_MUTATORS: &[&str] = &[
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "swap_remove",
+    "clear",
+    "truncate",
+    "resize",
+    "resize_with",
+    "extend",
+    "extend_from_slice",
+    "append",
+    "drain",
+    "retain",
+    "split_off",
+    "dedup",
+    "push_back",
+    "push_front",
+    "pop_back",
+    "pop_front",
+];
+
+/// Keywords that can precede a binary-looking operator without being an
+/// operand (`return -1`, `match x`, …). Mirrors the item extractor's list.
+const KEYWORDS: &[&str] = &[
+    "as", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "false", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "self", "Self", "static", "struct", "super", "trait", "true", "type", "unsafe",
+    "use", "where", "while", "yield",
+];
+
+fn is_keyword(text: &str) -> bool {
+    KEYWORDS.contains(&text)
+}
+
+/// The maximum value of a suffixed integer type, saturated to `i128`.
+fn type_max(ty: &str) -> i128 {
+    match ty {
+        "u8" => i128::from(u8::MAX),
+        "u16" => i128::from(u16::MAX),
+        "u32" => i128::from(u32::MAX),
+        "u64" => i128::from(u64::MAX),
+        "u128" => i128::MAX,
+        "usize" => i128::from(u64::MAX),
+        "i8" => i128::from(i8::MAX),
+        "i16" => i128::from(i16::MAX),
+        "i32" => i128::from(i32::MAX),
+        "i64" => i128::from(i64::MAX),
+        "i128" => i128::MAX,
+        "isize" => i128::from(i64::MAX),
+        _ => i128::from(i32::MAX),
+    }
+}
+
+/// Default fold limit when no operand carries a type suffix: the smallest
+/// limit an unannotated literal can end up with is dwarfed by `i32`'s in
+/// practice, but a bound variable could be `u8`/`i8`, so proofs through a
+/// *variable* bound use [`FALLBACK_MAX`] instead.
+// ce:allow(cast, reason = "const context: widening i32::MAX into i128 is lossless")
+const DEFAULT_MAX: i128 = i32::MAX as i128;
+
+/// Limit used when a bound variable's concrete integer type is unknown:
+/// `i8::MAX`, the smallest maximum any integer type has, so the proof
+/// holds whatever the type turns out to be.
+// ce:allow(cast, reason = "const context: widening i8::MAX into i128 is lossless")
+const FALLBACK_MAX: i128 = i8::MAX as i128;
+
+/// Parses an integer literal token (underscores, radix prefixes, and type
+/// suffixes included) into its value and optional suffix.
+fn parse_int(text: &str) -> Option<(i128, Option<&'static str>)> {
+    let clean: String = text.chars().filter(|c| *c != '_').collect();
+    let mut body = clean.as_str();
+    let mut suffix = None;
+    for ty in INT_TYPES {
+        if let Some(stripped) = body.strip_suffix(ty) {
+            // `0x1e` must not lose a hex digit to suffix stripping: only
+            // strip when what remains is a well-formed literal body.
+            if !stripped.is_empty() && stripped != "0x" && stripped != "0X" {
+                body = stripped;
+                suffix = Some(*ty);
+                break;
+            }
+        }
+    }
+    let (digits, radix) = if let Some(rest) = body.strip_prefix("0x").or(body.strip_prefix("0X")) {
+        (rest, 16)
+    } else if let Some(rest) = body.strip_prefix("0o").or(body.strip_prefix("0O")) {
+        (rest, 8)
+    } else if let Some(rest) = body.strip_prefix("0b").or(body.strip_prefix("0B")) {
+        (rest, 2)
+    } else {
+        (body, 10)
+    };
+    i128::from_str_radix(digits, radix)
+        .ok()
+        .map(|v| (v, suffix))
+}
+
+/// An upper bound attached to an identifier.
+#[derive(Debug, Clone, PartialEq)]
+enum Upper {
+    /// `ident < <recv>.len()` — `recv` is a normalized receiver text.
+    LtLen(String),
+    /// `ident < value`.
+    LtConst(i128),
+}
+
+/// Everything known about one identifier.
+#[derive(Debug, Clone, Default)]
+struct IdentFact {
+    /// Provably integer-typed.
+    int: bool,
+    /// Provably float-typed (suppresses arithmetic flagging).
+    float: bool,
+    /// Exact constant value, when bound from a literal.
+    value: Option<i128>,
+    /// Strict upper bound, when guarded or range-bound.
+    upper: Option<Upper>,
+    /// Concrete integer type, when an annotation or suffix names one.
+    ty: Option<&'static str>,
+}
+
+/// One lexical scope's facts. `barrier` frames (function bodies) stop
+/// lookups from reaching enclosing functions.
+#[derive(Debug, Default)]
+struct Frame {
+    barrier: bool,
+    idents: BTreeMap<String, IdentFact>,
+    /// `recv.len() >= value` facts, keyed by normalized receiver text.
+    len_ge: BTreeMap<String, i128>,
+    /// `lhs >= rhs` guard facts as normalized expression texts.
+    ge_pairs: Vec<(String, String)>,
+}
+
+impl Frame {
+    fn barrier() -> Self {
+        Frame {
+            barrier: true,
+            ..Frame::default()
+        }
+    }
+}
+
+/// Facts parsed out of one guard condition, applied to a fresh frame.
+#[derive(Debug, Default)]
+struct GuardFacts {
+    idents: Vec<(String, IdentFact)>,
+    len_ge: Vec<(String, i128)>,
+    ge_pairs: Vec<(String, String)>,
+}
+
+impl GuardFacts {
+    fn is_empty(&self) -> bool {
+        self.idents.is_empty() && self.len_ge.is_empty() && self.ge_pairs.is_empty()
+    }
+}
+
+struct Walker<'a> {
+    code: &'a [&'a Token],
+    frames: Vec<Frame>,
+    out: FileDataflow,
+}
+
+/// How one operand of an arithmetic op classifies.
+#[derive(Debug, Clone)]
+enum Operand {
+    /// An integer constant (literal or const-bound ident).
+    Const(i128, Option<&'static str>),
+    /// A provably-integer identifier with its facts.
+    IntIdent(String, IdentFact),
+    /// `<recv>.len()`.
+    Len(String),
+    /// Provably integer but otherwise unknown (e.g. an `as usize` cast).
+    IntUnknown,
+    /// Provably float — never flagged.
+    Float,
+    /// Unknown type; carries normalized text for `>=`-pair matching.
+    Unknown(Option<String>),
+}
+
+impl Operand {
+    fn provably_int(&self) -> bool {
+        matches!(
+            self,
+            Operand::Const(..) | Operand::IntIdent(..) | Operand::Len(_) | Operand::IntUnknown
+        )
+    }
+
+    fn is_float(&self) -> bool {
+        matches!(self, Operand::Float)
+    }
+}
+
+impl<'a> Walker<'a> {
+    // ---- frame and fact plumbing -------------------------------------
+
+    fn lookup(&self, name: &str) -> Option<IdentFact> {
+        for frame in self.frames.iter().rev() {
+            if let Some(f) = frame.idents.get(name) {
+                return Some(f.clone());
+            }
+            if frame.barrier {
+                break;
+            }
+        }
+        None
+    }
+
+    fn len_ge(&self, recv: &str) -> Option<i128> {
+        let mut best = None;
+        for frame in self.frames.iter().rev() {
+            if let Some(v) = frame.len_ge.get(recv) {
+                best = Some(best.map_or(*v, |b: i128| b.max(*v)));
+            }
+            if frame.barrier {
+                break;
+            }
+        }
+        best
+    }
+
+    fn has_ge_pair(&self, lhs: &str, rhs: &str) -> bool {
+        for frame in self.frames.iter().rev() {
+            if frame.ge_pairs.iter().any(|(l, r)| l == lhs && r == rhs) {
+                return true;
+            }
+            if frame.barrier {
+                break;
+            }
+        }
+        false
+    }
+
+    fn set_fact(&mut self, name: String, fact: IdentFact) {
+        self.kill_ident(&name);
+        if let Some(top) = self.frames.last_mut() {
+            top.idents.insert(name, fact);
+        }
+    }
+
+    /// Invalidates every *value* fact about `name` — its constant, its
+    /// upper bound, and every derived fact whose text mentions it (a
+    /// reassigned receiver invalidates its old length). Typedness stays:
+    /// assignment cannot change a variable's type.
+    fn kill_ident(&mut self, name: &str) {
+        let mentions = |text: &str| text.split(' ').any(|t| t == name);
+        for frame in self.frames.iter_mut().rev() {
+            if let Some(f) = frame.idents.get_mut(name) {
+                f.value = None;
+                f.upper = None;
+            }
+            for fact in frame.idents.values_mut() {
+                if let Some(Upper::LtLen(recv)) = &fact.upper {
+                    if mentions(recv) {
+                        fact.upper = None;
+                    }
+                }
+            }
+            frame.len_ge.retain(|recv, _| !mentions(recv));
+            frame.ge_pairs.retain(|(l, r)| !mentions(l) && !mentions(r));
+            if frame.barrier {
+                break;
+            }
+        }
+    }
+
+    /// Kills `len()`-derived facts about one receiver (after `push` etc.).
+    fn kill_len(&mut self, recv: &str) {
+        for frame in self.frames.iter_mut().rev() {
+            frame.len_ge.remove(recv);
+            for fact in frame.idents.values_mut() {
+                if fact.upper == Some(Upper::LtLen(recv.to_string())) {
+                    fact.upper = None;
+                }
+            }
+            if frame.barrier {
+                break;
+            }
+        }
+    }
+
+    // ---- token helpers -----------------------------------------------
+
+    fn text(&self, i: usize) -> &str {
+        self.code[i].text.as_str()
+    }
+
+    fn kind(&self, i: usize) -> TokenKind {
+        self.code[i].kind
+    }
+
+    fn is_punct(&self, i: usize, p: &str) -> bool {
+        i < self.code.len() && self.code[i].is_punct(p)
+    }
+
+    fn is_ident(&self, i: usize, t: &str) -> bool {
+        i < self.code.len() && self.code[i].is_ident(t)
+    }
+
+    /// Finds the matching close for an open delimiter at `open`, tracking
+    /// all three bracket kinds together.
+    fn matching(&self, open: usize, end: usize) -> usize {
+        let close = match self.text(open) {
+            "{" => "}",
+            "(" => ")",
+            "[" => "]",
+            _ => return open,
+        };
+        let opens = ["{", "(", "["];
+        let closes = ["}", ")", "]"];
+        let mut depth = 0usize;
+        for i in open..end {
+            if self.kind(i) == TokenKind::Punct {
+                let t = self.text(i);
+                if opens.contains(&t) {
+                    depth += 1;
+                } else if closes.contains(&t) {
+                    depth -= 1;
+                    if depth == 0 {
+                        if t != close {
+                            return i; // unbalanced; stop where we are
+                        }
+                        return i;
+                    }
+                }
+            }
+        }
+        end.saturating_sub(1).max(open)
+    }
+
+    /// The first `{` at delimiter depth 0 in `start..end`, or `end`.
+    fn body_open(&self, start: usize, end: usize) -> usize {
+        let mut depth = 0usize;
+        for i in start..end {
+            if self.kind(i) == TokenKind::Punct {
+                match self.text(i) {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth = depth.saturating_sub(1),
+                    "{" if depth == 0 => return i,
+                    ";" if depth == 0 => return end, // bodiless (trait fn)
+                    _ => {}
+                }
+            }
+        }
+        end
+    }
+
+    /// Normalized text of tokens `start..end`, joined with single spaces.
+    fn span_text(&self, start: usize, end: usize) -> String {
+        let mut s = String::new();
+        for i in start..end {
+            if !s.is_empty() {
+                s.push(' ');
+            }
+            s.push_str(self.text(i));
+        }
+        s
+    }
+
+    /// Captures a simple receiver chain ending at token `last` (inclusive),
+    /// walking back through `ident (. ident)*` and `self`-rooted chains.
+    /// Returns the normalized text and the index of the chain's first
+    /// token, or `None` if the expression ending there is not a chain.
+    fn chain_back(&self, last: usize) -> Option<(String, usize)> {
+        if (self.kind(last) != TokenKind::Ident || is_keyword(self.text(last)))
+            && !self.is_ident(last, "self")
+        {
+            return None;
+        }
+        let mut first = last;
+        while first >= 2
+            && self.is_punct(first - 1, ".")
+            && (self.kind(first - 2) == TokenKind::Ident
+                && (!is_keyword(self.text(first - 2)) || self.is_ident(first - 2, "self")))
+        {
+            first -= 2;
+        }
+        Some((self.span_text(first, last + 1), first))
+    }
+
+    /// Captures a simple operand *ending* just before `op_idx` (i.e. the
+    /// left operand of a binary op), returning its normalized text when it
+    /// is a chain or a call `chain ( … )`.
+    fn left_operand_text(&self, op_idx: usize) -> Option<String> {
+        if op_idx == 0 {
+            return None;
+        }
+        let last = op_idx - 1;
+        if self.is_punct(last, ")") {
+            // A call: find the open paren, then the chain before it.
+            let mut depth = 0usize;
+            let mut open = None;
+            for i in (0..=last).rev() {
+                if self.is_punct(i, ")") {
+                    depth += 1;
+                } else if self.is_punct(i, "(") {
+                    depth -= 1;
+                    if depth == 0 {
+                        open = Some(i);
+                        break;
+                    }
+                }
+            }
+            let open = open?;
+            if open == 0 {
+                return None;
+            }
+            let (chain, first) = self.chain_back(open - 1)?;
+            let _ = chain;
+            return Some(self.span_text(first, last + 1));
+        }
+        let (chain, _) = self.chain_back(last)?;
+        Some(chain)
+    }
+
+    /// Captures a simple operand *starting* at `start` (the right operand
+    /// of a binary op): a chain, optionally followed by one call's
+    /// argument list. Returns `(text, one-past-end)`.
+    fn right_operand_text(&self, start: usize, end: usize) -> Option<(String, usize)> {
+        if start >= end {
+            return None;
+        }
+        if self.kind(start) == TokenKind::Int {
+            return Some((self.text(start).to_string(), start + 1));
+        }
+        if (self.kind(start) != TokenKind::Ident || is_keyword(self.text(start)))
+            && !self.is_ident(start, "self")
+        {
+            return None;
+        }
+        let mut i = start;
+        while i + 2 < end && self.is_punct(i + 1, ".") && self.kind(i + 2) == TokenKind::Ident {
+            i += 2;
+        }
+        let mut stop = i + 1;
+        if stop < end && self.is_punct(stop, "(") {
+            stop = self.matching(stop, end) + 1;
+        }
+        Some((self.span_text(start, stop), stop))
+    }
+
+    // ---- the walk ----------------------------------------------------
+
+    fn walk(&mut self, start: usize, end: usize) {
+        let mut i = start;
+        while i < end {
+            let t = self.code[i];
+            match (t.kind, t.text.as_str()) {
+                (TokenKind::Ident, "fn") => i = self.handle_fn(i, end),
+                (TokenKind::Ident, "if") => i = self.handle_if(i, end),
+                (TokenKind::Ident, "while") => i = self.handle_while(i, end),
+                (TokenKind::Ident, "for") => i = self.handle_for(i, end),
+                (TokenKind::Ident, "loop") => i = self.handle_loop(i, end),
+                (TokenKind::Ident, "let") => i = self.handle_let(i, end),
+                (TokenKind::Punct, "{") => {
+                    let close = self.matching(i, end);
+                    self.frames.push(Frame::default());
+                    self.walk(i + 1, close);
+                    self.frames.pop();
+                    i = close + 1;
+                }
+                (TokenKind::Punct, "[") if self.is_postfix_bracket(i) => {
+                    self.check_index(i, end);
+                    i += 1; // contents are walked linearly
+                }
+                (TokenKind::Punct, "+")
+                | (TokenKind::Punct, "-")
+                | (TokenKind::Punct, "*")
+                | (TokenKind::Punct, "<<") => {
+                    self.check_arith(i, end, false);
+                    i += 1;
+                }
+                (TokenKind::Punct, "+=")
+                | (TokenKind::Punct, "-=")
+                | (TokenKind::Punct, "*=")
+                | (TokenKind::Punct, "<<=") => {
+                    self.check_arith(i, end, true);
+                    i += 1;
+                }
+                (TokenKind::Punct, "=" | "/=" | "%=" | ">>=" | "&=" | "|=" | "^=") => {
+                    // Plain or non-arith compound assignment to a simple
+                    // ident or chain head: kill its facts.
+                    if i > 0 {
+                        if let Some((chain, first)) = self.chain_back(i - 1) {
+                            let _ = chain;
+                            let head = self.text(first).to_string();
+                            if !is_keyword(&head) || head == "self" {
+                                self.kill_ident(&head);
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+                (TokenKind::Punct, "&") if self.is_ident_at(i + 1, "mut") => {
+                    // `&mut x` hands out mutable access: kill x.
+                    if i + 2 < end && self.kind(i + 2) == TokenKind::Ident {
+                        let name = self.text(i + 2).to_string();
+                        if !is_keyword(&name) {
+                            self.kill_ident(&name);
+                        }
+                    }
+                    i += 1;
+                }
+                (TokenKind::Punct, ".")
+                    if i + 1 < end
+                        && self.kind(i + 1) == TokenKind::Ident
+                        && LEN_MUTATORS.contains(&self.text(i + 1))
+                        && self.is_punct(i + 2, "(") =>
+                {
+                    if i > 0 {
+                        if let Some((recv, _)) = self.chain_back(i - 1) {
+                            self.kill_len(&recv);
+                        }
+                    }
+                    i += 1;
+                }
+                _ => i += 1,
+            }
+        }
+    }
+
+    fn is_ident_at(&self, i: usize, t: &str) -> bool {
+        i < self.code.len() && self.code[i].is_ident(t)
+    }
+
+    /// Whether the `[` at `i` is a postfix index (receiver expression ends
+    /// just before it), not an array literal, type, or attribute.
+    fn is_postfix_bracket(&self, i: usize) -> bool {
+        if i == 0 {
+            return false;
+        }
+        let prev = self.code[i - 1];
+        match prev.kind {
+            TokenKind::Ident => !is_keyword(&prev.text) || prev.text == "self",
+            TokenKind::Punct => prev.text == ")" || prev.text == "]",
+            _ => false,
+        }
+    }
+
+    // ---- statements --------------------------------------------------
+
+    /// `fn name(params) -> ret { body }` — a fresh barrier frame seeded
+    /// with parameter typedness facts.
+    fn handle_fn(&mut self, fn_idx: usize, end: usize) -> usize {
+        let open = self.body_open(fn_idx + 1, end);
+        if open >= end {
+            return fn_idx + 1; // bodiless (trait method) or garbled
+        }
+        let close = self.matching(open, end);
+        let mut frame = Frame::barrier();
+        // The parameter list is the first `(` outside the generics.
+        let mut angle = 0i64;
+        let mut param_paren = None;
+        for j in fn_idx + 1..open {
+            match (self.kind(j), self.text(j)) {
+                (TokenKind::Punct, "<") => angle += 1,
+                (TokenKind::Punct, ">") => angle -= 1,
+                (TokenKind::Punct, "<<") => angle += 2,
+                (TokenKind::Punct, ">>") => angle -= 2,
+                (TokenKind::Punct, "(") if angle <= 0 => {
+                    param_paren = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        // Parameter scan: `[mut] ident : [&] [mut] type` at paren depth 1.
+        if let Some(paren) = param_paren {
+            let pclose = self.matching(paren, open);
+            let mut j = paren + 1;
+            let mut depth = 1usize;
+            while j < pclose {
+                match (self.kind(j), self.text(j)) {
+                    (TokenKind::Punct, "(") | (TokenKind::Punct, "[") | (TokenKind::Punct, "<") => {
+                        depth += 1
+                    }
+                    (TokenKind::Punct, ")") | (TokenKind::Punct, "]") | (TokenKind::Punct, ">") => {
+                        depth = depth.saturating_sub(1)
+                    }
+                    (TokenKind::Ident, name)
+                        if depth == 1 && !is_keyword(name) && self.is_punct(j + 1, ":") =>
+                    {
+                        let mut k = j + 2;
+                        while k < pclose
+                            && (self.is_punct(k, "&")
+                                || self.kind(k) == TokenKind::Lifetime
+                                || self.is_ident_at(k, "mut"))
+                        {
+                            k += 1;
+                        }
+                        if k < pclose && self.kind(k) == TokenKind::Ident {
+                            let ty = self.text(k);
+                            if let Some(ty) = INT_TYPES.iter().find(|t| **t == ty) {
+                                frame.idents.insert(
+                                    name.to_string(),
+                                    IdentFact {
+                                        int: true,
+                                        ty: Some(ty),
+                                        ..IdentFact::default()
+                                    },
+                                );
+                            } else if ty == "f32" || ty == "f64" {
+                                frame.idents.insert(
+                                    name.to_string(),
+                                    IdentFact {
+                                        float: true,
+                                        ..IdentFact::default()
+                                    },
+                                );
+                            }
+                        }
+                        j = k;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        self.frames.push(frame);
+        self.walk(open + 1, close);
+        self.frames.pop();
+        close + 1
+    }
+
+    /// `if cond { then } [else if … ] [else { … }]`.
+    fn handle_if(&mut self, if_idx: usize, end: usize) -> usize {
+        if self.is_ident_at(if_idx + 1, "let") {
+            // if-let: no value facts, walk body in a plain frame.
+            let open = self.body_open(if_idx + 1, end);
+            if open >= end {
+                return if_idx + 1;
+            }
+            let close = self.matching(open, end);
+            self.walk(if_idx + 2, open); // scrutinee expression
+            self.frames.push(Frame::default());
+            self.walk(open + 1, close);
+            self.frames.pop();
+            return self.handle_else(close + 1, end);
+        }
+        let open = self.body_open(if_idx + 1, end);
+        if open >= end {
+            return if_idx + 1;
+        }
+        let close = self.matching(open, end);
+        // Walk the condition itself first (it may contain sites).
+        self.walk(if_idx + 1, open);
+        let facts = self.parse_condition(if_idx + 1, open);
+        let mut frame = Frame::default();
+        apply_guard(&mut frame, facts);
+        self.frames.push(frame);
+        self.walk(open + 1, close);
+        self.frames.pop();
+        // Early-exit negation: `if i >= n { return; }` leaves `i < n`
+        // true afterwards, when there is no else branch.
+        let has_else = self.is_ident_at(close + 1, "else");
+        if !has_else && self.block_is_early_exit(open, close) {
+            let neg = self.negated_condition(if_idx + 1, open);
+            if let Some(top) = self.frames.last_mut() {
+                apply_guard(top, neg);
+            }
+        }
+        self.handle_else(close + 1, end)
+    }
+
+    fn handle_else(&mut self, i: usize, end: usize) -> usize {
+        if !self.is_ident_at(i, "else") {
+            return i;
+        }
+        if self.is_ident_at(i + 1, "if") {
+            return self.handle_if(i + 1, end);
+        }
+        if self.is_punct(i + 1, "{") {
+            let close = self.matching(i + 1, end);
+            self.frames.push(Frame::default());
+            self.walk(i + 2, close);
+            self.frames.pop();
+            return close + 1;
+        }
+        i + 1
+    }
+
+    /// Whether a block consists of a single `return`/`break`/`continue`
+    /// statement (the shape the early-exit negation is sound for).
+    fn block_is_early_exit(&self, open: usize, close: usize) -> bool {
+        if open + 1 >= close {
+            return false;
+        }
+        matches!(self.text(open + 1), "return" | "break" | "continue")
+    }
+
+    /// `while cond { body }` — body-assigned idents are killed *before*
+    /// the guard fact is asserted, because the guard re-holds at the top
+    /// of every iteration but pre-loop facts do not.
+    fn handle_while(&mut self, w_idx: usize, end: usize) -> usize {
+        let open = self.body_open(w_idx + 1, end);
+        if open >= end {
+            return w_idx + 1;
+        }
+        let close = self.matching(open, end);
+        self.walk(w_idx + 1, open); // condition sites, pre-kill facts
+        self.kill_body_assigned(open + 1, close);
+        let facts = if self.is_ident_at(w_idx + 1, "let") {
+            GuardFacts::default()
+        } else {
+            self.parse_condition(w_idx + 1, open)
+        };
+        let mut frame = Frame::default();
+        apply_guard(&mut frame, facts);
+        self.frames.push(frame);
+        self.walk(open + 1, close);
+        self.frames.pop();
+        close + 1
+    }
+
+    /// `for pat in iter { body }` — an exclusive int range bounds the
+    /// loop variable.
+    fn handle_for(&mut self, f_idx: usize, end: usize) -> usize {
+        let open = self.body_open(f_idx + 1, end);
+        if open >= end {
+            return f_idx + 1;
+        }
+        let close = self.matching(open, end);
+        // Locate `in` at depth 0 between the pattern and the iterator.
+        let mut in_idx = None;
+        let mut depth = 0usize;
+        for j in f_idx + 1..open {
+            match (self.kind(j), self.text(j)) {
+                (TokenKind::Punct, "(") | (TokenKind::Punct, "[") => depth += 1,
+                (TokenKind::Punct, ")") | (TokenKind::Punct, "]") => {
+                    depth = depth.saturating_sub(1)
+                }
+                (TokenKind::Ident, "in") if depth == 0 => {
+                    in_idx = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(in_idx) = in_idx else {
+            return open + 1;
+        };
+        self.walk(in_idx + 1, open); // iterator expression sites
+        self.kill_body_assigned(open + 1, close);
+        let mut frame = Frame::default();
+        // Pattern: a bare ident (optionally `mut`) picks up range bounds.
+        let mut pat = f_idx + 1;
+        if self.is_ident_at(pat, "mut") {
+            pat += 1;
+        }
+        if pat + 1 == in_idx && self.kind(pat) == TokenKind::Ident && !is_keyword(self.text(pat)) {
+            let var = self.text(pat).to_string();
+            if let Some(fact) = self.range_bound_fact(in_idx + 1, open) {
+                frame.idents.insert(var, fact);
+            }
+        }
+        self.frames.push(frame);
+        self.walk(open + 1, close);
+        self.frames.pop();
+        close + 1
+    }
+
+    /// The loop-variable fact for an `A..B` / `A..=B` iterator expression.
+    fn range_bound_fact(&self, start: usize, end: usize) -> Option<IdentFact> {
+        let mut depth = 0usize;
+        let mut dots = None;
+        for j in start..end {
+            match (self.kind(j), self.text(j)) {
+                (TokenKind::Punct, "(") | (TokenKind::Punct, "[") => depth += 1,
+                (TokenKind::Punct, ")") | (TokenKind::Punct, "]") => {
+                    depth = depth.saturating_sub(1)
+                }
+                (TokenKind::Punct, "..") | (TokenKind::Punct, "..=") if depth == 0 => {
+                    dots = Some(j);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let dots = dots?;
+        let inclusive = self.text(dots) == "..=";
+        let hi_start = dots + 1;
+        if hi_start >= end {
+            return None;
+        }
+        let mut fact = IdentFact {
+            int: true,
+            ..IdentFact::default()
+        };
+        // `..xs.len()` upper bound.
+        if let Some((text, stop)) = self.right_operand_text(hi_start, end) {
+            if stop == end && text.ends_with(". len ( )") {
+                if !inclusive {
+                    let recv = text.trim_end_matches(" . len ( )").to_string();
+                    fact.upper = Some(Upper::LtLen(recv));
+                }
+                return Some(fact);
+            }
+        }
+        // `..N` literal upper bound.
+        if hi_start + 1 == end && self.kind(hi_start) == TokenKind::Int {
+            if let Some((v, ty)) = parse_int(self.text(hi_start)) {
+                fact.upper = Some(Upper::LtConst(if inclusive { v + 1 } else { v }));
+                fact.ty = ty;
+            }
+            return Some(fact);
+        }
+        // `..n` where n is a known constant.
+        if hi_start + 1 == end && self.kind(hi_start) == TokenKind::Ident {
+            if let Some(f) = self.lookup(self.text(hi_start)) {
+                if let Some(v) = f.value {
+                    fact.upper = Some(Upper::LtConst(if inclusive { v + 1 } else { v }));
+                }
+            }
+            return Some(fact);
+        }
+        Some(fact)
+    }
+
+    /// `loop { body }`.
+    fn handle_loop(&mut self, l_idx: usize, end: usize) -> usize {
+        if !self.is_punct(l_idx + 1, "{") {
+            return l_idx + 1;
+        }
+        let close = self.matching(l_idx + 1, end);
+        self.kill_body_assigned(l_idx + 2, close);
+        self.frames.push(Frame::default());
+        self.walk(l_idx + 2, close);
+        self.frames.pop();
+        close + 1
+    }
+
+    /// Kills facts about every identifier a loop body assigns to, passes
+    /// `&mut` on, or calls a length-mutating method on. Runs before the
+    /// loop's guard facts are asserted.
+    fn kill_body_assigned(&mut self, start: usize, end: usize) {
+        let mut killed: Vec<String> = Vec::new();
+        let mut len_killed: Vec<String> = Vec::new();
+        for j in start..end {
+            if self.kind(j) != TokenKind::Punct {
+                continue;
+            }
+            let t = self.text(j);
+            let is_assign = matches!(
+                t,
+                "=" | "+=" | "-=" | "*=" | "/=" | "%=" | "<<=" | ">>=" | "&=" | "|=" | "^="
+            );
+            if is_assign && j > start {
+                if let Some((_, first)) = self.chain_back(j - 1) {
+                    let head = self.text(first).to_string();
+                    if !is_keyword(&head) || head == "self" {
+                        killed.push(head);
+                    }
+                }
+            } else if t == "&" && self.is_ident_at(j + 1, "mut") {
+                if j + 2 < end && self.kind(j + 2) == TokenKind::Ident {
+                    killed.push(self.text(j + 2).to_string());
+                }
+            } else if t == "."
+                && j + 1 < end
+                && self.kind(j + 1) == TokenKind::Ident
+                && LEN_MUTATORS.contains(&self.text(j + 1))
+                && self.is_punct(j + 2, "(")
+                && j > start
+            {
+                if let Some((recv, _)) = self.chain_back(j - 1) {
+                    len_killed.push(recv);
+                }
+            }
+        }
+        for name in killed {
+            self.kill_ident(&name);
+        }
+        for recv in len_killed {
+            self.kill_len(&recv);
+        }
+    }
+
+    /// `let [mut] name [: ty] = init ;` — binds simple value facts.
+    /// The fact is applied immediately (the old binding is killed first),
+    /// which is sound because the recognized initializer shapes cannot
+    /// contain sites that consult the new binding.
+    fn handle_let(&mut self, let_idx: usize, end: usize) -> usize {
+        let mut i = let_idx + 1;
+        if self.is_ident_at(i, "mut") {
+            i += 1;
+        }
+        if i >= end || self.kind(i) != TokenKind::Ident || is_keyword(self.text(i)) {
+            return let_idx + 1; // destructuring pattern: no facts
+        }
+        let name = self.text(i).to_string();
+        let mut fact = IdentFact::default();
+        i += 1;
+        if self.is_punct(i, ":") {
+            let mut k = i + 1;
+            while k < end
+                && (self.is_punct(k, "&")
+                    || self.kind(k) == TokenKind::Lifetime
+                    || self.is_ident_at(k, "mut"))
+            {
+                k += 1;
+            }
+            if k < end && self.kind(k) == TokenKind::Ident {
+                let ty = self.text(k);
+                if let Some(ty) = INT_TYPES.iter().find(|t| **t == ty) {
+                    fact.int = true;
+                    fact.ty = Some(ty);
+                } else if ty == "f32" || ty == "f64" {
+                    fact.float = true;
+                }
+            }
+            // Skip to the `=` or `;` at depth 0.
+            let mut depth = 0usize;
+            while k < end {
+                match (self.kind(k), self.text(k)) {
+                    (TokenKind::Punct, "(") | (TokenKind::Punct, "[") | (TokenKind::Punct, "<") => {
+                        depth += 1
+                    }
+                    (TokenKind::Punct, ")") | (TokenKind::Punct, "]") | (TokenKind::Punct, ">") => {
+                        depth = depth.saturating_sub(1)
+                    }
+                    (TokenKind::Punct, "=") | (TokenKind::Punct, ";") if depth == 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            i = k;
+        }
+        if !self.is_punct(i, "=") {
+            self.set_fact(name, fact);
+            return i;
+        }
+        let init = i + 1;
+        // Find the statement end at depth 0.
+        let mut depth = 0usize;
+        let mut semi = end;
+        for j in init..end {
+            match (self.kind(j), self.text(j)) {
+                (TokenKind::Punct, "(") | (TokenKind::Punct, "[") | (TokenKind::Punct, "{") => {
+                    depth += 1
+                }
+                (TokenKind::Punct, ")") | (TokenKind::Punct, "]") | (TokenKind::Punct, "}") => {
+                    depth = depth.saturating_sub(1)
+                }
+                (TokenKind::Punct, ";") if depth == 0 => {
+                    semi = j;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        self.bind_init_fact(&mut fact, init, semi);
+        self.set_fact(name, fact);
+        // Resume at the initializer (walked linearly for sites) so the
+        // binding's own `=` is not mistaken for a fact-killing assignment.
+        init
+    }
+
+    /// Recognizes the simple initializer shapes that yield value facts.
+    fn bind_init_fact(&mut self, fact: &mut IdentFact, init: usize, semi: usize) {
+        if init >= semi {
+            return;
+        }
+        // `= 42;`
+        if init + 1 == semi && self.kind(init) == TokenKind::Int {
+            if let Some((v, ty)) = parse_int(self.text(init)) {
+                fact.int = true;
+                fact.value = Some(v);
+                fact.upper = Some(Upper::LtConst(v + 1));
+                if fact.ty.is_none() {
+                    fact.ty = ty;
+                }
+            }
+            return;
+        }
+        // `= 1.5;`
+        if init + 1 == semi && self.kind(init) == TokenKind::Float {
+            fact.float = true;
+            return;
+        }
+        // `= <chain>.len();`
+        if let Some((text, stop)) = self.right_operand_text(init, semi) {
+            if stop == semi && text.ends_with(". len ( )") {
+                fact.int = true;
+                fact.ty = Some("usize");
+                return;
+            }
+        }
+        // `= <chain>.len() - 1;` — the canonical last index, a valid
+        // upper bound whenever the receiver is known non-empty (without
+        // that guard the subtraction itself is the arith rule's problem).
+        let span = self.span_text(init, semi);
+        if let Some(recv) = span.strip_suffix(" . len ( ) - 1") {
+            fact.int = true;
+            fact.ty = Some("usize");
+            if self.len_ge(recv).is_some_and(|n| n >= 1) {
+                fact.upper = Some(Upper::LtLen(recv.to_string()));
+            }
+            return;
+        }
+        // `= <expr> as <int ty>;`
+        if semi >= 2 && self.kind(semi - 1) == TokenKind::Ident && self.is_ident_at(semi - 2, "as")
+        {
+            let ty = self.text(semi - 1);
+            if let Some(ty) = INT_TYPES.iter().find(|t| **t == ty) {
+                fact.int = true;
+                fact.ty = Some(ty);
+            } else if ty == "f32" || ty == "f64" {
+                fact.float = true;
+            }
+            return;
+        }
+        // `= <expr>.min(<bound>);`  /  `= <expr>.clamp(<lo>, <hi>);`
+        // The bound argument becomes an inclusive upper bound.
+        if self.is_punct(semi.wrapping_sub(1), ")") {
+            let mut depth = 0usize;
+            let mut open = None;
+            for j in (init..semi).rev() {
+                if self.is_punct(j, ")") {
+                    depth += 1;
+                } else if self.is_punct(j, "(") {
+                    depth -= 1;
+                    if depth == 0 {
+                        open = Some(j);
+                        break;
+                    }
+                }
+            }
+            if let Some(open) = open {
+                if open >= 2 && self.is_punct(open - 2, ".") {
+                    let method = self.text(open - 1);
+                    if method == "min" || method == "clamp" {
+                        // min: single arg is the bound; clamp: second arg.
+                        let bound_range = if method == "min" {
+                            Some((open + 1, semi - 1))
+                        } else {
+                            // Find the depth-0 comma inside the parens.
+                            let mut d = 0usize;
+                            let mut comma = None;
+                            for j in open + 1..semi - 1 {
+                                match (self.kind(j), self.text(j)) {
+                                    (TokenKind::Punct, "(") | (TokenKind::Punct, "[") => d += 1,
+                                    (TokenKind::Punct, ")") | (TokenKind::Punct, "]") => {
+                                        d = d.saturating_sub(1)
+                                    }
+                                    (TokenKind::Punct, ",") if d == 0 => {
+                                        comma = Some(j);
+                                        break;
+                                    }
+                                    _ => {}
+                                }
+                            }
+                            comma.map(|c| (c + 1, semi - 1))
+                        };
+                        if let Some((bs, be)) = bound_range {
+                            self.min_bound_fact(fact, bs, be);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Interprets a `.min(bound)` / `.clamp(_, bound)` argument as an
+    /// inclusive upper bound on the bound variable.
+    fn min_bound_fact(&self, fact: &mut IdentFact, bs: usize, be: usize) {
+        fact.int = true; // min/clamp against an int bound implies int
+                         // `.min(N)` literal.
+        if bs + 1 == be && self.kind(bs) == TokenKind::Int {
+            if let Some((v, ty)) = parse_int(self.text(bs)) {
+                fact.upper = Some(Upper::LtConst(v + 1));
+                if fact.ty.is_none() {
+                    fact.ty = ty;
+                }
+            } else {
+                fact.int = false;
+            }
+            return;
+        }
+        // `.min(bound)` where `bound` is a variable: the clamp result
+        // inherits the bound variable's own value or upper bound.
+        if bs + 1 == be && self.kind(bs) == TokenKind::Ident {
+            if let Some(f) = self.lookup(self.text(bs)) {
+                if let Some(v) = f.value {
+                    fact.upper = Some(Upper::LtConst(v + 1));
+                    if fact.ty.is_none() {
+                        fact.ty = f.ty;
+                    }
+                    return;
+                }
+                if f.upper.is_some() {
+                    fact.upper = f.upper;
+                    if fact.ty.is_none() {
+                        fact.ty = f.ty;
+                    }
+                    return;
+                }
+            }
+            fact.int = false;
+            return;
+        }
+        // `.min(<chain>.len() - 1)` — the canonical last-index clamp.
+        let text = self.span_text(bs, be);
+        if let Some(recv) = text.strip_suffix(" . len ( ) - 1") {
+            fact.upper = Some(Upper::LtLen(recv.to_string()));
+            return;
+        }
+        fact.int = false; // unknown bound shape: typedness unproven too
+    }
+
+    // ---- guards -------------------------------------------------------
+
+    /// Parses a guard condition in `start..end` into facts. Conjunctions
+    /// contribute each recognized conjunct; any top-level `||` voids all.
+    fn parse_condition(&self, start: usize, end: usize) -> GuardFacts {
+        let mut facts = GuardFacts::default();
+        let mut depth = 0usize;
+        let mut piece_start = start;
+        let mut pieces = Vec::new();
+        for j in start..end {
+            match (self.kind(j), self.text(j)) {
+                (TokenKind::Punct, "(") | (TokenKind::Punct, "[") | (TokenKind::Punct, "{") => {
+                    depth += 1
+                }
+                (TokenKind::Punct, ")") | (TokenKind::Punct, "]") | (TokenKind::Punct, "}") => {
+                    depth = depth.saturating_sub(1)
+                }
+                (TokenKind::Punct, "||") if depth == 0 => return facts,
+                (TokenKind::Punct, "&&") if depth == 0 => {
+                    pieces.push((piece_start, j));
+                    piece_start = j + 1;
+                }
+                _ => {}
+            }
+        }
+        pieces.push((piece_start, end));
+        for (s, e) in pieces {
+            self.parse_comparison(s, e, &mut facts);
+        }
+        facts
+    }
+
+    /// Parses one conjunct into facts, when it is a recognized shape.
+    fn parse_comparison(&self, start: usize, end: usize, facts: &mut GuardFacts) {
+        if start >= end {
+            return;
+        }
+        // `!xs.is_empty()`
+        if self.is_punct(start, "!") {
+            if let Some((text, stop)) = self.right_operand_text(start + 1, end) {
+                if stop == end {
+                    if let Some(recv) = text.strip_suffix(" . is_empty ( )") {
+                        facts.len_ge.push((recv.to_string(), 1));
+                    }
+                }
+            }
+            return;
+        }
+        // Find the comparison operator at depth 0.
+        let mut depth = 0usize;
+        let mut cmp = None;
+        for j in start..end {
+            match (self.kind(j), self.text(j)) {
+                (TokenKind::Punct, "(") | (TokenKind::Punct, "[") => depth += 1,
+                (TokenKind::Punct, ")") | (TokenKind::Punct, "]") => {
+                    depth = depth.saturating_sub(1)
+                }
+                (TokenKind::Punct, op)
+                    if depth == 0 && matches!(op, "<" | "<=" | ">" | ">=" | "==") =>
+                {
+                    cmp = Some((j, op));
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some((at, op)) = cmp else { return };
+        let lhs = match self.comparison_side(start, at) {
+            Some(s) => s,
+            None => return,
+        };
+        let rhs = match self.comparison_side(at + 1, end) {
+            Some(s) => s,
+            None => return,
+        };
+        // Normalize to `small REL big` by flipping `>`/`>=`.
+        let (small, big, strict) = match op {
+            "<" => (&lhs, &rhs, true),
+            "<=" => (&lhs, &rhs, false),
+            ">" => (&rhs, &lhs, true),
+            ">=" => (&rhs, &lhs, false),
+            "==" => {
+                if let (Side::Ident(name), Side::Const(v, ty)) = (&lhs, &rhs) {
+                    facts.idents.push((
+                        name.clone(),
+                        IdentFact {
+                            int: true,
+                            value: Some(*v),
+                            upper: Some(Upper::LtConst(v + 1)),
+                            ty: *ty,
+                            ..IdentFact::default()
+                        },
+                    ));
+                }
+                return;
+            }
+            _ => return,
+        };
+        // `big >= small` pair fact, for subtraction proofs.
+        facts
+            .ge_pairs
+            .push((big.text().to_string(), small.text().to_string()));
+        match (small, big) {
+            (Side::Ident(name), Side::Len(recv)) if strict => {
+                facts.idents.push((
+                    name.clone(),
+                    IdentFact {
+                        int: true,
+                        upper: Some(Upper::LtLen(recv.clone())),
+                        ..IdentFact::default()
+                    },
+                ));
+            }
+            (Side::Ident(name), Side::Const(v, ty)) => {
+                facts.idents.push((
+                    name.clone(),
+                    IdentFact {
+                        int: true,
+                        upper: Some(Upper::LtConst(if strict { *v } else { v + 1 })),
+                        ty: *ty,
+                        ..IdentFact::default()
+                    },
+                ));
+            }
+            (Side::Const(v, _), Side::Len(recv)) => {
+                // `C < xs.len()` ⇒ len >= C+1 ; `C <= xs.len()` ⇒ len >= C.
+                facts
+                    .len_ge
+                    .push((recv.clone(), if strict { v + 1 } else { *v }));
+            }
+            _ => {}
+        }
+    }
+
+    /// The negation of a *single-comparison* condition, for early-exit
+    /// blocks. Conjunctions and disjunctions negate to nothing usable.
+    fn negated_condition(&self, start: usize, end: usize) -> GuardFacts {
+        // Bail on any top-level `&&`/`||`/`!`.
+        let mut depth = 0usize;
+        for j in start..end {
+            match (self.kind(j), self.text(j)) {
+                (TokenKind::Punct, "(") | (TokenKind::Punct, "[") => depth += 1,
+                (TokenKind::Punct, ")") | (TokenKind::Punct, "]") => {
+                    depth = depth.saturating_sub(1)
+                }
+                (TokenKind::Punct, "&&") | (TokenKind::Punct, "||") | (TokenKind::Punct, "!")
+                    if depth == 0 =>
+                {
+                    return GuardFacts::default()
+                }
+                _ => {}
+            }
+        }
+        // Rewrite the operator and reuse the positive parser.
+        let mut depth = 0usize;
+        for j in start..end {
+            match (self.kind(j), self.text(j)) {
+                (TokenKind::Punct, "(") | (TokenKind::Punct, "[") => depth += 1,
+                (TokenKind::Punct, ")") | (TokenKind::Punct, "]") => {
+                    depth = depth.saturating_sub(1)
+                }
+                (TokenKind::Punct, op) if depth == 0 && matches!(op, "<" | "<=" | ">" | ">=") => {
+                    let flipped = match op {
+                        "<" => ">=",
+                        "<=" => ">",
+                        ">" => "<=",
+                        _ => "<",
+                    };
+                    let mut facts = GuardFacts::default();
+                    self.parse_flipped_comparison(start, j, end, flipped, &mut facts);
+                    return facts;
+                }
+                _ => {}
+            }
+        }
+        GuardFacts::default()
+    }
+
+    /// `parse_comparison` with the operator at `at` replaced by `flipped`.
+    fn parse_flipped_comparison(
+        &self,
+        start: usize,
+        at: usize,
+        end: usize,
+        flipped: &str,
+        facts: &mut GuardFacts,
+    ) {
+        let lhs = match self.comparison_side(start, at) {
+            Some(s) => s,
+            None => return,
+        };
+        let rhs = match self.comparison_side(at + 1, end) {
+            Some(s) => s,
+            None => return,
+        };
+        let (small, big, strict) = match flipped {
+            "<" => (&lhs, &rhs, true),
+            "<=" => (&lhs, &rhs, false),
+            ">" => (&rhs, &lhs, true),
+            ">=" => (&rhs, &lhs, false),
+            _ => return,
+        };
+        facts
+            .ge_pairs
+            .push((big.text().to_string(), small.text().to_string()));
+        match (small, big) {
+            (Side::Ident(name), Side::Len(recv)) if strict => {
+                facts.idents.push((
+                    name.clone(),
+                    IdentFact {
+                        int: true,
+                        upper: Some(Upper::LtLen(recv.clone())),
+                        ..IdentFact::default()
+                    },
+                ));
+            }
+            (Side::Ident(name), Side::Const(v, ty)) => {
+                facts.idents.push((
+                    name.clone(),
+                    IdentFact {
+                        int: true,
+                        upper: Some(Upper::LtConst(if strict { *v } else { v + 1 })),
+                        ty: *ty,
+                        ..IdentFact::default()
+                    },
+                ));
+            }
+            (Side::Const(v, _), Side::Len(recv)) => {
+                facts
+                    .len_ge
+                    .push((recv.clone(), if strict { v + 1 } else { *v }));
+            }
+            _ => {}
+        }
+    }
+
+    /// One side of a comparison, when it is a recognized simple shape.
+    fn comparison_side(&self, start: usize, end: usize) -> Option<Side> {
+        if start >= end {
+            return None;
+        }
+        if start + 1 == end && self.kind(start) == TokenKind::Int {
+            let (v, ty) = parse_int(self.text(start))?;
+            return Some(Side::Const(v, ty));
+        }
+        let (text, stop) = self.right_operand_text(start, end)?;
+        if stop != end {
+            return None;
+        }
+        if let Some(recv) = text.strip_suffix(" . len ( )") {
+            return Some(Side::Len(recv.to_string()));
+        }
+        if start + 1 == end && self.kind(start) == TokenKind::Ident {
+            let name = self.text(start);
+            if !is_keyword(name) {
+                // A const-valued ident compares like its value.
+                if let Some(f) = self.lookup(name) {
+                    if let Some(v) = f.value {
+                        return Some(Side::Const(v, f.ty));
+                    }
+                }
+                return Some(Side::Ident(name.to_string()));
+            }
+        }
+        Some(Side::Expr(text))
+    }
+
+    // ---- sites --------------------------------------------------------
+
+    /// Classifies the operand ending at `op_idx - 1`.
+    fn left_operand(&self, op_idx: usize) -> Operand {
+        if op_idx == 0 {
+            return Operand::Unknown(None);
+        }
+        let prev = self.code[op_idx - 1];
+        match prev.kind {
+            TokenKind::Int => match parse_int(&prev.text) {
+                Some((v, ty)) => Operand::Const(v, ty),
+                None => Operand::IntUnknown,
+            },
+            TokenKind::Float => Operand::Float,
+            TokenKind::Ident => {
+                let name = prev.text.as_str();
+                if INT_TYPES.contains(&name) {
+                    // `expr as usize + 1` — cast result, provably int.
+                    return Operand::IntUnknown;
+                }
+                if name == "f32" || name == "f64" {
+                    return Operand::Float;
+                }
+                if is_keyword(name) && name != "self" {
+                    return Operand::Unknown(None);
+                }
+                match self.lookup(name) {
+                    Some(f) if f.float => Operand::Float,
+                    Some(IdentFact {
+                        value: Some(v), ty, ..
+                    }) => Operand::Const(v, ty),
+                    Some(f) if f.int => Operand::IntIdent(name.to_string(), f),
+                    _ => Operand::Unknown(self.left_operand_text(op_idx)),
+                }
+            }
+            TokenKind::Punct if prev.text == ")" => {
+                // `<chain>.len() OP …` pattern.
+                if op_idx >= 5
+                    && self.is_punct(op_idx - 2, "(")
+                    && self.is_ident_at(op_idx - 3, "len")
+                    && self.is_punct(op_idx - 4, ".")
+                {
+                    if let Some((recv, _)) = self.chain_back(op_idx - 5) {
+                        return Operand::Len(recv);
+                    }
+                }
+                Operand::Unknown(self.left_operand_text(op_idx))
+            }
+            _ => Operand::Unknown(None),
+        }
+    }
+
+    /// Classifies the operand starting at `start`.
+    fn right_operand(&self, start: usize, end: usize) -> Operand {
+        if start >= end {
+            return Operand::Unknown(None);
+        }
+        let tok = self.code[start];
+        match tok.kind {
+            TokenKind::Int => match parse_int(&tok.text) {
+                Some((v, ty)) => Operand::Const(v, ty),
+                None => Operand::IntUnknown,
+            },
+            TokenKind::Float => Operand::Float,
+            TokenKind::Punct if tok.text == "-" => {
+                // Negative literal constant.
+                if start + 1 < end && self.kind(start + 1) == TokenKind::Int {
+                    if let Some((v, ty)) = parse_int(self.text(start + 1)) {
+                        return Operand::Const(-v, ty);
+                    }
+                }
+                Operand::Unknown(None)
+            }
+            TokenKind::Ident => {
+                let name = tok.text.as_str();
+                if is_keyword(name) && name != "self" {
+                    return Operand::Unknown(None);
+                }
+                // Bare ident (not a call or chain)?
+                let next_dot = self.is_punct(start + 1, ".");
+                let next_call = self.is_punct(start + 1, "(") || self.is_punct(start + 1, "::");
+                if !next_dot && !next_call {
+                    return match self.lookup(name) {
+                        Some(f) if f.float => Operand::Float,
+                        Some(IdentFact {
+                            value: Some(v), ty, ..
+                        }) => Operand::Const(v, ty),
+                        Some(f) if f.int => Operand::IntIdent(name.to_string(), f),
+                        _ => Operand::Unknown(Some(name.to_string())),
+                    };
+                }
+                // `<chain>.len()` as the right operand.
+                if let Some((text, _)) = self.right_operand_text(start, end) {
+                    if let Some(recv) = text.strip_suffix(" . len ( )") {
+                        return Operand::Len(recv.to_string());
+                    }
+                    return Operand::Unknown(Some(text));
+                }
+                Operand::Unknown(None)
+            }
+            _ => Operand::Unknown(None),
+        }
+    }
+
+    /// Records (and tries to prove) one arithmetic site at `op_idx`.
+    fn check_arith(&mut self, op_idx: usize, end: usize, compound: bool) {
+        let tok = self.code[op_idx];
+        let op = tok.text.as_str();
+        if !compound {
+            // Binary use only: the previous token must end an operand.
+            if op_idx == 0 {
+                return;
+            }
+            let prev = self.code[op_idx - 1];
+            let binary = match prev.kind {
+                TokenKind::Ident => !is_keyword(&prev.text) || prev.text == "self",
+                TokenKind::Int | TokenKind::Float => true,
+                TokenKind::Punct => prev.text == ")" || prev.text == "]",
+                _ => false,
+            };
+            if !binary {
+                return;
+            }
+            // `*const` / `*mut` raw-pointer types.
+            if op == "*"
+                && (self.is_ident_at(op_idx + 1, "const") || self.is_ident_at(op_idx + 1, "mut"))
+            {
+                return;
+            }
+        }
+        let left = self.left_operand(op_idx);
+        let right = self.right_operand(op_idx + 1, end);
+        if left.is_float() || right.is_float() {
+            return;
+        }
+        if !left.provably_int() && !right.provably_int() {
+            return;
+        }
+        let base_op = op.trim_end_matches('=');
+        let proven = self.prove_arith(base_op, &left, &right, op_idx);
+        self.out.arith.push(ArithSite {
+            line: tok.line,
+            col: tok.col,
+            op: op.to_string(),
+            proven,
+        });
+        if compound {
+            // The assigned ident's facts are now stale.
+            if op_idx > 0 && self.kind(op_idx - 1) == TokenKind::Ident {
+                let name = self.text(op_idx - 1).to_string();
+                self.kill_ident(&name);
+            } else if op_idx > 0 {
+                if let Some((_, first)) = self.chain_back(op_idx - 1) {
+                    let head = self.text(first).to_string();
+                    self.kill_ident(&head);
+                }
+            }
+        }
+    }
+
+    /// The in-range proof for one arithmetic site.
+    fn prove_arith(&self, op: &str, left: &Operand, right: &Operand, op_idx: usize) -> bool {
+        let limit = |a: &Operand, b: &Operand| -> i128 {
+            let ty = match (a, b) {
+                (Operand::Const(_, Some(t)), _) => Some(*t),
+                (_, Operand::Const(_, Some(t))) => Some(*t),
+                (Operand::IntIdent(_, f), _) if f.ty.is_some() => f.ty,
+                (_, Operand::IntIdent(_, f)) if f.ty.is_some() => f.ty,
+                _ => None,
+            };
+            ty.map_or(DEFAULT_MAX, type_max)
+        };
+        match op {
+            "+" => match (left, right) {
+                (Operand::Const(a, _), Operand::Const(b, _)) => a
+                    .checked_add(*b)
+                    .is_some_and(|r| r >= 0 && r <= limit(left, right)),
+                (Operand::IntIdent(_, f), Operand::Const(c, _))
+                | (Operand::Const(c, _), Operand::IntIdent(_, f)) => self.bounded_add(f, *c),
+                _ => false,
+            },
+            "-" => {
+                // Guard-pair proof: `big - small` under `big >= small`.
+                if let (Some(l), Some(r)) = (operand_text(left, self, op_idx), right_text(right)) {
+                    if self.has_ge_pair(&l, &r) {
+                        return true;
+                    }
+                }
+                match (left, right) {
+                    (Operand::Const(a, _), Operand::Const(b, _)) => a
+                        .checked_sub(*b)
+                        .is_some_and(|r| r >= 0 && r <= limit(left, right)),
+                    (Operand::Len(recv), Operand::Const(c, _)) => {
+                        *c >= 0 && self.len_ge(recv).is_some_and(|k| k >= *c)
+                    }
+                    _ => false,
+                }
+            }
+            "*" => match (left, right) {
+                (Operand::Const(a, _), Operand::Const(b, _)) => a
+                    .checked_mul(*b)
+                    .is_some_and(|r| r >= 0 && r <= limit(left, right)),
+                _ => false,
+            },
+            "<<" => match (left, right) {
+                (Operand::Const(a, _), Operand::Const(b, _)) => u32::try_from(*b)
+                    .ok()
+                    .filter(|s| *s < 128)
+                    .and_then(|s| a.checked_shl(s))
+                    .is_some_and(|r| r >= 0 && r <= limit(left, right)),
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// `x + c` where `x` carries a strict upper bound: `x < B ⇒ x + c ≤
+    /// B - 1 + c`. Length bounds absorb exactly `+ 1` (an index strictly
+    /// below `len` is at most `len`, which always fits the index type);
+    /// constant bounds use the ident's type limit, falling back to the
+    /// smallest integer maximum when the type is unknown.
+    fn bounded_add(&self, f: &IdentFact, c: i128) -> bool {
+        if c < 0 {
+            return false;
+        }
+        match &f.upper {
+            Some(Upper::LtLen(_)) => c <= 1,
+            Some(Upper::LtConst(b)) => {
+                let max = f.ty.map_or(FALLBACK_MAX, type_max);
+                b.checked_add(c).is_some_and(|r| r - 1 <= max)
+            }
+            None => false,
+        }
+    }
+
+    /// Records (and tries to prove) one index site at `open` (a `[`).
+    fn check_index(&mut self, open: usize, end: usize) {
+        let close = self.matching(open, end);
+        let tok = self.code[open];
+        let recv = if open > 0 {
+            self.chain_back(open - 1).map(|(text, _)| text)
+        } else {
+            None
+        };
+        let proven = self.prove_index(open + 1, close, recv.as_deref());
+        self.out.indexes.push(IndexSite {
+            line: tok.line,
+            col: tok.col,
+            proven,
+        });
+    }
+
+    /// The boundedness proof for one index expression.
+    fn prove_index(&self, start: usize, end: usize, recv: Option<&str>) -> bool {
+        let Some(recv) = recv else { return false };
+        if start >= end {
+            return false;
+        }
+        // `xs[C]` with `xs.len() >= C + 1` known.
+        if start + 1 == end && self.kind(start) == TokenKind::Int {
+            if let Some((v, _)) = parse_int(self.text(start)) {
+                return self.len_ge(recv).is_some_and(|k| k > v);
+            }
+            return false;
+        }
+        // `xs[i]` with `i < xs.len()` or `i == C < known len`.
+        if start + 1 == end && self.kind(start) == TokenKind::Ident {
+            let name = self.text(start);
+            if let Some(f) = self.lookup(name) {
+                if f.upper == Some(Upper::LtLen(recv.to_string())) {
+                    return true;
+                }
+                if let Some(v) = f.value {
+                    return self.len_ge(recv).is_some_and(|k| k > v);
+                }
+                // `i < B` with `xs.len() >= B` known.
+                if let Some(Upper::LtConst(b)) = f.upper {
+                    return self.len_ge(recv).is_some_and(|k| k >= b);
+                }
+            }
+        }
+        false
+    }
+}
+
+/// One side of a comparison.
+#[derive(Debug, Clone)]
+enum Side {
+    Ident(String),
+    Const(i128, Option<&'static str>),
+    Len(String),
+    Expr(String),
+}
+
+impl Side {
+    fn text(&self) -> String {
+        match self {
+            Side::Ident(s) => s.clone(),
+            Side::Const(v, _) => v.to_string(),
+            Side::Len(recv) => format!("{recv} . len ( )"),
+            Side::Expr(s) => s.clone(),
+        }
+    }
+}
+
+fn apply_guard(frame: &mut Frame, facts: GuardFacts) {
+    if facts.is_empty() {
+        return;
+    }
+    for (name, fact) in facts.idents {
+        frame.idents.insert(name, fact);
+    }
+    for (recv, v) in facts.len_ge {
+        let e = frame.len_ge.entry(recv).or_insert(v);
+        *e = (*e).max(v);
+    }
+    for pair in facts.ge_pairs {
+        frame.ge_pairs.push(pair);
+    }
+}
+
+/// Normalized left-operand text for the `>=`-pair subtraction proof.
+fn operand_text(op: &Operand, w: &Walker<'_>, op_idx: usize) -> Option<String> {
+    match op {
+        Operand::IntIdent(name, _) => Some(name.clone()),
+        Operand::Unknown(Some(text)) => Some(text.clone()),
+        Operand::Len(recv) => Some(format!("{recv} . len ( )")),
+        Operand::Const(v, _) => Some(v.to_string()),
+        _ => w.left_operand_text(op_idx),
+    }
+}
+
+/// Normalized right-operand text for the `>=`-pair subtraction proof.
+fn right_text(op: &Operand) -> Option<String> {
+    match op {
+        Operand::IntIdent(name, _) => Some(name.clone()),
+        Operand::Unknown(Some(text)) => Some(text.clone()),
+        Operand::Len(recv) => Some(format!("{recv} . len ( )")),
+        Operand::Const(v, _) => Some(v.to_string()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> FileDataflow {
+        let tokens = lex(src);
+        let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+        analyze_source(&code)
+    }
+
+    fn arith_flags(src: &str) -> Vec<bool> {
+        run(src).arith.iter().map(|s| s.proven).collect()
+    }
+
+    fn index_flags(src: &str) -> Vec<bool> {
+        run(src).indexes.iter().map(|s| s.proven).collect()
+    }
+
+    #[test]
+    fn const_folding_proves_small_sums() {
+        assert_eq!(arith_flags("fn f() -> u32 { 2 + 3 }"), vec![true]);
+        assert_eq!(arith_flags("fn f() -> u32 { 1 << 10 }"), vec![true]);
+        assert_eq!(arith_flags("fn f() -> u64 { 1u64 << 63 }"), vec![true]);
+        // Unsuffixed shift past i32::MAX is not provable.
+        assert_eq!(arith_flags("fn f() -> u64 { 1 << 40 }"), vec![false]);
+    }
+
+    #[test]
+    fn guarded_increment_is_proven() {
+        let src = "fn f(i: usize, xs: &[u32]) { if i < xs.len() { let j = i + 1; } }";
+        assert_eq!(arith_flags(src), vec![true]);
+        // Without the guard the same increment is unproven.
+        let src = "fn f(i: usize) { let j = i + 1; }";
+        assert_eq!(arith_flags(src), vec![false]);
+    }
+
+    #[test]
+    fn while_guard_proves_subtraction() {
+        let src = "fn f(mut h: u32, y: u32) { while h >= hours(y) { h -= hours(y); } }";
+        assert_eq!(arith_flags(src), vec![true]);
+        // The same subtraction outside the guard is unproven.
+        let src = "fn f(mut h: u32, y: u32) { h -= hours(y); }";
+        assert_eq!(arith_flags(src), vec![false]);
+    }
+
+    #[test]
+    fn len_minus_one_needs_nonempty_guard() {
+        let ok = "fn f(xs: &[u32]) { if !xs.is_empty() { let l = xs.len() - 1; } }";
+        assert_eq!(arith_flags(ok), vec![true]);
+        let bad = "fn f(xs: &[u32]) { let l = xs.len() - 1; }";
+        assert_eq!(arith_flags(bad), vec![false]);
+    }
+
+    #[test]
+    fn guarded_index_is_proven() {
+        let ok = "fn f(i: usize, xs: &[u32]) -> u32 { if i < xs.len() { xs[i] } else { 0 } }";
+        assert_eq!(index_flags(ok), vec![true]);
+        let bad = "fn f(i: usize, xs: &[u32]) -> u32 { xs[i] }";
+        assert_eq!(index_flags(bad), vec![false]);
+    }
+
+    #[test]
+    fn range_loop_bounds_the_index() {
+        let src = "fn f(xs: &[u32]) { for i in 0..xs.len() { use_it(xs[i]); } }";
+        assert_eq!(index_flags(src), vec![true]);
+        // An inclusive range does not bound strictly below len.
+        let src = "fn f(xs: &[u32]) { for i in 0..=xs.len() { use_it(xs[i]); } }";
+        assert_eq!(index_flags(src), vec![false]);
+    }
+
+    #[test]
+    fn min_clamp_binds_a_last_index_bound() {
+        let src = "fn f(b: usize, xs: &[u32]) -> u32 { let i = b.min(xs.len() - 1); xs[i] }";
+        // Two sites: the `len() - 1` subtraction (unproven without a
+        // nonempty guard) and the index (proven by the min bound).
+        assert_eq!(index_flags(src), vec![true]);
+        let src = "fn f(b: usize, xs: &[u32]) -> u32 { let i = b; xs[i] }";
+        assert_eq!(index_flags(src), vec![false]);
+    }
+
+    #[test]
+    fn last_index_binding_needs_a_nonempty_guard() {
+        // `len() - 1` is a valid last-index bound only once the receiver
+        // is known non-empty; the bound then flows through `.min(ident)`.
+        let src = "fn f(b: usize, xs: &[u32]) -> u32 { \
+                   if !xs.is_empty() { let last = xs.len() - 1; let i = b.min(last); xs[i] } \
+                   else { 0 } }";
+        assert_eq!(index_flags(src), vec![true]);
+        // Without the guard the binding carries no upper bound.
+        let src = "fn f(b: usize, xs: &[u32]) -> u32 { \
+                   let last = xs.len() - 1; let i = b.min(last); xs[i] }";
+        assert_eq!(index_flags(src), vec![false]);
+    }
+
+    #[test]
+    fn min_against_a_const_variable_inherits_its_value() {
+        let src = "fn f(b: usize, xs: &[u32]) -> u32 { \
+                   let cap = 3; let i = b.min(cap); if 4 < xs.len() { xs[i] } else { 0 } }";
+        assert_eq!(index_flags(src), vec![true]);
+    }
+
+    #[test]
+    fn early_exit_negation_holds_after_the_block() {
+        let src = "fn f(i: usize, xs: &[u32]) -> u32 { if i >= xs.len() { return 0; } xs[i] }";
+        assert_eq!(index_flags(src), vec![true]);
+        // With an else branch the negation is not applied.
+        let src =
+            "fn f(i: usize, xs: &[u32]) -> u32 { if i >= xs.len() { return 0; } else { g(); } xs[i] }";
+        assert_eq!(index_flags(src), vec![false]);
+    }
+
+    #[test]
+    fn loop_entry_kills_stale_facts() {
+        // `i` is bounded before the loop but assigned inside it: the
+        // pre-scan kill makes the in-loop index unproven.
+        let src = "fn f(xs: &[u32]) { let i = 0; while go() { use_it(xs[i]); i += 1; } }";
+        assert_eq!(index_flags(src), vec![false]);
+        // Without the in-loop assignment the fact survives.
+        let src =
+            "fn f(xs: &[u32]) { if 0 < xs.len() { let i = 0; while go() { use_it(xs[i]); } } }";
+        assert_eq!(index_flags(src), vec![true]);
+    }
+
+    #[test]
+    fn mutation_kills_len_facts() {
+        let src = "fn f(i: usize, xs: &mut Vec<u32>) -> u32 { if i < xs.len() { xs.pop(); return xs[i]; } 0 }";
+        assert_eq!(index_flags(src), vec![false]);
+        let src =
+            "fn f(i: usize, xs: &mut Vec<u32>) -> u32 { if i < xs.len() { return xs[i]; } 0 }";
+        assert_eq!(index_flags(src), vec![true]);
+    }
+
+    #[test]
+    fn reassignment_kills_value_facts() {
+        let src = "fn f(xs: &[u32], n: usize) { let mut i = 0; i = n; use_it(xs[i]); }";
+        assert_eq!(index_flags(src), vec![false]);
+    }
+
+    #[test]
+    fn guard_facts_do_not_leak_out_of_the_block() {
+        let src = "fn f(i: usize, xs: &[u32]) -> u32 { if i < xs.len() { g(); } xs[i] }";
+        assert_eq!(index_flags(src), vec![false]);
+    }
+
+    #[test]
+    fn facts_do_not_cross_fn_barriers() {
+        let src = "fn outer(i: usize, xs: &[u32]) { if i < xs.len() { fn inner(i: usize, xs: &[u32]) -> u32 { xs[i] } } }";
+        assert_eq!(index_flags(src), vec![false]);
+    }
+
+    #[test]
+    fn float_arithmetic_is_not_flagged() {
+        assert!(run("fn f(a: f64) -> f64 { a + 1.0 }").arith.is_empty());
+        assert!(run("fn f() -> f64 { 0.5 * 2.0 }").arith.is_empty());
+        // Mixed unknown + float literal: still float.
+        assert!(run("fn f(a: f64, b: f64) -> f64 { a * b + 0.5 }")
+            .arith
+            .is_empty());
+    }
+
+    #[test]
+    fn unknown_operands_are_not_flagged() {
+        // Neither side provably integer: no site at all.
+        assert!(run("fn f(a: T, b: T) -> T { a + b }").arith.is_empty());
+        // A literal operand makes the op auditable.
+        assert_eq!(run("fn f(a: T) -> T { a + 1 }").arith.len(), 1);
+    }
+
+    #[test]
+    fn unary_and_type_positions_are_skipped() {
+        assert!(run("fn f(a: i64) -> i64 { -a }").arith.is_empty());
+        assert!(run("fn f(p: *const u8) {}").arith.is_empty());
+        assert!(run("fn f(x: &u32) -> u32 { *x }").arith.is_empty());
+    }
+
+    #[test]
+    fn array_literals_and_attributes_are_not_index_sites() {
+        assert!(run("fn f() -> [u32; 4] { [0; 4] }").indexes.is_empty());
+        assert!(run("#[derive(Debug)] struct S;").indexes.is_empty());
+        assert!(run("fn f(xs: &[u32]) {}").indexes.is_empty());
+    }
+
+    #[test]
+    fn literal_index_under_len_guard() {
+        let src = "fn f(xs: &[u32]) -> u32 { if xs.len() > 2 { xs[2] } else { 0 } }";
+        assert_eq!(index_flags(src), vec![true]);
+        let src = "fn f(xs: &[u32]) -> u32 { if xs.len() > 2 { xs[3] } else { 0 } }";
+        assert_eq!(index_flags(src), vec![false]);
+        let src = "fn f(xs: &[u32]) -> u32 { if !xs.is_empty() { xs[0] } else { 0 } }";
+        assert_eq!(index_flags(src), vec![true]);
+    }
+
+    #[test]
+    fn compound_increment_under_loop_guard() {
+        let src = "fn f() { let mut m = 1; while m < 12 { m += 1; } }";
+        assert_eq!(arith_flags(src), vec![true]);
+        let src = "fn f(mut m: u32) { m += 1; }";
+        assert_eq!(arith_flags(src), vec![false]);
+    }
+
+    #[test]
+    fn int_literal_parsing() {
+        assert_eq!(parse_int("42"), Some((42, None)));
+        assert_eq!(parse_int("1_000u64"), Some((1000, Some("u64"))));
+        assert_eq!(parse_int("0x1E"), Some((30, None)));
+        assert_eq!(parse_int("0b101"), Some((5, None)));
+        assert_eq!(parse_int("0o17"), Some((15, None)));
+        assert_eq!(parse_int("7usize"), Some((7, Some("usize"))));
+    }
+}

@@ -1,4 +1,4 @@
-//! The CLI driver: walks the workspace, runs both analysis passes,
+//! The CLI driver: walks the workspace, runs all three analysis passes,
 //! applies the baseline ratchets, and renders diagnostics.
 //!
 //! Scan set: `crates/*/src/**/*.rs` plus the facade crate's `src/**/*.rs`,
@@ -175,6 +175,10 @@ pub struct WorkspaceAnalysis {
     pub cast_counts: BTreeMap<String, Vec<u32>>,
     /// Per-file justified-unsafe lines, for the `unsafe-boundary` ratchet.
     pub unsafe_counts: BTreeMap<String, Vec<u32>>,
+    /// Per-file unproven-arithmetic lines, for the `int-overflow` ratchet.
+    pub arith_counts: BTreeMap<String, Vec<u32>>,
+    /// Per-file unproven-index lines, for the `slice-index` ratchet.
+    pub index_counts: BTreeMap<String, Vec<u32>>,
     /// `panic-reachability` findings with witnesses.
     pub panic_reach: Vec<ReachFinding>,
     /// `dead-pub-api` findings.
@@ -208,6 +212,8 @@ pub fn analyze_workspace(
     let mut panic_counts = BTreeMap::new();
     let mut cast_counts = BTreeMap::new();
     let mut unsafe_counts = BTreeMap::new();
+    let mut arith_counts = BTreeMap::new();
+    let mut index_counts = BTreeMap::new();
     let mut lib_items = Vec::with_capacity(per_file.len());
     for ((analysis, items), (rel, _)) in per_file.into_iter().zip(lib_sources) {
         violations.extend(analysis.violations);
@@ -220,10 +226,16 @@ pub fn analyze_workspace(
         if !analysis.unsafe_sites.is_empty() {
             unsafe_counts.insert(rel.clone(), analysis.unsafe_sites);
         }
+        if !analysis.arith_sites.is_empty() {
+            arith_counts.insert(rel.clone(), analysis.arith_sites);
+        }
+        if !analysis.index_sites.is_empty() {
+            index_counts.insert(rel.clone(), analysis.index_sites);
+        }
         lib_items.push(items);
     }
 
-    // Pass 2: merge, resolve, run the graph rules.
+    // Pass 3: merge, resolve, run the graph rules.
     let ws = Workspace::build(lib_items, ref_items, crates);
     let graph = CallGraph::new(resolve(&ws));
     let ga = analyze_graph(&ws, &graph);
@@ -234,6 +246,8 @@ pub fn analyze_workspace(
         panic_counts,
         cast_counts,
         unsafe_counts,
+        arith_counts,
+        index_counts,
         panic_reach: ga.panic_reach,
         dead_api: ga.dead_api,
         files_scanned: lib_sources.len(),
@@ -313,6 +327,8 @@ pub fn run(opts: &Options) -> Outcome {
         panic_sites: analysis.panic_counts.values().map(Vec::len).sum(),
         lossy_casts: analysis.cast_counts.values().map(Vec::len).sum(),
         unsafe_sites: analysis.unsafe_counts.values().map(Vec::len).sum(),
+        arith_sites: analysis.arith_counts.values().map(Vec::len).sum(),
+        index_sites: analysis.index_counts.values().map(Vec::len).sum(),
         fns: analysis.fn_count,
         call_edges: analysis.edge_count,
         reachable_findings: analysis.panic_reach.len(),
@@ -341,14 +357,19 @@ fn write_baselines(opts: &Options, analysis: &WorkspaceAnalysis) -> Result<(), S
         files: count(&analysis.panic_counts),
         casts: count(&analysis.cast_counts),
         unsafe_sites: count(&analysis.unsafe_counts),
+        arith: count(&analysis.arith_counts),
+        indexes: count(&analysis.index_counts),
     };
     fs::write(&opts.baseline_path, baseline.render())
         .map_err(|e| format!("cannot write {}: {e}", opts.baseline_path.display()))?;
     eprintln!(
-        "ce-analyzer: wrote baseline ({} panic sites, {} lossy casts, {} unsafe sites) to {}",
+        "ce-analyzer: wrote baseline ({} panic sites, {} lossy casts, {} unsafe sites, \
+         {} unproven arith, {} unproven indexes) to {}",
         baseline.files.values().sum::<usize>(),
         baseline.casts.values().sum::<usize>(),
         baseline.unsafe_sites.values().sum::<usize>(),
+        baseline.arith.values().sum::<usize>(),
+        baseline.indexes.values().sum::<usize>(),
         opts.baseline_path.display()
     );
     let mut reach = ReachBaseline::default();
@@ -414,7 +435,7 @@ fn apply_ratchet(
         &'a BTreeMap<String, Vec<u32>>,
         &'a BTreeMap<String, usize>,
     );
-    let sections: [Section<'_>; 3] = [
+    let sections: [Section<'_>; 5] = [
         (
             "panic-in-lib",
             "panic sites (unwrap/expect/panic!/unreachable!)",
@@ -432,6 +453,18 @@ fn apply_ratchet(
             "unsafe sites",
             &analysis.unsafe_counts,
             &baseline.unsafe_sites,
+        ),
+        (
+            "int-overflow",
+            "unproven arithmetic sites",
+            &analysis.arith_counts,
+            &baseline.arith,
+        ),
+        (
+            "slice-index",
+            "unproven bracket-index sites",
+            &analysis.index_counts,
+            &baseline.indexes,
         ),
     ];
     let mut shrunk = 0usize;
@@ -695,6 +728,10 @@ pub struct ReportStats {
     pub lossy_casts: usize,
     /// Total baselined (justified, allowlisted) unsafe sites.
     pub unsafe_sites: usize,
+    /// Total baselined dataflow-unproven arithmetic sites.
+    pub arith_sites: usize,
+    /// Total baselined dataflow-unproven bracket-index sites.
+    pub index_sites: usize,
     /// Functions in the call graph.
     pub fns: usize,
     /// Resolved call edges.
@@ -729,6 +766,7 @@ fn print_human(violations: &[Violation], stats: &ReportStats) {
         println!(
             "ce-analyzer: clean — {} files, {} rules, {} fns / {} call edges, \
              {} baselined panic sites, {} lossy casts + {} unsafe sites baselined, \
+             {} unproven arith + {} unproven index sites baselined, \
              {} reachable + {} dead-API findings baselined",
             stats.files_scanned,
             crate::config::RULE_NAMES.len(),
@@ -737,6 +775,8 @@ fn print_human(violations: &[Violation], stats: &ReportStats) {
             stats.panic_sites,
             stats.lossy_casts,
             stats.unsafe_sites,
+            stats.arith_sites,
+            stats.index_sites,
             stats.reachable_findings,
             stats.dead_pub_items
         );
@@ -797,6 +837,8 @@ pub fn render_json(violations: &[Violation], stats: &ReportStats) -> String {
     let _ = writeln!(out, "  \"panic_sites\": {},", stats.panic_sites);
     let _ = writeln!(out, "  \"lossy_casts\": {},", stats.lossy_casts);
     let _ = writeln!(out, "  \"unsafe_sites\": {},", stats.unsafe_sites);
+    let _ = writeln!(out, "  \"arith_sites\": {},", stats.arith_sites);
+    let _ = writeln!(out, "  \"index_sites\": {},", stats.index_sites);
     let _ = writeln!(out, "  \"fns\": {},", stats.fns);
     let _ = writeln!(out, "  \"call_edges\": {},", stats.call_edges);
     let _ = writeln!(
@@ -916,6 +958,8 @@ mod tests {
             panic_sites: 42,
             lossy_casts: 5,
             unsafe_sites: 2,
+            arith_sites: 9,
+            index_sites: 6,
             fns: 100,
             call_edges: 250,
             reachable_findings: 7,
@@ -938,6 +982,8 @@ mod tests {
         assert!(json.contains("\"panic_sites\": 42"));
         assert!(json.contains("\"lossy_casts\": 5"));
         assert!(json.contains("\"unsafe_sites\": 2"));
+        assert!(json.contains("\"arith_sites\": 9"));
+        assert!(json.contains("\"index_sites\": 6"));
         assert!(json.contains("\"fns\": 100"));
         assert!(json.contains("\"call_edges\": 250"));
         assert!(json.contains("\"reachable_findings\": 7"));

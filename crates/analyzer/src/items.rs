@@ -1,4 +1,4 @@
-//! Pass 1 of the two-pass analyzer: per-file item extraction.
+//! Pass 1 of the three-pass analyzer: per-file item extraction.
 //!
 //! The file-local rules in [`rules`](crate::rules) see one file at a time;
 //! the graph rules need a workspace-wide view. This module recovers that
@@ -19,6 +19,7 @@
 use crate::config::crate_key;
 use crate::lexer::{lex, Token, TokenKind};
 use crate::rules::{fn_prefix_info, item_end, matching_brace, matching_paren, test_region_mask};
+use std::collections::BTreeSet;
 
 /// One fact location inside a function body.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -119,6 +120,9 @@ pub struct FnItem {
     /// sleeps/joins, channel receives, blocking socket reads/accepts) —
     /// the facts `blocking-in-event-loop` propagates.
     pub blocking: Vec<Site>,
+    /// `Ordering::SeqCst` sites inside the body — the facts the
+    /// reachability half of `atomic-ordering` propagates.
+    pub seqcst: Vec<Site>,
 }
 
 impl FnItem {
@@ -273,6 +277,9 @@ pub fn extract(rel_path: &str, source: &str) -> FileItems {
     }
 
     let code: Vec<&Token> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    // Index sites pass 2 proves bounded never become panic facts, so every
+    // new dataflow proof burns the `panic-reachability` ratchet down.
+    let proven_indexes = crate::dataflow::proven_index_sites(&code);
     let test_mask = test_region_mask(&code);
     let impls = impl_spans(&code);
     let raw_fns = fn_spans(&code);
@@ -323,8 +330,17 @@ pub fn extract(rel_path: &str, source: &str) -> FileItems {
             panics: Vec::new(),
             taints: Vec::new(),
             blocking: Vec::new(),
+            seqcst: Vec::new(),
         };
-        collect_body_facts(&code, open, close, &nested, &allow_markers, &mut item);
+        collect_body_facts(
+            &code,
+            open,
+            close,
+            &nested,
+            &allow_markers,
+            &proven_indexes,
+            &mut item,
+        );
         fns.push(item);
     }
 
@@ -545,6 +561,7 @@ fn collect_body_facts(
     close: usize,
     nested: &[(usize, usize)],
     allow_markers: &[(u32, String)],
+    proven_indexes: &BTreeSet<(u32, u32)>,
     item: &mut FnItem,
 ) {
     let allow = crate::config::allowances_for(&item.file);
@@ -579,7 +596,7 @@ fn collect_body_facts(
             let postfix = prev.kind == TokenKind::Ident && !is_keyword(&prev.text)
                 || prev.is_punct(")")
                 || prev.is_punct("]");
-            if postfix {
+            if postfix && !proven_indexes.contains(&(t.line, t.col)) {
                 item.panics.push(Site {
                     line: t.line,
                     col: t.col,
@@ -624,6 +641,19 @@ fn collect_body_facts(
                 line: t.line,
                 col: t.col,
                 what,
+            });
+        }
+
+        // `Ordering::SeqCst` facts — the graph half of `atomic-ordering`
+        // flags these when they are reachable from a hot/nonblocking root.
+        if t.text == "Ordering"
+            && next_colons
+            && code.get(i + 2).is_some_and(|n| n.is_ident("SeqCst"))
+        {
+            item.seqcst.push(Site {
+                line: t.line,
+                col: t.col,
+                what: "`Ordering::SeqCst`".to_string(),
             });
         }
 

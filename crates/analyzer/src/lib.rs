@@ -10,13 +10,17 @@
 //!
 //! This crate is the missing correctness-tooling layer: a dependency-free
 //! static-analysis pass (the workspace builds offline, so no `syn`) with a
-//! [hand-rolled lexer](lexer) and a **two-pass** architecture. Pass 1
-//! lexes every library file in parallel, runs the eight file-local
+//! [hand-rolled lexer](lexer) and a **three-pass** architecture. Pass 1
+//! lexes every library file in parallel, runs the file-local
 //! [rules](rules), and [extracts](items) each file's items — functions,
 //! impl owners, visibility, `ce:` markers, call sites, and per-function
-//! alloc/panic/nondeterminism/blocking/unsafe/cast facts. Pass 2
-//! [resolves](resolve) the call sites into a conservative workspace-wide
-//! [call graph](callgraph) and runs five graph rules over it.
+//! alloc/panic/nondeterminism/blocking/unsafe/cast/`SeqCst` facts. Pass 2
+//! is a conservative intraprocedural [dataflow](dataflow) walk over each
+//! function body, tracking integer constants, `len()`-derived bounds,
+//! `min`/`clamp` range facts, and guard conditions, and classifying every
+//! unchecked arithmetic and bracket-index site as *proven in-range* or
+//! not. Pass 3 [resolves](resolve) the call sites into a conservative
+//! workspace-wide [call graph](callgraph) and runs the graph rules.
 //!
 //! File-local rules:
 //!
@@ -37,21 +41,37 @@
 //! 8. `cast-truncation` — lossy `as` casts in deterministic crates need
 //!    `try_from`, explicit rounding, or `ce:allow(cast, …)`, ratcheted.
 //!
-//! Graph rules (pass 2):
+//! Dataflow rules (pass 2):
 //!
-//! 9. `hot-path-transitive-alloc` — a `// ce:hot` fn must not *reach* an
-//!    allocating fn through any call chain;
-//! 10. `panic-reachability` — every panic/unwrap/expect/indexing site
+//! 9. `int-overflow` — unchecked `+ - * <<` on integer operands in
+//!    deterministic crates must be proven in-range by dataflow, rewritten
+//!    as `checked_*`/`saturating_*`, or carry `ce:allow(arith, …)`;
+//!    unproven sites ratchet per file in `lint-baseline.json`;
+//! 10. `slice-index` — postfix bracket indexing outside tests must be
+//!     proven bounded by dataflow (guard, range loop, or `min`/`clamp`
+//!     against `len() - 1`); unproven sites ratchet per file;
+//! 11. `atomic-ordering` — every `Ordering::*` at an atomic call site
+//!     needs a `// ce:ordering(reason)` within 3 lines.
+//!
+//! Graph rules (pass 3):
+//!
+//! 12. `hot-path-transitive-alloc` — a `// ce:hot` fn must not *reach* an
+//!     allocating fn through any call chain;
+//! 13. `panic-reachability` — every panic/unwrap/expect/indexing site
 //!     reachable from a `// ce:hot` fn or `// ce:entry` handler, with a
-//!     shortest witness call path, ratcheted by `reach-baseline.json`;
-//! 11. `dead-pub-api` — `pub` items never referenced anywhere in the
+//!     shortest witness call path, ratcheted by `reach-baseline.json`
+//!     (dataflow-proven index sites are not panic facts, so proofs burn
+//!     this baseline down);
+//! 14. `dead-pub-api` — `pub` items never referenced anywhere in the
 //!     workspace, tests, benches, or examples (same ratchet file);
-//! 12. `determinism-taint` — deterministic crates must not call into
+//! 15. `determinism-taint` — deterministic crates must not call into
 //!     functions that reach a wall-clock or socket use;
-//! 13. `blocking-in-event-loop` — a `// ce:nonblocking` fn (the serve
+//! 16. `blocking-in-event-loop` — a `// ce:nonblocking` fn (the serve
 //!     reactor tick and its helpers) must not *reach* a blocking call,
 //!     with a shortest witness path; `ce:allow(blocking, …)` on a call
-//!     site cuts exactly that edge.
+//!     site cuts exactly that edge. `atomic-ordering` also has a graph
+//!     half: a `SeqCst` site reachable from a hot/nonblocking root is a
+//!     violation unless justified by `ce:allow(seqcst, …)`.
 //!
 //! Resolution is conservative: method calls resolve to every same-named
 //! workspace method in the caller's dependency closure, so the graph
@@ -75,6 +95,7 @@
 pub mod baseline;
 pub mod callgraph;
 pub mod config;
+pub mod dataflow;
 pub mod driver;
 pub mod items;
 pub mod lexer;

@@ -75,6 +75,13 @@ pub struct FileAnalysis {
     /// `unsafe-boundary` ratchet. Unjustified or out-of-allowlist unsafe
     /// is a violation instead.
     pub unsafe_sites: Vec<u32>,
+    /// Unproven integer-arithmetic sites (line numbers) in deterministic
+    /// crates, for the `int-overflow` ratchet. Dataflow-proven sites are
+    /// accepted silently.
+    pub arith_sites: Vec<u32>,
+    /// Unproven bracket-index sites (line numbers) outside tests, for the
+    /// `slice-index` ratchet. Dataflow-proven sites are accepted silently.
+    pub index_sites: Vec<u32>,
 }
 
 /// A parsed `// ce:allow(rule, reason = "…")` marker.
@@ -93,6 +100,7 @@ pub fn analyze_file(rel_path: &str, source: &str, config: &Config) -> FileAnalys
     let mut markers = Vec::new();
     let mut hot_lines = Vec::new();
     let mut safety_lines = Vec::new();
+    let mut ordering_lines = Vec::new();
     let mut violations = Vec::new();
     for t in tokens.iter().filter(|t| t.is_comment()) {
         collect_marker(
@@ -100,6 +108,7 @@ pub fn analyze_file(rel_path: &str, source: &str, config: &Config) -> FileAnalys
             &mut markers,
             &mut hot_lines,
             &mut safety_lines,
+            &mut ordering_lines,
             &mut violations,
             rel_path,
         );
@@ -124,6 +133,10 @@ pub fn analyze_file(rel_path: &str, source: &str, config: &Config) -> FileAnalys
     let panic_sites = panic_sites(&ctx);
     let cast_sites = cast_sites(&ctx);
     let unsafe_sites = rule_unsafe_boundary(&ctx, &safety_lines, &mut violations);
+    let df = crate::dataflow::analyze_source(&code);
+    let arith_sites = arith_sites(&ctx, &df);
+    let index_sites = index_sites(&ctx, &df);
+    rule_atomic_ordering(&ctx, &ordering_lines, &mut violations);
 
     violations.sort_by_key(|v| (v.line, v.col, v.rule.clone()));
     FileAnalysis {
@@ -131,6 +144,8 @@ pub fn analyze_file(rel_path: &str, source: &str, config: &Config) -> FileAnalys
         panic_sites,
         cast_sites,
         unsafe_sites,
+        arith_sites,
+        index_sites,
     }
 }
 
@@ -172,6 +187,7 @@ fn collect_marker(
     markers: &mut Vec<AllowMarker>,
     hot_lines: &mut Vec<u32>,
     safety_lines: &mut Vec<u32>,
+    ordering_lines: &mut Vec<u32>,
     violations: &mut Vec<Violation>,
     rel_path: &str,
 ) {
@@ -196,6 +212,21 @@ fn collect_marker(
             });
         } else {
             safety_lines.push(tok.line);
+        }
+        return;
+    }
+    if let Some(rest) = body.strip_prefix("ce:ordering(") {
+        let inner = rest.rsplit_once(')').map_or(rest, |(a, _)| a).trim();
+        if inner.is_empty() {
+            violations.push(Violation {
+                rule: "atomic-ordering".to_string(),
+                file: rel_path.to_string(),
+                line: tok.line,
+                col: tok.col,
+                message: "ce:ordering(…) marker carries no justification text".to_string(),
+            });
+        } else {
+            ordering_lines.push(tok.line);
         }
         return;
     }
@@ -681,6 +712,100 @@ fn rounding_exempt(code: &[&Token], idx: usize) -> bool {
         && code[i - 2].is_punct(".")
 }
 
+/// A `(line, col) → test?` lookup for dataflow sites, which carry
+/// positions rather than token indices.
+fn test_position_set(ctx: &RuleCtx<'_>) -> std::collections::BTreeSet<(u32, u32)> {
+    ctx.code
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| ctx.test_mask[*i])
+        .map(|(_, t)| (t.line, t.col))
+        .collect()
+}
+
+/// Non-test, dataflow-unproven integer-arithmetic sites in deterministic
+/// crates, for the `int-overflow` ratchet. A site is accepted when
+/// dataflow proves the result in-range, when the operator is already a
+/// `checked_*`/`saturating_*` method (those never lex as bare operators),
+/// or when it carries `ce:allow(arith, reason = "…")` (the rule name
+/// spelling works too). The operational front ends (`ce-serve`,
+/// `ce-bench`) deal in latency buckets and byte counts outside the
+/// bitwise-determinism contract and are exempt, exactly like
+/// `cast-truncation`.
+fn arith_sites(ctx: &RuleCtx<'_>, df: &crate::dataflow::FileDataflow) -> Vec<u32> {
+    if !is_deterministic(ctx.rel_path) {
+        return Vec::new();
+    }
+    let in_test = test_position_set(ctx);
+    df.arith
+        .iter()
+        .filter(|s| !s.proven)
+        .filter(|s| !in_test.contains(&(s.line, s.col)))
+        .filter(|s| !ctx.allowed("arith", s.line) && !ctx.allowed("int-overflow", s.line))
+        .map(|s| s.line)
+        .collect()
+}
+
+/// Non-test, dataflow-unproven bracket-index sites, for the `slice-index`
+/// ratchet. Unlike `int-overflow` this runs in every crate: an
+/// out-of-bounds panic in the serve path is as fatal as one in the sweep
+/// engine. A site is accepted when dataflow proves the index bounded (a
+/// dominating guard, an exclusive range loop, or a `min`/`clamp` against
+/// `len() - 1`) or when it carries `ce:allow(index, reason = "…")`.
+fn index_sites(ctx: &RuleCtx<'_>, df: &crate::dataflow::FileDataflow) -> Vec<u32> {
+    let in_test = test_position_set(ctx);
+    df.indexes
+        .iter()
+        .filter(|s| !s.proven)
+        .filter(|s| !in_test.contains(&(s.line, s.col)))
+        .filter(|s| !ctx.allowed("index", s.line) && !ctx.allowed("slice-index", s.line))
+        .map(|s| s.line)
+        .collect()
+}
+
+/// Memory-ordering names that appear as `Ordering::<variant>` at atomic
+/// call sites. Disjoint from `cmp::Ordering`'s `Less`/`Equal`/`Greater`,
+/// so comparison code never trips the rule.
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// The file-local half of `atomic-ordering`: every `Ordering::*` use at
+/// an atomic call site must have a `// ce:ordering(reason)` marker within
+/// the three lines above it (or on the same line). The marker documents
+/// *why* that ordering is sufficient — and the reachability half of the
+/// rule holds `SeqCst` on hot/nonblocking paths to a harder standard.
+fn rule_atomic_ordering(ctx: &RuleCtx<'_>, ordering_lines: &[u32], out: &mut Vec<Violation>) {
+    const RULE: &str = "atomic-ordering";
+    const REACH: u32 = 3;
+    let code = ctx.code;
+    for i in 0..code.len() {
+        if ctx.test_mask[i] || !code[i].is_ident("Ordering") {
+            continue;
+        }
+        let is_variant = code.get(i + 1).is_some_and(|t| t.is_punct("::"))
+            && code
+                .get(i + 2)
+                .is_some_and(|t| ATOMIC_ORDERINGS.contains(&t.text.as_str()));
+        if !is_variant {
+            continue;
+        }
+        let line = code[i].line;
+        let justified = ordering_lines
+            .iter()
+            .any(|l| *l <= line && line - *l <= REACH);
+        if !justified {
+            let variant = &code[i + 2].text;
+            out.extend(ctx.violation(
+                RULE,
+                code[i],
+                format!(
+                    "`Ordering::{variant}` has no `// ce:ordering(reason)` within {REACH} lines; \
+                     state why this ordering is sufficient"
+                ),
+            ));
+        }
+    }
+}
+
 /// The `unsafe-boundary` audit. Facts are `#[allow(unsafe_code)]`
 /// attribute scopes and any bare `unsafe` token outside such a scope.
 /// Every fact must live in an allowlisted file AND carry a
@@ -981,6 +1106,7 @@ pub fn analyze_graph(ws: &Workspace, graph: &CallGraph) -> GraphAnalysis {
     rule_panic_reachability(ws, graph, &mut out.panic_reach);
     rule_dead_pub_api(ws, &mut out.dead_api);
     rule_determinism_taint(ws, graph, &mut out.violations);
+    rule_seqcst_on_hot_paths(ws, graph, &mut out.violations);
     out
 }
 
@@ -1104,6 +1230,52 @@ fn rule_blocking_in_event_loop(ws: &Workspace, graph: &CallGraph, out: &mut Vec<
                     g.display(),
                     g.file,
                     site.line
+                ),
+            });
+        }
+    }
+}
+
+/// The reachability half of `atomic-ordering`: a `SeqCst` site in any fn
+/// reachable from a `// ce:hot` or `// ce:nonblocking` root is a hard
+/// violation unless the site carries `ce:allow(seqcst, reason = "…")`.
+/// `SeqCst` imposes a global total order — a full fence on some
+/// architectures — which is exactly the latency cliff the reactor's
+/// lock-free fast path exists to avoid; gauges and counters on those
+/// paths want `Relaxed`, handoffs want `Acquire`/`Release`.
+fn rule_seqcst_on_hot_paths(ws: &Workspace, graph: &CallGraph, out: &mut Vec<Violation>) {
+    const RULE: &str = "atomic-ordering";
+    const KIND: &str = "seqcst";
+    let roots: Vec<usize> = ws
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.hot || f.nonblocking)
+        .map(|(i, _)| i)
+        .collect();
+    if roots.is_empty() {
+        return;
+    }
+    let parents = graph.reach(&roots);
+    for (j, p) in parents.iter().enumerate() {
+        if p.is_none() {
+            continue;
+        }
+        let g = &ws.fns[j];
+        for site in &g.seqcst {
+            if site_allowed(g, KIND, site.line) || g.allows.iter().any(|r| r == KIND) {
+                continue;
+            }
+            let witness = render_witness(&ws.fns, &path_to(&parents, j));
+            out.push(Violation {
+                rule: RULE.to_string(),
+                file: g.file.clone(),
+                line: site.line,
+                col: site.col,
+                message: format!(
+                    "`Ordering::SeqCst` in `{}` is reachable from a hot/nonblocking root via \
+                     {witness}; use Relaxed/Acquire/Release or justify with ce:allow(seqcst, …)",
+                    g.display()
                 ),
             });
         }

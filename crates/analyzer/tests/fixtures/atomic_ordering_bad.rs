@@ -1,0 +1,21 @@
+//! Positive fixture: `Ordering::*` at an atomic call site with no
+//! `// ce:ordering(reason)` within 3 lines, and a marker with an empty
+//! justification. The annotated forms live in the `_ok` companion.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A counter bumped with no stated memory-ordering contract.
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The strongest ordering, also unjustified.
+pub fn publish(flag: &AtomicU64) {
+    flag.store(1, Ordering::SeqCst);
+}
+
+/// The marker is present but says nothing.
+pub fn read(flag: &AtomicU64) -> u64 {
+    // ce:ordering()
+    flag.load(Ordering::Acquire)
+}

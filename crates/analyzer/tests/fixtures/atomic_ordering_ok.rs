@@ -1,0 +1,29 @@
+//! Negative fixture: every `Ordering::*` site carries a
+//! `// ce:ordering(reason)` within 3 lines, and test regions are exempt.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A counter with a stated contract.
+pub fn bump(counter: &AtomicU64) {
+    // ce:ordering(monotonic gauge; readers tolerate staleness)
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// One marker can cover nearby sites within its 3-line reach.
+pub fn handoff(flag: &AtomicU64) -> u64 {
+    // ce:ordering(Release store pairs with the Acquire load below)
+    flag.store(1, Ordering::Release);
+    flag.load(Ordering::Acquire)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let c = AtomicU64::new(0);
+        c.store(7, Ordering::SeqCst);
+        assert_eq!(c.load(Ordering::SeqCst), 7);
+    }
+}

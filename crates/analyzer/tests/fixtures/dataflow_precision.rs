@@ -1,0 +1,30 @@
+//! Precision fixture for the dataflow pass: the guarded index and the
+//! guarded increment are *accepted* (absent from the golden), while the
+//! structurally identical unguarded twins are rejected with their exact
+//! site lines — pinning both directions of the classifier at once.
+
+/// Accepted: the guard proves the index and the increment together.
+pub fn guarded(xs: &[f64], i: usize) -> (f64, usize) {
+    if i < xs.len() {
+        (xs[i], i + 1)
+    } else {
+        (0.0, 0)
+    }
+}
+
+/// Rejected: the same expressions with no guard in scope.
+pub fn unguarded(xs: &[f64], i: usize) -> (f64, usize) {
+    (xs[i], i + 1)
+}
+
+/// Accepted, then rejected: mutating the slice kills the length facts,
+/// so the second index no longer has a live proof.
+pub fn killed(xs: &mut Vec<f64>, i: usize) -> f64 {
+    if i < xs.len() {
+        let kept = xs[i];
+        xs.push(0.0);
+        kept + xs[i]
+    } else {
+        0.0
+    }
+}

@@ -1,0 +1,26 @@
+//! The sanctioned form of the `seqcst_hot_bad` fixture: the fence is
+//! reachable from a hot root, but the site carries both its
+//! `ce:ordering` contract and a `ce:allow(seqcst)` justification, so the
+//! graph half of `atomic-ordering` accepts it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sweep progress shared across worker shards.
+pub struct Progress {
+    done: AtomicU64,
+}
+
+impl Progress {
+    /// One kernel step; every cycle counts.
+    // ce:hot
+    pub fn step(&self) {
+        self.record();
+    }
+
+    /// Publishes one completed step.
+    fn record(&self) {
+        // ce:ordering(total order: the rendezvous below reads every shard's fence)
+        // ce:allow(seqcst, reason = "cross-shard rendezvous needs the single total order")
+        self.done.fetch_add(1, Ordering::SeqCst);
+    }
+}

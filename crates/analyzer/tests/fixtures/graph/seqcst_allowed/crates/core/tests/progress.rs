@@ -1,0 +1,10 @@
+//! Keeps the fixture's pub surface referenced so `dead-pub-api` stays
+//! out of the golden.
+
+use ce_core::Progress;
+
+#[test]
+fn progress_steps() {
+    let p = Progress::default();
+    p.step();
+}

@@ -1,0 +1,24 @@
+//! A hot kernel transitively reaching a `SeqCst` fence: the graph half
+//! of `atomic-ordering` must reject it with a shortest witness path even
+//! though the site itself carries a `ce:ordering` marker.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sweep progress shared across worker shards.
+pub struct Progress {
+    done: AtomicU64,
+}
+
+impl Progress {
+    /// One kernel step; every cycle counts.
+    // ce:hot
+    pub fn step(&self) {
+        self.record();
+    }
+
+    /// Publishes one completed step.
+    fn record(&self) {
+        // ce:ordering(full fence, deliberately pinned for this fixture)
+        self.done.fetch_add(1, Ordering::SeqCst);
+    }
+}

@@ -1,0 +1,23 @@
+//! Positive fixture: unchecked arithmetic on integer operands that the
+//! dataflow pass cannot prove in-range is counted as a ratchet site.
+//! Proven, rewritten, and justified forms live in the `_ok` companion.
+
+/// Two unbounded indexes: the sum can wrap `usize` on adversarial input.
+pub fn advance(cursor: usize, step: usize) -> usize {
+    cursor + step
+}
+
+/// An unproven scale factor: the product can overflow silently.
+pub fn scale(hours: u64, factor: u64) -> u64 {
+    hours * factor
+}
+
+/// A shift by a variable amount: nothing bounds `bits` below 64.
+pub fn lane_mask(bits: u32) -> u64 {
+    1u64 << bits
+}
+
+/// Subtraction with no `a >= b` guard in scope can wrap below zero.
+pub fn gap(later: u32, earlier: u32) -> u32 {
+    later - earlier
+}

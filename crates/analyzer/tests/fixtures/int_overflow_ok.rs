@@ -1,0 +1,46 @@
+//! Negative fixture: the sanctioned forms of the arithmetic the `_bad`
+//! companion counts — dataflow-proven sites (constant folds, guarded
+//! increments, guarded subtraction), explicit `checked_*`/`saturating_*`
+//! rewrites, justified `ce:allow(arith)` markers, and test regions.
+
+/// Constant folding: `24 * 7` is provably in-range at every width.
+pub fn week_hours() -> u32 {
+    24 * 7
+}
+
+/// A guard puts `i + 1` within `xs.len()`, which fits the index type.
+pub fn next_slot(xs: &[f64], i: usize) -> usize {
+    if i < xs.len() {
+        i + 1
+    } else {
+        0
+    }
+}
+
+/// The `while` guard proves the subtraction cannot wrap.
+pub fn drain(mut remaining: u32, chunk: u32) -> u32 {
+    while remaining >= chunk {
+        remaining -= chunk;
+    }
+    remaining
+}
+
+/// An explicit rewrite states the overflow policy instead of hoping.
+pub fn scale(hours: u64, factor: u64) -> u64 {
+    hours.saturating_mul(factor)
+}
+
+/// A justified site carries its proof in the marker.
+pub fn wrap_hour(hour: u32) -> u32 {
+    // ce:allow(arith, reason = "callers pass hour < 8784, far from u32::MAX")
+    hour + 1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_regions_are_exempt() {
+        let x = u64::MAX;
+        assert_eq!(x.wrapping_add(1), x + 1 - 1);
+    }
+}

@@ -1,0 +1,22 @@
+//! Positive fixture: postfix bracket indexing the dataflow pass cannot
+//! prove bounded is counted as a ratchet site. Guarded and iterator
+//! forms live in the `_ok` companion.
+
+/// No emptiness guard: `xs[0]` panics on an empty slice.
+pub fn first(xs: &[f64]) -> f64 {
+    xs[0]
+}
+
+/// An arbitrary index with no bound in scope.
+pub fn pick(xs: &[f64], i: usize) -> f64 {
+    xs[i]
+}
+
+/// The guard protects the wrong variable: `j` is still unbounded.
+pub fn misguarded(xs: &[f64], i: usize, j: usize) -> f64 {
+    if i < xs.len() {
+        xs[j]
+    } else {
+        0.0
+    }
+}

@@ -1,0 +1,61 @@
+//! Negative fixture: the bounded forms of the indexing the `_bad`
+//! companion counts — dataflow-proven guards, range loops, `min`-clamped
+//! cursors, total `.get()` accesses, justified markers, and test regions.
+
+/// The guard proves `i` in range on the taken branch.
+pub fn pick(xs: &[f64], i: usize) -> f64 {
+    if i < xs.len() {
+        xs[i]
+    } else {
+        0.0
+    }
+}
+
+/// A non-emptiness guard proves the constant index.
+pub fn first(xs: &[f64]) -> f64 {
+    if !xs.is_empty() {
+        xs[0]
+    } else {
+        0.0
+    }
+}
+
+/// The range loop bounds its induction variable by construction.
+pub fn total(xs: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    for i in 0..xs.len() {
+        sum += xs[i];
+    }
+    sum
+}
+
+/// Clamping against `len() - 1` proves the lookup under the guard.
+pub fn saturating_lookup(table: &[f64], slot: usize) -> f64 {
+    if !table.is_empty() {
+        let last = table.len() - 1;
+        let clamped = slot.min(last);
+        table[clamped]
+    } else {
+        0.0
+    }
+}
+
+/// The total form needs no proof at all.
+pub fn checked(xs: &[f64], i: usize) -> f64 {
+    xs.get(i).copied().unwrap_or(0.0)
+}
+
+/// A justified site carries its reasoning.
+pub fn wrapped(xs: &[f64], i: usize) -> f64 {
+    // ce:allow(index, reason = "i % len is in range; modulo proof is out of scope")
+    xs[i % xs.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_regions_are_exempt() {
+        let xs = [1.0, 2.0];
+        assert!((xs[1] - 2.0).abs() < f64::EPSILON);
+    }
+}

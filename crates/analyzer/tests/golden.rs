@@ -163,6 +163,44 @@ const CASES: &[Case] = &[
         rel_path: "crates/serve/src/sys.rs",
         dirty: true,
     },
+    Case {
+        stem: "int_overflow_bad",
+        rel_path: "crates/core/src/fixture.rs",
+        dirty: true,
+    },
+    Case {
+        stem: "int_overflow_ok",
+        rel_path: "crates/core/src/fixture.rs",
+        dirty: false,
+    },
+    Case {
+        stem: "slice_index_bad",
+        rel_path: "crates/core/src/fixture.rs",
+        dirty: true,
+    },
+    Case {
+        stem: "slice_index_ok",
+        rel_path: "crates/core/src/fixture.rs",
+        dirty: false,
+    },
+    Case {
+        stem: "atomic_ordering_bad",
+        rel_path: "crates/serve/src/fixture.rs",
+        dirty: true,
+    },
+    Case {
+        stem: "atomic_ordering_ok",
+        rel_path: "crates/serve/src/fixture.rs",
+        dirty: false,
+    },
+    Case {
+        // Both directions of the dataflow classifier in one file: the
+        // guarded twins are accepted (absent from the golden), the
+        // unguarded twins are rejected at their exact site lines.
+        stem: "dataflow_precision",
+        rel_path: "crates/core/src/fixture.rs",
+        dirty: true,
+    },
 ];
 
 fn fixtures_dir() -> PathBuf {
@@ -193,6 +231,12 @@ fn render(case: &Case, config: &Config) -> String {
     }
     for line in &analysis.unsafe_sites {
         out.push_str(&format!("unsafe-site {}:{}\n", case.rel_path, line));
+    }
+    for line in &analysis.arith_sites {
+        out.push_str(&format!("arith-site {}:{}\n", case.rel_path, line));
+    }
+    for line in &analysis.index_sites {
+        out.push_str(&format!("index-site {}:{}\n", case.rel_path, line));
     }
     out
 }
@@ -290,6 +334,14 @@ const GRAPH_CASES: &[GraphCase] = &[
         name: "nonblocking_allowed",
         dirty: false,
     },
+    GraphCase {
+        name: "seqcst_hot_bad",
+        dirty: true,
+    },
+    GraphCase {
+        name: "seqcst_allowed",
+        dirty: false,
+    },
 ];
 
 fn graph_case_dir(name: &str) -> PathBuf {
@@ -345,6 +397,7 @@ fn render_graph(analysis: &WorkspaceAnalysis) -> String {
         "hot-path-transitive-alloc",
         "determinism-taint",
         "blocking-in-event-loop",
+        "atomic-ordering",
     ];
     let mut out = String::new();
     for v in &analysis.violations {
@@ -425,9 +478,10 @@ fn dirty_fixtures_exercise_every_rule() {
     // otherwise a rule could silently stop firing without any golden
     // noticing. File-local rules come from the single-file cases, graph
     // rules from the mini-workspace cases. The counting rules
-    // (`panic-in-lib`, `cast-truncation`, `unsafe-boundary`) surface as
-    // ratcheted site counts rather than direct violations, so their
-    // coverage is synthesized from the extracted sites.
+    // (`panic-in-lib`, `cast-truncation`, `unsafe-boundary`,
+    // `int-overflow`, `slice-index`) surface as ratcheted site counts
+    // rather than direct violations, so their coverage is synthesized
+    // from the extracted sites.
     let config = Config::default();
     let mut seen: Vec<String> = Vec::new();
     for case in CASES.iter().filter(|c| c.dirty) {
@@ -442,6 +496,12 @@ fn dirty_fixtures_exercise_every_rule() {
         }
         if !analysis.cast_sites.is_empty() {
             seen.push("cast-truncation".to_string());
+        }
+        if !analysis.arith_sites.is_empty() {
+            seen.push("int-overflow".to_string());
+        }
+        if !analysis.index_sites.is_empty() {
+            seen.push("slice-index".to_string());
         }
     }
     for case in GRAPH_CASES.iter().filter(|c| c.dirty) {

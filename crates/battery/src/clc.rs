@@ -58,25 +58,30 @@ impl ClcParams {
         }
     }
 
-    fn validate(&self) {
-        assert!(self.capacity_mwh >= 0.0, "capacity must be non-negative");
-        assert!(
-            self.charge_efficiency > 0.0 && self.charge_efficiency <= 1.0,
-            "charge efficiency must be in (0, 1]"
-        );
-        assert!(
-            self.discharge_efficiency > 0.0 && self.discharge_efficiency <= 1.0,
-            "discharge efficiency must be in (0, 1]"
-        );
-        assert!(self.charge_c_rate > 0.0, "charge C-rate must be positive");
-        assert!(
-            self.discharge_c_rate > 0.0,
-            "discharge C-rate must be positive"
-        );
-        assert!(
-            self.depth_of_discharge > 0.0 && self.depth_of_discharge <= 1.0,
-            "depth of discharge must be in (0, 1]"
-        );
+    /// Checks every field against its documented range, returning the
+    /// first violation as a human-readable message.
+    // Negated comparisons are deliberate: NaN fails every range test.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn check(&self) -> Result<(), &'static str> {
+        if !(self.capacity_mwh >= 0.0) {
+            return Err("capacity must be non-negative");
+        }
+        if !(self.charge_efficiency > 0.0 && self.charge_efficiency <= 1.0) {
+            return Err("charge efficiency must be in (0, 1]");
+        }
+        if !(self.discharge_efficiency > 0.0 && self.discharge_efficiency <= 1.0) {
+            return Err("discharge efficiency must be in (0, 1]");
+        }
+        if !(self.charge_c_rate > 0.0) {
+            return Err("charge C-rate must be positive");
+        }
+        if !(self.discharge_c_rate > 0.0) {
+            return Err("discharge C-rate must be positive");
+        }
+        if !(self.depth_of_discharge > 0.0 && self.depth_of_discharge <= 1.0) {
+            return Err("depth of discharge must be in (0, 1]");
+        }
+        Ok(())
     }
 }
 
@@ -95,7 +100,9 @@ impl ClcBattery {
     ///
     /// Panics if any parameter is out of range (see [`ClcParams`] fields).
     pub fn new(params: ClcParams) -> Self {
-        params.validate();
+        if let Err(msg) = params.check() {
+            panic!("invalid ClcParams: {msg}");
+        }
         let min = params.capacity_mwh * (1.0 - params.depth_of_discharge);
         Self {
             params,

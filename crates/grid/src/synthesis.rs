@@ -72,11 +72,18 @@ impl GridDataset {
         let water = &baseload_total * 0.5;
         let nuclear = &baseload_total * 0.5;
         let renewables = (&wind + &solar).clamp_min(0.0);
-        let residual = demand
-            .zip_with(&baseload_total, |d, b| d - b)
-            .expect("aligned by construction")
-            .zip_with(&renewables, |r, g| (r - g).max(0.0))
-            .expect("aligned by construction");
+        // All three series share the demand clock, so zip the raw values
+        // directly instead of round-tripping through fallible alignment.
+        let residual = HourlySeries::from_values(
+            demand.start(),
+            demand
+                .values()
+                .iter()
+                .zip(baseload_total.values())
+                .zip(renewables.values())
+                .map(|((d, b), g)| (d - b - g).max(0.0))
+                .collect(),
+        );
         let coal = &residual * profile.coal_share;
         let gas = &residual * ((1.0 - profile.coal_share) * 0.92);
         let other = &residual * ((1.0 - profile.coal_share) * 0.08);

@@ -46,6 +46,9 @@ pub struct ScheduleScratch {
     cost: Vec<f64>,
     /// Per-day hour indices ranked by cost.
     order: Vec<u32>,
+    /// Sort workspace: packed `(total_cmp-ordered cost bits, hour)` keys
+    /// for one day, mirroring [`CostOrder::rebuild_orders`].
+    sort_keys: Vec<u128>,
 }
 
 impl ScheduleScratch {
@@ -116,6 +119,7 @@ impl CostOrder {
     /// Re-ranks in place for a new cost signal, reusing the buffers.
     pub fn rebuild_from_cost(&mut self, cost: &[f64]) {
         self.source_len = cost.len();
+        // ce:allow(arith, reason = "len % k never exceeds len, so the difference cannot underflow")
         let full = cost.len() - cost.len() % HOURS_PER_DAY;
         self.cost.clear();
         self.cost.extend(cost.iter().take(full));
@@ -179,24 +183,13 @@ impl CostOrder {
     /// permutation deterministically.
     // ce:hot
     fn rebuild_orders(&mut self) {
-        // `f64::total_cmp` is the comparison of sign-magnitude bit
-        // patterns mapped to two's complement; flipping all bits of
-        // negatives and the sign bit of non-negatives maps that order
-        // onto plain unsigned order.
-        let ordered_bits = |cost: f64| -> u64 {
-            let bits = cost.to_bits();
-            if bits >> 63 == 1 {
-                !bits
-            } else {
-                bits ^ (1 << 63)
-            }
-        };
         self.sort_buf.clear();
         self.sort_buf.extend(
             self.cost
                 .iter()
                 // ce:allow(cast, reason = "the 24-hour day constant fits u32")
                 .zip((0..HOURS_PER_DAY as u32).cycle())
+                // ce:allow(arith, reason = "64 key bits shifted 32 left still fit a u128")
                 .map(|(&cost, hour)| (u128::from(ordered_bits(cost)) << 32) | u128::from(hour)),
         );
         for day_keys in self.sort_buf.chunks_exact_mut(HOURS_PER_DAY) {
@@ -206,6 +199,20 @@ impl CostOrder {
         self.order
             // ce:allow(cast, reason = "intentional: the low 32 bits of the packed key are the hour ordinal")
             .extend(self.sort_buf.iter().map(|&key| key as u32));
+    }
+}
+
+/// Maps a cost onto bits whose plain unsigned order is `f64::total_cmp`
+/// order: `total_cmp` compares sign-magnitude bit patterns mapped to
+/// two's complement, so flipping all bits of negatives and the sign bit
+/// of non-negatives linearizes it. Shared by both packed-key day sorts.
+// ce:hot
+fn ordered_bits(cost: f64) -> u64 {
+    let bits = cost.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits ^ (1u64 << 63)
     }
 }
 
@@ -220,16 +227,26 @@ fn idx(hour: u32) -> usize {
 
 /// Reads one hour's `(cost, load)` pair when a transfer cursor lands on
 /// it. Centralizing the cursor reads keeps the transfer loop's slice
-/// accesses in one place (one bounds check site per slice).
+/// accesses in one place, and the total `.get` form keeps them
+/// panic-free: cursors only ever land on in-range hours (`order` holds
+/// `0..len`), and the unreachable fallback — an infinitely expensive,
+/// empty slot — would stall the transfer loop rather than corrupt it.
 // ce:hot
 fn cursor_slot(cost: &[f64], load: &[f64], hour: usize) -> (f64, f64) {
-    (cost[hour], load[hour])
+    match (cost.get(hour), load.get(hour)) {
+        (Some(&c), Some(&l)) => (c, l),
+        _ => (f64::INFINITY, 0.0),
+    }
 }
 
-/// Commits a cursor's mirrored load back to the day slice.
+/// Commits a cursor's mirrored load back to the day slice (total for the
+/// same reason as [`cursor_slot`]: an out-of-range hour cannot happen and
+/// must not panic the sweep).
 // ce:hot
 fn commit_load(load: &mut [f64], hour: usize, value: f64) {
-    load[hour] = value;
+    if let Some(slot) = load.get_mut(hour) {
+        *slot = value;
+    }
 }
 
 /// The paper's greedy carbon-aware scheduler.
@@ -304,6 +321,7 @@ impl GreedyScheduler {
             shifted,
             cost,
             order,
+            sort_keys,
         } = scratch;
         shifted.clear();
         shifted.extend_from_slice(demand.values());
@@ -320,7 +338,7 @@ impl GreedyScheduler {
         let costs = cost.chunks_exact(HOURS_PER_DAY);
         let supplies = supply.values().chunks_exact(HOURS_PER_DAY);
         for ((load, cost), sup) in loads.zip(costs).zip(supplies) {
-            total_moved += self.schedule_day(load, cost, Some(sup), order);
+            total_moved += self.schedule_day(load, cost, Some(sup), order, sort_keys);
         }
         Ok(total_moved)
     }
@@ -366,7 +384,8 @@ impl GreedyScheduler {
         let loads = scratch.shifted.chunks_exact_mut(HOURS_PER_DAY);
         let costs = cost.values().chunks_exact(HOURS_PER_DAY);
         for (load, cost) in loads.zip(costs) {
-            total_moved += self.schedule_day(load, cost, None, &mut scratch.order);
+            total_moved +=
+                self.schedule_day(load, cost, None, &mut scratch.order, &mut scratch.sort_keys);
         }
         Ok(total_moved)
     }
@@ -447,8 +466,8 @@ impl GreedyScheduler {
         Ok(total_moved)
     }
 
-    /// Greedy within one day; returns energy moved. `order` is a
-    /// caller-owned work buffer (cleared and refilled here).
+    /// Greedy within one day; returns energy moved. `order` and `keys`
+    /// are caller-owned work buffers (cleared and refilled here).
     ///
     /// When a `supply` slice is given, a destination hour additionally
     /// stops absorbing load once its remaining renewable surplus is used
@@ -460,27 +479,27 @@ impl GreedyScheduler {
         cost: &[f64],
         supply: Option<&[f64]>,
         order: &mut Vec<u32>,
+        keys: &mut Vec<u128>,
     ) -> f64 {
-        let n = load.len();
         // Hours ranked by cost: sources from most expensive down,
-        // destinations from cheapest up. A hand-rolled insertion sort
-        // keeps the allocation-free guarantee (`slice::sort_by` may
-        // allocate) while producing the exact permutation of any stable
-        // sort, so results match both the previous `sort_by` formulation
-        // and the pair-sort in [`CostOrder::rebuild_from_cost`].
+        // destinations from cheapest up. The packed-key sort mirrors
+        // [`CostOrder::rebuild_orders`] — cost's `total_cmp`-ordered bits
+        // above the hour ordinal — so the unique-key unstable sort yields
+        // exactly the stable-sort permutation (the hour tiebreak *is*
+        // stability), stays allocation-free on warm buffers
+        // (`slice::sort_by` may allocate), and walks no indexes.
+        keys.clear();
+        keys.extend(
+            cost.iter()
+                .zip(0u32..)
+                // ce:allow(arith, reason = "64 key bits shifted 32 left still fit a u128")
+                .map(|(&c, hour)| (u128::from(ordered_bits(c)) << 32) | u128::from(hour)),
+        );
+        keys.sort_unstable();
         order.clear();
-        // ce:allow(cast, reason = "a day slice is 24 hours, so the hour ordinal fits u32")
-        order.extend(0..n as u32);
-        for i in 1..n {
-            let mut j = i;
-            while j > 0
-                && cost[idx(order[j])].total_cmp(&cost[idx(order[j - 1])])
-                    == std::cmp::Ordering::Less
-            {
-                order.swap(j, j - 1);
-                j -= 1;
-            }
-        }
+        order
+            // ce:allow(cast, reason = "intentional: the low 32 bits of the packed key are the hour ordinal")
+            .extend(keys.iter().map(|&key| key as u32));
         self.transfer_day(load, cost, supply, order)
     }
 
@@ -541,8 +560,10 @@ impl GreedyScheduler {
         // destination, hoisting the supply clamp off the per-iteration
         // dependency chain (rounding is monotone, so clamping the smaller
         // bound yields the identical headroom the two-sided clamp did).
+        // Total like the cursor helpers: a missing supply hour (which
+        // cannot happen — the chunks are aligned) imposes no clamp.
         let limit_of = |hour: usize| match supply {
-            Some(s) => cap.min(s[hour]),
+            Some(s) => cap.min(s.get(hour).copied().unwrap_or(f64::INFINITY)),
             None => cap,
         };
         let (mut dst_cost, mut dst_load) = cursor_slot(cost, load, dst);

@@ -77,7 +77,8 @@ impl Waker {
     /// Signals the event loop; a no-op if a wake is already pending.
     /// Callers must enqueue their [`Completion`] *before* waking.
     pub(crate) fn wake(&self) {
-        if !self.pending.swap(true, Ordering::SeqCst) {
+        // ce:ordering(acquire pairs with rearm's release; release orders the completion enqueue before the byte; no total order needed)
+        if !self.pending.swap(true, Ordering::AcqRel) {
             let mut tx = self.tx.lock().unwrap_or_else(PoisonError::into_inner);
             let _ = tx.write(&[1]);
         }
@@ -88,7 +89,8 @@ impl Waker {
     /// skipped its byte (saw `pending`) enqueued before our drain, and
     /// any producer arriving after re-arm writes a fresh byte.
     pub(crate) fn rearm(&self) {
-        self.pending.store(false, Ordering::SeqCst);
+        // ce:ordering(release pairs with wake's acquire swap; late producers write a fresh pipe byte)
+        self.pending.store(false, Ordering::Release);
     }
 }
 
@@ -337,7 +339,8 @@ impl Loop {
         let mut fd_slots: Vec<(usize, u64)> = Vec::new();
         loop {
             let now = Instant::now();
-            let shutting_down = self.shared.shutdown.load(Ordering::SeqCst);
+            // ce:ordering(acquire pairs with stop's release swap, making pre-shutdown writes visible)
+            let shutting_down = self.shared.shutdown.load(Ordering::Acquire);
             if shutting_down {
                 // Stop accepting (dropping the clone releases the port
                 // once every shard has) and drain what remains.
@@ -392,10 +395,12 @@ impl Loop {
         fd_slots: &[(usize, u64)],
         conn_base: usize,
     ) {
+        // ce:ordering(monotone telemetry counter; readers tolerate skew)
         self.shard.stats.polls.fetch_add(1, Ordering::Relaxed);
         let now = Instant::now();
 
         if fds.first().is_some_and(|f| f.returned(POLLIN)) {
+            // ce:ordering(monotone telemetry counter; readers tolerate skew)
             self.shard.stats.wakeups.fetch_add(1, Ordering::Relaxed);
             self.drain_waker_pipe();
         }
@@ -488,6 +493,7 @@ impl Loop {
             if !waiter.header_written {
                 http::write_chunked_head(&mut conn.out, 200, &[("x-ce-cache", waiter.note)]);
                 waiter.header_written = true;
+                // ce:ordering(monotone telemetry counter; readers tolerate skew)
                 self.shard.stats.streamed.fetch_add(1, Ordering::Relaxed);
             }
             for fragment in entry.chunks.iter().skip(waiter.sent_chunks) {
@@ -523,6 +529,7 @@ impl Loop {
             let evicted = self.cache.insert(key, cached);
             if evicted > 0 {
                 self.shard
+                    // ce:ordering(monotone telemetry counter; readers tolerate skew)
                     .stats
                     .cache_evictions
                     .fetch_add(evicted, Ordering::Relaxed);
@@ -545,6 +552,7 @@ impl Loop {
                             200,
                             &[("x-ce-cache", waiter.note)],
                         );
+                        // ce:ordering(monotone telemetry counter; readers tolerate skew)
                         self.shard.stats.streamed.fetch_add(1, Ordering::Relaxed);
                     }
                     for fragment in entry.chunks.iter().skip(waiter.sent_chunks) {
@@ -555,6 +563,7 @@ impl Loop {
                     http::write_response(&mut conn.out, 200, &[("x-ce-cache", waiter.note)], b);
                 }
             } else {
+                // ce:ordering(monotone telemetry counter; readers tolerate skew)
                 metrics.errors.fetch_add(1, Ordering::Relaxed);
                 if waiter.header_written {
                     // The 200 chunked head already went out; the only
@@ -586,9 +595,11 @@ impl Loop {
             // ce:allow(blocking, reason = "listener is in nonblocking mode; accept returns WouldBlock instead of parking")
             match listener.accept() {
                 Ok((stream, _)) => {
-                    let previous = self.shared.connections.fetch_add(1, Ordering::SeqCst);
+                    // ce:ordering(best-effort admission cap; the counter publishes no memory, only a count)
+                    let previous = self.shared.connections.fetch_add(1, Ordering::Relaxed);
                     if previous >= self.shared.config.max_connections as u64 {
-                        self.shared.connections.fetch_sub(1, Ordering::SeqCst);
+                        // ce:ordering(undo of the optimistic increment above; same counter discipline)
+                        self.shared.connections.fetch_sub(1, Ordering::Relaxed);
                         let mut refusal = Vec::new();
                         http::write_response(
                             &mut refusal,
@@ -605,10 +616,12 @@ impl Loop {
                     let _ = stream.set_nonblocking(true);
                     let _ = stream.set_nodelay(true);
                     self.slab.insert(stream, now);
+                    // ce:ordering(monotone telemetry counter; readers tolerate skew)
                     self.shard.stats.accepts.fetch_add(1, Ordering::Relaxed);
+                    // ce:ordering(per-shard stats gauge; staleness is acceptable)
                     self.shard
                         .connections
-                        .store(self.slab.occupied() as u64, Ordering::SeqCst);
+                        .store(self.slab.occupied() as u64, Ordering::Relaxed);
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -639,6 +652,7 @@ impl Loop {
         let incomplete = self.process_conn(slot, now);
         if incomplete {
             self.shard
+                // ce:ordering(monotone telemetry counter; readers tolerate skew)
                 .stats
                 .partial_reads
                 .fetch_add(1, Ordering::Relaxed);
@@ -774,6 +788,7 @@ impl Loop {
             Target::Manifest => {
                 self.shared
                     .metrics
+                    // ce:ordering(monotone telemetry counter; readers tolerate skew)
                     .endpoint(Endpoint::Manifest)
                     .requests
                     .fetch_add(1, Ordering::Relaxed);
@@ -807,6 +822,7 @@ impl Loop {
     fn compute(&mut self, slot: usize, kind: ComputeKind, endpoint: Endpoint, now: Instant) {
         let shared = Arc::clone(&self.shared);
         let metrics = shared.metrics.endpoint(endpoint);
+        // ce:ordering(monotone telemetry counter; readers tolerate skew)
         metrics.requests.fetch_add(1, Ordering::Relaxed);
         let hash = memo_hash(kind, &self.body);
         let key: Arc<str> = match self.memo.get(hash, kind, &self.body) {
@@ -841,7 +857,9 @@ impl Loop {
         };
 
         if let Some(cached) = self.cache.get(&key) {
+            // ce:ordering(monotone telemetry counter; readers tolerate skew)
             self.shard.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            // ce:ordering(monotone telemetry counter; readers tolerate skew)
             metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
             let Some(conn) = self.slab.slot_mut(slot) else {
                 return;
@@ -858,6 +876,7 @@ impl Loop {
                         http::write_chunk(&mut conn.out, fragment);
                     }
                     http::write_last_chunk(&mut conn.out);
+                    // ce:ordering(monotone telemetry counter; readers tolerate skew)
                     self.shard.stats.streamed.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -868,9 +887,11 @@ impl Loop {
         self.shard
             .stats
             .cache_misses
+            // ce:ordering(monotone telemetry counter; readers tolerate skew)
             .fetch_add(1, Ordering::Relaxed);
 
         if let Some(entry) = self.inflight.get_mut(&key) {
+            // ce:ordering(monotone telemetry counter; readers tolerate skew)
             metrics.coalesced.fetch_add(1, Ordering::Relaxed);
             let Some(conn) = self.slab.slot_mut(slot) else {
                 return;
@@ -940,6 +961,7 @@ impl Loop {
                 self.publish_inflight_gauge();
             }
             Err(crate::queue::PushError::Full) => {
+                // ce:ordering(monotone telemetry counter; readers tolerate skew)
                 metrics.shed.fetch_add(1, Ordering::Relaxed);
                 self.respond_with(
                     slot,
@@ -958,6 +980,7 @@ impl Loop {
 
     fn respond_ok(&mut self, slot: usize, endpoint: Endpoint, body: &str, now: Instant) {
         let metrics = self.shared.metrics.endpoint(endpoint);
+        // ce:ordering(monotone telemetry counter; readers tolerate skew)
         metrics.requests.fetch_add(1, Ordering::Relaxed);
         self.respond_with(slot, Some(endpoint), 200, &[], body, now);
     }
@@ -1001,6 +1024,7 @@ impl Loop {
         if let Some(endpoint) = endpoint {
             let metrics = self.shared.metrics.endpoint(endpoint);
             if status >= 400 {
+                // ce:ordering(monotone telemetry counter; readers tolerate skew)
                 metrics.errors.fetch_add(1, Ordering::Relaxed);
             }
             let micros = u64::try_from(now.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -1044,6 +1068,7 @@ impl Loop {
                         self.shard
                             .stats
                             .short_writes
+                            // ce:ordering(monotone telemetry counter; readers tolerate skew)
                             .fetch_add(1, Ordering::Relaxed);
                         break;
                     }
@@ -1088,10 +1113,12 @@ impl Loop {
         }
         // ce:allow(blocking, reason = "TcpStream::shutdown, not ServerHandle::shutdown; a plain close syscall")
         let _ = conn.stream.shutdown(Shutdown::Both);
-        self.shared.connections.fetch_sub(1, Ordering::SeqCst);
+        // ce:ordering(admission counter decrement; publishes no memory, only a count)
+        self.shared.connections.fetch_sub(1, Ordering::Relaxed);
+        // ce:ordering(per-shard stats gauge; staleness is acceptable)
         self.shard
             .connections
-            .store(self.slab.occupied() as u64, Ordering::SeqCst);
+            .store(self.slab.occupied() as u64, Ordering::Relaxed);
     }
 
     /// The deadline sweep: slow-loris 408s, idle keep-alive closes,
@@ -1182,15 +1209,17 @@ impl Loop {
     }
 
     fn publish_inflight_gauge(&self) {
+        // ce:ordering(stats gauge shadow of loop-local state; staleness is acceptable)
         self.shard
             .inflight_keys
-            .store(self.inflight.len() as u64, Ordering::SeqCst);
+            .store(self.inflight.len() as u64, Ordering::Relaxed);
     }
 
     fn publish_cache_gauge(&self) {
+        // ce:ordering(stats gauge shadow of loop-local state; staleness is acceptable)
         self.shard
             .cache_entries
-            .store(self.cache.len() as u64, Ordering::SeqCst);
+            .store(self.cache.len() as u64, Ordering::Relaxed);
     }
 }
 

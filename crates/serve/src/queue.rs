@@ -76,6 +76,7 @@ impl<T> BoundedQueue<T> {
             return Err(PushError::Full);
         }
         inner.items.push_back(item);
+        // ce:ordering(depth is a monitoring gauge shadowing mutex-guarded state; no reader synchronizes on it)
         self.depth.store(inner.items.len(), Ordering::Relaxed);
         drop(inner);
         self.not_empty.notify_one();
@@ -89,6 +90,7 @@ impl<T> BoundedQueue<T> {
         let mut inner = self.lock();
         loop {
             if let Some(item) = inner.items.pop_front() {
+                // ce:ordering(gauge update under the queue mutex; the lock provides the ordering)
                 self.depth.store(inner.items.len(), Ordering::Relaxed);
                 return Some(item);
             }
@@ -116,6 +118,7 @@ impl<T> BoundedQueue<T> {
     /// depth, so callers on the event-loop hot path never contend on the
     /// queue mutex.
     pub fn depth(&self) -> usize {
+        // ce:ordering(racy gauge read by design; staleness is acceptable for load shedding)
         self.depth.load(Ordering::Relaxed)
     }
 }

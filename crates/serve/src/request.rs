@@ -663,6 +663,7 @@ impl ExplorerCache {
             if cache.len() > self.capacity {
                 cache.remove(0);
             }
+            // ce:ordering(gauge shadow written under the cache mutex; the lock provides the ordering)
             self.entries
                 .store(cache.len(), std::sync::atomic::Ordering::Relaxed);
         }
@@ -673,6 +674,7 @@ impl ExplorerCache {
     /// shadow of the locked length, so the event loop never contends on
     /// the cache mutex to render stats.
     pub fn entry_count(&self) -> usize {
+        // ce:ordering(racy stats gauge; staleness is fine, no memory is published through it)
         self.entries.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
@@ -712,6 +714,7 @@ impl ManifestStore {
         if store.len() > self.capacity {
             store.remove(0);
         }
+        // ce:ordering(gauge shadow written under the registry mutex; the lock provides the ordering)
         self.entries
             .store(store.len(), std::sync::atomic::Ordering::Relaxed);
     }
@@ -729,6 +732,7 @@ impl ManifestStore {
     /// Number of registered manifests (a `/stats` gauge); reads the
     /// atomic shadow, never the lock.
     pub fn entry_count(&self) -> usize {
+        // ce:ordering(racy stats gauge; staleness is fine, no memory is published through it)
         self.entries.load(std::sync::atomic::Ordering::Relaxed)
     }
 }

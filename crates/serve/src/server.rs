@@ -282,7 +282,8 @@ impl ServerHandle {
     }
 
     fn stop(&mut self) {
-        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+        // ce:ordering(acquire pairs with the loops' flag reads; release publishes pre-shutdown writes; no total order needed)
+        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
             return;
         }
         // Refuse new jobs but let workers drain accepted ones.
@@ -319,7 +320,8 @@ pub(crate) fn worker_loop(shared: &Arc<Shared>, shard_index: usize) {
     let shard = &shared.shards[shard_index];
     let mut scratch = EvalScratch::default();
     while let Some(job) = shard.queue.pop() {
-        shared.busy_workers.fetch_add(1, Ordering::SeqCst);
+        // ce:ordering(busy-worker gauge feeds /stats only; no synchronization hangs off it)
+        shared.busy_workers.fetch_add(1, Ordering::Relaxed);
         let endpoint = job.request.endpoint();
         let streamed_any = Cell::new(false);
         // Catch panics so coalesced waiters always get an outcome; the
@@ -413,10 +415,12 @@ pub(crate) fn worker_loop(shared: &Arc<Shared>, shard_index: usize) {
         shared
             .metrics
             .endpoint(endpoint)
+            // ce:ordering(monotone telemetry counter; readers tolerate skew)
             .computed
             .fetch_add(1, Ordering::Relaxed);
         shard.push_completion(completion);
-        shared.busy_workers.fetch_sub(1, Ordering::SeqCst);
+        // ce:ordering(busy-worker gauge feeds /stats only; no synchronization hangs off it)
+        shared.busy_workers.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -427,22 +431,26 @@ pub(crate) fn stats_json(shared: &Shared) -> Json {
     let inflight: u64 = shared
         .shards
         .iter()
-        .map(|s| s.inflight_keys.load(Ordering::SeqCst))
+        // ce:ordering(stats gauge snapshot; cross-shard skew is acceptable)
+        .map(|s| s.inflight_keys.load(Ordering::Relaxed))
         .sum();
     let cache_entries: u64 = shared
         .shards
         .iter()
-        .map(|s| s.cache_entries.load(Ordering::SeqCst))
+        // ce:ordering(stats gauge snapshot; cross-shard skew is acceptable)
+        .map(|s| s.cache_entries.load(Ordering::Relaxed))
         .sum();
     let mut json = shared.metrics.to_json(&[
         ("queue_depth", queue_depth as f64),
         (
             "busy_workers",
-            shared.busy_workers.load(Ordering::SeqCst) as f64,
+            // ce:ordering(stats gauge read; staleness is acceptable)
+            shared.busy_workers.load(Ordering::Relaxed) as f64,
         ),
         (
             "connections",
-            shared.connections.load(Ordering::SeqCst) as f64,
+            // ce:ordering(stats gauge read; staleness is acceptable)
+            shared.connections.load(Ordering::Relaxed) as f64,
         ),
         ("inflight_keys", inflight as f64),
         ("response_cache_entries", cache_entries as f64),
@@ -457,15 +465,18 @@ pub(crate) fn stats_json(shared: &Shared) -> Json {
         .iter()
         .map(|s| {
             s.stats.to_json(&[
-                ("connections", s.connections.load(Ordering::SeqCst) as f64),
+                // ce:ordering(per-shard stats gauge reads; staleness is acceptable)
+                ("connections", s.connections.load(Ordering::Relaxed) as f64),
                 ("queue_depth", s.queue.depth() as f64),
                 (
+                    // ce:ordering(stats gauge read; staleness is acceptable)
                     "inflight_keys",
-                    s.inflight_keys.load(Ordering::SeqCst) as f64,
+                    s.inflight_keys.load(Ordering::Relaxed) as f64,
                 ),
                 (
+                    // ce:ordering(stats gauge read; staleness is acceptable)
                     "cache_entries",
-                    s.cache_entries.load(Ordering::SeqCst) as f64,
+                    s.cache_entries.load(Ordering::Relaxed) as f64,
                 ),
             ])
         })

@@ -13,8 +13,6 @@ use std::fmt;
 /// Hours in a civil day.
 pub const HOURS_PER_DAY: usize = 24;
 
-const DAYS_IN_MONTH: [u8; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
-
 /// Returns `true` if `year` is a Gregorian leap year.
 ///
 /// ```
@@ -38,7 +36,7 @@ pub fn days_in_year(year: i32) -> u32 {
 /// Number of hours in `year` (8760 or 8784).
 pub fn hours_in_year(year: i32) -> usize {
     // ce:allow(cast, reason = "u32 day count widening into usize; every supported target is at least 32-bit")
-    days_in_year(year) as usize * HOURS_PER_DAY
+    days_in_year(year) as usize * HOURS_PER_DAY // ce:allow(arith, reason = "at most 366 * 24 = 8784, far below usize::MAX")
 }
 
 /// Number of days in `month` (1-based) of `year`.
@@ -48,10 +46,11 @@ pub fn hours_in_year(year: i32) -> usize {
 /// Panics if `month` is not in `1..=12`.
 pub fn days_in_month(year: i32, month: u8) -> u8 {
     assert!((1..=12).contains(&month), "month must be 1..=12");
-    if month == 2 && is_leap_year(year) {
-        29
-    } else {
-        DAYS_IN_MONTH[usize::from(month - 1)]
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 if is_leap_year(year) => 29,
+        _ => 28,
     }
 }
 
@@ -122,8 +121,10 @@ impl Date {
     pub fn day_of_year(&self) -> u32 {
         let mut doy = 0u32;
         for m in 1..self.month {
+            // ce:allow(arith, reason = "at most 11 summed month lengths, total below 366")
             doy += u32::from(days_in_month(self.year, m));
         }
+        // ce:allow(arith, reason = "month prefix plus day-of-month stays at or below 366")
         doy + u32::from(self.day)
     }
 
@@ -168,17 +169,19 @@ impl Date {
     pub fn succ(&self) -> Self {
         if self.day < days_in_month(self.year, self.month) {
             Self {
+                // ce:allow(arith, reason = "guarded by the branch: day < days_in_month <= 31")
                 day: self.day + 1,
                 ..*self
             }
         } else if self.month < 12 {
             Self {
                 year: self.year,
+                // ce:allow(arith, reason = "guarded by the branch: month < 12")
                 month: self.month + 1,
                 day: 1,
             }
         } else {
-            Self::start_of_year(self.year + 1)
+            Self::start_of_year(self.year.saturating_add(1))
         }
     }
 }
@@ -242,7 +245,8 @@ impl Timestamp {
     /// Zero-based hour within the year (`0..hours_in_year(year)`).
     pub fn hour_of_year(&self) -> usize {
         // ce:allow(cast, reason = "u32 day ordinal widening into usize; every supported target is at least 32-bit")
-        (self.date.day_of_year() as usize - 1) * HOURS_PER_DAY + usize::from(self.hour)
+        (self.date.day_of_year() as usize - 1) * HOURS_PER_DAY // ce:allow(arith, reason = "day ordinal is 1..=366, so the zero-based product plus hour tops out at 8783")
+            + usize::from(self.hour)
     }
 
     /// Builds a timestamp from a zero-based hour of the year, rolling into
@@ -250,11 +254,11 @@ impl Timestamp {
     pub fn from_hour_of_year(mut year: i32, mut hour_of_year: usize) -> Self {
         while hour_of_year >= hours_in_year(year) {
             hour_of_year -= hours_in_year(year);
-            year += 1;
+            year = year.saturating_add(1);
         }
         // ce:allow(cast, reason = "the loop above normalizes hour_of_year below 8784, so the day ordinal fits u32")
-        let doy = (hour_of_year / HOURS_PER_DAY) as u32 + 1;
-        // ce:allow(cast, reason = "a residue modulo 24 always fits u8")
+        let doy = (hour_of_year / HOURS_PER_DAY) as u32 + 1; // ce:allow(arith, reason = "a normalized day ordinal is below 366, so the 1-based form fits u32")
+                                                             // ce:allow(cast, reason = "a residue modulo 24 always fits u8")
         let hour = (hour_of_year % HOURS_PER_DAY) as u8;
         Self {
             date: Date::from_day_of_year_clamped(year, doy),
@@ -264,7 +268,7 @@ impl Timestamp {
 
     /// The timestamp `hours` hours later.
     pub fn plus_hours(&self, hours: usize) -> Self {
-        Self::from_hour_of_year(self.date.year(), self.hour_of_year() + hours)
+        Self::from_hour_of_year(self.date.year(), self.hour_of_year().saturating_add(hours))
     }
 }
 
